@@ -1,0 +1,64 @@
+//! Text substrate performance: naive-Bayes training/classification,
+//! sentiment analysis and tokenisation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mass_bench::corpus_of;
+use mass_text::{tokenize, NaiveBayesTrainer, SentimentLexicon};
+
+fn bench_nb(c: &mut Criterion) {
+    let out = corpus_of(500, 7);
+    let texts: Vec<(usize, String)> = out
+        .dataset
+        .posts
+        .iter()
+        .map(|p| (p.true_domain.unwrap().index(), format!("{} {}", p.title, p.text)))
+        .collect();
+
+    let mut group = c.benchmark_group("naive_bayes");
+    group.sample_size(10);
+    group.bench_function("train_full_corpus", |b| {
+        b.iter(|| {
+            let mut t = NaiveBayesTrainer::new(10);
+            for (d, text) in &texts {
+                t.add_document(*d, text);
+            }
+            t.build(2)
+        });
+    });
+
+    let model = {
+        let mut t = NaiveBayesTrainer::new(10);
+        for (d, text) in &texts {
+            t.add_document(*d, text);
+        }
+        t.build(2)
+    };
+    group.bench_function("classify_corpus", |b| {
+        b.iter(|| texts.iter().map(|(_, text)| model.classify(text)).sum::<usize>());
+    });
+    group.finish();
+}
+
+fn bench_sentiment_and_tokenize(c: &mut Criterion) {
+    let out = corpus_of(500, 7);
+    let comments: Vec<&str> = out
+        .dataset
+        .posts
+        .iter()
+        .flat_map(|p| p.comments.iter().map(|cm| cm.text.as_str()))
+        .collect();
+    let lex = SentimentLexicon::default();
+
+    let mut group = c.benchmark_group("text");
+    group.bench_function("sentiment_classify_comments", |b| {
+        b.iter(|| comments.iter().map(|t| lex.classify(t) as usize).sum::<usize>());
+    });
+    let body: String = out.dataset.posts.iter().map(|p| p.text.as_str()).collect::<Vec<_>>().join(" ");
+    group.bench_function("tokenize_corpus", |b| {
+        b.iter(|| tokenize(&body).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nb, bench_sentiment_and_tokenize);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! X6 (criterion side) — crawl throughput vs worker-thread count on a host
+//! with simulated latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mass_bench::corpus_of;
+use mass_crawler::{crawl, CrawlConfig, HostConfig, SimulatedHost};
+use std::time::Duration;
+
+fn bench_threads(c: &mut Criterion) {
+    let world = corpus_of(400, 42);
+    let host = SimulatedHost::with_config(
+        world.dataset,
+        HostConfig { failure_rate: 0.05, latency: Duration::from_micros(100) },
+    );
+    let mut group = c.benchmark_group("crawl_threads");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| crawl(&host, &CrawlConfig { threads, retries: 10, ..Default::default() }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let world = corpus_of(400, 42);
+    let host = SimulatedHost::new(world.dataset);
+    let mut group = c.benchmark_group("crawl_assembly");
+    group.sample_size(10);
+    group.bench_function("fault_free_full_crawl", |b| {
+        b.iter(|| crawl(&host, &CrawlConfig { threads: 8, ..Default::default() }));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Link-analysis substrate performance: PageRank and HITS on synthetic
+//! preferential-attachment graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mass_graph::{hits, pagerank, DiGraph, HitsParams, PageRankParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn scale_free(n: usize, mean_degree: usize, seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = DiGraph::new(n);
+    for u in 1..n {
+        for _ in 0..mean_degree {
+            // Preferential-ish: square the uniform to bias toward low ids.
+            let r: f64 = rng.random();
+            let v = ((r * r) * u as f64) as usize;
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagerank");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let g = scale_free(n, 8, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| pagerank(&g, &PageRankParams::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hits");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let g = scale_free(n, 8, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hits(&g, &HitsParams::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pagerank, bench_hits);
+criterion_main!(benches);

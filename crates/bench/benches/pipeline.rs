@@ -1,0 +1,54 @@
+//! X4 (part 2) — full-pipeline scaling: `MassAnalysis::analyze` and the XML
+//! store as the corpus grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mass_bench::corpus_of;
+use mass_core::{IncrementalMass, MassAnalysis, MassParams};
+use mass_types::{BloggerId, Comment, Post};
+
+fn bench_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_scaling");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000] {
+        let out = corpus_of(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| MassAnalysis::analyze(&out.dataset, &MassParams::paper()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_xml_store(c: &mut Criterion) {
+    let out = corpus_of(500, 42);
+    let xml = mass_xml::dataset_io::to_xml_string(&out.dataset);
+    let mut group = c.benchmark_group("xml_store");
+    group.sample_size(10);
+    group.bench_function("serialize", |b| {
+        b.iter(|| mass_xml::dataset_io::to_xml_string(&out.dataset));
+    });
+    group.bench_function("parse_and_validate", |b| {
+        b.iter(|| mass_xml::dataset_io::from_xml_str(&xml).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let out = corpus_of(1000, 42);
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    group.bench_function("cold_analyze_1000", |b| {
+        b.iter(|| MassAnalysis::analyze(&out.dataset, &MassParams::paper()));
+    });
+    group.bench_function("edit_plus_warm_refresh_1000", |b| {
+        let mut live = IncrementalMass::new(out.dataset.clone(), MassParams::paper());
+        b.iter(|| {
+            let pid = live.add_post(Post::new(BloggerId::new(0), "t", "a fresh short note"));
+            live.add_comment(pid, Comment::new(BloggerId::new(1), "nice one"));
+            live.refresh()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyze, bench_xml_store, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! X4 (part 1) — fixed-point solver scaling: wall time of `solve` as the
+//! corpus grows, plus the cost of each facet computed separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mass_bench::corpus_of;
+use mass_core::{solve, MassParams};
+use mass_core::{gl, quality};
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_scaling");
+    group.sample_size(10);
+    for &n in &[250usize, 500, 1000, 2000] {
+        let out = corpus_of(n, 42);
+        let ix = out.dataset.index();
+        let params = MassParams::paper();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| solve(&out.dataset, &ix, &params));
+        });
+    }
+    group.finish();
+}
+
+fn bench_facets(c: &mut Criterion) {
+    let out = corpus_of(1000, 42);
+    let params = MassParams::paper();
+    let mut group = c.benchmark_group("solver_facets");
+    group.sample_size(10);
+    group.bench_function("quality_scores", |b| {
+        b.iter(|| quality::quality_scores(&out.dataset, &params));
+    });
+    group.bench_function("gl_scores_pagerank", |b| {
+        b.iter(|| gl::gl_scores(&out.dataset, &params));
+    });
+    group.bench_function("dataset_index", |b| {
+        b.iter(|| out.dataset.index());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_scaling, bench_facets);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! F1 — regenerates **Figure 1**: the sample influence graph (Amery with
+//! Post1/Post2, Bob with Post3, Cary with Post4, and commenters Jane,
+//! Helen, Eddie, Dolly, Leo, Michael), then reports how MASS scores it.
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin fig1_sample_graph
+//! ```
+
+use mass_bench::banner;
+use mass_core::{IvSource, MassAnalysis, MassParams};
+use mass_eval::TextTable;
+use mass_types::{DatasetBuilder, DomainSet, Sentiment};
+
+fn main() {
+    banner(
+        "F1",
+        "Figure 1 — the sample influence graph",
+        "the paper's worked example, scored by the full model",
+    );
+
+    let mut b = DatasetBuilder::new();
+    let amery = b.blogger("Amery");
+    let bob = b.blogger("Bob");
+    let cary = b.blogger("Cary");
+    let commenters: Vec<_> = ["Jane", "Helen", "Eddie", "Dolly", "Leo", "Michael"]
+        .iter()
+        .map(|n| b.blogger(*n))
+        .collect();
+
+    let cs = DomainSet::paper().id_of("Computer").unwrap();
+    let econ = DomainSet::paper().id_of("Economics").unwrap();
+
+    let post1 = b.post_in_domain(
+        amery,
+        "Post1",
+        "some programming skills in computer science with careful examples",
+        cs,
+    );
+    let post2 = b.post_in_domain(
+        amery,
+        "Post2",
+        "the recent economic depression and possible trends in the next couple of months",
+        econ,
+    );
+    let post3 = b.post_in_domain(bob, "Post3", "computer architecture notes", cs);
+    let post4 = b.post_in_domain(cary, "Post4", "a computer science reading list", cs);
+
+    b.comment(post1, bob, "I agree with these skills", Some(Sentiment::Positive));
+    b.comment(post1, cary, "what about other languages", None);
+    b.comment(post2, cary, "I support this reading", Some(Sentiment::Positive));
+    b.comment(post3, commenters[0], "nice overview", Some(Sentiment::Positive));
+    b.comment(post3, commenters[1], "hmm", None);
+    b.comment(post3, commenters[2], "agree", Some(Sentiment::Positive));
+    b.comment(post4, commenters[3], "great list", Some(Sentiment::Positive));
+    b.comment(post4, commenters[4], "missing the classics, disappointing", Some(Sentiment::Negative));
+    b.comment(post4, commenters[5], "bookmarked", None);
+
+    let ds = b.build().expect("Fig. 1 graph is consistent");
+    let params = MassParams { iv: IvSource::TrueDomains, ..MassParams::paper() };
+    let analysis = MassAnalysis::analyze(&ds, &params);
+
+    println!("post scores Inf(b_i, d_k):");
+    let mut posts = TextTable::new(["post", "author", "domain", "quality", "comment", "Inf"]);
+    for (pid, post) in ds.posts_enumerated() {
+        posts.row([
+            post.title.clone(),
+            ds.blogger(post.author).name.clone(),
+            ds.domains.name(post.true_domain.unwrap()).to_string(),
+            format!("{:.3}", analysis.scores.quality[pid.index()]),
+            format!("{:.3}", analysis.scores.comment[pid.index()]),
+            format!("{:.3}", analysis.scores.of_post(pid)),
+        ]);
+    }
+    println!("{posts}");
+
+    println!("blogger influence Inf(b_i) = α·AP + (1−α)·GL:");
+    let mut tbl = TextTable::new(["blogger", "AP", "GL", "Inf", "Inf(·,Computer)", "Inf(·,Economics)"]);
+    for (bid, blogger) in ds.bloggers_enumerated() {
+        tbl.row([
+            blogger.name.clone(),
+            format!("{:.3}", analysis.scores.ap[bid.index()]),
+            format!("{:.3}", analysis.scores.gl[bid.index()]),
+            format!("{:.3}", analysis.scores.of(bid)),
+            format!("{:.3}", analysis.domain_matrix[bid.index()][cs.index()]),
+            format!("{:.3}", analysis.domain_matrix[bid.index()][econ.index()]),
+        ]);
+    }
+    println!("{tbl}");
+
+    // The figure's takeaways, checked mechanically.
+    let top = analysis.top_k_general(1)[0].0;
+    assert_eq!(ds.blogger(top).name, "Amery", "Amery anchors the figure");
+    let amery_cs = analysis.domain_matrix[amery.index()][cs.index()];
+    let amery_econ = analysis.domain_matrix[amery.index()][econ.index()];
+    println!(
+        "✓ Amery is the most influential blogger overall, with influence split \
+         across Computer ({amery_cs:.3}) and Economics ({amery_econ:.3}) — the \
+         domain-specific motivation of Section I."
+    );
+}

@@ -1,0 +1,69 @@
+//! F4 — regenerates **Figure 4**: the post-reply network around a top
+//! blogger, with comment-count edge labels, node detail pop-ups, layout
+//! coordinates, and the XML save/load cycle Section IV promises.
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin fig4_network
+//! ```
+
+use mass_bench::{banner, standard_corpus};
+use mass_core::{MassAnalysis, MassParams};
+use mass_eval::TextTable;
+use mass_viz::{apply_layout, LayoutParams, PostReplyNetwork};
+
+fn main() {
+    banner(
+        "F4",
+        "Figure 4 — post-reply network visualisation",
+        "network around the #1 blogger, radius 2; XML save/load; DOT export",
+    );
+    let out = standard_corpus();
+    let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+    let focus = analysis.top_k_general(1)[0].0;
+    println!("focus blogger: {} (double-clicked in the UI)\n", out.dataset.blogger(focus).name);
+
+    let mut net = PostReplyNetwork::around(&out.dataset, focus, 2);
+    net.attach_scores(&analysis.scores.blogger, &analysis.domain_matrix);
+    apply_layout(&mut net, &LayoutParams::default());
+    println!("view: {}\n", mass_viz::network_stats(&net));
+
+    // The node detail pop-up of the focus blogger.
+    let idx = net.node_of(focus).expect("focus in view");
+    let node = &net.nodes[idx];
+    println!("node pop-up for {}:", node.name);
+    println!("  total influence score: {:.4}", node.influence);
+    println!("  number of posts:       {}", node.post_count);
+    let mut top_domains: Vec<(usize, f64)> =
+        node.domain_influence.iter().copied().enumerate().collect();
+    top_domains.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (d, v) in top_domains.iter().take(3) {
+        println!("  domain influence:      {} = {v:.4}", out.dataset.domains.names()[*d]);
+    }
+    println!();
+
+    // The heaviest edges — the numbers Fig. 4 draws on the lines.
+    let mut edges = net.edges.clone();
+    edges.sort_by_key(|e| std::cmp::Reverse(e.comments));
+    let mut t = TextTable::new(["commenter", "post author", "comments (edge label)"]);
+    for e in edges.iter().take(8) {
+        t.row([
+            net.nodes[e.from].name.clone(),
+            net.nodes[e.to].name.clone(),
+            e.comments.to_string(),
+        ]);
+    }
+    println!("heaviest post-reply edges:\n{t}");
+
+    // Save as XML, load back, verify (the paper's save/load feature).
+    let xml_path = std::env::temp_dir().join("mass_fig4_network.xml");
+    std::fs::write(&xml_path, mass_viz::to_xml_string(&net)).expect("save view");
+    let reloaded =
+        mass_viz::from_xml_str(&std::fs::read_to_string(&xml_path).expect("read view"))
+            .expect("load view");
+    assert_eq!(net, reloaded, "XML view round-trip must be exact");
+    println!("✓ view saved to {} and reloaded identically", xml_path.display());
+
+    let dot_path = std::env::temp_dir().join("mass_fig4_network.dot");
+    std::fs::write(&dot_path, mass_viz::to_dot(&net)).expect("write dot");
+    println!("✓ DOT export for external rendering: {}", dot_path.display());
+}

@@ -1,0 +1,74 @@
+//! T1 — regenerates **Table I** of the paper: user evaluation of average
+//! applicable scores for influential bloggers (General vs Live Index vs
+//! Domain Specific) over the Travel, Art and Sports domains.
+//!
+//! The 10-judge user study is simulated against planted ground truth (see
+//! DESIGN.md §2). The paper reported:
+//!
+//! ```text
+//!                  Travel  Art   Sports
+//! General          3.2     3.2   3.2
+//! Live Index       3.0     3.3   3.1
+//! Domain Specific  4.3     4.1   4.6
+//! ```
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin table1_user_study
+//! MASS_BENCH_SCALE=paper cargo run --release -p mass-bench --bin table1_user_study
+//! ```
+
+use mass_bench::{banner, standard_corpus};
+use mass_eval::{run_user_study, UserStudyConfig};
+
+/// The paper's Table I, for side-by-side comparison.
+const PAPER: [(&str, [f64; 3]); 3] = [
+    ("General", [3.2, 3.2, 3.2]),
+    ("Live Index", [3.0, 3.3, 3.1]),
+    ("Domain Specific", [4.3, 4.1, 4.6]),
+];
+
+fn main() {
+    banner(
+        "T1",
+        "Table I — user evaluation of average applicable scores",
+        "10 simulated judges score the top-3 bloggers of each system (1-5)",
+    );
+    let out = standard_corpus();
+    println!("corpus: {}\n", out.dataset.stats());
+
+    let table = run_user_study(&out.dataset, &out.truth, &UserStudyConfig::default());
+    println!("measured:\n{table}");
+
+    println!("paper reported:");
+    let mut paper_table = mass_eval::TextTable::new(["Average Applicable Scores", "Travel", "Art", "Sports"]);
+    for (system, row) in PAPER {
+        paper_table.row([
+            system.to_string(),
+            format!("{:.1}", row[0]),
+            format!("{:.1}", row[1]),
+            format!("{:.1}", row[2]),
+        ]);
+    }
+    println!("{paper_table}");
+
+    // Shape verdict: domain-specific must beat both baselines everywhere.
+    let mut shape_holds = true;
+    for (col, name) in table.domains.iter().enumerate() {
+        let ds = table.rows[2].1[col];
+        let gen = table.rows[0].1[col];
+        let li = table.rows[1].1[col];
+        let ok = ds >= gen && ds >= li;
+        println!(
+            "{name:<8} domain-specific {ds:.2} vs general {gen:.2} / live-index {li:.2}  {}",
+            if ok { "✓" } else { "✗ SHAPE VIOLATION" }
+        );
+        shape_holds &= ok;
+    }
+    println!(
+        "\nshape {}: domain-specific recommendation wins, as in the paper",
+        if shape_holds { "HOLDS" } else { "VIOLATED" }
+    );
+    if !shape_holds {
+        std::process::exit(1);
+    }
+}

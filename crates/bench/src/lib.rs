@@ -1,0 +1,54 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (T1, F1–F4) or one extension experiment (X1–X7); see DESIGN.md §4
+//! for the index and EXPERIMENTS.md for recorded outputs.
+
+use mass_synth::{generate, SynthConfig, SynthOutput};
+
+/// Scale knob shared by the harness binaries: `MASS_BENCH_SCALE=paper`
+/// runs the paper-scale corpus (3 000 bloggers / ~40 000 posts); anything
+/// else (default) runs a 600-blogger corpus that finishes in seconds in a
+/// debug build while preserving every reported shape.
+pub fn standard_corpus() -> SynthOutput {
+    let cfg = match std::env::var("MASS_BENCH_SCALE").as_deref() {
+        Ok("paper") => SynthConfig::paper_scale(42),
+        _ => SynthConfig {
+            bloggers: 600,
+            mean_posts_per_blogger: 8.0,
+            seed: 42,
+            ..Default::default()
+        },
+    };
+    generate(&cfg)
+}
+
+/// A fixed-size corpus for scaling sweeps.
+pub fn corpus_of(bloggers: usize, seed: u64) -> SynthOutput {
+    generate(&SynthConfig { bloggers, mean_posts_per_blogger: 8.0, seed, ..Default::default() })
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, paper_artifact: &str, what: &str) {
+    println!("================================================================");
+    println!("{id}: {paper_artifact}");
+    println!("{what}");
+    println!("================================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_corpus_is_deterministic() {
+        let a = standard_corpus();
+        let b = standard_corpus();
+        assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn corpus_of_respects_size() {
+        assert_eq!(corpus_of(50, 1).dataset.bloggers.len(), 50);
+    }
+}

@@ -1,0 +1,118 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Args {
+    /// First positional token (the subcommand).
+    pub command: Option<String>,
+    /// `--key value` pairs; a trailing valueless flag stores an empty string.
+    pub options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw tokens (without the program name).
+    ///
+    /// Grammar: `[command] (--key [value])*`. A `--key` immediately followed
+    /// by another `--key` (or end of input) is a boolean flag.
+    pub fn parse<I, S>(tokens: I) -> Result<Args, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = tokens.into_iter().map(Into::into).peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                args.command = iter.next();
+            }
+        }
+        while let Some(tok) = iter.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            };
+            if key.is_empty() {
+                return Err("empty flag name".into());
+            }
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                _ => String::new(),
+            };
+            args.options.insert(key.to_string(), value);
+        }
+        Ok(args)
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// Parsed option with a default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None | Some("") => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid value for --{key}: {raw:?}")),
+        }
+    }
+
+    /// Whether a boolean flag is present.
+    #[allow(dead_code)] // exercised in tests; kept for future boolean options
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = Args::parse(["rank", "--k", "5", "--domain", "Sports", "--verbose"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("rank"));
+        assert_eq!(a.get("k"), Some("5"));
+        assert_eq!(a.get("domain"), Some("Sports"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn no_command() {
+        let a = Args::parse(["--x", "1"]).unwrap();
+        assert_eq!(a.command, None);
+        assert_eq!(a.get("x"), Some("1"));
+    }
+
+    #[test]
+    fn get_parse_defaults_and_errors() {
+        let a = Args::parse(["go", "--n", "7", "--bad", "xyz"]).unwrap();
+        assert_eq!(a.get_parse("n", 1usize).unwrap(), 7);
+        assert_eq!(a.get_parse("missing", 3usize).unwrap(), 3);
+        assert!(a.get_parse::<usize>("bad", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let a = Args::parse(["go"]).unwrap();
+        assert!(a.require("in").unwrap_err().contains("--in"));
+    }
+
+    #[test]
+    fn rejects_stray_positional() {
+        assert!(Args::parse(["go", "stray"]).is_err());
+        assert!(Args::parse(["go", "--"]).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a, Args::default());
+    }
+}

@@ -1,0 +1,468 @@
+//! Implementations of the `mass` subcommands.
+
+use crate::args::Args;
+use mass_core::{MassAnalysis, MassParams, Recommender};
+use mass_crawler::{archive_host, crawl, BlogHost, CrawlConfig, HostConfig, SimulatedHost, XmlArchiveHost};
+use mass_eval::{run_user_study, TextTable, UserStudyConfig};
+use mass_synth::{generate as synth_generate, SynthConfig};
+use mass_types::{BloggerId, Dataset, DomainId};
+use mass_text::DiscoveryParams;
+use mass_viz::{apply_layout, LayoutParams, PostReplyNetwork};
+
+type CmdResult = Result<(), String>;
+
+fn load_dataset(args: &Args) -> Result<Dataset, String> {
+    let path = args.require("in")?;
+    mass_xml::dataset_io::load(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn synth_config(args: &Args, default_bloggers: usize, default_ppb: f64) -> Result<SynthConfig, String> {
+    Ok(SynthConfig {
+        bloggers: args.get_parse("bloggers", default_bloggers)?,
+        mean_posts_per_blogger: args.get_parse("posts-per-blogger", default_ppb)?,
+        seed: args.get_parse("seed", 42u64)?,
+        ..Default::default()
+    })
+}
+
+fn mass_params(args: &Args) -> Result<MassParams, String> {
+    let params = MassParams {
+        alpha: args.get_parse("alpha", 0.5)?,
+        beta: args.get_parse("beta", 0.6)?,
+        ..MassParams::paper()
+    };
+    if !(0.0..=1.0).contains(&params.alpha) || !(0.0..=1.0).contains(&params.beta) {
+        return Err("alpha and beta must be in [0, 1]".into());
+    }
+    Ok(params)
+}
+
+fn resolve_domain(ds: &Dataset, name: &str) -> Result<DomainId, String> {
+    ds.domains.id_of_ci(name).ok_or_else(|| {
+        format!("unknown domain {name:?}; available: {}", ds.domains.names().join(", "))
+    })
+}
+
+/// `mass generate` — synthesise a blogosphere and save it.
+pub fn generate(args: &Args) -> CmdResult {
+    let cfg = synth_config(args, 200, 5.0)?;
+    let out_path = args.require("out")?;
+    let out = synth_generate(&cfg);
+    mass_xml::dataset_io::save(&out.dataset, out_path).map_err(|e| e.to_string())?;
+    println!("wrote {out_path}: {}", out.dataset.stats());
+    Ok(())
+}
+
+/// `mass archive` — save a (synthetic) blogosphere as a per-space XML
+/// archive directory, re-crawlable with `crawl --from-archive`.
+pub fn archive(args: &Args) -> CmdResult {
+    let cfg = synth_config(args, 200, 5.0)?;
+    let dir = args.require("dir")?;
+    let host = SimulatedHost::new(synth_generate(&cfg).dataset);
+    let spaces = archive_host(dir, &host).map_err(|e| e.to_string())?;
+    println!("archived {spaces} spaces to {dir}");
+    Ok(())
+}
+
+/// `mass crawl` — crawl a simulated host (or an XML archive directory) and
+/// save the assembled dataset.
+pub fn crawl_cmd(args: &Args) -> CmdResult {
+    let out_path = args.require("out")?;
+    let failure_rate: f64 = args.get_parse("failure-rate", 0.0)?;
+    let host: Box<dyn BlogHost> = match args.get("from-archive").filter(|s| !s.is_empty()) {
+        Some(dir) => Box::new(
+            XmlArchiveHost::open(dir).map_err(|e| format!("opening archive {dir}: {e}"))?,
+        ),
+        None => {
+            let cfg = synth_config(args, 200, 5.0)?;
+            Box::new(SimulatedHost::with_config(
+                synth_generate(&cfg).dataset,
+                HostConfig { failure_rate, ..Default::default() },
+            ))
+        }
+    };
+    let crawl_cfg = CrawlConfig {
+        seeds: match args.get("seed-space") {
+            Some(s) if !s.is_empty() => {
+                vec![s.parse().map_err(|_| format!("invalid --seed-space {s:?}"))?]
+            }
+            _ => Vec::new(),
+        },
+        radius: match args.get("radius") {
+            Some(r) if !r.is_empty() => {
+                Some(r.parse().map_err(|_| format!("invalid --radius {r:?}"))?)
+            }
+            _ => None,
+        },
+        threads: args.get_parse("threads", 4usize)?,
+        ..Default::default()
+    };
+    let result = crawl(host.as_ref(), &crawl_cfg);
+    mass_xml::dataset_io::save(&result.dataset, out_path).map_err(|e| e.to_string())?;
+    let r = &result.report;
+    println!(
+        "crawled {} spaces ({} posts, {} comments) in {:?}; {} retries, {} failed, {} missing",
+        r.spaces_fetched, r.posts, r.comments, r.elapsed, r.retries, r.spaces_failed,
+        r.spaces_missing
+    );
+    println!("wrote {out_path}: {}", result.dataset.stats());
+    Ok(())
+}
+
+/// `mass stats` — print corpus statistics.
+pub fn stats(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    println!("{}", ds.stats());
+    Ok(())
+}
+
+/// `mass rank` — top-k general or domain-specific influencers.
+pub fn rank(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let k: usize = args.get_parse("k", 10)?;
+    let params = mass_params(args)?;
+    let analysis = MassAnalysis::analyze(&ds, &params);
+    if !analysis.scores.converged {
+        eprintln!(
+            "warning: solver did not converge (residual {:.2e} after {} sweeps)",
+            analysis.scores.residual, analysis.scores.iterations
+        );
+    }
+
+    let (title, ranked) = match args.get("domain") {
+        Some(name) if !name.is_empty() => {
+            let d = resolve_domain(&ds, name)?;
+            (format!("top-{k} in {}", ds.domains.name(d)), analysis.top_k_in_domain(d, k))
+        }
+        _ => (format!("top-{k} general"), analysis.top_k_general(k)),
+    };
+
+    println!("{title} (α={}, β={}):", params.alpha, params.beta);
+    let mut table = TextTable::new(["#", "blogger", "score", "posts", "comments recv"]);
+    let ix = ds.index();
+    for (rank, (b, score)) in ranked.iter().enumerate() {
+        table.row([
+            (rank + 1).to_string(),
+            ds.blogger(*b).name.clone(),
+            format!("{score:.4}"),
+            ix.post_count(*b).to_string(),
+            ix.comments_received(*b).to_string(),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+/// `mass recommend` — Scenario 1 (ad text or domain dropdown) and
+/// Scenario 2 (profile).
+pub fn recommend(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let k: usize = args.get_parse("k", 3)?;
+    let analysis = MassAnalysis::analyze(&ds, &mass_params(args)?);
+    let rec = Recommender::new(&analysis);
+
+    let ranked = if let Some(ad) = args.get("ad").filter(|s| !s.is_empty()) {
+        if let Some(mined) = rec.mined_domains(ad, 1.5) {
+            let names: Vec<String> = mined
+                .iter()
+                .map(|(d, w)| format!("{} ({:.0}%)", ds.domains.name(*d), w * 100.0))
+                .collect();
+            println!("domains mined from the advertisement: {}", names.join(", "));
+        }
+        rec.for_advertisement(ad, k)
+            .ok_or("corpus has no domain tags; train a classifier or use --ad-domain")?
+    } else if let Some(list) = args.get("ad-domain").filter(|s| !s.is_empty()) {
+        let domains: Vec<DomainId> = list
+            .split(',')
+            .map(|n| resolve_domain(&ds, n.trim()))
+            .collect::<Result<_, _>>()?;
+        rec.for_domains(&domains, k)
+    } else if let Some(profile) = args.get("profile").filter(|s| !s.is_empty()) {
+        rec.for_profile(profile, k)
+            .ok_or("corpus has no domain tags; cannot mine profile interests")?
+    } else {
+        println!("no --ad/--ad-domain/--profile given; showing the general list");
+        rec.general(k)
+    };
+
+    let mut table = TextTable::new(["#", "blogger", "score"]);
+    for (rank, (b, score)) in ranked.iter().enumerate() {
+        table.row([(rank + 1).to_string(), ds.blogger(*b).name.clone(), format!("{score:.4}")]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+/// `mass network` — export the Fig. 4 post-reply view.
+pub fn network(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let radius: usize = args.get_parse("radius", 2)?;
+    let mut net = match args.get("focus").filter(|s| !s.is_empty()) {
+        Some(who) => {
+            let focus = ds
+                .blogger_by_name(who)
+                .or_else(|| who.parse::<usize>().ok().filter(|&i| i < ds.bloggers.len()).map(BloggerId::new))
+                .ok_or_else(|| format!("no blogger named or numbered {who:?}"))?;
+            PostReplyNetwork::around(&ds, focus, radius)
+        }
+        None => PostReplyNetwork::build(&ds),
+    };
+    let analysis = MassAnalysis::analyze(&ds, &MassParams::paper());
+    net.attach_scores(&analysis.scores.blogger, &analysis.domain_matrix);
+    apply_layout(&mut net, &LayoutParams::default());
+
+    let rendered = match args.get("format").unwrap_or("xml") {
+        "xml" | "" => mass_viz::to_xml_string(&net),
+        "dot" => mass_viz::to_dot(&net),
+        "graphml" => mass_viz::to_graphml(&net),
+        other => return Err(format!("unknown format {other:?} (xml|dot|graphml)")),
+    };
+    match args.get("out").filter(|s| !s.is_empty()) {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {path}: {} nodes, {} edges, {} comments",
+                net.nodes.len(),
+                net.edges.len(),
+                net.total_comments()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `mass search` — expert search: free-text query → influential bloggers
+/// and posts on that subject.
+pub fn search(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let query = args.require("query")?;
+    let k: usize = args.get_parse("k", 5)?;
+    let analysis = MassAnalysis::analyze(&ds, &mass_params(args)?);
+    let engine = mass_core::ExpertSearch::build(&ds, &analysis);
+
+    let bloggers = engine.bloggers(query, k);
+    if bloggers.is_empty() {
+        println!("no blogger matches {query:?}");
+        return Ok(());
+    }
+    println!("top bloggers for {query:?}:");
+    let mut table = TextTable::new(["#", "blogger", "score"]);
+    for (rank, (b, s)) in bloggers.iter().enumerate() {
+        table.row([(rank + 1).to_string(), ds.blogger(*b).name.clone(), format!("{s:.4}")]);
+    }
+    print!("{table}");
+
+    println!("\ntop posts:");
+    let mut table = TextTable::new(["post", "author", "score"]);
+    for (p, s) in engine.posts(query, k) {
+        let post = ds.post(p);
+        table.row([post.title.clone(), ds.blogger(post.author).name.clone(), format!("{s:.4}")]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+/// `mass report` — write a markdown analysis report.
+pub fn report(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let k: usize = args.get_parse("k", 10)?;
+    let analysis = MassAnalysis::analyze(&ds, &mass_params(args)?);
+    let rendered = mass_eval::analysis_report(&ds, &analysis, k);
+    match args.get("out").filter(|s| !s.is_empty()) {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| e.to_string())?;
+            println!("wrote {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// `mass discover` — automatic topic discovery over an XML corpus
+/// (the ref \[6\] alternative to predefined domains), then rank in the
+/// discovered domains.
+pub fn discover(args: &Args) -> CmdResult {
+    let ds = load_dataset(args)?;
+    let topics: usize = args.get_parse("topics", 10)?;
+    let k: usize = args.get_parse("k", 3)?;
+    if topics == 0 {
+        return Err("--topics must be positive".into());
+    }
+
+    let docs: Vec<String> = ds.posts.iter().map(|p| format!("{} {}", p.title, p.text)).collect();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let model = mass_text::discover_topics(&refs, &DiscoveryParams { topics, ..Default::default() });
+    if model.is_empty() {
+        return Err("corpus too small or homogeneous for topic discovery".into());
+    }
+    println!("discovered {} topics:", model.len());
+    let mut table = TextTable::new(["label", "top terms"]);
+    for t in model.topics() {
+        let head: Vec<&str> = t.terms.iter().take(8).map(String::as_str).collect();
+        table.row([t.label.clone(), head.join(", ")]);
+    }
+    print!("{table}");
+
+    let analysis = MassAnalysis::analyze_discovered(&ds, &DiscoveryParams { topics, ..Default::default() }, &mass_params(args)?)
+        .ok_or("discovery produced no usable classifier")?;
+    println!("\ntop-{k} per discovered domain:");
+    let mut table = TextTable::new(["domain", "top bloggers"]);
+    for d in 0..model.len() {
+        let tops = analysis.top_k_in_domain(mass_types::DomainId::new(d), k);
+        table.row([
+            model.topics()[d].label.clone(),
+            tops.iter().map(|(b, _)| ds.blogger(*b).name.clone()).collect::<Vec<_>>().join(", "),
+        ]);
+    }
+    print!("{table}");
+    Ok(())
+}
+
+/// `mass user-study` — the Table I reproduction on a fresh corpus.
+pub fn user_study(args: &Args) -> CmdResult {
+    let cfg = synth_config(args, 3000, 13.3)?;
+    let out = synth_generate(&cfg);
+    println!("corpus: {}", out.dataset.stats());
+    let table = run_user_study(&out.dataset, &out.truth, &UserStudyConfig::default());
+    print!("{table}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mass_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn generate_then_stats_and_rank() {
+        let path = tmp("gen.xml");
+        generate(&args(&["generate", "--bloggers", "40", "--seed", "1", "--out", &path])).unwrap();
+        stats(&args(&["stats", "--in", &path])).unwrap();
+        rank(&args(&["rank", "--in", &path, "--k", "5"])).unwrap();
+        rank(&args(&["rank", "--in", &path, "--k", "3", "--domain", "sports"])).unwrap();
+    }
+
+    #[test]
+    fn rank_rejects_unknown_domain() {
+        let path = tmp("gen2.xml");
+        generate(&args(&["generate", "--bloggers", "20", "--out", &path])).unwrap();
+        let err = rank(&args(&["rank", "--in", &path, "--domain", "Cooking"])).unwrap_err();
+        assert!(err.contains("unknown domain"));
+        assert!(err.contains("Travel"));
+    }
+
+    #[test]
+    fn recommend_all_modes() {
+        let path = tmp("gen3.xml");
+        generate(&args(&["generate", "--bloggers", "60", "--seed", "3", "--out", &path])).unwrap();
+        recommend(&args(&["recommend", "--in", &path, "--ad", "premium football boots for the big match", "--k", "2"])).unwrap();
+        recommend(&args(&["recommend", "--in", &path, "--ad-domain", "Sports,Travel"])).unwrap();
+        recommend(&args(&["recommend", "--in", &path, "--profile", "I love hotels and flights"])).unwrap();
+        recommend(&args(&["recommend", "--in", &path])).unwrap();
+    }
+
+    #[test]
+    fn archive_then_crawl_from_it() {
+        let dir = tmp("archive_dir");
+        archive(&args(&["archive", "--bloggers", "25", "--seed", "8", "--dir", &dir])).unwrap();
+        let out = tmp("from_archive.xml");
+        crawl_cmd(&args(&["crawl", "--from-archive", &dir, "--out", &out])).unwrap();
+        let ds = mass_xml::dataset_io::load(&out).unwrap();
+        assert_eq!(ds.bloggers.len(), 25);
+        let err = crawl_cmd(&args(&["crawl", "--from-archive", "/no/such/dir", "--out", &out]))
+            .unwrap_err();
+        assert!(err.contains("opening archive"));
+    }
+
+    #[test]
+    fn crawl_writes_dataset() {
+        let path = tmp("crawl.xml");
+        crawl_cmd(&args(&[
+            "crawl", "--bloggers", "30", "--seed-space", "0", "--radius", "2", "--out", &path,
+        ]))
+        .unwrap();
+        let ds = mass_xml::dataset_io::load(&path).unwrap();
+        assert!(!ds.bloggers.is_empty());
+    }
+
+    #[test]
+    fn network_export_formats() {
+        let gen_path = tmp("gen4.xml");
+        generate(&args(&["generate", "--bloggers", "25", "--seed", "4", "--out", &gen_path])).unwrap();
+        for fmt in ["xml", "dot", "graphml"] {
+            let out_path = tmp(&format!("net.{fmt}"));
+            network(&args(&[
+                "network", "--in", &gen_path, "--focus", "0", "--radius", "1", "--format", fmt,
+                "--out", &out_path,
+            ]))
+            .unwrap();
+            assert!(std::fs::metadata(&out_path).unwrap().len() > 0);
+        }
+        let err = network(&args(&["network", "--in", &gen_path, "--format", "png"])).unwrap_err();
+        assert!(err.contains("unknown format"));
+        let err =
+            network(&args(&["network", "--in", &gen_path, "--focus", "nobody"])).unwrap_err();
+        assert!(err.contains("no blogger"));
+    }
+
+    #[test]
+    fn search_finds_bloggers() {
+        let corpus = tmp("gen_search.xml");
+        generate(&args(&["generate", "--bloggers", "60", "--seed", "2", "--out", &corpus])).unwrap();
+        search(&args(&["search", "--in", &corpus, "--query", "travel hotel flight", "--k", "3"])).unwrap();
+        search(&args(&["search", "--in", &corpus, "--query", "zzzznomatch"])).unwrap();
+        assert!(search(&args(&["search", "--in", &corpus])).is_err());
+    }
+
+    #[test]
+    fn report_writes_markdown() {
+        let corpus = tmp("gen_report.xml");
+        generate(&args(&["generate", "--bloggers", "40", "--out", &corpus])).unwrap();
+        let out = tmp("report.md");
+        report(&args(&["report", "--in", &corpus, "--k", "4", "--out", &out])).unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains("# MASS analysis report"));
+        report(&args(&["report", "--in", &corpus])).unwrap(); // stdout path
+    }
+
+    #[test]
+    fn discover_finds_topics() {
+        let path = tmp("gen_disc.xml");
+        generate(&args(&["generate", "--bloggers", "120", "--seed", "9", "--out", &path])).unwrap();
+        discover(&args(&["discover", "--in", &path, "--topics", "8", "--k", "2"])).unwrap();
+        let err = discover(&args(&["discover", "--in", &path, "--topics", "0"])).unwrap_err();
+        assert!(err.contains("--topics"));
+    }
+
+    #[test]
+    fn user_study_runs_small() {
+        user_study(&args(&[
+            "user-study", "--bloggers", "80", "--posts-per-blogger", "4", "--seed", "5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_path() {
+        let err = stats(&args(&["stats", "--in", "/no/such/file.xml"])).unwrap_err();
+        assert!(err.contains("/no/such/file.xml"));
+    }
+
+    #[test]
+    fn bad_alpha_rejected() {
+        let path = tmp("gen5.xml");
+        generate(&args(&["generate", "--bloggers", "20", "--out", &path])).unwrap();
+        let err = rank(&args(&["rank", "--in", &path, "--alpha", "7"])).unwrap_err();
+        assert!(err.contains("alpha"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Expert search: free-text query → influential bloggers on that subject.
+//!
+//! The recommendation scenarios map text to *domains* and rank within them;
+//! expert search skips the catalogue entirely — retrieve the posts that
+//! match the query (BM25 over the corpus) and aggregate, weighting each
+//! hit by the post's influence score `Inf(b_i, d_k)`. A blogger ranks high
+//! when they wrote *influential* posts *about the query*, the same
+//! construct Eq. 5 computes for whole domains, at query granularity.
+
+use crate::analysis::MassAnalysis;
+use mass_text::search::{Bm25Params, InvertedIndex};
+use mass_types::{BloggerId, Dataset, PostId};
+
+/// A query-time blogger search over an analysed corpus.
+#[derive(Clone, Debug)]
+pub struct ExpertSearch {
+    index: InvertedIndex,
+    authors: Vec<BloggerId>,
+    post_scores: Vec<f64>,
+    blogger_count: usize,
+    bm25: Bm25Params,
+}
+
+impl ExpertSearch {
+    /// Indexes the corpus (title + body per post) with the analysis'
+    /// influence scores attached.
+    pub fn build(ds: &Dataset, analysis: &MassAnalysis) -> Self {
+        assert_eq!(
+            analysis.scores.post.len(),
+            ds.posts.len(),
+            "analysis must belong to this dataset"
+        );
+        let index = InvertedIndex::build(
+            ds.posts.iter().map(|p| format!("{} {}", p.title, p.text)),
+        );
+        ExpertSearch {
+            index,
+            authors: ds.posts.iter().map(|p| p.author).collect(),
+            post_scores: analysis.scores.post.clone(),
+            blogger_count: ds.bloggers.len(),
+            bm25: Bm25Params::default(),
+        }
+    }
+
+    /// Indexed post count.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The most relevant *posts* for a query, with combined
+    /// `relevance × (ε + influence)` scores.
+    pub fn posts(&self, query: &str, k: usize) -> Vec<(PostId, f64)> {
+        // Over-fetch relevance hits so influential posts slightly further
+        // down the relevance list can surface.
+        let pool = (k.saturating_mul(4)).max(32);
+        let mut hits: Vec<(PostId, f64)> = self
+            .index
+            .search(query, pool, &self.bm25)
+            .into_iter()
+            .map(|(doc, rel)| {
+                (PostId::new(doc), rel * (0.05 + self.post_scores[doc]))
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// The top-k *bloggers* for a query: each blogger accumulates their
+    /// matching posts' combined scores.
+    pub fn bloggers(&self, query: &str, k: usize) -> Vec<(BloggerId, f64)> {
+        let mut totals = vec![0.0f64; self.blogger_count];
+        for (post, score) in self.posts(query, usize::MAX) {
+            totals[self.authors[post.index()].index()] += score;
+        }
+        crate::topk::top_k(&totals, k)
+            .into_iter()
+            .filter(|(_, s)| *s > 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MassParams;
+    use mass_types::{DatasetBuilder, Sentiment};
+
+    /// Two travel bloggers (one influential, one not) and a sports blogger.
+    fn corpus() -> (Dataset, BloggerId, BloggerId, BloggerId) {
+        let mut b = DatasetBuilder::new();
+        let star = b.blogger("travel_star");
+        let small = b.blogger("travel_small");
+        let kicker = b.blogger("kicker");
+        let fans: Vec<BloggerId> = (0..5).map(|i| b.blogger(format!("fan{i}"))).collect();
+
+        let p_star = b.post(
+            star,
+            "hotel guide",
+            "an exhaustive hotel and beach guide for the summer vacation with detailed tips",
+        );
+        for &f in &fans {
+            b.comment(p_star, f, "agree, wonderful guide", Some(Sentiment::Positive));
+            b.friend(f, star);
+        }
+        b.post(small, "my hotel trip", "short hotel note from the beach");
+        b.post(kicker, "derby", "the football match and the league title race");
+        (b.build().unwrap(), star, small, kicker)
+    }
+
+    fn search() -> (Dataset, ExpertSearch, BloggerId, BloggerId, BloggerId) {
+        let (ds, star, small, kicker) = corpus();
+        let analysis = MassAnalysis::analyze(&ds, &MassParams::paper());
+        let es = ExpertSearch::build(&ds, &analysis);
+        (ds, es, star, small, kicker)
+    }
+
+    #[test]
+    fn query_finds_on_topic_bloggers_only() {
+        let (_, es, star, small, kicker) = search();
+        let hits = es.bloggers("hotel beach vacation", 10);
+        let ids: Vec<BloggerId> = hits.iter().map(|(b, _)| *b).collect();
+        assert!(ids.contains(&star));
+        assert!(ids.contains(&small));
+        assert!(!ids.contains(&kicker), "sports blogger matched a travel query");
+    }
+
+    #[test]
+    fn influence_breaks_relevance_ties() {
+        let (_, es, star, small, _) = search();
+        let hits = es.bloggers("hotel", 2);
+        assert_eq!(hits[0].0, star, "the endorsed blogger must outrank the lurker: {hits:?}");
+        assert_eq!(hits[1].0, small);
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn post_granularity_search() {
+        let (ds, es, star, _, _) = search();
+        let posts = es.posts("hotel", 5);
+        assert!(!posts.is_empty());
+        assert_eq!(ds.post(posts[0].0).author, star);
+    }
+
+    #[test]
+    fn unrelated_query_returns_nothing() {
+        let (_, es, _, _, _) = search();
+        assert!(es.bloggers("quantum chromodynamics", 5).is_empty());
+        assert!(es.posts("quantum chromodynamics", 5).is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let (_, es, _, _, _) = search();
+        assert_eq!(es.bloggers("hotel", 1).len(), 1);
+        assert!(es.posts("hotel", 1).len() == 1);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let ds = DatasetBuilder::new().build().unwrap();
+        let analysis = MassAnalysis::analyze(&ds, &MassParams::paper());
+        let es = ExpertSearch::build(&ds, &analysis);
+        assert!(es.is_empty());
+        assert!(es.bloggers("anything", 3).is_empty());
+    }
+
+    #[test]
+    fn works_on_synthetic_corpus() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(50));
+        let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+        let es = ExpertSearch::build(&out.dataset, &analysis);
+        assert_eq!(es.len(), out.dataset.posts.len());
+        let hits = es.bloggers("travel hotel flight", 5);
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! General-Links authority scores — the second facet of Eq. 1.
+//!
+//! "External links to a blog provides another metrics to measure the
+//! influence of the blogger, like PageRank and HITS" (Section I). The GL
+//! vector is computed over the blogger friend/space link graph and
+//! max-normalised to [0, 1] so it combines with AP on a common scale.
+
+use crate::params::{GlProvider, MassParams};
+use mass_graph::{hits, pagerank, DiGraph, HitsParams, PageRankParams};
+use mass_types::Dataset;
+
+/// Builds the blogger-level link graph (friend/space links).
+pub fn blogger_graph(ds: &Dataset) -> DiGraph {
+    let mut g = DiGraph::new(ds.bloggers.len());
+    for (id, blogger) in ds.bloggers_enumerated() {
+        for &friend in &blogger.friends {
+            g.add_edge(id.index(), friend.index());
+        }
+    }
+    g
+}
+
+/// Builds the post-reply graph: one `commenter → author` edge per comment,
+/// so parallel edges carry comment multiplicity (the Fig. 4 edge weights).
+pub fn comment_graph(ds: &Dataset) -> DiGraph {
+    let mut g = DiGraph::new(ds.bloggers.len());
+    for post in &ds.posts {
+        for c in &post.comments {
+            g.add_edge(c.commenter.index(), post.author.index());
+        }
+    }
+    g
+}
+
+/// Builds the post-level citation graph (used by baselines).
+pub fn post_graph(ds: &Dataset) -> DiGraph {
+    let mut g = DiGraph::new(ds.posts.len());
+    for (id, post) in ds.posts_enumerated() {
+        for &target in &post.links_to {
+            g.add_edge(id.index(), target.index());
+        }
+    }
+    g
+}
+
+/// Per-blogger GL scores in [0, 1] (max-normalised; all-zero inputs stay
+/// zero, e.g. with [`GlProvider::None`]).
+pub fn gl_scores(ds: &Dataset, params: &MassParams) -> Vec<f64> {
+    let n = ds.bloggers.len();
+    let mut scores = match params.gl {
+        GlProvider::PageRank => {
+            pagerank(&blogger_graph(ds), &PageRankParams::default()).scores
+        }
+        GlProvider::Hits => hits(&blogger_graph(ds), &HitsParams::default()).authority,
+        GlProvider::InlinkCount => {
+            let g = blogger_graph(ds);
+            (0..n).map(|i| g.in_degree(i) as f64).collect()
+        }
+        GlProvider::CommentGraphPageRank => {
+            pagerank(&comment_graph(ds), &PageRankParams::default()).scores
+        }
+        GlProvider::None => vec![0.0; n],
+    };
+    let max = scores.iter().cloned().fold(0.0f64, f64::max);
+    if max > 0.0 {
+        scores.iter_mut().for_each(|s| *s /= max);
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::DatasetBuilder;
+
+    fn linked_dataset() -> Dataset {
+        // Everyone links to blogger 0; blogger 0 links to 1.
+        let mut b = DatasetBuilder::new();
+        let ids: Vec<_> = (0..5).map(|i| b.blogger(format!("b{i}"))).collect();
+        for &x in &ids[1..] {
+            b.friend(x, ids[0]);
+        }
+        b.friend(ids[0], ids[1]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn graphs_mirror_dataset_links() {
+        let ds = linked_dataset();
+        let g = blogger_graph(&ds);
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.in_degree(0), 4);
+    }
+
+    #[test]
+    fn post_graph_mirrors_post_links() {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("a");
+        let p0 = b.post(a, "t", "x");
+        let p1 = b.post(a, "t", "y");
+        b.link_posts(p1, p0);
+        let ds = b.build().unwrap();
+        let g = post_graph(&ds);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.in_degree(p0.index()), 1);
+    }
+
+    #[test]
+    fn pagerank_gl_peaks_at_hub_and_is_normalised() {
+        let ds = linked_dataset();
+        let gl = gl_scores(&ds, &MassParams::paper());
+        assert_eq!(gl[0], 1.0, "hub must have the max score");
+        for (i, s) in gl.iter().enumerate() {
+            assert!((0.0..=1.0).contains(s), "gl[{i}] = {s}");
+        }
+        assert!(gl[0] > gl[2]);
+    }
+
+    #[test]
+    fn hits_gl_also_peaks_at_hub() {
+        let ds = linked_dataset();
+        let gl = gl_scores(
+            &ds,
+            &MassParams { gl: GlProvider::Hits, ..MassParams::paper() },
+        );
+        assert_eq!(gl[0], 1.0);
+    }
+
+    #[test]
+    fn inlink_gl_counts() {
+        let ds = linked_dataset();
+        let gl = gl_scores(
+            &ds,
+            &MassParams { gl: GlProvider::InlinkCount, ..MassParams::paper() },
+        );
+        assert_eq!(gl[0], 1.0); // 4 inlinks, max
+        assert_eq!(gl[1], 0.25); // 1 inlink
+        assert_eq!(gl[2], 0.0);
+    }
+
+    #[test]
+    fn comment_graph_counts_replies() {
+        let mut b = DatasetBuilder::new();
+        let author = b.blogger("author");
+        let fan = b.blogger("fan");
+        let p = b.post(author, "t", "x");
+        b.comment(p, fan, "one", None);
+        b.comment(p, fan, "two", None);
+        let ds = b.build().unwrap();
+        let g = comment_graph(&ds);
+        assert_eq!(g.edge_count(), 2, "parallel edges carry multiplicity");
+        assert_eq!(g.in_degree(0), 2);
+        let gl = gl_scores(
+            &ds,
+            &MassParams { gl: GlProvider::CommentGraphPageRank, ..MassParams::paper() },
+        );
+        assert_eq!(gl[0], 1.0, "the commented-on author has max reply authority");
+        assert!(gl[1] < 1.0);
+    }
+
+    #[test]
+    fn none_provider_is_all_zero() {
+        let ds = linked_dataset();
+        let gl = gl_scores(&ds, &MassParams { gl: GlProvider::None, ..MassParams::paper() });
+        assert!(gl.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn linkless_corpus_is_uniform_pagerank() {
+        let mut b = DatasetBuilder::new();
+        b.blogger("x");
+        b.blogger("y");
+        let ds = b.build().unwrap();
+        let gl = gl_scores(&ds, &MassParams::paper());
+        assert_eq!(gl, vec![1.0, 1.0], "uniform PageRank normalises to all-ones");
+    }
+}

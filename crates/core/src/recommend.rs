@@ -1,0 +1,168 @@
+//! The recommendation engine — the paper's two application scenarios.
+//!
+//! * **Scenario 1, business advertisement** (Fig. 3): mine the interest
+//!   vector `iv(a_l)` from ad text, score each blogger by
+//!   `Inf(b_i, a_l) = Inf(b_i, IV) · iv(a_l)`, return the top-k. A business
+//!   partner may instead pick explicit domains from a dropdown; both flows
+//!   are implemented. With no domain selected, MASS "can show the top-k
+//!   bloggers with the largest general domain scores".
+//! * **Scenario 2, personalised recommendation**: extract the domain
+//!   interests from a user profile and recommend the top-k influential
+//!   bloggers in those domains.
+
+use crate::analysis::MassAnalysis;
+use crate::topk::top_k;
+use mass_text::interest::dot;
+use mass_text::InterestMiner;
+use mass_types::{BloggerId, DomainId};
+
+/// Recommendation engine over a completed [`MassAnalysis`].
+#[derive(Clone, Debug)]
+pub struct Recommender<'a> {
+    analysis: &'a MassAnalysis,
+    miner: Option<InterestMiner>,
+}
+
+impl<'a> Recommender<'a> {
+    /// Builds a recommender; interest mining uses the analysis' classifier.
+    pub fn new(analysis: &'a MassAnalysis) -> Self {
+        Recommender { analysis, miner: analysis.interest_miner() }
+    }
+
+    /// Scenario 1, option 1: top-k bloggers for a free-text advertisement.
+    ///
+    /// Returns `None` when no domain classifier is available (untagged
+    /// corpus and no external model) — the UI then falls back to the
+    /// dropdown flow.
+    pub fn for_advertisement(&self, ad_text: &str, k: usize) -> Option<Vec<(BloggerId, f64)>> {
+        let miner = self.miner.as_ref()?;
+        let iv = miner.interest_vector(ad_text);
+        let scores: Vec<f64> =
+            self.analysis.domain_matrix.iter().map(|row| dot(&iv, row)).collect();
+        Some(top_k(&scores, k))
+    }
+
+    /// Scenario 1, option 2: top-k bloggers for explicitly chosen domains.
+    /// Multiple domains are combined with equal weight; an empty selection
+    /// returns the general list (per Section IV: "If no domain is select,
+    /// MASS can show the top-k bloggers with the largest general domain
+    /// scores").
+    pub fn for_domains(&self, domains: &[DomainId], k: usize) -> Vec<(BloggerId, f64)> {
+        if domains.is_empty() {
+            return self.general(k);
+        }
+        let scores: Vec<f64> = self
+            .analysis
+            .domain_matrix
+            .iter()
+            .map(|row| domains.iter().map(|d| row[d.index()]).sum::<f64>() / domains.len() as f64)
+            .collect();
+        top_k(&scores, k)
+    }
+
+    /// Scenario 2: top-k bloggers for a new user's profile text.
+    pub fn for_profile(&self, profile: &str, k: usize) -> Option<Vec<(BloggerId, f64)>> {
+        // The mining step is the same classification problem as Scenario 1;
+        // the paper routes both through the domain interest extractor.
+        self.for_advertisement(profile, k)
+    }
+
+    /// The general (domain-agnostic) top-k — the "General" row of Table I.
+    pub fn general(&self, k: usize) -> Vec<(BloggerId, f64)> {
+        self.analysis.top_k_general(k)
+    }
+
+    /// The salient domains the miner extracts from a text (what Fig. 3
+    /// displays as "the domains mined from the advertisement").
+    pub fn mined_domains(&self, text: &str, lift: f64) -> Option<Vec<(DomainId, f64)>> {
+        Some(self.miner.as_ref()?.salient_domains(text, lift))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MassParams;
+    use mass_synth::{advertisement_text, generate, profile_text, SynthConfig};
+
+    fn analysis() -> MassAnalysis {
+        let out = generate(&SynthConfig::default());
+        MassAnalysis::analyze(&out.dataset, &MassParams::paper())
+    }
+
+    #[test]
+    fn ad_recommendation_prefers_ad_domain_specialists() {
+        let a = analysis();
+        let r = Recommender::new(&a);
+        let sports = DomainId::new(6);
+        let ad = advertisement_text(sports, 1);
+        let recommended = r.for_advertisement(&ad, 3).expect("classifier available");
+        assert_eq!(recommended.len(), 3);
+        // The ad-based list should overlap the explicit Sports-domain list
+        // far more than the general list does on average.
+        let domain_list: Vec<BloggerId> =
+            r.for_domains(&[sports], 3).into_iter().map(|(b, _)| b).collect();
+        let overlap = recommended.iter().filter(|(b, _)| domain_list.contains(b)).count();
+        assert!(overlap >= 2, "ad-based and domain-based lists disagree: {overlap}/3");
+    }
+
+    #[test]
+    fn empty_domain_selection_falls_back_to_general() {
+        let a = analysis();
+        let r = Recommender::new(&a);
+        assert_eq!(r.for_domains(&[], 5), r.general(5));
+    }
+
+    #[test]
+    fn multi_domain_selection_averages() {
+        let a = analysis();
+        let r = Recommender::new(&a);
+        let travel = DomainId::new(0);
+        let art = DomainId::new(8);
+        let combined = r.for_domains(&[travel, art], 10);
+        assert_eq!(combined.len(), 10);
+        // Combined scores must equal the mean of the two columns.
+        let (b, s) = combined[0];
+        let expected =
+            (a.domain_matrix[b.index()][0] + a.domain_matrix[b.index()][8]) / 2.0;
+        assert!((s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_recommendation_matches_profile_domain() {
+        let a = analysis();
+        let r = Recommender::new(&a);
+        let medicine = DomainId::new(7);
+        let profile = profile_text(medicine, 2);
+        let recs = r.for_profile(&profile, 3).unwrap();
+        let by_domain: Vec<BloggerId> =
+            r.for_domains(&[medicine], 3).into_iter().map(|(b, _)| b).collect();
+        let overlap = recs.iter().filter(|(b, _)| by_domain.contains(b)).count();
+        assert!(overlap >= 2, "profile recs miss the domain: {overlap}/3");
+    }
+
+    #[test]
+    fn mined_domains_identify_the_ad_domain() {
+        let a = analysis();
+        let r = Recommender::new(&a);
+        let sports = DomainId::new(6);
+        let ad = advertisement_text(sports, 3);
+        let mined = r.mined_domains(&ad, 1.5).unwrap();
+        assert_eq!(mined.first().map(|p| p.0), Some(sports), "mined: {mined:?}");
+    }
+
+    #[test]
+    fn untagged_corpus_returns_none_for_text_flows() {
+        let mut b = mass_types::DatasetBuilder::new();
+        let x = b.blogger("x");
+        b.post(x, "t", "words");
+        let ds = b.build().unwrap();
+        let a = MassAnalysis::analyze(&ds, &MassParams::paper());
+        let r = Recommender::new(&a);
+        assert!(r.for_advertisement("anything", 3).is_none());
+        assert!(r.for_profile("anything", 3).is_none());
+        assert!(r.mined_domains("anything", 1.0).is_none());
+        // Dropdown flow still works.
+        assert_eq!(r.for_domains(&[DomainId::new(0)], 1).len(), 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! The fixed-point influence solver (Eq. 1–4).
+//!
+//! A post's `CommentScore` depends on each commenter's overall influence,
+//! which depends on *their* posts' scores — so blogger influence is the fixed
+//! point of a map, computed here by Jacobi sweeps:
+//!
+//! 1. `CommentScore(d_k) = Σ_j Inf(b_j)·SF(b_i,d_k,b_j) / TC(b_j)`, then
+//!    max-normalise the vector over posts;
+//! 2. `Inf(b_i, d_k) = β·Quality + (1−β)·CommentScore` — in [0, 1];
+//! 3. `AP(b_i) = Σ_k Inf(b_i, d_k)`, max-normalised over bloggers;
+//! 4. `Inf(b_i) = α·AP(b_i) + (1−α)·GL(b_i)` — in [0, 1].
+//!
+//! The paper does not specify units; the per-sweep max-normalisation (step 1
+//! and 3) is our documented choice (DESIGN.md §5): it keeps the iteration a
+//! continuous self-map of `[0,1]^n`, so scores stay interpretable and the
+//! residual decays geometrically in practice. The X3 benchmark plots the
+//! decay; property tests below check monotonicity invariants.
+
+use crate::gl::gl_scores;
+use crate::params::MassParams;
+use crate::quality::raw_quality_scores;
+use mass_text::SentimentLexicon;
+use mass_types::{BloggerId, Dataset, DatasetIndex, PostId};
+
+/// Precomputed, incrementally-maintainable solver inputs.
+///
+/// [`solve`] builds these from scratch; the incremental analyzer
+/// ([`crate::incremental`]) keeps them up to date across small dataset
+/// edits and re-solves warm, which skips the expensive input preparation
+/// (novelty shingling dominates) and most sweeps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverInputs {
+    /// Unnormalised quality per post (length term × novelty).
+    pub raw_quality: Vec<f64>,
+    /// Normalised GL authority per blogger.
+    pub gl: Vec<f64>,
+    /// Per post: `(commenter index, sentiment factor)` per comment.
+    pub factors: Vec<Vec<(usize, f64)>>,
+    /// `TC(b)` normaliser per blogger (all ones when TC normalisation is
+    /// disabled).
+    pub tc: Vec<f64>,
+}
+
+impl SolverInputs {
+    /// Builds all inputs from a dataset.
+    pub fn build(ds: &Dataset, ix: &DatasetIndex, params: &MassParams) -> Self {
+        SolverInputs {
+            raw_quality: raw_quality_scores(ds, params),
+            gl: gl_scores(ds, params),
+            factors: resolve_comment_factors(ds),
+            tc: compute_tc(ds, ix, params),
+        }
+    }
+}
+
+/// The `TC(b)` vector (Eq. 3 normaliser).
+pub(crate) fn compute_tc(ds: &Dataset, ix: &DatasetIndex, params: &MassParams) -> Vec<f64> {
+    let nb = ds.bloggers.len();
+    if params.tc_normalisation {
+        (0..nb)
+            .map(|i| f64::from(ix.total_comments_made(BloggerId::new(i))).max(1.0))
+            .collect()
+    } else {
+        vec![1.0; nb]
+    }
+}
+
+/// Everything the solver computed. All vectors index the dataset's dense id
+/// spaces; all scores live in [0, 1].
+#[derive(Clone, Debug, PartialEq)]
+pub struct InfluenceScores {
+    /// `Inf(b_i)` — overall influence per blogger (Eq. 1).
+    pub blogger: Vec<f64>,
+    /// `Inf(b_i, d_k)` — influence per post (Eq. 2/4).
+    pub post: Vec<f64>,
+    /// `AP(b_i)` after normalisation — the accumulated-post facet.
+    pub ap: Vec<f64>,
+    /// `GL(b_i)` — the authority facet.
+    pub gl: Vec<f64>,
+    /// Quality facet per post (length × novelty, normalised).
+    pub quality: Vec<f64>,
+    /// Comment-score facet per post (normalised).
+    pub comment: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Final L∞ residual of the blogger-influence vector.
+    pub residual: f64,
+    /// Residual after each sweep (the X3 convergence curve).
+    pub residual_history: Vec<f64>,
+    /// Whether the residual dropped below ε within the sweep cap.
+    pub converged: bool,
+}
+
+impl InfluenceScores {
+    /// Influence of one blogger.
+    pub fn of(&self, b: BloggerId) -> f64 {
+        self.blogger[b.index()]
+    }
+
+    /// Influence score of one post.
+    pub fn of_post(&self, p: PostId) -> f64 {
+        self.post[p.index()]
+    }
+}
+
+/// Resolved sentiment factor per comment of each post, plus the commenter.
+///
+/// Tagged comments use their tag; untagged comments are classified by the
+/// lexicon analyzer — the paper's Comment Analyzer flow.
+pub(crate) fn resolve_comment_factors(ds: &Dataset) -> Vec<Vec<(usize, f64)>> {
+    let lexicon = SentimentLexicon::default();
+    ds.posts
+        .iter()
+        .map(|post| {
+            post.comments
+                .iter()
+                .map(|c| {
+                    let sf = match c.sentiment {
+                        Some(s) => s.factor(),
+                        None => lexicon.factor(&c.text),
+                    };
+                    (c.commenter.index(), sf)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs the fixed-point solver over a dataset.
+///
+/// # Panics
+/// Panics if `params` fail validation.
+pub fn solve(ds: &Dataset, ix: &DatasetIndex, params: &MassParams) -> InfluenceScores {
+    let inputs = SolverInputs::build(ds, ix, params);
+    solve_prepared(ds, &inputs, params, None)
+}
+
+/// Runs the solver over prebuilt inputs, optionally warm-starting from a
+/// previous influence vector (entries beyond its length — new bloggers —
+/// start neutral at 0.5).
+///
+/// # Panics
+/// Panics if `params` fail validation or the inputs' dimensions do not
+/// match the dataset.
+pub fn solve_prepared(
+    ds: &Dataset,
+    inputs: &SolverInputs,
+    params: &MassParams,
+    warm_start: Option<&[f64]>,
+) -> InfluenceScores {
+    params.validate();
+    let nb = ds.bloggers.len();
+    let np = ds.posts.len();
+    assert_eq!(inputs.raw_quality.len(), np, "quality input mismatch");
+    assert_eq!(inputs.gl.len(), nb, "gl input mismatch");
+    assert_eq!(inputs.factors.len(), np, "factors input mismatch");
+    assert_eq!(inputs.tc.len(), nb, "tc input mismatch");
+
+    // Normalise quality against the current corpus maximum.
+    let qmax = inputs.raw_quality.iter().cloned().fold(0.0f64, f64::max);
+    let quality: Vec<f64> = if qmax > 0.0 {
+        inputs.raw_quality.iter().map(|q| q / qmax).collect()
+    } else {
+        inputs.raw_quality.clone()
+    };
+    let gl = inputs.gl.clone();
+    let factors = &inputs.factors;
+    let tc = &inputs.tc;
+
+    let (alpha, beta) = (params.alpha, params.beta);
+    let mut inf = vec![0.5f64; nb]; // neutral start
+    if let Some(seed) = warm_start {
+        for (slot, &value) in inf.iter_mut().zip(seed) {
+            *slot = value.clamp(0.0, 1.0);
+        }
+    }
+    let mut post_score = vec![0.0f64; np];
+    let mut comment_norm = vec![0.0f64; np];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+    let mut residual_history = Vec::new();
+    let mut converged = false;
+
+    while iterations < params.max_iterations {
+        iterations += 1;
+
+        // Step 1: raw comment scores, then max-normalise.
+        let mut comment_raw = vec![0.0f64; np];
+        for k in 0..np {
+            let mut cs = 0.0;
+            for &(j, sf) in &factors[k] {
+                cs += inf[j] * sf / tc[j];
+            }
+            comment_raw[k] = cs;
+        }
+        let cmax = comment_raw.iter().cloned().fold(0.0f64, f64::max);
+        if cmax > 0.0 {
+            comment_raw.iter_mut().for_each(|c| *c /= cmax);
+        }
+
+        // Step 2: post influence.
+        for k in 0..np {
+            post_score[k] = beta * quality[k] + (1.0 - beta) * comment_raw[k];
+        }
+
+        // Step 3: accumulated-post influence, max-normalised.
+        let mut ap = vec![0.0f64; nb];
+        for (k, score) in post_score.iter().enumerate() {
+            ap[ds.posts[k].author.index()] += score;
+        }
+        let amax = ap.iter().cloned().fold(0.0f64, f64::max);
+        if amax > 0.0 {
+            ap.iter_mut().for_each(|a| *a /= amax);
+        }
+
+        // Step 4: overall influence + convergence check.
+        let mut new_residual = 0.0f64;
+        for i in 0..nb {
+            let next = alpha * ap[i] + (1.0 - alpha) * gl[i];
+            new_residual = new_residual.max((next - inf[i]).abs());
+            inf[i] = next;
+        }
+        residual = new_residual;
+        residual_history.push(residual);
+        comment_norm = comment_raw;
+
+        if residual < params.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    // Final AP for reporting (from the last post scores).
+    let mut ap = vec![0.0f64; nb];
+    for (k, score) in post_score.iter().enumerate() {
+        ap[ds.posts[k].author.index()] += score;
+    }
+    let amax = ap.iter().cloned().fold(0.0f64, f64::max);
+    if amax > 0.0 {
+        ap.iter_mut().for_each(|a| *a /= amax);
+    }
+
+    InfluenceScores {
+        blogger: inf,
+        post: post_score,
+        ap,
+        gl,
+        quality,
+        comment: comment_norm,
+        iterations,
+        residual,
+        residual_history,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::{DatasetBuilder, Sentiment};
+
+    fn solve_ds(ds: &Dataset, params: &MassParams) -> InfluenceScores {
+        solve(ds, &ds.index(), params)
+    }
+
+    /// Two bloggers; A's post gets a positive comment, B's an identical but
+    /// negative one. A must come out ahead.
+    #[test]
+    fn positive_comments_beat_negative() {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("A");
+        let c = b.blogger("B");
+        let judge = b.blogger("Judge");
+        let pa = b.post(a, "t", "same length content here exactly");
+        let pb = b.post(c, "t", "same length content here exactly");
+        b.comment(pa, judge, "x", Some(Sentiment::Positive));
+        b.comment(pb, judge, "x", Some(Sentiment::Negative));
+        let ds = b.build().unwrap();
+        let s = solve_ds(&ds, &MassParams::paper());
+        assert!(s.converged, "residual {}", s.residual);
+        assert!(s.of(a) > s.of(c), "A {} vs B {}", s.of(a), s.of(c));
+        assert!(s.of_post(pa) > s.of_post(pb));
+    }
+
+    /// An influential commenter transfers more influence than a lurker —
+    /// the citation facet (shingle novelty off so both posts are identical
+    /// in quality).
+    #[test]
+    fn influential_commenter_counts_more() {
+        let mut b = DatasetBuilder::new();
+        let a1 = b.blogger("target1");
+        let a2 = b.blogger("target2");
+        let star = b.blogger("star"); // gets lots of inlinks → high GL
+        let nobody = b.blogger("nobody");
+        for _ in 0..5 {
+            let fan = b.blogger("fan");
+            b.friend(fan, star);
+        }
+        let p1 = b.post(a1, "t", "identical content words");
+        let p2 = b.post(a2, "t", "identical content words");
+        b.comment(p1, star, "x", Some(Sentiment::Neutral));
+        b.comment(p2, nobody, "x", Some(Sentiment::Neutral));
+        let ds = b.build().unwrap();
+        let s = solve_ds(
+            &ds,
+            &MassParams { shingle_novelty: false, ..MassParams::paper() },
+        );
+        assert!(
+            s.of(a1) > s.of(a2),
+            "star-endorsed {} vs lurker-endorsed {}",
+            s.of(a1),
+            s.of(a2)
+        );
+    }
+
+    /// TC normalisation: a commenter spraying comments everywhere transfers
+    /// less per comment than a selective one of equal influence.
+    #[test]
+    fn tc_normalisation_dilutes_spray_commenters() {
+        let mut b = DatasetBuilder::new();
+        let a1 = b.blogger("target1");
+        let a2 = b.blogger("target2");
+        let selective = b.blogger("selective");
+        let spammer = b.blogger("spammer");
+        let p1 = b.post(a1, "t", "identical content words");
+        let p2 = b.post(a2, "t", "identical content words");
+        b.comment(p1, selective, "x", Some(Sentiment::Neutral));
+        b.comment(p2, spammer, "x", Some(Sentiment::Neutral));
+        // The spammer also comments on 8 other posts.
+        let sink = b.blogger("sink");
+        for i in 0..8 {
+            let p = b.post(sink, format!("s{i}"), "sink post words");
+            b.comment(p, spammer, "x", Some(Sentiment::Neutral));
+        }
+        let ds = b.build().unwrap();
+        let s = solve_ds(
+            &ds,
+            &MassParams { shingle_novelty: false, ..MassParams::paper() },
+        );
+        assert!(s.of(a1) > s.of(a2), "selective {} vs spammed {}", s.of(a1), s.of(a2));
+    }
+
+    #[test]
+    fn untagged_comments_resolved_by_lexicon() {
+        let mut b = DatasetBuilder::new();
+        let a1 = b.blogger("A");
+        let a2 = b.blogger("B");
+        let judge = b.blogger("judge");
+        let p1 = b.post(a1, "t", "identical content words");
+        let p2 = b.post(a2, "t", "identical content words");
+        b.comment(p1, judge, "I agree and support this", None);
+        b.comment(p2, judge, "this is wrong and terrible", None);
+        let ds = b.build().unwrap();
+        let s = solve_ds(&ds, &MassParams { shingle_novelty: false, ..MassParams::paper() });
+        assert!(s.of(a1) > s.of(a2));
+    }
+
+    #[test]
+    fn alpha_zero_is_pure_authority() {
+        let mut b = DatasetBuilder::new();
+        let hub = b.blogger("hub");
+        let writer = b.blogger("writer");
+        b.post(writer, "t", "a very long and wordy post about everything imaginable");
+        let fan = b.blogger("fan");
+        b.friend(fan, hub);
+        b.friend(writer, hub);
+        let ds = b.build().unwrap();
+        let s = solve_ds(&ds, &MassParams { alpha: 0.0, ..MassParams::paper() });
+        assert_eq!(s.blogger, s.gl, "alpha 0 must reduce to GL");
+        assert!(s.of(hub) > s.of(writer));
+    }
+
+    #[test]
+    fn alpha_one_ignores_links() {
+        let mut b = DatasetBuilder::new();
+        let hub = b.blogger("hub");
+        let writer = b.blogger("writer");
+        b.post(writer, "t", "a very long and wordy post about everything imaginable");
+        let fan = b.blogger("fan");
+        b.friend(fan, hub);
+        let ds = b.build().unwrap();
+        let s = solve_ds(&ds, &MassParams { alpha: 1.0, ..MassParams::paper() });
+        assert!(s.of(writer) > s.of(hub), "writer must win on AP alone");
+        assert_eq!(s.blogger, s.ap);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = DatasetBuilder::new().build().unwrap();
+        let s = solve_ds(&ds, &MassParams::paper());
+        assert!(s.blogger.is_empty());
+        assert!(s.post.is_empty());
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn commentless_linkless_corpus_ranks_by_quality() {
+        let mut b = DatasetBuilder::new();
+        let short = b.blogger("short");
+        let long = b.blogger("long");
+        b.post(short, "t", "tiny");
+        b.post(long, "t", "word ".repeat(50));
+        let ds = b.build().unwrap();
+        let s = solve_ds(&ds, &MassParams::paper());
+        assert!(s.converged);
+        assert!(s.of(long) > s.of(short));
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(42));
+        let s = solve_ds(&out.dataset, &MassParams::paper());
+        assert!(s.converged);
+        for &x in s.blogger.iter().chain(&s.post).chain(&s.ap).chain(&s.gl) {
+            assert!((0.0..=1.0 + 1e-12).contains(&x), "score out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(1));
+        let s = solve_ds(
+            &out.dataset,
+            &MassParams { epsilon: 1e-300, max_iterations: 3, ..MassParams::paper() },
+        );
+        assert_eq!(s.iterations, 3);
+        assert!(!s.converged);
+    }
+
+    #[test]
+    fn deterministic() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(7));
+        let a = solve_ds(&out.dataset, &MassParams::paper());
+        let b = solve_ds(&out.dataset, &MassParams::paper());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Top-k extraction over score vectors.
+
+use mass_types::BloggerId;
+
+/// The `k` highest-scoring bloggers, best first. Ties break toward the lower
+/// id so results are deterministic. `k` larger than the population returns
+/// everyone.
+pub fn top_k(scores: &[f64], k: usize) -> Vec<(BloggerId, f64)> {
+    let mut ranked: Vec<(BloggerId, f64)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (BloggerId::new(i), s))
+        .collect();
+    // Full sort is fine at blogosphere scale (thousands); a heap-select
+    // would only matter for k ≪ n ≫ 10⁶.
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores are finite")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    ranked.truncate(k);
+    ranked
+}
+
+/// Top-k over one column of a blogger × domain matrix.
+pub fn top_k_in_domain(matrix: &[Vec<f64>], domain: usize, k: usize) -> Vec<(BloggerId, f64)> {
+    let column: Vec<f64> = matrix.iter().map(|row| row[domain]).collect();
+    top_k(&column, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_descending() {
+        let got = top_k(&[0.1, 0.9, 0.5], 3);
+        let ids: Vec<usize> = got.iter().map(|(b, _)| b.index()).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        assert_eq!(got[0].1, 0.9);
+    }
+
+    #[test]
+    fn truncates_to_k() {
+        assert_eq!(top_k(&[0.1, 0.9, 0.5], 2).len(), 2);
+        assert_eq!(top_k(&[0.1], 5).len(), 1);
+        assert!(top_k(&[], 3).is_empty());
+        assert!(top_k(&[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let got = top_k(&[0.5, 0.5, 0.5], 3);
+        let ids: Vec<usize> = got.iter().map(|(b, _)| b.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn agrees_with_full_sort() {
+        let scores: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64 / 100.0).collect();
+        let top = top_k(&scores, 10);
+        let mut full: Vec<f64> = scores.clone();
+        full.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        for (rank, (_, s)) in top.iter().enumerate() {
+            assert_eq!(*s, full[rank]);
+        }
+    }
+
+    #[test]
+    fn domain_column_selection() {
+        let matrix = vec![vec![0.9, 0.1], vec![0.2, 0.8], vec![0.5, 0.5]];
+        let travel = top_k_in_domain(&matrix, 0, 1);
+        assert_eq!(travel[0].0.index(), 0);
+        let sports = top_k_in_domain(&matrix, 1, 2);
+        assert_eq!(sports[0].0.index(), 1);
+        assert_eq!(sports[1].0.index(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Assembling fetched pages into a dense, validated [`Dataset`].
+//!
+//! A partial crawl sees only part of the host: comments may come from
+//! bloggers whose spaces were never fetched, and links may point outside the
+//! crawl. Assembly policy (documented in DESIGN.md §5):
+//!
+//! * commenters outside the crawl become **stub bloggers** (no profile, no
+//!   posts) — they matter for the influence model's `TC` normalisation and
+//!   as comment sources;
+//! * friend links are kept when the target is present (crawled or stub) and
+//!   dropped otherwise;
+//! * post-to-post links are kept only between fetched posts.
+//!
+//! Assembly is deterministic: bloggers are ordered crawled-spaces-first
+//! (ascending space id), then stubs (ascending space id); posts keep the
+//! host's global order.
+
+use crate::host::SpacePage;
+use mass_types::{Blogger, BloggerId, Comment, Dataset, DomainId, DomainSet, Post, PostId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A crawl's dataset plus the mapping back to host space ids.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssembledCrawl {
+    /// The dense, validated dataset.
+    pub dataset: Dataset,
+    /// `space_of[i]` = host space id of blogger `i`.
+    pub space_of: Vec<usize>,
+    /// Bloggers with index `>= stub_start` are stubs (commenters whose
+    /// spaces were not fetched).
+    pub stub_start: usize,
+}
+
+impl AssembledCrawl {
+    /// The dataset-local id of a host space, if present.
+    pub fn blogger_for_space(&self, space: usize) -> Option<BloggerId> {
+        self.space_of.iter().position(|&s| s == space).map(BloggerId::new)
+    }
+
+    /// Whether a blogger is a stub.
+    pub fn is_stub(&self, b: BloggerId) -> bool {
+        b.index() >= self.stub_start
+    }
+}
+
+/// Builds the dataset from fetched pages. Duplicate pages for the same
+/// space id keep the first occurrence.
+pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
+    // Deduplicate and order pages by space id.
+    let mut by_space: BTreeMap<usize, &SpacePage> = BTreeMap::new();
+    for p in pages {
+        by_space.entry(p.space_id).or_insert(p);
+    }
+
+    // Discover stub commenters.
+    let crawled: BTreeSet<usize> = by_space.keys().copied().collect();
+    let mut stubs: BTreeSet<usize> = BTreeSet::new();
+    for page in by_space.values() {
+        for post in &page.posts {
+            for &(commenter, _) in &post.comments {
+                if !crawled.contains(&commenter) {
+                    stubs.insert(commenter);
+                }
+            }
+        }
+    }
+
+    // Blogger id assignment: crawled first, then stubs.
+    let mut space_of: Vec<usize> = crawled.iter().copied().collect();
+    let stub_start = space_of.len();
+    space_of.extend(stubs.iter().copied());
+    let local_of: BTreeMap<usize, usize> =
+        space_of.iter().enumerate().map(|(local, &space)| (space, local)).collect();
+
+    // Post id assignment: host-global order over fetched posts.
+    let mut all_posts: Vec<(&SpacePage, &crate::host::PostView)> = by_space
+        .values()
+        .flat_map(|page| page.posts.iter().map(move |p| (*page, p)))
+        .collect();
+    all_posts.sort_by_key(|(_, p)| p.global_id);
+    let post_local: BTreeMap<usize, usize> =
+        all_posts.iter().enumerate().map(|(local, (_, p))| (p.global_id, local)).collect();
+
+    // Bloggers.
+    let mut bloggers = Vec::with_capacity(space_of.len());
+    for &space in &space_of[..stub_start] {
+        let page = by_space[&space];
+        let mut b = Blogger::with_profile(page.name.clone(), page.profile.clone());
+        b.friends = page
+            .friends
+            .iter()
+            .filter_map(|f| local_of.get(f).map(|&l| BloggerId::new(l)))
+            .collect();
+        bloggers.push(b);
+    }
+    for &space in &space_of[stub_start..] {
+        bloggers.push(Blogger::new(format!("space_{space}")));
+    }
+
+    // Posts.
+    let mut posts = Vec::with_capacity(all_posts.len());
+    for (page, view) in &all_posts {
+        let author = BloggerId::new(local_of[&page.space_id]);
+        let mut post = Post::new(author, view.title.clone(), view.text.clone());
+        post.true_domain = view.domain_hint.map(DomainId::new);
+        post.links_to = view
+            .links_to
+            .iter()
+            .filter_map(|g| post_local.get(g).map(|&l| PostId::new(l)))
+            .filter(|&target| target.index() != posts.len())
+            .collect();
+        post.comments = view
+            .comments
+            .iter()
+            .filter_map(|(commenter, text)| {
+                let local = BloggerId::new(local_of[commenter]);
+                // A host page could claim the author commented on their own
+                // post; the MASS model only counts peer comments.
+                (local != author)
+                    .then(|| Comment { commenter: local, text: text.clone(), sentiment: None })
+            })
+            .collect();
+        posts.push(post);
+    }
+
+    let dataset = Dataset { bloggers, posts, domains: DomainSet::paper() };
+    debug_assert!(dataset.validate().is_ok(), "assembly must produce a consistent dataset");
+    AssembledCrawl { dataset, space_of, stub_start }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::PostView;
+
+    fn page(space: usize, friends: Vec<usize>, posts: Vec<PostView>) -> SpacePage {
+        SpacePage {
+            space_id: space,
+            name: format!("name{space}"),
+            profile: format!("profile{space}"),
+            friends,
+            posts,
+        }
+    }
+
+    fn post(global: usize, links: Vec<usize>, comments: Vec<(usize, &str)>) -> PostView {
+        PostView {
+            global_id: global,
+            title: format!("t{global}"),
+            text: format!("text of post {global}"),
+            links_to: links,
+            comments: comments.into_iter().map(|(c, t)| (c, t.to_string())).collect(),
+            domain_hint: Some(global % 10),
+        }
+    }
+
+    #[test]
+    fn crawled_then_stubs_ordering() {
+        let pages = vec![
+            page(7, vec![2], vec![post(10, vec![], vec![(2, "hi"), (99, "yo")])]),
+            page(2, vec![7, 50], vec![post(5, vec![10], vec![])]),
+        ];
+        let out = assemble_dataset(&pages);
+        assert_eq!(out.space_of, vec![2, 7, 99]);
+        assert_eq!(out.stub_start, 2);
+        assert!(out.is_stub(BloggerId::new(2)));
+        assert!(!out.is_stub(BloggerId::new(0)));
+        assert_eq!(out.dataset.bloggers[2].name, "space_99");
+        // Friend 50 was never seen → dropped; friend 7 kept.
+        assert_eq!(out.dataset.bloggers[0].friends, vec![BloggerId::new(1)]);
+    }
+
+    #[test]
+    fn posts_keep_global_order_and_remap_links() {
+        let pages = vec![
+            page(7, vec![], vec![post(10, vec![5, 77], vec![])]),
+            page(2, vec![], vec![post(5, vec![], vec![])]),
+        ];
+        let out = assemble_dataset(&pages);
+        // Post 5 (space 2) becomes p0; post 10 (space 7) becomes p1.
+        assert_eq!(out.dataset.posts[0].title, "t5");
+        assert_eq!(out.dataset.posts[1].title, "t10");
+        // Link 10→5 kept and remapped; 10→77 dropped (not fetched).
+        assert_eq!(out.dataset.posts[1].links_to, vec![PostId::new(0)]);
+    }
+
+    #[test]
+    fn self_comments_from_host_are_dropped() {
+        let pages = vec![page(1, vec![], vec![post(0, vec![], vec![(1, "me"), (3, "ok")])])];
+        let out = assemble_dataset(&pages);
+        assert_eq!(out.dataset.posts[0].comments.len(), 1);
+        out.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_pages_keep_first() {
+        let mut p1 = page(3, vec![], vec![]);
+        p1.name = "first".into();
+        let mut p2 = page(3, vec![], vec![]);
+        p2.name = "second".into();
+        let out = assemble_dataset(&[p1, p2]);
+        assert_eq!(out.dataset.bloggers.len(), 1);
+        assert_eq!(out.dataset.bloggers[0].name, "first");
+    }
+
+    #[test]
+    fn empty_crawl_is_empty_dataset() {
+        let out = assemble_dataset(&[]);
+        assert!(out.dataset.bloggers.is_empty());
+        assert!(out.dataset.posts.is_empty());
+        assert_eq!(out.stub_start, 0);
+        out.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn domain_hints_become_true_domains() {
+        let out = assemble_dataset(&[page(0, vec![], vec![post(4, vec![], vec![])])]);
+        assert_eq!(out.dataset.posts[0].true_domain, Some(DomainId::new(4)));
+    }
+
+    #[test]
+    fn blogger_for_space_lookup() {
+        let out = assemble_dataset(&[page(9, vec![], vec![])]);
+        assert_eq!(out.blogger_for_space(9), Some(BloggerId::new(0)));
+        assert_eq!(out.blogger_for_space(1), None);
+    }
+}

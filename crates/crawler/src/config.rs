@@ -1,0 +1,81 @@
+//! Crawl configuration.
+
+/// Parameters of one crawl run, mirroring the user-facing options of
+/// Section IV.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrawlConfig {
+    /// Seed spaces the crawl starts from. Empty means "crawl the whole
+    /// host" (the paper's offline full-blogosphere mode).
+    pub seeds: Vec<usize>,
+    /// Maximum link distance from a seed (`None` = unbounded). Friendship
+    /// links define distance, matching "find influential bloggers in
+    /// her/his friend network".
+    pub radius: Option<usize>,
+    /// Worker threads.
+    pub threads: usize,
+    /// Retry attempts per space on transient failures.
+    pub retries: usize,
+    /// Stop after this many spaces (safety valve for unbounded crawls).
+    pub max_spaces: usize,
+    /// Politeness cap: total fetch attempts per second across all workers
+    /// (`None` = unlimited, for in-process hosts).
+    pub max_requests_per_second: Option<f64>,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            seeds: Vec::new(),
+            radius: None,
+            threads: 4,
+            retries: 3,
+            max_spaces: usize::MAX,
+            max_requests_per_second: None,
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// Checks parameter sanity.
+    ///
+    /// # Panics
+    /// Panics on a zero thread count or zero space budget.
+    pub fn validate(&self) {
+        assert!(self.threads > 0, "need at least one crawler thread");
+        assert!(self.max_spaces > 0, "max_spaces must be positive");
+        if let Some(r) = self.max_requests_per_second {
+            assert!(r > 0.0 && r.is_finite(), "request rate must be positive, got {r}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_crawls_everything() {
+        let c = CrawlConfig::default();
+        c.validate();
+        assert!(c.seeds.is_empty());
+        assert_eq!(c.radius, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "request rate")]
+    fn zero_rate_rejected() {
+        CrawlConfig { max_requests_per_second: Some(0.0), ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "thread")]
+    fn zero_threads_rejected() {
+        CrawlConfig { threads: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_spaces")]
+    fn zero_budget_rejected() {
+        CrawlConfig { max_spaces: 0, ..Default::default() }.validate();
+    }
+}

@@ -1,0 +1,354 @@
+//! The multi-threaded crawl engine.
+//!
+//! Breadth-first over the blogosphere: each frontier layer is fetched by a
+//! worker pool (crossbeam scoped threads pulling space ids from a shared
+//! cursor), then the next layer is derived from friend links and commenter
+//! identities. Layered BFS gives exact radius semantics — a space fetched at
+//! layer `d` is exactly `d` hops from the nearest seed — while still keeping
+//! all workers busy within a layer.
+
+use crate::assemble::{assemble_dataset, AssembledCrawl};
+use crate::config::CrawlConfig;
+use crate::host::{BlogHost, FetchError, SpacePage};
+use crate::politeness::RateLimiter;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Statistics of one crawl run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CrawlReport {
+    /// Spaces fetched successfully.
+    pub spaces_fetched: usize,
+    /// Spaces given up on after exhausting retries.
+    pub spaces_failed: usize,
+    /// Spaces that did not exist on the host.
+    pub spaces_missing: usize,
+    /// Retry attempts performed (beyond first tries).
+    pub retries: usize,
+    /// Posts collected.
+    pub posts: usize,
+    /// Comments collected.
+    pub comments: usize,
+    /// Number of BFS layers processed (0 = seeds only).
+    pub depth_reached: usize,
+    /// Spaces first reached at each depth.
+    pub layer_sizes: Vec<usize>,
+    /// Wall-clock duration of the crawl.
+    pub elapsed: Duration,
+}
+
+/// A completed crawl: the assembled dataset, id mappings and statistics.
+#[derive(Clone, Debug)]
+pub struct CrawlResult {
+    /// Dense, validated dataset (see `assemble` for partial-view policy).
+    pub dataset: mass_types::Dataset,
+    /// `space_of[i]` = host space id of dataset blogger `i`.
+    pub space_of: Vec<usize>,
+    /// Index of the first stub blogger.
+    pub stub_start: usize,
+    /// Crawl statistics.
+    pub report: CrawlReport,
+}
+
+/// Crawls `host` according to `cfg` and assembles the result.
+pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> CrawlResult {
+    cfg.validate();
+    let start = Instant::now();
+
+    let seeds: Vec<usize> = if cfg.seeds.is_empty() {
+        (0..host.space_count()).collect()
+    } else {
+        let mut s: Vec<usize> = cfg.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+
+    let mut visited: BTreeSet<usize> = seeds.iter().copied().collect();
+    let mut frontier = seeds;
+    let mut pages: Vec<SpacePage> = Vec::new();
+    let mut report = CrawlReport::default();
+    let mut depth = 0usize;
+    let limiter = cfg.max_requests_per_second.map(|r| RateLimiter::new(r, r.max(1.0)));
+
+    loop {
+        let budget = cfg.max_spaces.saturating_sub(pages.len());
+        if budget == 0 || frontier.is_empty() {
+            break;
+        }
+        frontier.truncate(budget);
+        report.layer_sizes.push(frontier.len());
+
+        let layer = fetch_layer(host, &frontier, cfg, limiter.as_ref(), &mut report);
+        let mut next: BTreeSet<usize> = BTreeSet::new();
+        for page in layer {
+            for &f in &page.friends {
+                next.insert(f);
+            }
+            for post in &page.posts {
+                for &(commenter, _) in &post.comments {
+                    next.insert(commenter);
+                }
+            }
+            pages.push(page);
+        }
+        report.depth_reached = depth;
+
+        if cfg.radius.is_some_and(|r| depth >= r) {
+            break;
+        }
+        depth += 1;
+        frontier = next.into_iter().filter(|s| visited.insert(*s)).collect();
+    }
+
+    report.spaces_fetched = pages.len();
+    report.posts = pages.iter().map(|p| p.posts.len()).sum();
+    report.comments =
+        pages.iter().flat_map(|p| &p.posts).map(|post| post.comments.len()).sum();
+    report.elapsed = start.elapsed();
+
+    let AssembledCrawl { dataset, space_of, stub_start } = assemble_dataset(&pages);
+    CrawlResult { dataset, space_of, stub_start, report }
+}
+
+/// Fetches one frontier layer with a worker pool. Results are returned in
+/// frontier order so the crawl is deterministic regardless of scheduling.
+fn fetch_layer(
+    host: &dyn BlogHost,
+    frontier: &[usize],
+    cfg: &CrawlConfig,
+    limiter: Option<&RateLimiter>,
+    report: &mut CrawlReport,
+) -> Vec<SpacePage> {
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Option<SpacePage>)>> =
+        Mutex::new(Vec::with_capacity(frontier.len()));
+    let retries = AtomicUsize::new(0);
+    let missing = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(0);
+
+    let workers = cfg.threads.min(frontier.len()).max(1);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= frontier.len() {
+                    break;
+                }
+                let space = frontier[idx];
+                let mut outcome = None;
+                for attempt in 0..=cfg.retries {
+                    if let Some(l) = limiter {
+                        l.acquire();
+                    }
+                    match host.fetch_space(space) {
+                        Ok(page) => {
+                            outcome = Some(page);
+                            break;
+                        }
+                        Err(FetchError::NotFound(_)) => {
+                            missing.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        Err(FetchError::Transient(_)) => {
+                            if attempt < cfg.retries {
+                                retries.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                results.lock().push((idx, outcome));
+            });
+        }
+    })
+    .expect("crawler worker panicked");
+
+    report.retries += retries.load(Ordering::Relaxed);
+    report.spaces_missing += missing.load(Ordering::Relaxed);
+    report.spaces_failed += failed.load(Ordering::Relaxed);
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(idx, _)| *idx);
+    collected.into_iter().filter_map(|(_, page)| page).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostConfig, SimulatedHost};
+    use mass_synth::{generate, SynthConfig};
+    use mass_types::DatasetBuilder;
+
+    fn tiny_host() -> SimulatedHost {
+        SimulatedHost::new(generate(&SynthConfig::tiny(2)).dataset)
+    }
+
+    #[test]
+    fn full_crawl_recovers_every_space() {
+        let host = tiny_host();
+        let result = crawl(&host, &CrawlConfig::default());
+        assert_eq!(result.report.spaces_fetched, host.space_count());
+        assert_eq!(result.dataset.bloggers.len(), host.space_count());
+        assert_eq!(result.dataset.posts.len(), host.dataset().posts.len());
+        assert_eq!(result.stub_start, host.space_count());
+        result.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn full_crawl_preserves_content() {
+        let host = tiny_host();
+        let result = crawl(&host, &CrawlConfig::default());
+        // Space ids are dense on the host, so blogger i maps to space i.
+        assert_eq!(result.space_of, (0..host.space_count()).collect::<Vec<_>>());
+        for (orig, got) in host.dataset().bloggers.iter().zip(&result.dataset.bloggers) {
+            assert_eq!(orig.name, got.name);
+            assert_eq!(orig.friends, got.friends);
+        }
+        for (orig, got) in host.dataset().posts.iter().zip(&result.dataset.posts) {
+            assert_eq!(orig.text, got.text);
+            assert_eq!(orig.links_to, got.links_to);
+            assert_eq!(orig.comments.len(), got.comments.len());
+        }
+    }
+
+    #[test]
+    fn radius_zero_fetches_only_seeds() {
+        let host = tiny_host();
+        let result = crawl(
+            &host,
+            &CrawlConfig { seeds: vec![0, 3], radius: Some(0), ..Default::default() },
+        );
+        assert_eq!(result.report.spaces_fetched, 2);
+        assert_eq!(result.report.layer_sizes, vec![2]);
+    }
+
+    #[test]
+    fn radius_grows_coverage_monotonically() {
+        let host = SimulatedHost::new(generate(&SynthConfig::default()).dataset);
+        let mut last = 0;
+        for r in 0..4 {
+            let result = crawl(
+                &host,
+                &CrawlConfig { seeds: vec![0], radius: Some(r), ..Default::default() },
+            );
+            assert!(
+                result.report.spaces_fetched >= last,
+                "radius {r}: {} < {last}",
+                result.report.spaces_fetched
+            );
+            last = result.report.spaces_fetched;
+        }
+        assert!(last > 1, "radius never expanded beyond the seed");
+    }
+
+    #[test]
+    fn max_spaces_caps_the_crawl() {
+        let host = tiny_host();
+        let result = crawl(&host, &CrawlConfig { max_spaces: 5, ..Default::default() });
+        assert_eq!(result.report.spaces_fetched, 5);
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let ds = generate(&SynthConfig::tiny(4)).dataset;
+        let host = SimulatedHost::with_config(
+            ds,
+            HostConfig { failure_rate: 0.4, ..Default::default() },
+        );
+        let result = crawl(&host, &CrawlConfig { retries: 20, ..Default::default() });
+        assert_eq!(result.report.spaces_fetched, host.space_count());
+        assert!(result.report.retries > 0, "expected retries with 40% failure rate");
+        assert_eq!(result.report.spaces_failed, 0);
+    }
+
+    #[test]
+    fn exhausted_retries_are_reported() {
+        let ds = generate(&SynthConfig::tiny(5)).dataset;
+        let host = SimulatedHost::with_config(
+            ds,
+            HostConfig { failure_rate: 0.95, ..Default::default() },
+        );
+        let result = crawl(&host, &CrawlConfig { retries: 0, ..Default::default() });
+        assert!(result.report.spaces_failed > 0);
+        assert!(result.report.spaces_fetched < host.space_count());
+        result.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_seeds_reported_not_fatal() {
+        let host = tiny_host();
+        let result = crawl(
+            &host,
+            &CrawlConfig { seeds: vec![0, 100_000], ..Default::default() },
+        );
+        assert_eq!(result.report.spaces_missing, 1);
+        assert!(result.report.spaces_fetched >= 1);
+    }
+
+    #[test]
+    fn single_thread_equals_many_threads() {
+        let host = tiny_host();
+        let one = crawl(&host, &CrawlConfig { threads: 1, seeds: vec![0], radius: Some(2), ..Default::default() });
+        let many = crawl(&host, &CrawlConfig { threads: 8, seeds: vec![0], radius: Some(2), ..Default::default() });
+        assert_eq!(one.dataset, many.dataset, "crawl must be schedule-independent");
+        assert_eq!(one.space_of, many.space_of);
+    }
+
+    #[test]
+    fn rate_limited_crawl_is_slower_but_identical() {
+        let host = tiny_host();
+        let fast = crawl(&host, &CrawlConfig::default());
+        let start = std::time::Instant::now();
+        let polite = crawl(
+            &host,
+            &CrawlConfig { max_requests_per_second: Some(200.0), ..Default::default() },
+        );
+        // 30 spaces at 200 req/s with a 200-token burst: the cap only bites
+        // once the burst drains, so just assert correctness + wall clock sanity.
+        assert_eq!(fast.dataset, polite.dataset);
+        assert!(start.elapsed() < Duration::from_secs(10));
+        let tight = crawl(
+            &host,
+            &CrawlConfig {
+                max_requests_per_second: Some(1.0),
+                max_spaces: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(tight.report.spaces_fetched, 3);
+    }
+
+    #[test]
+    fn empty_host_crawl() {
+        let host = SimulatedHost::new(DatasetBuilder::new().build().unwrap());
+        let result = crawl(&host, &CrawlConfig::default());
+        assert_eq!(result.report.spaces_fetched, 0);
+        assert!(result.dataset.bloggers.is_empty());
+    }
+
+    #[test]
+    fn stubs_created_for_uncrawled_commenters() {
+        // Radius-0 crawl of a single space: commenters on its posts become stubs.
+        let host = SimulatedHost::new(generate(&SynthConfig::default()).dataset);
+        // Find a space with comments on its posts.
+        let full = host.dataset();
+        let ix = full.index();
+        let busy = full
+            .bloggers_enumerated()
+            .map(|(id, _)| id)
+            .max_by_key(|&b| ix.comments_received(b))
+            .unwrap();
+        let result = crawl(
+            &host,
+            &CrawlConfig { seeds: vec![busy.index()], radius: Some(0), ..Default::default() },
+        );
+        assert_eq!(result.report.spaces_fetched, 1);
+        assert!(result.dataset.bloggers.len() > 1, "commenter stubs expected");
+        assert_eq!(result.stub_start, 1);
+        result.dataset.validate().unwrap();
+    }
+}

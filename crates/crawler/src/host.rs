@@ -1,0 +1,285 @@
+//! The blog-hosting service abstraction and its simulated implementation.
+
+use mass_types::Dataset;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A post as served by the host, with *global* identifiers (the crawler
+/// remaps them into a dense dataset afterwards).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PostView {
+    /// Host-global post id.
+    pub global_id: usize,
+    /// Title.
+    pub title: String,
+    /// Body text.
+    pub text: String,
+    /// Host-global post ids this post links to.
+    pub links_to: Vec<usize>,
+    /// `(commenter space id, comment text)` pairs in arrival order.
+    pub comments: Vec<(usize, String)>,
+    /// Ground-truth domain index if the host exposes one (synthetic corpora
+    /// do; a real host would not).
+    pub domain_hint: Option<usize>,
+}
+
+/// One blogger's space as served by the host.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpacePage {
+    /// Host-global space id.
+    pub space_id: usize,
+    /// Display name.
+    pub name: String,
+    /// Profile text.
+    pub profile: String,
+    /// Space ids this blogger links to (friend list / blogroll).
+    pub friends: Vec<usize>,
+    /// The blogger's posts.
+    pub posts: Vec<PostView>,
+}
+
+/// Fetch failures a crawler must tolerate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FetchError {
+    /// The space id does not exist on this host.
+    NotFound(usize),
+    /// Transient failure (timeout, throttling); retrying may succeed.
+    Transient(usize),
+}
+
+impl std::fmt::Display for FetchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FetchError::NotFound(s) => write!(f, "space {s} not found"),
+            FetchError::Transient(s) => write!(f, "transient fetch failure for space {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
+/// A blog-hosting service the crawler can walk. Implementations must be
+/// thread-safe: the crawler fetches from a worker pool.
+pub trait BlogHost: Send + Sync {
+    /// Fetches one space page.
+    fn fetch_space(&self, space_id: usize) -> Result<SpacePage, FetchError>;
+
+    /// Number of spaces the host serves (used for full-host crawls; a real
+    /// crawler would stream a directory instead).
+    fn space_count(&self) -> usize;
+}
+
+/// Tuning for [`SimulatedHost`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HostConfig {
+    /// Probability that any given fetch attempt fails transiently.
+    /// Failures are deterministic in `(space_id, attempt#)`, so tests and
+    /// retries are reproducible regardless of thread scheduling.
+    pub failure_rate: f64,
+    /// Artificial per-fetch latency (simulates network RTT); keep at zero
+    /// for tests, set a few hundred microseconds for throughput benches.
+    pub latency: Duration,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig { failure_rate: 0.0, latency: Duration::ZERO }
+    }
+}
+
+/// An in-process blog host backed by a [`Dataset`] — the MSN-Spaces
+/// substitute. Exposes exactly the view a per-space scrape would see.
+#[derive(Debug)]
+pub struct SimulatedHost {
+    dataset: Dataset,
+    /// Posts of each space, precomputed (global post ids).
+    posts_by_space: Vec<Vec<usize>>,
+    config: HostConfig,
+    fetch_attempts: AtomicU64,
+    fetch_failures: AtomicU64,
+}
+
+impl SimulatedHost {
+    /// Wraps a dataset with default (fault-free, zero-latency) behaviour.
+    pub fn new(dataset: Dataset) -> Self {
+        Self::with_config(dataset, HostConfig::default())
+    }
+
+    /// Wraps a dataset with explicit latency/failure behaviour.
+    pub fn with_config(dataset: Dataset, config: HostConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.failure_rate),
+            "failure_rate must be in [0,1), got {}",
+            config.failure_rate
+        );
+        let mut posts_by_space = vec![Vec::new(); dataset.bloggers.len()];
+        for (k, post) in dataset.posts.iter().enumerate() {
+            posts_by_space[post.author.index()].push(k);
+        }
+        SimulatedHost {
+            dataset,
+            posts_by_space,
+            config,
+            fetch_attempts: AtomicU64::new(0),
+            fetch_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Total fetch attempts served (including failed ones).
+    pub fn attempts(&self) -> u64 {
+        self.fetch_attempts.load(Ordering::Relaxed)
+    }
+
+    /// Fetches that failed transiently.
+    pub fn failures(&self) -> u64 {
+        self.fetch_failures.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped dataset (e.g. to compare a crawl against the full truth).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    fn should_fail(&self, space_id: usize, attempt: u64) -> bool {
+        if self.config.failure_rate <= 0.0 {
+            return false;
+        }
+        let mut h = DefaultHasher::new();
+        (space_id as u64).hash(&mut h);
+        attempt.hash(&mut h);
+        (h.finish() as f64 / u64::MAX as f64) < self.config.failure_rate
+    }
+}
+
+impl BlogHost for SimulatedHost {
+    fn fetch_space(&self, space_id: usize) -> Result<SpacePage, FetchError> {
+        let attempt = self.fetch_attempts.fetch_add(1, Ordering::Relaxed);
+        if !self.config.latency.is_zero() {
+            std::thread::sleep(self.config.latency);
+        }
+        if space_id >= self.dataset.bloggers.len() {
+            return Err(FetchError::NotFound(space_id));
+        }
+        if self.should_fail(space_id, attempt) {
+            self.fetch_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(FetchError::Transient(space_id));
+        }
+        let blogger = &self.dataset.bloggers[space_id];
+        let posts = self.posts_by_space[space_id]
+            .iter()
+            .map(|&k| {
+                let p = &self.dataset.posts[k];
+                PostView {
+                    global_id: k,
+                    title: p.title.clone(),
+                    text: p.text.clone(),
+                    links_to: p.links_to.iter().map(|l| l.index()).collect(),
+                    comments: p
+                        .comments
+                        .iter()
+                        .map(|c| (c.commenter.index(), c.text.clone()))
+                        .collect(),
+                    domain_hint: p.true_domain.map(|d| d.index()),
+                }
+            })
+            .collect();
+        Ok(SpacePage {
+            space_id,
+            name: blogger.name.clone(),
+            profile: blogger.profile.clone(),
+            friends: blogger.friends.iter().map(|f| f.index()).collect(),
+            posts,
+        })
+    }
+
+    fn space_count(&self) -> usize {
+        self.dataset.bloggers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::{DatasetBuilder, Sentiment};
+
+    fn host() -> SimulatedHost {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger_with_profile("Amery", "cs blogger");
+        let bob = b.blogger("Bob");
+        let p0 = b.post(a, "Post1", "programming skills");
+        let p1 = b.post(bob, "Post3", "more cs");
+        b.comment(p0, bob, "agree", Some(Sentiment::Positive));
+        b.link_posts(p1, p0);
+        b.friend(bob, a);
+        SimulatedHost::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn serves_space_pages() {
+        let h = host();
+        let page = h.fetch_space(0).unwrap();
+        assert_eq!(page.name, "Amery");
+        assert_eq!(page.profile, "cs blogger");
+        assert_eq!(page.posts.len(), 1);
+        assert_eq!(page.posts[0].comments, vec![(1, "agree".to_string())]);
+        assert!(page.friends.is_empty());
+
+        let bob = h.fetch_space(1).unwrap();
+        assert_eq!(bob.friends, vec![0]);
+        assert_eq!(bob.posts[0].links_to, vec![0]);
+        assert_eq!(h.space_count(), 2);
+    }
+
+    #[test]
+    fn unknown_space_is_not_found() {
+        assert_eq!(host().fetch_space(99), Err(FetchError::NotFound(99)));
+    }
+
+    #[test]
+    fn counts_attempts() {
+        let h = host();
+        let _ = h.fetch_space(0);
+        let _ = h.fetch_space(1);
+        let _ = h.fetch_space(99);
+        assert_eq!(h.attempts(), 3);
+        assert_eq!(h.failures(), 0);
+    }
+
+    #[test]
+    fn failure_injection_is_transient_and_counted() {
+        let ds = host().dataset().clone();
+        let h = SimulatedHost::with_config(
+            ds,
+            HostConfig { failure_rate: 0.5, ..Default::default() },
+        );
+        let mut failures = 0;
+        let mut successes = 0;
+        for _ in 0..200 {
+            match h.fetch_space(0) {
+                Ok(_) => successes += 1,
+                Err(FetchError::Transient(0)) => failures += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failures > 30, "failures: {failures}");
+        assert!(successes > 30, "successes: {successes}");
+        assert_eq!(h.failures(), failures);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure_rate")]
+    fn invalid_failure_rate_rejected() {
+        let _ = SimulatedHost::with_config(
+            DatasetBuilder::new().build().unwrap(),
+            HostConfig { failure_rate: 1.0, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(FetchError::NotFound(3).to_string(), "space 3 not found");
+        assert!(FetchError::Transient(1).to_string().contains("transient"));
+    }
+}

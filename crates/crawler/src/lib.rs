@@ -1,0 +1,46 @@
+//! # mass-crawler
+//!
+//! The Crawler Module of MASS (Fig. 2): "uses a multi-thread crawling
+//! technique to efficiently crawl blogosphere and stores the bloggers'
+//! information (including the bloggers' personal information, posts, and
+//! corresponding comments)".
+//!
+//! MSN Spaces — the paper's crawl target — no longer exists, so the crawler
+//! runs against the [`BlogHost`] trait: a page-at-a-time fetch API shaped
+//! like a 2000s blog-hosting service. [`SimulatedHost`] implements it over a
+//! synthetic corpus with configurable latency and transient-failure
+//! injection, which exercises the full production surface of the crawler:
+//! worker pools, frontier management, retry, and partial-view dataset
+//! assembly.
+//!
+//! Section IV features map directly onto [`CrawlConfig`]:
+//! * "specify a seed of the crawling … from which the crawling starts" →
+//!   [`CrawlConfig::seeds`],
+//! * "specify the radius of network where the crawling is performed" →
+//!   [`CrawlConfig::radius`],
+//! * multi-thread crawling → [`CrawlConfig::threads`].
+//!
+//! ```
+//! use mass_crawler::{crawl, CrawlConfig, SimulatedHost};
+//! use mass_synth::{generate, SynthConfig};
+//!
+//! let corpus = generate(&SynthConfig::tiny(1));
+//! let host = SimulatedHost::new(corpus.dataset.clone());
+//! let result = crawl(&host, &CrawlConfig { seeds: vec![0], radius: Some(2), ..Default::default() });
+//! result.dataset.validate().unwrap();
+//! assert!(result.report.spaces_fetched >= 1);
+//! ```
+
+pub mod assemble;
+pub mod config;
+pub mod engine;
+pub mod host;
+pub mod politeness;
+pub mod xml_host;
+
+pub use assemble::assemble_dataset;
+pub use config::CrawlConfig;
+pub use engine::{crawl, CrawlReport, CrawlResult};
+pub use host::{BlogHost, FetchError, HostConfig, SimulatedHost, SpacePage};
+pub use politeness::RateLimiter;
+pub use xml_host::{archive_host, save_archive, XmlArchiveHost};

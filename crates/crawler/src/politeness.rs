@@ -1,0 +1,146 @@
+//! Crawl politeness: a token-bucket rate limiter shared by the workers.
+//!
+//! The paper's crawler hit a production service (MSN Spaces); a crawler
+//! that is "multi-thread … efficient" and survives contact with a real host
+//! needs a global request-rate cap. The limiter is shared across the worker
+//! pool, so total host pressure is bounded regardless of thread count.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// A token bucket: `rate` requests per second with a burst allowance.
+#[derive(Debug)]
+pub struct RateLimiter {
+    state: Mutex<BucketState>,
+    /// Tokens added per second.
+    rate: f64,
+    /// Maximum tokens the bucket holds.
+    burst: f64,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl RateLimiter {
+    /// Creates a limiter allowing `rate` requests/second with a burst of
+    /// `burst` immediate requests.
+    ///
+    /// # Panics
+    /// Panics unless both are positive and finite.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        assert!(burst >= 1.0 && burst.is_finite(), "burst must be at least 1, got {burst}");
+        RateLimiter {
+            state: Mutex::new(BucketState { tokens: burst, last_refill: Instant::now() }),
+            rate,
+            burst,
+        }
+    }
+
+    /// Blocks until a token is available, then consumes it.
+    pub fn acquire(&self) {
+        loop {
+            let wait = {
+                let mut s = self.state.lock();
+                let now = Instant::now();
+                let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+                s.tokens = (s.tokens + elapsed * self.rate).min(self.burst);
+                s.last_refill = now;
+                if s.tokens >= 1.0 {
+                    s.tokens -= 1.0;
+                    return;
+                }
+                // Time until one full token accrues.
+                Duration::from_secs_f64((1.0 - s.tokens) / self.rate)
+            };
+            std::thread::sleep(wait.min(Duration::from_millis(20)));
+        }
+    }
+
+    /// Non-blocking acquire; true when a token was consumed.
+    pub fn try_acquire(&self) -> bool {
+        let mut s = self.state.lock();
+        let now = Instant::now();
+        let elapsed = now.duration_since(s.last_refill).as_secs_f64();
+        s.tokens = (s.tokens + elapsed * self.rate).min(self.burst);
+        s.last_refill = now;
+        if s.tokens >= 1.0 {
+            s.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn burst_is_immediate() {
+        let rl = RateLimiter::new(10.0, 5.0);
+        let start = Instant::now();
+        for _ in 0..5 {
+            rl.acquire();
+        }
+        assert!(start.elapsed() < Duration::from_millis(50), "burst should not block");
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        let rl = RateLimiter::new(100.0, 1.0);
+        let start = Instant::now();
+        for _ in 0..21 {
+            rl.acquire();
+        }
+        // 20 post-burst tokens at 100/s ≈ 200 ms minimum.
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(150), "too fast: {elapsed:?}");
+        assert!(elapsed < Duration::from_secs(2), "too slow: {elapsed:?}");
+    }
+
+    #[test]
+    fn try_acquire_fails_when_drained() {
+        let rl = RateLimiter::new(0.5, 1.0);
+        assert!(rl.try_acquire());
+        assert!(!rl.try_acquire(), "bucket should be empty");
+    }
+
+    #[test]
+    fn shared_across_threads_bounds_total_rate() {
+        let rl = Arc::new(RateLimiter::new(200.0, 1.0));
+        let start = Instant::now();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rl = Arc::clone(&rl);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    rl.acquire();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 40 requests minus burst at 200/s ≈ 195 ms minimum.
+        assert!(start.elapsed() >= Duration::from_millis(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = RateLimiter::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst")]
+    fn zero_burst_rejected() {
+        let _ = RateLimiter::new(1.0, 0.0);
+    }
+}

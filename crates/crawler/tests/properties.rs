@@ -1,0 +1,98 @@
+//! Property-based tests: any crawl configuration over any corpus must
+//! yield a consistent dataset with schedule-independent content.
+
+use mass_crawler::{crawl, BlogHost, CrawlConfig, HostConfig, SimulatedHost};
+use mass_synth::{generate, SynthConfig};
+use proptest::prelude::*;
+
+fn arb_world() -> impl Strategy<Value = SimulatedHost> {
+    (2usize..40, any::<u64>()).prop_map(|(bloggers, seed)| {
+        SimulatedHost::new(
+            generate(&SynthConfig { bloggers, mean_posts_per_blogger: 2.0, seed, ..Default::default() })
+                .dataset,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn crawl_output_is_always_valid(
+        host in arb_world(),
+        seed in 0usize..40,
+        radius in proptest::option::of(0usize..4),
+        threads in 1usize..6,
+        max_spaces in 1usize..50,
+    ) {
+        let cfg = CrawlConfig {
+            seeds: vec![seed % host.space_count()],
+            radius,
+            threads,
+            max_spaces,
+            ..Default::default()
+        };
+        let result = crawl(&host, &cfg);
+        prop_assert!(result.dataset.validate().is_ok());
+        prop_assert!(result.report.spaces_fetched <= max_spaces);
+        prop_assert!(result.report.spaces_fetched >= 1);
+        prop_assert!(result.stub_start <= result.dataset.bloggers.len());
+        // Every crawled space id maps back to a unique dataset blogger.
+        let mut sorted = result.space_of.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), result.space_of.len());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_result(
+        host in arb_world(),
+        seed in 0usize..40,
+        radius in 0usize..3,
+    ) {
+        let cfg = |threads| CrawlConfig {
+            seeds: vec![seed % host.space_count()],
+            radius: Some(radius),
+            threads,
+            ..Default::default()
+        };
+        let one = crawl(&host, &cfg(1));
+        let many = crawl(&host, &cfg(5));
+        prop_assert_eq!(one.dataset, many.dataset);
+        prop_assert_eq!(one.space_of, many.space_of);
+        prop_assert_eq!(one.report.spaces_fetched, many.report.spaces_fetched);
+    }
+
+    #[test]
+    fn full_crawl_is_lossless(host in arb_world()) {
+        let result = crawl(&host, &CrawlConfig::default());
+        prop_assert_eq!(result.report.spaces_fetched, host.space_count());
+        prop_assert_eq!(result.dataset.posts.len(), host.dataset().posts.len());
+        // Full crawls carry no sentiment tags, so compare the rest.
+        for (orig, got) in host.dataset().posts.iter().zip(&result.dataset.posts) {
+            prop_assert_eq!(&orig.text, &got.text);
+            prop_assert_eq!(&orig.links_to, &got.links_to);
+            prop_assert_eq!(orig.author, got.author);
+            prop_assert_eq!(orig.comments.len(), got.comments.len());
+        }
+    }
+
+    #[test]
+    fn failures_only_shrink_coverage(
+        host_seed in any::<u64>(),
+        failure_permille in 0u32..800,
+    ) {
+        let ds = generate(&SynthConfig { bloggers: 20, seed: host_seed, ..SynthConfig::tiny(0) }).dataset;
+        let flaky = SimulatedHost::with_config(
+            ds.clone(),
+            HostConfig { failure_rate: failure_permille as f64 / 1000.0, ..Default::default() },
+        );
+        let result = crawl(&flaky, &CrawlConfig { retries: 2, ..Default::default() });
+        prop_assert!(result.report.spaces_fetched <= flaky.space_count());
+        prop_assert_eq!(
+            result.report.spaces_fetched + result.report.spaces_failed,
+            flaky.space_count()
+        );
+        prop_assert!(result.dataset.validate().is_ok());
+    }
+}

@@ -1,0 +1,25 @@
+//! # mass-eval
+//!
+//! Evaluation harness for MASS.
+//!
+//! The paper's evaluation (Section III) is a 10-judge user study producing
+//! Table I; [`user_study`] reproduces it with the simulated judge panel from
+//! `mass-synth`. Because the synthetic corpus also carries planted ground
+//! truth, this crate adds the mechanistic metrics the paper lacked:
+//!
+//! * [`metrics`] — precision@k, recall@k, NDCG@k, Kendall τ, Spearman ρ,
+//! * [`ranking`] — system-vs-truth evaluation over whole corpora,
+//! * [`table`] — fixed-width text tables used by every bench binary.
+
+pub mod metrics;
+pub mod ranking;
+pub mod report;
+pub mod significance;
+pub mod table;
+pub mod user_study;
+
+pub use ranking::{evaluate_domain_system, evaluate_general_system, RankingQuality};
+pub use report::analysis_report;
+pub use significance::{paired_bootstrap, BootstrapResult};
+pub use table::TextTable;
+pub use user_study::{run_user_study, UserStudyConfig, UserStudyTable};

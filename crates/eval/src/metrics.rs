@@ -1,0 +1,212 @@
+//! Ranking-quality metrics.
+
+use std::collections::HashSet;
+
+/// Precision@k: fraction of the first `k` ranked items that are relevant.
+/// Returns 0 when `k == 0` or the ranking is empty.
+pub fn precision_at_k<T: Eq + std::hash::Hash>(ranked: &[T], relevant: &HashSet<T>, k: usize) -> f64 {
+    let k = k.min(ranked.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked[..k].iter().filter(|x| relevant.contains(x)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@k: fraction of relevant items found in the first `k`. Duplicate
+/// entries in the ranking count once (a ranking with repeats cannot exceed
+/// recall 1).
+pub fn recall_at_k<T: Eq + std::hash::Hash>(ranked: &[T], relevant: &HashSet<T>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let k = k.min(ranked.len());
+    let hits: HashSet<&T> = ranked[..k].iter().filter(|x| relevant.contains(x)).collect();
+    hits.len() as f64 / relevant.len() as f64
+}
+
+/// NDCG@k with graded gains: `gain(i)` is the true relevance of ranked item
+/// `i`; the ideal ordering is the gains sorted descending.
+pub fn ndcg_at_k(gains_in_ranked_order: &[f64], k: usize) -> f64 {
+    let k = k.min(gains_in_ranked_order.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = gains_in_ranked_order[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<f64> = gains_in_ranked_order.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).expect("gains are finite"));
+    let idcg: f64 = ideal[..k].iter().enumerate().map(|(i, g)| g / ((i + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// Kendall rank correlation τ between two score vectors over the same items
+/// (O(n²), fine at blogosphere scale). Returns 0 for fewer than 2 items.
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = (da * db).signum();
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f64;
+    (concordant - discordant) as f64 / pairs
+}
+
+/// Spearman rank correlation ρ between two score vectors (average ranks for
+/// ties). Returns 0 for fewer than 2 items or when either vector is
+/// constant.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "score vectors must align");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(a);
+    let rb = ranks(b);
+    pearson(&ra, &rb)
+}
+
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("finite"));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_basics() {
+        let relevant: HashSet<u32> = [1, 2, 3].into();
+        assert_eq!(precision_at_k(&[1, 9, 2, 8], &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&[1, 2], &relevant, 2), 1.0);
+        assert_eq!(precision_at_k(&[9, 8], &relevant, 2), 0.0);
+        assert_eq!(precision_at_k(&[1], &relevant, 10), 1.0, "k clamps to length");
+        assert_eq!(precision_at_k::<u32>(&[], &relevant, 3), 0.0);
+        assert_eq!(precision_at_k(&[1], &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn recall_basics() {
+        let relevant: HashSet<u32> = [1, 2, 3, 4].into();
+        assert_eq!(recall_at_k(&[1, 2, 9], &relevant, 3), 0.5);
+        assert_eq!(recall_at_k(&[1, 2, 3, 4], &relevant, 4), 1.0);
+        assert_eq!(recall_at_k(&[1], &HashSet::<u32>::new(), 1), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        assert!((ndcg_at_k(&[3.0, 2.0, 1.0], 3) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at_k(&[5.0], 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalises_inversions() {
+        let perfect = ndcg_at_k(&[3.0, 2.0, 1.0], 3);
+        let swapped = ndcg_at_k(&[1.0, 2.0, 3.0], 3);
+        assert!(swapped < perfect);
+        assert!(swapped > 0.0);
+    }
+
+    #[test]
+    fn ndcg_degenerate_cases() {
+        assert_eq!(ndcg_at_k(&[], 3), 0.0);
+        assert_eq!(ndcg_at_k(&[0.0, 0.0], 2), 0.0);
+        assert_eq!(ndcg_at_k(&[1.0], 0), 0.0);
+    }
+
+    #[test]
+    fn kendall_perfect_and_reversed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau(&a, &a), 1.0);
+        assert_eq!(kendall_tau(&a, &rev), -1.0);
+        assert_eq!(kendall_tau(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn kendall_ties_shrink_magnitude() {
+        let a = [1.0, 2.0, 3.0];
+        let tied = [1.0, 1.0, 2.0];
+        let tau = kendall_tau(&a, &tied);
+        assert!(tau > 0.0 && tau < 1.0);
+    }
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 400.0]; // monotone, nonlinear
+        assert!((spearman_rho(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &[4.0, 3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_vector_is_zero() {
+        assert_eq!(spearman_rho(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties_with_average_ranks() {
+        let rho = spearman_rho(&[1.0, 1.0, 2.0], &[1.0, 1.0, 2.0]);
+        assert!((rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = kendall_tau(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Mechanistic ranking evaluation against planted ground truth.
+
+use crate::metrics::{kendall_tau, ndcg_at_k, precision_at_k, spearman_rho};
+use mass_core::top_k;
+use mass_synth::GroundTruth;
+use mass_types::{BloggerId, DomainId};
+use std::collections::HashSet;
+
+/// Quality of one system's ranking against the planted truth.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankingQuality {
+    /// Precision@k against the true top-k set.
+    pub precision: f64,
+    /// NDCG@k with the true scores as gains.
+    pub ndcg: f64,
+    /// Spearman ρ between system scores and true scores (all bloggers).
+    pub spearman: f64,
+    /// Kendall τ between system scores and true scores (all bloggers).
+    pub kendall: f64,
+    /// The `k` used.
+    pub k: usize,
+}
+
+/// Evaluates a general (domain-agnostic) blogger ranking.
+pub fn evaluate_general_system(scores: &[f64], truth: &GroundTruth, k: usize) -> RankingQuality {
+    let true_scores: Vec<f64> = (0..truth.len())
+        .map(|i| truth.true_general_score(BloggerId::new(i)))
+        .collect();
+    evaluate_against(scores, &true_scores, truth.top_k_general(k), k)
+}
+
+/// Evaluates a domain-specific ranking (one column of a domain matrix or
+/// any per-blogger score vector meant for `domain`).
+pub fn evaluate_domain_system(
+    scores: &[f64],
+    truth: &GroundTruth,
+    domain: DomainId,
+    k: usize,
+) -> RankingQuality {
+    let true_scores: Vec<f64> =
+        (0..truth.len()).map(|i| truth.true_score(BloggerId::new(i), domain)).collect();
+    evaluate_against(scores, &true_scores, truth.top_k(domain, k), k)
+}
+
+fn evaluate_against(
+    scores: &[f64],
+    true_scores: &[f64],
+    true_top: Vec<BloggerId>,
+    k: usize,
+) -> RankingQuality {
+    assert_eq!(scores.len(), true_scores.len(), "score vector must cover every blogger");
+    let ranked: Vec<BloggerId> = top_k(scores, scores.len()).into_iter().map(|(b, _)| b).collect();
+    let relevant: HashSet<BloggerId> = true_top.into_iter().collect();
+    let gains: Vec<f64> = ranked.iter().map(|b| true_scores[b.index()]).collect();
+    RankingQuality {
+        precision: precision_at_k(&ranked, &relevant, k),
+        ndcg: ndcg_at_k(&gains, k),
+        spearman: spearman_rho(scores, true_scores),
+        kendall: kendall_tau(scores, true_scores),
+        k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::DomainId;
+
+    fn truth() -> GroundTruth {
+        GroundTruth {
+            authority: vec![0.1, 1.0, 0.5, 0.2],
+            primary_domain: vec![DomainId::new(0); 4],
+            domain_relevance: vec![
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 0.0],
+                vec![0.5, 0.5],
+            ],
+        }
+    }
+
+    #[test]
+    fn perfect_general_ranking_scores_one() {
+        let t = truth();
+        let q = evaluate_general_system(&[0.1, 1.0, 0.5, 0.2], &t, 2);
+        assert_eq!(q.precision, 1.0);
+        assert!((q.ndcg - 1.0).abs() < 1e-12);
+        assert!((q.spearman - 1.0).abs() < 1e-12);
+        assert_eq!(q.kendall, 1.0);
+    }
+
+    #[test]
+    fn reversed_ranking_scores_poorly() {
+        let t = truth();
+        let q = evaluate_general_system(&[1.0, 0.1, 0.2, 0.5], &t, 2);
+        assert!(q.precision < 1.0);
+        assert!(q.spearman < 0.0);
+    }
+
+    #[test]
+    fn domain_evaluation_uses_domain_truth() {
+        let t = truth();
+        // Domain 1 truth: b1 = 1.0, b3 = 0.1, others 0.
+        let good = evaluate_domain_system(&[0.0, 0.9, 0.0, 0.3], &t, DomainId::new(1), 2);
+        assert_eq!(good.precision, 1.0);
+        let bad = evaluate_domain_system(&[0.9, 0.0, 0.8, 0.0], &t, DomainId::new(1), 2);
+        assert!(bad.precision <= 0.5, "{bad:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "every blogger")]
+    fn wrong_length_panics() {
+        let t = truth();
+        let _ = evaluate_general_system(&[1.0], &t, 1);
+    }
+}

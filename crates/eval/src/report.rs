@@ -1,0 +1,107 @@
+//! Markdown analysis reports — the headless stand-in for the demo's result
+//! panels, suitable for checking into a repo or attaching to a ticket.
+
+use crate::table::TextTable;
+use mass_core::MassAnalysis;
+use mass_types::Dataset;
+
+/// Renders a complete markdown report of an analysis: corpus statistics,
+/// solver diagnostics, the general top-k and the top-3 per domain.
+pub fn analysis_report(ds: &Dataset, analysis: &MassAnalysis, k: usize) -> String {
+    let mut out = String::new();
+    let ix = ds.index();
+
+    out.push_str("# MASS analysis report\n\n");
+    out.push_str(&format!("**Corpus**: {}\n\n", ds.stats()));
+    out.push_str(&format!(
+        "**Model**: α = {}, β = {}; solver {} in {} sweeps (residual {:.2e})\n\n",
+        analysis.params.alpha,
+        analysis.params.beta,
+        if analysis.scores.converged { "converged" } else { "DID NOT CONVERGE" },
+        analysis.scores.iterations,
+        analysis.scores.residual,
+    ));
+
+    out.push_str(&format!("## Top-{k} influential bloggers (general)\n\n```\n"));
+    let mut t = TextTable::new(["#", "blogger", "Inf", "AP", "GL", "posts", "comments recv"]);
+    for (rank, (b, score)) in analysis.top_k_general(k).iter().enumerate() {
+        t.row([
+            (rank + 1).to_string(),
+            ds.blogger(*b).name.clone(),
+            format!("{score:.4}"),
+            format!("{:.4}", analysis.scores.ap[b.index()]),
+            format!("{:.4}", analysis.scores.gl[b.index()]),
+            ix.post_count(*b).to_string(),
+            ix.comments_received(*b).to_string(),
+        ]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str("```\n\n");
+
+    out.push_str("## Top-3 per domain\n\n```\n");
+    let mut t = TextTable::new(["domain", "top bloggers (Inf(b, C))"]);
+    for (d, name) in ds.domains.iter() {
+        let tops = analysis.top_k_in_domain(d, 3);
+        let cells: Vec<String> = tops
+            .iter()
+            .map(|(b, s)| format!("{} ({s:.3})", ds.blogger(*b).name))
+            .collect();
+        t.row([name.to_string(), cells.join(", ")]);
+    }
+    out.push_str(&t.to_string());
+    out.push_str("```\n\n");
+
+    // Facet health: how much signal each facet carries on this corpus.
+    let np = ds.posts.len().max(1);
+    let commented = analysis.scores.comment.iter().filter(|&&c| c > 0.0).count();
+    let copies = analysis.scores.quality.iter().filter(|&&q| q < 0.1).count();
+    let gl_active = analysis.scores.gl.iter().filter(|&&g| g > 0.0).count();
+    out.push_str("## Facet coverage\n\n");
+    out.push_str(&format!(
+        "- {commented}/{np} posts carry comment-score signal\n\
+         - {copies}/{np} posts flagged as low-novelty (copies)\n\
+         - {gl_active}/{} bloggers have non-zero link authority\n",
+        ds.bloggers.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_core::MassParams;
+    use mass_synth::{generate, SynthConfig};
+
+    #[test]
+    fn report_contains_all_sections() {
+        let out = generate(&SynthConfig::tiny(40));
+        let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+        let report = analysis_report(&out.dataset, &analysis, 5);
+        assert!(report.starts_with("# MASS analysis report"));
+        for heading in ["## Top-5 influential bloggers", "## Top-3 per domain", "## Facet coverage"] {
+            assert!(report.contains(heading), "missing {heading}");
+        }
+        assert!(report.contains("α = 0.5"));
+        assert!(report.contains("Travel"));
+        assert!(report.contains("blogger_"));
+    }
+
+    #[test]
+    fn unconverged_runs_are_flagged() {
+        let out = generate(&SynthConfig::tiny(41));
+        let params = MassParams { epsilon: 1e-300, max_iterations: 1, ..MassParams::paper() };
+        let analysis = MassAnalysis::analyze(&out.dataset, &params);
+        let report = analysis_report(&out.dataset, &analysis, 3);
+        assert!(report.contains("DID NOT CONVERGE"));
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let out = generate(&SynthConfig::tiny(42));
+        let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+        assert_eq!(
+            analysis_report(&out.dataset, &analysis, 4),
+            analysis_report(&out.dataset, &analysis, 4)
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Fixed-width text tables for benchmark output.
+//!
+//! Every table/figure harness binary prints through this, so EXPERIMENTS.md
+//! excerpts are uniform and diffable.
+
+/// A simple left-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width must match header");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals (the paper's Table I precision).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 1 decimal (Table I itself uses one decimal).
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["System", "Travel", "Art"]);
+        t.row(["General", "3.2", "3.2"]);
+        t.row(["Domain Specific", "4.3", "4.1"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("System"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("Domain Specific"));
+        // Columns align: "Travel" starts at the same offset in all rows.
+        let off = lines[0].find("Travel").unwrap();
+        assert_eq!(&lines[2][off..off + 3], "3.2");
+    }
+
+    #[test]
+    fn tracks_length() {
+        let mut t = TextTable::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        TextTable::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f1(4.25), "4.2");
+        assert_eq!(f1(3.0), "3.0");
+        assert_eq!(f2(0.12345), "0.12");
+    }
+}

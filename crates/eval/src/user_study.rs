@@ -1,0 +1,198 @@
+//! The Table I reproduction: simulated user study over three systems.
+//!
+//! Paper protocol (Section III): for the Travel, Art and Sports domains,
+//! take the top-3 bloggers recommended by (a) the general influential-
+//! blogger list, (b) Microsoft Live Index and (c) MASS's domain-specific
+//! list, have 10 judges score each blogger's applicability to a scenario in
+//! that domain from 1 to 5, and report the average. The judges here are the
+//! simulated panel of `mass-synth` (see DESIGN.md §2 for the substitution
+//! argument).
+
+use crate::table::{f1, TextTable};
+use mass_core::baselines::live_index;
+use mass_core::{top_k, MassAnalysis, MassParams};
+use mass_synth::{GroundTruth, JudgePanel, JudgePanelConfig};
+use mass_types::{BloggerId, Dataset, DomainId};
+
+/// Configuration of a user-study run.
+#[derive(Clone, Debug)]
+pub struct UserStudyConfig {
+    /// How many recommended bloggers each judge scores (paper: 3).
+    pub k: usize,
+    /// The evaluation domains (paper: Travel, Art, Sports).
+    pub domains: Vec<DomainId>,
+    /// Judge panel behaviour.
+    pub panel: JudgePanelConfig,
+    /// MASS model parameters.
+    pub params: MassParams,
+}
+
+impl Default for UserStudyConfig {
+    fn default() -> Self {
+        UserStudyConfig {
+            k: 3,
+            // Travel = 0, Art = 8, Sports = 6 in the paper catalogue.
+            domains: vec![DomainId::new(0), DomainId::new(8), DomainId::new(6)],
+            panel: JudgePanelConfig::default(),
+            params: MassParams::paper(),
+        }
+    }
+}
+
+/// The reproduced Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UserStudyTable {
+    /// Domain names, in column order.
+    pub domains: Vec<String>,
+    /// `(system name, scores per domain)` rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl UserStudyTable {
+    /// Looks up one cell by system and domain name.
+    pub fn cell(&self, system: &str, domain: &str) -> Option<f64> {
+        let col = self.domains.iter().position(|d| d == domain)?;
+        let row = self.rows.iter().find(|(name, _)| name == system)?;
+        row.1.get(col).copied()
+    }
+
+    /// Mean score of a system across all domains.
+    pub fn system_mean(&self, system: &str) -> Option<f64> {
+        let row = self.rows.iter().find(|(name, _)| name == system)?;
+        Some(row.1.iter().sum::<f64>() / row.1.len() as f64)
+    }
+}
+
+impl std::fmt::Display for UserStudyTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut header = vec!["Average Applicable Scores".to_string()];
+        header.extend(self.domains.iter().cloned());
+        let mut t = TextTable::new(header);
+        for (name, scores) in &self.rows {
+            let mut row = vec![name.clone()];
+            row.extend(scores.iter().map(|&s| f1(s)));
+            t.row(row);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs the study and returns the table. System rows match the paper:
+/// "General", "Live Index", "Domain Specific".
+pub fn run_user_study(
+    ds: &Dataset,
+    truth: &GroundTruth,
+    cfg: &UserStudyConfig,
+) -> UserStudyTable {
+    assert!(cfg.k > 0, "need a positive k");
+    let analysis = MassAnalysis::analyze(ds, &cfg.params);
+    let panel = JudgePanel::new(truth, cfg.panel);
+    let ix = ds.index();
+
+    let general: Vec<BloggerId> =
+        analysis.top_k_general(cfg.k).into_iter().map(|(b, _)| b).collect();
+    let live: Vec<BloggerId> =
+        top_k(&live_index(ds, &ix), cfg.k).into_iter().map(|(b, _)| b).collect();
+
+    let mut general_row = Vec::new();
+    let mut live_row = Vec::new();
+    let mut domain_row = Vec::new();
+    let mut names = Vec::new();
+    for &d in &cfg.domains {
+        names.push(ds.domains.name(d).to_string());
+        let specific: Vec<BloggerId> =
+            analysis.top_k_in_domain(d, cfg.k).into_iter().map(|(b, _)| b).collect();
+        general_row.push(panel.score_list(&general, d));
+        live_row.push(panel.score_list(&live, d));
+        domain_row.push(panel.score_list(&specific, d));
+    }
+
+    UserStudyTable {
+        domains: names,
+        rows: vec![
+            ("General".to_string(), general_row),
+            ("Live Index".to_string(), live_row),
+            ("Domain Specific".to_string(), domain_row),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_synth::{generate, SynthConfig};
+
+    fn study() -> UserStudyTable {
+        let out = generate(&SynthConfig::default());
+        run_user_study(&out.dataset, &out.truth, &UserStudyConfig::default())
+    }
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let t = study();
+        assert_eq!(t.domains, vec!["Travel", "Art", "Sports"]);
+        let systems: Vec<&str> = t.rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(systems, vec!["General", "Live Index", "Domain Specific"]);
+        for (_, row) in &t.rows {
+            assert_eq!(row.len(), 3);
+            for &s in row {
+                assert!((1.0..=5.0).contains(&s), "score {s} off the judge scale");
+            }
+        }
+    }
+
+    #[test]
+    fn domain_specific_wins_every_domain() {
+        // The paper's headline: Domain Specific (4.3/4.1/4.6) beats General
+        // (3.2) and Live Index (3.0–3.3) in all three domains.
+        let t = study();
+        let mut strict_wins = 0;
+        for (col, name) in t.domains.iter().enumerate() {
+            let ds_score = t.rows[2].1[col];
+            let gen_score = t.rows[0].1[col];
+            let li_score = t.rows[1].1[col];
+            assert!(
+                ds_score >= gen_score,
+                "{name}: domain-specific {ds_score} < general {gen_score}"
+            );
+            assert!(
+                ds_score >= li_score,
+                "{name}: domain-specific {ds_score} < live index {li_score}"
+            );
+            if ds_score > gen_score && ds_score > li_score {
+                strict_wins += 1;
+            }
+        }
+        // On this small test corpus a single-domain tie is possible (the
+        // lists can overlap); the paper-scale margin is asserted by the
+        // `user_study_reproduces_table1_shape` integration test.
+        assert!(strict_wins >= 2, "domain-specific strictly won only {strict_wins}/3 domains");
+    }
+
+    #[test]
+    fn cell_and_mean_lookups() {
+        let t = study();
+        assert!(t.cell("General", "Travel").is_some());
+        assert!(t.cell("Nope", "Travel").is_none());
+        assert!(t.cell("General", "Nope").is_none());
+        let mean = t.system_mean("Domain Specific").unwrap();
+        assert!((1.0..=5.0).contains(&mean));
+    }
+
+    #[test]
+    fn display_renders_one_decimal() {
+        let t = study();
+        let s = t.to_string();
+        assert!(s.contains("Average Applicable Scores"));
+        assert!(s.contains("Domain Specific"));
+        // One-decimal cells like "4.2".
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = study();
+        let b = study();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the ranking metrics.
+
+use mass_eval::metrics::{kendall_tau, ndcg_at_k, precision_at_k, recall_at_k, spearman_rho};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn precision_and_recall_are_bounded(
+        ranked in proptest::collection::vec(0u32..50, 0..30),
+        relevant in proptest::collection::hash_set(0u32..50, 0..20),
+        k in 0usize..40,
+    ) {
+        let p = precision_at_k(&ranked, &relevant, k);
+        let r = recall_at_k(&ranked, &relevant, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k(
+        ranked in proptest::collection::vec(0u32..50, 0..30),
+        relevant in proptest::collection::hash_set(0u32..50, 1..20),
+    ) {
+        let mut last = 0.0;
+        for k in 0..ranked.len() + 2 {
+            let r = recall_at_k(&ranked, &relevant, k);
+            prop_assert!(r >= last - 1e-12);
+            last = r;
+        }
+    }
+
+    #[test]
+    fn full_precision_when_everything_relevant(
+        ranked in proptest::collection::vec(0u32..20, 1..20),
+        k in 1usize..20,
+    ) {
+        let relevant: HashSet<u32> = (0..20).collect();
+        prop_assert_eq!(precision_at_k(&ranked, &relevant, k), 1.0);
+    }
+
+    #[test]
+    fn ndcg_bounded_and_maximal_for_sorted_gains(
+        gains in proptest::collection::vec(0.0f64..10.0, 1..20),
+        k in 1usize..25,
+    ) {
+        let n = ndcg_at_k(&gains, k);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&n), "ndcg {n}");
+        let mut sorted = gains.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let ideal = ndcg_at_k(&sorted, k);
+        prop_assert!(ideal >= n - 1e-9, "ideal {ideal} < actual {n}");
+        if sorted.iter().any(|&g| g > 0.0) {
+            prop_assert!((ideal - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlations_are_bounded_and_reflexive(
+        a in proptest::collection::vec(-100.0f64..100.0, 2..25),
+    ) {
+        let tau = kendall_tau(&a, &a);
+        let rho = spearman_rho(&a, &a);
+        prop_assert!(tau >= 0.0, "self-tau {tau}"); // ties may shrink below 1
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&tau));
+        prop_assert!((-1.0..=1.0 + 1e-9).contains(&rho));
+        // With no ties, self-correlation is exactly 1.
+        let mut dedup = a.clone();
+        dedup.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        dedup.dedup();
+        if dedup.len() == a.len() {
+            prop_assert_eq!(tau, 1.0);
+            prop_assert!((rho - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlations_are_antisymmetric_under_negation(
+        a in proptest::collection::vec(-100.0f64..100.0, 2..25),
+        b in proptest::collection::vec(-100.0f64..100.0, 2..25),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let neg_b: Vec<f64> = b.iter().map(|x| -x).collect();
+        let tau = kendall_tau(a, b);
+        let tau_neg = kendall_tau(a, &neg_b);
+        prop_assert!((tau + tau_neg).abs() < 1e-9, "tau {tau} vs {tau_neg}");
+        let rho = spearman_rho(a, b);
+        let rho_neg = spearman_rho(a, &neg_b);
+        prop_assert!((rho + rho_neg).abs() < 1e-9, "rho {rho} vs {rho_neg}");
+    }
+
+    #[test]
+    fn correlations_are_symmetric(
+        pair in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..25),
+    ) {
+        let a: Vec<f64> = pair.iter().map(|(x, _)| *x).collect();
+        let b: Vec<f64> = pair.iter().map(|(_, y)| *y).collect();
+        prop_assert!((kendall_tau(&a, &b) - kendall_tau(&b, &a)).abs() < 1e-12);
+        prop_assert!((spearman_rho(&a, &b) - spearman_rho(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(
+        a in proptest::collection::vec(0.001f64..100.0, 2..20),
+        b in proptest::collection::vec(0.001f64..100.0, 2..20),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let rho = spearman_rho(a, b);
+        let squared: Vec<f64> = b.iter().map(|x| x * x).collect(); // strictly monotone on (0,∞)
+        let rho_sq = spearman_rho(a, &squared);
+        prop_assert!((rho - rho_sq).abs() < 1e-9, "{rho} vs {rho_sq}");
+    }
+}

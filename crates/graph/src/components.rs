@@ -1,0 +1,175 @@
+//! Connected-component analysis.
+//!
+//! The evaluation harness reports the component structure of generated and
+//! crawled blogospheres (a crawl from a seed should cover the seed's weak
+//! component up to the radius), and Tarjan SCCs let tests confirm that the
+//! synthetic link graph has the expected giant component.
+
+use crate::digraph::DiGraph;
+
+/// Labels each node with a weakly-connected-component id (0-based, in order
+/// of first discovery). Returns `(labels, component_count)`.
+pub fn weakly_connected_components(g: &DiGraph) -> (Vec<usize>, usize) {
+    let n = g.len();
+    let mut label = vec![usize::MAX; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = count;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for v in g.successors(u).chain(g.predecessors(u)) {
+                if label[v] == usize::MAX {
+                    label[v] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (label, count)
+}
+
+/// Tarjan's strongly-connected components, iterative to avoid stack overflow
+/// on deep synthetic graphs. Returns `(labels, component_count)`; labels are
+/// assigned in reverse topological order of the condensation.
+pub fn strongly_connected_components(g: &DiGraph) -> (Vec<usize>, usize) {
+    let n = g.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0;
+    let mut comp_count = 0;
+
+    // Explicit DFS machine: (node, iterator position over successors).
+    let succ: Vec<Vec<usize>> = (0..n).map(|u| g.successors(u).collect()).collect();
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        call_stack.push((root, 0));
+        while let Some(&mut (u, ref mut pos)) = call_stack.last_mut() {
+            if *pos == 0 {
+                index[u] = next_index;
+                lowlink[u] = next_index;
+                next_index += 1;
+                stack.push(u);
+                on_stack[u] = true;
+            }
+            if *pos < succ[u].len() {
+                let v = succ[u][*pos];
+                *pos += 1;
+                if index[v] == usize::MAX {
+                    call_stack.push((v, 0));
+                } else if on_stack[v] {
+                    lowlink[u] = lowlink[u].min(index[v]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[u]);
+                }
+                if lowlink[u] == index[u] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = comp_count;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// Size of the largest weakly-connected component; 0 for empty graphs.
+pub fn giant_component_size(g: &DiGraph) -> usize {
+    let (labels, count) = weakly_connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for l in labels {
+        sizes[l] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let (labels, count) = weakly_connected_components(&DiGraph::new(0));
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+        assert_eq!(giant_component_size(&DiGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_each_a_component() {
+        let (_, count) = weakly_connected_components(&DiGraph::new(4));
+        assert_eq!(count, 4);
+        let (_, scc) = strongly_connected_components(&DiGraph::new(4));
+        assert_eq!(scc, 4);
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        let g = DiGraph::from_edges(5, [(0, 1), (2, 1), (3, 4)]);
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(giant_component_size(&g), 3);
+    }
+
+    #[test]
+    fn scc_finds_cycle() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let (labels, count) = strongly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn scc_on_dag_is_all_singletons() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (1, 3)]);
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn scc_two_cycles_bridged() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let (labels, count) = strongly_connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[5]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 50k-node path exercises the iterative Tarjan implementation.
+        let n = 50_000;
+        let g = DiGraph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)));
+        let (_, count) = strongly_connected_components(&g);
+        assert_eq!(count, n);
+        assert_eq!(giant_component_size(&g), n);
+    }
+}

@@ -1,0 +1,219 @@
+//! A compact directed graph over dense node indices.
+
+/// Directed graph stored as forward and reverse adjacency lists.
+///
+/// Nodes are `0..n`; parallel edges are allowed (the post-reply network
+/// weights edges by comment multiplicity) and self-loops are permitted at
+/// this layer — dataset-level policy against them lives in `mass-types`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiGraph {
+    out_edges: Vec<Vec<u32>>,
+    in_edges: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph { out_edges: vec![Vec::new(); n], in_edges: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Builds a graph from an edge list.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Adds the directed edge `u → v`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        self.out_edges[u].push(v as u32);
+        self.in_edges[v].push(u as u32);
+        self.edge_count += 1;
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.out_edges.is_empty()
+    }
+
+    /// Number of edges (counting parallels).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Successors of `u` (with multiplicity).
+    #[inline]
+    pub fn successors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.out_edges[u].iter().map(|&v| v as usize)
+    }
+
+    /// Predecessors of `v` (with multiplicity).
+    #[inline]
+    pub fn predecessors(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.in_edges[v].iter().map(|&u| u as usize)
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.out_edges[u].len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.in_edges[v].len()
+    }
+
+    /// Iterates all edges as `(u, v)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.out_edges
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (u, v as usize)))
+    }
+
+    /// The transpose graph (every edge reversed).
+    pub fn transpose(&self) -> DiGraph {
+        DiGraph {
+            out_edges: self.in_edges.clone(),
+            in_edges: self.out_edges.clone(),
+            edge_count: self.edge_count,
+        }
+    }
+
+    /// Degree statistics across all nodes.
+    pub fn degree_stats(&self) -> DegreeStats {
+        let n = self.len();
+        if n == 0 {
+            return DegreeStats::default();
+        }
+        let mut max_in = 0;
+        let mut max_out = 0;
+        let mut dangling = 0;
+        for u in 0..n {
+            max_in = max_in.max(self.in_degree(u));
+            max_out = max_out.max(self.out_degree(u));
+            if self.out_degree(u) == 0 {
+                dangling += 1;
+            }
+        }
+        DegreeStats {
+            nodes: n,
+            edges: self.edge_count,
+            mean_degree: self.edge_count as f64 / n as f64,
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+            dangling_nodes: dangling,
+        }
+    }
+}
+
+/// Summary degree statistics, used by crawl reports and EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegreeStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count (with multiplicity).
+    pub edges: usize,
+    /// Mean out-degree (= edges / nodes).
+    pub mean_degree: f64,
+    /// Largest in-degree.
+    pub max_in_degree: usize,
+    /// Largest out-degree.
+    pub max_out_degree: usize,
+    /// Nodes with no outgoing edges (PageRank "dangling" nodes).
+    pub dangling_nodes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let g = DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 0)]);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.successors(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.predecessors(2).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn parallel_edges_counted() {
+        let g = DiGraph::from_edges(2, [(0, 1), (0, 1)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    fn edges_iterator_lists_all() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn transpose_reverses() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let t = g.transpose();
+        assert_eq!(t.successors(1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(t.successors(2).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(t.edge_count(), 2);
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 2);
+    }
+
+    #[test]
+    fn degree_stats_on_empty_graph() {
+        assert_eq!(DiGraph::new(0).degree_stats(), DegreeStats::default());
+    }
+
+    #[test]
+    fn degree_stats_counts_dangling() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2)]);
+        let s = g.degree_stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.dangling_nodes, 2); // nodes 1 and 2
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 1);
+        assert!((s.mean_degree - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_allowed_at_graph_layer() {
+        let g = DiGraph::from_edges(1, [(0, 0)]);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_degree(0), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! HITS — Kleinberg's hubs-and-authorities (ref \[4\] of the paper).
+//!
+//! The paper cites HITS alongside PageRank as a way to measure the authority
+//! facet; `mass-core` exposes it as an alternative GL provider and the
+//! evaluation harness compares both.
+
+use crate::digraph::DiGraph;
+
+/// Tuning knobs for [`hits`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HitsParams {
+    /// Stop when the L1 change of the authority vector drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for HitsParams {
+    fn default() -> Self {
+        HitsParams { tolerance: 1e-10, max_iterations: 200 }
+    }
+}
+
+/// Output of [`hits`]: parallel hub and authority vectors, each normalised
+/// to sum to 1 (L1) for non-empty graphs with at least one edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HitsScores {
+    /// Authority score per node (how much good hubs point at it).
+    pub authority: Vec<f64>,
+    /// Hub score per node (how much it points at good authorities).
+    pub hub: Vec<f64>,
+    /// Sweeps performed.
+    pub iterations: usize,
+    /// Whether convergence was reached within the cap.
+    pub converged: bool,
+}
+
+/// Runs the HITS mutual-reinforcement iteration.
+///
+/// `auth(v) = Σ_{u→v} hub(u)`, `hub(u) = Σ_{u→v} auth(v)`, with L1
+/// normalisation after each half-step. Graphs with no edges yield uniform
+/// vectors (degenerate but well-defined).
+pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
+    let n = g.len();
+    if n == 0 {
+        return HitsScores { authority: vec![], hub: vec![], iterations: 0, converged: true };
+    }
+    let uniform = 1.0 / n as f64;
+    if g.edge_count() == 0 {
+        return HitsScores {
+            authority: vec![uniform; n],
+            hub: vec![uniform; n],
+            iterations: 0,
+            converged: true,
+        };
+    }
+    let mut auth = vec![uniform; n];
+    let mut hub = vec![uniform; n];
+    let mut iterations = 0;
+
+    while iterations < params.max_iterations {
+        iterations += 1;
+        let mut new_auth = vec![0.0f64; n];
+        for (u, &h) in hub.iter().enumerate() {
+            for v in g.successors(u) {
+                new_auth[v] += h;
+            }
+        }
+        normalize_l1(&mut new_auth, uniform);
+
+        let mut new_hub = vec![0.0f64; n];
+        for (u, slot) in new_hub.iter_mut().enumerate() {
+            *slot = g.successors(u).map(|v| new_auth[v]).sum();
+        }
+        normalize_l1(&mut new_hub, uniform);
+
+        let residual: f64 =
+            auth.iter().zip(&new_auth).map(|(a, b)| (a - b).abs()).sum::<f64>()
+                + hub.iter().zip(&new_hub).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        auth = new_auth;
+        hub = new_hub;
+        if residual < params.tolerance {
+            return HitsScores { authority: auth, hub, iterations, converged: true };
+        }
+    }
+    HitsScores { authority: auth, hub, iterations, converged: false }
+}
+
+fn normalize_l1(v: &mut [f64], fallback: f64) {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        v.iter_mut().for_each(|x| *x /= sum);
+    } else {
+        v.iter_mut().for_each(|x| *x = fallback);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let s = hits(&DiGraph::new(0), &HitsParams::default());
+        assert!(s.authority.is_empty());
+        assert!(s.converged);
+    }
+
+    #[test]
+    fn edgeless_graph_is_uniform() {
+        let s = hits(&DiGraph::new(4), &HitsParams::default());
+        for a in &s.authority {
+            assert!((a - 0.25).abs() < 1e-12);
+        }
+        assert_eq!(s.iterations, 0);
+    }
+
+    #[test]
+    fn star_center_is_authority_leaves_are_hubs() {
+        // 1,2,3 all point at 0.
+        let g = DiGraph::from_edges(4, [(1, 0), (2, 0), (3, 0)]);
+        let s = hits(&g, &HitsParams::default());
+        assert!(s.converged);
+        assert!(s.authority[0] > 0.99);
+        for leaf in 1..4 {
+            assert!((s.hub[leaf] - 1.0 / 3.0).abs() < 1e-6);
+            assert!(s.authority[leaf] < 1e-6);
+        }
+        assert!(s.hub[0] < 1e-6);
+    }
+
+    #[test]
+    fn scores_are_l1_normalised() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let s = hits(&g, &HitsParams::default());
+        assert!((s.authority.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((s.hub.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bipartite_hub_authority_split() {
+        // Hubs {0,1} each point to authorities {2,3}.
+        let g = DiGraph::from_edges(4, [(0, 2), (0, 3), (1, 2), (1, 3)]);
+        let s = hits(&g, &HitsParams::default());
+        assert!(s.authority[2] > 0.49 && s.authority[3] > 0.49);
+        assert!(s.hub[0] > 0.49 && s.hub[1] > 0.49);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let s = hits(&g, &HitsParams { tolerance: 0.0, max_iterations: 3 });
+        assert_eq!(s.iterations, 3);
+        assert!(!s.converged);
+    }
+}

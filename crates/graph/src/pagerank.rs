@@ -1,0 +1,174 @@
+//! PageRank (Page et al., ref \[3\] of the paper) — the General-Links facet.
+
+use crate::digraph::DiGraph;
+
+/// Tuning knobs for [`pagerank`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PageRankParams {
+    /// Damping factor `d`; the classic 0.85.
+    pub damping: f64,
+    /// Stop when the L1 change between sweeps drops below this.
+    pub tolerance: f64,
+    /// Hard iteration cap (protects against pathological graphs).
+    pub max_iterations: usize,
+}
+
+impl Default for PageRankParams {
+    fn default() -> Self {
+        PageRankParams { damping: 0.85, tolerance: 1e-10, max_iterations: 200 }
+    }
+}
+
+/// Output of [`pagerank`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PageRankResult {
+    /// Stationary probability per node; sums to 1 for non-empty graphs.
+    pub scores: Vec<f64>,
+    /// Sweeps actually performed.
+    pub iterations: usize,
+    /// Final L1 residual.
+    pub residual: f64,
+    /// Whether the residual dropped below tolerance within the cap.
+    pub converged: bool,
+}
+
+/// Computes PageRank with uniform teleport and dangling-mass redistribution.
+///
+/// Dangling nodes (no out-links) donate their rank uniformly to all nodes,
+/// the standard fix that keeps the iteration stochastic. Parallel edges count
+/// with multiplicity: a blogger who links twice to the same space passes
+/// twice the share, matching how the crawler records repeated links.
+pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
+    let n = g.len();
+    if n == 0 {
+        return PageRankResult { scores: Vec::new(), iterations: 0, residual: 0.0, converged: true };
+    }
+    assert!(
+        params.damping >= 0.0 && params.damping < 1.0,
+        "damping must be in [0, 1), got {}",
+        params.damping
+    );
+    let d = params.damping;
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let mut iterations = 0;
+    let mut residual = f64::INFINITY;
+
+    while iterations < params.max_iterations {
+        iterations += 1;
+        // Mass from dangling nodes is spread uniformly.
+        let dangling_mass: f64 =
+            (0..n).filter(|&u| g.out_degree(u) == 0).map(|u| rank[u]).sum();
+        let base = (1.0 - d) * uniform + d * dangling_mass * uniform;
+        next.iter_mut().for_each(|x| *x = base);
+        for (u, &r) in rank.iter().enumerate() {
+            let deg = g.out_degree(u);
+            if deg == 0 {
+                continue;
+            }
+            let share = d * r / deg as f64;
+            for v in g.successors(u) {
+                next[v] += share;
+            }
+        }
+        residual = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        std::mem::swap(&mut rank, &mut next);
+        if residual < params.tolerance {
+            return PageRankResult { scores: rank, iterations, residual, converged: true };
+        }
+    }
+    PageRankResult { scores: rank, iterations, residual, converged: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sums_to_one(scores: &[f64]) {
+        let s: f64 = scores.iter().sum();
+        assert!((s - 1.0).abs() < 1e-8, "scores sum to {s}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = pagerank(&DiGraph::new(0), &PageRankParams::default());
+        assert!(r.scores.is_empty());
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn single_node_gets_all_mass() {
+        let r = pagerank(&DiGraph::new(1), &PageRankParams::default());
+        assert_eq!(r.scores, vec![1.0]);
+    }
+
+    #[test]
+    fn symmetric_cycle_is_uniform() {
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = pagerank(&g, &PageRankParams::default());
+        assert!(r.converged);
+        assert_sums_to_one(&r.scores);
+        for s in &r.scores {
+            assert!((s - 0.25).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn hub_attracts_rank() {
+        // Everyone links to node 0; node 0 links back to node 1 only.
+        let g = DiGraph::from_edges(4, [(1, 0), (2, 0), (3, 0), (0, 1)]);
+        let r = pagerank(&g, &PageRankParams::default());
+        assert_sums_to_one(&r.scores);
+        assert!(r.scores[0] > r.scores[2]);
+        assert!(r.scores[0] > r.scores[3]);
+        // Node 1 receives node 0's entire damped rank, so it also beats 2 and 3.
+        assert!(r.scores[1] > r.scores[2]);
+    }
+
+    #[test]
+    fn dangling_nodes_keep_total_mass() {
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 2)]); // 1 and 2 dangle
+        let r = pagerank(&g, &PageRankParams::default());
+        assert!(r.converged);
+        assert_sums_to_one(&r.scores);
+        assert!(r.scores[1] > r.scores[0]);
+    }
+
+    #[test]
+    fn zero_damping_is_uniform() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let r = pagerank(&g, &PageRankParams { damping: 0.0, ..Default::default() });
+        for s in &r.scores {
+            assert!((s - 1.0 / 3.0).abs() < 1e-9);
+        }
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn parallel_edges_double_share() {
+        // 0 links twice to 1 and once to 2: 1 should get twice 2's share from 0.
+        let g = DiGraph::from_edges(3, [(0, 1), (0, 1), (0, 2), (1, 0), (2, 0)]);
+        let r = pagerank(&g, &PageRankParams::default());
+        assert!(r.scores[1] > r.scores[2]);
+        assert_sums_to_one(&r.scores);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let g = DiGraph::from_edges(2, [(0, 1), (1, 0)]);
+        let r = pagerank(
+            &g,
+            &PageRankParams { tolerance: 0.0, max_iterations: 5, ..Default::default() },
+        );
+        assert_eq!(r.iterations, 5);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn damping_of_one_rejected() {
+        let g = DiGraph::new(2);
+        let _ = pagerank(&g, &PageRankParams { damping: 1.0, ..Default::default() });
+    }
+}

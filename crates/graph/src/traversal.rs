@@ -1,0 +1,125 @@
+//! Breadth-first traversal with a radius cap.
+//!
+//! Section IV of the paper: the user "can also specify the radius of network
+//! where the crawling is performed", so MASS can mine a friend neighbourhood
+//! instead of the whole blogosphere. The crawler and the Fig. 4 network
+//! extractor both use this primitive.
+
+use crate::digraph::DiGraph;
+use std::collections::VecDeque;
+
+/// One BFS frontier: the nodes first reached at a given depth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BfsLayer {
+    /// Distance from the seed (the seed itself is depth 0).
+    pub depth: usize,
+    /// Nodes discovered at this depth, in visit order.
+    pub nodes: Vec<usize>,
+}
+
+/// BFS from `seed` following out-edges, stopping at `radius` hops.
+///
+/// Returns one [`BfsLayer`] per depth `0..=radius` that contains at least one
+/// node. Nodes unreachable within the radius are absent. Parallel edges do
+/// not cause duplicate visits.
+///
+/// # Panics
+/// Panics if `seed` is out of range.
+pub fn bfs_within_radius(g: &DiGraph, seed: usize, radius: usize) -> Vec<BfsLayer> {
+    assert!(seed < g.len(), "seed {seed} out of range for graph of {} nodes", g.len());
+    let mut visited = vec![false; g.len()];
+    visited[seed] = true;
+    let mut layers = vec![BfsLayer { depth: 0, nodes: vec![seed] }];
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    queue.push_back((seed, 0));
+
+    while let Some((u, depth)) = queue.pop_front() {
+        if depth == radius {
+            continue;
+        }
+        for v in g.successors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                if layers.len() <= depth + 1 {
+                    layers.push(BfsLayer { depth: depth + 1, nodes: Vec::new() });
+                }
+                layers[depth + 1].nodes.push(v);
+                queue.push_back((v, depth + 1));
+            }
+        }
+    }
+    layers
+}
+
+/// Convenience: the set of nodes within `radius` hops of `seed`, flattened.
+pub fn ball(g: &DiGraph, seed: usize, radius: usize) -> Vec<usize> {
+    bfs_within_radius(g, seed, radius).into_iter().flat_map(|l| l.nodes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> DiGraph {
+        DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn radius_zero_is_just_seed() {
+        let layers = bfs_within_radius(&path5(), 2, 0);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].nodes, vec![2]);
+    }
+
+    #[test]
+    fn layers_follow_distance() {
+        let layers = bfs_within_radius(&path5(), 0, 3);
+        assert_eq!(layers.len(), 4);
+        for (d, layer) in layers.iter().enumerate() {
+            assert_eq!(layer.depth, d);
+            assert_eq!(layer.nodes, vec![d]);
+        }
+    }
+
+    #[test]
+    fn radius_larger_than_graph_is_fine() {
+        let all = ball(&path5(), 0, 100);
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unreachable_nodes_excluded() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let all = ball(&g, 0, 10);
+        assert_eq!(all, vec![0, 1]);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let g = DiGraph::from_edges(3, [(1, 0), (2, 1)]);
+        // From node 0, no out-edges at all.
+        assert_eq!(ball(&g, 0, 5), vec![0]);
+        // From node 2, the chain unwinds.
+        assert_eq!(ball(&g, 2, 5), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn cycles_do_not_loop() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let layers = bfs_within_radius(&g, 0, 10);
+        assert_eq!(layers.iter().map(|l| l.nodes.len()).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn parallel_edges_visit_once() {
+        let g = DiGraph::from_edges(2, [(0, 1), (0, 1), (0, 1)]);
+        let layers = bfs_within_radius(&g, 0, 1);
+        assert_eq!(layers[1].nodes, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_seed_panics() {
+        let _ = bfs_within_radius(&DiGraph::new(1), 3, 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the link-analysis substrate.
+
+use mass_graph::{
+    ball, bfs_within_radius, giant_component_size, hits, pagerank,
+    strongly_connected_components, weakly_connected_components, DiGraph, HitsParams,
+    PageRankParams,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (1usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..120)
+            .prop_map(move |edges| DiGraph::from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn pagerank_is_a_distribution(g in arb_graph()) {
+        let r = pagerank(&g, &PageRankParams::default());
+        prop_assert!(r.converged, "residual {}", r.residual);
+        let sum: f64 = r.scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        for &s in &r.scores {
+            prop_assert!(s > 0.0, "teleport guarantees positive rank, got {s}");
+            prop_assert!(s <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_is_deterministic(g in arb_graph()) {
+        let a = pagerank(&g, &PageRankParams::default());
+        let b = pagerank(&g, &PageRankParams::default());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adding_an_inlink_never_lowers_rank(g in arb_graph(), src in 0usize..40, dst in 0usize..40) {
+        let n = g.len();
+        let (src, dst) = (src % n, dst % n);
+        prop_assume!(src != dst);
+        let before = pagerank(&g, &PageRankParams::default()).scores[dst];
+        let mut g2 = g.clone();
+        g2.add_edge(src, dst);
+        let after = pagerank(&g2, &PageRankParams::default()).scores[dst];
+        // The new citation must not hurt dst (allow fp slack).
+        prop_assert!(after >= before - 1e-9, "before {before} after {after}");
+    }
+
+    #[test]
+    fn hits_vectors_are_distributions(g in arb_graph()) {
+        let s = hits(&g, &HitsParams::default());
+        let asum: f64 = s.authority.iter().sum();
+        let hsum: f64 = s.hub.iter().sum();
+        prop_assert!((asum - 1.0).abs() < 1e-6);
+        prop_assert!((hsum - 1.0).abs() < 1e-6);
+        for &x in s.authority.iter().chain(&s.hub) {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(g in arb_graph()) {
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn transpose_swaps_degrees(g in arb_graph()) {
+        let t = g.transpose();
+        for u in 0..g.len() {
+            prop_assert_eq!(g.in_degree(u), t.out_degree(u));
+            prop_assert_eq!(g.out_degree(u), t.in_degree(u));
+        }
+    }
+
+    #[test]
+    fn scc_refines_wcc(g in arb_graph()) {
+        let (wcc, _) = weakly_connected_components(&g);
+        let (scc, _) = strongly_connected_components(&g);
+        // Two nodes in the same SCC must share a WCC.
+        for i in 0..g.len() {
+            for j in 0..g.len() {
+                if scc[i] == scc[j] {
+                    prop_assert_eq!(wcc[i], wcc[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn giant_component_bounds(g in arb_graph()) {
+        let size = giant_component_size(&g);
+        prop_assert!(size >= 1);
+        prop_assert!(size <= g.len());
+    }
+
+    #[test]
+    fn bfs_layers_partition_the_ball(g in arb_graph(), seed in 0usize..40, radius in 0usize..6) {
+        let seed = seed % g.len();
+        let layers = bfs_within_radius(&g, seed, radius);
+        prop_assert_eq!(layers[0].nodes.as_slice(), &[seed]);
+        let mut seen = std::collections::HashSet::new();
+        for (d, layer) in layers.iter().enumerate() {
+            prop_assert_eq!(layer.depth, d);
+            prop_assert!(d <= radius);
+            for &n in &layer.nodes {
+                prop_assert!(seen.insert(n), "node {n} appears in two layers");
+            }
+        }
+        prop_assert_eq!(seen.len(), ball(&g, seed, radius).len());
+    }
+
+    #[test]
+    fn bfs_ball_grows_with_radius(g in arb_graph(), seed in 0usize..40) {
+        let seed = seed % g.len();
+        let mut last = 0;
+        for r in 0..5 {
+            let size = ball(&g, seed, r).len();
+            prop_assert!(size >= last);
+            last = size;
+        }
+    }
+
+    #[test]
+    fn degree_stats_consistent(g in arb_graph()) {
+        let s = g.degree_stats();
+        prop_assert_eq!(s.nodes, g.len());
+        prop_assert_eq!(s.edges, g.edge_count());
+        let manual_dangling = (0..g.len()).filter(|&u| g.out_degree(u) == 0).count();
+        prop_assert_eq!(s.dangling_nodes, manual_dangling);
+    }
+}

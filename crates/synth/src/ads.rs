@@ -1,0 +1,98 @@
+//! Advertisement and profile text generators (Scenario 1 and 2 inputs).
+//!
+//! Fig. 3 of the paper shows a business partner either pasting an
+//! advertisement text or picking a domain from a dropdown. These helpers
+//! produce realistic advertisement copy for a target domain (for the first
+//! option) and user-profile blurbs (for Scenario 2), built from the same
+//! domain vocabularies the post generator uses — so the interest miner must
+//! genuinely classify them, not string-match.
+
+use crate::vocab::DOMAIN_VOCAB;
+use mass_types::DomainId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ad-copy skeletons; `{w…}` slots are filled with domain words.
+const AD_TEMPLATES: &[&str] = &[
+    "Introducing our new {w0} line: perfect for {w1} and {w2} lovers. Visit our {w3} store today",
+    "Limited offer on premium {w0} gear, designed for serious {w1} fans with {w2} quality",
+    "Your one stop shop for {w0}: {w1}, {w2} and {w3} at unbeatable prices",
+    "Experience the future of {w0} with our award winning {w1} and {w2} products",
+];
+
+/// Profile skeletons for Scenario 2.
+const PROFILE_TEMPLATES: &[&str] = &[
+    "Hi, I am passionate about {w0} and {w1}; on weekends I enjoy {w2}",
+    "Long time {w0} enthusiast, especially {w1} and {w2}",
+    "My blog covers {w0} topics like {w1}, sometimes {w2} too",
+];
+
+/// Generates advertisement text targeted at `domain` (e.g. a Nike-style ad
+/// for *Sports*). Deterministic in `seed`.
+pub fn advertisement_text(domain: DomainId, seed: u64) -> String {
+    fill(AD_TEMPLATES, domain, seed)
+}
+
+/// Generates a new user's profile blurb interested in `domain`.
+pub fn profile_text(domain: DomainId, seed: u64) -> String {
+    fill(PROFILE_TEMPLATES, domain, seed)
+}
+
+fn fill(templates: &[&str], domain: DomainId, seed: u64) -> String {
+    let vocab = DOMAIN_VOCAB[domain.index()];
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(domain.index() as u64 * 7919));
+    let mut out = templates[rng.random_range(0..templates.len())].to_string();
+    for needle in (0..4).map(|slot| format!("{{w{slot}}}")) {
+        if out.contains(&needle) {
+            let word = vocab[rng.random_range(0..vocab.len())];
+            out = out.replace(&needle, word);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::PAPER_DOMAINS;
+
+    #[test]
+    fn ads_contain_domain_vocabulary() {
+        for (d, vocab) in DOMAIN_VOCAB.iter().enumerate().take(PAPER_DOMAINS.len()) {
+            let ad = advertisement_text(DomainId::new(d), 1);
+            let hits = vocab.iter().filter(|w| ad.contains(*w)).count();
+            assert!(hits >= 2, "domain {d} ad lacks vocabulary: {ad}");
+        }
+    }
+
+    #[test]
+    fn no_unfilled_slots() {
+        for seed in 0..20 {
+            let ad = advertisement_text(DomainId::new(6), seed);
+            assert!(!ad.contains("{w"), "unfilled slot in: {ad}");
+            let p = profile_text(DomainId::new(0), seed);
+            assert!(!p.contains("{w"), "unfilled slot in: {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = advertisement_text(DomainId::new(6), 5);
+        let b = advertisement_text(DomainId::new(6), 5);
+        assert_eq!(a, b);
+        let mut differs = false;
+        for s in 0..10 {
+            if advertisement_text(DomainId::new(6), s) != a {
+                differs = true;
+            }
+        }
+        assert!(differs, "ads never vary with seed");
+    }
+
+    #[test]
+    fn profiles_mention_domain() {
+        let p = profile_text(DomainId::new(7), 3);
+        let hits = DOMAIN_VOCAB[7].iter().filter(|w| p.contains(*w)).count();
+        assert!(hits >= 2, "{p}");
+    }
+}

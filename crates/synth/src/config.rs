@@ -1,0 +1,133 @@
+//! Generator configuration.
+
+/// Parameters of the synthetic blogosphere.
+///
+/// The defaults are sized for unit tests; [`SynthConfig::paper_scale`]
+/// matches the corpus the paper crawled (≈3 000 bloggers, ≈40 000 posts).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SynthConfig {
+    /// Number of bloggers.
+    pub bloggers: usize,
+    /// Mean posts per blogger (actual counts follow authority, so the
+    /// distribution is heavy-tailed around this mean).
+    pub mean_posts_per_blogger: f64,
+    /// Zipf exponent for the blogger-authority distribution; higher means
+    /// fewer, stronger influencers.
+    pub authority_exponent: f64,
+    /// Mean comments on a top-authority blogger's post; low-authority posts
+    /// receive proportionally fewer.
+    pub mean_comments_top: f64,
+    /// Mean friend links per blogger (targets drawn by authority).
+    pub mean_friends: f64,
+    /// Mean outgoing post-to-post links per post.
+    pub mean_post_links: f64,
+    /// Probability a post is a reproduced copy (exercises novelty).
+    pub copy_rate: f64,
+    /// Probability the generator pre-tags a comment's sentiment; untagged
+    /// comments exercise the lexicon analyzer.
+    pub tag_sentiment_prob: f64,
+    /// Base length (words) of a post; actual length scales with authority.
+    pub base_post_words: usize,
+    /// Fraction of a post's words drawn from its domain vocabulary (the
+    /// rest is general filler) — the classifier's signal-to-noise knob.
+    pub domain_word_fraction: f64,
+    /// How strongly comment positivity follows author authority (0 = no
+    /// correlation, 1 = top authors get only positive comments).
+    pub sentiment_authority_corr: f64,
+    /// RNG seed; equal configs generate identical corpora.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            bloggers: 200,
+            mean_posts_per_blogger: 5.0,
+            authority_exponent: 1.1,
+            mean_comments_top: 30.0,
+            mean_friends: 4.0,
+            mean_post_links: 1.0,
+            copy_rate: 0.08,
+            tag_sentiment_prob: 0.5,
+            base_post_words: 60,
+            domain_word_fraction: 0.55,
+            sentiment_authority_corr: 0.6,
+            seed: 42,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// The paper's corpus scale: ~3 000 bloggers, ~40 000 posts
+    /// (`3000 × 13.3`).
+    pub fn paper_scale(seed: u64) -> Self {
+        SynthConfig {
+            bloggers: 3000,
+            mean_posts_per_blogger: 13.3,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A small config for fast tests.
+    pub fn tiny(seed: u64) -> Self {
+        SynthConfig {
+            bloggers: 30,
+            mean_posts_per_blogger: 2.0,
+            mean_comments_top: 8.0,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Sanity-checks parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on out-of-range probabilities or empty populations; the
+    /// generator calls this first so misconfiguration fails loudly.
+    pub fn validate(&self) {
+        assert!(self.bloggers > 0, "need at least one blogger");
+        assert!(self.mean_posts_per_blogger >= 0.0, "negative post rate");
+        assert!(self.authority_exponent >= 0.0, "negative zipf exponent");
+        for (name, p) in [
+            ("copy_rate", self.copy_rate),
+            ("tag_sentiment_prob", self.tag_sentiment_prob),
+            ("domain_word_fraction", self.domain_word_fraction),
+            ("sentiment_authority_corr", self.sentiment_authority_corr),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SynthConfig::default().validate();
+        SynthConfig::paper_scale(1).validate();
+        SynthConfig::tiny(1).validate();
+    }
+
+    #[test]
+    fn paper_scale_matches_corpus() {
+        let c = SynthConfig::paper_scale(0);
+        assert_eq!(c.bloggers, 3000);
+        let expected_posts = c.bloggers as f64 * c.mean_posts_per_blogger;
+        assert!((39_000.0..41_000.0).contains(&expected_posts));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_rejected() {
+        SynthConfig { copy_rate: 1.5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one blogger")]
+    fn zero_bloggers_rejected() {
+        SynthConfig { bloggers: 0, ..Default::default() }.validate();
+    }
+}

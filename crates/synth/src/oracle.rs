@@ -1,0 +1,181 @@
+//! Simulated user-study judges (the Table I substitution).
+//!
+//! The paper ran a user study: 10 graduate-student bloggers scored the top-3
+//! bloggers recommended by each system from 1 to 5 for an application
+//! scenario ("Suppose you are the sales manager in Nike, which blogger will
+//! you choose to send advertisement to?"). That construct — *applicability
+//! of the blogger to the scenario's domain* — is exactly the planted truth
+//! `authority × domain_relevance`, so the panel here scores a recommended
+//! blogger by mapping that quantity onto the 1–5 scale with per-judge noise
+//! and rounding, reproducing the study mechanistically.
+
+use crate::truth::GroundTruth;
+use mass_types::{BloggerId, DomainId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Panel configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JudgePanelConfig {
+    /// Number of judges (the paper used 10).
+    pub judges: usize,
+    /// Standard deviation of per-judge noise on the 1–5 scale.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for JudgePanelConfig {
+    fn default() -> Self {
+        JudgePanelConfig { judges: 10, noise: 0.5, seed: 1234 }
+    }
+}
+
+/// A panel of simulated judges over a planted ground truth.
+#[derive(Clone, Debug)]
+pub struct JudgePanel<'a> {
+    truth: &'a GroundTruth,
+    config: JudgePanelConfig,
+    /// Per-domain "deserves a 5" anchor: the best true score achievable in
+    /// that domain. Calibrating per domain keeps the 1–5 scale meaningful
+    /// at any corpus size (a corpus-wide anchor saturates once thousands of
+    /// bloggers exist).
+    anchors: Vec<f64>,
+}
+
+impl<'a> JudgePanel<'a> {
+    /// Builds a panel calibrated against `truth`.
+    ///
+    /// # Panics
+    /// Panics if the truth table is empty or `judges == 0`.
+    pub fn new(truth: &'a GroundTruth, config: JudgePanelConfig) -> Self {
+        assert!(config.judges > 0, "need at least one judge");
+        assert!(!truth.is_empty(), "cannot judge an empty blogosphere");
+        let domains = truth.domain_relevance[0].len();
+        let anchors: Vec<f64> = (0..domains)
+            .map(|d| {
+                (0..truth.len())
+                    .map(|b| truth.true_score(BloggerId::new(b), DomainId::new(d)))
+                    .fold(f64::MIN_POSITIVE, f64::max)
+            })
+            .collect();
+        JudgePanel { truth, config, anchors }
+    }
+
+    /// Mean 1–5 applicability score the panel gives `blogger` for a
+    /// `domain`-focused scenario.
+    pub fn score(&self, blogger: BloggerId, domain: DomainId) -> f64 {
+        let quality =
+            (self.truth.true_score(blogger, domain) / self.anchors[domain.index()]).min(1.0);
+        let ideal = 1.0 + 4.0 * quality.sqrt(); // sqrt: judges reward partial relevance
+        let mut rng = StdRng::seed_from_u64(
+            self.config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(blogger.index() as u64)
+                .wrapping_add((domain.index() as u64) << 32),
+        );
+        let mut total = 0.0;
+        for _ in 0..self.config.judges {
+            // Box–Muller normal noise.
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let judged = (ideal + self.config.noise * z).round().clamp(1.0, 5.0);
+            total += judged;
+        }
+        total / self.config.judges as f64
+    }
+
+    /// Mean panel score over a recommended top-k list — the quantity each
+    /// cell of Table I reports.
+    pub fn score_list(&self, bloggers: &[BloggerId], domain: DomainId) -> f64 {
+        if bloggers.is_empty() {
+            return 0.0;
+        }
+        bloggers.iter().map(|&b| self.score(b, domain)).sum::<f64>() / bloggers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        // 20 bloggers; blogger 0 is the star of domain 0, blogger 1 of
+        // domain 1, the rest are weak.
+        let n = 20;
+        let mut authority = vec![0.05; n];
+        authority[0] = 1.0;
+        authority[1] = 0.9;
+        let mut relevance = vec![vec![0.5, 0.5]; n];
+        relevance[0] = vec![0.95, 0.05];
+        relevance[1] = vec![0.05, 0.95];
+        GroundTruth {
+            authority,
+            primary_domain: (0..n).map(|i| DomainId::new(i % 2)).collect(),
+            domain_relevance: relevance,
+        }
+    }
+
+    #[test]
+    fn relevant_star_outscores_weak_blogger() {
+        let t = truth();
+        let panel = JudgePanel::new(&t, JudgePanelConfig::default());
+        let star = panel.score(BloggerId::new(0), DomainId::new(0));
+        let weak = panel.score(BloggerId::new(5), DomainId::new(0));
+        assert!(star > 4.0, "star scored {star}");
+        assert!(weak < star - 1.0, "weak {weak} vs star {star}");
+    }
+
+    #[test]
+    fn off_domain_star_scores_lower() {
+        let t = truth();
+        let panel = JudgePanel::new(&t, JudgePanelConfig::default());
+        let on = panel.score(BloggerId::new(0), DomainId::new(0));
+        let off = panel.score(BloggerId::new(0), DomainId::new(1));
+        assert!(on > off + 1.0, "on {on} off {off}");
+    }
+
+    #[test]
+    fn scores_stay_on_the_1_to_5_scale() {
+        let t = truth();
+        let panel = JudgePanel::new(&t, JudgePanelConfig { noise: 3.0, ..Default::default() });
+        for b in 0..t.len() {
+            for d in 0..2 {
+                let s = panel.score(BloggerId::new(b), DomainId::new(d));
+                assert!((1.0..=5.0).contains(&s), "score {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = truth();
+        let p1 = JudgePanel::new(&t, JudgePanelConfig::default());
+        let p2 = JudgePanel::new(&t, JudgePanelConfig::default());
+        assert_eq!(
+            p1.score(BloggerId::new(3), DomainId::new(0)),
+            p2.score(BloggerId::new(3), DomainId::new(0))
+        );
+    }
+
+    #[test]
+    fn list_score_averages() {
+        let t = truth();
+        let panel = JudgePanel::new(&t, JudgePanelConfig::default());
+        let d = DomainId::new(0);
+        let list = [BloggerId::new(0), BloggerId::new(1), BloggerId::new(2)];
+        let mean = panel.score_list(&list, d);
+        let manual: f64 = list.iter().map(|&b| panel.score(b, d)).sum::<f64>() / 3.0;
+        assert!((mean - manual).abs() < 1e-12);
+        assert_eq!(panel.score_list(&[], d), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one judge")]
+    fn zero_judges_rejected() {
+        let t = truth();
+        let _ = JudgePanel::new(&t, JudgePanelConfig { judges: 0, ..Default::default() });
+    }
+}

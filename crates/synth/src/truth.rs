@@ -1,0 +1,126 @@
+//! Planted ground truth for synthetic corpora.
+
+use mass_types::{BloggerId, DomainId};
+
+/// What the generator planted: the latent quantities every observable signal
+/// (post counts, comments, links, sentiment) was derived from.
+///
+/// The *true* domain-specific influence of blogger `b` in domain `d` is
+/// `authority[b] × domain_relevance[b][d]`; the evaluation harness scores
+/// rankings against this quantity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroundTruth {
+    /// Latent authority per blogger, positive, Zipf-distributed.
+    pub authority: Vec<f64>,
+    /// Each blogger's main interest domain.
+    pub primary_domain: Vec<DomainId>,
+    /// `domain_relevance[b][d]` ∈ [0, 1]: how much of `b`'s activity falls
+    /// in domain `d`. Rows sum to 1.
+    pub domain_relevance: Vec<Vec<f64>>,
+}
+
+impl GroundTruth {
+    /// True influence of blogger `b` in domain `d`.
+    pub fn true_score(&self, b: BloggerId, d: DomainId) -> f64 {
+        self.authority[b.index()] * self.domain_relevance[b.index()][d.index()]
+    }
+
+    /// True general (domain-agnostic) influence of blogger `b`.
+    pub fn true_general_score(&self, b: BloggerId) -> f64 {
+        self.authority[b.index()]
+    }
+
+    /// Number of bloggers covered.
+    pub fn len(&self) -> usize {
+        self.authority.len()
+    }
+
+    /// Whether the truth table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.authority.is_empty()
+    }
+
+    /// The true top-k bloggers of a domain, best first.
+    pub fn top_k(&self, d: DomainId, k: usize) -> Vec<BloggerId> {
+        let mut ids: Vec<BloggerId> = (0..self.len()).map(BloggerId::new).collect();
+        ids.sort_by(|&a, &b| {
+            self.true_score(b, d)
+                .partial_cmp(&self.true_score(a, d))
+                .expect("scores are finite")
+        });
+        ids.truncate(k);
+        ids
+    }
+
+    /// The true top-k bloggers overall, best first.
+    pub fn top_k_general(&self, k: usize) -> Vec<BloggerId> {
+        let mut ids: Vec<BloggerId> = (0..self.len()).map(BloggerId::new).collect();
+        ids.sort_by(|&a, &b| {
+            self.authority[b.index()]
+                .partial_cmp(&self.authority[a.index()])
+                .expect("scores are finite")
+        });
+        ids.truncate(k);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> GroundTruth {
+        GroundTruth {
+            authority: vec![1.0, 5.0, 3.0],
+            primary_domain: vec![DomainId::new(0), DomainId::new(1), DomainId::new(0)],
+            domain_relevance: vec![
+                vec![0.9, 0.1],
+                vec![0.2, 0.8],
+                vec![0.7, 0.3],
+            ],
+        }
+    }
+
+    #[test]
+    fn true_scores_multiply() {
+        let t = toy();
+        assert!((t.true_score(BloggerId::new(1), DomainId::new(1)) - 4.0).abs() < 1e-12);
+        assert_eq!(t.true_general_score(BloggerId::new(2)), 3.0);
+    }
+
+    #[test]
+    fn top_k_orders_by_domain_score() {
+        let t = toy();
+        // domain 0 scores: b0=0.9, b1=1.0, b2=2.1
+        assert_eq!(
+            t.top_k(DomainId::new(0), 2),
+            vec![BloggerId::new(2), BloggerId::new(1)]
+        );
+        // domain 1 scores: b0=0.1, b1=4.0, b2=0.9
+        assert_eq!(t.top_k(DomainId::new(1), 3)[0], BloggerId::new(1));
+    }
+
+    #[test]
+    fn top_k_general_orders_by_authority() {
+        let t = toy();
+        assert_eq!(
+            t.top_k_general(3),
+            vec![BloggerId::new(1), BloggerId::new(2), BloggerId::new(0)]
+        );
+        assert_eq!(t.top_k_general(1).len(), 1);
+        assert_eq!(t.top_k_general(99).len(), 3);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(toy().len(), 3);
+        assert!(!toy().is_empty());
+        let empty = GroundTruth {
+            authority: vec![],
+            primary_domain: vec![],
+            domain_relevance: vec![],
+        };
+        assert!(empty.is_empty());
+        assert!(empty.top_k(DomainId::new(0), 5).is_empty());
+    }
+}

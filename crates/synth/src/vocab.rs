@@ -1,0 +1,189 @@
+//! Per-domain vocabularies and text templates.
+//!
+//! Word lists are aligned with the paper's ten predefined domains
+//! ([`mass_types::PAPER_DOMAINS`]); `DOMAIN_VOCAB[i]` is the vocabulary of
+//! domain `i` in catalogue order. The lists are disjoint enough that a
+//! naive-Bayes classifier can learn them, but posts mix in [`GENERAL_WORDS`]
+//! so classification is not trivial.
+
+/// Vocabulary per paper domain, indexed like `PAPER_DOMAINS`.
+pub const DOMAIN_VOCAB: [&[&str]; 10] = [
+    // Travel
+    &[
+        "travel", "hotel", "flight", "beach", "vacation", "resort", "passport", "airport",
+        "tour", "luggage", "itinerary", "destination", "island", "cruise", "backpack",
+        "hostel", "visa", "sightseeing", "souvenir", "journey", "mountain", "temple",
+        "museum", "roadtrip", "camping",
+    ],
+    // Computer
+    &[
+        "computer", "software", "programming", "code", "compiler", "algorithm", "database",
+        "keyboard", "laptop", "server", "linux", "windows", "debug", "network", "internet",
+        "browser", "hardware", "processor", "memory", "opensource", "developer", "python",
+        "java", "rust", "framework",
+    ],
+    // Communication
+    &[
+        "communication", "phone", "mobile", "messenger", "email", "chat", "telecom",
+        "wireless", "broadband", "signal", "carrier", "sms", "voip", "antenna", "satellite",
+        "bandwidth", "roaming", "handset", "dialup", "modem", "conference", "voicemail",
+        "bluetooth", "nokia", "operator",
+    ],
+    // Education
+    &[
+        "education", "school", "teacher", "student", "classroom", "homework", "exam",
+        "university", "college", "curriculum", "lecture", "tuition", "scholarship", "degree",
+        "kindergarten", "textbook", "professor", "campus", "semester", "graduate", "tutoring",
+        "literacy", "learning", "diploma", "thesis",
+    ],
+    // Economics
+    &[
+        "economics", "economy", "market", "stock", "inflation", "recession", "investment",
+        "finance", "bank", "interest", "trade", "currency", "gdp", "unemployment", "budget",
+        "tax", "mortgage", "depression", "bond", "dividend", "portfolio", "credit",
+        "deficit", "exchange", "monetary",
+    ],
+    // Military
+    &[
+        "military", "army", "navy", "soldier", "weapon", "defense", "missile", "tank",
+        "aircraft", "battalion", "strategy", "war", "veteran", "submarine", "radar",
+        "infantry", "artillery", "commander", "fortress", "ammunition", "brigade",
+        "airforce", "frigate", "recon", "deployment",
+    ],
+    // Sports
+    &[
+        "sports", "football", "basketball", "match", "team", "league", "goal", "score",
+        "tournament", "athlete", "coach", "stadium", "championship", "olympics", "tennis",
+        "marathon", "fitness", "training", "soccer", "baseball", "referee", "medal",
+        "sprint", "volleyball", "swimming",
+    ],
+    // Medicine
+    &[
+        "medicine", "doctor", "hospital", "patient", "surgery", "vaccine", "diagnosis",
+        "therapy", "pharmacy", "nurse", "clinic", "symptom", "treatment", "prescription",
+        "cardiology", "immunity", "virus", "antibiotic", "wellness", "nutrition",
+        "anatomy", "oncology", "pediatric", "dosage", "recovery",
+    ],
+    // Art
+    &[
+        "art", "painting", "gallery", "sculpture", "artist", "canvas", "exhibition",
+        "portrait", "museum", "sketch", "watercolor", "photography", "design", "poetry",
+        "novel", "theater", "opera", "ballet", "melody", "symphony", "palette",
+        "calligraphy", "ceramics", "mural", "aesthetic",
+    ],
+    // Politics
+    &[
+        "politics", "election", "government", "policy", "senator", "parliament", "campaign",
+        "vote", "democracy", "legislation", "congress", "diplomat", "candidate", "reform",
+        "constitution", "ballot", "coalition", "referendum", "minister", "embassy",
+        "governance", "lobbying", "treaty", "summit", "debate",
+    ],
+];
+
+/// Domain-neutral filler mixed into every post.
+pub const GENERAL_WORDS: &[&str] = &[
+    "today", "yesterday", "week", "friend", "people", "life", "time", "thing", "world",
+    "story", "share", "write", "read", "blog", "post", "think", "feel", "idea", "home",
+    "work", "morning", "night", "photo", "update", "news",
+];
+
+/// Positive comment templates (`{}` is replaced with a domain word), used
+/// so the Comment Analyzer sees realistic lexical sentiment.
+pub const POSITIVE_COMMENT_TEMPLATES: &[&str] = &[
+    "I agree with your take on {}",
+    "great post, I support this view on {}",
+    "excellent analysis of {}, thanks",
+    "love this, very helpful thoughts about {}",
+    "brilliant point about {}, I conform to it",
+];
+
+/// Negative comment templates.
+pub const NEGATIVE_COMMENT_TEMPLATES: &[&str] = &[
+    "I disagree about {}, this seems wrong",
+    "poor reasoning on {}, disappointed",
+    "this take on {} is misleading and incorrect",
+    "terrible advice about {}",
+    "I object, the claim about {} is nonsense",
+];
+
+/// Neutral comment templates.
+pub const NEUTRAL_COMMENT_TEMPLATES: &[&str] = &[
+    "what about {} in other regions",
+    "does this apply to {} generally",
+    "I wrote something related about {}",
+    "curious how {} changed since last year",
+    "any sources on {}",
+];
+
+/// Copy-marker openers for reproduced posts; all contain phrases the
+/// novelty lexicon in `mass-text` recognises.
+pub const COPY_OPENERS: &[&str] = &[
+    "reprinted from another blog:",
+    "forwarded from a friend:",
+    "source: a magazine article.",
+    "originally posted elsewhere.",
+    "zhuanzai repost:",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::PAPER_DOMAINS;
+    use std::collections::HashSet;
+
+    #[test]
+    fn one_vocabulary_per_paper_domain() {
+        assert_eq!(DOMAIN_VOCAB.len(), PAPER_DOMAINS.len());
+        for v in DOMAIN_VOCAB {
+            assert!(v.len() >= 20, "each domain needs a rich vocabulary");
+        }
+    }
+
+    #[test]
+    fn first_word_names_the_domain() {
+        for (i, v) in DOMAIN_VOCAB.iter().enumerate() {
+            assert_eq!(
+                v[0].to_lowercase(),
+                PAPER_DOMAINS[i].to_lowercase(),
+                "vocabulary {i} must lead with its domain name"
+            );
+        }
+    }
+
+    #[test]
+    fn vocabularies_mostly_disjoint() {
+        // "museum" appears in Travel and Art deliberately; tolerate a small
+        // overlap but keep the classification problem learnable.
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut dups = 0;
+        for v in DOMAIN_VOCAB {
+            for w in v {
+                if !seen.insert(w) {
+                    dups += 1;
+                }
+            }
+        }
+        assert!(dups <= 3, "too many cross-domain duplicates: {dups}");
+    }
+
+    #[test]
+    fn templates_have_placeholder() {
+        for t in POSITIVE_COMMENT_TEMPLATES
+            .iter()
+            .chain(NEGATIVE_COMMENT_TEMPLATES)
+            .chain(NEUTRAL_COMMENT_TEMPLATES)
+        {
+            assert!(t.contains("{}"), "{t}");
+        }
+    }
+
+    #[test]
+    fn copy_openers_trigger_novelty_lexicon() {
+        for o in COPY_OPENERS {
+            assert!(
+                mass_text::novelty::novelty_from_markers(o) <= 0.1,
+                "opener not recognised: {o}"
+            );
+        }
+    }
+}

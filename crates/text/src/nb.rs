@@ -1,0 +1,294 @@
+//! Multinomial naive Bayes text classification (ref \[7\] of the paper).
+//!
+//! MASS "automatically analyzes the posts and generates a `iv(b_i,d_k,C_t)`
+//! using naive Bayesian method" (Section II). [`NaiveBayes::posterior`]
+//! returns exactly that: a probability vector over the domain catalogue for
+//! one post, which Eq. 5 multiplies into the post's influence score.
+
+use crate::tokenize::tokenize;
+use std::collections::HashMap;
+
+/// Incremental trainer; call [`NaiveBayesTrainer::add_document`] per labelled
+/// document, then [`NaiveBayesTrainer::build`].
+#[derive(Clone, Debug)]
+pub struct NaiveBayesTrainer {
+    classes: usize,
+    /// term → per-class occurrence counts.
+    term_counts: HashMap<String, Vec<u32>>,
+    /// total token count per class.
+    class_tokens: Vec<u64>,
+    /// number of documents per class (for the prior).
+    class_docs: Vec<u64>,
+}
+
+impl NaiveBayesTrainer {
+    /// Creates a trainer for `classes` classes (domains).
+    ///
+    /// # Panics
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        NaiveBayesTrainer {
+            classes,
+            term_counts: HashMap::new(),
+            class_tokens: vec![0; classes],
+            class_docs: vec![0; classes],
+        }
+    }
+
+    /// Adds a labelled document given raw text (tokenized internally).
+    ///
+    /// # Panics
+    /// Panics if `class` is out of range.
+    pub fn add_document(&mut self, class: usize, text: &str) {
+        self.add_tokens(class, tokenize(text).iter().map(String::as_str));
+    }
+
+    /// Adds a labelled document given pre-tokenized terms.
+    pub fn add_tokens<'a, I: IntoIterator<Item = &'a str>>(&mut self, class: usize, tokens: I) {
+        assert!(class < self.classes, "class {class} out of range");
+        self.class_docs[class] += 1;
+        for t in tokens {
+            let entry =
+                self.term_counts.entry(t.to_string()).or_insert_with(|| vec![0; self.classes]);
+            entry[class] += 1;
+            self.class_tokens[class] += 1;
+        }
+    }
+
+    /// Documents seen so far.
+    pub fn document_count(&self) -> u64 {
+        self.class_docs.iter().sum()
+    }
+
+    /// Freezes the model. `min_term_count` prunes terms seen fewer times in
+    /// total (0 or 1 keeps everything).
+    pub fn build(self, min_term_count: u32) -> NaiveBayes {
+        let mut vocab: Vec<(String, Vec<u32>)> = self
+            .term_counts
+            .into_iter()
+            .filter(|(_, counts)| counts.iter().sum::<u32>() >= min_term_count.max(1))
+            .collect();
+        vocab.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic model
+        // Recompute per-class token totals over the surviving vocabulary so
+        // the multinomial distributions stay properly normalised.
+        let mut class_tokens = vec![0u64; self.classes];
+        for (_, counts) in &vocab {
+            for (c, &n) in counts.iter().enumerate() {
+                class_tokens[c] += n as u64;
+            }
+        }
+        let term_index: HashMap<String, usize> =
+            vocab.iter().enumerate().map(|(i, (t, _))| (t.clone(), i)).collect();
+        let term_class_counts = vocab.into_iter().map(|(_, c)| c).collect();
+        NaiveBayes {
+            classes: self.classes,
+            term_index,
+            term_class_counts,
+            class_tokens,
+            class_docs: self.class_docs,
+        }
+    }
+}
+
+/// A trained multinomial naive Bayes model with Laplace (add-one) smoothing.
+#[derive(Clone, Debug)]
+pub struct NaiveBayes {
+    classes: usize,
+    term_index: HashMap<String, usize>,
+    term_class_counts: Vec<Vec<u32>>,
+    class_tokens: Vec<u64>,
+    class_docs: Vec<u64>,
+}
+
+impl NaiveBayes {
+    /// Number of classes the model was trained with.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Vocabulary size after pruning.
+    pub fn vocabulary_size(&self) -> usize {
+        self.term_index.len()
+    }
+
+    /// Unnormalised log-posterior per class for raw text.
+    pub fn log_scores(&self, text: &str) -> Vec<f64> {
+        self.log_scores_tokens(tokenize(text).iter().map(String::as_str))
+    }
+
+    /// Unnormalised log-posterior per class for pre-tokenized terms.
+    /// Out-of-vocabulary terms are ignored (their smoothed likelihood is
+    /// class-independent up to the denominator, and dropping them keeps
+    /// short comments from being dominated by noise).
+    pub fn log_scores_tokens<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Vec<f64> {
+        let total_docs: u64 = self.class_docs.iter().sum();
+        let v = self.term_index.len() as f64;
+        let mut scores: Vec<f64> = (0..self.classes)
+            .map(|c| {
+                // Laplace-smoothed prior so empty classes stay representable.
+                let prior =
+                    (self.class_docs[c] as f64 + 1.0) / (total_docs as f64 + self.classes as f64);
+                prior.ln()
+            })
+            .collect();
+        for t in tokens {
+            if let Some(&idx) = self.term_index.get(t) {
+                let counts = &self.term_class_counts[idx];
+                for (c, score) in scores.iter_mut().enumerate() {
+                    let likelihood =
+                        (counts[c] as f64 + 1.0) / (self.class_tokens[c] as f64 + v);
+                    *score += likelihood.ln();
+                }
+            }
+        }
+        scores
+    }
+
+    /// The posterior distribution `P(C_t | text)` — the paper's
+    /// `iv(b_i, d_k, C_t)`. Sums to 1.
+    pub fn posterior(&self, text: &str) -> Vec<f64> {
+        softmax(&self.log_scores(text))
+    }
+
+    /// Posterior for pre-tokenized terms.
+    pub fn posterior_tokens<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Vec<f64> {
+        softmax(&self.log_scores_tokens(tokens))
+    }
+
+    /// Most probable class.
+    pub fn classify(&self, text: &str) -> usize {
+        argmax(&self.log_scores(text))
+    }
+}
+
+/// Numerically-stable softmax over log scores.
+fn softmax(log_scores: &[f64]) -> Vec<f64> {
+    let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = log_scores.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn argmax(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are finite"))
+        .map(|(i, _)| i)
+        .expect("at least one class")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> NaiveBayes {
+        let mut t = NaiveBayesTrainer::new(3);
+        // class 0: travel, 1: sports, 2: computer
+        t.add_document(0, "travel hotel flight beach vacation resort");
+        t.add_document(0, "travel passport airport hotel tour");
+        t.add_document(1, "football match goal team league sports");
+        t.add_document(1, "basketball game score team sports win");
+        t.add_document(2, "computer programming code software rust compiler");
+        t.add_document(2, "algorithm data structure code computer");
+        t.build(1)
+    }
+
+    #[test]
+    fn classifies_clear_documents() {
+        let m = trained();
+        assert_eq!(m.classify("booking a hotel for my beach vacation"), 0);
+        assert_eq!(m.classify("the team scored a late goal in the match"), 1);
+        assert_eq!(m.classify("writing rust code for a compiler"), 2);
+    }
+
+    #[test]
+    fn posterior_sums_to_one_and_peaks_right() {
+        let m = trained();
+        let p = m.posterior("football game with my team");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p.len(), 3);
+        assert!(p[1] > p[0] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn empty_text_falls_back_to_prior() {
+        let mut t = NaiveBayesTrainer::new(2);
+        t.add_document(0, "a a a alpha");
+        t.add_document(0, "alpha beta");
+        t.add_document(1, "gamma");
+        let m = t.build(1);
+        let p = m.posterior("");
+        // Priors (smoothed): class0 = 3/4, class1 = 2/4 → normalised.
+        assert!(p[0] > p[1]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oov_terms_ignored() {
+        let m = trained();
+        let clean = m.posterior("football match");
+        let noisy = m.posterior("football match zzzzqqq xyzzy");
+        for (a, b) in clean.iter().zip(&noisy) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pruning_shrinks_vocabulary() {
+        let mut t = NaiveBayesTrainer::new(2);
+        t.add_document(0, "common common common rare");
+        t.add_document(1, "common");
+        let full = t.clone().build(1);
+        let pruned = t.build(2);
+        assert!(pruned.vocabulary_size() < full.vocabulary_size());
+        assert_eq!(pruned.vocabulary_size(), 1);
+    }
+
+    #[test]
+    fn untrained_class_gets_nonzero_posterior() {
+        let mut t = NaiveBayesTrainer::new(3);
+        t.add_document(0, "alpha beta");
+        t.add_document(1, "gamma delta");
+        // class 2 never sees a document
+        let m = t.build(1);
+        let p = m.posterior("alpha");
+        assert!(p[2] > 0.0);
+        assert!(p[0] > p[2]);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let build = || {
+            let mut t = NaiveBayesTrainer::new(2);
+            t.add_document(0, "x y z w");
+            t.add_document(1, "p q r s");
+            t.build(1)
+        };
+        let a = build().posterior("x q");
+        let b = build().posterior("x q");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn document_count_tracks() {
+        let mut t = NaiveBayesTrainer::new(2);
+        assert_eq!(t.document_count(), 0);
+        t.add_document(0, "a b");
+        t.add_document(1, "c d");
+        assert_eq!(t.document_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_class_panics() {
+        NaiveBayesTrainer::new(2).add_document(5, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        let _ = NaiveBayesTrainer::new(0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Novelty scoring for the quality facet (`Novelty(b_i, d_k)`).
+//!
+//! The paper: "We collect a set of words indicating that an article is a
+//! copy of other sources, and set Novelty to a value between 0 and 0.1 if
+//! the article contains such words, and otherwise we consider the article
+//! original and set its Novelty to 1" (Section II, following ref \[2\]'s
+//! observation that reproduced content brings little influence).
+//!
+//! Two signals feed the score:
+//!
+//! 1. **Copy-indicator words** — "reprinted", "forwarded", "source:", … The
+//!    more indicators, the closer the score drops toward 0 (within the
+//!    paper's (0, 0.1] band).
+//! 2. **Shingle overlap** (optional, corpus-level) — a [`NoveltyDetector`]
+//!    indexes 4-token shingles of every post; a post whose shingles mostly
+//!    appeared in *earlier* posts is treated as a copy even without marker
+//!    words. This catches verbatim reposts the lexicon misses.
+
+use crate::tokenize::tokenize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Phrases that mark a post as reproduced content. Checked against the
+/// lowercased text, so multi-word markers work.
+const COPY_MARKERS: &[&str] = &[
+    "reprinted",
+    "repost",
+    "reposted",
+    "forwarded from",
+    "copied from",
+    "via ",
+    "source:",
+    "originally posted",
+    "originally published",
+    "courtesy of",
+    "all rights reserved by the original",
+    "zhuanzai", // transliteration of 转载, ubiquitous on 2000s Chinese blogs like MSN Spaces
+];
+
+/// Tuning for [`NoveltyDetector`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoveltyParams {
+    /// Shingle width in tokens.
+    pub shingle_len: usize,
+    /// Fraction of shingles that must be previously seen before a post is
+    /// treated as a near-duplicate.
+    pub duplicate_threshold: f64,
+}
+
+impl Default for NoveltyParams {
+    fn default() -> Self {
+        NoveltyParams { shingle_len: 4, duplicate_threshold: 0.8 }
+    }
+}
+
+/// Scores the novelty of one post from its text alone (marker words only).
+///
+/// Returns 1.0 for original posts; for posts with `n ≥ 1` markers returns
+/// `0.1 / n`, inside the paper's (0, 0.1] band and decreasing with stronger
+/// copy evidence.
+pub fn novelty_from_markers(text: &str) -> f64 {
+    let lower = text.to_lowercase();
+    let hits = COPY_MARKERS.iter().filter(|m| lower.contains(*m)).count();
+    if hits == 0 {
+        1.0
+    } else {
+        0.1 / hits as f64
+    }
+}
+
+/// Corpus-level novelty detector combining marker words with shingle overlap.
+///
+/// Feed posts in (chronological) order with [`NoveltyDetector::score_and_add`];
+/// each call returns the post's novelty given everything seen *before* it,
+/// then indexes it. The first copy of a text scores 1.0, later near-verbatim
+/// copies fall into the (0, 0.1] band.
+#[derive(Debug)]
+pub struct NoveltyDetector {
+    params: NoveltyParams,
+    seen_shingles: HashSet<u64>,
+}
+
+impl NoveltyDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    /// Panics if `shingle_len == 0` or the threshold is outside (0, 1].
+    pub fn new(params: NoveltyParams) -> Self {
+        assert!(params.shingle_len > 0, "shingle_len must be positive");
+        assert!(
+            params.duplicate_threshold > 0.0 && params.duplicate_threshold <= 1.0,
+            "duplicate_threshold must be in (0, 1]"
+        );
+        NoveltyDetector { params, seen_shingles: HashSet::new() }
+    }
+
+    /// Scores `text` against the corpus so far, then adds it to the corpus.
+    pub fn score_and_add(&mut self, text: &str) -> f64 {
+        let marker_score = novelty_from_markers(text);
+        let shingles = self.shingles(text);
+        let overlap = if shingles.is_empty() {
+            0.0
+        } else {
+            let seen = shingles.iter().filter(|s| self.seen_shingles.contains(s)).count();
+            seen as f64 / shingles.len() as f64
+        };
+        self.seen_shingles.extend(shingles);
+
+        if overlap >= self.params.duplicate_threshold {
+            // Near-duplicate: squeeze into (0, 0.1], lower for higher overlap.
+            let dup_score = 0.1 * (1.0 - overlap).max(0.01) / (1.0 - self.params.duplicate_threshold).max(0.01);
+            marker_score.min(dup_score.clamp(0.001, 0.1))
+        } else {
+            marker_score
+        }
+    }
+
+    /// Distinct shingles indexed so far.
+    pub fn indexed_shingles(&self) -> usize {
+        self.seen_shingles.len()
+    }
+
+    fn shingles(&self, text: &str) -> Vec<u64> {
+        let tokens = tokenize(text);
+        if tokens.len() < self.params.shingle_len {
+            // Short posts hash as a single whole-text shingle.
+            if tokens.is_empty() {
+                return Vec::new();
+            }
+            return vec![hash_tokens(&tokens)];
+        }
+        tokens.windows(self.params.shingle_len).map(hash_tokens).collect()
+    }
+}
+
+impl Default for NoveltyDetector {
+    fn default() -> Self {
+        Self::new(NoveltyParams::default())
+    }
+}
+
+fn hash_tokens(tokens: &[String]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for t in tokens {
+        t.hash(&mut h);
+        0xffu8.hash(&mut h); // separator so ["ab","c"] != ["a","bc"]
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_text_scores_one() {
+        assert_eq!(novelty_from_markers("my own thoughts on rust databases"), 1.0);
+    }
+
+    #[test]
+    fn marker_words_drop_into_paper_band() {
+        let s = novelty_from_markers("Reprinted with permission");
+        assert!(s > 0.0 && s <= 0.1);
+        let s2 = novelty_from_markers("reprinted, forwarded from a friend, source: somewhere");
+        assert!(s2 < s);
+        assert!(s2 > 0.0);
+    }
+
+    #[test]
+    fn markers_case_insensitive() {
+        assert!(novelty_from_markers("REPOSTED from elsewhere") <= 0.1);
+    }
+
+    #[test]
+    fn detector_first_copy_is_novel_second_is_not() {
+        let mut d = NoveltyDetector::default();
+        let text = "a long enough post about travel plans in summer with many details \
+                    covering hotels flights and local food recommendations for everyone";
+        assert_eq!(d.score_and_add(text), 1.0);
+        let dup = d.score_and_add(text);
+        assert!(dup > 0.0 && dup <= 0.1, "duplicate scored {dup}");
+    }
+
+    #[test]
+    fn partial_overlap_below_threshold_is_original() {
+        let mut d = NoveltyDetector::default();
+        d.score_and_add("alpha beta gamma delta epsilon zeta");
+        let s = d.score_and_add("alpha beta gamma delta totally different ending here now");
+        assert_eq!(s, 1.0);
+    }
+
+    #[test]
+    fn short_posts_handled() {
+        let mut d = NoveltyDetector::default();
+        assert_eq!(d.score_and_add("hi"), 1.0);
+        let s = d.score_and_add("hi");
+        assert!(s <= 0.1);
+        assert_eq!(d.score_and_add(""), 1.0); // empty: no shingles, no markers
+    }
+
+    #[test]
+    fn indexed_shingles_grow() {
+        let mut d = NoveltyDetector::default();
+        assert_eq!(d.indexed_shingles(), 0);
+        d.score_and_add("one two three four five six");
+        assert!(d.indexed_shingles() >= 3);
+    }
+
+    #[test]
+    fn marker_beats_shingle_when_lower() {
+        let mut d = NoveltyDetector::default();
+        let s = d.score_and_add("reprinted reprinted something fresh entirely new words here today");
+        assert!(s <= 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shingle_len")]
+    fn zero_shingle_len_rejected() {
+        let _ = NoveltyDetector::new(NoveltyParams { shingle_len: 0, duplicate_threshold: 0.5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate_threshold")]
+    fn bad_threshold_rejected() {
+        let _ = NoveltyDetector::new(NoveltyParams { shingle_len: 4, duplicate_threshold: 1.5 });
+    }
+}

@@ -1,0 +1,211 @@
+//! Keyword search: an inverted index with BM25 ranking.
+//!
+//! The demo UI lets a business partner type free text; beyond classifying
+//! it into domains (Scenario 1), a production blogger-mining system also
+//! needs plain *retrieval* — which posts talk about this? The index here is
+//! the standard IR workhorse: per-term postings with term frequencies and
+//! BM25 scoring (k₁ = 1.2, b = 0.75).
+
+use crate::tokenize::tokenize;
+use std::collections::HashMap;
+
+/// BM25 parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (classic 1.2).
+    pub k1: f64,
+    /// Length normalisation strength (classic 0.75).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// An inverted index over a document collection.
+#[derive(Clone, Debug, Default)]
+pub struct InvertedIndex {
+    /// term → `(doc id, term frequency)` postings, doc ids ascending.
+    postings: HashMap<String, Vec<(u32, u32)>>,
+    /// Token count per document.
+    doc_len: Vec<u32>,
+    /// Mean document length.
+    avg_len: f64,
+}
+
+impl InvertedIndex {
+    /// Builds an index over documents in id order.
+    pub fn build<I, S>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut index = InvertedIndex::default();
+        for doc in docs {
+            index.push(doc.as_ref());
+        }
+        index
+    }
+
+    /// Appends one document, returning its id. Ids are dense and stable, so
+    /// the index can mirror a growing post list.
+    pub fn push(&mut self, text: &str) -> usize {
+        let id = self.doc_len.len();
+        let tokens = tokenize(text);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        let len: u32 = tf.values().sum();
+        for (term, count) in tf {
+            self.postings.entry(term).or_default().push((id as u32, count));
+        }
+        let n = self.doc_len.len() as f64;
+        self.avg_len = (self.avg_len * n + f64::from(len)) / (n + 1.0);
+        self.doc_len.push(len);
+        id
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.doc_len.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.doc_len.is_empty()
+    }
+
+    /// Distinct terms indexed.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// BM25 search: the top-k documents for a free-text query, best first.
+    /// Ties break toward the lower document id.
+    pub fn search(&self, query: &str, k: usize, params: &Bm25Params) -> Vec<(usize, f64)> {
+        let n = self.doc_len.len() as f64;
+        if n == 0.0 || k == 0 {
+            return Vec::new();
+        }
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        for term in tokenize(query) {
+            let Some(postings) = self.postings.get(&term) else { continue };
+            let df = postings.len() as f64;
+            // BM25 idf, floored at a small positive value so ubiquitous
+            // terms cannot produce negative scores.
+            let idf = (((n - df + 0.5) / (df + 0.5)) + 1.0).ln().max(1e-6);
+            for &(doc, tf) in postings {
+                let tf = f64::from(tf);
+                let len_norm = 1.0 - params.b
+                    + params.b * f64::from(self.doc_len[doc as usize]) / self.avg_len.max(1.0);
+                let score = idf * (tf * (params.k1 + 1.0)) / (tf + params.k1 * len_norm);
+                *scores.entry(doc).or_insert(0.0) += score;
+            }
+        }
+        let mut ranked: Vec<(usize, f64)> =
+            scores.into_iter().map(|(d, s)| (d as usize, s)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).expect("scores are finite").then_with(|| a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> InvertedIndex {
+        InvertedIndex::build([
+            "travel hotel flight booking for the summer beach vacation",
+            "football match result and the league table",
+            "hotel review: the beach hotel was wonderful",
+            "compiler internals and code generation",
+        ])
+    }
+
+    #[test]
+    fn finds_matching_documents() {
+        let ix = index();
+        let hits = ix.search("beach hotel", 10, &Bm25Params::default());
+        let ids: Vec<usize> = hits.iter().map(|(d, _)| *d).collect();
+        assert!(ids.contains(&0) && ids.contains(&2), "{ids:?}");
+        assert!(!ids.contains(&1));
+        assert!(!ids.contains(&3));
+    }
+
+    #[test]
+    fn repeated_term_ranks_higher() {
+        let ix = index();
+        let hits = ix.search("hotel", 10, &Bm25Params::default());
+        // Doc 2 mentions "hotel" twice (and is shorter) → first.
+        assert_eq!(hits[0].0, 2, "{hits:?}");
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let ix = InvertedIndex::build([
+            "common word soup with compiler inside",
+            "common word soup",
+            "common word soup",
+            "common word soup",
+        ]);
+        let hits = ix.search("common compiler", 4, &Bm25Params::default());
+        assert_eq!(hits[0].0, 0, "doc with the rare term must lead: {hits:?}");
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let ix = index();
+        assert!(ix.search("zeppelin", 5, &Bm25Params::default()).is_empty());
+        assert!(ix.search("", 5, &Bm25Params::default()).is_empty());
+        assert!(ix.search("hotel", 0, &Bm25Params::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = InvertedIndex::default();
+        assert!(ix.is_empty());
+        assert!(ix.search("anything", 3, &Bm25Params::default()).is_empty());
+    }
+
+    #[test]
+    fn incremental_push_matches_batch_build() {
+        let docs = ["alpha beta", "beta gamma", "gamma alpha beta"];
+        let batch = InvertedIndex::build(docs);
+        let mut inc = InvertedIndex::default();
+        for d in docs {
+            inc.push(d);
+        }
+        assert_eq!(inc.len(), batch.len());
+        assert_eq!(inc.vocabulary_size(), batch.vocabulary_size());
+        let q = "beta alpha";
+        let a = batch.search(q, 3, &Bm25Params::default());
+        let b = inc.search(q, 3, &Bm25Params::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scores_are_positive_and_sorted() {
+        let ix = index();
+        let hits = ix.search("the hotel beach travel league", 10, &Bm25Params::default());
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for (_, s) in &hits {
+            assert!(*s > 0.0);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let ix = InvertedIndex::build(["same text here", "same text here"]);
+        let hits = ix.search("same text", 2, &Bm25Params::default());
+        assert_eq!(hits[0].0, 0);
+        assert_eq!(hits[1].0, 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Comment-attitude analysis (the paper's sentiment factor `SF`).
+//!
+//! Section II: comments are positive ("agree", "support", "conform"),
+//! negative, or neutral, mapped to factors 1.0 / 0.1 / 0.5. The analyzer is
+//! a lexicon vote with a two-token negation window, which is the level of
+//! technique contemporary with the paper (2010 blog mining used lexicons,
+//! not learned models).
+
+use crate::tokenize::tokenize_keep_stopwords;
+use mass_types::Sentiment;
+use std::collections::HashSet;
+
+/// Positive seed words; the first three are the paper's own examples.
+const POSITIVE_WORDS: &[&str] = &[
+    "agree", "support", "conform", "amazing", "awesome", "beautiful", "best", "brilliant",
+    "congrats", "congratulations", "cool", "enjoy", "enjoyed", "excellent", "fantastic",
+    "favorite", "glad", "good", "great", "helpful", "impressive", "informative", "inspiring",
+    "interesting", "like", "liked", "love", "loved", "nice", "perfect", "recommend", "right",
+    "thank", "thanks", "true", "useful", "well", "wonderful", "wow", "yes",
+];
+
+/// Negative seed words.
+const NEGATIVE_WORDS: &[&str] = &[
+    "awful", "bad", "boring", "disagree", "disappointed", "disappointing", "dislike", "doubt",
+    "fail", "failed", "false", "hate", "horrible", "incorrect", "misleading", "mistake",
+    "nonsense", "object", "oppose", "poor", "reject", "sad", "stupid", "terrible", "ugly",
+    "useless", "waste", "worst", "wrong",
+];
+
+/// Negation words that flip the polarity of the next few tokens.
+const NEGATIONS: &[&str] = &["not", "no", "never", "cannot", "cant", "dont", "doesnt", "isnt", "wont", "didnt"];
+
+/// How many tokens after a negation have their polarity flipped.
+const NEGATION_WINDOW: usize = 2;
+
+/// Lexicon-based sentiment classifier.
+///
+/// Classification is a vote: each positive word counts +1, each negative
+/// word −1, and a word within `NEGATION_WINDOW` (2) tokens of a negation has
+/// its sign flipped ("not good" → −1, "never disappointed" → +1). Ties and
+/// zero scores are [`Sentiment::Neutral`].
+#[derive(Clone, Debug)]
+pub struct SentimentLexicon {
+    positive: HashSet<String>,
+    negative: HashSet<String>,
+    negations: HashSet<String>,
+}
+
+impl Default for SentimentLexicon {
+    fn default() -> Self {
+        SentimentLexicon {
+            positive: POSITIVE_WORDS.iter().map(|s| s.to_string()).collect(),
+            negative: NEGATIVE_WORDS.iter().map(|s| s.to_string()).collect(),
+            negations: NEGATIONS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl SentimentLexicon {
+    /// A lexicon with extra domain-specific polarity words on top of the
+    /// defaults (e.g. emoticon transliterations a crawler produces).
+    pub fn with_extra<I, J>(positive: I, negative: J) -> Self
+    where
+        I: IntoIterator<Item = String>,
+        J: IntoIterator<Item = String>,
+    {
+        let mut lex = Self::default();
+        lex.positive.extend(positive);
+        lex.negative.extend(negative);
+        lex
+    }
+
+    /// The signed vote for a text: > 0 positive, < 0 negative, 0 neutral.
+    pub fn score(&self, text: &str) -> i32 {
+        let tokens = tokenize_keep_stopwords(text);
+        let mut score = 0i32;
+        let mut negate_until: Option<usize> = None;
+        for (i, tok) in tokens.iter().enumerate() {
+            if self.negations.contains(tok) {
+                negate_until = Some(i + NEGATION_WINDOW);
+                continue;
+            }
+            let negated = negate_until.is_some_and(|until| i <= until);
+            let polarity = if self.positive.contains(tok) {
+                1
+            } else if self.negative.contains(tok) {
+                -1
+            } else {
+                0
+            };
+            score += if negated { -polarity } else { polarity };
+        }
+        score
+    }
+
+    /// Classifies a comment into the paper's three attitude classes.
+    pub fn classify(&self, text: &str) -> Sentiment {
+        match self.score(text) {
+            s if s > 0 => Sentiment::Positive,
+            s if s < 0 => Sentiment::Negative,
+            _ => Sentiment::Neutral,
+        }
+    }
+
+    /// The sentiment factor `SF` for a comment text
+    /// (1.0 / 0.5 / 0.1 per the paper).
+    pub fn factor(&self, text: &str) -> f64 {
+        self.classify(text).factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_seed_words_are_positive() {
+        let lex = SentimentLexicon::default();
+        for w in ["agree", "support", "conform"] {
+            assert_eq!(lex.classify(w), Sentiment::Positive, "{w}");
+        }
+    }
+
+    #[test]
+    fn clear_negative() {
+        let lex = SentimentLexicon::default();
+        assert_eq!(lex.classify("this is terrible and wrong"), Sentiment::Negative);
+        assert_eq!(lex.classify("I disagree completely"), Sentiment::Negative);
+    }
+
+    #[test]
+    fn neutral_when_no_signal_or_tied() {
+        let lex = SentimentLexicon::default();
+        assert_eq!(lex.classify("the post discusses databases"), Sentiment::Neutral);
+        assert_eq!(lex.classify("good but wrong"), Sentiment::Neutral);
+        assert_eq!(lex.classify(""), Sentiment::Neutral);
+    }
+
+    #[test]
+    fn negation_flips_polarity() {
+        let lex = SentimentLexicon::default();
+        assert_eq!(lex.classify("not good"), Sentiment::Negative);
+        assert_eq!(lex.classify("never disappointed"), Sentiment::Positive);
+        assert_eq!(lex.classify("i don't agree"), Sentiment::Negative);
+    }
+
+    #[test]
+    fn negation_window_is_bounded() {
+        let lex = SentimentLexicon::default();
+        // "good" is 4 tokens after "not": outside the window, stays positive.
+        assert_eq!(lex.classify("not that it matters really good"), Sentiment::Positive);
+    }
+
+    #[test]
+    fn factors_match_paper_values() {
+        let lex = SentimentLexicon::default();
+        assert_eq!(lex.factor("I agree and support this"), 1.0);
+        assert_eq!(lex.factor("meh whatever"), 0.5);
+        assert_eq!(lex.factor("utter nonsense, wrong"), 0.1);
+    }
+
+    #[test]
+    fn votes_accumulate() {
+        let lex = SentimentLexicon::default();
+        assert!(lex.score("great great terrible") > 0);
+        assert!(lex.score("terrible terrible great") < 0);
+    }
+
+    #[test]
+    fn extra_words_extend_lexicon() {
+        let lex =
+            SentimentLexicon::with_extra(vec!["stonks".to_string()], vec!["cringe".to_string()]);
+        assert_eq!(lex.classify("stonks"), Sentiment::Positive);
+        assert_eq!(lex.classify("cringe"), Sentiment::Negative);
+        // defaults still present
+        assert_eq!(lex.classify("agree"), Sentiment::Positive);
+    }
+
+    #[test]
+    fn case_insensitive_via_tokenizer() {
+        let lex = SentimentLexicon::default();
+        assert_eq!(lex.classify("AGREE!"), Sentiment::Positive);
+    }
+}

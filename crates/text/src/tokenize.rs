@@ -1,0 +1,183 @@
+//! Word tokenization and term counting.
+
+use crate::stopwords::is_stopword;
+use std::collections::HashMap;
+
+/// Lowercased word tokens with stopwords removed — the classifier's input.
+///
+/// A token is a maximal run of alphanumeric characters; apostrophes inside
+/// words are dropped ("it's" → "its" → filtered as a stopword). Tokens of a
+/// single character are kept only if they are digits (so "C" the language
+/// vanishes but "3" in "web 3" survives); this matches how sparse blog text
+/// is usually cleaned.
+pub fn tokenize(text: &str) -> Vec<String> {
+    raw_tokens(text).filter(|t| !is_stopword(t)).collect()
+}
+
+/// Like [`tokenize`] but keeps stopwords — the sentiment analyzer needs
+/// negation words ("not", "never") in place.
+pub fn tokenize_keep_stopwords(text: &str) -> Vec<String> {
+    raw_tokens(text).collect()
+}
+
+fn raw_tokens(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !(c.is_alphanumeric() || c == '\''))
+        .map(|w| w.replace('\'', "").to_lowercase())
+        .filter(|w| w.len() > 1 || w.chars().all(|c| c.is_ascii_digit() && !w.is_empty()))
+        .filter(|w| !w.is_empty())
+}
+
+/// A bag-of-words: term → occurrence count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TermCounts {
+    counts: HashMap<String, u32>,
+    total: u32,
+}
+
+impl TermCounts {
+    /// Counts the (stopword-filtered) tokens of `text`.
+    pub fn from_text(text: &str) -> Self {
+        let mut tc = TermCounts::default();
+        for t in tokenize(text) {
+            tc.add(t);
+        }
+        tc
+    }
+
+    /// Counts an explicit token stream.
+    pub fn from_tokens<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut tc = TermCounts::default();
+        for t in tokens {
+            tc.add(t);
+        }
+        tc
+    }
+
+    /// Adds one occurrence of `term`.
+    pub fn add(&mut self, term: String) {
+        *self.counts.entry(term).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Occurrences of `term`.
+    pub fn get(&self, term: &str) -> u32 {
+        self.counts.get(term).copied().unwrap_or(0)
+    }
+
+    /// Total token count.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates `(term, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Cosine similarity between two bags — used by interest matching.
+    pub fn cosine(&self, other: &TermCounts) -> f64 {
+        if self.total == 0 || other.total == 0 {
+            return 0.0;
+        }
+        let (small, large) =
+            if self.distinct() <= other.distinct() { (self, other) } else { (other, self) };
+        let dot: f64 =
+            small.iter().map(|(t, c)| c as f64 * large.get(t) as f64).sum();
+        let norm = |tc: &TermCounts| {
+            tc.iter().map(|(_, c)| (c as f64).powi(2)).sum::<f64>().sqrt()
+        };
+        let denom = norm(self) * norm(other);
+        if denom == 0.0 {
+            0.0
+        } else {
+            dot / denom
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_filters() {
+        let tokens = tokenize("The Quick BROWN fox, and the lazy dog!");
+        assert_eq!(tokens, vec!["quick", "brown", "fox", "lazy", "dog"]);
+    }
+
+    #[test]
+    fn apostrophes_folded() {
+        let tokens = tokenize("it's Amery's blog");
+        assert_eq!(tokens, vec!["amerys", "blog"]);
+    }
+
+    #[test]
+    fn digits_survive_single_char_filter() {
+        let tokens = tokenize("web 3 rocks x");
+        assert_eq!(tokens, vec!["web", "3", "rocks"]);
+    }
+
+    #[test]
+    fn unicode_words_kept() {
+        let tokens = tokenize("旅行 blog über café");
+        assert_eq!(tokens, vec!["旅行", "blog", "über", "café"]);
+    }
+
+    #[test]
+    fn keep_stopwords_variant() {
+        let tokens = tokenize_keep_stopwords("this is not good");
+        assert_eq!(tokens, vec!["this", "is", "not", "good"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn term_counts_basics() {
+        let tc = TermCounts::from_text("travel travel hotel");
+        assert_eq!(tc.get("travel"), 2);
+        assert_eq!(tc.get("hotel"), 1);
+        assert_eq!(tc.get("absent"), 0);
+        assert_eq!(tc.total(), 3);
+        assert_eq!(tc.distinct(), 2);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a = TermCounts::from_text("sports football match");
+        assert!((a.cosine(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_disjoint_is_zero() {
+        let a = TermCounts::from_text("sports football");
+        let b = TermCounts::from_text("medicine doctor");
+        assert_eq!(a.cosine(&b), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_symmetric_and_bounded() {
+        let a = TermCounts::from_text("travel hotel flight hotel");
+        let b = TermCounts::from_text("hotel resort travel");
+        let ab = a.cosine(&b);
+        let ba = b.cosine(&a);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0 && ab < 1.0);
+    }
+
+    #[test]
+    fn cosine_with_empty_is_zero() {
+        let a = TermCounts::from_text("x y");
+        let empty = TermCounts::default();
+        assert_eq!(a.cosine(&empty), 0.0);
+        assert_eq!(empty.cosine(&a), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the text-mining substrate.
+
+use mass_text::{tokenize, tokenize_keep_stopwords, NaiveBayesTrainer, SentimentLexicon, TermCounts};
+use mass_types::Sentiment;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tokens_are_lowercase_and_nonempty(s in ".{0,200}") {
+        for t in tokenize(&s) {
+            prop_assert!(!t.is_empty());
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+            prop_assert!(!t.contains(char::is_whitespace));
+        }
+    }
+
+    #[test]
+    fn tokenize_is_idempotent_on_its_output(s in ".{0,200}") {
+        let once = tokenize(&s).join(" ");
+        let twice = tokenize(&once).join(" ");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn stopword_filtering_only_removes(s in "[a-zA-Z ]{0,200}") {
+        let with = tokenize_keep_stopwords(&s);
+        let without = tokenize(&s);
+        prop_assert!(without.len() <= with.len());
+        // Every surviving token appears in the unfiltered stream.
+        let mut iter = with.iter();
+        for t in &without {
+            prop_assert!(iter.any(|x| x == t), "token {t} not in unfiltered stream");
+        }
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(a in "[a-z ]{0,100}", b in "[a-z ]{0,100}") {
+        let ta = TermCounts::from_text(&a);
+        let tb = TermCounts::from_text(&b);
+        let ab = ta.cosine(&tb);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ab), "cosine {ab}");
+        prop_assert!((ab - tb.cosine(&ta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nb_posterior_is_a_distribution(
+        docs in proptest::collection::vec(("[a-z]{1,8}( [a-z]{1,8}){0,10}", 0usize..4), 1..20),
+        query in "[a-z ]{0,60}",
+    ) {
+        let mut t = NaiveBayesTrainer::new(4);
+        for (text, class) in &docs {
+            t.add_document(*class, text);
+        }
+        let model = t.build(1);
+        let p = model.posterior(&query);
+        prop_assert_eq!(p.len(), 4);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        for &x in &p {
+            prop_assert!(x > 0.0, "smoothing keeps posteriors positive, got {x}");
+        }
+        // classify() agrees with argmax of the posterior.
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        prop_assert_eq!(model.classify(&query), argmax);
+    }
+
+    #[test]
+    fn nb_training_more_of_a_class_never_hurts_it(word in "[a-z]{3,8}") {
+        // Adding another document of class 0 containing `word` must not
+        // decrease the posterior of class 0 for `word`.
+        let mut t1 = NaiveBayesTrainer::new(2);
+        t1.add_document(0, &word);
+        t1.add_document(1, "unrelated stuff entirely");
+        let p1 = t1.build(1).posterior(&word)[0];
+
+        let mut t2 = NaiveBayesTrainer::new(2);
+        t2.add_document(0, &word);
+        t2.add_document(0, &word);
+        t2.add_document(1, "unrelated stuff entirely");
+        let p2 = t2.build(1).posterior(&word)[0];
+        prop_assert!(p2 >= p1 - 1e-12, "p1 {p1} p2 {p2}");
+    }
+
+    #[test]
+    fn sentiment_classifier_is_total(s in ".{0,200}") {
+        let lex = SentimentLexicon::default();
+        let c = lex.classify(&s);
+        prop_assert!(matches!(c, Sentiment::Positive | Sentiment::Negative | Sentiment::Neutral));
+        // Factor always matches the class.
+        prop_assert_eq!(lex.factor(&s), c.factor());
+    }
+
+    #[test]
+    fn appending_agree_never_lowers_score(s in "[a-z ]{0,80}") {
+        let lex = SentimentLexicon::default();
+        let base = lex.score(&s);
+        // Append with a buffer word so a trailing negation in `s` cannot
+        // flip the appended positive token.
+        let appended = format!("{s} also agree");
+        prop_assert!(lex.score(&appended) >= base, "{s:?}");
+    }
+
+    #[test]
+    fn novelty_marker_score_is_in_paper_band(s in ".{0,200}") {
+        let n = mass_text::novelty::novelty_from_markers(&s);
+        prop_assert!(n == 1.0 || (0.0 < n && n <= 0.1), "novelty {n}");
+    }
+
+    #[test]
+    fn novelty_detector_duplicate_always_penalised(s in "[a-z]{3,8}( [a-z]{3,8}){7,15}") {
+        let mut d = mass_text::NoveltyDetector::default();
+        let first = d.score_and_add(&s);
+        let second = d.score_and_add(&s);
+        // The first sighting may already be penalised if the random words
+        // happen to contain a copy marker (e.g. "via"); the invariants are
+        // that a verbatim repeat lands in the paper band and never scores
+        // above its original.
+        prop_assert!(second <= 0.1, "duplicate scored {second}");
+        prop_assert!(second <= first);
+    }
+}

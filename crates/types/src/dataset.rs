@@ -1,0 +1,404 @@
+//! The blogosphere snapshot: [`Dataset`], its builder and summary stats.
+
+use crate::domains::DomainSet;
+use crate::entity::{Blogger, Comment, Post, Sentiment};
+use crate::error::{Error, Result};
+use crate::ids::{BloggerId, DomainId, PostId};
+use crate::index::DatasetIndex;
+
+/// A consistent snapshot of a (real or simulated) blogosphere crawl:
+/// bloggers, their posts with comments, the space link graph and the domain
+/// catalogue the analyzer classifies against.
+///
+/// Construct via [`DatasetBuilder`] (which validates referential integrity)
+/// or deserialise from the XML store in `mass-xml`. All id spaces are dense:
+/// `BloggerId(i)` indexes `bloggers[i]`, `PostId(k)` indexes `posts[k]`.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Dataset {
+    /// All bloggers, indexed by [`BloggerId`].
+    pub bloggers: Vec<Blogger>,
+    /// All posts, indexed by [`PostId`].
+    pub posts: Vec<Post>,
+    /// The interest-domain catalogue.
+    pub domains: DomainSet,
+}
+
+impl Dataset {
+    /// Builds the per-blogger aggregate index ([`DatasetIndex`]).
+    pub fn index(&self) -> DatasetIndex {
+        DatasetIndex::build(self)
+    }
+
+    /// Looks up a blogger.
+    #[inline]
+    pub fn blogger(&self, id: BloggerId) -> &Blogger {
+        &self.bloggers[id.index()]
+    }
+
+    /// Looks up a post.
+    #[inline]
+    pub fn post(&self, id: PostId) -> &Post {
+        &self.posts[id.index()]
+    }
+
+    /// Iterates `(id, blogger)` pairs.
+    pub fn bloggers_enumerated(&self) -> impl Iterator<Item = (BloggerId, &Blogger)> {
+        self.bloggers.iter().enumerate().map(|(i, b)| (BloggerId::new(i), b))
+    }
+
+    /// Iterates `(id, post)` pairs.
+    pub fn posts_enumerated(&self) -> impl Iterator<Item = (PostId, &Post)> {
+        self.posts.iter().enumerate().map(|(i, p)| (PostId::new(i), p))
+    }
+
+    /// Finds a blogger by exact display name (names need not be unique; the
+    /// first match wins).
+    pub fn blogger_by_name(&self, name: &str) -> Option<BloggerId> {
+        self.bloggers.iter().position(|b| b.name == name).map(BloggerId::new)
+    }
+
+    /// Validates referential integrity; [`DatasetBuilder::build`] calls this,
+    /// and the XML loader re-validates untrusted files with it.
+    pub fn validate(&self) -> Result<()> {
+        let nb = self.bloggers.len();
+        let np = self.posts.len();
+        for (pidx, post) in self.posts.iter().enumerate() {
+            let pid = PostId::new(pidx);
+            if post.author.index() >= nb {
+                return Err(Error::UnknownAuthor { post: pid, author: post.author });
+            }
+            for c in &post.comments {
+                if c.commenter.index() >= nb {
+                    return Err(Error::UnknownCommenter { post: pid, commenter: c.commenter });
+                }
+                if c.commenter == post.author {
+                    return Err(Error::SelfComment { post: pid, blogger: c.commenter });
+                }
+            }
+            for &target in &post.links_to {
+                if target.index() >= np {
+                    return Err(Error::UnknownLinkedPost { post: pid, target });
+                }
+                if target == pid {
+                    return Err(Error::SelfLink { post: pid });
+                }
+            }
+            if let Some(d) = post.true_domain {
+                if d.index() >= self.domains.len() {
+                    return Err(Error::UnknownDomain {
+                        post: pid,
+                        domain: d.index(),
+                        catalogue_len: self.domains.len(),
+                    });
+                }
+            }
+        }
+        for (bidx, blogger) in self.bloggers.iter().enumerate() {
+            for &friend in &blogger.friends {
+                if friend.index() >= nb {
+                    return Err(Error::UnknownFriend { blogger: BloggerId::new(bidx), friend });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary statistics for logging and the CLI `stats` command.
+    pub fn stats(&self) -> DatasetStats {
+        let total_comments: usize = self.posts.iter().map(|p| p.comments.len()).sum();
+        let total_post_links: usize = self.posts.iter().map(|p| p.links_to.len()).sum();
+        let total_friend_links: usize = self.bloggers.iter().map(|b| b.friends.len()).sum();
+        let total_words: usize = self.posts.iter().map(|p| p.length_words()).sum();
+        DatasetStats {
+            bloggers: self.bloggers.len(),
+            posts: self.posts.len(),
+            comments: total_comments,
+            post_links: total_post_links,
+            friend_links: total_friend_links,
+            domains: self.domains.len(),
+            mean_post_words: if self.posts.is_empty() {
+                0.0
+            } else {
+                total_words as f64 / self.posts.len() as f64
+            },
+        }
+    }
+}
+
+/// Aggregate counts over a [`Dataset`], produced by [`Dataset::stats`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Number of bloggers.
+    pub bloggers: usize,
+    /// Number of posts.
+    pub posts: usize,
+    /// Total comments across all posts.
+    pub comments: usize,
+    /// Total post-to-post links.
+    pub post_links: usize,
+    /// Total blogger-to-blogger (friend) links.
+    pub friend_links: usize,
+    /// Number of domains in the catalogue.
+    pub domains: usize,
+    /// Mean post length in words.
+    pub mean_post_words: f64,
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} bloggers, {} posts ({} comments, {:.1} words/post), {} post links, {} friend links, {} domains",
+            self.bloggers,
+            self.posts,
+            self.comments,
+            self.mean_post_words,
+            self.post_links,
+            self.friend_links,
+            self.domains
+        )
+    }
+}
+
+/// Incremental, validated constructor for [`Dataset`].
+///
+/// The builder hands out ids as entities are added, so callers can wire
+/// comments and links without tracking indices themselves. [`build`]
+/// validates the finished dataset.
+///
+/// [`build`]: DatasetBuilder::build
+#[derive(Clone, Debug, Default)]
+pub struct DatasetBuilder {
+    dataset: Dataset,
+}
+
+impl DatasetBuilder {
+    /// Starts an empty dataset with the paper's ten-domain catalogue.
+    pub fn new() -> Self {
+        DatasetBuilder { dataset: Dataset { domains: DomainSet::paper(), ..Default::default() } }
+    }
+
+    /// Starts an empty dataset with a custom domain catalogue.
+    pub fn with_domains(domains: DomainSet) -> Self {
+        DatasetBuilder { dataset: Dataset { domains, ..Default::default() } }
+    }
+
+    /// Adds a blogger with an empty profile.
+    pub fn blogger(&mut self, name: impl Into<String>) -> BloggerId {
+        self.add_blogger(Blogger::new(name))
+    }
+
+    /// Adds a blogger with a profile text.
+    pub fn blogger_with_profile(
+        &mut self,
+        name: impl Into<String>,
+        profile: impl Into<String>,
+    ) -> BloggerId {
+        self.add_blogger(Blogger::with_profile(name, profile))
+    }
+
+    /// Adds a fully-formed blogger record.
+    pub fn add_blogger(&mut self, blogger: Blogger) -> BloggerId {
+        let id = BloggerId::new(self.dataset.bloggers.len());
+        self.dataset.bloggers.push(blogger);
+        id
+    }
+
+    /// Adds a post authored by `author`.
+    pub fn post(
+        &mut self,
+        author: BloggerId,
+        title: impl Into<String>,
+        text: impl Into<String>,
+    ) -> PostId {
+        self.add_post(Post::new(author, title, text))
+    }
+
+    /// Adds a post with a ground-truth domain tag (synthetic corpora).
+    pub fn post_in_domain(
+        &mut self,
+        author: BloggerId,
+        title: impl Into<String>,
+        text: impl Into<String>,
+        domain: DomainId,
+    ) -> PostId {
+        let mut p = Post::new(author, title, text);
+        p.true_domain = Some(domain);
+        self.add_post(p)
+    }
+
+    /// Adds a fully-formed post record.
+    pub fn add_post(&mut self, post: Post) -> PostId {
+        let id = PostId::new(self.dataset.posts.len());
+        self.dataset.posts.push(post);
+        id
+    }
+
+    /// Appends a comment to `post`.
+    pub fn comment(
+        &mut self,
+        post: PostId,
+        commenter: BloggerId,
+        text: impl Into<String>,
+        sentiment: Option<Sentiment>,
+    ) {
+        self.dataset.posts[post.index()]
+            .comments
+            .push(Comment { commenter, text: text.into(), sentiment });
+    }
+
+    /// Records that `from` links to `to` in the post link graph.
+    pub fn link_posts(&mut self, from: PostId, to: PostId) {
+        self.dataset.posts[from.index()].links_to.push(to);
+    }
+
+    /// Records a friend/space link `from → to` in the blogger link graph.
+    pub fn friend(&mut self, from: BloggerId, to: BloggerId) {
+        self.dataset.bloggers[from.index()].friends.push(to);
+    }
+
+    /// Number of bloggers added so far.
+    pub fn blogger_count(&self) -> usize {
+        self.dataset.bloggers.len()
+    }
+
+    /// Number of posts added so far.
+    pub fn post_count(&self) -> usize {
+        self.dataset.posts.len()
+    }
+
+    /// Validates and returns the dataset.
+    pub fn build(self) -> Result<Dataset> {
+        self.dataset.validate()?;
+        Ok(self.dataset)
+    }
+
+    /// Returns the dataset without validation. For test fixtures that
+    /// deliberately construct inconsistent data.
+    pub fn build_unchecked(self) -> Dataset {
+        self.dataset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> DatasetBuilder {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("A");
+        let c = b.blogger("C");
+        let p = b.post(a, "t", "hello world text");
+        b.comment(p, c, "agree", Some(Sentiment::Positive));
+        b
+    }
+
+    #[test]
+    fn build_validates_ok() {
+        let ds = toy().build().unwrap();
+        assert_eq!(ds.bloggers.len(), 2);
+        assert_eq!(ds.posts.len(), 1);
+        assert_eq!(ds.blogger_by_name("C"), Some(BloggerId::new(1)));
+        assert_eq!(ds.blogger_by_name("Z"), None);
+    }
+
+    #[test]
+    fn self_comment_rejected() {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("A");
+        let p = b.post(a, "t", "x");
+        b.comment(p, a, "me!", None);
+        assert_eq!(
+            b.build().unwrap_err(),
+            Error::SelfComment { post: PostId::new(0), blogger: a }
+        );
+    }
+
+    #[test]
+    fn unknown_commenter_rejected() {
+        let mut b = toy();
+        let p = PostId::new(0);
+        b.comment(p, BloggerId::new(99), "ghost", None);
+        assert!(matches!(b.build().unwrap_err(), Error::UnknownCommenter { .. }));
+    }
+
+    #[test]
+    fn unknown_friend_rejected() {
+        let mut b = toy();
+        b.friend(BloggerId::new(0), BloggerId::new(50));
+        assert!(matches!(b.build().unwrap_err(), Error::UnknownFriend { .. }));
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut b = toy();
+        b.link_posts(PostId::new(0), PostId::new(0));
+        assert_eq!(b.build().unwrap_err(), Error::SelfLink { post: PostId::new(0) });
+    }
+
+    #[test]
+    fn unknown_linked_post_rejected() {
+        let mut b = toy();
+        b.link_posts(PostId::new(0), PostId::new(77));
+        assert!(matches!(b.build().unwrap_err(), Error::UnknownLinkedPost { .. }));
+    }
+
+    #[test]
+    fn unknown_domain_rejected() {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("A");
+        b.post_in_domain(a, "t", "x", DomainId::new(10)); // catalogue has 10 => max index 9
+        assert!(matches!(b.build().unwrap_err(), Error::UnknownDomain { .. }));
+    }
+
+    #[test]
+    fn unknown_author_rejected() {
+        let mut b = DatasetBuilder::new();
+        b.add_post(Post::new(BloggerId::new(5), "t", "x"));
+        assert!(matches!(b.build().unwrap_err(), Error::UnknownAuthor { .. }));
+    }
+
+    #[test]
+    fn build_unchecked_skips_validation() {
+        let mut b = DatasetBuilder::new();
+        b.add_post(Post::new(BloggerId::new(5), "t", "x"));
+        let ds = b.build_unchecked();
+        assert!(ds.validate().is_err());
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut b = toy();
+        let a = BloggerId::new(0);
+        let c = BloggerId::new(1);
+        b.friend(a, c);
+        let p2 = b.post(c, "t2", "four words in here");
+        b.link_posts(p2, PostId::new(0));
+        let ds = b.build().unwrap();
+        let s = ds.stats();
+        assert_eq!(s.bloggers, 2);
+        assert_eq!(s.posts, 2);
+        assert_eq!(s.comments, 1);
+        assert_eq!(s.post_links, 1);
+        assert_eq!(s.friend_links, 1);
+        assert_eq!(s.domains, 10);
+        assert!((s.mean_post_words - 3.5).abs() < 1e-12);
+        let rendered = s.to_string();
+        assert!(rendered.contains("2 bloggers"));
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let s = DatasetBuilder::new().build().unwrap().stats();
+        assert_eq!(s.posts, 0);
+        assert_eq!(s.mean_post_words, 0.0);
+    }
+
+    #[test]
+    fn enumerated_iterators_pair_ids() {
+        let ds = toy().build().unwrap();
+        let ids: Vec<_> = ds.bloggers_enumerated().map(|(i, b)| (i, b.name.clone())).collect();
+        assert_eq!(ids, vec![(BloggerId::new(0), "A".into()), (BloggerId::new(1), "C".into())]);
+        assert_eq!(ds.posts_enumerated().count(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Interest-domain catalogues.
+//!
+//! The paper predefines ten interest domains for its MSN-Spaces corpus:
+//! *Travel, Computer, Communication, Education, Economics, Military, Sports,
+//! Medicine, Art, Politics*. [`DomainSet`] is an ordered, name-addressable
+//! catalogue of such domains; [`PAPER_DOMAINS`] is that exact list.
+
+use crate::ids::DomainId;
+use std::collections::HashMap;
+
+/// The ten predefined interest domains of the paper's evaluation (Section III).
+pub const PAPER_DOMAINS: [&str; 10] = [
+    "Travel",
+    "Computer",
+    "Communication",
+    "Education",
+    "Economics",
+    "Military",
+    "Sports",
+    "Medicine",
+    "Art",
+    "Politics",
+];
+
+/// An ordered catalogue of interest domains (`C_t` in Eq. 5).
+///
+/// Domains can be predefined by the business application (as in the paper's
+/// evaluation) or discovered by topic-discovery techniques; either way they
+/// end up as a `DomainSet`, and every domain-influence vector in `mass-core`
+/// is indexed by [`DomainId`] positions in this catalogue.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DomainSet {
+    names: Vec<String>,
+    by_name: HashMap<String, DomainId>,
+}
+
+impl DomainSet {
+    /// Builds a catalogue from domain names. Duplicate names (case-sensitive)
+    /// keep the first occurrence's id.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut set = DomainSet { names: Vec::new(), by_name: HashMap::new() };
+        for name in names {
+            set.insert(name.into());
+        }
+        set
+    }
+
+    /// The paper's ten-domain catalogue.
+    pub fn paper() -> Self {
+        Self::new(PAPER_DOMAINS)
+    }
+
+    /// Adds a domain, returning its id (existing id if already present).
+    pub fn insert(&mut self, name: String) -> DomainId {
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        let id = DomainId::new(self.names.len());
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Number of domains.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a domain.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this catalogue.
+    pub fn name(&self, id: DomainId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks a domain up by exact name.
+    pub fn id_of(&self, name: &str) -> Option<DomainId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Case-insensitive lookup, for user-supplied domain choices
+    /// (the Fig. 3 dropdown accepts e.g. "sports").
+    pub fn id_of_ci(&self, name: &str) -> Option<DomainId> {
+        self.names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+            .map(DomainId::new)
+    }
+
+    /// Iterates `(id, name)` pairs in catalogue order.
+    pub fn iter(&self) -> impl Iterator<Item = (DomainId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (DomainId::new(i), n.as_str()))
+    }
+
+    /// All ids in catalogue order.
+    pub fn ids(&self) -> impl Iterator<Item = DomainId> + '_ {
+        (0..self.names.len()).map(DomainId::new)
+    }
+
+    /// All names in catalogue order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl Default for DomainSet {
+    /// The default catalogue is the paper's ten domains.
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_ten_domains_in_order() {
+        let d = DomainSet::paper();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.name(DomainId::new(0)), "Travel");
+        assert_eq!(d.name(DomainId::new(6)), "Sports");
+        assert_eq!(d.name(DomainId::new(9)), "Politics");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let d = DomainSet::paper();
+        assert_eq!(d.id_of("Art"), Some(DomainId::new(8)));
+        assert_eq!(d.id_of("art"), None);
+        assert_eq!(d.id_of_ci("art"), Some(DomainId::new(8)));
+        assert_eq!(d.id_of_ci("SPORTS"), Some(DomainId::new(6)));
+        assert_eq!(d.id_of("Cooking"), None);
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut d = DomainSet::new(["A", "B"]);
+        let a = d.id_of("A").unwrap();
+        assert_eq!(d.insert("A".into()), a);
+        assert_eq!(d.len(), 2);
+        let c = d.insert("C".into());
+        assert_eq!(c, DomainId::new(2));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let d = DomainSet::new(["X", "Y"]);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(DomainId::new(0), "X"), (DomainId::new(1), "Y")]);
+        assert_eq!(d.ids().count(), 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let d = DomainSet::new(Vec::<String>::new());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(DomainSet::default(), DomainSet::paper());
+    }
+}

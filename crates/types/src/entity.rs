@@ -1,0 +1,203 @@
+//! Blogosphere entities: bloggers, posts and comments.
+
+use crate::ids::{BloggerId, DomainId, PostId};
+
+/// A commenter's attitude toward a post, per Section II of the paper.
+///
+/// The paper maps attitudes to a *sentiment factor* `SF(b_i, d_k, b_j)`:
+/// `1.0` for positive comments (containing words such as "agree", "support",
+/// "conform"), `0.1` for negative comments, and `0.5` otherwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Sentiment {
+    /// The commenter endorses the post (`SF = 1.0`).
+    Positive,
+    /// The commenter disagrees with or criticises the post (`SF = 0.1`).
+    Negative,
+    /// No clear attitude (`SF = 0.5`). This is the default for untagged
+    /// comments and the fallback when lexicon analysis is inconclusive.
+    #[default]
+    Neutral,
+}
+
+impl Sentiment {
+    /// The sentiment factor the paper assigns to this attitude class.
+    #[inline]
+    pub fn factor(self) -> f64 {
+        match self {
+            Sentiment::Positive => 1.0,
+            Sentiment::Neutral => 0.5,
+            Sentiment::Negative => 0.1,
+        }
+    }
+
+    /// Stable lowercase name, used by the XML store.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sentiment::Positive => "positive",
+            Sentiment::Negative => "negative",
+            Sentiment::Neutral => "neutral",
+        }
+    }
+
+    /// Parses the stable name produced by [`Sentiment::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "positive" => Some(Sentiment::Positive),
+            "negative" => Some(Sentiment::Negative),
+            "neutral" => Some(Sentiment::Neutral),
+            _ => None,
+        }
+    }
+}
+
+/// A reply left on a [`Post`] by another blogger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comment {
+    /// The blogger who wrote the comment (`b_j` in Eq. 3).
+    pub commenter: BloggerId,
+    /// Raw comment text; the comment analyzer derives [`Comment::sentiment`]
+    /// from it when the tag is absent.
+    pub text: String,
+    /// Attitude of the commenter, if already analysed or ground-truth known.
+    pub sentiment: Option<Sentiment>,
+}
+
+impl Comment {
+    /// Creates an untagged comment; sentiment is left to the analyzer.
+    pub fn new(commenter: BloggerId, text: impl Into<String>) -> Self {
+        Comment { commenter, text: text.into(), sentiment: None }
+    }
+
+    /// The effective sentiment: the explicit tag if present, else
+    /// [`Sentiment::Neutral`].
+    #[inline]
+    pub fn effective_sentiment(&self) -> Sentiment {
+        self.sentiment.unwrap_or_default()
+    }
+}
+
+/// A blog post — the paper's unit of analysis (`d_k`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Post {
+    /// Author of the post (`b_i`).
+    pub author: BloggerId,
+    /// Post title, displayed in the UI and used by the classifier.
+    pub title: String,
+    /// Post body text.
+    pub text: String,
+    /// Posts this post links to (blogroll citations, trackbacks). These form
+    /// the post-level link graph used by the OpinionLeader baseline and the
+    /// in-link/out-link features of the iFinder baseline.
+    pub links_to: Vec<PostId>,
+    /// Comments received, in arrival order.
+    pub comments: Vec<Comment>,
+    /// Ground-truth domain, when the post came from the synthetic generator.
+    /// Real crawled posts leave this `None`; the analyzer infers domains with
+    /// the naive-Bayes classifier instead.
+    pub true_domain: Option<DomainId>,
+}
+
+impl Post {
+    /// Creates a post with no links or comments.
+    pub fn new(author: BloggerId, title: impl Into<String>, text: impl Into<String>) -> Self {
+        Post {
+            author,
+            title: title.into(),
+            text: text.into(),
+            links_to: Vec::new(),
+            comments: Vec::new(),
+            true_domain: None,
+        }
+    }
+
+    /// Post length in word tokens — the paper's quality proxy
+    /// ("the longer a post, the higher quality it is considered").
+    pub fn length_words(&self) -> usize {
+        self.text.split_whitespace().count()
+    }
+
+    /// Number of comments received (`|C(b_i, d_k)|` counts commenters per
+    /// comment occurrence; the paper sums over comments).
+    #[inline]
+    pub fn comment_count(&self) -> usize {
+        self.comments.len()
+    }
+}
+
+/// A blog author (`b_i`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Blogger {
+    /// Display name, shown on visualisation nodes.
+    pub name: String,
+    /// Free-text profile; Scenario 2 mines interest domains from it.
+    pub profile: String,
+    /// Bloggers this blogger links to from their space (friend/blogroll
+    /// links). These are the edges of the General-Links authority graph.
+    pub friends: Vec<BloggerId>,
+}
+
+impl Blogger {
+    /// Creates a blogger with an empty profile and no links.
+    pub fn new(name: impl Into<String>) -> Self {
+        Blogger { name: name.into(), profile: String::new(), friends: Vec::new() }
+    }
+
+    /// Creates a blogger with a profile.
+    pub fn with_profile(name: impl Into<String>, profile: impl Into<String>) -> Self {
+        Blogger { name: name.into(), profile: profile.into(), friends: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentiment_factors_match_paper() {
+        assert_eq!(Sentiment::Positive.factor(), 1.0);
+        assert_eq!(Sentiment::Neutral.factor(), 0.5);
+        assert_eq!(Sentiment::Negative.factor(), 0.1);
+    }
+
+    #[test]
+    fn sentiment_name_roundtrip() {
+        for s in [Sentiment::Positive, Sentiment::Negative, Sentiment::Neutral] {
+            assert_eq!(Sentiment::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Sentiment::parse("meh"), None);
+    }
+
+    #[test]
+    fn default_sentiment_is_neutral() {
+        let c = Comment::new(BloggerId::new(0), "hm");
+        assert_eq!(c.effective_sentiment(), Sentiment::Neutral);
+        let tagged = Comment { sentiment: Some(Sentiment::Positive), ..c };
+        assert_eq!(tagged.effective_sentiment(), Sentiment::Positive);
+    }
+
+    #[test]
+    fn post_length_counts_words() {
+        let p = Post::new(BloggerId::new(0), "t", "one two  three\nfour");
+        assert_eq!(p.length_words(), 4);
+        let empty = Post::new(BloggerId::new(0), "t", "");
+        assert_eq!(empty.length_words(), 0);
+    }
+
+    #[test]
+    fn post_comment_count() {
+        let mut p = Post::new(BloggerId::new(0), "t", "x");
+        assert_eq!(p.comment_count(), 0);
+        p.comments.push(Comment::new(BloggerId::new(1), "hi"));
+        p.comments.push(Comment::new(BloggerId::new(1), "again"));
+        assert_eq!(p.comment_count(), 2);
+    }
+
+    #[test]
+    fn blogger_constructors() {
+        let b = Blogger::new("Amery");
+        assert_eq!(b.name, "Amery");
+        assert!(b.profile.is_empty());
+        let p = Blogger::with_profile("Bob", "likes sports");
+        assert_eq!(p.profile, "likes sports");
+    }
+}

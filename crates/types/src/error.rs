@@ -1,0 +1,79 @@
+//! Error type for dataset construction and validation.
+
+use crate::ids::{BloggerId, PostId};
+use std::fmt;
+
+/// Convenience alias used across the MASS crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Consistency errors detected when building or validating a [`crate::Dataset`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A post's author id is not a blogger in the dataset.
+    UnknownAuthor { post: PostId, author: BloggerId },
+    /// A comment references a commenter id that is not a blogger.
+    UnknownCommenter { post: PostId, commenter: BloggerId },
+    /// A friend link points at a blogger id outside the dataset.
+    UnknownFriend { blogger: BloggerId, friend: BloggerId },
+    /// A post-to-post link points at a post id outside the dataset.
+    UnknownLinkedPost { post: PostId, target: PostId },
+    /// A post's `true_domain` index exceeds the domain catalogue.
+    UnknownDomain { post: PostId, domain: usize, catalogue_len: usize },
+    /// A blogger commented on their own post; the paper's influence flow is
+    /// between peers, so self-comments are rejected at build time.
+    SelfComment { post: PostId, blogger: BloggerId },
+    /// A post links to itself.
+    SelfLink { post: PostId },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAuthor { post, author } => {
+                write!(f, "post {post} has unknown author {author}")
+            }
+            Error::UnknownCommenter { post, commenter } => {
+                write!(f, "post {post} has comment from unknown blogger {commenter}")
+            }
+            Error::UnknownFriend { blogger, friend } => {
+                write!(f, "blogger {blogger} links to unknown blogger {friend}")
+            }
+            Error::UnknownLinkedPost { post, target } => {
+                write!(f, "post {post} links to unknown post {target}")
+            }
+            Error::UnknownDomain { post, domain, catalogue_len } => write!(
+                f,
+                "post {post} claims domain index {domain} but the catalogue has {catalogue_len} domains"
+            ),
+            Error::SelfComment { post, blogger } => {
+                write!(f, "blogger {blogger} comments on their own post {post}")
+            }
+            Error::SelfLink { post } => write!(f, "post {post} links to itself"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_ids() {
+        let e = Error::UnknownCommenter { post: PostId::new(3), commenter: BloggerId::new(9) };
+        assert_eq!(e.to_string(), "post p3 has comment from unknown blogger b9");
+        let e = Error::SelfLink { post: PostId::new(1) };
+        assert!(e.to_string().contains("p1"));
+        let e = Error::UnknownDomain { post: PostId::new(2), domain: 11, catalogue_len: 10 };
+        assert!(e.to_string().contains("11"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(Error::SelfComment { post: PostId::new(0), blogger: BloggerId::new(0) });
+        assert!(e.to_string().contains("own post"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Typed identifiers for the MASS data model.
+//!
+//! All identifiers are dense indices into the owning [`crate::Dataset`]'s
+//! vectors, wrapped in newtypes so a post index can never be confused with a
+//! blogger index. They are `u32` internally: the paper's corpus is ~3 000
+//! bloggers and ~40 000 posts, and even aggressive synthetic scale-ups stay
+//! far below `u32::MAX`.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw dense index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn new(idx: usize) -> Self {
+                assert!(idx <= u32::MAX as usize, concat!($tag, " id out of range"));
+                Self(idx as u32)
+            }
+
+            /// The raw dense index, for vector addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(idx: usize) -> Self {
+                Self::new(idx)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a [`crate::Blogger`] within a [`crate::Dataset`].
+    BloggerId,
+    "b"
+);
+
+define_id!(
+    /// Identifier of a [`crate::Post`] within a [`crate::Dataset`].
+    PostId,
+    "p"
+);
+
+define_id!(
+    /// Identifier of an interest domain within a [`crate::DomainSet`].
+    DomainId,
+    "C"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_index() {
+        let b = BloggerId::new(42);
+        assert_eq!(b.index(), 42);
+        assert_eq!(usize::from(b), 42);
+        assert_eq!(BloggerId::from(42usize), b);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(BloggerId::new(7).to_string(), "b7");
+        assert_eq!(PostId::new(9).to_string(), "p9");
+        assert_eq!(DomainId::new(3).to_string(), "C3");
+        assert_eq!(format!("{:?}", PostId::new(0)), "p0");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(PostId::new(1));
+        set.insert(PostId::new(1));
+        set.insert(PostId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(BloggerId::new(1) < BloggerId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_id_panics() {
+        let _ = BloggerId::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn max_u32_is_accepted() {
+        assert_eq!(BloggerId::new(u32::MAX as usize).index(), u32::MAX as usize);
+    }
+}

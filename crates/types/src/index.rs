@@ -1,0 +1,178 @@
+//! Precomputed lookup structures over a [`crate::Dataset`].
+//!
+//! The influence equations repeatedly need per-blogger aggregates — which
+//! posts a blogger wrote (`P(b_i)`), how many comments a blogger has made in
+//! total (`TC(b_j)`, the Eq. 3 normaliser), in-link tallies for the link
+//! baselines — so [`DatasetIndex`] computes them once in a single pass.
+
+use crate::dataset::Dataset;
+use crate::ids::{BloggerId, PostId};
+
+/// Immutable per-dataset aggregates, built by [`Dataset::index`].
+///
+/// All vectors are indexed by the dense id spaces of the dataset the index
+/// was built from; using it with a different dataset is a logic error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetIndex {
+    /// `posts_by_blogger[b]` = ids of the posts authored by blogger `b`,
+    /// in post-id order. This is `P(b_i)` from Eq. 1.
+    posts_by_blogger: Vec<Vec<PostId>>,
+    /// `TC(b)`: total number of comments blogger `b` has written anywhere.
+    total_comments_made: Vec<u32>,
+    /// Total number of comments received across all of `b`'s posts.
+    comments_received: Vec<u32>,
+    /// In-link count of each post (how many other posts link to it).
+    post_inlinks: Vec<u32>,
+    /// In-link count of each blogger in the friend/space link graph.
+    blogger_inlinks: Vec<u32>,
+}
+
+impl DatasetIndex {
+    /// Builds the index in a single pass over the dataset.
+    pub fn build(ds: &Dataset) -> Self {
+        let nb = ds.bloggers.len();
+        let np = ds.posts.len();
+        let mut posts_by_blogger = vec![Vec::new(); nb];
+        let mut total_comments_made = vec![0u32; nb];
+        let mut comments_received = vec![0u32; nb];
+        let mut post_inlinks = vec![0u32; np];
+        let mut blogger_inlinks = vec![0u32; nb];
+
+        for (pidx, post) in ds.posts.iter().enumerate() {
+            let pid = PostId::new(pidx);
+            posts_by_blogger[post.author.index()].push(pid);
+            comments_received[post.author.index()] += post.comments.len() as u32;
+            for c in &post.comments {
+                total_comments_made[c.commenter.index()] += 1;
+            }
+            for &target in &post.links_to {
+                post_inlinks[target.index()] += 1;
+            }
+        }
+        for blogger in &ds.bloggers {
+            for &friend in &blogger.friends {
+                blogger_inlinks[friend.index()] += 1;
+            }
+        }
+
+        DatasetIndex {
+            posts_by_blogger,
+            total_comments_made,
+            comments_received,
+            post_inlinks,
+            blogger_inlinks,
+        }
+    }
+
+    /// Posts authored by `b` (`P(b_i)`).
+    #[inline]
+    pub fn posts_of(&self, b: BloggerId) -> &[PostId] {
+        &self.posts_by_blogger[b.index()]
+    }
+
+    /// `|P(b_i)|` — number of posts written by `b`.
+    #[inline]
+    pub fn post_count(&self, b: BloggerId) -> usize {
+        self.posts_by_blogger[b.index()].len()
+    }
+
+    /// `TC(b)`: total comments blogger `b` has made on anyone's posts.
+    #[inline]
+    pub fn total_comments_made(&self, b: BloggerId) -> u32 {
+        self.total_comments_made[b.index()]
+    }
+
+    /// Total comments received across all of `b`'s posts.
+    #[inline]
+    pub fn comments_received(&self, b: BloggerId) -> u32 {
+        self.comments_received[b.index()]
+    }
+
+    /// How many posts link to post `p`.
+    #[inline]
+    pub fn post_inlinks(&self, p: PostId) -> u32 {
+        self.post_inlinks[p.index()]
+    }
+
+    /// How many bloggers link to blogger `b` in the space link graph.
+    #[inline]
+    pub fn blogger_inlinks(&self, b: BloggerId) -> u32 {
+        self.blogger_inlinks[b.index()]
+    }
+
+    /// Number of bloggers the index covers.
+    #[inline]
+    pub fn blogger_count(&self) -> usize {
+        self.posts_by_blogger.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dataset::DatasetBuilder;
+    use crate::entity::Sentiment;
+    use crate::ids::{BloggerId, PostId};
+
+    #[test]
+    fn aggregates_match_hand_counts() {
+        let mut b = DatasetBuilder::new();
+        let amery = b.blogger("Amery");
+        let bob = b.blogger("Bob");
+        let cary = b.blogger("Cary");
+        let p1 = b.post(amery, "Post1", "programming skills in computer science");
+        let p2 = b.post(amery, "Post2", "economic depression trends");
+        let p3 = b.post(bob, "Post3", "more cs");
+        b.comment(p1, bob, "agree", Some(Sentiment::Positive));
+        b.comment(p1, cary, "hmm", None);
+        b.comment(p2, cary, "support", Some(Sentiment::Positive));
+        b.link_posts(p3, p1);
+        b.friend(bob, amery);
+        b.friend(cary, amery);
+        let ds = b.build().unwrap();
+        let ix = ds.index();
+
+        assert_eq!(ix.posts_of(amery), &[p1, p2]);
+        assert_eq!(ix.post_count(amery), 2);
+        assert_eq!(ix.post_count(cary), 0);
+        assert_eq!(ix.total_comments_made(cary), 2);
+        assert_eq!(ix.total_comments_made(bob), 1);
+        assert_eq!(ix.total_comments_made(amery), 0);
+        assert_eq!(ix.comments_received(amery), 3);
+        assert_eq!(ix.comments_received(bob), 0);
+        assert_eq!(ix.post_inlinks(p1), 1);
+        assert_eq!(ix.post_inlinks(p3), 0);
+        assert_eq!(ix.blogger_inlinks(amery), 2);
+        assert_eq!(ix.blogger_inlinks(bob), 0);
+        assert_eq!(ix.blogger_count(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_indexes_cleanly() {
+        let ds = DatasetBuilder::new().build().unwrap();
+        let ix = ds.index();
+        assert_eq!(ix.blogger_count(), 0);
+    }
+
+    #[test]
+    fn blogger_without_posts_has_empty_slices() {
+        let mut b = DatasetBuilder::new();
+        let lurker = b.blogger("Lurker");
+        let ds = b.build().unwrap();
+        let ix = ds.index();
+        assert!(ix.posts_of(lurker).is_empty());
+        assert_eq!(ix.total_comments_made(lurker), 0);
+        assert_eq!(ix.comments_received(lurker), 0);
+    }
+
+    #[test]
+    fn index_is_deterministic() {
+        let mut b = DatasetBuilder::new();
+        let x = b.blogger("x");
+        let y = b.blogger("y");
+        let p = b.post(x, "t", "w w w");
+        b.comment(p, y, "ok", None);
+        let ds = b.build().unwrap();
+        assert_eq!(ds.index(), ds.index());
+        let _ = (BloggerId::new(0), PostId::new(0)); // silence unused imports in some cfgs
+    }
+}

@@ -1,0 +1,46 @@
+//! # mass-types
+//!
+//! Core data model for the MASS influential-blogger mining system
+//! (Cai & Chen, *MASS: a Multi-fAcet domain-Specific influential blogger
+//! mining System*, ICDE 2010).
+//!
+//! This crate defines the entities every other MASS crate operates on:
+//!
+//! * [`Blogger`] — a blog author with a profile and outgoing space links,
+//! * [`Post`] — a blog post with text, post-to-post links and [`Comment`]s,
+//! * [`Comment`] — a reply by another blogger, optionally sentiment-tagged,
+//! * [`Dataset`] — the crawled blogosphere snapshot, plus
+//! * [`DatasetIndex`] — precomputed lookup structures (per-blogger post lists,
+//!   `TC(b)` total-comment counts, in-link tallies) that the influence model
+//!   in `mass-core` consumes.
+//!
+//! The model follows the paper's "post-reply" view of the blogosphere: the
+//! primary analysis unit is the *post*; bloggers influence each other by
+//! commenting on posts and by linking to each other's spaces.
+//!
+//! ```
+//! use mass_types::{DatasetBuilder, Sentiment};
+//!
+//! let mut b = DatasetBuilder::new();
+//! let amery = b.blogger("Amery");
+//! let bob = b.blogger("Bob");
+//! let post = b.post(amery, "Rust tips", "Some programming skills in CS.");
+//! b.comment(post, bob, "agree, great post", Some(Sentiment::Positive));
+//! let dataset = b.build().expect("consistent dataset");
+//! assert_eq!(dataset.bloggers.len(), 2);
+//! assert_eq!(dataset.index().total_comments_made(bob), 1);
+//! ```
+
+pub mod dataset;
+pub mod domains;
+pub mod entity;
+pub mod error;
+pub mod ids;
+pub mod index;
+
+pub use dataset::{Dataset, DatasetBuilder, DatasetStats};
+pub use domains::{DomainSet, PAPER_DOMAINS};
+pub use entity::{Blogger, Comment, Post, Sentiment};
+pub use error::{Error, Result};
+pub use ids::{BloggerId, DomainId, PostId};
+pub use index::DatasetIndex;

@@ -1,0 +1,131 @@
+//! Property-based tests for the data model: any dataset the strategy can
+//! produce must index consistently and validate deterministically.
+
+use mass_types::{Blogger, BloggerId, Comment, Dataset, DatasetBuilder, DomainId, Post, PostId, Sentiment};
+use proptest::prelude::*;
+
+/// Strategy: a structurally valid dataset with up to 12 bloggers, 20 posts,
+/// and arbitrary comment/link wiring that respects the builder's rules.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..12, 0usize..20).prop_flat_map(|(nb, np)| {
+        let posts = proptest::collection::vec(
+            (
+                0..nb,                                   // author
+                ".{0,40}",                               // text
+                proptest::collection::vec((0..nb, any::<u8>()), 0..6), // comments
+                proptest::option::of(0..10usize),        // true domain
+            ),
+            np..=np,
+        );
+        posts.prop_map(move |post_specs| {
+            let mut b = DatasetBuilder::new();
+            let ids: Vec<BloggerId> = (0..nb).map(|i| b.blogger(format!("b{i}"))).collect();
+            for (author, text, comments, domain) in post_specs {
+                let author_id = ids[author];
+                let pid = match domain {
+                    Some(d) => b.post_in_domain(author_id, "t", text, DomainId::new(d)),
+                    None => b.post(author_id, "t", text),
+                };
+                for (commenter, sentiment_byte) in comments {
+                    if commenter == author {
+                        continue; // builder policy: no self-comments
+                    }
+                    let sentiment = match sentiment_byte % 4 {
+                        0 => Some(Sentiment::Positive),
+                        1 => Some(Sentiment::Negative),
+                        2 => Some(Sentiment::Neutral),
+                        _ => None,
+                    };
+                    b.comment(pid, ids[commenter], "c", sentiment);
+                }
+            }
+            // Friend links: a deterministic sprinkle derived from sizes.
+            for i in 0..nb {
+                let target = (i * 7 + 3) % nb;
+                if target != i {
+                    b.friend(ids[i], ids[target]);
+                }
+            }
+            b.build().expect("strategy builds valid datasets")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn built_datasets_validate(ds in arb_dataset()) {
+        prop_assert!(ds.validate().is_ok());
+    }
+
+    #[test]
+    fn index_totals_are_conserved(ds in arb_dataset()) {
+        let ix = ds.index();
+        // Σ_b TC(b) == Σ_b comments_received(b) == total comments.
+        let total: u32 = ds.posts.iter().map(|p| p.comments.len() as u32).sum();
+        let made: u32 = (0..ds.bloggers.len())
+            .map(|i| ix.total_comments_made(BloggerId::new(i)))
+            .sum();
+        let received: u32 = (0..ds.bloggers.len())
+            .map(|i| ix.comments_received(BloggerId::new(i)))
+            .sum();
+        prop_assert_eq!(made, total);
+        prop_assert_eq!(received, total);
+        // Σ_b |P(b)| == number of posts, and the lists partition the posts.
+        let post_total: usize =
+            (0..ds.bloggers.len()).map(|i| ix.post_count(BloggerId::new(i))).sum();
+        prop_assert_eq!(post_total, ds.posts.len());
+        for (i, _) in ds.bloggers.iter().enumerate() {
+            for &p in ix.posts_of(BloggerId::new(i)) {
+                prop_assert_eq!(ds.post(p).author, BloggerId::new(i));
+            }
+        }
+    }
+
+    #[test]
+    fn stats_agree_with_index(ds in arb_dataset()) {
+        let stats = ds.stats();
+        let ix = ds.index();
+        let comments: u32 = (0..ds.bloggers.len())
+            .map(|i| ix.comments_received(BloggerId::new(i)))
+            .sum();
+        prop_assert_eq!(stats.comments, comments as usize);
+        prop_assert_eq!(stats.bloggers, ds.bloggers.len());
+        prop_assert_eq!(stats.posts, ds.posts.len());
+    }
+
+    #[test]
+    fn corrupting_a_reference_fails_validation(ds in arb_dataset()) {
+        prop_assume!(!ds.posts.is_empty());
+        let mut broken = ds.clone();
+        broken.posts[0].author = BloggerId::new(ds.bloggers.len() + 5);
+        prop_assert!(broken.validate().is_err());
+
+        let mut broken = ds.clone();
+        broken.bloggers[0].friends.push(BloggerId::new(ds.bloggers.len() + 9));
+        prop_assert!(broken.validate().is_err());
+
+        let mut broken = ds;
+        let bad_target = PostId::new(broken.posts.len() + 1);
+        broken.posts[0].links_to.push(bad_target);
+        prop_assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn validation_is_pure(ds in arb_dataset()) {
+        let before = ds.clone();
+        let _ = ds.validate();
+        prop_assert_eq!(before, ds);
+    }
+}
+
+#[test]
+fn strategy_smoke() {
+    // Non-proptest sanity: entities compose as the strategy assumes.
+    let mut b = DatasetBuilder::new();
+    let x = b.add_blogger(Blogger::new("x"));
+    let p = b.add_post(Post::new(x, "t", "w"));
+    let y = b.blogger("y");
+    b.comment(p, y, "c", None);
+    let ds = b.build().unwrap();
+    assert_eq!(ds.posts[0].comments[0], Comment::new(y, "c"));
+}

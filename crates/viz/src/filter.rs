@@ -1,0 +1,162 @@
+//! View filtering — the zoom controls of the Fig. 4 panel.
+//!
+//! Section IV: the user can "zoom in or zoom out the network to get a
+//! better view". On dense blogospheres the full post-reply network is a
+//! hairball; these helpers derive readable sub-views while preserving the
+//! invariants the exporters rely on (dense node indices, aggregated edges).
+
+use crate::network::{NetworkEdge, PostReplyNetwork};
+use std::collections::BTreeSet;
+
+/// Keeps only edges with at least `min_comments`, then drops nodes left
+/// isolated (the focus blogger is always kept).
+pub fn filter_min_weight(net: &PostReplyNetwork, min_comments: u32) -> PostReplyNetwork {
+    let kept_edges: Vec<&NetworkEdge> =
+        net.edges.iter().filter(|e| e.comments >= min_comments).collect();
+    let mut keep: BTreeSet<usize> = kept_edges.iter().flat_map(|e| [e.from, e.to]).collect();
+    if let Some(focus) = net.focus {
+        if let Some(idx) = net.node_of(focus) {
+            keep.insert(idx);
+        }
+    }
+    rebuild(net, &keep, |e| e.comments >= min_comments)
+}
+
+/// Keeps the `n` highest-influence nodes (plus the focus) and the edges
+/// among them — the "zoomed out" overview of a large view.
+pub fn top_influence_subview(net: &PostReplyNetwork, n: usize) -> PostReplyNetwork {
+    let mut order: Vec<usize> = (0..net.nodes.len()).collect();
+    order.sort_by(|&a, &b| {
+        net.nodes[b]
+            .influence
+            .partial_cmp(&net.nodes[a].influence)
+            .expect("influence is finite")
+            .then_with(|| a.cmp(&b))
+    });
+    let mut keep: BTreeSet<usize> = order.into_iter().take(n).collect();
+    if let Some(focus) = net.focus {
+        if let Some(idx) = net.node_of(focus) {
+            keep.insert(idx);
+        }
+    }
+    rebuild(net, &keep, |_| true)
+}
+
+fn rebuild(
+    net: &PostReplyNetwork,
+    keep: &BTreeSet<usize>,
+    edge_ok: impl Fn(&NetworkEdge) -> bool,
+) -> PostReplyNetwork {
+    let remap: Vec<Option<usize>> = {
+        let mut next = 0;
+        (0..net.nodes.len())
+            .map(|i| {
+                if keep.contains(&i) {
+                    let slot = next;
+                    next += 1;
+                    Some(slot)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    PostReplyNetwork {
+        nodes: keep.iter().map(|&i| net.nodes[i].clone()).collect(),
+        edges: net
+            .edges
+            .iter()
+            .filter(|e| edge_ok(e))
+            .filter_map(|e| {
+                Some(NetworkEdge {
+                    from: remap[e.from]?,
+                    to: remap[e.to]?,
+                    comments: e.comments,
+                })
+            })
+            .collect(),
+        focus: net.focus,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::{BloggerId, DatasetBuilder};
+
+    fn view() -> PostReplyNetwork {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("a");
+        let c = b.blogger("c");
+        let d = b.blogger("d");
+        let e = b.blogger("e");
+        let pa = b.post(a, "t", "x");
+        let pc = b.post(c, "t", "y");
+        for _ in 0..5 {
+            b.comment(pa, c, "hi", None); // c→a weight 5
+        }
+        b.comment(pa, d, "hi", None); // d→a weight 1
+        b.comment(pc, e, "hi", None); // e→c weight 1
+        let ds = b.build().unwrap();
+        let mut net = PostReplyNetwork::around(&ds, BloggerId::new(0), 3);
+        net.attach_scores(&[0.9, 0.6, 0.2, 0.1], &[]);
+        net
+    }
+
+    #[test]
+    fn min_weight_drops_light_edges_and_orphans() {
+        let filtered = filter_min_weight(&view(), 2);
+        assert_eq!(filtered.edges.len(), 1);
+        assert_eq!(filtered.edges[0].comments, 5);
+        // Only a and c survive (d, e became isolated).
+        let names: Vec<&str> = filtered.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+        // Edge endpoints were remapped into the new dense space.
+        assert!(filtered.edges[0].from < 2 && filtered.edges[0].to < 2);
+    }
+
+    #[test]
+    fn focus_survives_aggressive_filtering() {
+        let filtered = filter_min_weight(&view(), 100);
+        assert!(filtered.edges.is_empty());
+        assert_eq!(filtered.nodes.len(), 1);
+        assert_eq!(filtered.nodes[0].name, "a");
+    }
+
+    #[test]
+    fn top_influence_keeps_the_strongest() {
+        let sub = top_influence_subview(&view(), 2);
+        let names: Vec<&str> = sub.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+        // The c→a edge survives with its weight; d/e edges are gone.
+        assert_eq!(sub.edges.len(), 1);
+        assert_eq!(sub.edges[0].comments, 5);
+    }
+
+    #[test]
+    fn subview_larger_than_network_is_identity_shaped() {
+        let net = view();
+        let sub = top_influence_subview(&net, 100);
+        assert_eq!(sub.nodes.len(), net.nodes.len());
+        assert_eq!(sub.edges.len(), net.edges.len());
+        assert_eq!(sub.total_comments(), net.total_comments());
+    }
+
+    #[test]
+    fn filtered_views_still_export() {
+        let filtered = filter_min_weight(&view(), 2);
+        let xml = crate::export::to_xml_string(&filtered);
+        let back = crate::export::from_xml_str(&xml).unwrap();
+        assert_eq!(filtered, back);
+        let svg = crate::svg::to_svg(&filtered, &crate::svg::SvgParams::default());
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn zero_threshold_is_identity_shaped() {
+        let net = view();
+        let same = filter_min_weight(&net, 0);
+        assert_eq!(same.edges.len(), net.edges.len());
+        assert_eq!(same.nodes.len(), net.nodes.len());
+    }
+}

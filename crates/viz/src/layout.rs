@@ -1,0 +1,203 @@
+//! Deterministic force-directed layout (Fruchterman–Reingold).
+//!
+//! The UI panel lets users "drag and move nodes … and zoom in or zoom out";
+//! the initial arrangement those interactions start from is computed here.
+//! The layout is seeded and fully deterministic, so saved XML views reload
+//! with identical coordinates.
+
+use crate::network::PostReplyNetwork;
+
+/// Layout tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayoutParams {
+    /// Canvas is `[0, size] × [0, size]`.
+    pub size: f64,
+    /// Simulation iterations.
+    pub iterations: usize,
+    /// Seed for the initial placement.
+    pub seed: u64,
+}
+
+impl Default for LayoutParams {
+    fn default() -> Self {
+        LayoutParams { size: 1000.0, iterations: 60, seed: 42 }
+    }
+}
+
+/// Computes positions for every node and stores them in
+/// [`crate::NetworkNode::position`].
+pub fn apply_layout(net: &mut PostReplyNetwork, params: &LayoutParams) {
+    let n = net.nodes.len();
+    if n == 0 {
+        return;
+    }
+    assert!(params.size > 0.0, "canvas size must be positive");
+    if n == 1 {
+        net.nodes[0].position = Some((params.size / 2.0, params.size / 2.0));
+        return;
+    }
+
+    // Deterministic initial placement from a splitmix-style hash.
+    let mut pos: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let h1 = splitmix(params.seed.wrapping_add(i as u64 * 2));
+            let h2 = splitmix(params.seed.wrapping_add(i as u64 * 2 + 1));
+            (frac(h1) * params.size, frac(h2) * params.size)
+        })
+        .collect();
+
+    let k = params.size / (n as f64).sqrt(); // ideal edge length
+    let mut temperature = params.size / 10.0;
+    let cooling = temperature / (params.iterations.max(1) as f64 + 1.0);
+
+    for _ in 0..params.iterations {
+        let mut disp = vec![(0.0f64, 0.0f64); n];
+
+        // Repulsion between every pair.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (dx, dy) = (pos[i].0 - pos[j].0, pos[i].1 - pos[j].1);
+                let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+                let force = k * k / dist;
+                let (ux, uy) = (dx / dist, dy / dist);
+                disp[i].0 += ux * force;
+                disp[i].1 += uy * force;
+                disp[j].0 -= ux * force;
+                disp[j].1 -= uy * force;
+            }
+        }
+
+        // Attraction along edges, scaled by log of comment weight.
+        for e in &net.edges {
+            if e.from == e.to {
+                continue;
+            }
+            let w = 1.0 + (e.comments as f64).ln().max(0.0);
+            let (dx, dy) = (pos[e.from].0 - pos[e.to].0, pos[e.from].1 - pos[e.to].1);
+            let dist = (dx * dx + dy * dy).sqrt().max(0.01);
+            let force = dist * dist / k * w;
+            let (ux, uy) = (dx / dist, dy / dist);
+            disp[e.from].0 -= ux * force;
+            disp[e.from].1 -= uy * force;
+            disp[e.to].0 += ux * force;
+            disp[e.to].1 += uy * force;
+        }
+
+        // Apply displacements, capped by temperature, clamped to canvas.
+        for i in 0..n {
+            let (dx, dy) = disp[i];
+            let len = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let step = len.min(temperature);
+            pos[i].0 = (pos[i].0 + dx / len * step).clamp(0.0, params.size);
+            pos[i].1 = (pos[i].1 + dy / len * step).clamp(0.0, params.size);
+        }
+        temperature = (temperature - cooling).max(0.01);
+    }
+
+    for (node, p) in net.nodes.iter_mut().zip(pos) {
+        node.position = Some(p);
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn frac(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::PostReplyNetwork;
+    use mass_types::{DatasetBuilder, Sentiment};
+
+    fn network() -> PostReplyNetwork {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("a");
+        let c = b.blogger("c");
+        let d = b.blogger("d");
+        let e = b.blogger("e");
+        let p = b.post(a, "t", "x");
+        b.comment(p, c, "hi", Some(Sentiment::Positive));
+        b.comment(p, d, "hi", None);
+        let _ = e;
+        PostReplyNetwork::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn all_nodes_get_positions_inside_canvas() {
+        let mut net = network();
+        let params = LayoutParams::default();
+        apply_layout(&mut net, &params);
+        for node in &net.nodes {
+            let (x, y) = node.position.expect("position set");
+            assert!((0.0..=params.size).contains(&x));
+            assert!((0.0..=params.size).contains(&y));
+        }
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let mut a = network();
+        let mut b = network();
+        apply_layout(&mut a, &LayoutParams::default());
+        apply_layout(&mut b, &LayoutParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_layout() {
+        let mut a = network();
+        let mut b = network();
+        apply_layout(&mut a, &LayoutParams::default());
+        apply_layout(&mut b, &LayoutParams { seed: 7, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn connected_nodes_end_up_closer_than_disconnected() {
+        let mut net = network();
+        apply_layout(&mut net, &LayoutParams { iterations: 200, ..Default::default() });
+        let p = |i: usize| net.nodes[i].position.unwrap();
+        let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        // node order: a, c, d, e — a is commented on by c and d; e is isolated.
+        let a_c = dist(p(0), p(1));
+        let a_e = dist(p(0), p(3));
+        assert!(a_c < a_e, "connected pair {a_c} should sit closer than isolated {a_e}");
+    }
+
+    #[test]
+    fn nodes_are_spread_apart() {
+        let mut net = network();
+        apply_layout(&mut net, &LayoutParams::default());
+        for i in 0..net.nodes.len() {
+            for j in (i + 1)..net.nodes.len() {
+                let (a, b) = (net.nodes[i].position.unwrap(), net.nodes[j].position.unwrap());
+                let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+                assert!(d > 1.0, "nodes {i},{j} collapsed: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_centres() {
+        let mut b = DatasetBuilder::new();
+        b.blogger("solo");
+        let mut net = PostReplyNetwork::build(&b.build().unwrap());
+        apply_layout(&mut net, &LayoutParams::default());
+        assert_eq!(net.nodes[0].position, Some((500.0, 500.0)));
+    }
+
+    #[test]
+    fn empty_network_is_noop() {
+        let mut net = PostReplyNetwork::default();
+        apply_layout(&mut net, &LayoutParams::default());
+        assert!(net.nodes.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # mass-viz
+//!
+//! The data side of the MASS User Interface Module's visualisation panel
+//! (Fig. 4): the post-reply network.
+//!
+//! From Section IV: "A line between two nodes represents the post-reply
+//! relationship between two bloggers and the number on the line records the
+//! total number comments of one blogger on the other blogger's posts"; each
+//! node shows the blogger's name, and double-clicking reveals "the total
+//! influence score, domain influence score, the number of posts"; the graph
+//! "can be saved as an XML file and be loaded in future".
+//!
+//! This crate implements all of that headlessly:
+//!
+//! * [`PostReplyNetwork`] — nodes (bloggers + detail records) and weighted
+//!   comment edges, optionally restricted to a radius around a focus
+//!   blogger (what double-clicking a recommendation opens),
+//! * [`layout`] — a deterministic force-directed layout producing the node
+//!   coordinates a drawing panel would use,
+//! * [`export`] — XML save/load (round-trip tested) plus DOT and GraphML
+//!   emitters for external viewers,
+//! * [`svg`] — a dependency-free SVG renderer that draws the Fig. 4
+//!   picture itself (focus highlighted, edge labels = comment counts),
+//! * [`filter`] — the panel's zoom: min-weight and top-influence sub-views,
+//! * [`stats`] — density/reciprocity/weight summaries of a view.
+
+pub mod export;
+pub mod filter;
+pub mod layout;
+pub mod network;
+pub mod stats;
+pub mod svg;
+
+pub use export::{from_xml_str, to_dot, to_graphml, to_xml_string};
+pub use filter::{filter_min_weight, top_influence_subview};
+pub use layout::{apply_layout, LayoutParams};
+pub use network::{NetworkEdge, NetworkNode, PostReplyNetwork};
+pub use stats::{network_stats, NetworkStats};
+pub use svg::{to_svg, SvgParams};

@@ -1,0 +1,260 @@
+//! The post-reply network model.
+
+use mass_types::{BloggerId, Dataset};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A node: one blogger plus the detail record the UI's pop-up shows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkNode {
+    /// The blogger this node represents (id in the source dataset).
+    pub blogger: BloggerId,
+    /// Display name (drawn on the node).
+    pub name: String,
+    /// Total influence score `Inf(b_i)`, if an analysis was attached.
+    pub influence: f64,
+    /// Domain influence vector `Inf(b_i, IV)`, if attached (else empty).
+    pub domain_influence: Vec<f64>,
+    /// Number of posts the blogger wrote.
+    pub post_count: usize,
+    /// Layout position, once computed.
+    pub position: Option<(f64, f64)>,
+}
+
+/// A weighted edge: `from` commented `comments` times on `to`'s posts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetworkEdge {
+    /// Index into [`PostReplyNetwork::nodes`] of the commenter.
+    pub from: usize,
+    /// Index into [`PostReplyNetwork::nodes`] of the post author.
+    pub to: usize,
+    /// Total comments along this direction (the Fig. 4 edge label).
+    pub comments: u32,
+}
+
+/// The post-reply network of Fig. 4.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PostReplyNetwork {
+    /// Nodes in deterministic (ascending blogger id) order.
+    pub nodes: Vec<NetworkNode>,
+    /// Directed weighted edges, deduplicated and aggregated.
+    pub edges: Vec<NetworkEdge>,
+    /// The blogger the view is centred on, if any.
+    pub focus: Option<BloggerId>,
+}
+
+impl PostReplyNetwork {
+    /// Builds the full post-reply network of a dataset.
+    pub fn build(ds: &Dataset) -> Self {
+        Self::build_inner(ds, None, usize::MAX)
+    }
+
+    /// Builds the network within `radius` comment-relationship hops of
+    /// `focus` — the view opened by double-clicking a recommended blogger.
+    /// Hops follow comment edges in either direction.
+    ///
+    /// # Panics
+    /// Panics if `focus` is out of range for the dataset.
+    pub fn around(ds: &Dataset, focus: BloggerId, radius: usize) -> Self {
+        assert!(focus.index() < ds.bloggers.len(), "focus blogger out of range");
+        Self::build_inner(ds, Some(focus), radius)
+    }
+
+    fn build_inner(ds: &Dataset, focus: Option<BloggerId>, radius: usize) -> Self {
+        // Aggregate comment counts: (commenter, author) → count.
+        let mut weights: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        for post in &ds.posts {
+            let author = post.author.index();
+            for c in &post.comments {
+                *weights.entry((c.commenter.index(), author)).or_insert(0) += 1;
+            }
+        }
+
+        // Select bloggers: everyone, or a BFS ball around the focus.
+        let included: BTreeSet<usize> = match focus {
+            None => (0..ds.bloggers.len()).collect(),
+            Some(f) => {
+                let mut adj: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for &(a, b) in weights.keys() {
+                    adj.entry(a).or_default().push(b);
+                    adj.entry(b).or_default().push(a);
+                }
+                let mut seen: BTreeSet<usize> = BTreeSet::new();
+                seen.insert(f.index());
+                let mut queue = VecDeque::from([(f.index(), 0usize)]);
+                while let Some((u, d)) = queue.pop_front() {
+                    if d == radius {
+                        continue;
+                    }
+                    for &v in adj.get(&u).into_iter().flatten() {
+                        if seen.insert(v) {
+                            queue.push_back((v, d + 1));
+                        }
+                    }
+                }
+                seen
+            }
+        };
+
+        let node_index: BTreeMap<usize, usize> =
+            included.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let ix = ds.index();
+        let nodes: Vec<NetworkNode> = included
+            .iter()
+            .map(|&b| {
+                let id = BloggerId::new(b);
+                NetworkNode {
+                    blogger: id,
+                    name: ds.blogger(id).name.clone(),
+                    influence: 0.0,
+                    domain_influence: Vec::new(),
+                    post_count: ix.post_count(id),
+                    position: None,
+                }
+            })
+            .collect();
+        let edges: Vec<NetworkEdge> = weights
+            .into_iter()
+            .filter_map(|((a, b), w)| {
+                let (&fa, &fb) = (node_index.get(&a)?, node_index.get(&b)?);
+                Some(NetworkEdge { from: fa, to: fb, comments: w })
+            })
+            .collect();
+
+        PostReplyNetwork { nodes, edges, focus }
+    }
+
+    /// Attaches influence scores and domain vectors to the node detail
+    /// records (the pop-up content). Vectors are indexed by the *source
+    /// dataset's* blogger ids.
+    pub fn attach_scores(&mut self, influence: &[f64], domain_matrix: &[Vec<f64>]) {
+        for node in &mut self.nodes {
+            let b = node.blogger.index();
+            if let Some(&s) = influence.get(b) {
+                node.influence = s;
+            }
+            if let Some(row) = domain_matrix.get(b) {
+                node.domain_influence = row.clone();
+            }
+        }
+    }
+
+    /// Node index of a blogger, if present in the view.
+    pub fn node_of(&self, b: BloggerId) -> Option<usize> {
+        self.nodes.iter().position(|n| n.blogger == b)
+    }
+
+    /// Total comment volume represented by the view.
+    pub fn total_comments(&self) -> u64 {
+        self.edges.iter().map(|e| e.comments as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::{DatasetBuilder, Sentiment};
+
+    /// The Fig. 1 style fixture: Amery posts, Bob and Cary comment.
+    fn fixture() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let amery = b.blogger("Amery");
+        let bob = b.blogger("Bob");
+        let cary = b.blogger("Cary");
+        let loner = b.blogger("Loner");
+        let p1 = b.post(amery, "Post1", "cs post");
+        let p2 = b.post(amery, "Post2", "econ post");
+        let p3 = b.post(bob, "Post3", "cs again");
+        b.comment(p1, bob, "agree", Some(Sentiment::Positive));
+        b.comment(p1, cary, "hm", None);
+        b.comment(p2, cary, "ok", None);
+        b.comment(p3, cary, "fine", None);
+        let _ = loner;
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn edges_aggregate_comment_counts() {
+        let net = PostReplyNetwork::build(&fixture());
+        assert_eq!(net.nodes.len(), 4);
+        // Cary (b2) commented twice on Amery (b0): one edge with weight 2.
+        let e = net
+            .edges
+            .iter()
+            .find(|e| net.nodes[e.from].name == "Cary" && net.nodes[e.to].name == "Amery")
+            .expect("cary→amery edge");
+        assert_eq!(e.comments, 2);
+        assert_eq!(net.edges.len(), 3);
+        assert_eq!(net.total_comments(), 4);
+    }
+
+    #[test]
+    fn node_details_have_post_counts() {
+        let net = PostReplyNetwork::build(&fixture());
+        let amery = net.node_of(BloggerId::new(0)).unwrap();
+        assert_eq!(net.nodes[amery].post_count, 2);
+        assert_eq!(net.nodes[amery].name, "Amery");
+    }
+
+    #[test]
+    fn focus_radius_restricts_view() {
+        let ds = fixture();
+        // Radius 0: only Amery.
+        let r0 = PostReplyNetwork::around(&ds, BloggerId::new(0), 0);
+        assert_eq!(r0.nodes.len(), 1);
+        assert!(r0.edges.is_empty());
+        assert_eq!(r0.focus, Some(BloggerId::new(0)));
+        // Radius 1: Amery + direct commenters (Bob, Cary). Loner excluded.
+        let r1 = PostReplyNetwork::around(&ds, BloggerId::new(0), 1);
+        let names: Vec<&str> = r1.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["Amery", "Bob", "Cary"]);
+        // All three comment edges are inside this ball.
+        assert_eq!(r1.edges.len(), 3);
+    }
+
+    #[test]
+    fn comment_edges_are_bidirectional_for_reachability() {
+        let ds = fixture();
+        // From Bob, radius 1 reaches Amery (Bob→Amery comment) and Cary
+        // (Cary→Bob comment), in either edge direction.
+        let net = PostReplyNetwork::around(&ds, BloggerId::new(1), 1);
+        let names: Vec<&str> = net.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["Amery", "Bob", "Cary"]);
+    }
+
+    #[test]
+    fn isolated_blogger_included_in_full_view_only() {
+        let ds = fixture();
+        let full = PostReplyNetwork::build(&ds);
+        assert!(full.node_of(BloggerId::new(3)).is_some());
+        let focused = PostReplyNetwork::around(&ds, BloggerId::new(0), 5);
+        assert!(focused.node_of(BloggerId::new(3)).is_none());
+    }
+
+    #[test]
+    fn attach_scores_populates_details() {
+        let ds = fixture();
+        let mut net = PostReplyNetwork::build(&ds);
+        let influence = vec![0.9, 0.5, 0.4, 0.1];
+        let matrix = vec![vec![0.1; 10]; 4];
+        net.attach_scores(&influence, &matrix);
+        let amery = net.node_of(BloggerId::new(0)).unwrap();
+        assert_eq!(net.nodes[amery].influence, 0.9);
+        assert_eq!(net.nodes[amery].domain_influence.len(), 10);
+    }
+
+    #[test]
+    fn empty_dataset_empty_network() {
+        let ds = DatasetBuilder::new().build().unwrap();
+        let net = PostReplyNetwork::build(&ds);
+        assert!(net.nodes.is_empty());
+        assert!(net.edges.is_empty());
+        assert_eq!(net.total_comments(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_focus_panics() {
+        let ds = fixture();
+        let _ = PostReplyNetwork::around(&ds, BloggerId::new(99), 1);
+    }
+}

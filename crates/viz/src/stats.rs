@@ -1,0 +1,159 @@
+//! Structural statistics of a post-reply network view.
+//!
+//! The UI's side panel in a system like MASS shows more than the picture:
+//! how dense the neighbourhood is, whether conversations are reciprocal,
+//! who the heaviest repliers are. These metrics summarise a
+//! [`PostReplyNetwork`] for reports and the Fig. 4 harness.
+
+use crate::network::PostReplyNetwork;
+use std::collections::HashSet;
+
+/// Summary metrics of one network view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Distinct directed comment relationships.
+    pub edges: usize,
+    /// Total comments across all edges.
+    pub comments: u64,
+    /// Directed density: edges / (n·(n−1)).
+    pub density: f64,
+    /// Fraction of edges with a reverse edge (mutual conversations).
+    pub reciprocity: f64,
+    /// Mean comments per edge.
+    pub mean_edge_weight: f64,
+    /// Highest-weight edge, as `(from node, to node, comments)`.
+    pub heaviest_edge: Option<(usize, usize, u32)>,
+    /// Nodes with no edges at all in this view.
+    pub isolated_nodes: usize,
+}
+
+/// Computes [`NetworkStats`] for a view.
+pub fn network_stats(net: &PostReplyNetwork) -> NetworkStats {
+    let n = net.nodes.len();
+    let edge_set: HashSet<(usize, usize)> =
+        net.edges.iter().map(|e| (e.from, e.to)).collect();
+    let reciprocal = net
+        .edges
+        .iter()
+        .filter(|e| edge_set.contains(&(e.to, e.from)))
+        .count();
+    let mut touched: HashSet<usize> = HashSet::new();
+    for e in &net.edges {
+        touched.insert(e.from);
+        touched.insert(e.to);
+    }
+    let comments = net.total_comments();
+    NetworkStats {
+        nodes: n,
+        edges: net.edges.len(),
+        comments,
+        density: if n < 2 {
+            0.0
+        } else {
+            net.edges.len() as f64 / (n * (n - 1)) as f64
+        },
+        reciprocity: if net.edges.is_empty() {
+            0.0
+        } else {
+            reciprocal as f64 / net.edges.len() as f64
+        },
+        mean_edge_weight: if net.edges.is_empty() {
+            0.0
+        } else {
+            comments as f64 / net.edges.len() as f64
+        },
+        heaviest_edge: net
+            .edges
+            .iter()
+            .max_by_key(|e| e.comments)
+            .map(|e| (e.from, e.to, e.comments)),
+        isolated_nodes: n - touched.len(),
+    }
+}
+
+impl std::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges ({} comments, {:.1} per edge), density {:.4}, \
+             reciprocity {:.2}, {} isolated",
+            self.nodes,
+            self.edges,
+            self.comments,
+            self.mean_edge_weight,
+            self.density,
+            self.reciprocity,
+            self.isolated_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_types::DatasetBuilder;
+
+    fn view() -> PostReplyNetwork {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("a");
+        let c = b.blogger("c");
+        let d = b.blogger("d");
+        b.blogger("loner");
+        let pa = b.post(a, "t", "x");
+        let pc = b.post(c, "t", "y");
+        b.comment(pa, c, "1", None);
+        b.comment(pa, c, "2", None);
+        b.comment(pc, a, "3", None); // reciprocal with c→a
+        b.comment(pa, d, "4", None);
+        PostReplyNetwork::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let s = network_stats(&view());
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3); // c→a (w2), a→c (w1), d→a (w1)
+        assert_eq!(s.comments, 4);
+        assert!((s.mean_edge_weight - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.isolated_nodes, 1);
+        assert!((s.density - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reciprocity_detects_mutual_conversations() {
+        let s = network_stats(&view());
+        // a↔c is mutual (2 of 3 edges have a reverse); d→a is not.
+        assert!((s.reciprocity - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heaviest_edge_is_reported() {
+        let net = view();
+        let s = network_stats(&net);
+        let (from, to, w) = s.heaviest_edge.unwrap();
+        assert_eq!(w, 2);
+        assert_eq!(net.nodes[from].name, "c");
+        assert_eq!(net.nodes[to].name, "a");
+    }
+
+    #[test]
+    fn empty_network() {
+        let s = network_stats(&PostReplyNetwork::default());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.density, 0.0);
+        assert_eq!(s.reciprocity, 0.0);
+        assert_eq!(s.heaviest_edge, None);
+        let rendered = s.to_string();
+        assert!(rendered.contains("0 nodes"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = network_stats(&view());
+        let text = s.to_string();
+        assert!(text.contains("4 nodes"));
+        assert!(text.contains("reciprocity 0.67"));
+    }
+}

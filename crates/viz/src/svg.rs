@@ -1,0 +1,208 @@
+//! SVG rendering of a laid-out post-reply network.
+//!
+//! The one part of Fig. 4 the headless crates previously left out was the
+//! pixels; this module closes that gap with a dependency-free SVG emitter.
+//! Nodes become labelled circles (radius scaled by influence, the focus
+//! blogger highlighted), edges become lines with the comment count drawn at
+//! the midpoint — exactly the picture in the paper, openable in any
+//! browser.
+
+use crate::network::PostReplyNetwork;
+use mass_xml::escape;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvgParams {
+    /// Canvas width/height in pixels (the layout is rescaled to fit).
+    pub size: f64,
+    /// Base node radius; scaled up to 2.5× by influence.
+    pub node_radius: f64,
+    /// Draw node name labels.
+    pub labels: bool,
+    /// Draw comment counts on edges.
+    pub edge_labels: bool,
+}
+
+impl Default for SvgParams {
+    fn default() -> Self {
+        SvgParams { size: 900.0, node_radius: 6.0, labels: true, edge_labels: true }
+    }
+}
+
+/// Renders a network to an SVG document.
+///
+/// Nodes without positions (no layout applied) are arranged on a circle, so
+/// the function always produces a readable picture.
+pub fn to_svg(net: &PostReplyNetwork, params: &SvgParams) -> String {
+    assert!(params.size > 0.0, "canvas size must be positive");
+    let n = net.nodes.len();
+    let margin = params.size * 0.06;
+    let inner = params.size - 2.0 * margin;
+
+    // Resolve positions: layout coordinates rescaled into the canvas, or a
+    // deterministic circle fallback.
+    let raw: Vec<(f64, f64)> = net
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            node.position.unwrap_or_else(|| {
+                let angle = std::f64::consts::TAU * i as f64 / n.max(1) as f64;
+                (0.5 + 0.45 * angle.cos(), 0.5 + 0.45 * angle.sin())
+            })
+        })
+        .collect();
+    let (min_x, max_x) = bounds(raw.iter().map(|p| p.0));
+    let (min_y, max_y) = bounds(raw.iter().map(|p| p.1));
+    let scale = |v: f64, lo: f64, hi: f64| {
+        if hi > lo {
+            margin + (v - lo) / (hi - lo) * inner
+        } else {
+            params.size / 2.0
+        }
+    };
+    let pos: Vec<(f64, f64)> = raw
+        .iter()
+        .map(|&(x, y)| (scale(x, min_x, max_x), scale(y, min_y, max_y)))
+        .collect();
+
+    let max_influence =
+        net.nodes.iter().map(|nd| nd.influence).fold(0.0f64, f64::max).max(1e-9);
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{s}" height="{s}" viewBox="0 0 {s} {s}">"#,
+        s = params.size
+    );
+    let _ = writeln!(svg, r#"  <rect width="100%" height="100%" fill="white"/>"#);
+
+    // Edges first so nodes draw on top.
+    for e in &net.edges {
+        let (x1, y1) = pos[e.from];
+        let (x2, y2) = pos[e.to];
+        let _ = writeln!(
+            svg,
+            r##"  <line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="#8a8a8a" stroke-width="1"/>"##
+        );
+        if params.edge_labels {
+            let _ = writeln!(
+                svg,
+                r##"  <text x="{:.1}" y="{:.1}" font-size="10" fill="#555" text-anchor="middle">{}</text>"##,
+                (x1 + x2) / 2.0,
+                (y1 + y2) / 2.0 - 2.0,
+                e.comments
+            );
+        }
+    }
+
+    for (i, node) in net.nodes.iter().enumerate() {
+        let (x, y) = pos[i];
+        let r = params.node_radius * (1.0 + 1.5 * (node.influence / max_influence));
+        let is_focus = net.focus == Some(node.blogger);
+        let fill = if is_focus { "#d95f02" } else { "#1b9e77" };
+        let stroke = if is_focus { "stroke=\"#7a3300\" stroke-width=\"2\" " } else { "" };
+        let _ = writeln!(
+            svg,
+            r#"  <circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="{fill}" {stroke}opacity="0.9"/>"#
+        );
+        if params.labels {
+            let _ = writeln!(
+                svg,
+                r#"  <text x="{x:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+                y - r - 3.0,
+                escape(&node.name)
+            );
+        }
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{apply_layout, LayoutParams};
+    use mass_types::{BloggerId, DatasetBuilder};
+
+    fn network(with_layout: bool) -> PostReplyNetwork {
+        let mut b = DatasetBuilder::new();
+        let a = b.blogger("Amery <&>");
+        let c = b.blogger("Cary");
+        let p = b.post(a, "t", "x");
+        b.comment(p, c, "one", None);
+        b.comment(p, c, "two", None);
+        let ds = b.build().unwrap();
+        let mut net = PostReplyNetwork::around(&ds, BloggerId::new(0), 2);
+        net.attach_scores(&[0.9, 0.2], &[vec![0.5; 10], vec![0.1; 10]]);
+        if with_layout {
+            apply_layout(&mut net, &LayoutParams::default());
+        }
+        net
+    }
+
+    #[test]
+    fn svg_structure_and_counts() {
+        let svg = to_svg(&network(true), &SvgParams::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert_eq!(svg.matches("<line").count(), 1);
+        // Edge label "2" + two node labels.
+        assert_eq!(svg.matches("<text").count(), 3);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let svg = to_svg(&network(true), &SvgParams::default());
+        assert!(svg.contains("Amery &lt;&amp;&gt;"));
+        assert!(!svg.contains("Amery <&>"));
+    }
+
+    #[test]
+    fn focus_node_is_highlighted() {
+        let svg = to_svg(&network(true), &SvgParams::default());
+        assert_eq!(svg.matches("#d95f02").count(), 1, "exactly one focus node");
+    }
+
+    #[test]
+    fn works_without_layout() {
+        let svg = to_svg(&network(false), &SvgParams::default());
+        assert_eq!(svg.matches("<circle").count(), 2);
+        // Coordinates are finite numbers inside the canvas.
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let params = SvgParams { labels: false, edge_labels: false, ..Default::default() };
+        let svg = to_svg(&network(true), &params);
+        assert_eq!(svg.matches("<text").count(), 0);
+    }
+
+    #[test]
+    fn empty_network_is_valid_svg() {
+        let svg = to_svg(&PostReplyNetwork::default(), &SvgParams::default());
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<circle").count(), 0);
+    }
+
+    #[test]
+    fn influence_scales_radius() {
+        let svg = to_svg(&network(true), &SvgParams::default());
+        // Max-influence node gets radius 6 × 2.5 = 15; the 0.2-influence
+        // node is smaller.
+        assert!(svg.contains("r=\"15.0\""), "{svg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas size")]
+    fn zero_canvas_rejected() {
+        let _ = to_svg(&PostReplyNetwork::default(), &SvgParams { size: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the visualisation layer.
+
+use mass_types::{BloggerId, Dataset, DatasetBuilder};
+use mass_viz::{apply_layout, from_xml_str, to_dot, to_graphml, to_xml_string, LayoutParams, PostReplyNetwork};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..10, 0usize..16).prop_flat_map(|(nb, np)| {
+        proptest::collection::vec(
+            (0..nb, proptest::collection::vec(0..nb, 0..4)),
+            np..=np,
+        )
+        .prop_map(move |specs| {
+            let mut b = DatasetBuilder::new();
+            let ids: Vec<BloggerId> = (0..nb).map(|i| b.blogger(format!("blogger {i}"))).collect();
+            for (author, commenters) in specs {
+                let p = b.post(ids[author], "t", "some words");
+                for c in commenters {
+                    if c != author {
+                        b.comment(p, ids[c], "hi", None);
+                    }
+                }
+            }
+            b.build().unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edge_weights_sum_to_comment_count(ds in arb_dataset()) {
+        let net = PostReplyNetwork::build(&ds);
+        let comments: usize = ds.posts.iter().map(|p| p.comments.len()).sum();
+        prop_assert_eq!(net.total_comments() as usize, comments);
+        prop_assert_eq!(net.nodes.len(), ds.bloggers.len());
+        // Edge endpoints are valid and no duplicate (from, to) pairs exist.
+        let mut seen = std::collections::HashSet::new();
+        for e in &net.edges {
+            prop_assert!(e.from < net.nodes.len());
+            prop_assert!(e.to < net.nodes.len());
+            prop_assert!(e.comments > 0);
+            prop_assert!(seen.insert((e.from, e.to)), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn focused_view_is_subset_of_full(ds in arb_dataset(), focus in 0usize..10, radius in 0usize..4) {
+        let focus = BloggerId::new(focus % ds.bloggers.len());
+        let full = PostReplyNetwork::build(&ds);
+        let view = PostReplyNetwork::around(&ds, focus, radius);
+        prop_assert!(view.nodes.len() <= full.nodes.len());
+        prop_assert!(view.node_of(focus).is_some());
+        prop_assert!(view.total_comments() <= full.total_comments());
+        // Every edge in the view exists in the full network with the same weight.
+        for e in &view.edges {
+            let (a, b) = (view.nodes[e.from].blogger, view.nodes[e.to].blogger);
+            let matching = full.edges.iter().find(|fe| {
+                full.nodes[fe.from].blogger == a && full.nodes[fe.to].blogger == b
+            });
+            prop_assert_eq!(matching.map(|fe| fe.comments), Some(e.comments));
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip_any_network(ds in arb_dataset(), with_layout in any::<bool>()) {
+        let mut net = PostReplyNetwork::build(&ds);
+        if with_layout {
+            apply_layout(&mut net, &LayoutParams::default());
+        }
+        let back = from_xml_str(&to_xml_string(&net)).expect("roundtrip");
+        prop_assert_eq!(net, back);
+    }
+
+    #[test]
+    fn layout_keeps_nodes_on_canvas(ds in arb_dataset(), size in 10.0f64..2000.0, seed in any::<u64>()) {
+        let mut net = PostReplyNetwork::build(&ds);
+        let params = LayoutParams { size, seed, iterations: 30 };
+        apply_layout(&mut net, &params);
+        for node in &net.nodes {
+            let (x, y) = node.position.expect("layout ran");
+            prop_assert!((0.0..=size).contains(&x), "x {x}");
+            prop_assert!((0.0..=size).contains(&y), "y {y}");
+            prop_assert!(x.is_finite() && y.is_finite());
+        }
+    }
+
+    #[test]
+    fn exports_are_structurally_sound(ds in arb_dataset()) {
+        let net = PostReplyNetwork::build(&ds);
+        let dot = to_dot(&net);
+        prop_assert!(dot.starts_with("digraph"));
+        let closes_properly = dot.ends_with("}\n");
+        prop_assert!(closes_properly);
+        prop_assert_eq!(dot.matches(" -> ").count(), net.edges.len());
+        let graphml = to_graphml(&net);
+        let root = mass_xml::Element::parse(&graphml).expect("graphml parses");
+        let graph = root.child("graph").expect("graph element");
+        prop_assert_eq!(graph.elements_named("node").count(), net.nodes.len());
+        prop_assert_eq!(graph.elements_named("edge").count(), net.edges.len());
+    }
+}

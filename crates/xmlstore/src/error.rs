@@ -1,0 +1,92 @@
+//! Error type for XML parsing, schema mapping and file I/O.
+
+use std::fmt;
+
+/// Convenience alias for XML operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors from the XML substrate.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed XML at a byte offset in the input.
+    Syntax {
+        /// Byte offset where the problem was detected.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Well-formed XML that does not match the expected MASS schema.
+    Schema(String),
+    /// The decoded dataset failed referential-integrity validation.
+    Validation(mass_types::Error),
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+}
+
+impl Error {
+    pub(crate) fn syntax(offset: usize, message: impl Into<String>) -> Self {
+        Error::Syntax { offset, message: message.into() }
+    }
+
+    pub(crate) fn schema(message: impl Into<String>) -> Self {
+        Error::Schema(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            Error::Schema(m) => write!(f, "XML schema error: {m}"),
+            Error::Validation(e) => write!(f, "decoded dataset is inconsistent: {e}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<mass_types::Error> for Error {
+    fn from(e: mass_types::Error) -> Self {
+        Error::Validation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = Error::syntax(17, "unexpected '<'");
+        assert_eq!(e.to_string(), "XML syntax error at byte 17: unexpected '<'");
+    }
+
+    #[test]
+    fn io_error_wraps() {
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn schema_error_displays() {
+        assert!(Error::schema("missing <posts>").to_string().contains("missing <posts>"));
+    }
+}

@@ -1,0 +1,132 @@
+//! XML entity escaping.
+
+use std::borrow::Cow;
+
+/// Escapes the five predefined XML entities (`& < > " '`).
+///
+/// Returns the input unchanged (borrowed) when nothing needs escaping, which
+/// is the common case for post bodies.
+pub fn escape(s: &str) -> Cow<'_, str> {
+    let first = s.find(['&', '<', '>', '"', '\''].as_slice());
+    let Some(first) = first else { return Cow::Borrowed(s) };
+    let mut out = String::with_capacity(s.len() + 8);
+    out.push_str(&s[..first]);
+    for ch in s[first..].chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Decodes the five predefined entities plus decimal (`&#NN;`) and hex
+/// (`&#xNN;`) character references.
+///
+/// Unknown or malformed references are passed through literally — lenient
+/// decoding matches how real blog crawlers must cope with sloppy markup.
+pub fn unescape(s: &str) -> Cow<'_, str> {
+    if !s.contains('&') {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let tail = &rest[amp..];
+        match decode_entity(tail) {
+            Some((ch, len)) => {
+                out.push(ch);
+                rest = &tail[len..];
+            }
+            None => {
+                out.push('&');
+                rest = &tail[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    Cow::Owned(out)
+}
+
+/// Tries to decode one entity at the start of `s` (which begins with `&`).
+/// Returns the decoded char and the byte length consumed.
+fn decode_entity(s: &str) -> Option<(char, usize)> {
+    let semi = s.find(';')?;
+    if semi > 12 {
+        return None; // references are short; avoid scanning pathological text
+    }
+    let body = &s[1..semi];
+    let ch = match body {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        _ => {
+            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = body.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code)?
+        }
+    };
+    Some((ch, semi + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escapes_all_five() {
+        assert_eq!(escape(r#"a<b>&"c'"#), "a&lt;b&gt;&amp;&quot;c&apos;");
+    }
+
+    #[test]
+    fn unescape_inverts_escape() {
+        let original = r#"Tom & Jerry <say> "hi" it's fun"#;
+        assert_eq!(unescape(&escape(original)), original);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;"), "ABc");
+        assert_eq!(unescape("&#x4e2d;"), "中");
+    }
+
+    #[test]
+    fn malformed_references_pass_through() {
+        assert_eq!(unescape("a & b"), "a & b");
+        assert_eq!(unescape("&unknown;"), "&unknown;");
+        assert_eq!(unescape("&#xzz;"), "&#xzz;");
+        assert_eq!(unescape("&"), "&");
+        assert_eq!(unescape("&;"), "&;");
+        // Surrogate code points cannot be chars.
+        assert_eq!(unescape("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn long_pseudo_entity_not_scanned() {
+        let s = "& this is a long sentence; with a semicolon far away";
+        assert_eq!(unescape(s), s);
+    }
+
+    #[test]
+    fn mixed_content() {
+        assert_eq!(unescape("x &amp; y &lt;z&gt; &#33;"), "x & y <z> !");
+    }
+}

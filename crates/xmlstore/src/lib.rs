@@ -1,0 +1,44 @@
+//! # mass-xml
+//!
+//! XML persistence substrate for MASS, written from scratch.
+//!
+//! The paper's crawler module "stores the bloggers' information (including
+//! the bloggers' personal information, posts, and corresponding comments) in
+//! XML files" (Section III), and the Fig. 4 visualisation graph "can be saved
+//! as an XML file and be loaded in future" (Section IV). This crate provides
+//! everything those flows need without external dependencies:
+//!
+//! * [`escape()`](escape()) / [`unescape`] — the five XML entities,
+//! * [`XmlWriter`] — an indenting event writer,
+//! * [`Parser`] — a pull parser over the XML subset MASS emits
+//!   (declaration, comments, elements, attributes, text, CDATA),
+//! * [`Element`] — a small DOM built on the pull parser, and
+//! * [`dataset_io`] — the `<blogosphere>` schema for
+//!   [`Dataset`](mass_types::Dataset) round-trips.
+//!
+//! ```
+//! use mass_types::DatasetBuilder;
+//! use mass_xml::dataset_io;
+//!
+//! let mut b = DatasetBuilder::new();
+//! let a = b.blogger("Amery");
+//! b.post(a, "Hello", "first post & more");
+//! let ds = b.build().unwrap();
+//!
+//! let xml = dataset_io::to_xml_string(&ds);
+//! let back = dataset_io::from_xml_str(&xml).unwrap();
+//! assert_eq!(ds, back);
+//! ```
+
+pub mod dataset_io;
+pub mod error;
+pub mod escape;
+pub mod parser;
+pub mod tree;
+pub mod writer;
+
+pub use error::{Error, Result};
+pub use escape::{escape, unescape};
+pub use parser::{Event, Parser};
+pub use tree::{Element, Node};
+pub use writer::XmlWriter;

@@ -1,0 +1,209 @@
+//! An indenting XML event writer.
+
+use crate::escape::escape;
+use std::fmt::Write as _;
+
+/// Streaming XML writer with automatic indentation and tag balancing.
+///
+/// The writer produces the exact layout the MASS loaders expect and tests
+/// round-trip against: two-space indentation, one element per line, text
+/// content kept inline within its element.
+///
+/// ```
+/// use mass_xml::XmlWriter;
+/// let mut w = XmlWriter::new();
+/// w.declaration();
+/// w.open("root");
+/// w.leaf_with_attrs("item", &[("id", "1")]);
+/// w.text_element("note", "a < b");
+/// w.close();
+/// assert_eq!(
+///     w.finish(),
+///     "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<root>\n  <item id=\"1\"/>\n  <note>a &lt; b</note>\n</root>\n"
+/// );
+/// ```
+#[derive(Debug, Default)]
+pub struct XmlWriter {
+    buf: String,
+    stack: Vec<String>,
+}
+
+impl XmlWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the standard `<?xml version="1.0" encoding="UTF-8"?>` header.
+    pub fn declaration(&mut self) {
+        self.buf.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    }
+
+    /// Writes an XML comment (`--` sequences inside are replaced with `-·-`
+    /// to keep the output well-formed).
+    pub fn comment(&mut self, text: &str) {
+        self.indent();
+        let safe = text.replace("--", "-·-");
+        let _ = writeln!(self.buf, "<!-- {safe} -->");
+    }
+
+    /// Opens an element with no attributes.
+    pub fn open(&mut self, name: &str) {
+        self.open_with_attrs(name, &[]);
+    }
+
+    /// Opens an element with attributes; values are escaped.
+    pub fn open_with_attrs(&mut self, name: &str, attrs: &[(&str, &str)]) {
+        debug_assert!(is_valid_name(name), "invalid element name {name:?}");
+        self.indent();
+        self.buf.push('<');
+        self.buf.push_str(name);
+        self.write_attrs(attrs);
+        self.buf.push_str(">\n");
+        self.stack.push(name.to_string());
+    }
+
+    /// Writes a self-closing element with attributes.
+    pub fn leaf_with_attrs(&mut self, name: &str, attrs: &[(&str, &str)]) {
+        debug_assert!(is_valid_name(name), "invalid element name {name:?}");
+        self.indent();
+        self.buf.push('<');
+        self.buf.push_str(name);
+        self.write_attrs(attrs);
+        self.buf.push_str("/>\n");
+    }
+
+    /// Writes `<name>escaped text</name>` on one line.
+    pub fn text_element(&mut self, name: &str, text: &str) {
+        self.text_element_with_attrs(name, &[], text);
+    }
+
+    /// Writes `<name attrs>escaped text</name>` on one line.
+    pub fn text_element_with_attrs(&mut self, name: &str, attrs: &[(&str, &str)], text: &str) {
+        debug_assert!(is_valid_name(name), "invalid element name {name:?}");
+        self.indent();
+        self.buf.push('<');
+        self.buf.push_str(name);
+        self.write_attrs(attrs);
+        self.buf.push('>');
+        if !text.is_empty() && text.trim().is_empty() {
+            // Whitespace-only payloads would be indistinguishable from
+            // inter-element indentation on parse; CDATA preserves them.
+            self.buf.push_str("<![CDATA[");
+            self.buf.push_str(text);
+            self.buf.push_str("]]>");
+        } else {
+            self.buf.push_str(&escape(text));
+        }
+        self.buf.push_str("</");
+        self.buf.push_str(name);
+        self.buf.push_str(">\n");
+    }
+
+    /// Closes the most recently opened element.
+    ///
+    /// # Panics
+    /// Panics if no element is open.
+    pub fn close(&mut self) {
+        let name = self.stack.pop().expect("close() with no open element");
+        self.indent();
+        self.buf.push_str("</");
+        self.buf.push_str(&name);
+        self.buf.push_str(">\n");
+    }
+
+    /// Finishes the document and returns the XML string.
+    ///
+    /// # Panics
+    /// Panics if elements remain open — a bug in the serialiser.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed elements: {:?}", self.stack);
+        self.buf
+    }
+
+    fn indent(&mut self) {
+        for _ in 0..self.stack.len() {
+            self.buf.push_str("  ");
+        }
+    }
+
+    fn write_attrs(&mut self, attrs: &[(&str, &str)]) {
+        for (k, v) in attrs {
+            debug_assert!(is_valid_name(k), "invalid attribute name {k:?}");
+            let _ = write!(self.buf, " {k}=\"{}\"", escape(v));
+        }
+    }
+}
+
+/// Checks a tag/attribute name against the restricted grammar MASS uses
+/// (ASCII letters, digits, `_`, `-`, `.`, `:`; must not start with a digit,
+/// `-` or `.`).
+pub fn is_valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure_indents() {
+        let mut w = XmlWriter::new();
+        w.open("a");
+        w.open("b");
+        w.leaf_with_attrs("c", &[]);
+        w.close();
+        w.close();
+        assert_eq!(w.finish(), "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+    }
+
+    #[test]
+    fn attributes_escaped() {
+        let mut w = XmlWriter::new();
+        w.leaf_with_attrs("x", &[("v", "a\"b&c")]);
+        assert_eq!(w.finish(), "<x v=\"a&quot;b&amp;c\"/>\n");
+    }
+
+    #[test]
+    fn text_escaped() {
+        let mut w = XmlWriter::new();
+        w.text_element("t", "1 < 2 & 3");
+        assert_eq!(w.finish(), "<t>1 &lt; 2 &amp; 3</t>\n");
+    }
+
+    #[test]
+    fn comment_sanitised() {
+        let mut w = XmlWriter::new();
+        w.comment("a -- b");
+        assert_eq!(w.finish(), "<!-- a -·- b -->\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_finish_panics() {
+        let mut w = XmlWriter::new();
+        w.open("a");
+        let _ = w.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "no open element")]
+    fn close_without_open_panics() {
+        XmlWriter::new().close();
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_name("post"));
+        assert!(is_valid_name("_x-1.y:z"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("1abc"));
+        assert!(!is_valid_name("a b"));
+        assert!(!is_valid_name("-x"));
+    }
+}

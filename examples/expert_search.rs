@@ -1,0 +1,42 @@
+//! Expert search: type a query, get the influential bloggers on that
+//! subject — retrieval (BM25) fused with the MASS influence scores.
+//!
+//! This generalises the paper's Scenario 1 beyond the fixed domain
+//! catalogue: instead of classifying the ad into domains and ranking whole
+//! domains, match the query against individual posts and weight each hit by
+//! its influence.
+//!
+//! ```sh
+//! cargo run --example expert_search
+//! ```
+
+use mass::core::ExpertSearch;
+use mass::prelude::*;
+
+fn main() {
+    let out = generate(&SynthConfig { bloggers: 400, seed: 61, ..Default::default() });
+    let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+    let engine = ExpertSearch::build(&out.dataset, &analysis);
+    println!("indexed {} posts\n", engine.len());
+
+    for query in [
+        "hotel flight beach vacation",
+        "football championship training",
+        "vaccine therapy diagnosis",
+    ] {
+        println!("query: {query:?}");
+        for (rank, (blogger, score)) in engine.bloggers(query, 3).iter().enumerate() {
+            let b = out.dataset.blogger(*blogger);
+            println!("  {}. {:<14} {score:.4}  ({})", rank + 1, b.name, b.profile);
+        }
+        if let Some((post, score)) = engine.posts(query, 1).first() {
+            let p = out.dataset.post(*post);
+            println!(
+                "  best post: \"{}\" by {} (combined score {score:.4})",
+                p.title,
+                out.dataset.blogger(p.author).name
+            );
+        }
+        println!();
+    }
+}

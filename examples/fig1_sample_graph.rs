@@ -1,0 +1,106 @@
+//! Figure 1 of the paper, hand-encoded: Amery's influence graph.
+//!
+//! Amery has two posts — Post1 on computer science (comments from Bob and
+//! Cary) and Post2 on economics (comment from Cary). Bob and Cary have CS
+//! posts of their own with comments from Jane, Helen, Eddie, Dolly, Leo and
+//! Michael. This example builds that exact graph, runs MASS on it and shows
+//! how the multi-facet model reads the picture.
+//!
+//! ```sh
+//! cargo run --example fig1_sample_graph
+//! ```
+
+use mass::core::IvSource;
+use mass::prelude::*;
+
+fn main() {
+    let mut b = DatasetBuilder::new();
+    let amery = b.blogger("Amery");
+    let bob = b.blogger("Bob");
+    let cary = b.blogger("Cary");
+    let jane = b.blogger("Jane");
+    let helen = b.blogger("Helen");
+    let eddie = b.blogger("Eddie");
+    let dolly = b.blogger("Dolly");
+    let leo = b.blogger("Leo");
+    let michael = b.blogger("Michael");
+
+    let computer = DomainSet::paper().id_of("Computer").unwrap();
+    let economics = DomainSet::paper().id_of("Economics").unwrap();
+
+    // Amery's posts (Fig. 1 captions: Post1 CS, Post2 Econ).
+    let post1 = b.post_in_domain(
+        amery,
+        "Post1",
+        "some programming skills in computer science: code structure, \
+         debugging habits and how to read a compiler error calmly",
+        computer,
+    );
+    let post2 = b.post_in_domain(
+        amery,
+        "Post2",
+        "the recent economic depression and possible trends in the next \
+         couple of months: markets, inflation and what banks may do",
+        economics,
+    );
+    b.comment(post1, bob, "I agree, these debugging habits work", Some(Sentiment::Positive));
+    b.comment(post1, cary, "what about interpreted languages", None);
+    b.comment(post2, cary, "I support this reading of the market", Some(Sentiment::Positive));
+
+    // Bob's Post3 and Cary's Post4 (both CS), with their commenters.
+    let post3 = b.post_in_domain(
+        bob,
+        "Post3",
+        "notes on computer architecture and software pipelines",
+        computer,
+    );
+    b.comment(post3, jane, "nice overview, thanks", Some(Sentiment::Positive));
+    b.comment(post3, helen, "hm, not sure this holds", None);
+    b.comment(post3, eddie, "agree with the pipeline part", Some(Sentiment::Positive));
+    let post4 = b.post_in_domain(
+        cary,
+        "Post4",
+        "a short computer science reading list for newcomers",
+        computer,
+    );
+    b.comment(post4, dolly, "great list", Some(Sentiment::Positive));
+    b.comment(post4, leo, "this is missing the classics, disappointing", Some(Sentiment::Negative));
+    b.comment(post4, michael, "bookmarked", None);
+
+    let ds = b.build().expect("Fig. 1 graph is consistent");
+    println!("the Fig. 1 influence graph: {}", ds.stats());
+
+    // Oracle iv (the figure tells us each post's domain) so the output maps
+    // one-to-one onto the picture.
+    let params = MassParams { iv: IvSource::TrueDomains, ..MassParams::paper() };
+    let analysis = MassAnalysis::analyze(&ds, &params);
+
+    println!("\nper-post influence Inf(b_i, d_k):");
+    for (pid, post) in ds.posts_enumerated() {
+        println!(
+            "  {:<6} by {:<6} ({}): {:.4}",
+            post.title,
+            ds.blogger(post.author).name,
+            ds.domains.name(post.true_domain.unwrap()),
+            analysis.scores.of_post(pid)
+        );
+    }
+
+    println!("\noverall influence Inf(b_i):");
+    for (blogger, score) in analysis.top_k_general(ds.bloggers.len()) {
+        println!("  {:<8} {score:.4}", ds.blogger(blogger).name);
+    }
+
+    println!("\nAmery's domain decomposition (Eq. 5):");
+    for (d, name) in ds.domains.iter() {
+        let v = analysis.influence_vector(amery)[d.index()];
+        if v > 0.0 {
+            println!("  Inf(Amery, {name}) = {v:.4}");
+        }
+    }
+    println!(
+        "\nAmery leads overall, and her influence splits across Computer and \
+         Economics — exactly the observation that motivates domain-specific \
+         mining in Section I."
+    );
+}

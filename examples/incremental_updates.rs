@@ -1,0 +1,74 @@
+//! Live updates: keep the influence ranking fresh as the blogosphere grows.
+//!
+//! The demo lets the user extend the loaded data (crawl more spaces, watch
+//! new comments arrive) and re-rank; this example shows the incremental
+//! analyzer absorbing edits and re-solving warm — orders of magnitude
+//! cheaper than a cold re-analysis per edit.
+//!
+//! ```sh
+//! cargo run --release --example incremental_updates
+//! ```
+
+use mass::core::IncrementalMass;
+use mass::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let out = generate(&SynthConfig { bloggers: 500, seed: 77, ..Default::default() });
+
+    let t = Instant::now();
+    let mut live = IncrementalMass::new(out.dataset, MassParams::paper());
+    println!("initial cold analysis: {:?}", t.elapsed());
+    let before: Vec<_> = live
+        .top_k_general(3)
+        .into_iter()
+        .map(|(b, s)| (live.dataset().blogger(b).name.clone(), s))
+        .collect();
+    println!("top-3 before: {before:?}\n");
+
+    // A newcomer joins and posts something substantial...
+    let star = live.add_blogger(Blogger::new("rising_star"));
+    let post = live.add_post(Post::new(
+        star,
+        "hello world",
+        "a genuinely insightful take on travel and hotels ".repeat(12),
+    ));
+
+    // ...and the community reacts: links and positive comments pour in.
+    for fan in 0..40usize {
+        let fan_id = BloggerId::new(fan);
+        live.add_friend_link(fan_id, star);
+        live.add_comment(
+            post,
+            Comment {
+                commenter: fan_id,
+                text: "I agree, great post, very helpful".into(),
+                sentiment: None, // the Comment Analyzer classifies it
+            },
+        );
+    }
+    println!("applied {} edits (1 blogger, 1 post, 40 links, 40 comments)", live.pending_edits());
+
+    let t = Instant::now();
+    let stats = live.refresh();
+    println!(
+        "warm refresh: {:?} ({} sweeps, converged = {})\n",
+        t.elapsed(),
+        stats.sweeps,
+        stats.converged
+    );
+
+    let after: Vec<_> = live
+        .top_k_general(5)
+        .into_iter()
+        .map(|(b, s)| (live.dataset().blogger(b).name.clone(), s))
+        .collect();
+    println!("top-5 after: {after:?}");
+    let rank = live
+        .top_k_general(live.dataset().bloggers.len())
+        .iter()
+        .position(|(b, _)| *b == star)
+        .unwrap()
+        + 1;
+    println!("\nthe newcomer now ranks #{rank} of {}", live.dataset().bloggers.len());
+}

@@ -1,0 +1,75 @@
+//! # MASS — a Multi-fAcet domain-Specific influential blogger mining System
+//!
+//! A full Rust reproduction of Cai & Chen's ICDE 2010 demonstration system.
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`types`] | `mass-types` | data model: bloggers, posts, comments, datasets |
+//! | [`xml`] | `mass-xml` | XML persistence (the crawler's storage format) |
+//! | [`text`] | `mass-text` | tokenizer, naive Bayes, sentiment, novelty |
+//! | [`graph`] | `mass-graph` | PageRank, HITS, traversal |
+//! | [`synth`] | `mass-synth` | synthetic blogosphere + planted ground truth |
+//! | [`crawler`] | `mass-crawler` | multi-threaded crawl over a blog host |
+//! | [`core`] | `mass-core` | the influence model, top-k, recommendation |
+//! | [`eval`] | `mass-eval` | user-study reproduction, ranking metrics |
+//! | [`viz`] | `mass-viz` | post-reply network, layout, exports |
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use mass::prelude::*;
+//!
+//! // 1. A blogosphere (synthetic here; `crawler` fetches one instead).
+//! let out = generate(&SynthConfig::tiny(7));
+//!
+//! // 2. Run the MASS analyzer with the paper's parameters (α=0.5, β=0.6).
+//! let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+//!
+//! // 3. Who are the top-3 Sports influencers?
+//! let sports = out.dataset.domains.id_of("Sports").unwrap();
+//! for (blogger, score) in analysis.top_k_in_domain(sports, 3) {
+//!     println!("{}: {score:.3}", out.dataset.blogger(blogger).name);
+//! }
+//! ```
+
+pub use mass_core as core;
+pub use mass_crawler as crawler;
+pub use mass_eval as eval;
+pub use mass_graph as graph;
+pub use mass_synth as synth;
+pub use mass_text as text;
+pub use mass_types as types;
+pub use mass_viz as viz;
+pub use mass_xml as xml;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use mass_core::{
+        baselines::Baseline, GlProvider, IvSource, LengthMode, MassAnalysis, MassParams,
+        Recommender,
+    };
+    pub use mass_crawler::{crawl, CrawlConfig, SimulatedHost};
+    pub use mass_eval::{run_user_study, UserStudyConfig};
+    pub use mass_synth::{advertisement_text, generate, profile_text, SynthConfig};
+    pub use mass_types::{
+        Blogger, BloggerId, Comment, Dataset, DatasetBuilder, DomainId, DomainSet, Post, PostId,
+        Sentiment,
+    };
+    pub use mass_viz::PostReplyNetwork;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_wires_the_whole_pipeline() {
+        let out = generate(&SynthConfig::tiny(1));
+        let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+        assert!(analysis.scores.converged);
+        let xml = crate::xml::dataset_io::to_xml_string(&out.dataset);
+        let back = crate::xml::dataset_io::from_xml_str(&xml).unwrap();
+        assert_eq!(out.dataset, back);
+    }
+}

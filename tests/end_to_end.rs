@@ -1,0 +1,106 @@
+//! End-to-end integration: the full Fig. 2 pipeline across every crate.
+
+use mass::crawler::{BlogHost, HostConfig};
+use mass::prelude::*;
+use mass::viz::{apply_layout, LayoutParams};
+
+/// generate → XML save → XML load → analyze → recommend → visualise.
+#[test]
+fn full_pipeline_over_xml_store() {
+    let out = generate(&SynthConfig { bloggers: 120, seed: 31, ..Default::default() });
+
+    // Persist and reload through the XML store.
+    let path = std::env::temp_dir().join("mass_e2e_corpus.xml");
+    mass::xml::dataset_io::save(&out.dataset, &path).unwrap();
+    let dataset = mass::xml::dataset_io::load(&path).unwrap();
+    assert_eq!(dataset, out.dataset, "XML round-trip must be lossless");
+
+    // Analyze.
+    let analysis = MassAnalysis::analyze(&dataset, &MassParams::paper());
+    assert!(analysis.scores.converged);
+
+    // Recommend for a sports ad.
+    let recommender = Recommender::new(&analysis);
+    let sports = dataset.domains.id_of("Sports").unwrap();
+    let ad = advertisement_text(sports, 5);
+    let recs = recommender.for_advertisement(&ad, 3).expect("classifier trained");
+    assert_eq!(recs.len(), 3);
+
+    // Visualise the top recommendation and round-trip the view.
+    let mut net = PostReplyNetwork::around(&dataset, recs[0].0, 2);
+    net.attach_scores(&analysis.scores.blogger, &analysis.domain_matrix);
+    apply_layout(&mut net, &LayoutParams::default());
+    let view_xml = mass::viz::to_xml_string(&net);
+    let reloaded = mass::viz::from_xml_str(&view_xml).unwrap();
+    assert_eq!(net, reloaded, "network view XML round-trip must be lossless");
+}
+
+/// A complete crawl of the host must analyze identically to the original
+/// corpus analyzed directly (modulo sentiment tags, which a crawl does not
+/// transport — the analyzer re-derives them from the comment text).
+#[test]
+fn full_crawl_matches_direct_analysis() {
+    let out = generate(&SynthConfig {
+        bloggers: 80,
+        seed: 17,
+        tag_sentiment_prob: 0.0, // crawler output carries no tags either
+        ..Default::default()
+    });
+    let host = SimulatedHost::new(out.dataset.clone());
+    let crawled = mass::crawler::crawl(&host, &CrawlConfig::default());
+    assert_eq!(crawled.dataset, out.dataset, "full crawl must reproduce the corpus");
+
+    let direct = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+    let via_crawl = MassAnalysis::analyze(&crawled.dataset, &MassParams::paper());
+    assert_eq!(direct.scores.blogger, via_crawl.scores.blogger);
+}
+
+/// A radius-limited crawl yields a strict, analyzable sub-view.
+#[test]
+fn partial_crawl_is_self_consistent() {
+    let out = generate(&SynthConfig { bloggers: 200, seed: 13, ..Default::default() });
+    let host = SimulatedHost::with_config(
+        out.dataset,
+        HostConfig { failure_rate: 0.1, ..Default::default() },
+    );
+    let result = mass::crawler::crawl(
+        &host,
+        &CrawlConfig { seeds: vec![3], radius: Some(1), retries: 10, ..Default::default() },
+    );
+    assert!(result.report.spaces_fetched < host.space_count(), "radius-1 crawl fetched everything");
+    assert!(result.stub_start <= result.dataset.bloggers.len());
+    result.dataset.validate().unwrap();
+    let analysis = MassAnalysis::analyze(&result.dataset, &MassParams::paper());
+    assert!(analysis.scores.converged);
+    assert_eq!(analysis.scores.blogger.len(), result.dataset.bloggers.len());
+}
+
+/// The Table I experiment runs end-to-end and keeps its headline shape.
+#[test]
+fn user_study_reproduces_table1_shape() {
+    let out = generate(&SynthConfig { bloggers: 600, seed: 3, ..Default::default() });
+    let table = mass::eval::run_user_study(&out.dataset, &out.truth, &UserStudyConfig::default());
+    let ds_mean = table.system_mean("Domain Specific").unwrap();
+    let gen_mean = table.system_mean("General").unwrap();
+    let li_mean = table.system_mean("Live Index").unwrap();
+    assert!(
+        ds_mean > gen_mean && ds_mean > li_mean,
+        "domain-specific ({ds_mean:.2}) must beat general ({gen_mean:.2}) and live index ({li_mean:.2})"
+    );
+    // The paper reports roughly 4.3 vs 3.2 — over a full point of headroom.
+    assert!(ds_mean - gen_mean.max(li_mean) > 0.3, "margin too thin: {table}");
+}
+
+/// Parameter extremes stay well-defined end to end.
+#[test]
+fn alpha_beta_extremes_run() {
+    let out = generate(&SynthConfig::tiny(19));
+    for (alpha, beta) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+        let params = MassParams { alpha, beta, ..MassParams::paper() };
+        let analysis = MassAnalysis::analyze(&out.dataset, &params);
+        assert!(
+            analysis.scores.blogger.iter().all(|s| s.is_finite()),
+            "α={alpha}, β={beta} produced non-finite scores"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the extension features: expert search, incremental
+//! analysis, topic discovery and the XML archive host — each exercised
+//! across crate boundaries on realistic synthetic corpora.
+
+use mass::core::{ExpertSearch, IncrementalMass};
+use mass::crawler::{archive_host, BlogHost, XmlArchiveHost};
+use mass::prelude::*;
+use mass::text::DiscoveryParams;
+
+#[test]
+fn expert_search_agrees_with_domain_ranking() {
+    let out = generate(&SynthConfig { bloggers: 300, seed: 71, ..Default::default() });
+    let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+    let engine = ExpertSearch::build(&out.dataset, &analysis);
+
+    // A vocabulary-heavy Sports query should surface bloggers that the
+    // Sports domain column also ranks highly.
+    let sports = out.dataset.domains.id_of("Sports").unwrap();
+    let by_domain: Vec<BloggerId> = analysis
+        .top_k_in_domain(sports, 10)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    let by_query: Vec<BloggerId> = engine
+        .bloggers("football basketball match team goal championship", 10)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    let overlap = by_query.iter().filter(|b| by_domain.contains(b)).count();
+    assert!(overlap >= 4, "query/domain overlap only {overlap}/10");
+}
+
+#[test]
+fn incremental_tracks_a_growing_crawl() {
+    // Start from a radius-1 crawl, then grow: the incremental analyzer's
+    // dataset stays valid and its scores match a batch run at every stage.
+    let world = generate(&SynthConfig { bloggers: 150, seed: 72, tag_sentiment_prob: 0.0, ..Default::default() });
+    let host = SimulatedHost::new(world.dataset.clone());
+    let first = mass::crawler::crawl(
+        &host,
+        &CrawlConfig { seeds: vec![0], radius: Some(1), ..Default::default() },
+    );
+
+    let mut live = IncrementalMass::new(first.dataset.clone(), MassParams::paper());
+    // Simulate newly observed activity on the crawled view.
+    let author = first.dataset.posts.first().map(|p| p.author).unwrap_or(BloggerId::new(0));
+    let commenter = BloggerId::new((author.index() + 1) % first.dataset.bloggers.len());
+    let pid = live.add_post(Post::new(author, "update", "fresh words about travel and hotels"));
+    if commenter != author {
+        live.add_comment(pid, Comment::new(commenter, "I agree, helpful"));
+    }
+    live.refresh();
+    live.dataset().validate().unwrap();
+
+    let batch = MassAnalysis::analyze(live.dataset(), &MassParams::paper());
+    for (a, b) in live.scores().blogger.iter().zip(&batch.scores.blogger) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn archive_roundtrip_preserves_analysis() {
+    let world = generate(&SynthConfig { bloggers: 100, seed: 73, tag_sentiment_prob: 0.0, ..Default::default() });
+    let live = SimulatedHost::new(world.dataset.clone());
+    let dir = std::env::temp_dir().join("mass_ext_archive");
+    let _ = std::fs::remove_dir_all(&dir);
+    archive_host(&dir, &live).unwrap();
+
+    let replay = XmlArchiveHost::open(&dir).unwrap();
+    assert_eq!(replay.space_count(), live.space_count());
+    let crawled = mass::crawler::crawl(&replay, &CrawlConfig::default());
+    let via_archive = MassAnalysis::analyze(&crawled.dataset, &MassParams::paper());
+    let direct = MassAnalysis::analyze(&world.dataset, &MassParams::paper());
+    assert_eq!(via_archive.scores.blogger, direct.scores.blogger);
+}
+
+#[test]
+fn discovery_covers_most_planted_domains() {
+    let out = generate(&SynthConfig { bloggers: 400, seed: 74, ..Default::default() });
+    let docs: Vec<String> =
+        out.dataset.posts.iter().map(|p| format!("{} {}", p.title, p.text)).collect();
+    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let model =
+        mass::text::discover_topics(&refs, &DiscoveryParams { topics: 10, ..Default::default() });
+    assert!(model.len() >= 8, "discovered only {} topics", model.len());
+
+    // Labels must come from the planted domain vocabularies (not filler).
+    let planted: Vec<&str> = mass::synth::vocab::DOMAIN_VOCAB.iter().flat_map(|v| v.iter().copied()).collect();
+    let on_vocab = model.topics().iter().filter(|t| planted.contains(&t.label.as_str())).count();
+    assert!(
+        on_vocab * 10 >= model.len() * 8,
+        "too many filler-labelled topics: {on_vocab}/{}",
+        model.len()
+    );
+}
+
+#[test]
+fn network_stats_reflect_the_corpus() {
+    let out = generate(&SynthConfig { bloggers: 120, seed: 75, ..Default::default() });
+    let net = PostReplyNetwork::build(&out.dataset);
+    let stats = mass::viz::network_stats(&net);
+    let total_comments: u64 =
+        out.dataset.posts.iter().map(|p| p.comments.len() as u64).sum();
+    assert_eq!(stats.comments, total_comments);
+    assert_eq!(stats.nodes, 120);
+    assert!(stats.density > 0.0 && stats.density < 1.0);
+    assert!(stats.reciprocity >= 0.0 && stats.reciprocity <= 1.0);
+}
