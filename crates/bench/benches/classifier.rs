@@ -11,7 +11,12 @@ fn bench_nb(c: &mut Criterion) {
         .dataset
         .posts
         .iter()
-        .map(|p| (p.true_domain.unwrap().index(), format!("{} {}", p.title, p.text)))
+        .map(|p| {
+            (
+                p.true_domain.unwrap().index(),
+                format!("{} {}", p.title, p.text),
+            )
+        })
         .collect();
 
     let mut group = c.benchmark_group("naive_bayes");
@@ -34,7 +39,12 @@ fn bench_nb(c: &mut Criterion) {
         t.build(2)
     };
     group.bench_function("classify_corpus", |b| {
-        b.iter(|| texts.iter().map(|(_, text)| model.classify(text)).sum::<usize>());
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|(_, text)| model.classify(text))
+                .sum::<usize>()
+        });
     });
     group.finish();
 }
@@ -51,9 +61,20 @@ fn bench_sentiment_and_tokenize(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("text");
     group.bench_function("sentiment_classify_comments", |b| {
-        b.iter(|| comments.iter().map(|t| lex.classify(t) as usize).sum::<usize>());
+        b.iter(|| {
+            comments
+                .iter()
+                .map(|t| lex.classify(t) as usize)
+                .sum::<usize>()
+        });
     });
-    let body: String = out.dataset.posts.iter().map(|p| p.text.as_str()).collect::<Vec<_>>().join(" ");
+    let body: String = out
+        .dataset
+        .posts
+        .iter()
+        .map(|p| p.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ");
     group.bench_function("tokenize_corpus", |b| {
         b.iter(|| tokenize(&body).len());
     });

@@ -10,14 +10,31 @@ fn bench_threads(c: &mut Criterion) {
     let world = corpus_of(400, 42);
     let host = SimulatedHost::with_config(
         world.dataset,
-        HostConfig { failure_rate: 0.05, latency: Duration::from_micros(100) },
-    );
+        HostConfig {
+            failure_rate: 0.05,
+            latency: Duration::from_micros(100),
+        },
+    )
+    .expect("valid host config");
     let mut group = c.benchmark_group("crawl_threads");
     group.sample_size(10);
     for &threads in &[1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            b.iter(|| crawl(&host, &CrawlConfig { threads, retries: 10, ..Default::default() }));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    crawl(
+                        &host,
+                        &CrawlConfig {
+                            threads,
+                            retries: 10,
+                            ..Default::default()
+                        },
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -28,7 +45,15 @@ fn bench_assembly(c: &mut Criterion) {
     let mut group = c.benchmark_group("crawl_assembly");
     group.sample_size(10);
     group.bench_function("fault_free_full_crawl", |b| {
-        b.iter(|| crawl(&host, &CrawlConfig { threads: 8, ..Default::default() }));
+        b.iter(|| {
+            crawl(
+                &host,
+                &CrawlConfig {
+                    threads: 8,
+                    ..Default::default()
+                },
+            )
+        });
     });
     group.finish();
 }

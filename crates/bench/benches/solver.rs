@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mass_bench::corpus_of;
-use mass_core::{solve, MassParams};
 use mass_core::{gl, quality};
+use mass_core::{solve, MassParams};
 
 fn bench_solver_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver_scaling");

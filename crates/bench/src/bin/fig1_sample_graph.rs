@@ -45,18 +45,46 @@ fn main() {
     let post3 = b.post_in_domain(bob, "Post3", "computer architecture notes", cs);
     let post4 = b.post_in_domain(cary, "Post4", "a computer science reading list", cs);
 
-    b.comment(post1, bob, "I agree with these skills", Some(Sentiment::Positive));
+    b.comment(
+        post1,
+        bob,
+        "I agree with these skills",
+        Some(Sentiment::Positive),
+    );
     b.comment(post1, cary, "what about other languages", None);
-    b.comment(post2, cary, "I support this reading", Some(Sentiment::Positive));
-    b.comment(post3, commenters[0], "nice overview", Some(Sentiment::Positive));
+    b.comment(
+        post2,
+        cary,
+        "I support this reading",
+        Some(Sentiment::Positive),
+    );
+    b.comment(
+        post3,
+        commenters[0],
+        "nice overview",
+        Some(Sentiment::Positive),
+    );
     b.comment(post3, commenters[1], "hmm", None);
     b.comment(post3, commenters[2], "agree", Some(Sentiment::Positive));
-    b.comment(post4, commenters[3], "great list", Some(Sentiment::Positive));
-    b.comment(post4, commenters[4], "missing the classics, disappointing", Some(Sentiment::Negative));
+    b.comment(
+        post4,
+        commenters[3],
+        "great list",
+        Some(Sentiment::Positive),
+    );
+    b.comment(
+        post4,
+        commenters[4],
+        "missing the classics, disappointing",
+        Some(Sentiment::Negative),
+    );
     b.comment(post4, commenters[5], "bookmarked", None);
 
     let ds = b.build().expect("Fig. 1 graph is consistent");
-    let params = MassParams { iv: IvSource::TrueDomains, ..MassParams::paper() };
+    let params = MassParams {
+        iv: IvSource::TrueDomains,
+        ..MassParams::paper()
+    };
     let analysis = MassAnalysis::analyze(&ds, &params);
 
     println!("post scores Inf(b_i, d_k):");
@@ -74,7 +102,14 @@ fn main() {
     println!("{posts}");
 
     println!("blogger influence Inf(b_i) = α·AP + (1−α)·GL:");
-    let mut tbl = TextTable::new(["blogger", "AP", "GL", "Inf", "Inf(·,Computer)", "Inf(·,Economics)"]);
+    let mut tbl = TextTable::new([
+        "blogger",
+        "AP",
+        "GL",
+        "Inf",
+        "Inf(·,Computer)",
+        "Inf(·,Economics)",
+    ]);
     for (bid, blogger) in ds.bloggers_enumerated() {
         tbl.row([
             blogger.name.clone(),

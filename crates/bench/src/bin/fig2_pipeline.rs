@@ -27,7 +27,14 @@ fn main() {
     // Crawler Module.
     let host = SimulatedHost::new(world.dataset.clone());
     let t = Instant::now();
-    let crawled = crawl(&host, &CrawlConfig { threads: 8, ..Default::default() });
+    let crawled = crawl(
+        &host,
+        &CrawlConfig {
+            threads: 8,
+            ..Default::default()
+        },
+    )
+    .expect("valid crawl config");
     timings.row([
         "Crawler".into(),
         format!(
@@ -45,7 +52,10 @@ fn main() {
     let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     timings.row([
         "Data Storage".into(),
-        format!("XML write+read+validate, {:.1} MiB", bytes as f64 / (1024.0 * 1024.0)),
+        format!(
+            "XML write+read+validate, {:.1} MiB",
+            bytes as f64 / (1024.0 * 1024.0)
+        ),
         format!("{:?}", t.elapsed()),
     ]);
 
@@ -72,7 +82,10 @@ fn main() {
         "UI / Recommendation".into(),
         format!(
             "top-3 Sports: {}",
-            top.iter().map(|(b, _)| dataset.blogger(*b).name.clone()).collect::<Vec<_>>().join(", ")
+            top.iter()
+                .map(|(b, _)| dataset.blogger(*b).name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         format!("{:?}", t.elapsed()),
     ]);
@@ -87,7 +100,11 @@ fn main() {
     assert_eq!(net, restored);
     timings.row([
         "UI / Visualisation".into(),
-        format!("{} nodes, {} edges, XML view round-tripped", net.nodes.len(), net.edges.len()),
+        format!(
+            "{} nodes, {} edges, XML view round-tripped",
+            net.nodes.len(),
+            net.edges.len()
+        ),
         format!("{:?}", t.elapsed()),
     ]);
 

@@ -28,16 +28,26 @@ fn main() {
     let mut correct = 0;
     for (d, name) in out.dataset.domains.iter() {
         let ad = advertisement_text(d, 1000 + d.index() as u64);
-        let mined = recommender.mined_domains(&ad, 1.0).expect("classifier trained");
-        let mined_top = mined.first().map(|(m, _)| out.dataset.domains.name(*m)).unwrap_or("-");
+        let mined = recommender
+            .mined_domains(&ad, 1.0)
+            .expect("classifier trained");
+        let mined_top = mined
+            .first()
+            .map(|(m, _)| out.dataset.domains.name(*m))
+            .unwrap_or("-");
         if mined_top == name {
             correct += 1;
         }
-        let recs = recommender.for_advertisement(&ad, 3).expect("classifier trained");
+        let recs = recommender
+            .for_advertisement(&ad, 3)
+            .expect("classifier trained");
         t.row([
             name.to_string(),
             mined_top.to_string(),
-            recs.iter().map(|(b, _)| out.dataset.blogger(*b).name.clone()).collect::<Vec<_>>().join(", "),
+            recs.iter()
+                .map(|(b, _)| out.dataset.blogger(*b).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
         ]);
     }
     println!("{t}");
@@ -57,7 +67,10 @@ fn main() {
         let recs = recommender.for_domains(&domains, 3);
         t.row([
             label.to_string(),
-            recs.iter().map(|(b, _)| out.dataset.blogger(*b).name.clone()).collect::<Vec<_>>().join(", "),
+            recs.iter()
+                .map(|(b, _)| out.dataset.blogger(*b).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
         ]);
     }
     println!("{t}");
@@ -66,7 +79,11 @@ fn main() {
     let general = recommender.for_domains(&[], 3);
     println!(
         "no domain selected → general top-3: {}",
-        general.iter().map(|(b, _)| out.dataset.blogger(*b).name.clone()).collect::<Vec<_>>().join(", ")
+        general
+            .iter()
+            .map(|(b, _)| out.dataset.blogger(*b).name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     assert_eq!(general, recommender.general(3));
     println!("\n✓ both Fig. 3 options and the fallback behave as Section IV describes");

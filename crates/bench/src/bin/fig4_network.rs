@@ -20,7 +20,10 @@ fn main() {
     let out = standard_corpus();
     let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let focus = analysis.top_k_general(1)[0].0;
-    println!("focus blogger: {} (double-clicked in the UI)\n", out.dataset.blogger(focus).name);
+    println!(
+        "focus blogger: {} (double-clicked in the UI)\n",
+        out.dataset.blogger(focus).name
+    );
 
     let mut net = PostReplyNetwork::around(&out.dataset, focus, 2);
     net.attach_scores(&analysis.scores.blogger, &analysis.domain_matrix);
@@ -37,7 +40,10 @@ fn main() {
         node.domain_influence.iter().copied().enumerate().collect();
     top_domains.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (d, v) in top_domains.iter().take(3) {
-        println!("  domain influence:      {} = {v:.4}", out.dataset.domains.names()[*d]);
+        println!(
+            "  domain influence:      {} = {v:.4}",
+            out.dataset.domains.names()[*d]
+        );
     }
     println!();
 
@@ -57,13 +63,18 @@ fn main() {
     // Save as XML, load back, verify (the paper's save/load feature).
     let xml_path = std::env::temp_dir().join("mass_fig4_network.xml");
     std::fs::write(&xml_path, mass_viz::to_xml_string(&net)).expect("save view");
-    let reloaded =
-        mass_viz::from_xml_str(&std::fs::read_to_string(&xml_path).expect("read view"))
-            .expect("load view");
+    let reloaded = mass_viz::from_xml_str(&std::fs::read_to_string(&xml_path).expect("read view"))
+        .expect("load view");
     assert_eq!(net, reloaded, "XML view round-trip must be exact");
-    println!("✓ view saved to {} and reloaded identically", xml_path.display());
+    println!(
+        "✓ view saved to {} and reloaded identically",
+        xml_path.display()
+    );
 
     let dot_path = std::env::temp_dir().join("mass_fig4_network.dot");
     std::fs::write(&dot_path, mass_viz::to_dot(&net)).expect("write dot");
-    println!("✓ DOT export for external rendering: {}", dot_path.display());
+    println!(
+        "✓ DOT export for external rendering: {}",
+        dot_path.display()
+    );
 }

@@ -27,7 +27,12 @@ fn main() {
     let settings = [(0.5, 0.6), (0.9, 0.6), (0.5, 0.1), (1.0, 0.0)];
     let mut curves = Vec::new();
     for &(alpha, beta) in &settings {
-        let params = MassParams { alpha, beta, epsilon: 1e-12, ..MassParams::paper() };
+        let params = MassParams {
+            alpha,
+            beta,
+            epsilon: 1e-12,
+            ..MassParams::paper()
+        };
         let s = solve(&out.dataset, &ix, &params);
         curves.push(((alpha, beta), s.residual_history.clone(), s.converged));
     }
@@ -60,7 +65,11 @@ fn main() {
         let mut row = vec![format!("{alpha:.2}")];
         for bi in 0..=4 {
             let beta = bi as f64 * 0.25;
-            let params = MassParams { alpha, beta, ..MassParams::paper() };
+            let params = MassParams {
+                alpha,
+                beta,
+                ..MassParams::paper()
+            };
             let s = solve(&out.dataset, &ix, &params);
             assert!(s.converged, "α={alpha} β={beta} failed to converge");
             worst = worst.max(s.iterations);

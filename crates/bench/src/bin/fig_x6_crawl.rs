@@ -23,8 +23,12 @@ fn main() {
     let world = standard_corpus();
     let host = SimulatedHost::with_config(
         world.dataset,
-        HostConfig { failure_rate: 0.10, latency: Duration::from_micros(200) },
-    );
+        HostConfig {
+            failure_rate: 0.10,
+            latency: Duration::from_micros(200),
+        },
+    )
+    .expect("valid host config");
 
     // Radius sweep from one seed.
     let mut t = TextTable::new(["radius", "spaces", "posts", "comments", "layers", "elapsed"]);
@@ -32,8 +36,15 @@ fn main() {
     for radius in 0..=4usize {
         let result = crawl(
             &host,
-            &CrawlConfig { seeds: vec![0], radius: Some(radius), threads: 8, retries: 10, ..Default::default() },
-        );
+            &CrawlConfig {
+                seeds: vec![0],
+                radius: Some(radius),
+                threads: 8,
+                retries: 10,
+                ..Default::default()
+            },
+        )
+        .expect("valid crawl config");
         let r = &result.report;
         assert!(r.spaces_fetched >= last, "coverage must grow with radius");
         last = r.spaces_fetched;
@@ -53,9 +64,21 @@ fn main() {
     let mut t1 = Duration::ZERO;
     let mut t8 = Duration::ZERO;
     for threads in [1usize, 2, 4, 8] {
-        let result = crawl(&host, &CrawlConfig { threads, retries: 10, ..Default::default() });
+        let result = crawl(
+            &host,
+            &CrawlConfig {
+                threads,
+                retries: 10,
+                ..Default::default()
+            },
+        )
+        .expect("valid crawl config");
         let r = &result.report;
-        assert_eq!(r.spaces_fetched, host.space_count(), "full crawl must complete");
+        assert_eq!(
+            r.spaces_fetched,
+            host.space_count(),
+            "full crawl must complete"
+        );
         if threads == 1 {
             t1 = r.elapsed;
         }

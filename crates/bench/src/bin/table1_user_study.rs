@@ -40,7 +40,8 @@ fn main() {
     println!("measured:\n{table}");
 
     println!("paper reported:");
-    let mut paper_table = mass_eval::TextTable::new(["Average Applicable Scores", "Travel", "Art", "Sports"]);
+    let mut paper_table =
+        mass_eval::TextTable::new(["Average Applicable Scores", "Travel", "Art", "Sports"]);
     for (system, row) in PAPER {
         paper_table.row([
             system.to_string(),

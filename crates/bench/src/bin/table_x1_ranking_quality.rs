@@ -50,7 +50,12 @@ fn main() {
     // --- Domain-specific ranking -------------------------------------------
     // MASS's domain columns vs re-using each system's general ranking for
     // the domain query (what a domain-blind system must do).
-    let mut t = TextTable::new(["domain", "MASS domain p@5", "MASS general p@5", "best baseline p@5"]);
+    let mut t = TextTable::new([
+        "domain",
+        "MASS domain p@5",
+        "MASS general p@5",
+        "best baseline p@5",
+    ]);
     let mut ds_total = 0.0;
     let mut gen_total = 0.0;
     let mut base_total = 0.0;
@@ -59,7 +64,11 @@ fn main() {
         .map(|b| (b.name().to_string(), b.scores(&out.dataset, &ix)))
         .collect();
     for (d, name) in out.dataset.domains.iter() {
-        let column: Vec<f64> = analysis.domain_matrix.iter().map(|r| r[d.index()]).collect();
+        let column: Vec<f64> = analysis
+            .domain_matrix
+            .iter()
+            .map(|r| r[d.index()])
+            .collect();
         let spec = evaluate_domain_system(&column, &out.truth, d, 5);
         let gen = evaluate_domain_system(&analysis.scores.blogger, &out.truth, d, 5);
         let best_base = baseline_scores
@@ -85,7 +94,8 @@ fn main() {
     ]);
     println!("domain-specific ranking (precision@5 vs each domain's planted truth):\n{t}");
 
-    let shape = mass_q.ndcg >= best_baseline_ndcg - 0.05 && ds_total > gen_total && ds_total > base_total;
+    let shape =
+        mass_q.ndcg >= best_baseline_ndcg - 0.05 && ds_total > gen_total && ds_total > base_total;
     println!(
         "shape {}: MASS matches/beats baselines overall and its domain columns \
          beat any domain-blind ranking on domain queries",

@@ -36,7 +36,8 @@ fn anonymise_commenters(ds: &Dataset) -> Dataset {
     flat.bloggers.reserve(total_comments);
     for post in &mut flat.posts {
         for c in &mut post.comments {
-            flat.bloggers.push(mass_types::Blogger::new(format!("anon_{next}")));
+            flat.bloggers
+                .push(mass_types::Blogger::new(format!("anon_{next}")));
             c.commenter = mass_types::BloggerId::new(next);
             next += 1;
         }
@@ -55,37 +56,74 @@ fn main() {
 
     let variants: Vec<(&str, Dataset, MassParams)> = vec![
         ("full MASS", out.dataset.clone(), paper.clone()),
-        ("- sentiment (all neutral)", neutralise_sentiment(&out.dataset), paper.clone()),
-        ("- citation (count comments)", anonymise_commenters(&out.dataset), paper.clone()),
+        (
+            "- sentiment (all neutral)",
+            neutralise_sentiment(&out.dataset),
+            paper.clone(),
+        ),
+        (
+            "- citation (count comments)",
+            anonymise_commenters(&out.dataset),
+            paper.clone(),
+        ),
         (
             "- TC normalisation",
             out.dataset.clone(),
-            MassParams { tc_normalisation: false, ..paper.clone() },
+            MassParams {
+                tc_normalisation: false,
+                ..paper.clone()
+            },
         ),
-        ("- novelty", out.dataset.clone(), MassParams { use_novelty: false, ..paper.clone() }),
+        (
+            "- novelty",
+            out.dataset.clone(),
+            MassParams {
+                use_novelty: false,
+                ..paper.clone()
+            },
+        ),
         (
             "- authority (GL off, α=1)",
             out.dataset.clone(),
-            MassParams { alpha: 1.0, gl: GlProvider::None, ..paper.clone() },
+            MassParams {
+                alpha: 1.0,
+                gl: GlProvider::None,
+                ..paper.clone()
+            },
         ),
         (
             "raw length (paper variant)",
             out.dataset.clone(),
-            MassParams { length_mode: LengthMode::Raw, ..paper.clone() },
+            MassParams {
+                length_mode: LengthMode::Raw,
+                ..paper.clone()
+            },
         ),
         (
             "GL = HITS instead of PageRank",
             out.dataset.clone(),
-            MassParams { gl: GlProvider::Hits, ..paper.clone() },
+            MassParams {
+                gl: GlProvider::Hits,
+                ..paper.clone()
+            },
         ),
         (
             "GL = post-reply PageRank",
             out.dataset.clone(),
-            MassParams { gl: GlProvider::CommentGraphPageRank, ..paper.clone() },
+            MassParams {
+                gl: GlProvider::CommentGraphPageRank,
+                ..paper.clone()
+            },
         ),
     ];
 
-    let mut t = TextTable::new(["variant", "NDCG@10", "precision@10", "Spearman rho", "sweeps"]);
+    let mut t = TextTable::new([
+        "variant",
+        "NDCG@10",
+        "precision@10",
+        "Spearman rho",
+        "sweeps",
+    ]);
     let mut full_ndcg = 0.0;
     for (name, dataset, params) in &variants {
         let analysis = MassAnalysis::analyze(dataset, params);

@@ -27,7 +27,11 @@ fn main() {
     for &alpha in &steps {
         let mut row = vec![format!("{alpha:.2}")];
         for &beta in &steps {
-            let params = MassParams { alpha, beta, ..MassParams::paper() };
+            let params = MassParams {
+                alpha,
+                beta,
+                ..MassParams::paper()
+            };
             let analysis = MassAnalysis::analyze(&out.dataset, &params);
             let q = evaluate_general_system(&analysis.scores.blogger, &out.truth, 10);
             if q.ndcg > best.0 {
@@ -47,7 +51,10 @@ fn main() {
     let exact = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let q = evaluate_general_system(&exact.scores.blogger, &out.truth, 10);
     println!("paper setting (α=0.5, β=0.6): NDCG@10 = {:.3}", q.ndcg);
-    println!("grid optimum: NDCG@10 = {:.3} at (α={}, β={})", best.0, best.1, best.2);
+    println!(
+        "grid optimum: NDCG@10 = {:.3} at (α={}, β={})",
+        best.0, best.1, best.2
+    );
     let _ = paper_ndcg;
 
     let shape = q.ndcg >= best.0 - 0.15;

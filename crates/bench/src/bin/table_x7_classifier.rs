@@ -27,7 +27,10 @@ fn main() {
     let mut trainer = NaiveBayesTrainer::new(nd);
     let mut test: Vec<(usize, String)> = Vec::new();
     for (k, post) in out.dataset.posts.iter().enumerate() {
-        let domain = post.true_domain.expect("synthetic posts are tagged").index();
+        let domain = post
+            .true_domain
+            .expect("synthetic posts are tagged")
+            .index();
         let text = format!("{} {}", post.title, post.text);
         if k % 5 == 0 {
             test.push((domain, text));
@@ -58,7 +61,11 @@ fn main() {
     for (d, name) in out.dataset.domains.iter() {
         let row = &confusion[d.index()];
         let total: usize = row.iter().sum();
-        let recall = if total == 0 { 0.0 } else { row[d.index()] as f64 / total as f64 };
+        let recall = if total == 0 {
+            0.0
+        } else {
+            row[d.index()] as f64 / total as f64
+        };
         let worst = row
             .iter()
             .enumerate()
@@ -67,7 +74,12 @@ fn main() {
             .filter(|&(_, &c)| c > 0)
             .map(|(j, c)| format!("{} ({c})", out.dataset.domains.names()[j]))
             .unwrap_or_else(|| "-".to_string());
-        t.row([name.to_string(), total.to_string(), format!("{recall:.2}"), worst]);
+        t.row([
+            name.to_string(),
+            total.to_string(),
+            format!("{recall:.2}"),
+            worst,
+        ]);
     }
     println!("{t}");
     println!("held-out accuracy: {accuracy:.3} (chance = 0.10)");

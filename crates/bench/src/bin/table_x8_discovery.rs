@@ -25,17 +25,32 @@ fn main() {
         "co-occurrence topic clustering on the untagged corpus",
     );
     let out = standard_corpus();
-    let docs: Vec<String> =
-        out.dataset.posts.iter().map(|p| format!("{} {}", p.title, p.text)).collect();
+    let docs: Vec<String> = out
+        .dataset
+        .posts
+        .iter()
+        .map(|p| format!("{} {}", p.title, p.text))
+        .collect();
     let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
-    let model = discover_topics(&refs, &DiscoveryParams { topics: 10, ..Default::default() });
+    let model = discover_topics(
+        &refs,
+        &DiscoveryParams {
+            topics: 10,
+            ..Default::default()
+        },
+    );
     println!("requested 10 topics, discovered {}\n", model.len());
 
     // Purity: each cluster's terms voted against the generating vocabularies.
     let domain_of_term = |term: &str| -> Option<usize> {
         DOMAIN_VOCAB.iter().position(|vocab| vocab.contains(&term))
     };
-    let mut t = TextTable::new(["discovered label", "terms", "majority true domain", "purity"]);
+    let mut t = TextTable::new([
+        "discovered label",
+        "terms",
+        "majority true domain",
+        "purity",
+    ]);
     let mut covered = vec![false; PAPER_DOMAINS.len()];
     let mut total_purity = 0.0;
     for topic in model.topics() {
@@ -47,9 +62,16 @@ fn main() {
                 known += 1;
             }
         }
-        let (best, &count) =
-            votes.iter().enumerate().max_by_key(|&(_, &c)| c).expect("ten domains");
-        let purity = if known == 0 { 0.0 } else { count as f64 / known as f64 };
+        let (best, &count) = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .expect("ten domains");
+        let purity = if known == 0 {
+            0.0
+        } else {
+            count as f64 / known as f64
+        };
         total_purity += purity;
         if purity > 0.5 {
             covered[best] = true;
@@ -69,7 +91,10 @@ fn main() {
     // End-to-end: MASS over the discovered catalogue.
     let analysis = MassAnalysis::analyze_discovered(
         &out.dataset,
-        &DiscoveryParams { topics: 10, ..Default::default() },
+        &DiscoveryParams {
+            topics: 10,
+            ..Default::default()
+        },
         &MassParams::paper(),
     )
     .expect("discovery succeeds on the standard corpus");

@@ -3,6 +3,9 @@
 //!
 //! Reruns the Table I margin and the X1 general-ranking comparison over
 //! five independently generated blogospheres and reports mean ± stddev.
+//! Also crawls each corpus through a hostile fault plan (transient
+//! failures, throttling, burst outages) and reports dataset completeness —
+//! the retry/backoff machinery must recover every space and post.
 //!
 //! ```sh
 //! cargo run --release -p mass-bench --bin table_x9_robustness
@@ -11,7 +14,12 @@
 use mass_bench::banner;
 use mass_core::baselines::Baseline;
 use mass_core::{MassAnalysis, MassParams};
-use mass_eval::{evaluate_general_system, paired_bootstrap, run_user_study, TextTable, UserStudyConfig};
+use mass_crawler::{
+    crawl, BlogHost, BurstOutage, CrawlConfig, FaultPlan, HostConfig, SimulatedHost,
+};
+use mass_eval::{
+    evaluate_general_system, paired_bootstrap, run_user_study, TextTable, UserStudyConfig,
+};
 use mass_synth::{generate, SynthConfig};
 
 const SEEDS: [u64; 5] = [11, 22, 33, 44, 55];
@@ -32,12 +40,20 @@ fn main() {
 
     let mut margins = Vec::new();
     let mut mass_ndcg = Vec::new();
-    let mut baseline_ndcg: Vec<(String, Vec<f64>)> =
-        Baseline::ALL.iter().map(|b| (b.name().to_string(), Vec::new())).collect();
-    let mut per_seed = TextTable::new(["seed", "T1 margin", "MASS NDCG@10", "best baseline NDCG@10"]);
+    let mut baseline_ndcg: Vec<(String, Vec<f64>)> = Baseline::ALL
+        .iter()
+        .map(|b| (b.name().to_string(), Vec::new()))
+        .collect();
+    let mut per_seed =
+        TextTable::new(["seed", "T1 margin", "MASS NDCG@10", "best baseline NDCG@10"]);
 
     for &seed in &SEEDS {
-        let out = generate(&SynthConfig { bloggers: 600, mean_posts_per_blogger: 8.0, seed, ..Default::default() });
+        let out = generate(&SynthConfig {
+            bloggers: 600,
+            mean_posts_per_blogger: 8.0,
+            seed,
+            ..Default::default()
+        });
         let ix = out.dataset.index();
 
         // Table I margin: domain-specific mean minus the best other system.
@@ -68,14 +84,89 @@ fn main() {
     }
     println!("per seed:\n{per_seed}");
 
+    // Crawl-under-faults completeness: the fault-tolerant pipeline must
+    // recover the whole corpus despite a hostile host.
+    let mut crawl_table = TextTable::new([
+        "seed",
+        "spaces",
+        "posts",
+        "retries",
+        "throttled",
+        "completeness",
+    ]);
+    let mut complete_everywhere = true;
+    for &seed in &SEEDS {
+        let out = generate(&SynthConfig {
+            bloggers: 200,
+            mean_posts_per_blogger: 5.0,
+            seed,
+            ..Default::default()
+        });
+        let total_spaces = out.dataset.bloggers.len();
+        let total_posts = out.dataset.posts.len();
+        let host = SimulatedHost::with_faults(
+            out.dataset,
+            HostConfig {
+                failure_rate: 0.25,
+                ..Default::default()
+            },
+            FaultPlan {
+                seed,
+                throttle_rate: 0.10,
+                burst: Some(BurstOutage {
+                    period: 97,
+                    down: 13,
+                }),
+                ..Default::default()
+            },
+        )
+        .expect("valid fault plan");
+        let result = crawl(
+            &host,
+            &CrawlConfig {
+                threads: 8,
+                retries: 25,
+                ..Default::default()
+            },
+        )
+        .expect("valid crawl config");
+        let r = &result.report;
+        let completeness = (r.spaces_fetched as f64 / total_spaces.max(1) as f64)
+            .min(r.posts as f64 / total_posts.max(1) as f64);
+        complete_everywhere &= r.spaces_fetched == host.space_count()
+            && r.posts == total_posts
+            && r.rejected_pages.is_empty();
+        crawl_table.row([
+            seed.to_string(),
+            format!("{}/{}", r.spaces_fetched, total_spaces),
+            format!("{}/{}", r.posts, total_posts),
+            r.retries.to_string(),
+            r.throttled.to_string(),
+            format!("{:.0}%", completeness * 100.0),
+        ]);
+    }
+    println!("crawl under faults (25% transient, 10% throttled, burst outages):\n{crawl_table}");
+
     let mut summary = TextTable::new(["quantity", "mean", "stddev"]);
     let (m, s) = mean_std(&margins);
-    summary.row(["Table I margin (domain-specific − best other)".to_string(), format!("{m:+.2}"), format!("{s:.2}")]);
+    summary.row([
+        "Table I margin (domain-specific − best other)".to_string(),
+        format!("{m:+.2}"),
+        format!("{s:.2}"),
+    ]);
     let (m, s) = mean_std(&mass_ndcg);
-    summary.row(["MASS NDCG@10".to_string(), format!("{m:.3}"), format!("{s:.3}")]);
+    summary.row([
+        "MASS NDCG@10".to_string(),
+        format!("{m:.3}"),
+        format!("{s:.3}"),
+    ]);
     for (name, xs) in &baseline_ndcg {
         let (m, s) = mean_std(xs);
-        summary.row([format!("{name} NDCG@10"), format!("{m:.3}"), format!("{s:.3}")]);
+        summary.row([
+            format!("{name} NDCG@10"),
+            format!("{m:.3}"),
+            format!("{s:.3}"),
+        ]);
     }
     println!("across seeds:\n{summary}");
 
@@ -86,7 +177,11 @@ fn main() {
             format!("MASS vs {name} (NDCG@10)"),
             format!("{:+.3}", r.mean_diff),
             format!("{:.3}", r.p_value),
-            if r.significant() { "significant".to_string() } else { "n.s.".to_string() },
+            if r.significant() {
+                "significant".to_string()
+            } else {
+                "n.s.".to_string()
+            },
         ]);
     }
     println!("paired bootstrap (5000 resamples) over the five seeds:\n{sig}");
@@ -96,7 +191,15 @@ fn main() {
         "shape {}: the domain-specific advantage is positive on every seed",
         if all_positive { "HOLDS" } else { "VIOLATED" }
     );
-    if !all_positive {
+    println!(
+        "shape {}: faulty crawls recover the complete corpus on every seed",
+        if complete_everywhere {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
+    if !all_positive || !complete_everywhere {
         std::process::exit(1);
     }
 }

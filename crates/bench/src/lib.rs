@@ -25,7 +25,12 @@ pub fn standard_corpus() -> SynthOutput {
 
 /// A fixed-size corpus for scaling sweeps.
 pub fn corpus_of(bloggers: usize, seed: u64) -> SynthOutput {
-    generate(&SynthConfig { bloggers, mean_posts_per_blogger: 8.0, seed, ..Default::default() })
+    generate(&SynthConfig {
+        bloggers,
+        mean_posts_per_blogger: 8.0,
+        seed,
+        ..Default::default()
+    })
 }
 
 /// Prints the standard experiment banner.

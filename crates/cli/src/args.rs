@@ -51,19 +51,21 @@ impl Args {
 
     /// Required string option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// Parsed option with a default.
     pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None | Some("") => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("invalid value for --{key}: {raw:?}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {raw:?}")),
         }
     }
 
     /// Whether a boolean flag is present.
-    #[allow(dead_code)] // exercised in tests; kept for future boolean options
     pub fn flag(&self, key: &str) -> bool {
         self.options.contains_key(key)
     }

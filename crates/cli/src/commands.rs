@@ -2,11 +2,13 @@
 
 use crate::args::Args;
 use mass_core::{MassAnalysis, MassParams, Recommender};
-use mass_crawler::{archive_host, crawl, BlogHost, CrawlConfig, HostConfig, SimulatedHost, XmlArchiveHost};
+use mass_crawler::{
+    archive_host, crawl, BlogHost, CrawlConfig, HostConfig, SimulatedHost, XmlArchiveHost,
+};
 use mass_eval::{run_user_study, TextTable, UserStudyConfig};
 use mass_synth::{generate as synth_generate, SynthConfig};
-use mass_types::{BloggerId, Dataset, DomainId};
 use mass_text::DiscoveryParams;
+use mass_types::{BloggerId, Dataset, DomainId};
 use mass_viz::{apply_layout, LayoutParams, PostReplyNetwork};
 
 type CmdResult = Result<(), String>;
@@ -16,7 +18,11 @@ fn load_dataset(args: &Args) -> Result<Dataset, String> {
     mass_xml::dataset_io::load(path).map_err(|e| format!("loading {path}: {e}"))
 }
 
-fn synth_config(args: &Args, default_bloggers: usize, default_ppb: f64) -> Result<SynthConfig, String> {
+fn synth_config(
+    args: &Args,
+    default_bloggers: usize,
+    default_ppb: f64,
+) -> Result<SynthConfig, String> {
     Ok(SynthConfig {
         bloggers: args.get_parse("bloggers", default_bloggers)?,
         mean_posts_per_blogger: args.get_parse("posts-per-blogger", default_ppb)?,
@@ -39,8 +45,29 @@ fn mass_params(args: &Args) -> Result<MassParams, String> {
 
 fn resolve_domain(ds: &Dataset, name: &str) -> Result<DomainId, String> {
     ds.domains.id_of_ci(name).ok_or_else(|| {
-        format!("unknown domain {name:?}; available: {}", ds.domains.names().join(", "))
+        format!(
+            "unknown domain {name:?}; available: {}",
+            ds.domains.names().join(", ")
+        )
     })
+}
+
+/// Prints a stderr warning when the solver run behind an analysis was not a
+/// clean converged fixed point (shared by rank/recommend/search/report).
+fn warn_on_solver_status(scores: &mass_core::InfluenceScores) {
+    use mass_core::SolveStatus;
+    match scores.status {
+        SolveStatus::Converged => {}
+        SolveStatus::MaxIterations => eprintln!(
+            "warning: solver did not converge (residual {:.2e} after {} sweeps); \
+             scores are approximate",
+            scores.residual, scores.iterations
+        ),
+        SolveStatus::Degenerate => eprintln!(
+            "warning: solver inputs were degenerate (non-finite values neutralised); \
+             treat the ranking with suspicion"
+        ),
+    }
 }
 
 /// `mass generate` — synthesise a blogosphere and save it.
@@ -70,21 +97,29 @@ pub fn crawl_cmd(args: &Args) -> CmdResult {
     let out_path = args.require("out")?;
     let failure_rate: f64 = args.get_parse("failure-rate", 0.0)?;
     let host: Box<dyn BlogHost> = match args.get("from-archive").filter(|s| !s.is_empty()) {
-        Some(dir) => Box::new(
-            XmlArchiveHost::open(dir).map_err(|e| format!("opening archive {dir}: {e}"))?,
-        ),
+        Some(dir) => {
+            Box::new(XmlArchiveHost::open(dir).map_err(|e| format!("opening archive {dir}: {e}"))?)
+        }
         None => {
             let cfg = synth_config(args, 200, 5.0)?;
-            Box::new(SimulatedHost::with_config(
-                synth_generate(&cfg).dataset,
-                HostConfig { failure_rate, ..Default::default() },
-            ))
+            Box::new(
+                SimulatedHost::with_config(
+                    synth_generate(&cfg).dataset,
+                    HostConfig {
+                        failure_rate,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| format!("invalid host config: {e}"))?,
+            )
         }
     };
     let crawl_cfg = CrawlConfig {
         seeds: match args.get("seed-space") {
             Some(s) if !s.is_empty() => {
-                vec![s.parse().map_err(|_| format!("invalid --seed-space {s:?}"))?]
+                vec![s
+                    .parse()
+                    .map_err(|_| format!("invalid --seed-space {s:?}"))?]
             }
             _ => Vec::new(),
         },
@@ -95,16 +130,62 @@ pub fn crawl_cmd(args: &Args) -> CmdResult {
             _ => None,
         },
         threads: args.get_parse("threads", 4usize)?,
+        retries: args.get_parse("retries", CrawlConfig::default().retries)?,
+        time_budget: match args.get_parse("time-budget-ms", 0u64)? {
+            0 => None,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
+        checkpoint_dir: args
+            .get("checkpoint")
+            .filter(|s| !s.is_empty())
+            .map(std::path::PathBuf::from),
+        resume: args.flag("resume"),
         ..Default::default()
     };
-    let result = crawl(host.as_ref(), &crawl_cfg);
+    let result = crawl(host.as_ref(), &crawl_cfg).map_err(|e| format!("crawl failed: {e}"))?;
     mass_xml::dataset_io::save(&result.dataset, out_path).map_err(|e| e.to_string())?;
     let r = &result.report;
     println!(
         "crawled {} spaces ({} posts, {} comments) in {:?}; {} retries, {} failed, {} missing",
-        r.spaces_fetched, r.posts, r.comments, r.elapsed, r.retries, r.spaces_failed,
+        r.spaces_fetched,
+        r.posts,
+        r.comments,
+        r.elapsed,
+        r.retries,
+        r.spaces_failed,
         r.spaces_missing
     );
+    if r.resumed_from_checkpoint {
+        println!(
+            "resumed from checkpoint in {}",
+            crawl_cfg.checkpoint_dir.as_ref().unwrap().display()
+        );
+    }
+    if r.checkpoints_written > 0 {
+        println!("wrote {} checkpoint(s)", r.checkpoints_written);
+    }
+    if !r.rejected_pages.is_empty() {
+        println!(
+            "quarantined {} corrupt page(s): {:?}",
+            r.rejected_pages.len(),
+            r.rejected_pages
+        );
+    }
+    if r.throttled > 0 || r.corrupt_fetches > 0 {
+        println!(
+            "host pushback: {} throttled, {} corrupt responses",
+            r.throttled, r.corrupt_fetches
+        );
+    }
+    if r.breaker_trips > 0 {
+        println!(
+            "circuit breaker tripped {} time(s), open {:?}",
+            r.breaker_trips, r.breaker_open_time
+        );
+    }
+    if r.budget_exhausted {
+        println!("stopped early: time budget exhausted (resume with --checkpoint DIR --resume)");
+    }
     println!("wrote {out_path}: {}", result.dataset.stats());
     Ok(())
 }
@@ -122,17 +203,15 @@ pub fn rank(args: &Args) -> CmdResult {
     let k: usize = args.get_parse("k", 10)?;
     let params = mass_params(args)?;
     let analysis = MassAnalysis::analyze(&ds, &params);
-    if !analysis.scores.converged {
-        eprintln!(
-            "warning: solver did not converge (residual {:.2e} after {} sweeps)",
-            analysis.scores.residual, analysis.scores.iterations
-        );
-    }
+    warn_on_solver_status(&analysis.scores);
 
     let (title, ranked) = match args.get("domain") {
         Some(name) if !name.is_empty() => {
             let d = resolve_domain(&ds, name)?;
-            (format!("top-{k} in {}", ds.domains.name(d)), analysis.top_k_in_domain(d, k))
+            (
+                format!("top-{k} in {}", ds.domains.name(d)),
+                analysis.top_k_in_domain(d, k),
+            )
         }
         _ => (format!("top-{k} general"), analysis.top_k_general(k)),
     };
@@ -159,6 +238,7 @@ pub fn recommend(args: &Args) -> CmdResult {
     let ds = load_dataset(args)?;
     let k: usize = args.get_parse("k", 3)?;
     let analysis = MassAnalysis::analyze(&ds, &mass_params(args)?);
+    warn_on_solver_status(&analysis.scores);
     let rec = Recommender::new(&analysis);
 
     let ranked = if let Some(ad) = args.get("ad").filter(|s| !s.is_empty()) {
@@ -187,7 +267,11 @@ pub fn recommend(args: &Args) -> CmdResult {
 
     let mut table = TextTable::new(["#", "blogger", "score"]);
     for (rank, (b, score)) in ranked.iter().enumerate() {
-        table.row([(rank + 1).to_string(), ds.blogger(*b).name.clone(), format!("{score:.4}")]);
+        table.row([
+            (rank + 1).to_string(),
+            ds.blogger(*b).name.clone(),
+            format!("{score:.4}"),
+        ]);
     }
     print!("{table}");
     Ok(())
@@ -201,7 +285,12 @@ pub fn network(args: &Args) -> CmdResult {
         Some(who) => {
             let focus = ds
                 .blogger_by_name(who)
-                .or_else(|| who.parse::<usize>().ok().filter(|&i| i < ds.bloggers.len()).map(BloggerId::new))
+                .or_else(|| {
+                    who.parse::<usize>()
+                        .ok()
+                        .filter(|&i| i < ds.bloggers.len())
+                        .map(BloggerId::new)
+                })
                 .ok_or_else(|| format!("no blogger named or numbered {who:?}"))?;
             PostReplyNetwork::around(&ds, focus, radius)
         }
@@ -239,6 +328,7 @@ pub fn search(args: &Args) -> CmdResult {
     let query = args.require("query")?;
     let k: usize = args.get_parse("k", 5)?;
     let analysis = MassAnalysis::analyze(&ds, &mass_params(args)?);
+    warn_on_solver_status(&analysis.scores);
     let engine = mass_core::ExpertSearch::build(&ds, &analysis);
 
     let bloggers = engine.bloggers(query, k);
@@ -249,7 +339,11 @@ pub fn search(args: &Args) -> CmdResult {
     println!("top bloggers for {query:?}:");
     let mut table = TextTable::new(["#", "blogger", "score"]);
     for (rank, (b, s)) in bloggers.iter().enumerate() {
-        table.row([(rank + 1).to_string(), ds.blogger(*b).name.clone(), format!("{s:.4}")]);
+        table.row([
+            (rank + 1).to_string(),
+            ds.blogger(*b).name.clone(),
+            format!("{s:.4}"),
+        ]);
     }
     print!("{table}");
 
@@ -257,7 +351,11 @@ pub fn search(args: &Args) -> CmdResult {
     let mut table = TextTable::new(["post", "author", "score"]);
     for (p, s) in engine.posts(query, k) {
         let post = ds.post(p);
-        table.row([post.title.clone(), ds.blogger(post.author).name.clone(), format!("{s:.4}")]);
+        table.row([
+            post.title.clone(),
+            ds.blogger(post.author).name.clone(),
+            format!("{s:.4}"),
+        ]);
     }
     print!("{table}");
     Ok(())
@@ -268,6 +366,7 @@ pub fn report(args: &Args) -> CmdResult {
     let ds = load_dataset(args)?;
     let k: usize = args.get_parse("k", 10)?;
     let analysis = MassAnalysis::analyze(&ds, &mass_params(args)?);
+    warn_on_solver_status(&analysis.scores);
     let rendered = mass_eval::analysis_report(&ds, &analysis, k);
     match args.get("out").filter(|s| !s.is_empty()) {
         Some(path) => {
@@ -290,9 +389,19 @@ pub fn discover(args: &Args) -> CmdResult {
         return Err("--topics must be positive".into());
     }
 
-    let docs: Vec<String> = ds.posts.iter().map(|p| format!("{} {}", p.title, p.text)).collect();
+    let docs: Vec<String> = ds
+        .posts
+        .iter()
+        .map(|p| format!("{} {}", p.title, p.text))
+        .collect();
     let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
-    let model = mass_text::discover_topics(&refs, &DiscoveryParams { topics, ..Default::default() });
+    let model = mass_text::discover_topics(
+        &refs,
+        &DiscoveryParams {
+            topics,
+            ..Default::default()
+        },
+    );
     if model.is_empty() {
         return Err("corpus too small or homogeneous for topic discovery".into());
     }
@@ -304,15 +413,25 @@ pub fn discover(args: &Args) -> CmdResult {
     }
     print!("{table}");
 
-    let analysis = MassAnalysis::analyze_discovered(&ds, &DiscoveryParams { topics, ..Default::default() }, &mass_params(args)?)
-        .ok_or("discovery produced no usable classifier")?;
+    let analysis = MassAnalysis::analyze_discovered(
+        &ds,
+        &DiscoveryParams {
+            topics,
+            ..Default::default()
+        },
+        &mass_params(args)?,
+    )
+    .ok_or("discovery produced no usable classifier")?;
     println!("\ntop-{k} per discovered domain:");
     let mut table = TextTable::new(["domain", "top bloggers"]);
     for d in 0..model.len() {
         let tops = analysis.top_k_in_domain(mass_types::DomainId::new(d), k);
         table.row([
             model.topics()[d].label.clone(),
-            tops.iter().map(|(b, _)| ds.blogger(*b).name.clone()).collect::<Vec<_>>().join(", "),
+            tops.iter()
+                .map(|(b, _)| ds.blogger(*b).name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
         ]);
     }
     print!("{table}");
@@ -346,10 +465,22 @@ mod tests {
     #[test]
     fn generate_then_stats_and_rank() {
         let path = tmp("gen.xml");
-        generate(&args(&["generate", "--bloggers", "40", "--seed", "1", "--out", &path])).unwrap();
+        generate(&args(&[
+            "generate",
+            "--bloggers",
+            "40",
+            "--seed",
+            "1",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
         stats(&args(&["stats", "--in", &path])).unwrap();
         rank(&args(&["rank", "--in", &path, "--k", "5"])).unwrap();
-        rank(&args(&["rank", "--in", &path, "--k", "3", "--domain", "sports"])).unwrap();
+        rank(&args(&[
+            "rank", "--in", &path, "--k", "3", "--domain", "sports",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -364,23 +495,70 @@ mod tests {
     #[test]
     fn recommend_all_modes() {
         let path = tmp("gen3.xml");
-        generate(&args(&["generate", "--bloggers", "60", "--seed", "3", "--out", &path])).unwrap();
-        recommend(&args(&["recommend", "--in", &path, "--ad", "premium football boots for the big match", "--k", "2"])).unwrap();
-        recommend(&args(&["recommend", "--in", &path, "--ad-domain", "Sports,Travel"])).unwrap();
-        recommend(&args(&["recommend", "--in", &path, "--profile", "I love hotels and flights"])).unwrap();
+        generate(&args(&[
+            "generate",
+            "--bloggers",
+            "60",
+            "--seed",
+            "3",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        recommend(&args(&[
+            "recommend",
+            "--in",
+            &path,
+            "--ad",
+            "premium football boots for the big match",
+            "--k",
+            "2",
+        ]))
+        .unwrap();
+        recommend(&args(&[
+            "recommend",
+            "--in",
+            &path,
+            "--ad-domain",
+            "Sports,Travel",
+        ]))
+        .unwrap();
+        recommend(&args(&[
+            "recommend",
+            "--in",
+            &path,
+            "--profile",
+            "I love hotels and flights",
+        ]))
+        .unwrap();
         recommend(&args(&["recommend", "--in", &path])).unwrap();
     }
 
     #[test]
     fn archive_then_crawl_from_it() {
         let dir = tmp("archive_dir");
-        archive(&args(&["archive", "--bloggers", "25", "--seed", "8", "--dir", &dir])).unwrap();
+        archive(&args(&[
+            "archive",
+            "--bloggers",
+            "25",
+            "--seed",
+            "8",
+            "--dir",
+            &dir,
+        ]))
+        .unwrap();
         let out = tmp("from_archive.xml");
         crawl_cmd(&args(&["crawl", "--from-archive", &dir, "--out", &out])).unwrap();
         let ds = mass_xml::dataset_io::load(&out).unwrap();
         assert_eq!(ds.bloggers.len(), 25);
-        let err = crawl_cmd(&args(&["crawl", "--from-archive", "/no/such/dir", "--out", &out]))
-            .unwrap_err();
+        let err = crawl_cmd(&args(&[
+            "crawl",
+            "--from-archive",
+            "/no/such/dir",
+            "--out",
+            &out,
+        ]))
+        .unwrap_err();
         assert!(err.contains("opening archive"));
     }
 
@@ -388,7 +566,15 @@ mod tests {
     fn crawl_writes_dataset() {
         let path = tmp("crawl.xml");
         crawl_cmd(&args(&[
-            "crawl", "--bloggers", "30", "--seed-space", "0", "--radius", "2", "--out", &path,
+            "crawl",
+            "--bloggers",
+            "30",
+            "--seed-space",
+            "0",
+            "--radius",
+            "2",
+            "--out",
+            &path,
         ]))
         .unwrap();
         let ds = mass_xml::dataset_io::load(&path).unwrap();
@@ -396,9 +582,101 @@ mod tests {
     }
 
     #[test]
+    fn crawl_rejects_invalid_failure_rate() {
+        let path = tmp("never_written.xml");
+        let err = crawl_cmd(&args(&[
+            "crawl",
+            "--bloggers",
+            "10",
+            "--failure-rate",
+            "1.5",
+            "--out",
+            &path,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("failure_rate"), "got: {err}");
+    }
+
+    #[test]
+    fn crawl_rejects_invalid_config() {
+        let path = tmp("never_written2.xml");
+        let err = crawl_cmd(&args(&[
+            "crawl",
+            "--bloggers",
+            "10",
+            "--threads",
+            "0",
+            "--out",
+            &path,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("crawl failed"), "got: {err}");
+        let err = crawl_cmd(&args(&[
+            "crawl",
+            "--bloggers",
+            "10",
+            "--resume",
+            "--out",
+            &path,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("resume"), "got: {err}");
+    }
+
+    #[test]
+    fn crawl_checkpoint_then_resume() {
+        let cp_dir = tmp("crawl_cp");
+        let _ = std::fs::remove_dir_all(&cp_dir);
+        let first = tmp("crawl_cp_first.xml");
+        crawl_cmd(&args(&[
+            "crawl",
+            "--bloggers",
+            "25",
+            "--seed-space",
+            "0",
+            "--radius",
+            "1",
+            "--checkpoint",
+            &cp_dir,
+            "--out",
+            &first,
+        ]))
+        .unwrap();
+        // Resume with a wider radius: continues from the saved frontier.
+        let second = tmp("crawl_cp_second.xml");
+        crawl_cmd(&args(&[
+            "crawl",
+            "--bloggers",
+            "25",
+            "--seed-space",
+            "0",
+            "--radius",
+            "3",
+            "--checkpoint",
+            &cp_dir,
+            "--resume",
+            "--out",
+            &second,
+        ]))
+        .unwrap();
+        let narrow = mass_xml::dataset_io::load(&first).unwrap();
+        let wide = mass_xml::dataset_io::load(&second).unwrap();
+        assert!(wide.posts.len() >= narrow.posts.len());
+    }
+
+    #[test]
     fn network_export_formats() {
         let gen_path = tmp("gen4.xml");
-        generate(&args(&["generate", "--bloggers", "25", "--seed", "4", "--out", &gen_path])).unwrap();
+        generate(&args(&[
+            "generate",
+            "--bloggers",
+            "25",
+            "--seed",
+            "4",
+            "--out",
+            &gen_path,
+        ]))
+        .unwrap();
         for fmt in ["xml", "dot", "graphml"] {
             let out_path = tmp(&format!("net.{fmt}"));
             network(&args(&[
@@ -410,17 +688,41 @@ mod tests {
         }
         let err = network(&args(&["network", "--in", &gen_path, "--format", "png"])).unwrap_err();
         assert!(err.contains("unknown format"));
-        let err =
-            network(&args(&["network", "--in", &gen_path, "--focus", "nobody"])).unwrap_err();
+        let err = network(&args(&["network", "--in", &gen_path, "--focus", "nobody"])).unwrap_err();
         assert!(err.contains("no blogger"));
     }
 
     #[test]
     fn search_finds_bloggers() {
         let corpus = tmp("gen_search.xml");
-        generate(&args(&["generate", "--bloggers", "60", "--seed", "2", "--out", &corpus])).unwrap();
-        search(&args(&["search", "--in", &corpus, "--query", "travel hotel flight", "--k", "3"])).unwrap();
-        search(&args(&["search", "--in", &corpus, "--query", "zzzznomatch"])).unwrap();
+        generate(&args(&[
+            "generate",
+            "--bloggers",
+            "60",
+            "--seed",
+            "2",
+            "--out",
+            &corpus,
+        ]))
+        .unwrap();
+        search(&args(&[
+            "search",
+            "--in",
+            &corpus,
+            "--query",
+            "travel hotel flight",
+            "--k",
+            "3",
+        ]))
+        .unwrap();
+        search(&args(&[
+            "search",
+            "--in",
+            &corpus,
+            "--query",
+            "zzzznomatch",
+        ]))
+        .unwrap();
         assert!(search(&args(&["search", "--in", &corpus])).is_err());
     }
 
@@ -429,7 +731,10 @@ mod tests {
         let corpus = tmp("gen_report.xml");
         generate(&args(&["generate", "--bloggers", "40", "--out", &corpus])).unwrap();
         let out = tmp("report.md");
-        report(&args(&["report", "--in", &corpus, "--k", "4", "--out", &out])).unwrap();
+        report(&args(&[
+            "report", "--in", &corpus, "--k", "4", "--out", &out,
+        ]))
+        .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(text.contains("# MASS analysis report"));
         report(&args(&["report", "--in", &corpus])).unwrap(); // stdout path
@@ -438,8 +743,20 @@ mod tests {
     #[test]
     fn discover_finds_topics() {
         let path = tmp("gen_disc.xml");
-        generate(&args(&["generate", "--bloggers", "120", "--seed", "9", "--out", &path])).unwrap();
-        discover(&args(&["discover", "--in", &path, "--topics", "8", "--k", "2"])).unwrap();
+        generate(&args(&[
+            "generate",
+            "--bloggers",
+            "120",
+            "--seed",
+            "9",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        discover(&args(&[
+            "discover", "--in", &path, "--topics", "8", "--k", "2",
+        ]))
+        .unwrap();
         let err = discover(&args(&["discover", "--in", &path, "--topics", "0"])).unwrap_err();
         assert!(err.contains("--topics"));
     }
@@ -447,7 +764,13 @@ mod tests {
     #[test]
     fn user_study_runs_small() {
         user_study(&args(&[
-            "user-study", "--bloggers", "80", "--posts-per-blogger", "4", "--seed", "5",
+            "user-study",
+            "--bloggers",
+            "80",
+            "--posts-per-blogger",
+            "4",
+            "--seed",
+            "5",
         ]))
         .unwrap();
     }

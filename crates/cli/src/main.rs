@@ -33,7 +33,9 @@ COMMANDS:
                --bloggers N (200)  --seed N (42)   [synthetic host corpus]
                --from-archive DIR  [crawl a saved archive instead]
                --seed-space N      --radius N      --threads N (4)
-               --failure-rate F (0.0)  --out FILE (required)
+               --failure-rate F (0.0)  --retries N (3)
+               --time-budget-ms N (unlimited)
+               --checkpoint DIR [--resume]  --out FILE (required)
   archive      save a synthetic blogosphere as a per-space XML archive
                --bloggers N (200)  --seed N (42)  --dir DIR (required)
   stats        print corpus statistics

@@ -46,7 +46,15 @@ fn unknown_command_fails_with_hint() {
 #[test]
 fn generate_rank_recommend_roundtrip() {
     let corpus = tmp("bb_corpus.xml");
-    let o = mass(&["generate", "--bloggers", "80", "--seed", "3", "--out", &corpus]);
+    let o = mass(&[
+        "generate",
+        "--bloggers",
+        "80",
+        "--seed",
+        "3",
+        "--out",
+        &corpus,
+    ]);
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("80 bloggers"));
 
@@ -60,7 +68,15 @@ fn generate_rank_recommend_roundtrip() {
     assert!(out.contains("top-5 in Sports"));
     assert!(out.lines().count() >= 7, "expected a 5-row table:\n{out}");
 
-    let o = mass(&["recommend", "--in", &corpus, "--ad-domain", "Travel", "--k", "2"]);
+    let o = mass(&[
+        "recommend",
+        "--in",
+        &corpus,
+        "--ad-domain",
+        "Travel",
+        "--k",
+        "2",
+    ]);
     assert!(o.status.success());
     assert!(stdout(&o).contains("blogger_"));
 }
@@ -68,9 +84,14 @@ fn generate_rank_recommend_roundtrip() {
 #[test]
 fn network_dot_export() {
     let corpus = tmp("bb_net.xml");
-    assert!(mass(&["generate", "--bloggers", "30", "--out", &corpus]).status.success());
+    assert!(mass(&["generate", "--bloggers", "30", "--out", &corpus])
+        .status
+        .success());
     let dot = tmp("bb_net.dot");
-    let o = mass(&["network", "--in", &corpus, "--focus", "0", "--radius", "1", "--format", "dot", "--out", &dot]);
+    let o = mass(&[
+        "network", "--in", &corpus, "--focus", "0", "--radius", "1", "--format", "dot", "--out",
+        &dot,
+    ]);
     assert!(o.status.success(), "{}", stderr(&o));
     let rendered = std::fs::read_to_string(&dot).unwrap();
     assert!(rendered.starts_with("digraph"));
@@ -79,7 +100,9 @@ fn network_dot_export() {
 #[test]
 fn network_to_stdout_when_no_out() {
     let corpus = tmp("bb_net2.xml");
-    assert!(mass(&["generate", "--bloggers", "20", "--out", &corpus]).status.success());
+    assert!(mass(&["generate", "--bloggers", "20", "--out", &corpus])
+        .status
+        .success());
     let o = mass(&["network", "--in", &corpus, "--focus", "0", "--radius", "0"]);
     assert!(o.status.success());
     assert!(stdout(&o).contains("<network"));
@@ -92,7 +115,9 @@ fn errors_exit_nonzero_with_message() {
     assert!(stderr(&o).contains("not/here.xml"));
 
     let corpus = tmp("bb_err.xml");
-    assert!(mass(&["generate", "--bloggers", "10", "--out", &corpus]).status.success());
+    assert!(mass(&["generate", "--bloggers", "10", "--out", &corpus])
+        .status
+        .success());
     let o = mass(&["rank", "--in", &corpus, "--domain", "Gastronomy"]);
     assert!(!o.status.success());
     assert!(stderr(&o).contains("unknown domain"));
@@ -111,8 +136,17 @@ fn corrupted_xml_is_rejected_cleanly() {
 fn crawl_subcommand_writes_loadable_xml() {
     let out_path = tmp("bb_crawl.xml");
     let o = mass(&[
-        "crawl", "--bloggers", "40", "--seed-space", "0", "--radius", "1", "--threads", "2",
-        "--out", &out_path,
+        "crawl",
+        "--bloggers",
+        "40",
+        "--seed-space",
+        "0",
+        "--radius",
+        "1",
+        "--threads",
+        "2",
+        "--out",
+        &out_path,
     ]);
     assert!(o.status.success(), "{}", stderr(&o));
     assert!(stdout(&o).contains("crawled"));
@@ -124,9 +158,17 @@ fn crawl_subcommand_writes_loadable_xml() {
 #[test]
 fn discover_runs_on_generated_corpus() {
     let corpus = tmp("bb_disc.xml");
-    assert!(mass(&["generate", "--bloggers", "150", "--seed", "6", "--out", &corpus])
-        .status
-        .success());
+    assert!(mass(&[
+        "generate",
+        "--bloggers",
+        "150",
+        "--seed",
+        "6",
+        "--out",
+        &corpus
+    ])
+    .status
+    .success());
     let o = mass(&["discover", "--in", &corpus, "--topics", "6", "--k", "2"]);
     assert!(o.status.success(), "{}", stderr(&o));
     let out = stdout(&o);

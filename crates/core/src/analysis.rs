@@ -42,7 +42,13 @@ impl MassAnalysis {
                 train_on_tagged(ds, ds.domains.len())
             }
         };
-        MassAnalysis { scores, iv, domain_matrix, classifier, params: params.clone() }
+        MassAnalysis {
+            scores,
+            iv,
+            domain_matrix,
+            classifier,
+            params: params.clone(),
+        }
     }
 
     /// Top-k bloggers by overall influence (the "general" list of Table I).
@@ -84,8 +90,11 @@ impl MassAnalysis {
         discovery: &mass_text::DiscoveryParams,
         params: &MassParams,
     ) -> Option<MassAnalysis> {
-        let docs: Vec<String> =
-            ds.posts.iter().map(|p| format!("{} {}", p.title, p.text)).collect();
+        let docs: Vec<String> = ds
+            .posts
+            .iter()
+            .map(|p| format!("{} {}", p.title, p.text))
+            .collect();
         let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         let model = mass_text::discover_topics(&doc_refs, discovery);
         if model.is_empty() {
@@ -98,7 +107,10 @@ impl MassAnalysis {
         for post in &mut rebased.posts {
             post.true_domain = None;
         }
-        let params = MassParams { iv: IvSource::Classifier(classifier), ..params.clone() };
+        let params = MassParams {
+            iv: IvSource::Classifier(classifier),
+            ..params.clone()
+        };
         Some(MassAnalysis::analyze(&rebased, &params))
     }
 }
@@ -116,7 +128,10 @@ mod tests {
         assert!(a.scores.converged);
         assert_eq!(a.domain_matrix.len(), out.dataset.bloggers.len());
         assert_eq!(a.iv.len(), out.dataset.posts.len());
-        assert!(a.classifier.is_some(), "synthetic posts are tagged; classifier trains");
+        assert!(
+            a.classifier.is_some(),
+            "synthetic posts are tagged; classifier trains"
+        );
         assert!(a.interest_miner().is_some());
     }
 
@@ -142,14 +157,20 @@ mod tests {
         let general: Vec<BloggerId> = a.top_k_general(3).into_iter().map(|(b, _)| b).collect();
         let mut any_differs = false;
         for d in 0..10 {
-            let dom: Vec<BloggerId> =
-                a.top_k_in_domain(DomainId::new(d), 3).into_iter().map(|(b, _)| b).collect();
+            let dom: Vec<BloggerId> = a
+                .top_k_in_domain(DomainId::new(d), 3)
+                .into_iter()
+                .map(|(b, _)| b)
+                .collect();
             if dom != general {
                 any_differs = true;
                 break;
             }
         }
-        assert!(any_differs, "domain rankings should not all collapse to the general list");
+        assert!(
+            any_differs,
+            "domain rankings should not all collapse to the general list"
+        );
     }
 
     #[test]
@@ -165,7 +186,10 @@ mod tests {
         let out = generate(&SynthConfig::default());
         let analysis = MassAnalysis::analyze_discovered(
             &out.dataset,
-            &mass_text::DiscoveryParams { topics: 10, ..Default::default() },
+            &mass_text::DiscoveryParams {
+                topics: 10,
+                ..Default::default()
+            },
             &MassParams::paper(),
         )
         .expect("discovery succeeds on a 10-theme corpus");

@@ -71,8 +71,11 @@ pub fn live_index(ds: &Dataset, ix: &DatasetIndex) -> Vec<f64> {
         .map(|i| {
             let b = BloggerId::new(i);
             let space_links = ix.blogger_inlinks(b) as f64;
-            let post_links: f64 =
-                ix.posts_of(b).iter().map(|&p| ix.post_inlinks(p) as f64).sum();
+            let post_links: f64 = ix
+                .posts_of(b)
+                .iter()
+                .map(|&p| ix.post_inlinks(p) as f64)
+                .sum();
             space_links + post_links
         })
         .collect()
@@ -104,7 +107,12 @@ pub struct IFinderParams {
 
 impl Default for IFinderParams {
     fn default() -> Self {
-        IFinderParams { w_in: 1.0, w_out: 1.0, w_comment: 1.0, iterations: 30 }
+        IFinderParams {
+            w_in: 1.0,
+            w_out: 1.0,
+            w_comment: 1.0,
+            iterations: 30,
+        }
     }
 }
 
@@ -117,8 +125,18 @@ impl Default for IFinderParams {
 pub fn ifinder(ds: &Dataset, params: &IFinderParams) -> Vec<f64> {
     let np = ds.posts.len();
     let g = post_graph(ds);
-    let max_len = ds.posts.iter().map(|p| p.length_words()).max().unwrap_or(0).max(1) as f64;
-    let weight: Vec<f64> = ds.posts.iter().map(|p| p.length_words() as f64 / max_len).collect();
+    let max_len = ds
+        .posts
+        .iter()
+        .map(|p| p.length_words())
+        .max()
+        .unwrap_or(0)
+        .max(1) as f64;
+    let weight: Vec<f64> = ds
+        .posts
+        .iter()
+        .map(|p| p.length_words() as f64 / max_len)
+        .collect();
     let gamma: Vec<f64> = ds.posts.iter().map(|p| p.comment_count() as f64).collect();
     let gmax = gamma.iter().cloned().fold(0.0f64, f64::max).max(1.0);
 
@@ -149,9 +167,15 @@ pub fn ifinder(ds: &Dataset, params: &IFinderParams) -> Vec<f64> {
         blogger[a] = blogger[a].max(influence[k]);
     }
     // Bloggers without posts sit at the bottom.
-    let min = blogger.iter().cloned().filter(|x| x.is_finite()).fold(0.0f64, f64::min);
-    let shifted: Vec<f64> =
-        blogger.iter().map(|&x| if x.is_finite() { x - min } else { 0.0 }).collect();
+    let min = blogger
+        .iter()
+        .cloned()
+        .filter(|x| x.is_finite())
+        .fold(0.0f64, f64::min);
+    let shifted: Vec<f64> = blogger
+        .iter()
+        .map(|&x| if x.is_finite() { x - min } else { 0.0 })
+        .collect();
     normalize_max(shifted)
 }
 
@@ -161,8 +185,11 @@ pub fn ifinder(ds: &Dataset, params: &IFinderParams) -> Vec<f64> {
 pub fn opinion_leader(ds: &Dataset) -> Vec<f64> {
     let pr = pagerank(&post_graph(ds), &PageRankParams::default());
     let mut detector = mass_text::NoveltyDetector::default();
-    let novelty: Vec<f64> =
-        ds.posts.iter().map(|p| detector.score_and_add(&p.text)).collect();
+    let novelty: Vec<f64> = ds
+        .posts
+        .iter()
+        .map(|p| detector.score_and_add(&p.text))
+        .collect();
     let mut blogger = vec![0.0f64; ds.bloggers.len()];
     for (k, post) in ds.posts.iter().enumerate() {
         blogger[post.author.index()] += pr.scores[k] * novelty[k];
@@ -221,8 +248,12 @@ mod tests {
     fn pagerank_and_hits_rank_the_hub_first() {
         let ds = star_dataset();
         for scores in [pagerank_bloggers(&ds), hits_bloggers(&ds)] {
-            let best =
-                scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
             assert_eq!(best, 0);
         }
     }
@@ -231,8 +262,12 @@ mod tests {
     fn ifinder_ranks_the_hub_first() {
         let ds = star_dataset();
         let scores = ifinder(&ds, &IFinderParams::default());
-        let best =
-            scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 0, "scores: {scores:?}");
         assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
     }
@@ -252,8 +287,12 @@ mod tests {
     fn opinion_leader_ranks_cited_novel_posts() {
         let ds = star_dataset();
         let scores = opinion_leader(&ds);
-        let best =
-            scores.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
         assert_eq!(best, 0);
     }
 
@@ -263,8 +302,16 @@ mod tests {
         let original = b.blogger("original");
         let copier = b.blogger("copier");
         let citer = b.blogger("citer");
-        let p0 = b.post(original, "t", "fresh unique insightful content about things");
-        let p1 = b.post(copier, "t", "reprinted from another blog: fresh unique insightful content about things");
+        let p0 = b.post(
+            original,
+            "t",
+            "fresh unique insightful content about things",
+        );
+        let p1 = b.post(
+            copier,
+            "t",
+            "reprinted from another blog: fresh unique insightful content about things",
+        );
         let c0 = b.post(citer, "t", "citing both of them equally");
         b.link_posts(c0, p0);
         b.link_posts(c0, p1);
@@ -286,8 +333,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            Baseline::ALL.iter().map(|b| b.name()).collect();
+        let names: std::collections::HashSet<_> = Baseline::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), Baseline::ALL.len());
     }
 

@@ -70,7 +70,11 @@ fn uniform(n: usize) -> Vec<f64> {
 /// The domain-influence matrix `Inf(b_i, C_t)`: rows are bloggers, columns
 /// domains. Row `i` is the paper's `Inf(b_i, IV)` vector.
 pub fn domain_influence(ds: &Dataset, post_scores: &[f64], iv: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    assert_eq!(post_scores.len(), ds.posts.len(), "post score vector mismatch");
+    assert_eq!(
+        post_scores.len(),
+        ds.posts.len(),
+        "post score vector mismatch"
+    );
     assert_eq!(iv.len(), ds.posts.len(), "iv vector mismatch");
     let nd = ds.domains.len();
     let mut matrix = vec![vec![0.0f64; nd]; ds.bloggers.len()];
@@ -98,16 +102,37 @@ mod tests {
         let a = b.blogger("a");
         let c = b.blogger("c");
         // Domain 0 = Travel, 6 = Sports in the paper catalogue.
-        b.post_in_domain(a, "trip", "travel hotel flight beach vacation", DomainId::new(0));
-        b.post_in_domain(a, "game", "football basketball match team goal", DomainId::new(6));
-        b.post_in_domain(c, "trip2", "travel hotel resort island cruise", DomainId::new(0));
+        b.post_in_domain(
+            a,
+            "trip",
+            "travel hotel flight beach vacation",
+            DomainId::new(0),
+        );
+        b.post_in_domain(
+            a,
+            "game",
+            "football basketball match team goal",
+            DomainId::new(6),
+        );
+        b.post_in_domain(
+            c,
+            "trip2",
+            "travel hotel resort island cruise",
+            DomainId::new(0),
+        );
         b.build().unwrap()
     }
 
     #[test]
     fn oracle_iv_is_one_hot() {
         let ds = tagged_dataset();
-        let iv = iv_vectors(&ds, &MassParams { iv: IvSource::TrueDomains, ..MassParams::paper() });
+        let iv = iv_vectors(
+            &ds,
+            &MassParams {
+                iv: IvSource::TrueDomains,
+                ..MassParams::paper()
+            },
+        );
         assert_eq!(iv[0][0], 1.0);
         assert_eq!(iv[0].iter().sum::<f64>(), 1.0);
         assert_eq!(iv[1][6], 1.0);
@@ -119,7 +144,13 @@ mod tests {
         let a = b.blogger("a");
         b.post(a, "t", "no tag here");
         let ds = b.build().unwrap();
-        let iv = iv_vectors(&ds, &MassParams { iv: IvSource::TrueDomains, ..MassParams::paper() });
+        let iv = iv_vectors(
+            &ds,
+            &MassParams {
+                iv: IvSource::TrueDomains,
+                ..MassParams::paper()
+            },
+        );
         assert!((iv[0][0] - 0.1).abs() < 1e-12);
         assert!((iv[0].iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
@@ -128,7 +159,7 @@ mod tests {
     fn trained_iv_recovers_tags() {
         let ds = tagged_dataset();
         let iv = iv_vectors(&ds, &MassParams::paper()); // TrainOnTagged default
-        // Post 0 is a travel post: travel must dominate.
+                                                        // Post 0 is a travel post: travel must dominate.
         let best0 = argmax(&iv[0]);
         assert_eq!(best0, 0, "iv[0] = {:?}", iv[0]);
         assert_eq!(argmax(&iv[1]), 6);
@@ -153,7 +184,10 @@ mod tests {
         let model = train_on_tagged(&ds, ds.domains.len()).unwrap();
         let iv = iv_vectors(
             &ds,
-            &MassParams { iv: IvSource::Classifier(model), ..MassParams::paper() },
+            &MassParams {
+                iv: IvSource::Classifier(model),
+                ..MassParams::paper()
+            },
         );
         assert_eq!(argmax(&iv[2]), 0);
     }
@@ -162,7 +196,13 @@ mod tests {
     fn domain_influence_sums_post_shares() {
         let ds = tagged_dataset();
         let post_scores = vec![0.8, 0.4, 0.5];
-        let iv = iv_vectors(&ds, &MassParams { iv: IvSource::TrueDomains, ..MassParams::paper() });
+        let iv = iv_vectors(
+            &ds,
+            &MassParams {
+                iv: IvSource::TrueDomains,
+                ..MassParams::paper()
+            },
+        );
         let m = domain_influence(&ds, &post_scores, &iv);
         let a = BloggerId::new(0);
         let c = BloggerId::new(1);
@@ -192,6 +232,10 @@ mod tests {
     }
 
     fn argmax(v: &[f64]) -> usize {
-        v.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0
     }
 }

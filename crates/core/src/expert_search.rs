@@ -30,9 +30,8 @@ impl ExpertSearch {
             ds.posts.len(),
             "analysis must belong to this dataset"
         );
-        let index = InvertedIndex::build(
-            ds.posts.iter().map(|p| format!("{} {}", p.title, p.text)),
-        );
+        let index =
+            InvertedIndex::build(ds.posts.iter().map(|p| format!("{} {}", p.title, p.text)));
         ExpertSearch {
             index,
             authors: ds.posts.iter().map(|p| p.author).collect(),
@@ -62,12 +61,12 @@ impl ExpertSearch {
             .index
             .search(query, pool, &self.bm25)
             .into_iter()
-            .map(|(doc, rel)| {
-                (PostId::new(doc), rel * (0.05 + self.post_scores[doc]))
-            })
+            .map(|(doc, rel)| (PostId::new(doc), rel * (0.05 + self.post_scores[doc])))
             .collect();
         hits.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("finite").then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("finite")
+                .then_with(|| a.0.cmp(&b.0))
         });
         hits.truncate(k);
         hits
@@ -107,11 +106,20 @@ mod tests {
             "an exhaustive hotel and beach guide for the summer vacation with detailed tips",
         );
         for &f in &fans {
-            b.comment(p_star, f, "agree, wonderful guide", Some(Sentiment::Positive));
+            b.comment(
+                p_star,
+                f,
+                "agree, wonderful guide",
+                Some(Sentiment::Positive),
+            );
             b.friend(f, star);
         }
         b.post(small, "my hotel trip", "short hotel note from the beach");
-        b.post(kicker, "derby", "the football match and the league title race");
+        b.post(
+            kicker,
+            "derby",
+            "the football match and the league title race",
+        );
         (b.build().unwrap(), star, small, kicker)
     }
 
@@ -129,14 +137,20 @@ mod tests {
         let ids: Vec<BloggerId> = hits.iter().map(|(b, _)| *b).collect();
         assert!(ids.contains(&star));
         assert!(ids.contains(&small));
-        assert!(!ids.contains(&kicker), "sports blogger matched a travel query");
+        assert!(
+            !ids.contains(&kicker),
+            "sports blogger matched a travel query"
+        );
     }
 
     #[test]
     fn influence_breaks_relevance_ties() {
         let (_, es, star, small, _) = search();
         let hits = es.bloggers("hotel", 2);
-        assert_eq!(hits[0].0, star, "the endorsed blogger must outrank the lurker: {hits:?}");
+        assert_eq!(
+            hits[0].0, star,
+            "the endorsed blogger must outrank the lurker: {hits:?}"
+        );
         assert_eq!(hits[1].0, small);
         assert!(hits[0].1 > hits[1].1);
     }

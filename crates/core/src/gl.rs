@@ -48,9 +48,7 @@ pub fn post_graph(ds: &Dataset) -> DiGraph {
 pub fn gl_scores(ds: &Dataset, params: &MassParams) -> Vec<f64> {
     let n = ds.bloggers.len();
     let mut scores = match params.gl {
-        GlProvider::PageRank => {
-            pagerank(&blogger_graph(ds), &PageRankParams::default()).scores
-        }
+        GlProvider::PageRank => pagerank(&blogger_graph(ds), &PageRankParams::default()).scores,
         GlProvider::Hits => hits(&blogger_graph(ds), &HitsParams::default()).authority,
         GlProvider::InlinkCount => {
             let g = blogger_graph(ds);
@@ -122,7 +120,10 @@ mod tests {
         let ds = linked_dataset();
         let gl = gl_scores(
             &ds,
-            &MassParams { gl: GlProvider::Hits, ..MassParams::paper() },
+            &MassParams {
+                gl: GlProvider::Hits,
+                ..MassParams::paper()
+            },
         );
         assert_eq!(gl[0], 1.0);
     }
@@ -132,7 +133,10 @@ mod tests {
         let ds = linked_dataset();
         let gl = gl_scores(
             &ds,
-            &MassParams { gl: GlProvider::InlinkCount, ..MassParams::paper() },
+            &MassParams {
+                gl: GlProvider::InlinkCount,
+                ..MassParams::paper()
+            },
         );
         assert_eq!(gl[0], 1.0); // 4 inlinks, max
         assert_eq!(gl[1], 0.25); // 1 inlink
@@ -153,16 +157,28 @@ mod tests {
         assert_eq!(g.in_degree(0), 2);
         let gl = gl_scores(
             &ds,
-            &MassParams { gl: GlProvider::CommentGraphPageRank, ..MassParams::paper() },
+            &MassParams {
+                gl: GlProvider::CommentGraphPageRank,
+                ..MassParams::paper()
+            },
         );
-        assert_eq!(gl[0], 1.0, "the commented-on author has max reply authority");
+        assert_eq!(
+            gl[0], 1.0,
+            "the commented-on author has max reply authority"
+        );
         assert!(gl[1] < 1.0);
     }
 
     #[test]
     fn none_provider_is_all_zero() {
         let ds = linked_dataset();
-        let gl = gl_scores(&ds, &MassParams { gl: GlProvider::None, ..MassParams::paper() });
+        let gl = gl_scores(
+            &ds,
+            &MassParams {
+                gl: GlProvider::None,
+                ..MassParams::paper()
+            },
+        );
         assert!(gl.iter().all(|&s| s == 0.0));
     }
 
@@ -173,6 +189,10 @@ mod tests {
         b.blogger("y");
         let ds = b.build().unwrap();
         let gl = gl_scores(&ds, &MassParams::paper());
-        assert_eq!(gl, vec![1.0, 1.0], "uniform PageRank normalises to all-ones");
+        assert_eq!(
+            gl,
+            vec![1.0, 1.0],
+            "uniform PageRank normalises to all-ones"
+        );
     }
 }

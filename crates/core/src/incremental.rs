@@ -126,7 +126,10 @@ impl IncrementalMass {
     /// Registers a new blogger. O(1); no re-solve.
     pub fn add_blogger(&mut self, blogger: Blogger) -> BloggerId {
         for &f in &blogger.friends {
-            assert!(f.index() < self.dataset.bloggers.len(), "friend link out of range");
+            assert!(
+                f.index() < self.dataset.bloggers.len(),
+                "friend link out of range"
+            );
         }
         let id = BloggerId::new(self.dataset.bloggers.len());
         self.gl_stale |= !blogger.friends.is_empty();
@@ -140,8 +143,14 @@ impl IncrementalMass {
 
     /// Adds a friend link; GL recomputes on the next refresh.
     pub fn add_friend_link(&mut self, from: BloggerId, to: BloggerId) {
-        assert!(from.index() < self.dataset.bloggers.len(), "source out of range");
-        assert!(to.index() < self.dataset.bloggers.len(), "target out of range");
+        assert!(
+            from.index() < self.dataset.bloggers.len(),
+            "source out of range"
+        );
+        assert!(
+            to.index() < self.dataset.bloggers.len(),
+            "target out of range"
+        );
         self.dataset.bloggers[from.index()].friends.push(to);
         self.gl_stale = true;
         self.pending_edits += 1;
@@ -155,16 +164,27 @@ impl IncrementalMass {
     /// unknown, or a comment is a self-comment — the same rules dataset
     /// validation enforces.
     pub fn add_post(&mut self, post: Post) -> PostId {
-        assert!(post.author.index() < self.dataset.bloggers.len(), "author out of range");
+        assert!(
+            post.author.index() < self.dataset.bloggers.len(),
+            "author out of range"
+        );
         for link in &post.links_to {
-            assert!(link.index() < self.dataset.posts.len(), "link target out of range");
+            assert!(
+                link.index() < self.dataset.posts.len(),
+                "link target out of range"
+            );
         }
         for c in &post.comments {
-            assert!(c.commenter.index() < self.dataset.bloggers.len(), "commenter out of range");
+            assert!(
+                c.commenter.index() < self.dataset.bloggers.len(),
+                "commenter out of range"
+            );
             assert!(c.commenter != post.author, "self-comment");
         }
         let id = PostId::new(self.dataset.posts.len());
-        self.inputs.raw_quality.push(raw_quality_of(&post, &self.params, self.detector.as_mut()));
+        self.inputs
+            .raw_quality
+            .push(raw_quality_of(&post, &self.params, self.detector.as_mut()));
         self.inputs.factors.push(
             post.comments
                 .iter()
@@ -211,8 +231,12 @@ impl IncrementalMass {
             self.inputs.gl = gl_scores(&self.dataset, &self.params);
             self.gl_stale = false;
         }
-        self.scores =
-            solve_prepared(&self.dataset, &self.inputs, &self.params, Some(&self.scores.blogger));
+        self.scores = solve_prepared(
+            &self.dataset,
+            &self.inputs,
+            &self.params,
+            Some(&self.scores.blogger),
+        );
         self.domain_matrix = domain_influence(&self.dataset, &self.scores.post, &self.iv);
         let applied = self.pending_edits;
         self.pending_edits = 0;
@@ -298,13 +322,28 @@ mod tests {
         let commenter = BloggerId::new(1);
         let newbie = inc.add_blogger(Blogger::new("newbie"));
         inc.add_friend_link(newbie, author);
-        let mut post = Post::new(author, "fresh", "a brand new post about travel hotels and flights");
+        let mut post = Post::new(
+            author,
+            "fresh",
+            "a brand new post about travel hotels and flights",
+        );
         post.true_domain = Some(DomainId::new(0));
         let pid = inc.add_post(post);
-        inc.add_comment(pid, Comment { commenter, text: "I agree and support".into(), sentiment: None });
         inc.add_comment(
             pid,
-            Comment { commenter: newbie, text: "x".into(), sentiment: Some(Sentiment::Positive) },
+            Comment {
+                commenter,
+                text: "I agree and support".into(),
+                sentiment: None,
+            },
+        );
+        inc.add_comment(
+            pid,
+            Comment {
+                commenter: newbie,
+                text: "x".into(),
+                sentiment: Some(Sentiment::Positive),
+            },
         );
         assert_eq!(inc.pending_edits(), 5);
 
@@ -368,16 +407,18 @@ mod tests {
         let mut inc = IncrementalMass::new(ds, params);
         let star = inc.add_blogger(Blogger::new("rising_star"));
         // Ten fans link to and praise the newcomer.
-        let fans: Vec<BloggerId> =
-            (0..6).map(BloggerId::new).filter(|&f| f != star).collect();
-        let pid = inc.add_post(Post::new(
-            star,
-            "hello",
-            "insightful words ".repeat(30),
-        ));
+        let fans: Vec<BloggerId> = (0..6).map(BloggerId::new).filter(|&f| f != star).collect();
+        let pid = inc.add_post(Post::new(star, "hello", "insightful words ".repeat(30)));
         for &fan in &fans {
             inc.add_friend_link(fan, star);
-            inc.add_comment(pid, Comment { commenter: fan, text: "x".into(), sentiment: Some(Sentiment::Positive) });
+            inc.add_comment(
+                pid,
+                Comment {
+                    commenter: fan,
+                    text: "x".into(),
+                    sentiment: Some(Sentiment::Positive),
+                },
+            );
         }
         inc.refresh();
         let rank = inc

@@ -65,8 +65,8 @@ pub mod topk;
 
 pub use analysis::MassAnalysis;
 pub use expert_search::ExpertSearch;
-pub use params::{GlProvider, IvSource, LengthMode, MassParams};
 pub use incremental::{IncrementalMass, RefreshStats};
+pub use params::{GlProvider, IvSource, LengthMode, MassParams};
 pub use recommend::Recommender;
-pub use solver::{solve, solve_prepared, InfluenceScores, SolverInputs};
+pub use solver::{solve, solve_prepared, InfluenceScores, SolveStatus, SolverInputs};
 pub use topk::top_k;

@@ -105,8 +105,16 @@ impl MassParams {
     /// Panics if α or β leave [0, 1], ε is non-positive, or the sweep cap
     /// is zero.
     pub fn validate(&self) {
-        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0,1], got {}", self.alpha);
-        assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0,1], got {}", self.beta);
+        assert!(
+            (0.0..=1.0).contains(&self.alpha),
+            "alpha must be in [0,1], got {}",
+            self.alpha
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.beta),
+            "beta must be in [0,1], got {}",
+            self.beta
+        );
         assert!(self.epsilon > 0.0, "epsilon must be positive");
         assert!(self.max_iterations > 0, "max_iterations must be positive");
     }
@@ -157,18 +165,30 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha")]
     fn alpha_out_of_range() {
-        MassParams { alpha: 1.5, ..MassParams::paper() }.validate();
+        MassParams {
+            alpha: 1.5,
+            ..MassParams::paper()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "beta")]
     fn beta_out_of_range() {
-        MassParams { beta: -0.1, ..MassParams::paper() }.validate();
+        MassParams {
+            beta: -0.1,
+            ..MassParams::paper()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "epsilon")]
     fn epsilon_must_be_positive() {
-        MassParams { epsilon: 0.0, ..MassParams::paper() }.validate();
+        MassParams {
+            epsilon: 0.0,
+            ..MassParams::paper()
+        }
+        .validate();
     }
 }

@@ -54,7 +54,10 @@ pub fn make_detector(params: &MassParams) -> Option<NoveltyDetector> {
 /// Per-post *raw* quality scores (length term × novelty, unnormalised).
 pub fn raw_quality_scores(ds: &Dataset, params: &MassParams) -> Vec<f64> {
     let mut detector = make_detector(params);
-    ds.posts.iter().map(|post| raw_quality_of(post, params, detector.as_mut())).collect()
+    ds.posts
+        .iter()
+        .map(|post| raw_quality_of(post, params, detector.as_mut()))
+        .collect()
 }
 
 /// Per-post quality scores, max-normalised (empty corpus → empty vector;
@@ -74,7 +77,11 @@ mod tests {
     use mass_types::DatasetBuilder;
 
     fn params(mode: LengthMode, shingles: bool) -> MassParams {
-        MassParams { length_mode: mode, shingle_novelty: shingles, ..MassParams::paper() }
+        MassParams {
+            length_mode: mode,
+            shingle_novelty: shingles,
+            ..MassParams::paper()
+        }
     }
 
     fn ds_with_posts(texts: &[&str]) -> Dataset {
@@ -112,17 +119,20 @@ mod tests {
                     recommendations covering many days of a wonderful summer journey";
         let ds = ds_with_posts(&[text, text]);
         let with = quality_scores(&ds, &params(LengthMode::Raw, true));
-        assert!(with[1] <= 0.1 * with[0].max(1e-12), "verbatim repost not caught: {with:?}");
+        assert!(
+            with[1] <= 0.1 * with[0].max(1e-12),
+            "verbatim repost not caught: {with:?}"
+        );
         let without = quality_scores(&ds, &params(LengthMode::Raw, false));
-        assert_eq!(without[0], without[1], "marker-only mode treats both as original");
+        assert_eq!(
+            without[0], without[1],
+            "marker-only mode treats both as original"
+        );
     }
 
     #[test]
     fn raw_mode_is_linear_log_mode_is_compressed() {
-        let ds = ds_with_posts(&[
-            "w ".repeat(10).trim(),
-            "w ".repeat(1000).trim(),
-        ]);
+        let ds = ds_with_posts(&["w ".repeat(10).trim(), "w ".repeat(1000).trim()]);
         let raw = quality_scores(&ds, &params(LengthMode::Raw, false));
         let log = quality_scores(&ds, &params(LengthMode::LogDamped, false));
         assert!(raw[0] < 0.02, "raw ratio should be ~1/100: {raw:?}");

@@ -26,7 +26,10 @@ pub struct Recommender<'a> {
 impl<'a> Recommender<'a> {
     /// Builds a recommender; interest mining uses the analysis' classifier.
     pub fn new(analysis: &'a MassAnalysis) -> Self {
-        Recommender { analysis, miner: analysis.interest_miner() }
+        Recommender {
+            analysis,
+            miner: analysis.interest_miner(),
+        }
     }
 
     /// Scenario 1, option 1: top-k bloggers for a free-text advertisement.
@@ -37,8 +40,12 @@ impl<'a> Recommender<'a> {
     pub fn for_advertisement(&self, ad_text: &str, k: usize) -> Option<Vec<(BloggerId, f64)>> {
         let miner = self.miner.as_ref()?;
         let iv = miner.interest_vector(ad_text);
-        let scores: Vec<f64> =
-            self.analysis.domain_matrix.iter().map(|row| dot(&iv, row)).collect();
+        let scores: Vec<f64> = self
+            .analysis
+            .domain_matrix
+            .iter()
+            .map(|row| dot(&iv, row))
+            .collect();
         Some(top_k(&scores, k))
     }
 
@@ -100,10 +107,19 @@ mod tests {
         assert_eq!(recommended.len(), 3);
         // The ad-based list should overlap the explicit Sports-domain list
         // far more than the general list does on average.
-        let domain_list: Vec<BloggerId> =
-            r.for_domains(&[sports], 3).into_iter().map(|(b, _)| b).collect();
-        let overlap = recommended.iter().filter(|(b, _)| domain_list.contains(b)).count();
-        assert!(overlap >= 2, "ad-based and domain-based lists disagree: {overlap}/3");
+        let domain_list: Vec<BloggerId> = r
+            .for_domains(&[sports], 3)
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
+        let overlap = recommended
+            .iter()
+            .filter(|(b, _)| domain_list.contains(b))
+            .count();
+        assert!(
+            overlap >= 2,
+            "ad-based and domain-based lists disagree: {overlap}/3"
+        );
     }
 
     #[test]
@@ -123,8 +139,7 @@ mod tests {
         assert_eq!(combined.len(), 10);
         // Combined scores must equal the mean of the two columns.
         let (b, s) = combined[0];
-        let expected =
-            (a.domain_matrix[b.index()][0] + a.domain_matrix[b.index()][8]) / 2.0;
+        let expected = (a.domain_matrix[b.index()][0] + a.domain_matrix[b.index()][8]) / 2.0;
         assert!((s - expected).abs() < 1e-12);
     }
 
@@ -135,8 +150,11 @@ mod tests {
         let medicine = DomainId::new(7);
         let profile = profile_text(medicine, 2);
         let recs = r.for_profile(&profile, 3).unwrap();
-        let by_domain: Vec<BloggerId> =
-            r.for_domains(&[medicine], 3).into_iter().map(|(b, _)| b).collect();
+        let by_domain: Vec<BloggerId> = r
+            .for_domains(&[medicine], 3)
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
         let overlap = recs.iter().filter(|(b, _)| by_domain.contains(b)).count();
         assert!(overlap >= 2, "profile recs miss the domain: {overlap}/3");
     }

@@ -65,6 +65,30 @@ pub(crate) fn compute_tc(ds: &Dataset, ix: &DatasetIndex, params: &MassParams) -
     }
 }
 
+/// How a solver run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// The residual dropped below ε within the sweep cap.
+    Converged,
+    /// The sweep cap was hit first; scores are usable but approximate.
+    MaxIterations,
+    /// Non-finite inputs (NaN/∞ quality, GL, sentiment factors, or TC) had
+    /// to be neutralised before solving. The returned scores are finite and
+    /// bounded but the offending facet contributions were zeroed, so ranks
+    /// should be treated with suspicion.
+    Degenerate,
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveStatus::Converged => write!(f, "converged"),
+            SolveStatus::MaxIterations => write!(f, "hit the iteration cap"),
+            SolveStatus::Degenerate => write!(f, "degenerate inputs were neutralised"),
+        }
+    }
+}
+
 /// Everything the solver computed. All vectors index the dataset's dense id
 /// spaces; all scores live in [0, 1].
 #[derive(Clone, Debug, PartialEq)]
@@ -89,6 +113,9 @@ pub struct InfluenceScores {
     pub residual_history: Vec<f64>,
     /// Whether the residual dropped below ε within the sweep cap.
     pub converged: bool,
+    /// How the run ended; [`SolveStatus::Degenerate`] flags sanitised inputs
+    /// even when the residual converged.
+    pub status: SolveStatus,
 }
 
 impl InfluenceScores {
@@ -156,22 +183,89 @@ pub fn solve_prepared(
     assert_eq!(inputs.factors.len(), np, "factors input mismatch");
     assert_eq!(inputs.tc.len(), nb, "tc input mismatch");
 
-    // Normalise quality against the current corpus maximum.
-    let qmax = inputs.raw_quality.iter().cloned().fold(0.0f64, f64::max);
-    let quality: Vec<f64> = if qmax > 0.0 {
-        inputs.raw_quality.iter().map(|q| q / qmax).collect()
+    // Guard against non-finite inputs: a single NaN would otherwise poison
+    // every score through the normalisations and Jacobi sweeps. Offending
+    // entries are neutralised (quality/GL/sentiment → 0, TC → 1) and the run
+    // is flagged `Degenerate` so callers can warn instead of silently
+    // ranking on garbage.
+    let mut degenerate = false;
+    let raw_quality: Vec<f64> = inputs
+        .raw_quality
+        .iter()
+        .map(|&q| {
+            if q.is_finite() && q >= 0.0 {
+                q
+            } else {
+                degenerate = true;
+                0.0
+            }
+        })
+        .collect();
+    let gl: Vec<f64> = inputs
+        .gl
+        .iter()
+        .map(|&g| {
+            if g.is_finite() {
+                g.clamp(0.0, 1.0)
+            } else {
+                degenerate = true;
+                0.0
+            }
+        })
+        .collect();
+    let factors_clean: Vec<Vec<(usize, f64)>>;
+    let factors: &Vec<Vec<(usize, f64)>> = if inputs
+        .factors
+        .iter()
+        .flatten()
+        .all(|&(_, sf)| sf.is_finite())
+    {
+        &inputs.factors
     } else {
-        inputs.raw_quality.clone()
+        degenerate = true;
+        factors_clean = inputs
+            .factors
+            .iter()
+            .map(|per_post| {
+                per_post
+                    .iter()
+                    .map(|&(j, sf)| (j, if sf.is_finite() { sf } else { 0.0 }))
+                    .collect()
+            })
+            .collect();
+        &factors_clean
     };
-    let gl = inputs.gl.clone();
-    let factors = &inputs.factors;
-    let tc = &inputs.tc;
+    let tc: Vec<f64> = inputs
+        .tc
+        .iter()
+        .map(|&t| {
+            if t.is_finite() && t > 0.0 {
+                t
+            } else {
+                degenerate = true;
+                1.0
+            }
+        })
+        .collect();
+
+    // Normalise quality against the current corpus maximum.
+    let qmax = raw_quality.iter().cloned().fold(0.0f64, f64::max);
+    let quality: Vec<f64> = if qmax > 0.0 {
+        raw_quality.iter().map(|q| q / qmax).collect()
+    } else {
+        raw_quality
+    };
 
     let (alpha, beta) = (params.alpha, params.beta);
     let mut inf = vec![0.5f64; nb]; // neutral start
     if let Some(seed) = warm_start {
         for (slot, &value) in inf.iter_mut().zip(seed) {
-            *slot = value.clamp(0.0, 1.0);
+            if value.is_finite() {
+                *slot = value.clamp(0.0, 1.0);
+            } else {
+                degenerate = true;
+                // Leave the neutral 0.5 start in place.
+            }
         }
     }
     let mut post_score = vec![0.0f64; np];
@@ -240,6 +334,25 @@ pub fn solve_prepared(
         ap.iter_mut().for_each(|a| *a /= amax);
     }
 
+    // Belt and braces: if anything non-finite still slipped through (e.g. a
+    // pathological overflow inside the sweeps), report it rather than hand
+    // back scores that compare as false in every ordering.
+    if inf
+        .iter()
+        .chain(&post_score)
+        .chain(&ap)
+        .any(|x| !x.is_finite())
+    {
+        degenerate = true;
+    }
+    let status = if degenerate {
+        SolveStatus::Degenerate
+    } else if converged {
+        SolveStatus::Converged
+    } else {
+        SolveStatus::MaxIterations
+    };
+
     InfluenceScores {
         blogger: inf,
         post: post_score,
@@ -251,6 +364,7 @@ pub fn solve_prepared(
         residual,
         residual_history,
         converged,
+        status,
     }
 }
 
@@ -303,7 +417,10 @@ mod tests {
         let ds = b.build().unwrap();
         let s = solve_ds(
             &ds,
-            &MassParams { shingle_novelty: false, ..MassParams::paper() },
+            &MassParams {
+                shingle_novelty: false,
+                ..MassParams::paper()
+            },
         );
         assert!(
             s.of(a1) > s.of(a2),
@@ -335,9 +452,17 @@ mod tests {
         let ds = b.build().unwrap();
         let s = solve_ds(
             &ds,
-            &MassParams { shingle_novelty: false, ..MassParams::paper() },
+            &MassParams {
+                shingle_novelty: false,
+                ..MassParams::paper()
+            },
         );
-        assert!(s.of(a1) > s.of(a2), "selective {} vs spammed {}", s.of(a1), s.of(a2));
+        assert!(
+            s.of(a1) > s.of(a2),
+            "selective {} vs spammed {}",
+            s.of(a1),
+            s.of(a2)
+        );
     }
 
     #[test]
@@ -351,7 +476,13 @@ mod tests {
         b.comment(p1, judge, "I agree and support this", None);
         b.comment(p2, judge, "this is wrong and terrible", None);
         let ds = b.build().unwrap();
-        let s = solve_ds(&ds, &MassParams { shingle_novelty: false, ..MassParams::paper() });
+        let s = solve_ds(
+            &ds,
+            &MassParams {
+                shingle_novelty: false,
+                ..MassParams::paper()
+            },
+        );
         assert!(s.of(a1) > s.of(a2));
     }
 
@@ -360,12 +491,22 @@ mod tests {
         let mut b = DatasetBuilder::new();
         let hub = b.blogger("hub");
         let writer = b.blogger("writer");
-        b.post(writer, "t", "a very long and wordy post about everything imaginable");
+        b.post(
+            writer,
+            "t",
+            "a very long and wordy post about everything imaginable",
+        );
         let fan = b.blogger("fan");
         b.friend(fan, hub);
         b.friend(writer, hub);
         let ds = b.build().unwrap();
-        let s = solve_ds(&ds, &MassParams { alpha: 0.0, ..MassParams::paper() });
+        let s = solve_ds(
+            &ds,
+            &MassParams {
+                alpha: 0.0,
+                ..MassParams::paper()
+            },
+        );
         assert_eq!(s.blogger, s.gl, "alpha 0 must reduce to GL");
         assert!(s.of(hub) > s.of(writer));
     }
@@ -375,11 +516,21 @@ mod tests {
         let mut b = DatasetBuilder::new();
         let hub = b.blogger("hub");
         let writer = b.blogger("writer");
-        b.post(writer, "t", "a very long and wordy post about everything imaginable");
+        b.post(
+            writer,
+            "t",
+            "a very long and wordy post about everything imaginable",
+        );
         let fan = b.blogger("fan");
         b.friend(fan, hub);
         let ds = b.build().unwrap();
-        let s = solve_ds(&ds, &MassParams { alpha: 1.0, ..MassParams::paper() });
+        let s = solve_ds(
+            &ds,
+            &MassParams {
+                alpha: 1.0,
+                ..MassParams::paper()
+            },
+        );
         assert!(s.of(writer) > s.of(hub), "writer must win on AP alone");
         assert_eq!(s.blogger, s.ap);
     }
@@ -421,7 +572,11 @@ mod tests {
         let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(1));
         let s = solve_ds(
             &out.dataset,
-            &MassParams { epsilon: 1e-300, max_iterations: 3, ..MassParams::paper() },
+            &MassParams {
+                epsilon: 1e-300,
+                max_iterations: 3,
+                ..MassParams::paper()
+            },
         );
         assert_eq!(s.iterations, 3);
         assert!(!s.converged);
@@ -433,5 +588,88 @@ mod tests {
         let a = solve_ds(&out.dataset, &MassParams::paper());
         let b = solve_ds(&out.dataset, &MassParams::paper());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn status_tracks_convergence() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(1));
+        let ok = solve_ds(&out.dataset, &MassParams::paper());
+        assert_eq!(ok.status, SolveStatus::Converged);
+        let capped = solve_ds(
+            &out.dataset,
+            &MassParams {
+                epsilon: 1e-300,
+                max_iterations: 3,
+                ..MassParams::paper()
+            },
+        );
+        assert_eq!(capped.status, SolveStatus::MaxIterations);
+        assert!(!capped.converged);
+    }
+
+    /// NaN/∞ anywhere in the prepared inputs must neither panic nor leak
+    /// into the output scores — the run is flagged `Degenerate` instead.
+    #[test]
+    fn non_finite_inputs_are_neutralised_and_flagged() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(3));
+        let ds = &out.dataset;
+        let ix = ds.index();
+        let params = MassParams::paper();
+        let clean = SolverInputs::build(ds, &ix, &params);
+
+        let poisons: Vec<SolverInputs> = vec![
+            {
+                let mut i = clean.clone();
+                i.raw_quality[0] = f64::NAN;
+                i
+            },
+            {
+                let mut i = clean.clone();
+                i.gl[0] = f64::INFINITY;
+                i
+            },
+            {
+                let mut i = clean.clone();
+                let k = i
+                    .factors
+                    .iter()
+                    .position(|f| !f.is_empty())
+                    .expect("has comments");
+                i.factors[k][0].1 = f64::NAN;
+                i
+            },
+            {
+                let mut i = clean.clone();
+                i.tc[0] = f64::NAN;
+                i
+            },
+        ];
+        for (which, inputs) in poisons.iter().enumerate() {
+            let s = solve_prepared(ds, inputs, &params, None);
+            assert_eq!(s.status, SolveStatus::Degenerate, "poison #{which}");
+            for &x in s.blogger.iter().chain(&s.post).chain(&s.ap).chain(&s.gl) {
+                assert!(
+                    x.is_finite(),
+                    "poison #{which} leaked a non-finite score: {x}"
+                );
+                assert!((0.0..=1.0 + 1e-12).contains(&x), "poison #{which}: {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_warm_start_falls_back_to_neutral() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(3));
+        let ds = &out.dataset;
+        let ix = ds.index();
+        let params = MassParams::paper();
+        let inputs = SolverInputs::build(ds, &ix, &params);
+        let seed = vec![f64::NAN; ds.bloggers.len()];
+        let s = solve_prepared(ds, &inputs, &params, Some(&seed));
+        assert_eq!(s.status, SolveStatus::Degenerate);
+        assert!(s.blogger.iter().all(|x| x.is_finite()));
+        // A NaN seed must produce the same fixed point as a cold start.
+        let cold = solve_prepared(ds, &inputs, &params, None);
+        assert_eq!(s.blogger, cold.blogger);
     }
 }

@@ -9,7 +9,12 @@
 //!   as comment sources;
 //! * friend links are kept when the target is present (crawled or stub) and
 //!   dropped otherwise;
-//! * post-to-post links are kept only between fetched posts.
+//! * post-to-post links are kept only between fetched posts;
+//! * pages that are *internally inconsistent* — a duplicated post id within
+//!   the page, a post id already claimed by a lower space, or a
+//!   self-referential friend link — are **quarantined**: dropped from the
+//!   dataset and reported in [`AssembledCrawl::rejected`], so one corrupt
+//!   mirror cannot poison an otherwise valid crawl.
 //!
 //! Assembly is deterministic: bloggers are ordered crawled-spaces-first
 //! (ascending space id), then stubs (ascending space id); posts keep the
@@ -29,12 +34,19 @@ pub struct AssembledCrawl {
     /// Bloggers with index `>= stub_start` are stubs (commenters whose
     /// spaces were not fetched).
     pub stub_start: usize,
+    /// Host space ids whose pages were quarantined as inconsistent
+    /// (ascending). Their content is excluded from the dataset; they may
+    /// still appear as stubs if other pages reference them.
+    pub rejected: Vec<usize>,
 }
 
 impl AssembledCrawl {
     /// The dataset-local id of a host space, if present.
     pub fn blogger_for_space(&self, space: usize) -> Option<BloggerId> {
-        self.space_of.iter().position(|&s| s == space).map(BloggerId::new)
+        self.space_of
+            .iter()
+            .position(|&s| s == space)
+            .map(BloggerId::new)
     }
 
     /// Whether a blogger is a stub.
@@ -51,6 +63,46 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
     for p in pages {
         by_space.entry(p.space_id).or_insert(p);
     }
+
+    // Quarantine inconsistent pages: a self-friend link or a post id seen
+    // twice within the page marks the page as served by a corrupt mirror.
+    let mut rejected: BTreeSet<usize> = BTreeSet::new();
+    for (&space, page) in &by_space {
+        if page.friends.contains(&space) {
+            rejected.insert(space);
+            continue;
+        }
+        let mut seen = BTreeSet::new();
+        if page.posts.iter().any(|p| !seen.insert(p.global_id)) {
+            rejected.insert(space);
+        }
+    }
+    // Cross-page conflicts: two spaces claiming the same host-global post
+    // id cannot both be right. Scan ascending, so the lower space keeps the
+    // post and the higher space is quarantined (its other claims released).
+    let mut gid_owner: BTreeMap<usize, usize> = BTreeMap::new();
+    for (&space, page) in &by_space {
+        if rejected.contains(&space) {
+            continue;
+        }
+        let mut claimed = Vec::new();
+        let conflict = page.posts.iter().any(|p| {
+            if let std::collections::btree_map::Entry::Vacant(slot) = gid_owner.entry(p.global_id) {
+                slot.insert(space);
+                claimed.push(p.global_id);
+                false
+            } else {
+                true
+            }
+        });
+        if conflict {
+            rejected.insert(space);
+            for g in claimed {
+                gid_owner.remove(&g);
+            }
+        }
+    }
+    by_space.retain(|space, _| !rejected.contains(space));
 
     // Discover stub commenters.
     let crawled: BTreeSet<usize> = by_space.keys().copied().collect();
@@ -69,8 +121,11 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
     let mut space_of: Vec<usize> = crawled.iter().copied().collect();
     let stub_start = space_of.len();
     space_of.extend(stubs.iter().copied());
-    let local_of: BTreeMap<usize, usize> =
-        space_of.iter().enumerate().map(|(local, &space)| (space, local)).collect();
+    let local_of: BTreeMap<usize, usize> = space_of
+        .iter()
+        .enumerate()
+        .map(|(local, &space)| (space, local))
+        .collect();
 
     // Post id assignment: host-global order over fetched posts.
     let mut all_posts: Vec<(&SpacePage, &crate::host::PostView)> = by_space
@@ -78,8 +133,11 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
         .flat_map(|page| page.posts.iter().map(move |p| (*page, p)))
         .collect();
     all_posts.sort_by_key(|(_, p)| p.global_id);
-    let post_local: BTreeMap<usize, usize> =
-        all_posts.iter().enumerate().map(|(local, (_, p))| (p.global_id, local)).collect();
+    let post_local: BTreeMap<usize, usize> = all_posts
+        .iter()
+        .enumerate()
+        .map(|(local, (_, p))| (p.global_id, local))
+        .collect();
 
     // Bloggers.
     let mut bloggers = Vec::with_capacity(space_of.len());
@@ -116,16 +174,31 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
                 let local = BloggerId::new(local_of[commenter]);
                 // A host page could claim the author commented on their own
                 // post; the MASS model only counts peer comments.
-                (local != author)
-                    .then(|| Comment { commenter: local, text: text.clone(), sentiment: None })
+                (local != author).then(|| Comment {
+                    commenter: local,
+                    text: text.clone(),
+                    sentiment: None,
+                })
             })
             .collect();
         posts.push(post);
     }
 
-    let dataset = Dataset { bloggers, posts, domains: DomainSet::paper() };
-    debug_assert!(dataset.validate().is_ok(), "assembly must produce a consistent dataset");
-    AssembledCrawl { dataset, space_of, stub_start }
+    let dataset = Dataset {
+        bloggers,
+        posts,
+        domains: DomainSet::paper(),
+    };
+    debug_assert!(
+        dataset.validate().is_ok(),
+        "assembly must produce a consistent dataset"
+    );
+    AssembledCrawl {
+        dataset,
+        space_of,
+        stub_start,
+        rejected: rejected.into_iter().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +222,10 @@ mod tests {
             title: format!("t{global}"),
             text: format!("text of post {global}"),
             links_to: links,
-            comments: comments.into_iter().map(|(c, t)| (c, t.to_string())).collect(),
+            comments: comments
+                .into_iter()
+                .map(|(c, t)| (c, t.to_string()))
+                .collect(),
             domain_hint: Some(global % 10),
         }
     }
@@ -157,7 +233,11 @@ mod tests {
     #[test]
     fn crawled_then_stubs_ordering() {
         let pages = vec![
-            page(7, vec![2], vec![post(10, vec![], vec![(2, "hi"), (99, "yo")])]),
+            page(
+                7,
+                vec![2],
+                vec![post(10, vec![], vec![(2, "hi"), (99, "yo")])],
+            ),
             page(2, vec![7, 50], vec![post(5, vec![10], vec![])]),
         ];
         let out = assemble_dataset(&pages);
@@ -186,7 +266,11 @@ mod tests {
 
     #[test]
     fn self_comments_from_host_are_dropped() {
-        let pages = vec![page(1, vec![], vec![post(0, vec![], vec![(1, "me"), (3, "ok")])])];
+        let pages = vec![page(
+            1,
+            vec![],
+            vec![post(0, vec![], vec![(1, "me"), (3, "ok")])],
+        )];
         let out = assemble_dataset(&pages);
         assert_eq!(out.dataset.posts[0].comments.len(), 1);
         out.dataset.validate().unwrap();
@@ -223,5 +307,61 @@ mod tests {
         let out = assemble_dataset(&[page(9, vec![], vec![])]);
         assert_eq!(out.blogger_for_space(9), Some(BloggerId::new(0)));
         assert_eq!(out.blogger_for_space(1), None);
+    }
+
+    #[test]
+    fn duplicate_post_id_within_page_is_quarantined() {
+        let pages = vec![
+            page(
+                1,
+                vec![],
+                vec![post(4, vec![], vec![]), post(4, vec![], vec![])],
+            ),
+            page(2, vec![], vec![post(7, vec![], vec![])]),
+        ];
+        let out = assemble_dataset(&pages);
+        assert_eq!(out.rejected, vec![1]);
+        assert_eq!(out.space_of, vec![2]);
+        assert_eq!(out.dataset.posts.len(), 1);
+        out.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn cross_page_post_conflict_keeps_lower_space() {
+        let pages = vec![
+            page(5, vec![], vec![post(3, vec![], vec![])]),
+            page(
+                8,
+                vec![],
+                vec![post(3, vec![], vec![]), post(9, vec![], vec![])],
+            ),
+        ];
+        let out = assemble_dataset(&pages);
+        assert_eq!(out.rejected, vec![8]);
+        assert_eq!(out.space_of, vec![5]);
+        // Space 8's unconflicted post 9 goes down with the page.
+        assert_eq!(out.dataset.posts.len(), 1);
+        out.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn self_friend_page_is_quarantined_but_can_remain_a_stub() {
+        let pages = vec![
+            page(1, vec![1], vec![]),
+            page(2, vec![1], vec![post(0, vec![], vec![(1, "hi")])]),
+        ];
+        let out = assemble_dataset(&pages);
+        assert_eq!(out.rejected, vec![1]);
+        // Space 1 still shows up as a stub via space 2's comment.
+        assert_eq!(out.space_of, vec![2, 1]);
+        assert_eq!(out.stub_start, 1);
+        assert!(out.is_stub(BloggerId::new(1)));
+        out.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn clean_pages_report_no_rejects() {
+        let out = assemble_dataset(&[page(0, vec![], vec![post(4, vec![], vec![])])]);
+        assert!(out.rejected.is_empty());
     }
 }

@@ -1,0 +1,177 @@
+//! Retry backoff: exponential growth with deterministic jitter.
+//!
+//! The seed engine retried failed fetches immediately, which hammers a host
+//! that is already struggling — the classic retry storm. This policy spaces
+//! attempts out exponentially and adds jitter so a worker pool that failed
+//! together does not retry in lockstep. The jitter is *deterministic* in
+//! `(space_id, attempt)`: crawls stay reproducible for a given
+//! configuration, which the schedule-independence tests rely on.
+
+use crate::config::ConfigError;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+/// Delay schedule between retry attempts on one space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (attempt 1).
+    pub initial: Duration,
+    /// Upper bound any single delay is clamped to.
+    pub max: Duration,
+    /// Growth factor per attempt.
+    pub multiplier: f64,
+    /// Jitter fraction in [0, 1]: each delay is scaled by a deterministic
+    /// factor drawn from `[1 - jitter/2, 1 + jitter/2]`.
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        // Small absolute values: the simulated hosts answer in microseconds,
+        // and tests crawl thousands of spaces. Against a real host these
+        // would be hundreds of milliseconds; the *shape* is what matters.
+        BackoffPolicy {
+            initial: Duration::from_micros(500),
+            max: Duration::from_millis(50),
+            multiplier: 2.0,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A policy that never sleeps — for tests that only care about retry
+    /// counting, not pacing.
+    pub fn none() -> Self {
+        BackoffPolicy {
+            initial: Duration::ZERO,
+            max: Duration::ZERO,
+            multiplier: 1.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// Checks the policy's numeric sanity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.multiplier >= 1.0 && self.multiplier.is_finite()) {
+            return Err(ConfigError::BadBackoff(format!(
+                "multiplier must be >= 1 and finite, got {}",
+                self.multiplier
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(ConfigError::BadBackoff(format!(
+                "jitter must be in [0, 1], got {}",
+                self.jitter
+            )));
+        }
+        if self.max < self.initial {
+            return Err(ConfigError::BadBackoff(format!(
+                "max ({:?}) must be >= initial ({:?})",
+                self.max, self.initial
+            )));
+        }
+        Ok(())
+    }
+
+    /// The delay to sleep before retry number `attempt` (1-based) of
+    /// `space`. Attempt 0 — the first try — never waits.
+    pub fn delay(&self, space: usize, attempt: usize) -> Duration {
+        if attempt == 0 || self.initial.is_zero() {
+            return Duration::ZERO;
+        }
+        let grown = self.initial.as_secs_f64() * self.multiplier.powi(attempt as i32 - 1);
+        let base = grown.min(self.max.as_secs_f64());
+        // Deterministic jitter from (space, attempt): same crawl config →
+        // same delays, but distinct spaces desynchronise.
+        let mut h = DefaultHasher::new();
+        (space as u64).hash(&mut h);
+        (attempt as u64).hash(&mut h);
+        let unit = h.finish() as f64 / u64::MAX as f64; // [0, 1]
+        let scale = 1.0 + self.jitter * (unit - 0.5);
+        Duration::from_secs_f64(base * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_is_immediate() {
+        assert_eq!(BackoffPolicy::default().delay(3, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let p = BackoffPolicy {
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+            multiplier: 2.0,
+            jitter: 0.0,
+        };
+        let d: Vec<Duration> = (1..6).map(|a| p.delay(0, a)).collect();
+        assert_eq!(d[0], Duration::from_millis(1));
+        assert_eq!(d[1], Duration::from_millis(2));
+        assert_eq!(d[2], Duration::from_millis(4));
+        assert_eq!(d[3], Duration::from_millis(8));
+        assert_eq!(d[4], Duration::from_millis(8), "capped at max");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = BackoffPolicy {
+            initial: Duration::from_millis(10),
+            max: Duration::from_secs(1),
+            multiplier: 1.0,
+            jitter: 0.5,
+        };
+        for space in 0..50 {
+            let a = p.delay(space, 1);
+            let b = p.delay(space, 1);
+            assert_eq!(a, b, "same (space, attempt) must give the same delay");
+            let ms = a.as_secs_f64() * 1000.0;
+            assert!(
+                (7.5..=12.5).contains(&ms),
+                "jittered delay {ms}ms out of band"
+            );
+        }
+        // Different spaces should not all share a delay (desynchronisation).
+        let distinct: std::collections::BTreeSet<Duration> =
+            (0..50).map(|s| p.delay(s, 1)).collect();
+        assert!(
+            distinct.len() > 10,
+            "jitter should spread delays, got {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn none_policy_never_sleeps() {
+        let p = BackoffPolicy::none();
+        p.validate().unwrap();
+        for attempt in 0..10 {
+            assert_eq!(p.delay(1, attempt), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn invalid_policies_rejected() {
+        let bad_mult = BackoffPolicy {
+            multiplier: 0.5,
+            ..Default::default()
+        };
+        assert!(bad_mult.validate().is_err());
+        let bad_jitter = BackoffPolicy {
+            jitter: 2.0,
+            ..Default::default()
+        };
+        assert!(bad_jitter.validate().is_err());
+        let bad_cap = BackoffPolicy {
+            initial: Duration::from_secs(1),
+            max: Duration::from_millis(1),
+            ..Default::default()
+        };
+        assert!(bad_cap.validate().is_err());
+    }
+}

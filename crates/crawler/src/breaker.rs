@@ -1,0 +1,375 @@
+//! Circuit breaker over transient host errors.
+//!
+//! When a host starts failing most requests, retrying every space at full
+//! speed just burns the politeness budget and prolongs the outage. The
+//! breaker watches a sliding window of fetch outcomes shared by all workers;
+//! when the transient-error rate crosses a threshold it *opens* — workers
+//! pause instead of fetching — then *half-opens* to let a few probes through,
+//! and closes again once probes succeed. Crucially, `acquire` only ever
+//! delays a worker; it never consumes a retry or fails a fetch, so the
+//! resulting dataset is identical with the breaker on or off — only the
+//! timing changes.
+
+use crate::config::ConfigError;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Thresholds for [`CircuitBreaker`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakerConfig {
+    /// Outcomes remembered in the sliding window.
+    pub window: usize,
+    /// Minimum outcomes observed before the breaker may trip.
+    pub min_samples: usize,
+    /// Transient-error fraction in the window that trips the breaker.
+    pub error_threshold: f64,
+    /// How long the breaker stays open before half-opening.
+    pub cooldown: Duration,
+    /// Probes admitted in the half-open state; if all succeed the breaker
+    /// closes, and any failure re-opens it.
+    pub probes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        // Cooldown is short because the simulated hosts recover in
+        // milliseconds; a production deployment would use seconds.
+        BreakerConfig {
+            window: 32,
+            min_samples: 8,
+            error_threshold: 0.5,
+            cooldown: Duration::from_millis(20),
+            probes: 3,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Checks threshold sanity.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::BadBreaker("window must be positive".into()));
+        }
+        if self.min_samples == 0 || self.min_samples > self.window {
+            return Err(ConfigError::BadBreaker(format!(
+                "min_samples must be in 1..=window ({}), got {}",
+                self.window, self.min_samples
+            )));
+        }
+        if !(self.error_threshold > 0.0 && self.error_threshold <= 1.0) {
+            return Err(ConfigError::BadBreaker(format!(
+                "error_threshold must be in (0, 1], got {}",
+                self.error_threshold
+            )));
+        }
+        if self.probes == 0 {
+            return Err(ConfigError::BadBreaker("probes must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Closed,
+    Open { until: Instant },
+    HalfOpen { in_flight: usize, succeeded: usize },
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: State,
+    window: VecDeque<bool>,
+    trips: usize,
+    open_since: Option<Instant>,
+    open_total: Duration,
+}
+
+/// Shared crawl-wide breaker; see the module docs for the state machine.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: State::Closed,
+                window: VecDeque::new(),
+                trips: 0,
+                open_since: None,
+                open_total: Duration::ZERO,
+            }),
+        }
+    }
+
+    /// Blocks while the breaker is open, returning once this worker is
+    /// allowed to fetch (either the breaker is closed, or it is half-open
+    /// and this worker claimed a probe slot). Purely a delay: the caller's
+    /// retry budget is untouched.
+    pub fn acquire(&self) {
+        loop {
+            let wait = {
+                let mut inner = self.inner.lock().expect("breaker poisoned");
+                match inner.state {
+                    State::Closed => return,
+                    State::Open { until } => {
+                        let now = Instant::now();
+                        if now >= until {
+                            self.leave_open(&mut inner);
+                            inner.state = State::HalfOpen {
+                                in_flight: 0,
+                                succeeded: 0,
+                            };
+                            continue;
+                        }
+                        until - now
+                    }
+                    State::HalfOpen {
+                        ref mut in_flight, ..
+                    } => {
+                        if *in_flight < self.cfg.probes {
+                            *in_flight += 1;
+                            return;
+                        }
+                        // All probe slots taken; wait for their verdicts.
+                        Duration::from_millis(1)
+                    }
+                }
+            };
+            std::thread::sleep(wait.min(Duration::from_millis(20)));
+        }
+    }
+
+    /// Reports a fetch outcome. Only transient errors count against the
+    /// window; hard outcomes (`NotFound`, corrupt payloads) are the host
+    /// answering fine, so callers report them as successes.
+    pub fn record(&self, success: bool) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            State::Closed => {
+                inner.window.push_back(success);
+                while inner.window.len() > self.cfg.window {
+                    inner.window.pop_front();
+                }
+                if inner.window.len() >= self.cfg.min_samples {
+                    let errors = inner.window.iter().filter(|ok| !**ok).count();
+                    let rate = errors as f64 / inner.window.len() as f64;
+                    if rate >= self.cfg.error_threshold {
+                        self.trip(&mut inner);
+                    }
+                }
+            }
+            State::HalfOpen {
+                in_flight,
+                succeeded,
+            } => {
+                if success {
+                    let succeeded = succeeded + 1;
+                    if succeeded >= self.cfg.probes {
+                        // Probes all passed: host looks healthy again.
+                        inner.state = State::Closed;
+                        inner.window.clear();
+                    } else {
+                        inner.state = State::HalfOpen {
+                            in_flight: in_flight.saturating_sub(1),
+                            succeeded,
+                        };
+                    }
+                } else {
+                    // A probe failed while recovering: back to open.
+                    self.trip(&mut inner);
+                }
+            }
+            // Outcomes from fetches that started before the trip; the
+            // cooldown timer is the authority now.
+            State::Open { .. } => {}
+        }
+    }
+
+    fn trip(&self, inner: &mut Inner) {
+        let now = Instant::now();
+        inner.state = State::Open {
+            until: now + self.cfg.cooldown,
+        };
+        inner.window.clear();
+        inner.trips += 1;
+        inner.open_since = Some(now);
+    }
+
+    fn leave_open(&self, inner: &mut Inner) {
+        if let Some(since) = inner.open_since.take() {
+            inner.open_total += since.elapsed();
+        }
+    }
+
+    /// Times the breaker tripped so far.
+    pub fn trips(&self) -> usize {
+        self.inner.lock().expect("breaker poisoned").trips
+    }
+
+    /// Total wall-clock time spent in the open state so far.
+    pub fn open_time(&self) -> Duration {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        let mut total = inner.open_total;
+        if let Some(since) = inner.open_since {
+            total += since.elapsed();
+            // Fold the elapsed slice in so it is not double counted later.
+            inner.open_total = total;
+            inner.open_since = Some(Instant::now());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn quick_cfg() -> BreakerConfig {
+        BreakerConfig {
+            window: 8,
+            min_samples: 4,
+            error_threshold: 0.5,
+            cooldown: Duration::from_millis(10),
+            probes: 2,
+        }
+    }
+
+    #[test]
+    fn stays_closed_on_success() {
+        let b = CircuitBreaker::new(quick_cfg());
+        for _ in 0..50 {
+            b.acquire();
+            b.record(true);
+        }
+        assert_eq!(b.trips(), 0);
+        assert_eq!(b.open_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn trips_on_error_burst_then_recovers() {
+        let b = CircuitBreaker::new(quick_cfg());
+        for _ in 0..4 {
+            b.record(false);
+        }
+        assert_eq!(b.trips(), 1, "4/4 errors should trip");
+        // acquire() must block through the cooldown, then admit a probe.
+        let start = Instant::now();
+        b.acquire();
+        assert!(
+            start.elapsed() >= Duration::from_millis(8),
+            "should wait out cooldown"
+        );
+        b.record(true);
+        b.acquire();
+        b.record(true);
+        // Both probes passed; breaker is closed and acquire is instant.
+        let start = Instant::now();
+        b.acquire();
+        assert!(start.elapsed() < Duration::from_millis(5));
+        assert_eq!(b.trips(), 1);
+        assert!(b.open_time() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(quick_cfg());
+        for _ in 0..4 {
+            b.record(false);
+        }
+        b.acquire(); // waits out cooldown, claims probe slot
+        b.record(false); // probe fails
+        assert_eq!(b.trips(), 2, "failed probe should re-trip");
+    }
+
+    #[test]
+    fn below_min_samples_never_trips() {
+        let cfg = BreakerConfig {
+            min_samples: 6,
+            ..quick_cfg()
+        };
+        let b = CircuitBreaker::new(cfg);
+        for _ in 0..5 {
+            b.record(false);
+        }
+        assert_eq!(b.trips(), 0, "5 < min_samples=6 must not trip");
+    }
+
+    #[test]
+    fn mixed_outcomes_below_threshold_stay_closed() {
+        let b = CircuitBreaker::new(quick_cfg());
+        for i in 0..100 {
+            b.record(i % 4 != 0); // one error in four < 0.5 threshold
+        }
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn concurrent_workers_all_unblock() {
+        let b = Arc::new(CircuitBreaker::new(quick_cfg()));
+        for _ in 0..4 {
+            b.record(false);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                b.acquire();
+                b.record(true);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(BreakerConfig {
+            window: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            min_samples: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            min_samples: 99,
+            window: 8,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            error_threshold: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            error_threshold: 1.5,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BreakerConfig {
+            probes: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        BreakerConfig::default().validate().unwrap();
+    }
+}

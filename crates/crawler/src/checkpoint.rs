@@ -1,0 +1,279 @@
+//! Crawl checkpointing: periodic durable snapshots of BFS progress.
+//!
+//! A checkpoint directory holds
+//!
+//! * `pages/` — one XML file per successfully fetched space, in the same
+//!   per-space schema the offline archive uses ([`crate::xml_host`]);
+//! * `checkpoint.xml` — the manifest: visited set, current frontier, depth,
+//!   per-layer sizes, and the failure counters needed to resume the
+//!   [`crate::CrawlReport`] exactly.
+//!
+//! The manifest is written via a temp file + rename *after* the pages, so a
+//! crash mid-checkpoint leaves the previous manifest intact and never a
+//! manifest referencing pages that are not on disk. Page files not listed
+//! in the manifest are ignored on load.
+//!
+//! ```xml
+//! <checkpoint depth="2">
+//!   <visited><space ref="0"/>…</visited>
+//!   <frontier><space ref="5"/>…</frontier>
+//!   <layers><layer size="1"/><layer size="4"/></layers>
+//!   <pages><space ref="0"/>…</pages>
+//!   <counters failed="0" missing="1" retries="7" throttled="2" corrupt="0"/>
+//! </checkpoint>
+//! ```
+
+use crate::host::SpacePage;
+use crate::xml_host::{save_archive, space_from_xml};
+use mass_xml::{Element, XmlWriter};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Resumable BFS state at a layer boundary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrawlCheckpoint {
+    /// Spaces ever claimed into a frontier (fetched, failed, or missing).
+    pub visited: BTreeSet<usize>,
+    /// The next layer to fetch.
+    pub frontier: Vec<usize>,
+    /// Completed BFS depth (layers fully fetched so far).
+    pub depth: usize,
+    /// Size of each completed layer.
+    pub layer_sizes: Vec<usize>,
+    /// Spaces whose retries were exhausted.
+    pub spaces_failed: usize,
+    /// Spaces the host reported as nonexistent.
+    pub spaces_missing: usize,
+    /// Retry attempts performed.
+    pub retries: usize,
+    /// Fetch attempts the host throttled.
+    pub throttled: usize,
+    /// Fetch attempts that returned corrupt payloads.
+    pub corrupt_fetches: usize,
+}
+
+fn ref_list(w: &mut XmlWriter, parent: &str, item: &str, ids: impl Iterator<Item = usize>) {
+    w.open(parent);
+    for id in ids {
+        w.leaf_with_attrs(item, &[("ref", &id.to_string())]);
+    }
+    w.close();
+}
+
+fn read_ref_list(root: &Element, parent: &str, item: &str) -> mass_xml::Result<Vec<usize>> {
+    let mut out = Vec::new();
+    if let Some(list) = root.child(parent) {
+        for e in list.elements_named(item) {
+            out.push(e.require_usize("ref")?);
+        }
+    }
+    Ok(out)
+}
+
+/// Serialises the manifest (not the pages).
+pub fn checkpoint_to_xml(cp: &CrawlCheckpoint, page_ids: &[usize]) -> String {
+    let mut w = XmlWriter::new();
+    w.declaration();
+    w.open_with_attrs("checkpoint", &[("depth", &cp.depth.to_string())]);
+    ref_list(&mut w, "visited", "space", cp.visited.iter().copied());
+    ref_list(&mut w, "frontier", "space", cp.frontier.iter().copied());
+    w.open("layers");
+    for size in &cp.layer_sizes {
+        w.leaf_with_attrs("layer", &[("size", &size.to_string())]);
+    }
+    w.close();
+    ref_list(&mut w, "pages", "space", page_ids.iter().copied());
+    w.leaf_with_attrs(
+        "counters",
+        &[
+            ("failed", &cp.spaces_failed.to_string()),
+            ("missing", &cp.spaces_missing.to_string()),
+            ("retries", &cp.retries.to_string()),
+            ("throttled", &cp.throttled.to_string()),
+            ("corrupt", &cp.corrupt_fetches.to_string()),
+        ],
+    );
+    w.close();
+    w.finish()
+}
+
+/// Parses a manifest, returning the checkpoint and the page ids it lists.
+pub fn checkpoint_from_xml(xml: &str) -> mass_xml::Result<(CrawlCheckpoint, Vec<usize>)> {
+    let root = Element::parse(xml)?;
+    if root.name != "checkpoint" {
+        return Err(mass_xml::Error::Schema(format!(
+            "expected <checkpoint>, found <{}>",
+            root.name
+        )));
+    }
+    let counters = root.require_child("counters")?;
+    let cp = CrawlCheckpoint {
+        visited: read_ref_list(&root, "visited", "space")?
+            .into_iter()
+            .collect(),
+        frontier: read_ref_list(&root, "frontier", "space")?,
+        depth: root.require_usize("depth")?,
+        layer_sizes: root
+            .child("layers")
+            .map(|l| {
+                l.elements_named("layer")
+                    .map(|e| e.require_usize("size"))
+                    .collect::<Result<_, _>>()
+            })
+            .transpose()?
+            .unwrap_or_default(),
+        spaces_failed: counters.require_usize("failed")?,
+        spaces_missing: counters.require_usize("missing")?,
+        retries: counters.require_usize("retries")?,
+        throttled: counters.require_usize("throttled")?,
+        corrupt_fetches: counters.require_usize("corrupt")?,
+    };
+    let page_ids = read_ref_list(&root, "pages", "space")?;
+    Ok((cp, page_ids))
+}
+
+/// Writes a checkpoint: pages first, then the manifest atomically.
+pub fn save_checkpoint(
+    dir: impl AsRef<Path>,
+    cp: &CrawlCheckpoint,
+    pages: &[SpacePage],
+) -> mass_xml::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    save_archive(dir.join("pages"), pages)?;
+    let page_ids: Vec<usize> = pages.iter().map(|p| p.space_id).collect();
+    let tmp = dir.join("checkpoint.xml.tmp");
+    std::fs::write(&tmp, checkpoint_to_xml(cp, &page_ids))?;
+    std::fs::rename(&tmp, dir.join("checkpoint.xml"))?;
+    Ok(())
+}
+
+/// Loads the checkpoint in `dir`, or `None` when no manifest exists yet.
+pub fn load_checkpoint(
+    dir: impl AsRef<Path>,
+) -> mass_xml::Result<Option<(CrawlCheckpoint, Vec<SpacePage>)>> {
+    let dir = dir.as_ref();
+    let manifest = dir.join("checkpoint.xml");
+    let xml = match std::fs::read_to_string(&manifest) {
+        Ok(xml) => xml,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let (cp, page_ids) = checkpoint_from_xml(&xml)?;
+    let pages_dir = dir.join("pages");
+    let mut pages = Vec::with_capacity(page_ids.len());
+    for id in page_ids {
+        let path = pages_dir.join(format!("space_{id:06}.xml"));
+        pages.push(space_from_xml(&std::fs::read_to_string(path)?)?);
+    }
+    Ok(Some((cp, pages)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::PostView;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mass_checkpoint").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> (CrawlCheckpoint, Vec<SpacePage>) {
+        let cp = CrawlCheckpoint {
+            visited: [0, 1, 5].into_iter().collect(),
+            frontier: vec![5],
+            depth: 1,
+            layer_sizes: vec![1, 2],
+            spaces_failed: 1,
+            spaces_missing: 0,
+            retries: 3,
+            throttled: 2,
+            corrupt_fetches: 1,
+        };
+        let pages = vec![
+            SpacePage {
+                space_id: 0,
+                name: "a".into(),
+                profile: "p".into(),
+                friends: vec![1],
+                posts: vec![PostView {
+                    global_id: 0,
+                    title: "t".into(),
+                    text: "x".into(),
+                    links_to: vec![],
+                    comments: vec![(5, "hi".into())],
+                    domain_hint: None,
+                }],
+            },
+            SpacePage {
+                space_id: 1,
+                name: "b".into(),
+                profile: String::new(),
+                friends: vec![],
+                posts: vec![],
+            },
+        ];
+        (cp, pages)
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let (cp, _) = sample();
+        let xml = checkpoint_to_xml(&cp, &[0, 1]);
+        let (back, ids) = checkpoint_from_xml(&xml).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn save_then_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let (cp, pages) = sample();
+        save_checkpoint(&dir, &cp, &pages).unwrap();
+        let (back, back_pages) = load_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back_pages, pages);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        assert_eq!(load_checkpoint(tmpdir("absent")).unwrap(), None);
+    }
+
+    #[test]
+    fn overwriting_checkpoint_keeps_latest() {
+        let dir = tmpdir("overwrite");
+        let (mut cp, pages) = sample();
+        save_checkpoint(&dir, &cp, &pages[..1]).unwrap();
+        cp.depth = 2;
+        save_checkpoint(&dir, &cp, &pages).unwrap();
+        let (back, back_pages) = load_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(back.depth, 2);
+        assert_eq!(back_pages.len(), 2);
+    }
+
+    #[test]
+    fn unlisted_page_files_are_ignored() {
+        let dir = tmpdir("unlisted");
+        let (cp, pages) = sample();
+        // A page file exists on disk but the manifest only lists page 0 —
+        // as after a crash between page writes and the manifest rename.
+        save_checkpoint(&dir, &cp, &pages).unwrap();
+        let xml = checkpoint_to_xml(&cp, &[0]);
+        std::fs::write(dir.join("checkpoint.xml"), xml).unwrap();
+        let (_, back_pages) = load_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(back_pages.len(), 1);
+        assert_eq!(back_pages[0].space_id, 0);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_an_error() {
+        let dir = tmpdir("corrupt");
+        std::fs::write(dir.join("checkpoint.xml"), "<nope/>").unwrap();
+        assert!(load_checkpoint(&dir).is_err());
+    }
+}

@@ -1,7 +1,64 @@
 //! Crawl configuration.
 
+use crate::backoff::BackoffPolicy;
+use crate::breaker::BreakerConfig;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Why a configuration was rejected. A library must not abort the process
+/// on bad user input, so validation returns this instead of panicking.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `threads` was zero.
+    ZeroThreads,
+    /// `max_spaces` was zero.
+    ZeroMaxSpaces,
+    /// `max_requests_per_second` was zero, negative, or non-finite.
+    BadRequestRate(f64),
+    /// A host fault probability was outside its valid range.
+    BadProbability {
+        /// Which knob was out of range.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Backoff policy had a non-positive multiplier or zero initial delay.
+    BadBackoff(String),
+    /// Circuit-breaker thresholds were out of range.
+    BadBreaker(String),
+    /// `checkpoint_every_layers` was zero while checkpointing was enabled.
+    ZeroCheckpointInterval,
+    /// `resume` was requested without a `checkpoint_dir` to resume from.
+    ResumeWithoutDir,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroThreads => write!(f, "need at least one crawler thread"),
+            ConfigError::ZeroMaxSpaces => write!(f, "max_spaces must be positive"),
+            ConfigError::BadRequestRate(r) => {
+                write!(f, "request rate must be positive and finite, got {r}")
+            }
+            ConfigError::BadProbability { what, value } => {
+                write!(f, "{what} must be a probability in [0, 1), got {value}")
+            }
+            ConfigError::BadBackoff(msg) => write!(f, "invalid backoff policy: {msg}"),
+            ConfigError::BadBreaker(msg) => write!(f, "invalid circuit breaker config: {msg}"),
+            ConfigError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint_every_layers must be positive")
+            }
+            ConfigError::ResumeWithoutDir => {
+                write!(f, "resume requested but no checkpoint_dir configured")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Parameters of one crawl run, mirroring the user-facing options of
-/// Section IV.
+/// Section IV plus the resilience knobs (DESIGN.md "Fault model & recovery").
 #[derive(Clone, Debug, PartialEq)]
 pub struct CrawlConfig {
     /// Seed spaces the crawl starts from. Empty means "crawl the whole
@@ -20,6 +77,26 @@ pub struct CrawlConfig {
     /// Politeness cap: total fetch attempts per second across all workers
     /// (`None` = unlimited, for in-process hosts).
     pub max_requests_per_second: Option<f64>,
+    /// Delay schedule between retry attempts on the same space.
+    pub backoff: BackoffPolicy,
+    /// Wall-clock allowance per space across all its retry attempts
+    /// (`None` = unbounded). Once exceeded, remaining retries are abandoned
+    /// and the space counts as failed — a tarpitted host cannot pin a
+    /// worker forever.
+    pub fetch_deadline: Option<Duration>,
+    /// Overall wall-clock budget for the whole crawl (`None` = unbounded).
+    /// Checked between fetches and at layer boundaries; when exceeded the
+    /// crawl stops and reports `budget_exhausted` instead of hanging.
+    pub time_budget: Option<Duration>,
+    /// Shared circuit breaker over transient host errors (`None` = off).
+    pub breaker: Option<BreakerConfig>,
+    /// Directory for periodic crawl checkpoints (`None` = no checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every this many completed BFS layers.
+    pub checkpoint_every_layers: usize,
+    /// Resume from the checkpoint in `checkpoint_dir` if one exists
+    /// (otherwise start fresh and checkpoint into it).
+    pub resume: bool,
 }
 
 impl Default for CrawlConfig {
@@ -31,21 +108,42 @@ impl Default for CrawlConfig {
             retries: 3,
             max_spaces: usize::MAX,
             max_requests_per_second: None,
+            backoff: BackoffPolicy::default(),
+            fetch_deadline: None,
+            time_budget: None,
+            breaker: None,
+            checkpoint_dir: None,
+            checkpoint_every_layers: 1,
+            resume: false,
         }
     }
 }
 
 impl CrawlConfig {
-    /// Checks parameter sanity.
-    ///
-    /// # Panics
-    /// Panics on a zero thread count or zero space budget.
-    pub fn validate(&self) {
-        assert!(self.threads > 0, "need at least one crawler thread");
-        assert!(self.max_spaces > 0, "max_spaces must be positive");
-        if let Some(r) = self.max_requests_per_second {
-            assert!(r > 0.0 && r.is_finite(), "request rate must be positive, got {r}");
+    /// Checks parameter sanity; the crawl refuses to start on `Err`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
         }
+        if self.max_spaces == 0 {
+            return Err(ConfigError::ZeroMaxSpaces);
+        }
+        if let Some(r) = self.max_requests_per_second {
+            if !(r > 0.0 && r.is_finite()) {
+                return Err(ConfigError::BadRequestRate(r));
+            }
+        }
+        self.backoff.validate()?;
+        if let Some(b) = &self.breaker {
+            b.validate()?;
+        }
+        if self.checkpoint_dir.is_some() && self.checkpoint_every_layers == 0 {
+            return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        if self.resume && self.checkpoint_dir.is_none() {
+            return Err(ConfigError::ResumeWithoutDir);
+        }
+        Ok(())
     }
 }
 
@@ -56,26 +154,97 @@ mod tests {
     #[test]
     fn default_crawls_everything() {
         let c = CrawlConfig::default();
-        c.validate();
+        c.validate().unwrap();
         assert!(c.seeds.is_empty());
         assert_eq!(c.radius, None);
+        assert!(c.breaker.is_none());
+        assert!(c.checkpoint_dir.is_none());
     }
 
     #[test]
-    #[should_panic(expected = "request rate")]
     fn zero_rate_rejected() {
-        CrawlConfig { max_requests_per_second: Some(0.0), ..Default::default() }.validate();
+        let err = CrawlConfig {
+            max_requests_per_second: Some(0.0),
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::BadRequestRate(0.0));
+        assert!(err.to_string().contains("request rate"));
     }
 
     #[test]
-    #[should_panic(expected = "thread")]
     fn zero_threads_rejected() {
-        CrawlConfig { threads: 0, ..Default::default() }.validate();
+        let err = CrawlConfig {
+            threads: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroThreads);
+        assert!(err.to_string().contains("thread"));
     }
 
     #[test]
-    #[should_panic(expected = "max_spaces")]
     fn zero_budget_rejected() {
-        CrawlConfig { max_spaces: 0, ..Default::default() }.validate();
+        let err = CrawlConfig {
+            max_spaces: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroMaxSpaces);
+        assert!(err.to_string().contains("max_spaces"));
+    }
+
+    #[test]
+    fn resume_requires_a_directory() {
+        let err = CrawlConfig {
+            resume: true,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ResumeWithoutDir);
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_rejected() {
+        let err = CrawlConfig {
+            checkpoint_dir: Some("/tmp/x".into()),
+            checkpoint_every_layers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCheckpointInterval);
+    }
+
+    #[test]
+    fn validation_never_panics_on_weird_values() {
+        let cfg = CrawlConfig {
+            max_requests_per_second: Some(f64::NAN),
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn errors_are_displayable() {
+        for e in [
+            ConfigError::ZeroThreads,
+            ConfigError::ZeroMaxSpaces,
+            ConfigError::BadRequestRate(-1.0),
+            ConfigError::BadProbability {
+                what: "failure_rate",
+                value: 2.0,
+            },
+            ConfigError::BadBackoff("x".into()),
+            ConfigError::BadBreaker("y".into()),
+            ConfigError::ZeroCheckpointInterval,
+            ConfigError::ResumeWithoutDir,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 }

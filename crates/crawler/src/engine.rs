@@ -1,40 +1,100 @@
 //! The multi-threaded crawl engine.
 //!
 //! Breadth-first over the blogosphere: each frontier layer is fetched by a
-//! worker pool (crossbeam scoped threads pulling space ids from a shared
+//! worker pool (scoped threads pulling space ids from a shared
 //! cursor), then the next layer is derived from friend links and commenter
 //! identities. Layered BFS gives exact radius semantics — a space fetched at
 //! layer `d` is exactly `d` hops from the nearest seed — while still keeping
 //! all workers busy within a layer.
+//!
+//! Resilience (DESIGN.md "Fault model & recovery"): retries back off
+//! exponentially with deterministic jitter; a per-space fetch deadline stops
+//! tarpitted hosts from pinning workers; an overall time budget bounds the
+//! whole crawl; an optional shared circuit breaker pauses the pool when the
+//! host melts down; and BFS state checkpoints at layer boundaries so an
+//! interrupted crawl resumes exactly where it left off.
 
 use crate::assemble::{assemble_dataset, AssembledCrawl};
-use crate::config::CrawlConfig;
+use crate::breaker::CircuitBreaker;
+use crate::checkpoint::{load_checkpoint, save_checkpoint, CrawlCheckpoint};
+use crate::config::{ConfigError, CrawlConfig};
 use crate::host::{BlogHost, FetchError, SpacePage};
 use crate::politeness::RateLimiter;
-use parking_lot::Mutex;
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Why a crawl could not run (as opposed to running and losing some
+/// spaces, which the [`CrawlReport`] accounts for).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CrawlError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// Reading or writing the checkpoint directory failed.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::Config(e) => write!(f, "invalid crawl config: {e}"),
+            CrawlError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrawlError::Config(e) => Some(e),
+            CrawlError::Checkpoint(_) => None,
+        }
+    }
+}
+
+impl From<ConfigError> for CrawlError {
+    fn from(e: ConfigError) -> Self {
+        CrawlError::Config(e)
+    }
+}
 
 /// Statistics of one crawl run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CrawlReport {
     /// Spaces fetched successfully.
     pub spaces_fetched: usize,
-    /// Spaces given up on after exhausting retries.
+    /// Spaces given up on after exhausting retries (or their deadline).
     pub spaces_failed: usize,
     /// Spaces that did not exist on the host.
     pub spaces_missing: usize,
     /// Retry attempts performed (beyond first tries).
     pub retries: usize,
-    /// Posts collected.
+    /// Fetch attempts the host rejected with throttling.
+    pub throttled: usize,
+    /// Fetch attempts that returned corrupt payloads.
+    pub corrupt_fetches: usize,
+    /// Posts collected into the assembled dataset.
     pub posts: usize,
-    /// Comments collected.
+    /// Comments collected into the assembled dataset.
     pub comments: usize,
     /// Number of BFS layers processed (0 = seeds only).
     pub depth_reached: usize,
     /// Spaces first reached at each depth.
     pub layer_sizes: Vec<usize>,
+    /// Host space ids whose pages were fetched but quarantined as
+    /// inconsistent during assembly.
+    pub rejected_pages: Vec<usize>,
+    /// Times the circuit breaker tripped.
+    pub breaker_trips: usize,
+    /// Total time the breaker held the pool back.
+    pub breaker_open_time: Duration,
+    /// Checkpoints written during this run.
+    pub checkpoints_written: usize,
+    /// Whether this run restored state from a checkpoint.
+    pub resumed_from_checkpoint: bool,
+    /// Whether the crawl stopped because `time_budget` ran out.
+    pub budget_exhausted: bool,
     /// Wall-clock duration of the crawl.
     pub elapsed: Duration,
 }
@@ -52,36 +112,112 @@ pub struct CrawlResult {
     pub report: CrawlReport,
 }
 
+fn snapshot(
+    visited: &BTreeSet<usize>,
+    frontier: &[usize],
+    depth: usize,
+    report: &CrawlReport,
+) -> CrawlCheckpoint {
+    CrawlCheckpoint {
+        visited: visited.clone(),
+        frontier: frontier.to_vec(),
+        depth,
+        layer_sizes: report.layer_sizes.clone(),
+        spaces_failed: report.spaces_failed,
+        spaces_missing: report.spaces_missing,
+        retries: report.retries,
+        throttled: report.throttled,
+        corrupt_fetches: report.corrupt_fetches,
+    }
+}
+
 /// Crawls `host` according to `cfg` and assembles the result.
-pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> CrawlResult {
-    cfg.validate();
+pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, CrawlError> {
+    cfg.validate()?;
     let start = Instant::now();
+    let deadline = cfg.time_budget.map(|b| start + b);
 
-    let seeds: Vec<usize> = if cfg.seeds.is_empty() {
-        (0..host.space_count()).collect()
-    } else {
-        let mut s: Vec<usize> = cfg.seeds.clone();
-        s.sort_unstable();
-        s.dedup();
-        s
-    };
-
-    let mut visited: BTreeSet<usize> = seeds.iter().copied().collect();
-    let mut frontier = seeds;
-    let mut pages: Vec<SpacePage> = Vec::new();
     let mut report = CrawlReport::default();
+    let mut pages: Vec<SpacePage> = Vec::new();
+    let mut visited: BTreeSet<usize>;
+    let mut frontier: Vec<usize>;
     let mut depth = 0usize;
-    let limiter = cfg.max_requests_per_second.map(|r| RateLimiter::new(r, r.max(1.0)));
+
+    let restored = if cfg.resume {
+        let dir = cfg
+            .checkpoint_dir
+            .as_ref()
+            .expect("validate() requires a dir for resume");
+        load_checkpoint(dir).map_err(|e| CrawlError::Checkpoint(e.to_string()))?
+    } else {
+        None
+    };
+    match restored {
+        Some((cp, cp_pages)) => {
+            visited = cp.visited;
+            frontier = cp.frontier;
+            depth = cp.depth;
+            report.layer_sizes = cp.layer_sizes;
+            report.depth_reached = cp.depth.saturating_sub(1);
+            report.spaces_failed = cp.spaces_failed;
+            report.spaces_missing = cp.spaces_missing;
+            report.retries = cp.retries;
+            report.throttled = cp.throttled;
+            report.corrupt_fetches = cp.corrupt_fetches;
+            report.resumed_from_checkpoint = true;
+            pages = cp_pages;
+        }
+        None => {
+            let seeds: Vec<usize> = if cfg.seeds.is_empty() {
+                (0..host.space_count()).collect()
+            } else {
+                let mut s: Vec<usize> = cfg.seeds.clone();
+                s.sort_unstable();
+                s.dedup();
+                s
+            };
+            visited = seeds.iter().copied().collect();
+            frontier = seeds;
+        }
+    }
+
+    let limiter = cfg
+        .max_requests_per_second
+        .map(|r| RateLimiter::new(r, r.max(1.0)));
+    let breaker = cfg.breaker.clone().map(CircuitBreaker::new);
+    // Set when the time budget expired *inside* a layer: the in-memory
+    // result is still returned, but the (boundary-consistent) checkpoint on
+    // disk must not be overwritten with mid-layer state.
+    let mut cut_mid_layer = false;
+    let mut completed_layers = 0usize;
 
     loop {
+        // Radius is checked against the *next* layer's depth, so a
+        // checkpoint taken at a radius stop still records the frontier —
+        // resuming with a larger radius continues the crawl exactly.
+        if cfg.radius.is_some_and(|r| depth > r) {
+            break;
+        }
         let budget = cfg.max_spaces.saturating_sub(pages.len());
         if budget == 0 || frontier.is_empty() {
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            report.budget_exhausted = true;
             break;
         }
         frontier.truncate(budget);
         report.layer_sizes.push(frontier.len());
 
-        let layer = fetch_layer(host, &frontier, cfg, limiter.as_ref(), &mut report);
+        let layer = fetch_layer(
+            host,
+            &frontier,
+            cfg,
+            limiter.as_ref(),
+            breaker.as_ref(),
+            deadline,
+            &mut report,
+        );
         let mut next: BTreeSet<usize> = BTreeSet::new();
         for page in layer {
             for &f in &page.friends {
@@ -95,22 +231,62 @@ pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> CrawlResult {
             pages.push(page);
         }
         report.depth_reached = depth;
+        completed_layers += 1;
 
-        if cfg.radius.is_some_and(|r| depth >= r) {
+        if report.budget_exhausted {
+            cut_mid_layer = true;
             break;
         }
+
         depth += 1;
         frontier = next.into_iter().filter(|s| visited.insert(*s)).collect();
+
+        if let Some(dir) = &cfg.checkpoint_dir {
+            if !frontier.is_empty() && completed_layers.is_multiple_of(cfg.checkpoint_every_layers)
+            {
+                save_checkpoint(dir, &snapshot(&visited, &frontier, depth, &report), &pages)
+                    .map_err(|e| CrawlError::Checkpoint(e.to_string()))?;
+                report.checkpoints_written += 1;
+            }
+        }
+        if frontier.is_empty() {
+            break;
+        }
     }
 
-    report.spaces_fetched = pages.len();
-    report.posts = pages.iter().map(|p| p.posts.len()).sum();
-    report.comments =
-        pages.iter().flat_map(|p| &p.posts).map(|post| post.comments.len()).sum();
-    report.elapsed = start.elapsed();
+    // Final checkpoint so the directory always reflects the finished (or
+    // boundary-interrupted) state — except after a mid-layer cut, where the
+    // previous boundary checkpoint is the only consistent snapshot.
+    if let Some(dir) = &cfg.checkpoint_dir {
+        if !cut_mid_layer {
+            save_checkpoint(dir, &snapshot(&visited, &frontier, depth, &report), &pages)
+                .map_err(|e| CrawlError::Checkpoint(e.to_string()))?;
+            report.checkpoints_written += 1;
+        }
+    }
 
-    let AssembledCrawl { dataset, space_of, stub_start } = assemble_dataset(&pages);
-    CrawlResult { dataset, space_of, stub_start, report }
+    if let Some(b) = &breaker {
+        report.breaker_trips = b.trips();
+        report.breaker_open_time = b.open_time();
+    }
+    report.spaces_fetched = pages.len();
+
+    let AssembledCrawl {
+        dataset,
+        space_of,
+        stub_start,
+        rejected,
+    } = assemble_dataset(&pages);
+    report.rejected_pages = rejected;
+    report.posts = dataset.posts.len();
+    report.comments = dataset.posts.iter().map(|p| p.comments.len()).sum();
+    report.elapsed = start.elapsed();
+    Ok(CrawlResult {
+        dataset,
+        space_of,
+        stub_start,
+        report,
+    })
 }
 
 /// Fetches one frontier layer with a worker pool. Results are returned in
@@ -120,6 +296,8 @@ fn fetch_layer(
     frontier: &[usize],
     cfg: &CrawlConfig,
     limiter: Option<&RateLimiter>,
+    breaker: Option<&CircuitBreaker>,
+    deadline: Option<Instant>,
     report: &mut CrawlReport,
 ) -> Vec<SpacePage> {
     let cursor = AtomicUsize::new(0);
@@ -128,50 +306,111 @@ fn fetch_layer(
     let retries = AtomicUsize::new(0);
     let missing = AtomicUsize::new(0);
     let failed = AtomicUsize::new(0);
+    let throttled = AtomicUsize::new(0);
+    let corrupt = AtomicUsize::new(0);
+    let out_of_time = AtomicBool::new(false);
 
     let workers = cfg.threads.min(frontier.len()).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    out_of_time.store(true, Ordering::Relaxed);
+                    break;
+                }
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 if idx >= frontier.len() {
                     break;
                 }
                 let space = frontier[idx];
+                let space_start = Instant::now();
                 let mut outcome = None;
+                let mut gone = false;
                 for attempt in 0..=cfg.retries {
+                    if attempt > 0 {
+                        let delay = cfg.backoff.delay(space, attempt);
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                    }
+                    // The per-space deadline spans all retries: a tarpitted
+                    // or melting host forfeits its remaining attempts.
+                    if cfg
+                        .fetch_deadline
+                        .is_some_and(|d| space_start.elapsed() >= d)
+                    {
+                        break;
+                    }
+                    if let Some(b) = breaker {
+                        b.acquire();
+                    }
                     if let Some(l) = limiter {
                         l.acquire();
                     }
                     match host.fetch_space(space) {
                         Ok(page) => {
+                            if let Some(b) = breaker {
+                                b.record(true);
+                            }
                             outcome = Some(page);
                             break;
                         }
                         Err(FetchError::NotFound(_)) => {
-                            missing.fetch_add(1, Ordering::Relaxed);
+                            // The host answered authoritatively; not an
+                            // availability signal for the breaker.
+                            if let Some(b) = breaker {
+                                b.record(true);
+                            }
+                            gone = true;
                             break;
                         }
-                        Err(FetchError::Transient(_)) => {
+                        Err(err) => {
+                            match err {
+                                FetchError::Throttled(_) => {
+                                    throttled.fetch_add(1, Ordering::Relaxed);
+                                }
+                                FetchError::Corrupt(_) => {
+                                    corrupt.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {}
+                            }
+                            if let Some(b) = breaker {
+                                // Corrupt payloads mean the host answered;
+                                // only availability failures feed the trip
+                                // threshold.
+                                b.record(matches!(err, FetchError::Corrupt(_)));
+                            }
                             if attempt < cfg.retries {
                                 retries.fetch_add(1, Ordering::Relaxed);
-                            } else {
-                                failed.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                     }
                 }
-                results.lock().push((idx, outcome));
+                if outcome.is_none() {
+                    if gone {
+                        missing.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                results
+                    .lock()
+                    .expect("results poisoned")
+                    .push((idx, outcome));
             });
         }
-    })
-    .expect("crawler worker panicked");
+    });
 
     report.retries += retries.load(Ordering::Relaxed);
     report.spaces_missing += missing.load(Ordering::Relaxed);
     report.spaces_failed += failed.load(Ordering::Relaxed);
+    report.throttled += throttled.load(Ordering::Relaxed);
+    report.corrupt_fetches += corrupt.load(Ordering::Relaxed);
+    if out_of_time.load(Ordering::Relaxed) {
+        report.budget_exhausted = true;
+    }
 
-    let mut collected = results.into_inner();
+    let mut collected = results.into_inner().expect("results poisoned");
     collected.sort_by_key(|(idx, _)| *idx);
     collected.into_iter().filter_map(|(_, page)| page).collect()
 }
@@ -179,6 +418,7 @@ fn fetch_layer(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backoff::BackoffPolicy;
     use crate::host::{HostConfig, SimulatedHost};
     use mass_synth::{generate, SynthConfig};
     use mass_types::DatasetBuilder;
@@ -190,18 +430,20 @@ mod tests {
     #[test]
     fn full_crawl_recovers_every_space() {
         let host = tiny_host();
-        let result = crawl(&host, &CrawlConfig::default());
+        let result = crawl(&host, &CrawlConfig::default()).unwrap();
         assert_eq!(result.report.spaces_fetched, host.space_count());
         assert_eq!(result.dataset.bloggers.len(), host.space_count());
         assert_eq!(result.dataset.posts.len(), host.dataset().posts.len());
         assert_eq!(result.stub_start, host.space_count());
+        assert!(result.report.rejected_pages.is_empty());
+        assert!(!result.report.budget_exhausted);
         result.dataset.validate().unwrap();
     }
 
     #[test]
     fn full_crawl_preserves_content() {
         let host = tiny_host();
-        let result = crawl(&host, &CrawlConfig::default());
+        let result = crawl(&host, &CrawlConfig::default()).unwrap();
         // Space ids are dense on the host, so blogger i maps to space i.
         assert_eq!(result.space_of, (0..host.space_count()).collect::<Vec<_>>());
         for (orig, got) in host.dataset().bloggers.iter().zip(&result.dataset.bloggers) {
@@ -216,12 +458,32 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let host = tiny_host();
+        let err = crawl(
+            &host,
+            &CrawlConfig {
+                threads: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CrawlError::Config(ConfigError::ZeroThreads));
+        assert!(err.to_string().contains("thread"));
+    }
+
+    #[test]
     fn radius_zero_fetches_only_seeds() {
         let host = tiny_host();
         let result = crawl(
             &host,
-            &CrawlConfig { seeds: vec![0, 3], radius: Some(0), ..Default::default() },
-        );
+            &CrawlConfig {
+                seeds: vec![0, 3],
+                radius: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(result.report.spaces_fetched, 2);
         assert_eq!(result.report.layer_sizes, vec![2]);
     }
@@ -233,8 +495,13 @@ mod tests {
         for r in 0..4 {
             let result = crawl(
                 &host,
-                &CrawlConfig { seeds: vec![0], radius: Some(r), ..Default::default() },
-            );
+                &CrawlConfig {
+                    seeds: vec![0],
+                    radius: Some(r),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             assert!(
                 result.report.spaces_fetched >= last,
                 "radius {r}: {} < {last}",
@@ -248,7 +515,14 @@ mod tests {
     #[test]
     fn max_spaces_caps_the_crawl() {
         let host = tiny_host();
-        let result = crawl(&host, &CrawlConfig { max_spaces: 5, ..Default::default() });
+        let result = crawl(
+            &host,
+            &CrawlConfig {
+                max_spaces: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(result.report.spaces_fetched, 5);
     }
 
@@ -257,11 +531,26 @@ mod tests {
         let ds = generate(&SynthConfig::tiny(4)).dataset;
         let host = SimulatedHost::with_config(
             ds,
-            HostConfig { failure_rate: 0.4, ..Default::default() },
-        );
-        let result = crawl(&host, &CrawlConfig { retries: 20, ..Default::default() });
+            HostConfig {
+                failure_rate: 0.4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let result = crawl(
+            &host,
+            &CrawlConfig {
+                retries: 20,
+                backoff: BackoffPolicy::none(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(result.report.spaces_fetched, host.space_count());
-        assert!(result.report.retries > 0, "expected retries with 40% failure rate");
+        assert!(
+            result.report.retries > 0,
+            "expected retries with 40% failure rate"
+        );
         assert_eq!(result.report.spaces_failed, 0);
     }
 
@@ -270,9 +559,21 @@ mod tests {
         let ds = generate(&SynthConfig::tiny(5)).dataset;
         let host = SimulatedHost::with_config(
             ds,
-            HostConfig { failure_rate: 0.95, ..Default::default() },
-        );
-        let result = crawl(&host, &CrawlConfig { retries: 0, ..Default::default() });
+            HostConfig {
+                failure_rate: 0.95,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let result = crawl(
+            &host,
+            &CrawlConfig {
+                retries: 0,
+                backoff: BackoffPolicy::none(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(result.report.spaces_failed > 0);
         assert!(result.report.spaces_fetched < host.space_count());
         result.dataset.validate().unwrap();
@@ -283,8 +584,12 @@ mod tests {
         let host = tiny_host();
         let result = crawl(
             &host,
-            &CrawlConfig { seeds: vec![0, 100_000], ..Default::default() },
-        );
+            &CrawlConfig {
+                seeds: vec![0, 100_000],
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(result.report.spaces_missing, 1);
         assert!(result.report.spaces_fetched >= 1);
     }
@@ -292,21 +597,46 @@ mod tests {
     #[test]
     fn single_thread_equals_many_threads() {
         let host = tiny_host();
-        let one = crawl(&host, &CrawlConfig { threads: 1, seeds: vec![0], radius: Some(2), ..Default::default() });
-        let many = crawl(&host, &CrawlConfig { threads: 8, seeds: vec![0], radius: Some(2), ..Default::default() });
-        assert_eq!(one.dataset, many.dataset, "crawl must be schedule-independent");
+        let one = crawl(
+            &host,
+            &CrawlConfig {
+                threads: 1,
+                seeds: vec![0],
+                radius: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = crawl(
+            &host,
+            &CrawlConfig {
+                threads: 8,
+                seeds: vec![0],
+                radius: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            one.dataset, many.dataset,
+            "crawl must be schedule-independent"
+        );
         assert_eq!(one.space_of, many.space_of);
     }
 
     #[test]
     fn rate_limited_crawl_is_slower_but_identical() {
         let host = tiny_host();
-        let fast = crawl(&host, &CrawlConfig::default());
+        let fast = crawl(&host, &CrawlConfig::default()).unwrap();
         let start = std::time::Instant::now();
         let polite = crawl(
             &host,
-            &CrawlConfig { max_requests_per_second: Some(200.0), ..Default::default() },
-        );
+            &CrawlConfig {
+                max_requests_per_second: Some(200.0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // 30 spaces at 200 req/s with a 200-token burst: the cap only bites
         // once the burst drains, so just assert correctness + wall clock sanity.
         assert_eq!(fast.dataset, polite.dataset);
@@ -318,14 +648,15 @@ mod tests {
                 max_spaces: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(tight.report.spaces_fetched, 3);
     }
 
     #[test]
     fn empty_host_crawl() {
         let host = SimulatedHost::new(DatasetBuilder::new().build().unwrap());
-        let result = crawl(&host, &CrawlConfig::default());
+        let result = crawl(&host, &CrawlConfig::default()).unwrap();
         assert_eq!(result.report.spaces_fetched, 0);
         assert!(result.dataset.bloggers.is_empty());
     }
@@ -344,10 +675,18 @@ mod tests {
             .unwrap();
         let result = crawl(
             &host,
-            &CrawlConfig { seeds: vec![busy.index()], radius: Some(0), ..Default::default() },
-        );
+            &CrawlConfig {
+                seeds: vec![busy.index()],
+                radius: Some(0),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(result.report.spaces_fetched, 1);
-        assert!(result.dataset.bloggers.len() > 1, "commenter stubs expected");
+        assert!(
+            result.dataset.bloggers.len() > 1,
+            "commenter stubs expected"
+        );
         assert_eq!(result.stub_start, 1);
         result.dataset.validate().unwrap();
     }

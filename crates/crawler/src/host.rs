@@ -1,7 +1,18 @@
 //! The blog-hosting service abstraction and its simulated implementation.
+//!
+//! Besides the happy path, [`SimulatedHost`] can inject every fault class
+//! the resilience layer must survive (see DESIGN.md "Fault model &
+//! recovery"): transient failures, throttling, corrupt payloads, whole-host
+//! burst outages, chronically flaky spaces, tarpit latency, and spaces that
+//! persistently serve mangled pages. All per-space faults are deterministic
+//! in `(seed, space_id, per-space attempt#)`, so whether a space ultimately
+//! succeeds under `retries` attempts does not depend on thread scheduling —
+//! the property the chaos tests' schedule-independence assertions rest on.
 
+use crate::config::ConfigError;
 use mass_types::Dataset;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -45,8 +56,32 @@ pub struct SpacePage {
 pub enum FetchError {
     /// The space id does not exist on this host.
     NotFound(usize),
-    /// Transient failure (timeout, throttling); retrying may succeed.
+    /// Transient failure (timeout, connection reset); retrying may succeed.
     Transient(usize),
+    /// The host rejected the request for rate reasons (HTTP 429/503);
+    /// retrying after a pause may succeed, and bursts of these should trip
+    /// the circuit breaker.
+    Throttled(usize),
+    /// The response arrived but its payload failed integrity checks
+    /// (truncated body, garbled XML); retrying may fetch a clean copy.
+    Corrupt(usize),
+}
+
+impl FetchError {
+    /// Whether retrying the same fetch can plausibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, FetchError::NotFound(_))
+    }
+
+    /// The space the error concerns.
+    pub fn space(&self) -> usize {
+        match self {
+            FetchError::NotFound(s)
+            | FetchError::Transient(s)
+            | FetchError::Throttled(s)
+            | FetchError::Corrupt(s) => *s,
+        }
+    }
 }
 
 impl std::fmt::Display for FetchError {
@@ -54,6 +89,8 @@ impl std::fmt::Display for FetchError {
         match self {
             FetchError::NotFound(s) => write!(f, "space {s} not found"),
             FetchError::Transient(s) => write!(f, "transient fetch failure for space {s}"),
+            FetchError::Throttled(s) => write!(f, "host throttled fetch of space {s}"),
+            FetchError::Corrupt(s) => write!(f, "corrupt payload fetching space {s}"),
         }
     }
 }
@@ -85,8 +122,108 @@ pub struct HostConfig {
 
 impl Default for HostConfig {
     fn default() -> Self {
-        HostConfig { failure_rate: 0.0, latency: Duration::ZERO }
+        HostConfig {
+            failure_rate: 0.0,
+            latency: Duration::ZERO,
+        }
     }
+}
+
+/// A deterministic whole-host outage schedule: out of every `period`
+/// consecutive fetch attempts (counted host-globally), the first `down`
+/// fail transiently. Models the host falling over and recovering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BurstOutage {
+    /// Cycle length in fetch attempts.
+    pub period: u64,
+    /// Attempts at the start of each cycle that fail.
+    pub down: u64,
+}
+
+/// Fault-injection plan layered on top of [`HostConfig`]; all rates are
+/// per-attempt probabilities resolved deterministically from `seed`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed that decorrelates this plan's fault streams from other plans.
+    pub seed: u64,
+    /// Probability an attempt is rejected with [`FetchError::Throttled`].
+    pub throttle_rate: f64,
+    /// Probability an attempt returns a [`FetchError::Corrupt`] payload.
+    pub corrupt_rate: f64,
+    /// Spaces with their own elevated transient-failure rate, overriding
+    /// the host-wide `failure_rate` (chronic flakiness).
+    pub chronic_flaky: BTreeMap<usize, f64>,
+    /// Spaces that *persistently* serve mangled pages: the page parses but
+    /// carries a duplicated post id (or, for postless spaces, a self-link),
+    /// so dataset assembly must quarantine it.
+    pub mangled_spaces: BTreeSet<usize>,
+    /// Periodic whole-host outages, keyed on the host-global attempt
+    /// counter. Note: unlike the per-space faults this makes *outcomes*
+    /// depend on fetch arrival order, so tests using it assert validity and
+    /// termination rather than cross-schedule equality.
+    pub burst: Option<BurstOutage>,
+    /// Probability an attempt is tarpitted: the host stalls for
+    /// `tarpit_latency` before answering. Pair with a `fetch_deadline`.
+    pub tarpit_rate: f64,
+    /// Stall duration for tarpitted attempts.
+    pub tarpit_latency: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            throttle_rate: 0.0,
+            corrupt_rate: 0.0,
+            chronic_flaky: BTreeMap::new(),
+            mangled_spaces: BTreeSet::new(),
+            burst: None,
+            tarpit_rate: 0.0,
+            tarpit_latency: Duration::ZERO,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Checks that every rate is a probability and the outage schedule is
+    /// well formed.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let rates = [
+            ("throttle_rate", self.throttle_rate),
+            ("corrupt_rate", self.corrupt_rate),
+            ("tarpit_rate", self.tarpit_rate),
+        ];
+        for (what, value) in rates {
+            if !(0.0..1.0).contains(&value) {
+                return Err(ConfigError::BadProbability { what, value });
+            }
+        }
+        for &rate in self.chronic_flaky.values() {
+            if !(0.0..1.0).contains(&rate) {
+                return Err(ConfigError::BadProbability {
+                    what: "chronic_flaky",
+                    value: rate,
+                });
+            }
+        }
+        if let Some(b) = self.burst {
+            if b.period == 0 || b.down >= b.period {
+                return Err(ConfigError::BadProbability {
+                    what: "burst outage (down must be < period, period > 0)",
+                    value: b.down as f64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Salts keeping the per-attempt fault streams independent of each other.
+mod salt {
+    pub const TRANSIENT: u64 = 0x7452_414e;
+    pub const THROTTLE: u64 = 0x5448_524f;
+    pub const CORRUPT: u64 = 0x434f_5252;
+    pub const TARPIT: u64 = 0x5441_5250;
 }
 
 /// An in-process blog host backed by a [`Dataset`] — the MSN-Spaces
@@ -97,34 +234,56 @@ pub struct SimulatedHost {
     /// Posts of each space, precomputed (global post ids).
     posts_by_space: Vec<Vec<usize>>,
     config: HostConfig,
+    faults: FaultPlan,
+    /// Host-global attempt counter (stats + burst-outage clock).
     fetch_attempts: AtomicU64,
     fetch_failures: AtomicU64,
+    /// Per-space attempt counters: fault decisions key on these so the
+    /// outcome of "space s, its k-th attempt" is schedule-independent.
+    space_attempts: Vec<AtomicU64>,
 }
 
 impl SimulatedHost {
     /// Wraps a dataset with default (fault-free, zero-latency) behaviour.
     pub fn new(dataset: Dataset) -> Self {
         Self::with_config(dataset, HostConfig::default())
+            .expect("default host config is always valid")
     }
 
     /// Wraps a dataset with explicit latency/failure behaviour.
-    pub fn with_config(dataset: Dataset, config: HostConfig) -> Self {
-        assert!(
-            (0.0..1.0).contains(&config.failure_rate),
-            "failure_rate must be in [0,1), got {}",
-            config.failure_rate
-        );
+    pub fn with_config(dataset: Dataset, config: HostConfig) -> Result<Self, ConfigError> {
+        Self::with_faults(dataset, config, FaultPlan::default())
+    }
+
+    /// Wraps a dataset with a full fault-injection plan.
+    pub fn with_faults(
+        dataset: Dataset,
+        config: HostConfig,
+        faults: FaultPlan,
+    ) -> Result<Self, ConfigError> {
+        if !(0.0..1.0).contains(&config.failure_rate) {
+            return Err(ConfigError::BadProbability {
+                what: "failure_rate",
+                value: config.failure_rate,
+            });
+        }
+        faults.validate()?;
         let mut posts_by_space = vec![Vec::new(); dataset.bloggers.len()];
         for (k, post) in dataset.posts.iter().enumerate() {
             posts_by_space[post.author.index()].push(k);
         }
-        SimulatedHost {
+        let space_attempts = (0..dataset.bloggers.len())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        Ok(SimulatedHost {
             dataset,
             posts_by_space,
             config,
+            faults,
             fetch_attempts: AtomicU64::new(0),
             fetch_failures: AtomicU64::new(0),
-        }
+            space_attempts,
+        })
     }
 
     /// Total fetch attempts served (including failed ones).
@@ -132,7 +291,7 @@ impl SimulatedHost {
         self.fetch_attempts.load(Ordering::Relaxed)
     }
 
-    /// Fetches that failed transiently.
+    /// Fetches that failed transiently (including throttles and corruption).
     pub fn failures(&self) -> u64 {
         self.fetch_failures.load(Ordering::Relaxed)
     }
@@ -142,29 +301,79 @@ impl SimulatedHost {
         &self.dataset
     }
 
-    fn should_fail(&self, space_id: usize, attempt: u64) -> bool {
-        if self.config.failure_rate <= 0.0 {
-            return false;
-        }
+    /// Uniform draw in [0, 1] deterministic in the fault stream coordinates.
+    fn unit(&self, salt: u64, space_id: usize, attempt: u64) -> f64 {
         let mut h = DefaultHasher::new();
+        self.faults.seed.hash(&mut h);
+        salt.hash(&mut h);
         (space_id as u64).hash(&mut h);
         attempt.hash(&mut h);
-        (h.finish() as f64 / u64::MAX as f64) < self.config.failure_rate
+        h.finish() as f64 / u64::MAX as f64
+    }
+
+    /// The injected fault, if any, for this attempt on `space_id`.
+    fn fault_for(&self, space_id: usize, global_attempt: u64) -> Option<FetchError> {
+        if let Some(b) = self.faults.burst {
+            if global_attempt % b.period < b.down {
+                return Some(FetchError::Transient(space_id));
+            }
+        }
+        let attempt = self.space_attempts[space_id].fetch_add(1, Ordering::Relaxed);
+        if self.faults.throttle_rate > 0.0
+            && self.unit(salt::THROTTLE, space_id, attempt) < self.faults.throttle_rate
+        {
+            return Some(FetchError::Throttled(space_id));
+        }
+        if self.faults.corrupt_rate > 0.0
+            && self.unit(salt::CORRUPT, space_id, attempt) < self.faults.corrupt_rate
+        {
+            return Some(FetchError::Corrupt(space_id));
+        }
+        let failure_rate = self
+            .faults
+            .chronic_flaky
+            .get(&space_id)
+            .copied()
+            .unwrap_or(self.config.failure_rate);
+        if failure_rate > 0.0 && self.unit(salt::TRANSIENT, space_id, attempt) < failure_rate {
+            return Some(FetchError::Transient(space_id));
+        }
+        if self.faults.tarpit_rate > 0.0
+            && self.unit(salt::TARPIT, space_id, attempt) < self.faults.tarpit_rate
+            && !self.faults.tarpit_latency.is_zero()
+        {
+            std::thread::sleep(self.faults.tarpit_latency);
+        }
+        None
+    }
+
+    /// Persistently damages a page the way a buggy host mirror would:
+    /// a duplicated post id, or a self-referential friend link for spaces
+    /// with fewer than one post to duplicate.
+    fn mangle(&self, page: &mut SpacePage) {
+        if page.posts.len() >= 2 {
+            page.posts[1].global_id = page.posts[0].global_id;
+        } else if page.posts.len() == 1 {
+            let dup = page.posts[0].clone();
+            page.posts.push(dup);
+        } else {
+            page.friends.push(page.space_id);
+        }
     }
 }
 
 impl BlogHost for SimulatedHost {
     fn fetch_space(&self, space_id: usize) -> Result<SpacePage, FetchError> {
-        let attempt = self.fetch_attempts.fetch_add(1, Ordering::Relaxed);
+        let global_attempt = self.fetch_attempts.fetch_add(1, Ordering::Relaxed);
         if !self.config.latency.is_zero() {
             std::thread::sleep(self.config.latency);
         }
         if space_id >= self.dataset.bloggers.len() {
             return Err(FetchError::NotFound(space_id));
         }
-        if self.should_fail(space_id, attempt) {
+        if let Some(err) = self.fault_for(space_id, global_attempt) {
             self.fetch_failures.fetch_add(1, Ordering::Relaxed);
-            return Err(FetchError::Transient(space_id));
+            return Err(err);
         }
         let blogger = &self.dataset.bloggers[space_id];
         let posts = self.posts_by_space[space_id]
@@ -185,13 +394,17 @@ impl BlogHost for SimulatedHost {
                 }
             })
             .collect();
-        Ok(SpacePage {
+        let mut page = SpacePage {
             space_id,
             name: blogger.name.clone(),
             profile: blogger.profile.clone(),
             friends: blogger.friends.iter().map(|f| f.index()).collect(),
             posts,
-        })
+        };
+        if self.faults.mangled_spaces.contains(&space_id) {
+            self.mangle(&mut page);
+        }
+        Ok(page)
     }
 
     fn space_count(&self) -> usize {
@@ -252,8 +465,12 @@ mod tests {
         let ds = host().dataset().clone();
         let h = SimulatedHost::with_config(
             ds,
-            HostConfig { failure_rate: 0.5, ..Default::default() },
-        );
+            HostConfig {
+                failure_rate: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut failures = 0;
         let mut successes = 0;
         for _ in 0..200 {
@@ -269,11 +486,175 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "failure_rate")]
+    fn failure_outcomes_are_schedule_independent() {
+        // The k-th attempt on a given space must have the same outcome no
+        // matter what other fetches happen in between.
+        let ds = host().dataset().clone();
+        let cfg = HostConfig {
+            failure_rate: 0.4,
+            ..Default::default()
+        };
+        let a = SimulatedHost::with_config(ds.clone(), cfg).unwrap();
+        let b = SimulatedHost::with_config(ds, cfg).unwrap();
+        let seq_a: Vec<bool> = (0..20).map(|_| a.fetch_space(0).is_ok()).collect();
+        // Interleave unrelated fetches on host b; space 0's stream must match.
+        let mut seq_b = Vec::new();
+        for _ in 0..20 {
+            let _ = b.fetch_space(1);
+            seq_b.push(b.fetch_space(0).is_ok());
+            let _ = b.fetch_space(1);
+        }
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
     fn invalid_failure_rate_rejected() {
-        let _ = SimulatedHost::with_config(
+        let err = SimulatedHost::with_config(
             DatasetBuilder::new().build().unwrap(),
-            HostConfig { failure_rate: 1.0, ..Default::default() },
+            HostConfig {
+                failure_rate: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BadProbability {
+                what: "failure_rate",
+                value: 1.0
+            }
+        );
+        assert!(err.to_string().contains("failure_rate"));
+    }
+
+    #[test]
+    fn invalid_fault_plan_rejected() {
+        let ds = DatasetBuilder::new().build().unwrap();
+        let bad = FaultPlan {
+            throttle_rate: 1.5,
+            ..Default::default()
+        };
+        assert!(SimulatedHost::with_faults(ds.clone(), HostConfig::default(), bad).is_err());
+        let bad = FaultPlan {
+            burst: Some(BurstOutage { period: 4, down: 4 }),
+            ..Default::default()
+        };
+        assert!(SimulatedHost::with_faults(ds, HostConfig::default(), bad).is_err());
+    }
+
+    #[test]
+    fn throttling_and_corruption_are_distinct_errors() {
+        let ds = host().dataset().clone();
+        let h = SimulatedHost::with_faults(
+            ds,
+            HostConfig::default(),
+            FaultPlan {
+                seed: 7,
+                throttle_rate: 0.3,
+                corrupt_rate: 0.3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut throttled = 0;
+        let mut corrupt = 0;
+        let mut ok = 0;
+        for _ in 0..200 {
+            match h.fetch_space(0) {
+                Ok(_) => ok += 1,
+                Err(FetchError::Throttled(0)) => throttled += 1,
+                Err(FetchError::Corrupt(0)) => corrupt += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(throttled > 20, "throttled: {throttled}");
+        assert!(corrupt > 20, "corrupt: {corrupt}");
+        assert!(ok > 50, "ok: {ok}");
+        assert_eq!(h.failures() as usize, throttled + corrupt);
+        assert!(FetchError::Throttled(0).is_retryable());
+        assert!(FetchError::Corrupt(0).is_retryable());
+        assert!(!FetchError::NotFound(0).is_retryable());
+    }
+
+    #[test]
+    fn burst_outage_downs_whole_host() {
+        let ds = host().dataset().clone();
+        let h = SimulatedHost::with_faults(
+            ds,
+            HostConfig::default(),
+            FaultPlan {
+                burst: Some(BurstOutage {
+                    period: 10,
+                    down: 4,
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let outcomes: Vec<bool> = (0..20).map(|i| h.fetch_space(i % 2).is_ok()).collect();
+        // First 4 of every 10 attempts are down.
+        let expect: Vec<bool> = (0..20u64).map(|g| g % 10 >= 4).collect();
+        assert_eq!(outcomes, expect);
+    }
+
+    #[test]
+    fn chronic_flaky_space_fails_more() {
+        let ds = host().dataset().clone();
+        let h = SimulatedHost::with_faults(
+            ds,
+            HostConfig::default(),
+            FaultPlan {
+                seed: 3,
+                chronic_flaky: [(0usize, 0.9f64)].into_iter().collect(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let flaky_fail = (0..100).filter(|_| h.fetch_space(0).is_err()).count();
+        let healthy_fail = (0..100).filter(|_| h.fetch_space(1).is_err()).count();
+        assert!(flaky_fail > 70, "flaky space failed only {flaky_fail}/100");
+        assert_eq!(healthy_fail, 0, "healthy space must be unaffected");
+    }
+
+    #[test]
+    fn mangled_space_serves_duplicate_post_ids() {
+        let ds = host().dataset().clone();
+        let h = SimulatedHost::with_faults(
+            ds,
+            HostConfig::default(),
+            FaultPlan {
+                mangled_spaces: [0usize].into_iter().collect(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let page = h.fetch_space(0).unwrap();
+        assert_eq!(page.posts.len(), 2, "single post should be duplicated");
+        assert_eq!(page.posts[0].global_id, page.posts[1].global_id);
+        let clean = h.fetch_space(1).unwrap();
+        let mut ids: Vec<usize> = clean.posts.iter().map(|p| p.global_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), clean.posts.len(), "unmangled space stays clean");
+    }
+
+    #[test]
+    fn tarpit_delays_responses() {
+        let ds = host().dataset().clone();
+        let h = SimulatedHost::with_faults(
+            ds,
+            HostConfig::default(),
+            FaultPlan {
+                tarpit_rate: 0.999,
+                tarpit_latency: Duration::from_millis(5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let _ = h.fetch_space(0);
+        assert!(
+            start.elapsed() >= Duration::from_millis(4),
+            "tarpit should stall"
         );
     }
 
@@ -281,5 +662,8 @@ mod tests {
     fn error_display() {
         assert_eq!(FetchError::NotFound(3).to_string(), "space 3 not found");
         assert!(FetchError::Transient(1).to_string().contains("transient"));
+        assert!(FetchError::Throttled(2).to_string().contains("throttled"));
+        assert!(FetchError::Corrupt(4).to_string().contains("corrupt"));
+        assert_eq!(FetchError::Throttled(2).space(), 2);
     }
 }

@@ -20,18 +20,28 @@
 //!   [`CrawlConfig::radius`],
 //! * multi-thread crawling → [`CrawlConfig::threads`].
 //!
+//! The fault-tolerance layer (DESIGN.md "Fault model & recovery") adds
+//! exponential [`BackoffPolicy`] retries, per-fetch deadlines and an overall
+//! time budget, an optional shared [`CircuitBreaker`], and layer-boundary
+//! checkpointing with exact resume ([`CrawlConfig::checkpoint_dir`],
+//! [`CrawlConfig::resume`]).
+//!
 //! ```
 //! use mass_crawler::{crawl, CrawlConfig, SimulatedHost};
 //! use mass_synth::{generate, SynthConfig};
 //!
 //! let corpus = generate(&SynthConfig::tiny(1));
 //! let host = SimulatedHost::new(corpus.dataset.clone());
-//! let result = crawl(&host, &CrawlConfig { seeds: vec![0], radius: Some(2), ..Default::default() });
+//! let result = crawl(&host, &CrawlConfig { seeds: vec![0], radius: Some(2), ..Default::default() })
+//!     .expect("valid config");
 //! result.dataset.validate().unwrap();
 //! assert!(result.report.spaces_fetched >= 1);
 //! ```
 
 pub mod assemble;
+pub mod backoff;
+pub mod breaker;
+pub mod checkpoint;
 pub mod config;
 pub mod engine;
 pub mod host;
@@ -39,8 +49,13 @@ pub mod politeness;
 pub mod xml_host;
 
 pub use assemble::assemble_dataset;
-pub use config::CrawlConfig;
-pub use engine::{crawl, CrawlReport, CrawlResult};
-pub use host::{BlogHost, FetchError, HostConfig, SimulatedHost, SpacePage};
+pub use backoff::BackoffPolicy;
+pub use breaker::{BreakerConfig, CircuitBreaker};
+pub use checkpoint::{load_checkpoint, save_checkpoint, CrawlCheckpoint};
+pub use config::{ConfigError, CrawlConfig};
+pub use engine::{crawl, CrawlError, CrawlReport, CrawlResult};
+pub use host::{
+    BlogHost, BurstOutage, FaultPlan, FetchError, HostConfig, SimulatedHost, SpacePage,
+};
 pub use politeness::RateLimiter;
 pub use xml_host::{archive_host, save_archive, XmlArchiveHost};

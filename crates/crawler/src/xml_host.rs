@@ -106,9 +106,10 @@ pub fn space_from_xml(xml: &str) -> mass_xml::Result<SpacePage> {
             domain_hint: None,
         };
         if let Some(d) = post.attr("domain") {
-            view.domain_hint = Some(d.parse().map_err(|_| {
-                mass_xml::Error::Schema(format!("non-integer domain {d:?}"))
-            })?);
+            view.domain_hint = Some(
+                d.parse()
+                    .map_err(|_| mass_xml::Error::Schema(format!("non-integer domain {d:?}")))?,
+            );
         }
         if let Some(links) = post.child("links") {
             for l in links.elements_named("link") {
@@ -117,7 +118,8 @@ pub fn space_from_xml(xml: &str) -> mass_xml::Result<SpacePage> {
         }
         if let Some(comments) = post.child("comments") {
             for c in comments.elements_named("comment") {
-                view.comments.push((c.require_usize("commenter")?, c.text()));
+                view.comments
+                    .push((c.require_usize("commenter")?, c.text()));
             }
         }
         page.posts.push(view);
@@ -147,8 +149,9 @@ pub fn archive_host(dir: impl AsRef<Path>, host: &dyn BlogHost) -> mass_xml::Res
         match host.fetch_space(space) {
             Ok(p) => pages.push(p),
             Err(FetchError::NotFound(_)) => {}
-            Err(FetchError::Transient(_)) => {
-                // One retry is enough for archiving purposes.
+            Err(_) => {
+                // Transient/throttled/corrupt: one retry is enough for
+                // archiving purposes.
                 if let Ok(p) = host.fetch_space(space) {
                     pages.push(p);
                 }
@@ -188,7 +191,10 @@ impl XmlArchiveHost {
                 max_id_plus_one = max_id_plus_one.max(id + 1);
             }
         }
-        Ok(XmlArchiveHost { dir, max_id_plus_one })
+        Ok(XmlArchiveHost {
+            dir,
+            max_id_plus_one,
+        })
     }
 }
 
@@ -196,9 +202,9 @@ impl BlogHost for XmlArchiveHost {
     fn fetch_space(&self, space_id: usize) -> Result<SpacePage, FetchError> {
         let path = space_file(&self.dir, space_id);
         let xml = std::fs::read_to_string(&path).map_err(|_| FetchError::NotFound(space_id))?;
-        // A malformed file is indistinguishable from a flaky server to the
-        // crawler; surface it as transient so retry/skip logic applies.
-        space_from_xml(&xml).map_err(|_| FetchError::Transient(space_id))
+        // A malformed file is a payload that arrived but failed integrity
+        // checks — exactly what Corrupt models; retry/skip logic applies.
+        space_from_xml(&xml).map_err(|_| FetchError::Corrupt(space_id))
     }
 
     fn space_count(&self) -> usize {
@@ -274,8 +280,8 @@ mod tests {
 
         let replay = XmlArchiveHost::open(&dir).unwrap();
         assert_eq!(replay.space_count(), live.space_count());
-        let from_live = crawl(&live, &CrawlConfig::default());
-        let from_archive = crawl(&replay, &CrawlConfig::default());
+        let from_live = crawl(&live, &CrawlConfig::default()).unwrap();
+        let from_archive = crawl(&replay, &CrawlConfig::default()).unwrap();
         // Sentiment tags don't survive the page format (hosts expose text
         // only), so the assembled datasets match exactly.
         assert_eq!(from_live.dataset, from_archive.dataset);
@@ -289,8 +295,13 @@ mod tests {
         let replay = XmlArchiveHost::open(&dir).unwrap();
         let result = crawl(
             &replay,
-            &CrawlConfig { seeds: vec![0], radius: Some(1), ..Default::default() },
-        );
+            &CrawlConfig {
+                seeds: vec![0],
+                radius: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(result.report.spaces_fetched >= 1);
         result.dataset.validate().unwrap();
     }
@@ -306,12 +317,12 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_file_is_transient() {
+    fn corrupted_file_is_a_corrupt_fetch() {
         let dir = tmpdir("corrupt");
         save_archive(&dir, &[sample_page()]).unwrap();
         std::fs::write(dir.join("space_000007.xml"), "<space truncated").unwrap();
         let host = XmlArchiveHost::open(&dir).unwrap();
-        assert_eq!(host.fetch_space(7), Err(FetchError::Transient(7)));
+        assert_eq!(host.fetch_space(7), Err(FetchError::Corrupt(7)));
     }
 
     #[test]

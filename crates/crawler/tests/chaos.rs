@@ -1,0 +1,542 @@
+//! Chaos suite: the crawl pipeline must survive every fault mode the host
+//! can throw — burst outages, chronic flakiness, throttling, corruption,
+//! tarpits — and still terminate, produce a dataset that validates, stay
+//! schedule-independent, and resume from checkpoints exactly.
+
+use mass_crawler::{
+    crawl, BackoffPolicy, BlogHost, BreakerConfig, BurstOutage, CrawlConfig, FaultPlan, HostConfig,
+    SimulatedHost,
+};
+use mass_synth::{generate, SynthConfig};
+use mass_types::Dataset;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn world(seed: u64) -> Dataset {
+    generate(&SynthConfig {
+        bloggers: 30,
+        mean_posts_per_blogger: 2.0,
+        seed,
+        ..Default::default()
+    })
+    .dataset
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mass_chaos").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A config that retries hard but never wastes wall clock sleeping.
+fn persistent() -> CrawlConfig {
+    CrawlConfig {
+        retries: 25,
+        backoff: BackoffPolicy::none(),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn throttled_host_is_fully_recovered() {
+    let truth = world(1);
+    let host = SimulatedHost::with_faults(
+        truth.clone(),
+        HostConfig::default(),
+        FaultPlan {
+            seed: 11,
+            throttle_rate: 0.4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let result = crawl(&host, &persistent()).unwrap();
+    assert_eq!(result.report.spaces_fetched, host.space_count());
+    assert!(
+        result.report.throttled > 0,
+        "throttling should have been observed"
+    );
+    assert_eq!(result.dataset.posts.len(), truth.posts.len());
+    result.dataset.validate().unwrap();
+}
+
+#[test]
+fn corrupt_payloads_are_retried_to_clean_copies() {
+    let truth = world(2);
+    let host = SimulatedHost::with_faults(
+        truth.clone(),
+        HostConfig::default(),
+        FaultPlan {
+            seed: 22,
+            corrupt_rate: 0.4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let result = crawl(&host, &persistent()).unwrap();
+    assert_eq!(result.report.spaces_fetched, host.space_count());
+    assert!(
+        result.report.corrupt_fetches > 0,
+        "corruption should have been observed"
+    );
+    assert!(
+        result.report.rejected_pages.is_empty(),
+        "transit corruption never reaches assembly"
+    );
+    assert_eq!(result.dataset.posts.len(), truth.posts.len());
+    result.dataset.validate().unwrap();
+}
+
+#[test]
+fn mangled_pages_are_quarantined_and_reported() {
+    let truth = world(3);
+    let host = SimulatedHost::with_faults(
+        truth,
+        HostConfig::default(),
+        FaultPlan {
+            mangled_spaces: [4usize, 9].into_iter().collect(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let result = crawl(&host, &persistent()).unwrap();
+    assert_eq!(result.report.rejected_pages, vec![4, 9]);
+    // Quarantined spaces contribute no crawled blogger of their own.
+    for &space in &[4usize, 9] {
+        let local = result.space_of.iter().position(|&s| s == space);
+        if let Some(local) = local {
+            assert!(
+                local >= result.stub_start,
+                "space {space} must at most be a stub"
+            );
+        }
+    }
+    result.dataset.validate().unwrap();
+}
+
+#[test]
+fn burst_outages_do_not_break_the_crawl() {
+    let truth = world(4);
+    let host = SimulatedHost::with_faults(
+        truth,
+        HostConfig::default(),
+        FaultPlan {
+            burst: Some(BurstOutage {
+                period: 20,
+                down: 8,
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let result = crawl(&host, &persistent()).unwrap();
+    // Burst outcomes depend on arrival order, so assert accounting and
+    // validity rather than exact coverage.
+    assert_eq!(
+        result.report.spaces_fetched + result.report.spaces_failed,
+        host.space_count()
+    );
+    assert!(result.report.spaces_fetched > 0);
+    result.dataset.validate().unwrap();
+}
+
+#[test]
+fn chronic_flakiness_is_survivable_and_reported() {
+    let truth = world(5);
+    let flaky: std::collections::BTreeMap<usize, f64> = [(0usize, 0.85f64), (7, 0.85), (13, 0.85)]
+        .into_iter()
+        .collect();
+    let host = SimulatedHost::with_faults(
+        truth.clone(),
+        HostConfig::default(),
+        FaultPlan {
+            seed: 55,
+            chronic_flaky: flaky,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let result = crawl(&host, &persistent()).unwrap();
+    assert_eq!(
+        result.report.spaces_fetched,
+        host.space_count(),
+        "25 retries beat 85% flake"
+    );
+    assert!(result.report.retries > 0);
+    result.dataset.validate().unwrap();
+}
+
+#[test]
+fn faulty_crawls_are_schedule_independent() {
+    // Per-space fault streams: outcome of (space, attempt k) is fixed, so
+    // thread count must not change the assembled dataset.
+    let truth = world(6);
+    let plan = FaultPlan {
+        seed: 66,
+        throttle_rate: 0.2,
+        corrupt_rate: 0.15,
+        chronic_flaky: [(2usize, 0.7f64), (11, 0.7)].into_iter().collect(),
+        mangled_spaces: [5usize].into_iter().collect(),
+        ..Default::default()
+    };
+    let cfg = |threads| CrawlConfig {
+        threads,
+        seeds: vec![0],
+        radius: Some(3),
+        retries: 4,
+        backoff: BackoffPolicy::none(),
+        ..Default::default()
+    };
+    let run = |threads| {
+        let host = SimulatedHost::with_faults(
+            truth.clone(),
+            HostConfig {
+                failure_rate: 0.3,
+                ..Default::default()
+            },
+            plan.clone(),
+        )
+        .unwrap();
+        crawl(&host, &cfg(threads)).unwrap()
+    };
+    let one = run(1);
+    let many = run(8);
+    assert_eq!(one.dataset, many.dataset);
+    assert_eq!(one.space_of, many.space_of);
+    assert_eq!(one.report.rejected_pages, many.report.rejected_pages);
+    assert_eq!(one.report.spaces_fetched, many.report.spaces_fetched);
+    assert_eq!(one.report.spaces_failed, many.report.spaces_failed);
+    one.dataset.validate().unwrap();
+}
+
+#[test]
+fn breaker_trips_during_meltdown_and_dataset_still_validates() {
+    let truth = world(7);
+    let host = SimulatedHost::with_faults(
+        truth,
+        HostConfig {
+            failure_rate: 0.9,
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 77,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cfg = CrawlConfig {
+        retries: 12,
+        backoff: BackoffPolicy::none(),
+        breaker: Some(BreakerConfig {
+            window: 16,
+            min_samples: 8,
+            error_threshold: 0.6,
+            cooldown: Duration::from_millis(5),
+            probes: 2,
+        }),
+        ..Default::default()
+    };
+    let result = crawl(&host, &cfg).unwrap();
+    assert!(
+        result.report.breaker_trips > 0,
+        "90% failure must trip the breaker"
+    );
+    assert!(result.report.breaker_open_time > Duration::ZERO);
+    result.dataset.validate().unwrap();
+    // The breaker only delays fetches; with a fresh identical host and no
+    // breaker, the dataset must come out the same.
+    let plain_host = SimulatedHost::with_faults(
+        world(7),
+        HostConfig {
+            failure_rate: 0.9,
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 77,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let plain = crawl(
+        &plain_host,
+        &CrawlConfig {
+            retries: 12,
+            backoff: BackoffPolicy::none(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        result.dataset, plain.dataset,
+        "breaker must not change crawl content"
+    );
+}
+
+#[test]
+fn tarpits_are_cut_by_the_fetch_deadline() {
+    let truth = world(8);
+    let host = SimulatedHost::with_faults(
+        truth,
+        HostConfig {
+            failure_rate: 0.8,
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 88,
+            tarpit_rate: 0.8,
+            tarpit_latency: Duration::from_millis(15),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cfg = CrawlConfig {
+        retries: 50,
+        backoff: BackoffPolicy::none(),
+        fetch_deadline: Some(Duration::from_millis(30)),
+        threads: 8,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let result = crawl(&host, &cfg).unwrap();
+    // Without the deadline, 30 spaces * ~40 tarpitted retries * 15 ms would
+    // run for minutes; the deadline caps each space near 30 ms + overshoot.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "deadline failed to cut tarpits"
+    );
+    assert_eq!(
+        result.report.spaces_fetched + result.report.spaces_failed,
+        host.space_count()
+    );
+    result.dataset.validate().unwrap();
+}
+
+#[test]
+fn time_budget_terminates_a_hostile_crawl() {
+    let truth = world(9);
+    let host = SimulatedHost::with_faults(
+        truth,
+        HostConfig {
+            failure_rate: 0.5,
+            latency: Duration::from_millis(5),
+        },
+        FaultPlan {
+            seed: 99,
+            throttle_rate: 0.2,
+            tarpit_rate: 0.5,
+            tarpit_latency: Duration::from_millis(10),
+            burst: Some(BurstOutage {
+                period: 30,
+                down: 10,
+            }),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let cfg = CrawlConfig {
+        retries: 100,
+        backoff: BackoffPolicy::none(),
+        threads: 2,
+        time_budget: Some(Duration::from_millis(60)),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let result = crawl(&host, &cfg).unwrap();
+    assert!(
+        result.report.budget_exhausted,
+        "crawl should have hit the time budget"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "budget exceeded without terminating"
+    );
+    result.dataset.validate().unwrap();
+}
+
+#[test]
+fn checkpoint_resume_equals_uninterrupted_crawl() {
+    let truth = world(10);
+    let plan = FaultPlan {
+        seed: 1010,
+        throttle_rate: 0.15,
+        corrupt_rate: 0.1,
+        mangled_spaces: [3usize].into_iter().collect(),
+        ..Default::default()
+    };
+    let host_cfg = HostConfig {
+        failure_rate: 0.25,
+        latency: Duration::from_millis(2),
+    };
+    let fresh_host = || SimulatedHost::with_faults(truth.clone(), host_cfg, plan.clone()).unwrap();
+    let base = CrawlConfig {
+        seeds: vec![0],
+        retries: 8,
+        backoff: BackoffPolicy::none(),
+        threads: 2,
+        ..Default::default()
+    };
+
+    let reference = crawl(&fresh_host(), &base).unwrap();
+
+    // Crash loop: every run gets a small time budget, checkpoints at layer
+    // boundaries, and the next run resumes from disk. The budget grows a
+    // little each cycle so the loop provably converges even if one layer is
+    // slow; early cycles still get cut off mid-crawl.
+    let dir = tmpdir("resume_identity");
+    let mut final_run = None;
+    for cycle in 0..200u64 {
+        let cfg = CrawlConfig {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            time_budget: Some(Duration::from_millis(10 + 3 * cycle)),
+            ..base.clone()
+        };
+        let run = crawl(&fresh_host(), &cfg).unwrap();
+        if !run.report.budget_exhausted {
+            final_run = Some(run);
+            break;
+        }
+    }
+    let final_run = final_run.expect("crawl never completed within 200 resume cycles");
+
+    assert_eq!(
+        final_run.dataset, reference.dataset,
+        "resumed crawl must equal uninterrupted"
+    );
+    assert_eq!(final_run.space_of, reference.space_of);
+    assert_eq!(final_run.stub_start, reference.stub_start);
+    assert_eq!(
+        final_run.report.rejected_pages,
+        reference.report.rejected_pages
+    );
+    assert_eq!(
+        final_run.report.spaces_fetched,
+        reference.report.spaces_fetched
+    );
+    assert_eq!(
+        final_run.report.depth_reached,
+        reference.report.depth_reached
+    );
+    final_run.dataset.validate().unwrap();
+}
+
+#[test]
+fn radius_stepped_resume_equals_direct_crawl() {
+    // Deterministic (timing-free) resume identity: grow the crawl one
+    // radius at a time through checkpoints and compare against crawling at
+    // the final radius directly.
+    let truth = world(14);
+    let plan = FaultPlan {
+        seed: 1414,
+        throttle_rate: 0.2,
+        ..Default::default()
+    };
+    let fresh_host =
+        || SimulatedHost::with_faults(truth.clone(), HostConfig::default(), plan.clone()).unwrap();
+    let base = CrawlConfig {
+        seeds: vec![0],
+        retries: 6,
+        backoff: BackoffPolicy::none(),
+        ..Default::default()
+    };
+
+    let reference = crawl(
+        &fresh_host(),
+        &CrawlConfig {
+            radius: Some(3),
+            ..base.clone()
+        },
+    )
+    .unwrap();
+
+    let dir = tmpdir("radius_stepped");
+    let mut stepped = None;
+    for r in 0..=3 {
+        let cfg = CrawlConfig {
+            radius: Some(r),
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..base.clone()
+        };
+        stepped = Some(crawl(&fresh_host(), &cfg).unwrap());
+    }
+    let stepped = stepped.unwrap();
+    assert!(stepped.report.resumed_from_checkpoint);
+    assert_eq!(stepped.dataset, reference.dataset);
+    assert_eq!(stepped.space_of, reference.space_of);
+    assert_eq!(stepped.report.depth_reached, reference.report.depth_reached);
+    assert_eq!(stepped.report.layer_sizes, reference.report.layer_sizes);
+    stepped.dataset.validate().unwrap();
+}
+
+#[test]
+fn resume_of_a_completed_crawl_is_a_noop_with_identical_output() {
+    let truth = world(11);
+    let dir = tmpdir("resume_complete");
+    let cfg = CrawlConfig {
+        checkpoint_dir: Some(dir.clone()),
+        resume: true,
+        ..Default::default()
+    };
+    let first = crawl(&SimulatedHost::new(truth.clone()), &cfg).unwrap();
+    assert!(!first.report.resumed_from_checkpoint);
+    assert!(first.report.checkpoints_written > 0);
+
+    let host = SimulatedHost::new(truth);
+    let again = crawl(&host, &cfg).unwrap();
+    assert!(again.report.resumed_from_checkpoint);
+    assert_eq!(
+        host.attempts(),
+        0,
+        "completed crawl must not refetch anything"
+    );
+    assert_eq!(again.dataset, first.dataset);
+    assert_eq!(again.report.depth_reached, first.report.depth_reached);
+    assert_eq!(again.report.layer_sizes, first.report.layer_sizes);
+}
+
+#[test]
+fn everything_at_once_still_yields_a_valid_dataset() {
+    // The kitchen sink: all five fault modes, breaker, deadline, budget,
+    // checkpointing — the pipeline must end in a validated dataset.
+    let truth = world(12);
+    let host = SimulatedHost::with_faults(
+        truth,
+        HostConfig {
+            failure_rate: 0.3,
+            ..Default::default()
+        },
+        FaultPlan {
+            seed: 1212,
+            throttle_rate: 0.15,
+            corrupt_rate: 0.1,
+            chronic_flaky: [(1usize, 0.8f64)].into_iter().collect(),
+            mangled_spaces: [2usize, 6].into_iter().collect(),
+            burst: Some(BurstOutage {
+                period: 40,
+                down: 6,
+            }),
+            tarpit_rate: 0.05,
+            tarpit_latency: Duration::from_millis(3),
+        },
+    )
+    .unwrap();
+    let cfg = CrawlConfig {
+        retries: 10,
+        backoff: BackoffPolicy {
+            initial: Duration::from_micros(200),
+            ..Default::default()
+        },
+        fetch_deadline: Some(Duration::from_millis(200)),
+        time_budget: Some(Duration::from_secs(30)),
+        breaker: Some(BreakerConfig::default()),
+        checkpoint_dir: Some(tmpdir("kitchen_sink")),
+        ..Default::default()
+    };
+    let result = crawl(&host, &cfg).unwrap();
+    assert!(result.report.spaces_fetched > 0);
+    assert_eq!(result.report.rejected_pages.len(), 2);
+    assert!(result.report.checkpoints_written > 0);
+    result.dataset.validate().unwrap();
+}

@@ -8,8 +8,13 @@ use proptest::prelude::*;
 fn arb_world() -> impl Strategy<Value = SimulatedHost> {
     (2usize..40, any::<u64>()).prop_map(|(bloggers, seed)| {
         SimulatedHost::new(
-            generate(&SynthConfig { bloggers, mean_posts_per_blogger: 2.0, seed, ..Default::default() })
-                .dataset,
+            generate(&SynthConfig {
+                bloggers,
+                mean_posts_per_blogger: 2.0,
+                seed,
+                ..Default::default()
+            })
+            .dataset,
         )
     })
 }
@@ -32,7 +37,7 @@ proptest! {
             max_spaces,
             ..Default::default()
         };
-        let result = crawl(&host, &cfg);
+        let result = crawl(&host, &cfg).unwrap();
         prop_assert!(result.dataset.validate().is_ok());
         prop_assert!(result.report.spaces_fetched <= max_spaces);
         prop_assert!(result.report.spaces_fetched >= 1);
@@ -56,8 +61,8 @@ proptest! {
             threads,
             ..Default::default()
         };
-        let one = crawl(&host, &cfg(1));
-        let many = crawl(&host, &cfg(5));
+        let one = crawl(&host, &cfg(1)).unwrap();
+        let many = crawl(&host, &cfg(5)).unwrap();
         prop_assert_eq!(one.dataset, many.dataset);
         prop_assert_eq!(one.space_of, many.space_of);
         prop_assert_eq!(one.report.spaces_fetched, many.report.spaces_fetched);
@@ -65,7 +70,7 @@ proptest! {
 
     #[test]
     fn full_crawl_is_lossless(host in arb_world()) {
-        let result = crawl(&host, &CrawlConfig::default());
+        let result = crawl(&host, &CrawlConfig::default()).unwrap();
         prop_assert_eq!(result.report.spaces_fetched, host.space_count());
         prop_assert_eq!(result.dataset.posts.len(), host.dataset().posts.len());
         // Full crawls carry no sentiment tags, so compare the rest.
@@ -86,8 +91,17 @@ proptest! {
         let flaky = SimulatedHost::with_config(
             ds.clone(),
             HostConfig { failure_rate: failure_permille as f64 / 1000.0, ..Default::default() },
-        );
-        let result = crawl(&flaky, &CrawlConfig { retries: 2, ..Default::default() });
+        )
+        .unwrap();
+        let result = crawl(
+            &flaky,
+            &CrawlConfig {
+                retries: 2,
+                backoff: mass_crawler::BackoffPolicy::none(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         prop_assert!(result.report.spaces_fetched <= flaky.space_count());
         prop_assert_eq!(
             result.report.spaces_fetched + result.report.spaces_failed,

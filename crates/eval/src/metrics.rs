@@ -4,7 +4,11 @@ use std::collections::HashSet;
 
 /// Precision@k: fraction of the first `k` ranked items that are relevant.
 /// Returns 0 when `k == 0` or the ranking is empty.
-pub fn precision_at_k<T: Eq + std::hash::Hash>(ranked: &[T], relevant: &HashSet<T>, k: usize) -> f64 {
+pub fn precision_at_k<T: Eq + std::hash::Hash>(
+    ranked: &[T],
+    relevant: &HashSet<T>,
+    k: usize,
+) -> f64 {
     let k = k.min(ranked.len());
     if k == 0 {
         return 0.0;
@@ -21,7 +25,10 @@ pub fn recall_at_k<T: Eq + std::hash::Hash>(ranked: &[T], relevant: &HashSet<T>,
         return 0.0;
     }
     let k = k.min(ranked.len());
-    let hits: HashSet<&T> = ranked[..k].iter().filter(|x| relevant.contains(x)).collect();
+    let hits: HashSet<&T> = ranked[..k]
+        .iter()
+        .filter(|x| relevant.contains(x))
+        .collect();
     hits.len() as f64 / relevant.len() as f64
 }
 
@@ -39,7 +46,11 @@ pub fn ndcg_at_k(gains_in_ranked_order: &[f64], k: usize) -> f64 {
         .sum();
     let mut ideal: Vec<f64> = gains_in_ranked_order.to_vec();
     ideal.sort_by(|a, b| b.partial_cmp(a).expect("gains are finite"));
-    let idcg: f64 = ideal[..k].iter().enumerate().map(|(i, g)| g / ((i + 2) as f64).log2()).sum();
+    let idcg: f64 = ideal[..k]
+        .iter()
+        .enumerate()
+        .map(|(i, g)| g / ((i + 2) as f64).log2())
+        .sum();
     if idcg == 0.0 {
         0.0
     } else {
@@ -134,7 +145,11 @@ mod tests {
         assert_eq!(precision_at_k(&[1, 9, 2, 8], &relevant, 4), 0.5);
         assert_eq!(precision_at_k(&[1, 2], &relevant, 2), 1.0);
         assert_eq!(precision_at_k(&[9, 8], &relevant, 2), 0.0);
-        assert_eq!(precision_at_k(&[1], &relevant, 10), 1.0, "k clamps to length");
+        assert_eq!(
+            precision_at_k(&[1], &relevant, 10),
+            1.0,
+            "k clamps to length"
+        );
         assert_eq!(precision_at_k::<u32>(&[], &relevant, 3), 0.0);
         assert_eq!(precision_at_k(&[1], &relevant, 0), 0.0);
     }

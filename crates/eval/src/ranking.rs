@@ -37,8 +37,9 @@ pub fn evaluate_domain_system(
     domain: DomainId,
     k: usize,
 ) -> RankingQuality {
-    let true_scores: Vec<f64> =
-        (0..truth.len()).map(|i| truth.true_score(BloggerId::new(i), domain)).collect();
+    let true_scores: Vec<f64> = (0..truth.len())
+        .map(|i| truth.true_score(BloggerId::new(i), domain))
+        .collect();
     evaluate_against(scores, &true_scores, truth.top_k(domain, k), k)
 }
 
@@ -48,8 +49,15 @@ fn evaluate_against(
     true_top: Vec<BloggerId>,
     k: usize,
 ) -> RankingQuality {
-    assert_eq!(scores.len(), true_scores.len(), "score vector must cover every blogger");
-    let ranked: Vec<BloggerId> = top_k(scores, scores.len()).into_iter().map(|(b, _)| b).collect();
+    assert_eq!(
+        scores.len(),
+        true_scores.len(),
+        "score vector must cover every blogger"
+    );
+    let ranked: Vec<BloggerId> = top_k(scores, scores.len())
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
     let relevant: HashSet<BloggerId> = true_top.into_iter().collect();
     let gains: Vec<f64> = ranked.iter().map(|b| true_scores[b.index()]).collect();
     RankingQuality {

@@ -2,7 +2,7 @@
 //! panels, suitable for checking into a repo or attaching to a ticket.
 
 use crate::table::TextTable;
-use mass_core::MassAnalysis;
+use mass_core::{MassAnalysis, SolveStatus};
 use mass_types::Dataset;
 
 /// Renders a complete markdown report of an analysis: corpus statistics,
@@ -17,12 +17,18 @@ pub fn analysis_report(ds: &Dataset, analysis: &MassAnalysis, k: usize) -> Strin
         "**Model**: α = {}, β = {}; solver {} in {} sweeps (residual {:.2e})\n\n",
         analysis.params.alpha,
         analysis.params.beta,
-        if analysis.scores.converged { "converged" } else { "DID NOT CONVERGE" },
+        match analysis.scores.status {
+            SolveStatus::Converged => "converged",
+            SolveStatus::MaxIterations => "DID NOT CONVERGE",
+            SolveStatus::Degenerate => "SAW DEGENERATE INPUTS",
+        },
         analysis.scores.iterations,
         analysis.scores.residual,
     ));
 
-    out.push_str(&format!("## Top-{k} influential bloggers (general)\n\n```\n"));
+    out.push_str(&format!(
+        "## Top-{k} influential bloggers (general)\n\n```\n"
+    ));
     let mut t = TextTable::new(["#", "blogger", "Inf", "AP", "GL", "posts", "comments recv"]);
     for (rank, (b, score)) in analysis.top_k_general(k).iter().enumerate() {
         t.row([
@@ -78,7 +84,11 @@ mod tests {
         let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
         let report = analysis_report(&out.dataset, &analysis, 5);
         assert!(report.starts_with("# MASS analysis report"));
-        for heading in ["## Top-5 influential bloggers", "## Top-3 per domain", "## Facet coverage"] {
+        for heading in [
+            "## Top-5 influential bloggers",
+            "## Top-3 per domain",
+            "## Facet coverage",
+        ] {
             assert!(report.contains(heading), "missing {heading}");
         }
         assert!(report.contains("α = 0.5"));
@@ -89,7 +99,11 @@ mod tests {
     #[test]
     fn unconverged_runs_are_flagged() {
         let out = generate(&SynthConfig::tiny(41));
-        let params = MassParams { epsilon: 1e-300, max_iterations: 1, ..MassParams::paper() };
+        let params = MassParams {
+            epsilon: 1e-300,
+            max_iterations: 1,
+            ..MassParams::paper()
+        };
         let analysis = MassAnalysis::analyze(&out.dataset, &params);
         let report = analysis_report(&out.dataset, &analysis, 3);
         assert!(report.contains("DID NOT CONVERGE"));

@@ -59,7 +59,11 @@ pub fn paired_bootstrap(a: &[f64], b: &[f64], resamples: usize, seed: u64) -> Bo
             total += diffs[(next() % n as u64) as usize];
         }
         let resampled = total / n as f64;
-        let contradicts = if observed > 0.0 { resampled <= 0.0 } else { resampled >= 0.0 };
+        let contradicts = if observed > 0.0 {
+            resampled <= 0.0
+        } else {
+            resampled >= 0.0
+        };
         if contradicts {
             contradictions += 1;
         }

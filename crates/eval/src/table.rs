@@ -17,7 +17,10 @@ impl TextTable {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

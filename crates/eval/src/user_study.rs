@@ -79,20 +79,21 @@ impl std::fmt::Display for UserStudyTable {
 
 /// Runs the study and returns the table. System rows match the paper:
 /// "General", "Live Index", "Domain Specific".
-pub fn run_user_study(
-    ds: &Dataset,
-    truth: &GroundTruth,
-    cfg: &UserStudyConfig,
-) -> UserStudyTable {
+pub fn run_user_study(ds: &Dataset, truth: &GroundTruth, cfg: &UserStudyConfig) -> UserStudyTable {
     assert!(cfg.k > 0, "need a positive k");
     let analysis = MassAnalysis::analyze(ds, &cfg.params);
     let panel = JudgePanel::new(truth, cfg.panel);
     let ix = ds.index();
 
-    let general: Vec<BloggerId> =
-        analysis.top_k_general(cfg.k).into_iter().map(|(b, _)| b).collect();
-    let live: Vec<BloggerId> =
-        top_k(&live_index(ds, &ix), cfg.k).into_iter().map(|(b, _)| b).collect();
+    let general: Vec<BloggerId> = analysis
+        .top_k_general(cfg.k)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    let live: Vec<BloggerId> = top_k(&live_index(ds, &ix), cfg.k)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
 
     let mut general_row = Vec::new();
     let mut live_row = Vec::new();
@@ -100,8 +101,11 @@ pub fn run_user_study(
     let mut names = Vec::new();
     for &d in &cfg.domains {
         names.push(ds.domains.name(d).to_string());
-        let specific: Vec<BloggerId> =
-            analysis.top_k_in_domain(d, cfg.k).into_iter().map(|(b, _)| b).collect();
+        let specific: Vec<BloggerId> = analysis
+            .top_k_in_domain(d, cfg.k)
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
         general_row.push(panel.score_list(&general, d));
         live_row.push(panel.score_list(&live, d));
         domain_row.push(panel.score_list(&specific, d));
@@ -166,7 +170,10 @@ mod tests {
         // On this small test corpus a single-domain tie is possible (the
         // lists can overlap); the paper-scale margin is asserted by the
         // `user_study_reproduces_table1_shape` integration test.
-        assert!(strict_wins >= 2, "domain-specific strictly won only {strict_wins}/3 domains");
+        assert!(
+            strict_wins >= 2,
+            "domain-specific strictly won only {strict_wins}/3 domains"
+        );
     }
 
     #[test]

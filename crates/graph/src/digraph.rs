@@ -15,7 +15,11 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        DiGraph { out_edges: vec![Vec::new(); n], in_edges: vec![Vec::new(); n], edge_count: 0 }
+        DiGraph {
+            out_edges: vec![Vec::new(); n],
+            in_edges: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -35,7 +39,10 @@ impl DiGraph {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         self.out_edges[u].push(v as u32);
         self.in_edges[v].push(u as u32);
         self.edge_count += 1;

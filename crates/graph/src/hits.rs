@@ -17,7 +17,10 @@ pub struct HitsParams {
 
 impl Default for HitsParams {
     fn default() -> Self {
-        HitsParams { tolerance: 1e-10, max_iterations: 200 }
+        HitsParams {
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -43,7 +46,12 @@ pub struct HitsScores {
 pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
     let n = g.len();
     if n == 0 {
-        return HitsScores { authority: vec![], hub: vec![], iterations: 0, converged: true };
+        return HitsScores {
+            authority: vec![],
+            hub: vec![],
+            iterations: 0,
+            converged: true,
+        };
     }
     let uniform = 1.0 / n as f64;
     if g.edge_count() == 0 {
@@ -74,16 +82,33 @@ pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
         }
         normalize_l1(&mut new_hub, uniform);
 
-        let residual: f64 =
-            auth.iter().zip(&new_auth).map(|(a, b)| (a - b).abs()).sum::<f64>()
-                + hub.iter().zip(&new_hub).map(|(a, b)| (a - b).abs()).sum::<f64>();
+        let residual: f64 = auth
+            .iter()
+            .zip(&new_auth)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            + hub
+                .iter()
+                .zip(&new_hub)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
         auth = new_auth;
         hub = new_hub;
         if residual < params.tolerance {
-            return HitsScores { authority: auth, hub, iterations, converged: true };
+            return HitsScores {
+                authority: auth,
+                hub,
+                iterations,
+                converged: true,
+            };
         }
     }
-    HitsScores { authority: auth, hub, iterations, converged: false }
+    HitsScores {
+        authority: auth,
+        hub,
+        iterations,
+        converged: false,
+    }
 }
 
 fn normalize_l1(v: &mut [f64], fallback: f64) {
@@ -149,7 +174,13 @@ mod tests {
     #[test]
     fn iteration_cap_respected() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
-        let s = hits(&g, &HitsParams { tolerance: 0.0, max_iterations: 3 });
+        let s = hits(
+            &g,
+            &HitsParams {
+                tolerance: 0.0,
+                max_iterations: 3,
+            },
+        );
         assert_eq!(s.iterations, 3);
         assert!(!s.converged);
     }

@@ -36,7 +36,9 @@ pub mod hits;
 pub mod pagerank;
 pub mod traversal;
 
-pub use components::{giant_component_size, strongly_connected_components, weakly_connected_components};
+pub use components::{
+    giant_component_size, strongly_connected_components, weakly_connected_components,
+};
 pub use digraph::{DegreeStats, DiGraph};
 pub use hits::{hits, HitsParams, HitsScores};
 pub use pagerank::{pagerank, PageRankParams, PageRankResult};

@@ -15,7 +15,11 @@ pub struct PageRankParams {
 
 impl Default for PageRankParams {
     fn default() -> Self {
-        PageRankParams { damping: 0.85, tolerance: 1e-10, max_iterations: 200 }
+        PageRankParams {
+            damping: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -41,7 +45,12 @@ pub struct PageRankResult {
 pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
     let n = g.len();
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, residual: 0.0, converged: true };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            residual: 0.0,
+            converged: true,
+        };
     }
     assert!(
         params.damping >= 0.0 && params.damping < 1.0,
@@ -58,8 +67,10 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
     while iterations < params.max_iterations {
         iterations += 1;
         // Mass from dangling nodes is spread uniformly.
-        let dangling_mass: f64 =
-            (0..n).filter(|&u| g.out_degree(u) == 0).map(|u| rank[u]).sum();
+        let dangling_mass: f64 = (0..n)
+            .filter(|&u| g.out_degree(u) == 0)
+            .map(|u| rank[u])
+            .sum();
         let base = (1.0 - d) * uniform + d * dangling_mass * uniform;
         next.iter_mut().for_each(|x| *x = base);
         for (u, &r) in rank.iter().enumerate() {
@@ -75,10 +86,20 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
         residual = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if residual < params.tolerance {
-            return PageRankResult { scores: rank, iterations, residual, converged: true };
+            return PageRankResult {
+                scores: rank,
+                iterations,
+                residual,
+                converged: true,
+            };
         }
     }
-    PageRankResult { scores: rank, iterations, residual, converged: false }
+    PageRankResult {
+        scores: rank,
+        iterations,
+        residual,
+        converged: false,
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +159,13 @@ mod tests {
     #[test]
     fn zero_damping_is_uniform() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
-        let r = pagerank(&g, &PageRankParams { damping: 0.0, ..Default::default() });
+        let r = pagerank(
+            &g,
+            &PageRankParams {
+                damping: 0.0,
+                ..Default::default()
+            },
+        );
         for s in &r.scores {
             assert!((s - 1.0 / 3.0).abs() < 1e-9);
         }
@@ -159,7 +186,11 @@ mod tests {
         let g = DiGraph::from_edges(2, [(0, 1), (1, 0)]);
         let r = pagerank(
             &g,
-            &PageRankParams { tolerance: 0.0, max_iterations: 5, ..Default::default() },
+            &PageRankParams {
+                tolerance: 0.0,
+                max_iterations: 5,
+                ..Default::default()
+            },
         );
         assert_eq!(r.iterations, 5);
         assert!(!r.converged);
@@ -169,6 +200,12 @@ mod tests {
     #[should_panic(expected = "damping")]
     fn damping_of_one_rejected() {
         let g = DiGraph::new(2);
-        let _ = pagerank(&g, &PageRankParams { damping: 1.0, ..Default::default() });
+        let _ = pagerank(
+            &g,
+            &PageRankParams {
+                damping: 1.0,
+                ..Default::default()
+            },
+        );
     }
 }

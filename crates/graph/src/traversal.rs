@@ -26,10 +26,17 @@ pub struct BfsLayer {
 /// # Panics
 /// Panics if `seed` is out of range.
 pub fn bfs_within_radius(g: &DiGraph, seed: usize, radius: usize) -> Vec<BfsLayer> {
-    assert!(seed < g.len(), "seed {seed} out of range for graph of {} nodes", g.len());
+    assert!(
+        seed < g.len(),
+        "seed {seed} out of range for graph of {} nodes",
+        g.len()
+    );
     let mut visited = vec![false; g.len()];
     visited[seed] = true;
-    let mut layers = vec![BfsLayer { depth: 0, nodes: vec![seed] }];
+    let mut layers = vec![BfsLayer {
+        depth: 0,
+        nodes: vec![seed],
+    }];
     let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
     queue.push_back((seed, 0));
 
@@ -41,7 +48,10 @@ pub fn bfs_within_radius(g: &DiGraph, seed: usize, radius: usize) -> Vec<BfsLaye
             if !visited[v] {
                 visited[v] = true;
                 if layers.len() <= depth + 1 {
-                    layers.push(BfsLayer { depth: depth + 1, nodes: Vec::new() });
+                    layers.push(BfsLayer {
+                        depth: depth + 1,
+                        nodes: Vec::new(),
+                    });
                 }
                 layers[depth + 1].nodes.push(v);
                 queue.push_back((v, depth + 1));
@@ -53,7 +63,10 @@ pub fn bfs_within_radius(g: &DiGraph, seed: usize, radius: usize) -> Vec<BfsLaye
 
 /// Convenience: the set of nodes within `radius` hops of `seed`, flattened.
 pub fn ball(g: &DiGraph, seed: usize, radius: usize) -> Vec<usize> {
-    bfs_within_radius(g, seed, radius).into_iter().flat_map(|l| l.nodes).collect()
+    bfs_within_radius(g, seed, radius)
+        .into_iter()
+        .flat_map(|l| l.nodes)
+        .collect()
 }
 
 #[cfg(test)]

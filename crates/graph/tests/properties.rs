@@ -1,9 +1,8 @@
 //! Property-based tests for the link-analysis substrate.
 
 use mass_graph::{
-    ball, bfs_within_radius, giant_component_size, hits, pagerank,
-    strongly_connected_components, weakly_connected_components, DiGraph, HitsParams,
-    PageRankParams,
+    ball, bfs_within_radius, giant_component_size, hits, pagerank, strongly_connected_components,
+    weakly_connected_components, DiGraph, HitsParams, PageRankParams,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of the criterion 0.5 API the MASS benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, and `BenchmarkId::from_parameter`.
+//!
+//! Statistics are deliberately simple — per benchmark it warms up briefly,
+//! runs `sample_size` timed samples (each auto-sized to take a measurable
+//! slice of time), and prints min / median / mean. There is no HTML report,
+//! baseline comparison, or outlier analysis; the goal is that
+//! `cargo bench` runs and prints credible numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A label distinguishing parameterised benchmarks within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id whose label is the parameter's `Display` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Times closures; handed to the `|b| ...` bench bodies.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, auto-scaling iterations per sample so each sample
+    /// takes a measurable amount of wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Estimate a per-call cost to choose the iteration count.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        // Brief warm-up, then the timed samples.
+        for _ in 0..iters.min(3) {
+            std_black_box(routine());
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<40} min {min:>12?}   median {median:>12?}   mean {mean:>12?}   ({} samples)",
+            sorted.len()
+        );
+    }
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark with no explicit parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Ends the group (prints a trailing blank line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The top-level harness handle passed to each bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}:");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name,
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.default_sample_size,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Declares a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut captured = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            captured = b.samples.len();
+        });
+        group.finish();
+        assert_eq!(captured, 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        let mut seen = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &x| {
+            seen = x;
+            b.iter(|| black_box(x * 2));
+        });
+        assert_eq!(seen, 7);
+        assert_eq!(BenchmarkId::new("f", 3).label, "f/3");
+    }
+}

@@ -1,0 +1,823 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors
+//! the subset of proptest the MASS workspace actually uses: the `proptest!`
+//! macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, the [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, range and regex-literal strategies,
+//! `collection::{vec, hash_set}`, `option::of`, `any::<T>()`, and
+//! `sample::Index`.
+//!
+//! Semantics match upstream where tests can observe them, with one deliberate
+//! omission: **no shrinking**. A failing case panics with the generated
+//! inputs' assertion message instead of a minimised counterexample. Runs are
+//! deterministic — the RNG is seeded from the test's name — so failures
+//! reproduce exactly on re-run.
+
+pub mod test_runner {
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config that runs `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the full workspace suite
+            // fast while still exercising each property broadly.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was discarded (`prop_assume!` failed); it does not count
+        /// toward the case budget.
+        Reject(String),
+        /// The property is false for this input.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic generator state handed to strategies (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeds the stream from a test's name, so each property test has a
+        /// stable, independent input sequence across runs and platforms.
+        pub fn from_name(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = h;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Drives one property: keeps generating cases until `config.cases`
+    /// successes, panicking on the first failure. Used by `proptest!`.
+    pub fn run<F>(name: &str, config: &Config, f: F)
+    where
+        F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let reject_budget = config.cases * 16 + 256;
+        while passed < config.cases {
+            match f(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > reject_budget {
+                        panic!(
+                            "proptest `{name}`: too many rejected cases \
+                             ({rejected} rejects for {passed} passes) — \
+                             loosen the strategy or the prop_assume!"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed after {passed} passing cases: {msg}");
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for producing values of `Self::Value` from a [`TestRng`].
+    ///
+    /// Unlike upstream there is no value tree / shrinking: `generate` yields
+    /// the final value directly.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Feeds generated values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy {self:?}");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    self.start() + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(usize, u8, u16, u32, u64, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy {self:?}");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident / $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/0, B/1);
+        (A/0, B/1, C/2);
+        (A/0, B/1, C/2, D/3);
+        (A/0, B/1, C/2, D/3, E/4);
+        (A/0, B/1, C/2, D/3, E/4, F/5);
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6);
+        (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7);
+    }
+
+    /// `&str` strategies are regex literals (the subset in [`crate::string`]).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_regex(self, rng)
+        }
+    }
+
+    /// Marker + constructor for `any::<T>()`.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 48) as u16
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    impl Arbitrary for crate::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::sample::Index::from_raw(rng.next_u64())
+        }
+    }
+
+    /// Strategy producing arbitrary values of `A` (see [`any`]).
+    #[derive(Clone, Debug)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a collection size: a fixed `usize`, `lo..hi`, or
+    /// `lo..=hi`.
+    pub trait SizeRange {
+        /// Inclusive `(min, max)` bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range {self:?}");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty size range {self:?}");
+            (*self.start(), *self.end())
+        }
+    }
+
+    fn pick_len(size: &impl SizeRange, rng: &mut TestRng) -> usize {
+        let (lo, hi) = size.bounds();
+        lo + rng.below((hi - lo + 1) as u64) as usize
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = pick_len(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `HashSet<S::Value>` (see [`hash_set`]).
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = pick_len(&self.size, rng);
+            let mut set = HashSet::with_capacity(target);
+            // Duplicates don't grow the set, so allow a generous number of
+            // draws; if the element domain is smaller than `target` we return
+            // what we managed, mirroring upstream's best-effort behaviour.
+            let mut attempts = target * 16 + 16;
+            while set.len() < target && attempts > 0 {
+                set.insert(self.element.generate(rng));
+                attempts -= 1;
+            }
+            set
+        }
+    }
+
+    /// `proptest::collection::hash_set(element, size)`.
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (see [`of`]).
+    #[derive(Clone, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match upstream's default 3:1 bias toward Some.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    /// An index into a collection whose length is only known at use time
+    /// (`any::<prop::sample::Index>()` then `.index(len)`).
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Wraps a raw draw; used by the `Arbitrary` impl.
+        pub fn from_raw(raw: u64) -> Self {
+            Index(raw)
+        }
+
+        /// Projects onto `[0, len)`; `len` must be nonzero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from the regex subset the workspace's string strategies
+    //! use: literals, `.`, `[a-z0-9 ]` classes (ranges + literal chars),
+    //! `(...)` groups, and `{n}` / `{n,m}` quantifiers.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        /// Any printable ASCII char plus a few multibyte ones, to exercise
+        /// escaping paths.
+        Dot,
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<(Atom, u32, u32)>),
+    }
+
+    /// Characters `.` can produce. Mostly printable ASCII (including XML
+    /// specials), with a couple of multibyte characters so byte-length and
+    /// char-length can differ.
+    const DOT_EXTRAS: [char; 4] = ['é', 'Ω', '→', '\u{00A0}'];
+
+    fn parse_seq(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        in_group: bool,
+    ) -> Vec<(Atom, u32, u32)> {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' {
+                assert!(in_group, "unmatched ')' in regex strategy");
+                chars.next();
+                return seq;
+            }
+            chars.next();
+            let atom = match c {
+                '.' => Atom::Dot,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().expect("unterminated class in regex strategy");
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().expect("unterminated class range");
+                            assert!(hi != ']', "trailing '-' unsupported in class");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty class in regex strategy");
+                    Atom::Class(ranges)
+                }
+                '(' => Atom::Group(parse_seq(chars, true)),
+                '\\' => Atom::Literal(chars.next().expect("dangling escape in regex strategy")),
+                other => Atom::Literal(other),
+            };
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut digits = String::new();
+                let mut lo = None;
+                loop {
+                    match chars.next().expect("unterminated quantifier") {
+                        '}' => break,
+                        ',' => {
+                            lo = Some(digits.parse::<u32>().expect("bad quantifier"));
+                            digits.clear();
+                        }
+                        d => digits.push(d),
+                    }
+                }
+                let last = digits.parse::<u32>().expect("bad quantifier");
+                match lo {
+                    Some(l) => (l, last),
+                    None => (last, last),
+                }
+            } else {
+                (1, 1)
+            };
+            seq.push((atom, lo, hi));
+        }
+        assert!(!in_group, "unterminated '(' in regex strategy");
+        seq
+    }
+
+    fn emit(seq: &[(Atom, u32, u32)], rng: &mut TestRng, out: &mut String) {
+        for (atom, lo, hi) in seq {
+            let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..n {
+                match atom {
+                    Atom::Dot => {
+                        // ~1 in 16 draws yields a non-ASCII char.
+                        if rng.below(16) == 0 {
+                            out.push(DOT_EXTRAS[rng.below(DOT_EXTRAS.len() as u64) as usize]);
+                        } else {
+                            out.push((0x20 + rng.below(0x5F) as u8) as char);
+                        }
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+                            .sum();
+                        let mut pick = rng.below(total);
+                        for &(a, b) in ranges {
+                            let span = (b as u64) - (a as u64) + 1;
+                            if pick < span {
+                                out.push(char::from_u32(a as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                    Atom::Group(inner) => emit(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern` (subset documented above).
+    pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let seq = parse_seq(&mut chars, false);
+        let mut out = String::new();
+        emit(&seq, rng, &mut out);
+        out
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn holds(x in 0usize..10, s in "[a-z]{0,8}") { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run(stringify!($name), &config, |rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                outcome
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::from_name("regex_subset_shapes");
+        for _ in 0..200 {
+            let s = crate::string::generate_from_regex("[a-z]{3,8}( [a-z]{3,8}){1,3}", &mut rng);
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((2..=4).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((3..=8).contains(&w.len()), "{s:?}");
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+            let t = crate::string::generate_from_regex(".{0,20}", &mut rng);
+            assert!(t.chars().count() <= 20);
+            let u = crate::string::generate_from_regex("[a-z][a-z0-9]{0,8}", &mut rng);
+            assert!(u.chars().next().unwrap().is_ascii_lowercase());
+            assert!(u.chars().count() <= 9);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let s = crate::collection::vec(0usize..100, 3..10);
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn hash_set_respects_min_when_domain_allows() {
+        let mut rng = TestRng::from_name("hs");
+        for _ in 0..100 {
+            let s = crate::collection::hash_set(0u32..50, 1..20).generate(&mut rng);
+            assert!(!s.is_empty());
+            assert!(s.len() < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            x in 1usize..50,
+            v in crate::collection::vec(0u64..10, 0..5),
+            opt in crate::option::of(0usize..4),
+            s in "[a-z ]{0,16}",
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert!(v.len() < 5);
+            if let Some(o) = opt {
+                prop_assert!(o < 4);
+            }
+            prop_assert!(s.len() <= 16);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(x, 0);
+            let _ = Just(7usize).generate(&mut crate::test_runner::TestRng::from_name("j"));
+        }
+    }
+}

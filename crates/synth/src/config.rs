@@ -95,7 +95,10 @@ impl SynthConfig {
             ("domain_word_fraction", self.domain_word_fraction),
             ("sentiment_authority_corr", self.sentiment_authority_corr),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
         }
     }
 }
@@ -122,12 +125,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "probability")]
     fn bad_probability_rejected() {
-        SynthConfig { copy_rate: 1.5, ..Default::default() }.validate();
+        SynthConfig {
+            copy_rate: 1.5,
+            ..Default::default()
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "at least one blogger")]
     fn zero_bloggers_rejected() {
-        SynthConfig { bloggers: 0, ..Default::default() }.validate();
+        SynthConfig {
+            bloggers: 0,
+            ..Default::default()
+        }
+        .validate();
     }
 }

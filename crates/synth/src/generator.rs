@@ -115,8 +115,10 @@ pub fn generate(cfg: &SynthConfig) -> SynthOutput {
     // Post-to-post links: each post cites earlier posts, preferring posts by
     // high-authority bloggers.
     if posts.len() > 1 && cfg.mean_post_links > 0.0 {
-        let post_weights: Vec<f64> =
-            posts.iter().map(|p| 0.05 + authority[p.author.index()]).collect();
+        let post_weights: Vec<f64> = posts
+            .iter()
+            .map(|p| 0.05 + authority[p.author.index()])
+            .collect();
         for k in (1..posts.len()).rev() {
             let n_links = skewed_count(&mut rng, cfg.mean_post_links, 8);
             if n_links == 0 {
@@ -158,10 +160,12 @@ pub fn generate(cfg: &SynthConfig) -> SynthOutput {
             let sentiment = draw_sentiment(cfg, &mut rng, q);
             let template = match sentiment {
                 Sentiment::Positive => {
-                    POSITIVE_COMMENT_TEMPLATES[rng.random_range(0..POSITIVE_COMMENT_TEMPLATES.len())]
+                    POSITIVE_COMMENT_TEMPLATES
+                        [rng.random_range(0..POSITIVE_COMMENT_TEMPLATES.len())]
                 }
                 Sentiment::Negative => {
-                    NEGATIVE_COMMENT_TEMPLATES[rng.random_range(0..NEGATIVE_COMMENT_TEMPLATES.len())]
+                    NEGATIVE_COMMENT_TEMPLATES
+                        [rng.random_range(0..NEGATIVE_COMMENT_TEMPLATES.len())]
                 }
                 Sentiment::Neutral => {
                     NEUTRAL_COMMENT_TEMPLATES[rng.random_range(0..NEUTRAL_COMMENT_TEMPLATES.len())]
@@ -177,9 +181,20 @@ pub fn generate(cfg: &SynthConfig) -> SynthOutput {
         }
     }
 
-    let dataset = Dataset { bloggers, posts, domains };
+    let dataset = Dataset {
+        bloggers,
+        posts,
+        domains,
+    };
     debug_assert!(dataset.validate().is_ok());
-    SynthOutput { dataset, truth: GroundTruth { authority, primary_domain, domain_relevance } }
+    SynthOutput {
+        dataset,
+        truth: GroundTruth {
+            authority,
+            primary_domain,
+            domain_relevance,
+        },
+    }
 }
 
 fn generate_post(
@@ -253,10 +268,16 @@ mod tests {
     #[test]
     fn generated_dataset_is_consistent() {
         let out = generate(&SynthConfig::default());
-        out.dataset.validate().expect("generator must produce consistent data");
+        out.dataset
+            .validate()
+            .expect("generator must produce consistent data");
         assert_eq!(out.dataset.bloggers.len(), 200);
         assert_eq!(out.truth.len(), 200);
-        assert!(out.dataset.posts.len() > 200, "posts: {}", out.dataset.posts.len());
+        assert!(
+            out.dataset.posts.len() > 200,
+            "posts: {}",
+            out.dataset.posts.len()
+        );
     }
 
     #[test]
@@ -275,7 +296,10 @@ mod tests {
         let max = out.truth.authority.iter().cloned().fold(0.0, f64::max);
         assert!((max - 1.0).abs() < 1e-12);
         let above_half = out.truth.authority.iter().filter(|&&a| a > 0.5).count();
-        assert!(above_half < out.truth.len() / 10, "too many strong bloggers: {above_half}");
+        assert!(
+            above_half < out.truth.len() / 10,
+            "too many strong bloggers: {above_half}"
+        );
     }
 
     #[test]
@@ -284,8 +308,12 @@ mod tests {
         for (i, rel) in out.truth.domain_relevance.iter().enumerate() {
             assert!((rel.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             let primary = out.truth.primary_domain[i].index();
-            let max_idx =
-                rel.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+            let max_idx = rel
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
             assert_eq!(max_idx, primary);
         }
     }
@@ -306,11 +334,9 @@ mod tests {
         let out = generate(&SynthConfig::default());
         let ix = out.dataset.index();
         let top = out.truth.top_k_general(10);
-        let top_comments: u32 =
-            top.iter().map(|&b| ix.comments_received(b)).sum();
+        let top_comments: u32 = top.iter().map(|&b| ix.comments_received(b)).sum();
         let bottom: Vec<_> = {
-            let mut ids: Vec<BloggerId> =
-                (0..out.truth.len()).map(BloggerId::new).collect();
+            let mut ids: Vec<BloggerId> = (0..out.truth.len()).map(BloggerId::new).collect();
             ids.sort_by(|&a, &b| {
                 out.truth.authority[a.index()]
                     .partial_cmp(&out.truth.authority[b.index()])
@@ -328,7 +354,10 @@ mod tests {
 
     #[test]
     fn copies_exist_at_configured_rate() {
-        let out = generate(&SynthConfig { copy_rate: 0.3, ..Default::default() });
+        let out = generate(&SynthConfig {
+            copy_rate: 0.3,
+            ..Default::default()
+        });
         let copies = out
             .dataset
             .posts
@@ -341,7 +370,10 @@ mod tests {
 
     #[test]
     fn zero_copy_rate_produces_no_marked_copies() {
-        let out = generate(&SynthConfig { copy_rate: 0.0, ..Default::default() });
+        let out = generate(&SynthConfig {
+            copy_rate: 0.0,
+            ..Default::default()
+        });
         for p in &out.dataset.posts {
             assert_eq!(mass_text::novelty::novelty_from_markers(&p.text), 1.0);
         }
@@ -349,13 +381,19 @@ mod tests {
 
     #[test]
     fn sentiment_tags_follow_probability() {
-        let all = generate(&SynthConfig { tag_sentiment_prob: 1.0, ..SynthConfig::tiny(5) });
+        let all = generate(&SynthConfig {
+            tag_sentiment_prob: 1.0,
+            ..SynthConfig::tiny(5)
+        });
         for p in &all.dataset.posts {
             for c in &p.comments {
                 assert!(c.sentiment.is_some());
             }
         }
-        let none = generate(&SynthConfig { tag_sentiment_prob: 0.0, ..SynthConfig::tiny(5) });
+        let none = generate(&SynthConfig {
+            tag_sentiment_prob: 0.0,
+            ..SynthConfig::tiny(5)
+        });
         for p in &none.dataset.posts {
             for c in &p.comments {
                 assert!(c.sentiment.is_none());
@@ -367,7 +405,10 @@ mod tests {
     fn comment_texts_carry_their_sentiment() {
         // The lexicon analyzer should agree with the generated tag far more
         // often than chance — the texts are built from sentiment templates.
-        let out = generate(&SynthConfig { tag_sentiment_prob: 1.0, ..Default::default() });
+        let out = generate(&SynthConfig {
+            tag_sentiment_prob: 1.0,
+            ..Default::default()
+        });
         let lex = mass_text::sentiment::SentimentLexicon::default();
         let mut agree = 0usize;
         let mut total = 0usize;
@@ -379,14 +420,20 @@ mod tests {
                 }
             }
         }
-        assert!(total > 100, "expected a real comment population, got {total}");
+        assert!(
+            total > 100,
+            "expected a real comment population, got {total}"
+        );
         let rate = agree as f64 / total as f64;
         assert!(rate > 0.9, "lexicon agreement only {rate:.2}");
     }
 
     #[test]
     fn single_blogger_corpus_has_no_comments() {
-        let out = generate(&SynthConfig { bloggers: 1, ..SynthConfig::tiny(1) });
+        let out = generate(&SynthConfig {
+            bloggers: 1,
+            ..SynthConfig::tiny(1)
+        });
         out.dataset.validate().unwrap();
         for p in &out.dataset.posts {
             assert!(p.comments.is_empty());

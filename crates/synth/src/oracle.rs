@@ -27,7 +27,11 @@ pub struct JudgePanelConfig {
 
 impl Default for JudgePanelConfig {
     fn default() -> Self {
-        JudgePanelConfig { judges: 10, noise: 0.5, seed: 1234 }
+        JudgePanelConfig {
+            judges: 10,
+            noise: 0.5,
+            seed: 1234,
+        }
     }
 }
 
@@ -59,7 +63,11 @@ impl<'a> JudgePanel<'a> {
                     .fold(f64::MIN_POSITIVE, f64::max)
             })
             .collect();
-        JudgePanel { truth, config, anchors }
+        JudgePanel {
+            truth,
+            config,
+            anchors,
+        }
     }
 
     /// Mean 1–5 applicability score the panel gives `blogger` for a
@@ -140,7 +148,13 @@ mod tests {
     #[test]
     fn scores_stay_on_the_1_to_5_scale() {
         let t = truth();
-        let panel = JudgePanel::new(&t, JudgePanelConfig { noise: 3.0, ..Default::default() });
+        let panel = JudgePanel::new(
+            &t,
+            JudgePanelConfig {
+                noise: 3.0,
+                ..Default::default()
+            },
+        );
         for b in 0..t.len() {
             for d in 0..2 {
                 let s = panel.score(BloggerId::new(b), DomainId::new(d));
@@ -176,6 +190,12 @@ mod tests {
     #[should_panic(expected = "at least one judge")]
     fn zero_judges_rejected() {
         let t = truth();
-        let _ = JudgePanel::new(&t, JudgePanelConfig { judges: 0, ..Default::default() });
+        let _ = JudgePanel::new(
+            &t,
+            JudgePanelConfig {
+                judges: 0,
+                ..Default::default()
+            },
+        );
     }
 }

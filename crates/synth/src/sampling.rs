@@ -48,7 +48,10 @@ impl WeightedSampler {
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weight must be finite and non-negative: {w}");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weight must be finite and non-negative: {w}"
+            );
             acc += w;
             cumulative.push(acc);
         }
@@ -60,7 +63,10 @@ impl WeightedSampler {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let target = rng.random::<f64>() * total;
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&target).expect("finite")) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&target).expect("finite"))
+        {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -103,7 +109,10 @@ mod tests {
         }
         assert!(counts[0] > counts[1]);
         assert!(counts[1] > counts[5]);
-        assert!(counts.iter().all(|&c| c > 0), "all ranks should appear: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "all ranks should appear: {counts:?}"
+        );
     }
 
     #[test]

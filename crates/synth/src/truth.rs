@@ -73,11 +73,7 @@ mod tests {
         GroundTruth {
             authority: vec![1.0, 5.0, 3.0],
             primary_domain: vec![DomainId::new(0), DomainId::new(1), DomainId::new(0)],
-            domain_relevance: vec![
-                vec![0.9, 0.1],
-                vec![0.2, 0.8],
-                vec![0.7, 0.3],
-            ],
+            domain_relevance: vec![vec![0.9, 0.1], vec![0.2, 0.8], vec![0.7, 0.3]],
         }
     }
 

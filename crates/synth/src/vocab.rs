@@ -10,81 +10,313 @@
 pub const DOMAIN_VOCAB: [&[&str]; 10] = [
     // Travel
     &[
-        "travel", "hotel", "flight", "beach", "vacation", "resort", "passport", "airport",
-        "tour", "luggage", "itinerary", "destination", "island", "cruise", "backpack",
-        "hostel", "visa", "sightseeing", "souvenir", "journey", "mountain", "temple",
-        "museum", "roadtrip", "camping",
+        "travel",
+        "hotel",
+        "flight",
+        "beach",
+        "vacation",
+        "resort",
+        "passport",
+        "airport",
+        "tour",
+        "luggage",
+        "itinerary",
+        "destination",
+        "island",
+        "cruise",
+        "backpack",
+        "hostel",
+        "visa",
+        "sightseeing",
+        "souvenir",
+        "journey",
+        "mountain",
+        "temple",
+        "museum",
+        "roadtrip",
+        "camping",
     ],
     // Computer
     &[
-        "computer", "software", "programming", "code", "compiler", "algorithm", "database",
-        "keyboard", "laptop", "server", "linux", "windows", "debug", "network", "internet",
-        "browser", "hardware", "processor", "memory", "opensource", "developer", "python",
-        "java", "rust", "framework",
+        "computer",
+        "software",
+        "programming",
+        "code",
+        "compiler",
+        "algorithm",
+        "database",
+        "keyboard",
+        "laptop",
+        "server",
+        "linux",
+        "windows",
+        "debug",
+        "network",
+        "internet",
+        "browser",
+        "hardware",
+        "processor",
+        "memory",
+        "opensource",
+        "developer",
+        "python",
+        "java",
+        "rust",
+        "framework",
     ],
     // Communication
     &[
-        "communication", "phone", "mobile", "messenger", "email", "chat", "telecom",
-        "wireless", "broadband", "signal", "carrier", "sms", "voip", "antenna", "satellite",
-        "bandwidth", "roaming", "handset", "dialup", "modem", "conference", "voicemail",
-        "bluetooth", "nokia", "operator",
+        "communication",
+        "phone",
+        "mobile",
+        "messenger",
+        "email",
+        "chat",
+        "telecom",
+        "wireless",
+        "broadband",
+        "signal",
+        "carrier",
+        "sms",
+        "voip",
+        "antenna",
+        "satellite",
+        "bandwidth",
+        "roaming",
+        "handset",
+        "dialup",
+        "modem",
+        "conference",
+        "voicemail",
+        "bluetooth",
+        "nokia",
+        "operator",
     ],
     // Education
     &[
-        "education", "school", "teacher", "student", "classroom", "homework", "exam",
-        "university", "college", "curriculum", "lecture", "tuition", "scholarship", "degree",
-        "kindergarten", "textbook", "professor", "campus", "semester", "graduate", "tutoring",
-        "literacy", "learning", "diploma", "thesis",
+        "education",
+        "school",
+        "teacher",
+        "student",
+        "classroom",
+        "homework",
+        "exam",
+        "university",
+        "college",
+        "curriculum",
+        "lecture",
+        "tuition",
+        "scholarship",
+        "degree",
+        "kindergarten",
+        "textbook",
+        "professor",
+        "campus",
+        "semester",
+        "graduate",
+        "tutoring",
+        "literacy",
+        "learning",
+        "diploma",
+        "thesis",
     ],
     // Economics
     &[
-        "economics", "economy", "market", "stock", "inflation", "recession", "investment",
-        "finance", "bank", "interest", "trade", "currency", "gdp", "unemployment", "budget",
-        "tax", "mortgage", "depression", "bond", "dividend", "portfolio", "credit",
-        "deficit", "exchange", "monetary",
+        "economics",
+        "economy",
+        "market",
+        "stock",
+        "inflation",
+        "recession",
+        "investment",
+        "finance",
+        "bank",
+        "interest",
+        "trade",
+        "currency",
+        "gdp",
+        "unemployment",
+        "budget",
+        "tax",
+        "mortgage",
+        "depression",
+        "bond",
+        "dividend",
+        "portfolio",
+        "credit",
+        "deficit",
+        "exchange",
+        "monetary",
     ],
     // Military
     &[
-        "military", "army", "navy", "soldier", "weapon", "defense", "missile", "tank",
-        "aircraft", "battalion", "strategy", "war", "veteran", "submarine", "radar",
-        "infantry", "artillery", "commander", "fortress", "ammunition", "brigade",
-        "airforce", "frigate", "recon", "deployment",
+        "military",
+        "army",
+        "navy",
+        "soldier",
+        "weapon",
+        "defense",
+        "missile",
+        "tank",
+        "aircraft",
+        "battalion",
+        "strategy",
+        "war",
+        "veteran",
+        "submarine",
+        "radar",
+        "infantry",
+        "artillery",
+        "commander",
+        "fortress",
+        "ammunition",
+        "brigade",
+        "airforce",
+        "frigate",
+        "recon",
+        "deployment",
     ],
     // Sports
     &[
-        "sports", "football", "basketball", "match", "team", "league", "goal", "score",
-        "tournament", "athlete", "coach", "stadium", "championship", "olympics", "tennis",
-        "marathon", "fitness", "training", "soccer", "baseball", "referee", "medal",
-        "sprint", "volleyball", "swimming",
+        "sports",
+        "football",
+        "basketball",
+        "match",
+        "team",
+        "league",
+        "goal",
+        "score",
+        "tournament",
+        "athlete",
+        "coach",
+        "stadium",
+        "championship",
+        "olympics",
+        "tennis",
+        "marathon",
+        "fitness",
+        "training",
+        "soccer",
+        "baseball",
+        "referee",
+        "medal",
+        "sprint",
+        "volleyball",
+        "swimming",
     ],
     // Medicine
     &[
-        "medicine", "doctor", "hospital", "patient", "surgery", "vaccine", "diagnosis",
-        "therapy", "pharmacy", "nurse", "clinic", "symptom", "treatment", "prescription",
-        "cardiology", "immunity", "virus", "antibiotic", "wellness", "nutrition",
-        "anatomy", "oncology", "pediatric", "dosage", "recovery",
+        "medicine",
+        "doctor",
+        "hospital",
+        "patient",
+        "surgery",
+        "vaccine",
+        "diagnosis",
+        "therapy",
+        "pharmacy",
+        "nurse",
+        "clinic",
+        "symptom",
+        "treatment",
+        "prescription",
+        "cardiology",
+        "immunity",
+        "virus",
+        "antibiotic",
+        "wellness",
+        "nutrition",
+        "anatomy",
+        "oncology",
+        "pediatric",
+        "dosage",
+        "recovery",
     ],
     // Art
     &[
-        "art", "painting", "gallery", "sculpture", "artist", "canvas", "exhibition",
-        "portrait", "museum", "sketch", "watercolor", "photography", "design", "poetry",
-        "novel", "theater", "opera", "ballet", "melody", "symphony", "palette",
-        "calligraphy", "ceramics", "mural", "aesthetic",
+        "art",
+        "painting",
+        "gallery",
+        "sculpture",
+        "artist",
+        "canvas",
+        "exhibition",
+        "portrait",
+        "museum",
+        "sketch",
+        "watercolor",
+        "photography",
+        "design",
+        "poetry",
+        "novel",
+        "theater",
+        "opera",
+        "ballet",
+        "melody",
+        "symphony",
+        "palette",
+        "calligraphy",
+        "ceramics",
+        "mural",
+        "aesthetic",
     ],
     // Politics
     &[
-        "politics", "election", "government", "policy", "senator", "parliament", "campaign",
-        "vote", "democracy", "legislation", "congress", "diplomat", "candidate", "reform",
-        "constitution", "ballot", "coalition", "referendum", "minister", "embassy",
-        "governance", "lobbying", "treaty", "summit", "debate",
+        "politics",
+        "election",
+        "government",
+        "policy",
+        "senator",
+        "parliament",
+        "campaign",
+        "vote",
+        "democracy",
+        "legislation",
+        "congress",
+        "diplomat",
+        "candidate",
+        "reform",
+        "constitution",
+        "ballot",
+        "coalition",
+        "referendum",
+        "minister",
+        "embassy",
+        "governance",
+        "lobbying",
+        "treaty",
+        "summit",
+        "debate",
     ],
 ];
 
 /// Domain-neutral filler mixed into every post.
 pub const GENERAL_WORDS: &[&str] = &[
-    "today", "yesterday", "week", "friend", "people", "life", "time", "thing", "world",
-    "story", "share", "write", "read", "blog", "post", "think", "feel", "idea", "home",
-    "work", "morning", "night", "photo", "update", "news",
+    "today",
+    "yesterday",
+    "week",
+    "friend",
+    "people",
+    "life",
+    "time",
+    "thing",
+    "world",
+    "story",
+    "share",
+    "write",
+    "read",
+    "blog",
+    "post",
+    "think",
+    "feel",
+    "idea",
+    "home",
+    "work",
+    "morning",
+    "night",
+    "photo",
+    "update",
+    "news",
 ];
 
 /// Positive comment templates (`{}` is replaced with a domain word), used

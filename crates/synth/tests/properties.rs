@@ -7,14 +7,14 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
     (
-        1usize..60,      // bloggers
-        0.0f64..6.0,     // mean posts per blogger
-        0.5f64..1.5,     // authority exponent
-        0.0f64..1.0,     // copy rate
-        0.0f64..1.0,     // tag prob
-        0.3f64..0.9,     // domain word fraction
-        0.0f64..1.0,     // sentiment correlation
-        any::<u64>(),    // seed
+        1usize..60,   // bloggers
+        0.0f64..6.0,  // mean posts per blogger
+        0.5f64..1.5,  // authority exponent
+        0.0f64..1.0,  // copy rate
+        0.0f64..1.0,  // tag prob
+        0.3f64..0.9,  // domain word fraction
+        0.0f64..1.0,  // sentiment correlation
+        any::<u64>(), // seed
     )
         .prop_map(
             |(bloggers, ppb, exp, copy, tag, dwf, corr, seed)| SynthConfig {

@@ -48,7 +48,13 @@ pub struct DiscoveryParams {
 
 impl Default for DiscoveryParams {
     fn default() -> Self {
-        DiscoveryParams { topics: 10, vocabulary: 400, seed_separation: 1.5, join_threshold: 2.0, min_neighbourhood: 3 }
+        DiscoveryParams {
+            topics: 10,
+            vocabulary: 400,
+            seed_separation: 1.5,
+            join_threshold: 2.0,
+            min_neighbourhood: 3,
+        }
     }
 }
 
@@ -137,11 +143,16 @@ impl TopicModel {
 /// frequent terms.
 pub fn discover_topics(docs: &[&str], params: &DiscoveryParams) -> TopicModel {
     assert!(params.topics > 0, "must request at least one topic");
-    assert!(params.vocabulary >= params.topics, "vocabulary smaller than topic count");
+    assert!(
+        params.vocabulary >= params.topics,
+        "vocabulary smaller than topic count"
+    );
 
     // 1. Document frequency over tokenized docs.
-    let token_sets: Vec<HashSet<String>> =
-        docs.iter().map(|d| tokenize(d).into_iter().collect()).collect();
+    let token_sets: Vec<HashSet<String>> = docs
+        .iter()
+        .map(|d| tokenize(d).into_iter().collect())
+        .collect();
     let mut df: HashMap<&str, u32> = HashMap::new();
     for set in &token_sets {
         for t in set {
@@ -159,20 +170,28 @@ pub fn discover_topics(docs: &[&str], params: &DiscoveryParams) -> TopicModel {
     vocab.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
     vocab.truncate(params.vocabulary);
     if vocab.is_empty() {
-        return TopicModel { topics: Vec::new(), membership: HashMap::new() };
+        return TopicModel {
+            topics: Vec::new(),
+            membership: HashMap::new(),
+        };
     }
 
     // 2. Pairwise co-occurrence lift over the kept vocabulary:
     //    lift(a, b) = N·docs(a ∧ b) / (df(a)·df(b)) — 1 under independence,
     //    ≫ 1 for terms of the same topic. Lift (unlike overlap ratios) is
     //    immune to ubiquitous filler terms that co-occur with everything.
-    let term_index: HashMap<&str, usize> =
-        vocab.iter().enumerate().map(|(i, &(t, _))| (t, i)).collect();
+    let term_index: HashMap<&str, usize> = vocab
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, _))| (t, i))
+        .collect();
     let v = vocab.len();
     let mut cooc = vec![0u32; v * v];
     for set in &token_sets {
-        let present: Vec<usize> =
-            set.iter().filter_map(|t| term_index.get(t.as_str()).copied()).collect();
+        let present: Vec<usize> = set
+            .iter()
+            .filter_map(|t| term_index.get(t.as_str()).copied())
+            .collect();
         for (pos, &a) in present.iter().enumerate() {
             for &b in &present[pos + 1..] {
                 cooc[a * v + b] += 1;
@@ -189,7 +208,11 @@ pub fn discover_topics(docs: &[&str], params: &DiscoveryParams) -> TopicModel {
     // 3. Seed selection: frequent terms with a real co-occurrence
     //    neighbourhood, mutually independent of every already-chosen seed.
     let support: Vec<usize> = (0..v)
-        .map(|i| (0..v).filter(|&j| j != i && sim(i, j) >= params.join_threshold).count())
+        .map(|i| {
+            (0..v)
+                .filter(|&j| j != i && sim(i, j) >= params.join_threshold)
+                .count()
+        })
         .collect();
     let mut seeds: Vec<usize> = Vec::new();
     for (i, &sup) in support.iter().enumerate() {
@@ -268,7 +291,11 @@ mod tests {
         let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         discover_topics(
             &refs,
-            &DiscoveryParams { topics: 3, vocabulary: 50, ..Default::default() },
+            &DiscoveryParams {
+                topics: 3,
+                vocabulary: 50,
+                ..Default::default()
+            },
         )
     }
 
@@ -284,10 +311,17 @@ mod tests {
         ] {
             let homes: Vec<Option<usize>> = theme
                 .iter()
-                .map(|t| m.topics().iter().position(|topic| topic.terms.iter().any(|x| x == t)))
+                .map(|t| {
+                    m.topics()
+                        .iter()
+                        .position(|topic| topic.terms.iter().any(|x| x == t))
+                })
                 .collect();
             assert!(homes[0].is_some(), "{theme:?} not clustered");
-            assert!(homes.windows(2).all(|w| w[0] == w[1]), "{theme:?} split: {homes:?}");
+            assert!(
+                homes.windows(2).all(|w| w[0] == w[1]),
+                "{theme:?} split: {homes:?}"
+            );
         }
     }
 
@@ -295,8 +329,13 @@ mod tests {
     fn assignment_peaks_on_the_right_topic() {
         let m = model();
         let dist = m.assign("booked a hotel and a flight to the beach");
-        let best = m.classify("booked a hotel and a flight to the beach").unwrap();
-        assert!(m.topics()[best].terms.iter().any(|t| t == "hotel" || t == "travel"));
+        let best = m
+            .classify("booked a hotel and a flight to the beach")
+            .unwrap();
+        assert!(m.topics()[best]
+            .terms
+            .iter()
+            .any(|t| t == "hotel" || t == "travel"));
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
@@ -325,7 +364,11 @@ mod tests {
         let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         let m = discover_topics(
             &refs,
-            &DiscoveryParams { topics: 3, vocabulary: 50, ..Default::default() },
+            &DiscoveryParams {
+                topics: 3,
+                vocabulary: 50,
+                ..Default::default()
+            },
         );
         let nb = m.bootstrap_classifier(&refs).expect("classifier trains");
         let mut agree = 0;
@@ -334,7 +377,11 @@ mod tests {
                 agree += 1;
             }
         }
-        assert!(agree as f64 / refs.len() as f64 > 0.9, "agreement {agree}/{}", refs.len());
+        assert!(
+            agree as f64 / refs.len() as f64 > 0.9,
+            "agreement {agree}/{}",
+            refs.len()
+        );
     }
 
     #[test]
@@ -348,8 +395,18 @@ mod tests {
     #[test]
     fn homogeneous_corpus_collapses_topics() {
         let docs = vec!["same words every time"; 20];
-        let m = discover_topics(&docs, &DiscoveryParams { topics: 5, ..Default::default() });
-        assert!(m.len() <= 1, "found {} topics in a one-theme corpus", m.len());
+        let m = discover_topics(
+            &docs,
+            &DiscoveryParams {
+                topics: 5,
+                ..Default::default()
+            },
+        );
+        assert!(
+            m.len() <= 1,
+            "found {} topics in a one-theme corpus",
+            m.len()
+        );
     }
 
     #[test]
@@ -362,6 +419,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one topic")]
     fn zero_topics_rejected() {
-        let _ = discover_topics(&["x"], &DiscoveryParams { topics: 0, ..Default::default() });
+        let _ = discover_topics(
+            &["x"],
+            &DiscoveryParams {
+                topics: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -97,7 +97,10 @@ mod tests {
     fn nike_ad_maps_to_sports() {
         // The paper's running example: Nike would pick Sports.
         let m = miner();
-        assert_eq!(m.dominant_domain("premium shoes for football and basketball"), DomainId::new(1));
+        assert_eq!(
+            m.dominant_domain("premium shoes for football and basketball"),
+            DomainId::new(1)
+        );
     }
 
     #[test]

@@ -49,8 +49,10 @@ impl NaiveBayesTrainer {
         assert!(class < self.classes, "class {class} out of range");
         self.class_docs[class] += 1;
         for t in tokens {
-            let entry =
-                self.term_counts.entry(t.to_string()).or_insert_with(|| vec![0; self.classes]);
+            let entry = self
+                .term_counts
+                .entry(t.to_string())
+                .or_insert_with(|| vec![0; self.classes]);
             entry[class] += 1;
             self.class_tokens[class] += 1;
         }
@@ -70,16 +72,19 @@ impl NaiveBayesTrainer {
             .filter(|(_, counts)| counts.iter().sum::<u32>() >= min_term_count.max(1))
             .collect();
         vocab.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic model
-        // Recompute per-class token totals over the surviving vocabulary so
-        // the multinomial distributions stay properly normalised.
+                                             // Recompute per-class token totals over the surviving vocabulary so
+                                             // the multinomial distributions stay properly normalised.
         let mut class_tokens = vec![0u64; self.classes];
         for (_, counts) in &vocab {
             for (c, &n) in counts.iter().enumerate() {
                 class_tokens[c] += n as u64;
             }
         }
-        let term_index: HashMap<String, usize> =
-            vocab.iter().enumerate().map(|(i, (t, _))| (t.clone(), i)).collect();
+        let term_index: HashMap<String, usize> = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (t.clone(), i))
+            .collect();
         let term_class_counts = vocab.into_iter().map(|(_, c)| c).collect();
         NaiveBayes {
             classes: self.classes,
@@ -136,8 +141,7 @@ impl NaiveBayes {
             if let Some(&idx) = self.term_index.get(t) {
                 let counts = &self.term_class_counts[idx];
                 for (c, score) in scores.iter_mut().enumerate() {
-                    let likelihood =
-                        (counts[c] as f64 + 1.0) / (self.class_tokens[c] as f64 + v);
+                    let likelihood = (counts[c] as f64 + 1.0) / (self.class_tokens[c] as f64 + v);
                     *score += likelihood.ln();
                 }
             }

@@ -50,7 +50,10 @@ pub struct NoveltyParams {
 
 impl Default for NoveltyParams {
     fn default() -> Self {
-        NoveltyParams { shingle_len: 4, duplicate_threshold: 0.8 }
+        NoveltyParams {
+            shingle_len: 4,
+            duplicate_threshold: 0.8,
+        }
     }
 }
 
@@ -92,7 +95,10 @@ impl NoveltyDetector {
             params.duplicate_threshold > 0.0 && params.duplicate_threshold <= 1.0,
             "duplicate_threshold must be in (0, 1]"
         );
-        NoveltyDetector { params, seen_shingles: HashSet::new() }
+        NoveltyDetector {
+            params,
+            seen_shingles: HashSet::new(),
+        }
     }
 
     /// Scores `text` against the corpus so far, then adds it to the corpus.
@@ -102,14 +108,18 @@ impl NoveltyDetector {
         let overlap = if shingles.is_empty() {
             0.0
         } else {
-            let seen = shingles.iter().filter(|s| self.seen_shingles.contains(s)).count();
+            let seen = shingles
+                .iter()
+                .filter(|s| self.seen_shingles.contains(s))
+                .count();
             seen as f64 / shingles.len() as f64
         };
         self.seen_shingles.extend(shingles);
 
         if overlap >= self.params.duplicate_threshold {
             // Near-duplicate: squeeze into (0, 0.1], lower for higher overlap.
-            let dup_score = 0.1 * (1.0 - overlap).max(0.01) / (1.0 - self.params.duplicate_threshold).max(0.01);
+            let dup_score =
+                0.1 * (1.0 - overlap).max(0.01) / (1.0 - self.params.duplicate_threshold).max(0.01);
             marker_score.min(dup_score.clamp(0.001, 0.1))
         } else {
             marker_score
@@ -130,7 +140,10 @@ impl NoveltyDetector {
             }
             return vec![hash_tokens(&tokens)];
         }
-        tokens.windows(self.params.shingle_len).map(hash_tokens).collect()
+        tokens
+            .windows(self.params.shingle_len)
+            .map(hash_tokens)
+            .collect()
     }
 }
 
@@ -155,7 +168,10 @@ mod tests {
 
     #[test]
     fn original_text_scores_one() {
-        assert_eq!(novelty_from_markers("my own thoughts on rust databases"), 1.0);
+        assert_eq!(
+            novelty_from_markers("my own thoughts on rust databases"),
+            1.0
+        );
     }
 
     #[test]
@@ -210,19 +226,26 @@ mod tests {
     #[test]
     fn marker_beats_shingle_when_lower() {
         let mut d = NoveltyDetector::default();
-        let s = d.score_and_add("reprinted reprinted something fresh entirely new words here today");
+        let s =
+            d.score_and_add("reprinted reprinted something fresh entirely new words here today");
         assert!(s <= 0.1);
     }
 
     #[test]
     #[should_panic(expected = "shingle_len")]
     fn zero_shingle_len_rejected() {
-        let _ = NoveltyDetector::new(NoveltyParams { shingle_len: 0, duplicate_threshold: 0.5 });
+        let _ = NoveltyDetector::new(NoveltyParams {
+            shingle_len: 0,
+            duplicate_threshold: 0.5,
+        });
     }
 
     #[test]
     #[should_panic(expected = "duplicate_threshold")]
     fn bad_threshold_rejected() {
-        let _ = NoveltyDetector::new(NoveltyParams { shingle_len: 4, duplicate_threshold: 1.5 });
+        let _ = NoveltyDetector::new(NoveltyParams {
+            shingle_len: 4,
+            duplicate_threshold: 1.5,
+        });
     }
 }

@@ -60,7 +60,10 @@ impl InvertedIndex {
         }
         let len: u32 = tf.values().sum();
         for (term, count) in tf {
-            self.postings.entry(term).or_default().push((id as u32, count));
+            self.postings
+                .entry(term)
+                .or_default()
+                .push((id as u32, count));
         }
         let n = self.doc_len.len() as f64;
         self.avg_len = (self.avg_len * n + f64::from(len)) / (n + 1.0);
@@ -92,7 +95,9 @@ impl InvertedIndex {
         }
         let mut scores: HashMap<u32, f64> = HashMap::new();
         for term in tokenize(query) {
-            let Some(postings) = self.postings.get(&term) else { continue };
+            let Some(postings) = self.postings.get(&term) else {
+                continue;
+            };
             let df = postings.len() as f64;
             // BM25 idf, floored at a small positive value so ubiquitous
             // terms cannot produce negative scores.
@@ -108,7 +113,9 @@ impl InvertedIndex {
         let mut ranked: Vec<(usize, f64)> =
             scores.into_iter().map(|(d, s)| (d as usize, s)).collect();
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).expect("scores are finite").then_with(|| a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then_with(|| a.0.cmp(&b.0))
         });
         ranked.truncate(k);
         ranked

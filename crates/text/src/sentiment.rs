@@ -12,23 +12,85 @@ use std::collections::HashSet;
 
 /// Positive seed words; the first three are the paper's own examples.
 const POSITIVE_WORDS: &[&str] = &[
-    "agree", "support", "conform", "amazing", "awesome", "beautiful", "best", "brilliant",
-    "congrats", "congratulations", "cool", "enjoy", "enjoyed", "excellent", "fantastic",
-    "favorite", "glad", "good", "great", "helpful", "impressive", "informative", "inspiring",
-    "interesting", "like", "liked", "love", "loved", "nice", "perfect", "recommend", "right",
-    "thank", "thanks", "true", "useful", "well", "wonderful", "wow", "yes",
+    "agree",
+    "support",
+    "conform",
+    "amazing",
+    "awesome",
+    "beautiful",
+    "best",
+    "brilliant",
+    "congrats",
+    "congratulations",
+    "cool",
+    "enjoy",
+    "enjoyed",
+    "excellent",
+    "fantastic",
+    "favorite",
+    "glad",
+    "good",
+    "great",
+    "helpful",
+    "impressive",
+    "informative",
+    "inspiring",
+    "interesting",
+    "like",
+    "liked",
+    "love",
+    "loved",
+    "nice",
+    "perfect",
+    "recommend",
+    "right",
+    "thank",
+    "thanks",
+    "true",
+    "useful",
+    "well",
+    "wonderful",
+    "wow",
+    "yes",
 ];
 
 /// Negative seed words.
 const NEGATIVE_WORDS: &[&str] = &[
-    "awful", "bad", "boring", "disagree", "disappointed", "disappointing", "dislike", "doubt",
-    "fail", "failed", "false", "hate", "horrible", "incorrect", "misleading", "mistake",
-    "nonsense", "object", "oppose", "poor", "reject", "sad", "stupid", "terrible", "ugly",
-    "useless", "waste", "worst", "wrong",
+    "awful",
+    "bad",
+    "boring",
+    "disagree",
+    "disappointed",
+    "disappointing",
+    "dislike",
+    "doubt",
+    "fail",
+    "failed",
+    "false",
+    "hate",
+    "horrible",
+    "incorrect",
+    "misleading",
+    "mistake",
+    "nonsense",
+    "object",
+    "oppose",
+    "poor",
+    "reject",
+    "sad",
+    "stupid",
+    "terrible",
+    "ugly",
+    "useless",
+    "waste",
+    "worst",
+    "wrong",
 ];
 
 /// Negation words that flip the polarity of the next few tokens.
-const NEGATIONS: &[&str] = &["not", "no", "never", "cannot", "cant", "dont", "doesnt", "isnt", "wont", "didnt"];
+const NEGATIONS: &[&str] = &[
+    "not", "no", "never", "cannot", "cant", "dont", "doesnt", "isnt", "wont", "didnt",
+];
 
 /// How many tokens after a negation have their polarity flipped.
 const NEGATION_WINDOW: usize = 2;
@@ -124,14 +186,20 @@ mod tests {
     #[test]
     fn clear_negative() {
         let lex = SentimentLexicon::default();
-        assert_eq!(lex.classify("this is terrible and wrong"), Sentiment::Negative);
+        assert_eq!(
+            lex.classify("this is terrible and wrong"),
+            Sentiment::Negative
+        );
         assert_eq!(lex.classify("I disagree completely"), Sentiment::Negative);
     }
 
     #[test]
     fn neutral_when_no_signal_or_tied() {
         let lex = SentimentLexicon::default();
-        assert_eq!(lex.classify("the post discusses databases"), Sentiment::Neutral);
+        assert_eq!(
+            lex.classify("the post discusses databases"),
+            Sentiment::Neutral
+        );
         assert_eq!(lex.classify("good but wrong"), Sentiment::Neutral);
         assert_eq!(lex.classify(""), Sentiment::Neutral);
     }
@@ -148,7 +216,10 @@ mod tests {
     fn negation_window_is_bounded() {
         let lex = SentimentLexicon::default();
         // "good" is 4 tokens after "not": outside the window, stays positive.
-        assert_eq!(lex.classify("not that it matters really good"), Sentiment::Positive);
+        assert_eq!(
+            lex.classify("not that it matters really good"),
+            Sentiment::Positive
+        );
     }
 
     #[test]

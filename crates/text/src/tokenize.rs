@@ -84,12 +84,20 @@ impl TermCounts {
         if self.total == 0 || other.total == 0 {
             return 0.0;
         }
-        let (small, large) =
-            if self.distinct() <= other.distinct() { (self, other) } else { (other, self) };
-        let dot: f64 =
-            small.iter().map(|(t, c)| c as f64 * large.get(t) as f64).sum();
+        let (small, large) = if self.distinct() <= other.distinct() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let dot: f64 = small
+            .iter()
+            .map(|(t, c)| c as f64 * large.get(t) as f64)
+            .sum();
         let norm = |tc: &TermCounts| {
-            tc.iter().map(|(_, c)| (c as f64).powi(2)).sum::<f64>().sqrt()
+            tc.iter()
+                .map(|(_, c)| (c as f64).powi(2))
+                .sum::<f64>()
+                .sqrt()
         };
         let denom = norm(self) * norm(other);
         if denom == 0.0 {

@@ -1,6 +1,8 @@
 //! Property-based tests for the text-mining substrate.
 
-use mass_text::{tokenize, tokenize_keep_stopwords, NaiveBayesTrainer, SentimentLexicon, TermCounts};
+use mass_text::{
+    tokenize, tokenize_keep_stopwords, NaiveBayesTrainer, SentimentLexicon, TermCounts,
+};
 use mass_types::Sentiment;
 use proptest::prelude::*;
 

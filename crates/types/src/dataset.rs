@@ -43,18 +43,27 @@ impl Dataset {
 
     /// Iterates `(id, blogger)` pairs.
     pub fn bloggers_enumerated(&self) -> impl Iterator<Item = (BloggerId, &Blogger)> {
-        self.bloggers.iter().enumerate().map(|(i, b)| (BloggerId::new(i), b))
+        self.bloggers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BloggerId::new(i), b))
     }
 
     /// Iterates `(id, post)` pairs.
     pub fn posts_enumerated(&self) -> impl Iterator<Item = (PostId, &Post)> {
-        self.posts.iter().enumerate().map(|(i, p)| (PostId::new(i), p))
+        self.posts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PostId::new(i), p))
     }
 
     /// Finds a blogger by exact display name (names need not be unique; the
     /// first match wins).
     pub fn blogger_by_name(&self, name: &str) -> Option<BloggerId> {
-        self.bloggers.iter().position(|b| b.name == name).map(BloggerId::new)
+        self.bloggers
+            .iter()
+            .position(|b| b.name == name)
+            .map(BloggerId::new)
     }
 
     /// Validates referential integrity; [`DatasetBuilder::build`] calls this,
@@ -65,14 +74,23 @@ impl Dataset {
         for (pidx, post) in self.posts.iter().enumerate() {
             let pid = PostId::new(pidx);
             if post.author.index() >= nb {
-                return Err(Error::UnknownAuthor { post: pid, author: post.author });
+                return Err(Error::UnknownAuthor {
+                    post: pid,
+                    author: post.author,
+                });
             }
             for c in &post.comments {
                 if c.commenter.index() >= nb {
-                    return Err(Error::UnknownCommenter { post: pid, commenter: c.commenter });
+                    return Err(Error::UnknownCommenter {
+                        post: pid,
+                        commenter: c.commenter,
+                    });
                 }
                 if c.commenter == post.author {
-                    return Err(Error::SelfComment { post: pid, blogger: c.commenter });
+                    return Err(Error::SelfComment {
+                        post: pid,
+                        blogger: c.commenter,
+                    });
                 }
             }
             for &target in &post.links_to {
@@ -96,7 +114,10 @@ impl Dataset {
         for (bidx, blogger) in self.bloggers.iter().enumerate() {
             for &friend in &blogger.friends {
                 if friend.index() >= nb {
-                    return Err(Error::UnknownFriend { blogger: BloggerId::new(bidx), friend });
+                    return Err(Error::UnknownFriend {
+                        blogger: BloggerId::new(bidx),
+                        friend,
+                    });
                 }
             }
         }
@@ -175,12 +196,22 @@ pub struct DatasetBuilder {
 impl DatasetBuilder {
     /// Starts an empty dataset with the paper's ten-domain catalogue.
     pub fn new() -> Self {
-        DatasetBuilder { dataset: Dataset { domains: DomainSet::paper(), ..Default::default() } }
+        DatasetBuilder {
+            dataset: Dataset {
+                domains: DomainSet::paper(),
+                ..Default::default()
+            },
+        }
     }
 
     /// Starts an empty dataset with a custom domain catalogue.
     pub fn with_domains(domains: DomainSet) -> Self {
-        DatasetBuilder { dataset: Dataset { domains, ..Default::default() } }
+        DatasetBuilder {
+            dataset: Dataset {
+                domains,
+                ..Default::default()
+            },
+        }
     }
 
     /// Adds a blogger with an empty profile.
@@ -242,9 +273,11 @@ impl DatasetBuilder {
         text: impl Into<String>,
         sentiment: Option<Sentiment>,
     ) {
-        self.dataset.posts[post.index()]
-            .comments
-            .push(Comment { commenter, text: text.into(), sentiment });
+        self.dataset.posts[post.index()].comments.push(Comment {
+            commenter,
+            text: text.into(),
+            sentiment,
+        });
     }
 
     /// Records that `from` links to `to` in the post link graph.
@@ -310,7 +343,10 @@ mod tests {
         b.comment(p, a, "me!", None);
         assert_eq!(
             b.build().unwrap_err(),
-            Error::SelfComment { post: PostId::new(0), blogger: a }
+            Error::SelfComment {
+                post: PostId::new(0),
+                blogger: a
+            }
         );
     }
 
@@ -319,28 +355,42 @@ mod tests {
         let mut b = toy();
         let p = PostId::new(0);
         b.comment(p, BloggerId::new(99), "ghost", None);
-        assert!(matches!(b.build().unwrap_err(), Error::UnknownCommenter { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            Error::UnknownCommenter { .. }
+        ));
     }
 
     #[test]
     fn unknown_friend_rejected() {
         let mut b = toy();
         b.friend(BloggerId::new(0), BloggerId::new(50));
-        assert!(matches!(b.build().unwrap_err(), Error::UnknownFriend { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            Error::UnknownFriend { .. }
+        ));
     }
 
     #[test]
     fn self_link_rejected() {
         let mut b = toy();
         b.link_posts(PostId::new(0), PostId::new(0));
-        assert_eq!(b.build().unwrap_err(), Error::SelfLink { post: PostId::new(0) });
+        assert_eq!(
+            b.build().unwrap_err(),
+            Error::SelfLink {
+                post: PostId::new(0)
+            }
+        );
     }
 
     #[test]
     fn unknown_linked_post_rejected() {
         let mut b = toy();
         b.link_posts(PostId::new(0), PostId::new(77));
-        assert!(matches!(b.build().unwrap_err(), Error::UnknownLinkedPost { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            Error::UnknownLinkedPost { .. }
+        ));
     }
 
     #[test]
@@ -348,14 +398,20 @@ mod tests {
         let mut b = DatasetBuilder::new();
         let a = b.blogger("A");
         b.post_in_domain(a, "t", "x", DomainId::new(10)); // catalogue has 10 => max index 9
-        assert!(matches!(b.build().unwrap_err(), Error::UnknownDomain { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            Error::UnknownDomain { .. }
+        ));
     }
 
     #[test]
     fn unknown_author_rejected() {
         let mut b = DatasetBuilder::new();
         b.add_post(Post::new(BloggerId::new(5), "t", "x"));
-        assert!(matches!(b.build().unwrap_err(), Error::UnknownAuthor { .. }));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            Error::UnknownAuthor { .. }
+        ));
     }
 
     #[test]
@@ -397,8 +453,17 @@ mod tests {
     #[test]
     fn enumerated_iterators_pair_ids() {
         let ds = toy().build().unwrap();
-        let ids: Vec<_> = ds.bloggers_enumerated().map(|(i, b)| (i, b.name.clone())).collect();
-        assert_eq!(ids, vec![(BloggerId::new(0), "A".into()), (BloggerId::new(1), "C".into())]);
+        let ids: Vec<_> = ds
+            .bloggers_enumerated()
+            .map(|(i, b)| (i, b.name.clone()))
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                (BloggerId::new(0), "A".into()),
+                (BloggerId::new(1), "C".into())
+            ]
+        );
         assert_eq!(ds.posts_enumerated().count(), 1);
     }
 }

@@ -42,7 +42,10 @@ impl DomainSet {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut set = DomainSet { names: Vec::new(), by_name: HashMap::new() };
+        let mut set = DomainSet {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        };
         for name in names {
             set.insert(name.into());
         }
@@ -161,7 +164,10 @@ mod tests {
     fn iter_yields_pairs() {
         let d = DomainSet::new(["X", "Y"]);
         let pairs: Vec<_> = d.iter().collect();
-        assert_eq!(pairs, vec![(DomainId::new(0), "X"), (DomainId::new(1), "Y")]);
+        assert_eq!(
+            pairs,
+            vec![(DomainId::new(0), "X"), (DomainId::new(1), "Y")]
+        );
         assert_eq!(d.ids().count(), 2);
     }
 

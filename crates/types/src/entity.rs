@@ -65,7 +65,11 @@ pub struct Comment {
 impl Comment {
     /// Creates an untagged comment; sentiment is left to the analyzer.
     pub fn new(commenter: BloggerId, text: impl Into<String>) -> Self {
-        Comment { commenter, text: text.into(), sentiment: None }
+        Comment {
+            commenter,
+            text: text.into(),
+            sentiment: None,
+        }
     }
 
     /// The effective sentiment: the explicit tag if present, else
@@ -139,12 +143,20 @@ pub struct Blogger {
 impl Blogger {
     /// Creates a blogger with an empty profile and no links.
     pub fn new(name: impl Into<String>) -> Self {
-        Blogger { name: name.into(), profile: String::new(), friends: Vec::new() }
+        Blogger {
+            name: name.into(),
+            profile: String::new(),
+            friends: Vec::new(),
+        }
     }
 
     /// Creates a blogger with a profile.
     pub fn with_profile(name: impl Into<String>, profile: impl Into<String>) -> Self {
-        Blogger { name: name.into(), profile: profile.into(), friends: Vec::new() }
+        Blogger {
+            name: name.into(),
+            profile: profile.into(),
+            friends: Vec::new(),
+        }
     }
 }
 
@@ -171,7 +183,10 @@ mod tests {
     fn default_sentiment_is_neutral() {
         let c = Comment::new(BloggerId::new(0), "hm");
         assert_eq!(c.effective_sentiment(), Sentiment::Neutral);
-        let tagged = Comment { sentiment: Some(Sentiment::Positive), ..c };
+        let tagged = Comment {
+            sentiment: Some(Sentiment::Positive),
+            ..c
+        };
         assert_eq!(tagged.effective_sentiment(), Sentiment::Positive);
     }
 

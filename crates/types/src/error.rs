@@ -14,11 +14,18 @@ pub enum Error {
     /// A comment references a commenter id that is not a blogger.
     UnknownCommenter { post: PostId, commenter: BloggerId },
     /// A friend link points at a blogger id outside the dataset.
-    UnknownFriend { blogger: BloggerId, friend: BloggerId },
+    UnknownFriend {
+        blogger: BloggerId,
+        friend: BloggerId,
+    },
     /// A post-to-post link points at a post id outside the dataset.
     UnknownLinkedPost { post: PostId, target: PostId },
     /// A post's `true_domain` index exceeds the domain catalogue.
-    UnknownDomain { post: PostId, domain: usize, catalogue_len: usize },
+    UnknownDomain {
+        post: PostId,
+        domain: usize,
+        catalogue_len: usize,
+    },
     /// A blogger commented on their own post; the paper's influence flow is
     /// between peers, so self-comments are rejected at build time.
     SelfComment { post: PostId, blogger: BloggerId },
@@ -61,19 +68,30 @@ mod tests {
 
     #[test]
     fn display_messages_name_the_ids() {
-        let e = Error::UnknownCommenter { post: PostId::new(3), commenter: BloggerId::new(9) };
+        let e = Error::UnknownCommenter {
+            post: PostId::new(3),
+            commenter: BloggerId::new(9),
+        };
         assert_eq!(e.to_string(), "post p3 has comment from unknown blogger b9");
-        let e = Error::SelfLink { post: PostId::new(1) };
+        let e = Error::SelfLink {
+            post: PostId::new(1),
+        };
         assert!(e.to_string().contains("p1"));
-        let e = Error::UnknownDomain { post: PostId::new(2), domain: 11, catalogue_len: 10 };
+        let e = Error::UnknownDomain {
+            post: PostId::new(2),
+            domain: 11,
+            catalogue_len: 10,
+        };
         assert!(e.to_string().contains("11"));
         assert!(e.to_string().contains("10"));
     }
 
     #[test]
     fn error_is_std_error() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(Error::SelfComment { post: PostId::new(0), blogger: BloggerId::new(0) });
+        let e: Box<dyn std::error::Error> = Box::new(Error::SelfComment {
+            post: PostId::new(0),
+            blogger: BloggerId::new(0),
+        });
         assert!(e.to_string().contains("own post"));
     }
 }

@@ -1,7 +1,9 @@
 //! Property-based tests for the data model: any dataset the strategy can
 //! produce must index consistently and validate deterministically.
 
-use mass_types::{Blogger, BloggerId, Comment, Dataset, DatasetBuilder, DomainId, Post, PostId, Sentiment};
+use mass_types::{
+    Blogger, BloggerId, Comment, Dataset, DatasetBuilder, DomainId, Post, PostId, Sentiment,
+};
 use proptest::prelude::*;
 
 /// Strategy: a structurally valid dataset with up to 12 bloggers, 20 posts,
@@ -10,10 +12,10 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..12, 0usize..20).prop_flat_map(|(nb, np)| {
         let posts = proptest::collection::vec(
             (
-                0..nb,                                   // author
-                ".{0,40}",                               // text
+                0..nb,                                                 // author
+                ".{0,40}",                                             // text
                 proptest::collection::vec((0..nb, any::<u8>()), 0..6), // comments
-                proptest::option::of(0..10usize),        // true domain
+                proptest::option::of(0..10usize),                      // true domain
             ),
             np..=np,
         );

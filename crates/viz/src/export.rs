@@ -61,7 +61,10 @@ pub fn to_xml_string(net: &PostReplyNetwork) -> String {
 pub fn from_xml_str(xml: &str) -> Result<PostReplyNetwork> {
     let root = Element::parse(xml)?;
     if root.name != "network" {
-        return Err(Error::Schema(format!("expected <network>, found <{}>", root.name)));
+        return Err(Error::Schema(format!(
+            "expected <network>, found <{}>",
+            root.name
+        )));
     }
     let focus = match root.attr("focus") {
         Some(f) => Some(BloggerId::new(f.parse::<usize>().map_err(|_| {
@@ -116,7 +119,11 @@ pub fn from_xml_str(xml: &str) -> Result<PostReplyNetwork> {
         }
         edges.push(edge);
     }
-    Ok(PostReplyNetwork { nodes, edges, focus })
+    Ok(PostReplyNetwork {
+        nodes,
+        edges,
+        focus,
+    })
 }
 
 /// Emits Graphviz DOT: node labels are blogger names, edge labels the
@@ -126,13 +133,20 @@ pub fn to_dot(net: &PostReplyNetwork) -> String {
     out.push_str("  node [shape=ellipse];\n");
     for (i, node) in net.nodes.iter().enumerate() {
         let label = node.name.replace('"', "\\\"");
-        let peripheries = if net.focus == Some(node.blogger) { 2 } else { 1 };
+        let peripheries = if net.focus == Some(node.blogger) {
+            2
+        } else {
+            1
+        };
         out.push_str(&format!(
             "  n{i} [label=\"{label}\", peripheries={peripheries}];\n"
         ));
     }
     for e in &net.edges {
-        out.push_str(&format!("  n{} -> n{} [label=\"{}\"];\n", e.from, e.to, e.comments));
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{}\"];\n",
+            e.from, e.to, e.comments
+        ));
     }
     out.push_str("}\n");
     out
@@ -142,10 +156,37 @@ pub fn to_dot(net: &PostReplyNetwork) -> String {
 pub fn to_graphml(net: &PostReplyNetwork) -> String {
     let mut w = XmlWriter::new();
     w.declaration();
-    w.open_with_attrs("graphml", &[("xmlns", "http://graphml.graphdrawing.org/xmlns")]);
-    w.leaf_with_attrs("key", &[("id", "name"), ("for", "node"), ("attr.name", "name"), ("attr.type", "string")]);
-    w.leaf_with_attrs("key", &[("id", "influence"), ("for", "node"), ("attr.name", "influence"), ("attr.type", "double")]);
-    w.leaf_with_attrs("key", &[("id", "comments"), ("for", "edge"), ("attr.name", "comments"), ("attr.type", "int")]);
+    w.open_with_attrs(
+        "graphml",
+        &[("xmlns", "http://graphml.graphdrawing.org/xmlns")],
+    );
+    w.leaf_with_attrs(
+        "key",
+        &[
+            ("id", "name"),
+            ("for", "node"),
+            ("attr.name", "name"),
+            ("attr.type", "string"),
+        ],
+    );
+    w.leaf_with_attrs(
+        "key",
+        &[
+            ("id", "influence"),
+            ("for", "node"),
+            ("attr.name", "influence"),
+            ("attr.type", "double"),
+        ],
+    );
+    w.leaf_with_attrs(
+        "key",
+        &[
+            ("id", "comments"),
+            ("for", "edge"),
+            ("attr.name", "comments"),
+            ("attr.type", "int"),
+        ],
+    );
     w.open_with_attrs("graph", &[("id", "postreply"), ("edgedefault", "directed")]);
     for (i, node) in net.nodes.iter().enumerate() {
         w.open_with_attrs("node", &[("id", &format!("n{i}"))]);
@@ -238,7 +279,10 @@ mod tests {
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("label=\"Amery \\\"The Ace\\\"\""));
         assert!(dot.contains("[label=\"2\"]"), "edge weight missing: {dot}");
-        assert!(dot.contains("peripheries=2"), "focus node should be highlighted");
+        assert!(
+            dot.contains("peripheries=2"),
+            "focus node should be highlighted"
+        );
     }
 
     #[test]

@@ -11,8 +11,11 @@ use std::collections::BTreeSet;
 /// Keeps only edges with at least `min_comments`, then drops nodes left
 /// isolated (the focus blogger is always kept).
 pub fn filter_min_weight(net: &PostReplyNetwork, min_comments: u32) -> PostReplyNetwork {
-    let kept_edges: Vec<&NetworkEdge> =
-        net.edges.iter().filter(|e| e.comments >= min_comments).collect();
+    let kept_edges: Vec<&NetworkEdge> = net
+        .edges
+        .iter()
+        .filter(|e| e.comments >= min_comments)
+        .collect();
     let mut keep: BTreeSet<usize> = kept_edges.iter().flat_map(|e| [e.from, e.to]).collect();
     if let Some(focus) = net.focus {
         if let Some(idx) = net.node_of(focus) {

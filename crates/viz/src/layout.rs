@@ -20,7 +20,11 @@ pub struct LayoutParams {
 
 impl Default for LayoutParams {
     fn default() -> Self {
-        LayoutParams { size: 1000.0, iterations: 60, seed: 42 }
+        LayoutParams {
+            size: 1000.0,
+            iterations: 60,
+            seed: 42,
+        }
     }
 }
 
@@ -156,20 +160,36 @@ mod tests {
         let mut a = network();
         let mut b = network();
         apply_layout(&mut a, &LayoutParams::default());
-        apply_layout(&mut b, &LayoutParams { seed: 7, ..Default::default() });
+        apply_layout(
+            &mut b,
+            &LayoutParams {
+                seed: 7,
+                ..Default::default()
+            },
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn connected_nodes_end_up_closer_than_disconnected() {
         let mut net = network();
-        apply_layout(&mut net, &LayoutParams { iterations: 200, ..Default::default() });
+        apply_layout(
+            &mut net,
+            &LayoutParams {
+                iterations: 200,
+                ..Default::default()
+            },
+        );
         let p = |i: usize| net.nodes[i].position.unwrap();
-        let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+        let dist =
+            |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
         // node order: a, c, d, e — a is commented on by c and d; e is isolated.
         let a_c = dist(p(0), p(1));
         let a_e = dist(p(0), p(3));
-        assert!(a_c < a_e, "connected pair {a_c} should sit closer than isolated {a_e}");
+        assert!(
+            a_c < a_e,
+            "connected pair {a_c} should sit closer than isolated {a_e}"
+        );
     }
 
     #[test]
@@ -178,7 +198,10 @@ mod tests {
         apply_layout(&mut net, &LayoutParams::default());
         for i in 0..net.nodes.len() {
             for j in (i + 1)..net.nodes.len() {
-                let (a, b) = (net.nodes[i].position.unwrap(), net.nodes[j].position.unwrap());
+                let (a, b) = (
+                    net.nodes[i].position.unwrap(),
+                    net.nodes[j].position.unwrap(),
+                );
                 let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
                 assert!(d > 1.0, "nodes {i},{j} collapsed: {d}");
             }

@@ -55,7 +55,10 @@ impl PostReplyNetwork {
     /// # Panics
     /// Panics if `focus` is out of range for the dataset.
     pub fn around(ds: &Dataset, focus: BloggerId, radius: usize) -> Self {
-        assert!(focus.index() < ds.bloggers.len(), "focus blogger out of range");
+        assert!(
+            focus.index() < ds.bloggers.len(),
+            "focus blogger out of range"
+        );
         Self::build_inner(ds, Some(focus), radius)
     }
 
@@ -116,11 +119,19 @@ impl PostReplyNetwork {
             .into_iter()
             .filter_map(|((a, b), w)| {
                 let (&fa, &fb) = (node_index.get(&a)?, node_index.get(&b)?);
-                Some(NetworkEdge { from: fa, to: fb, comments: w })
+                Some(NetworkEdge {
+                    from: fa,
+                    to: fb,
+                    comments: w,
+                })
             })
             .collect();
 
-        PostReplyNetwork { nodes, edges, focus }
+        PostReplyNetwork {
+            nodes,
+            edges,
+            focus,
+        }
     }
 
     /// Attaches influence scores and domain vectors to the node detail

@@ -32,8 +32,7 @@ pub struct NetworkStats {
 /// Computes [`NetworkStats`] for a view.
 pub fn network_stats(net: &PostReplyNetwork) -> NetworkStats {
     let n = net.nodes.len();
-    let edge_set: HashSet<(usize, usize)> =
-        net.edges.iter().map(|e| (e.from, e.to)).collect();
+    let edge_set: HashSet<(usize, usize)> = net.edges.iter().map(|e| (e.from, e.to)).collect();
     let reciprocal = net
         .edges
         .iter()

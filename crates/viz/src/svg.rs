@@ -26,7 +26,12 @@ pub struct SvgParams {
 
 impl Default for SvgParams {
     fn default() -> Self {
-        SvgParams { size: 900.0, node_radius: 6.0, labels: true, edge_labels: true }
+        SvgParams {
+            size: 900.0,
+            node_radius: 6.0,
+            labels: true,
+            edge_labels: true,
+        }
     }
 }
 
@@ -67,8 +72,12 @@ pub fn to_svg(net: &PostReplyNetwork, params: &SvgParams) -> String {
         .map(|&(x, y)| (scale(x, min_x, max_x), scale(y, min_y, max_y)))
         .collect();
 
-    let max_influence =
-        net.nodes.iter().map(|nd| nd.influence).fold(0.0f64, f64::max).max(1e-9);
+    let max_influence = net
+        .nodes
+        .iter()
+        .map(|nd| nd.influence)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
     let mut svg = String::new();
     let _ = writeln!(
         svg,
@@ -101,7 +110,11 @@ pub fn to_svg(net: &PostReplyNetwork, params: &SvgParams) -> String {
         let r = params.node_radius * (1.0 + 1.5 * (node.influence / max_influence));
         let is_focus = net.focus == Some(node.blogger);
         let fill = if is_focus { "#d95f02" } else { "#1b9e77" };
-        let stroke = if is_focus { "stroke=\"#7a3300\" stroke-width=\"2\" " } else { "" };
+        let stroke = if is_focus {
+            "stroke=\"#7a3300\" stroke-width=\"2\" "
+        } else {
+            ""
+        };
         let _ = writeln!(
             svg,
             r#"  <circle cx="{x:.1}" cy="{y:.1}" r="{r:.1}" fill="{fill}" {stroke}opacity="0.9"/>"#
@@ -120,7 +133,9 @@ pub fn to_svg(net: &PostReplyNetwork, params: &SvgParams) -> String {
 }
 
 fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
-    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| (lo.min(v), hi.max(v)))
+    values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
 }
 
 #[cfg(test)]
@@ -180,7 +195,11 @@ mod tests {
 
     #[test]
     fn labels_can_be_disabled() {
-        let params = SvgParams { labels: false, edge_labels: false, ..Default::default() };
+        let params = SvgParams {
+            labels: false,
+            edge_labels: false,
+            ..Default::default()
+        };
         let svg = to_svg(&network(true), &params);
         assert_eq!(svg.matches("<text").count(), 0);
     }
@@ -203,6 +222,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "canvas size")]
     fn zero_canvas_rejected() {
-        let _ = to_svg(&PostReplyNetwork::default(), &SvgParams { size: 0.0, ..Default::default() });
+        let _ = to_svg(
+            &PostReplyNetwork::default(),
+            &SvgParams {
+                size: 0.0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -1,28 +1,28 @@
 //! Property-based tests for the visualisation layer.
 
 use mass_types::{BloggerId, Dataset, DatasetBuilder};
-use mass_viz::{apply_layout, from_xml_str, to_dot, to_graphml, to_xml_string, LayoutParams, PostReplyNetwork};
+use mass_viz::{
+    apply_layout, from_xml_str, to_dot, to_graphml, to_xml_string, LayoutParams, PostReplyNetwork,
+};
 use proptest::prelude::*;
 
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..10, 0usize..16).prop_flat_map(|(nb, np)| {
-        proptest::collection::vec(
-            (0..nb, proptest::collection::vec(0..nb, 0..4)),
-            np..=np,
-        )
-        .prop_map(move |specs| {
-            let mut b = DatasetBuilder::new();
-            let ids: Vec<BloggerId> = (0..nb).map(|i| b.blogger(format!("blogger {i}"))).collect();
-            for (author, commenters) in specs {
-                let p = b.post(ids[author], "t", "some words");
-                for c in commenters {
-                    if c != author {
-                        b.comment(p, ids[c], "hi", None);
+        proptest::collection::vec((0..nb, proptest::collection::vec(0..nb, 0..4)), np..=np)
+            .prop_map(move |specs| {
+                let mut b = DatasetBuilder::new();
+                let ids: Vec<BloggerId> =
+                    (0..nb).map(|i| b.blogger(format!("blogger {i}"))).collect();
+                for (author, commenters) in specs {
+                    let p = b.post(ids[author], "t", "some words");
+                    for c in commenters {
+                        if c != author {
+                            b.comment(p, ids[c], "hi", None);
+                        }
                     }
                 }
-            }
-            b.build().unwrap()
-        })
+                b.build().unwrap()
+            })
     })
 }
 

@@ -122,7 +122,10 @@ pub fn to_xml_string(ds: &Dataset) -> String {
 pub fn from_xml_str(xml: &str) -> Result<Dataset> {
     let root = Element::parse(xml)?;
     if root.name != "blogosphere" {
-        return Err(Error::schema(format!("expected <blogosphere>, found <{}>", root.name)));
+        return Err(Error::schema(format!(
+            "expected <blogosphere>, found <{}>",
+            root.name
+        )));
     }
 
     let mut domains = DomainSet::new(Vec::<String>::new());
@@ -158,7 +161,9 @@ pub fn from_xml_str(xml: &str) -> Result<Dataset> {
             }
             if let Some(fr) = b.child("friends") {
                 for f in fr.elements_named("friend") {
-                    blogger.friends.push(BloggerId::new(f.require_usize("ref")?));
+                    blogger
+                        .friends
+                        .push(BloggerId::new(f.require_usize("ref")?));
                 }
             }
             bloggers.push(blogger);
@@ -198,14 +203,22 @@ pub fn from_xml_str(xml: &str) -> Result<Dataset> {
                         })?),
                         None => None,
                     };
-                    post.comments.push(Comment { commenter, text: c.text(), sentiment });
+                    post.comments.push(Comment {
+                        commenter,
+                        text: c.text(),
+                        sentiment,
+                    });
                 }
             }
             posts.push(post);
         }
     }
 
-    let ds = Dataset { bloggers, posts, domains };
+    let ds = Dataset {
+        bloggers,
+        posts,
+        domains,
+    };
     ds.validate()?;
     Ok(ds)
 }
@@ -232,7 +245,12 @@ mod tests {
         let amery = b.blogger_with_profile("Amery", "CS & economics blogger");
         let bob = b.blogger("Bob");
         let cary = b.blogger("Cary <the critic>");
-        let p1 = b.post_in_domain(amery, "Post1", "programming \"skills\" & tips", DomainId::new(1));
+        let p1 = b.post_in_domain(
+            amery,
+            "Post1",
+            "programming \"skills\" & tips",
+            DomainId::new(1),
+        );
         let p2 = b.post(amery, "Post2", "economic depression trends");
         let p3 = b.post(bob, "Post3", "more computer science");
         b.comment(p1, bob, "I agree & support this", Some(Sentiment::Positive));
@@ -271,7 +289,10 @@ mod tests {
 
     #[test]
     fn wrong_root_rejected() {
-        assert!(matches!(from_xml_str("<nope/>").unwrap_err(), Error::Schema(_)));
+        assert!(matches!(
+            from_xml_str("<nope/>").unwrap_err(),
+            Error::Schema(_)
+        ));
     }
 
     #[test]
@@ -300,7 +321,10 @@ mod tests {
           <bloggers><blogger id="0" name="a"/></bloggers>
           <posts><post id="0" author="5"><title>t</title><text>x</text></post></posts>
         </blogosphere>"#;
-        assert!(matches!(from_xml_str(xml).unwrap_err(), Error::Validation(_)));
+        assert!(matches!(
+            from_xml_str(xml).unwrap_err(),
+            Error::Validation(_)
+        ));
     }
 
     #[test]
@@ -317,7 +341,10 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(load("/nonexistent/mass.xml").unwrap_err(), Error::Io(_)));
+        assert!(matches!(
+            load("/nonexistent/mass.xml").unwrap_err(),
+            Error::Io(_)
+        ));
     }
 
     #[test]
@@ -325,6 +352,9 @@ mod tests {
         let ds = sample();
         let back = from_xml_str(&to_xml_string(&ds)).unwrap();
         assert_eq!(back.posts[0].comments[1].sentiment, None);
-        assert_eq!(back.posts[0].comments[0].sentiment, Some(Sentiment::Positive));
+        assert_eq!(
+            back.posts[0].comments[0].sentiment,
+            Some(Sentiment::Positive)
+        );
     }
 }

@@ -25,7 +25,10 @@ pub enum Error {
 
 impl Error {
     pub(crate) fn syntax(offset: usize, message: impl Into<String>) -> Self {
-        Error::Syntax { offset, message: message.into() }
+        Error::Syntax {
+            offset,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn schema(message: impl Into<String>) -> Self {
@@ -87,6 +90,8 @@ mod tests {
 
     #[test]
     fn schema_error_displays() {
-        assert!(Error::schema("missing <posts>").to_string().contains("missing <posts>"));
+        assert!(Error::schema("missing <posts>")
+            .to_string()
+            .contains("missing <posts>"));
     }
 }

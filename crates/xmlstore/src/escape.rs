@@ -8,7 +8,9 @@ use std::borrow::Cow;
 /// is the common case for post bodies.
 pub fn escape(s: &str) -> Cow<'_, str> {
     let first = s.find(['&', '<', '>', '"', '\''].as_slice());
-    let Some(first) = first else { return Cow::Borrowed(s) };
+    let Some(first) = first else {
+        return Cow::Borrowed(s);
+    };
     let mut out = String::with_capacity(s.len() + 8);
     out.push_str(&s[..first]);
     for ch in s[first..].chars() {
@@ -68,13 +70,14 @@ fn decode_entity(s: &str) -> Option<(char, usize)> {
         "quot" => '"',
         "apos" => '\'',
         _ => {
-            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
-                u32::from_str_radix(hex, 16).ok()?
-            } else if let Some(dec) = body.strip_prefix('#') {
-                dec.parse::<u32>().ok()?
-            } else {
-                return None;
-            };
+            let code =
+                if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
             char::from_u32(code)?
         }
     };

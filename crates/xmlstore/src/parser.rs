@@ -48,7 +48,11 @@ pub struct Parser<'a> {
 impl<'a> Parser<'a> {
     /// Creates a parser over a complete document.
     pub fn new(input: &'a str) -> Self {
-        Parser { input: input.as_bytes(), pos: 0, stack: Vec::new() }
+        Parser {
+            input: input.as_bytes(),
+            pos: 0,
+            stack: Vec::new(),
+        }
     }
 
     /// Current byte offset, for error reporting by callers.
@@ -61,7 +65,10 @@ impl<'a> Parser<'a> {
         loop {
             if self.pos >= self.input.len() {
                 if let Some(open) = self.stack.pop() {
-                    return Err(Error::syntax(self.pos, format!("unclosed element <{open}>")));
+                    return Err(Error::syntax(
+                        self.pos,
+                        format!("unclosed element <{open}>"),
+                    ));
                 }
                 return Ok(Event::Eof);
             }
@@ -170,9 +177,10 @@ impl<'a> Parser<'a> {
         self.pos += 1;
         match self.stack.pop() {
             Some(open) if open == name => Ok(Event::End { name }),
-            Some(open) => {
-                Err(Error::syntax(start, format!("expected </{open}>, found </{name}>")))
-            }
+            Some(open) => Err(Error::syntax(
+                start,
+                format!("expected </{open}>, found </{name}>"),
+            )),
             None => Err(Error::syntax(start, format!("unmatched end tag </{name}>"))),
         }
     }
@@ -185,18 +193,29 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_whitespace();
             if self.pos >= self.input.len() {
-                return Err(Error::syntax(start, format!("unterminated start tag <{name}")));
+                return Err(Error::syntax(
+                    start,
+                    format!("unterminated start tag <{name}"),
+                ));
             }
             match self.peek() {
                 b'>' => {
                     self.pos += 1;
                     self.stack.push(name.clone());
-                    return Ok(Event::Start { name, attributes, self_closing: false });
+                    return Ok(Event::Start {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
                 }
                 b'/' => {
                     if self.input.get(self.pos + 1) == Some(&b'>') {
                         self.pos += 2;
-                        return Ok(Event::Start { name, attributes, self_closing: true });
+                        return Ok(Event::Start {
+                            name,
+                            attributes,
+                            self_closing: true,
+                        });
                     }
                     return Err(Error::syntax(self.pos, "expected '/>'"));
                 }
@@ -235,7 +254,10 @@ impl<'a> Parser<'a> {
             .expect("name bytes are ASCII")
             .to_string();
         if name.as_bytes()[0].is_ascii_digit() || name.starts_with('-') || name.starts_with('.') {
-            return Err(Error::syntax(start, format!("invalid name start in {name:?}")));
+            return Err(Error::syntax(
+                start,
+                format!("invalid name start in {name:?}"),
+            ));
         }
         Ok(name)
     }
@@ -292,7 +314,11 @@ mod tests {
         assert_eq!(
             evs,
             vec![
-                Event::Start { name: "a".into(), attributes: vec![], self_closing: false },
+                Event::Start {
+                    name: "a".into(),
+                    attributes: vec![],
+                    self_closing: false
+                },
                 Event::Start {
                     name: "b".into(),
                     attributes: vec![("x".into(), "1".into())],
@@ -312,7 +338,11 @@ mod tests {
         assert_eq!(
             evs,
             vec![
-                Event::Start { name: "r".into(), attributes: vec![], self_closing: true },
+                Event::Start {
+                    name: "r".into(),
+                    attributes: vec![],
+                    self_closing: true
+                },
                 Event::Eof
             ]
         );
@@ -334,11 +364,14 @@ mod tests {
     #[test]
     fn entities_decoded_in_text_and_attrs() {
         let evs = events("<t v=\"a&amp;b\">x &lt; y</t>");
-        assert_eq!(evs[0], Event::Start {
-            name: "t".into(),
-            attributes: vec![("v".into(), "a&b".into())],
-            self_closing: false
-        });
+        assert_eq!(
+            evs[0],
+            Event::Start {
+                name: "t".into(),
+                attributes: vec![("v".into(), "a&b".into())],
+                self_closing: false
+            }
+        );
         assert_eq!(evs[1], Event::Text("x < y".into()));
     }
 
@@ -374,7 +407,9 @@ mod tests {
 
     #[test]
     fn doctype_rejected() {
-        let err = Parser::new("<!DOCTYPE html><a/>").into_events().unwrap_err();
+        let err = Parser::new("<!DOCTYPE html><a/>")
+            .into_events()
+            .unwrap_err();
         assert!(err.to_string().contains("not supported"));
     }
 

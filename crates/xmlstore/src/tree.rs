@@ -35,9 +35,11 @@ impl Element {
     pub fn parse(input: &str) -> Result<Element> {
         let mut parser = Parser::new(input);
         let root = match parser.next_event()? {
-            Event::Start { name, attributes, self_closing } => {
-                build_element(&mut parser, name, attributes, self_closing)?
-            }
+            Event::Start {
+                name,
+                attributes,
+                self_closing,
+            } => build_element(&mut parser, name, attributes, self_closing)?,
             Event::Text(_) => {
                 return Err(Error::schema("document has text before the root element"))
             }
@@ -52,7 +54,10 @@ impl Element {
 
     /// Attribute value by name.
     pub fn attr(&self, name: &str) -> Option<&str> {
-        self.attributes.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Attribute value, or a schema error naming the element.
@@ -65,7 +70,10 @@ impl Element {
     pub fn require_usize(&self, name: &str) -> Result<usize> {
         let raw = self.require_attr(name)?;
         raw.parse().map_err(|_| {
-            Error::schema(format!("<{}> attribute {name:?} is not an integer: {raw:?}", self.name))
+            Error::schema(format!(
+                "<{}> attribute {name:?} is not an integer: {raw:?}",
+                self.name
+            ))
         })
     }
 
@@ -73,7 +81,10 @@ impl Element {
     pub fn require_f64(&self, name: &str) -> Result<f64> {
         let raw = self.require_attr(name)?;
         raw.parse().map_err(|_| {
-            Error::schema(format!("<{}> attribute {name:?} is not a number: {raw:?}", self.name))
+            Error::schema(format!(
+                "<{}> attribute {name:?} is not a number: {raw:?}",
+                self.name
+            ))
         })
     }
 
@@ -119,13 +130,21 @@ fn build_element(
     attributes: Vec<(String, String)>,
     self_closing: bool,
 ) -> Result<Element> {
-    let mut el = Element { name, attributes, children: Vec::new() };
+    let mut el = Element {
+        name,
+        attributes,
+        children: Vec::new(),
+    };
     if self_closing {
         return Ok(el);
     }
     loop {
         match parser.next_event()? {
-            Event::Start { name, attributes, self_closing } => {
+            Event::Start {
+                name,
+                attributes,
+                self_closing,
+            } => {
                 let child = build_element(parser, name, attributes, self_closing)?;
                 el.children.push(Node::Element(child));
             }
@@ -145,10 +164,9 @@ mod tests {
 
     #[test]
     fn parse_and_navigate() {
-        let e = Element::parse(
-            "<root v=\"1\"><item id=\"a\">x</item><item id=\"b\"/><other/></root>",
-        )
-        .unwrap();
+        let e =
+            Element::parse("<root v=\"1\"><item id=\"a\">x</item><item id=\"b\"/><other/></root>")
+                .unwrap();
         assert_eq!(e.name, "root");
         assert_eq!(e.attr("v"), Some("1"));
         assert_eq!(e.attr("missing"), None);
@@ -163,10 +181,26 @@ mod tests {
         let e = Element::parse("<p n=\"12\" f=\"2.5\" bad=\"x\"/>").unwrap();
         assert_eq!(e.require_usize("n").unwrap(), 12);
         assert!((e.require_f64("f").unwrap() - 2.5).abs() < 1e-12);
-        assert!(e.require_attr("gone").unwrap_err().to_string().contains("<p>"));
-        assert!(e.require_usize("bad").unwrap_err().to_string().contains("not an integer"));
-        assert!(e.require_f64("bad").unwrap_err().to_string().contains("not a number"));
-        assert!(e.require_child("kid").unwrap_err().to_string().contains("missing child"));
+        assert!(e
+            .require_attr("gone")
+            .unwrap_err()
+            .to_string()
+            .contains("<p>"));
+        assert!(e
+            .require_usize("bad")
+            .unwrap_err()
+            .to_string()
+            .contains("not an integer"));
+        assert!(e
+            .require_f64("bad")
+            .unwrap_err()
+            .to_string()
+            .contains("not a number"));
+        assert!(e
+            .require_child("kid")
+            .unwrap_err()
+            .to_string()
+            .contains("missing child"));
     }
 
     #[test]

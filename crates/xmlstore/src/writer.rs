@@ -36,7 +36,8 @@ impl XmlWriter {
 
     /// Writes the standard `<?xml version="1.0" encoding="UTF-8"?>` header.
     pub fn declaration(&mut self) {
-        self.buf.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.buf
+            .push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
     }
 
     /// Writes an XML comment (`--` sequences inside are replaced with `-·-`

@@ -13,7 +13,11 @@
 use mass::prelude::*;
 
 fn main() {
-    let out = generate(&SynthConfig { bloggers: 400, seed: 11, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 400,
+        seed: 11,
+        ..Default::default()
+    });
     let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let recommender = Recommender::new(&analysis);
 
@@ -23,28 +27,48 @@ fn main() {
               Gear up for the championship season.";
     println!("advertisement text:\n  {ad}\n");
 
-    let mined = recommender.mined_domains(ad, 1.5).expect("classifier trained on tagged corpus");
+    let mined = recommender
+        .mined_domains(ad, 1.5)
+        .expect("classifier trained on tagged corpus");
     println!("domains mined from the advertisement:");
     for (domain, weight) in &mined {
-        println!("  {:<14} {:.1}%", out.dataset.domains.name(*domain), weight * 100.0);
+        println!(
+            "  {:<14} {:.1}%",
+            out.dataset.domains.name(*domain),
+            weight * 100.0
+        );
     }
 
-    let top = recommender.for_advertisement(ad, 3).expect("classifier available");
+    let top = recommender
+        .for_advertisement(ad, 3)
+        .expect("classifier available");
     println!("\nrecommended bloggers for this ad (Inf(b, a_l) = Inf(b, IV) · iv(a_l)):");
     for (rank, (blogger, score)) in top.iter().enumerate() {
-        println!("  {}. {:<14} {score:.4}", rank + 1, out.dataset.blogger(*blogger).name);
+        println!(
+            "  {}. {:<14} {score:.4}",
+            rank + 1,
+            out.dataset.blogger(*blogger).name
+        );
     }
 
     // --- Option 2: explicit domain dropdown ------------------------------
     let sports = out.dataset.domains.id_of("Sports").unwrap();
     println!("\ndropdown option — top-3 in Sports:");
     for (rank, (blogger, score)) in recommender.for_domains(&[sports], 3).iter().enumerate() {
-        println!("  {}. {:<14} {score:.4}", rank + 1, out.dataset.blogger(*blogger).name);
+        println!(
+            "  {}. {:<14} {score:.4}",
+            rank + 1,
+            out.dataset.blogger(*blogger).name
+        );
     }
 
     // --- No domain selected: the general list ----------------------------
     println!("\nno domain selected — general top-3:");
     for (rank, (blogger, score)) in recommender.for_domains(&[], 3).iter().enumerate() {
-        println!("  {}. {:<14} {score:.4}", rank + 1, out.dataset.blogger(*blogger).name);
+        println!(
+            "  {}. {:<14} {score:.4}",
+            rank + 1,
+            out.dataset.blogger(*blogger).name
+        );
     }
 }

@@ -17,15 +17,28 @@ use mass::viz::{apply_layout, LayoutParams};
 fn main() {
     // The "blogosphere": a simulated MSN-Spaces-like host serving a
     // synthetic corpus, with 5% transient fetch failures to exercise retry.
-    let world = generate(&SynthConfig { bloggers: 500, seed: 99, ..Default::default() });
+    let world = generate(&SynthConfig {
+        bloggers: 500,
+        seed: 99,
+        ..Default::default()
+    });
     let host = SimulatedHost::with_config(
         world.dataset,
-        HostConfig { failure_rate: 0.05, ..Default::default() },
-    );
+        HostConfig {
+            failure_rate: 0.05,
+            ..Default::default()
+        },
+    )
+    .expect("valid host config");
 
     // Seed the crawl at a busy space, radius 2, eight worker threads.
-    let config = CrawlConfig { seeds: vec![0], radius: Some(2), threads: 8, ..Default::default() };
-    let result = crawl(&host, &config);
+    let config = CrawlConfig {
+        seeds: vec![0],
+        radius: Some(2),
+        threads: 8,
+        ..Default::default()
+    };
+    let result = crawl(&host, &config).expect("valid crawl config");
     let r = &result.report;
     println!(
         "crawl: {} spaces, {} posts, {} comments in {:?} ({} retries, layers {:?})",
@@ -44,7 +57,11 @@ fn main() {
     println!("\ntop-5 influencers inside the crawled neighbourhood:");
     let top = analysis.top_k_general(5);
     for (rank, (blogger, score)) in top.iter().enumerate() {
-        println!("  {}. {:<14} {score:.4}", rank + 1, dataset.blogger(*blogger).name);
+        println!(
+            "  {}. {:<14} {score:.4}",
+            rank + 1,
+            dataset.blogger(*blogger).name
+        );
     }
 
     // Double-click the #1 blogger: export their post-reply network (Fig. 4).

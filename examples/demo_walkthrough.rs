@@ -19,12 +19,22 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir");
 
     // ── Step 1: "the user can specify a seed … and the radius" ──────────
-    let world = generate(&SynthConfig { bloggers: 800, seed: 2010, ..Default::default() });
+    let world = generate(&SynthConfig {
+        bloggers: 800,
+        seed: 2010,
+        ..Default::default()
+    });
     let host = SimulatedHost::new(world.dataset);
     let crawled = crawl(
         &host,
-        &CrawlConfig { seeds: vec![0], radius: Some(2), threads: 8, ..Default::default() },
-    );
+        &CrawlConfig {
+            seeds: vec![0],
+            radius: Some(2),
+            threads: 8,
+            ..Default::default()
+        },
+    )
+    .expect("valid crawl config");
     println!(
         "step 1 — crawl from seed 0, radius 2: {} spaces, {} posts, {} comments",
         crawled.report.spaces_fetched, crawled.report.posts, crawled.report.comments
@@ -46,7 +56,9 @@ fn main() {
     // ── Step 4: business advertisement, both Fig. 3 options ─────────────
     let recommender = Recommender::new(&analysis);
     let ad = "premium running shoes engineered with our athletes for the marathon season";
-    let mined = recommender.mined_domains(ad, 1.5).expect("tagged corpus trains a classifier");
+    let mined = recommender
+        .mined_domains(ad, 1.5)
+        .expect("tagged corpus trains a classifier");
     println!(
         "step 4 — ad mined into: {}",
         mined
@@ -55,12 +67,18 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let by_ad = recommender.for_advertisement(ad, 3).expect("classifier available");
+    let by_ad = recommender
+        .for_advertisement(ad, 3)
+        .expect("classifier available");
     let sports = dataset.domains.id_of("Sports").unwrap();
     let by_dropdown = recommender.for_domains(&[sports], 3);
     println!(
         "          top-3 by ad text:  {}",
-        by_ad.iter().map(|(b, _)| dataset.blogger(*b).name.clone()).collect::<Vec<_>>().join(", ")
+        by_ad
+            .iter()
+            .map(|(b, _)| dataset.blogger(*b).name.clone())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!(
         "          top-3 by dropdown: {}",
@@ -73,7 +91,11 @@ fn main() {
 
     // ── Step 5: the parameter toolbar ────────────────────────────────────
     for (alpha, beta) in [(0.5, 0.6), (1.0, 0.6), (0.0, 0.6)] {
-        let params = MassParams { alpha, beta, ..MassParams::paper() };
+        let params = MassParams {
+            alpha,
+            beta,
+            ..MassParams::paper()
+        };
         let tuned = MassAnalysis::analyze(&dataset, &params);
         let top = tuned.top_k_general(1)[0];
         println!(
@@ -87,7 +109,11 @@ fn main() {
     let mut net = PostReplyNetwork::around(&dataset, focus, 2);
     net.attach_scores(&analysis.scores.blogger, &analysis.domain_matrix);
     apply_layout(&mut net, &LayoutParams::default());
-    println!("step 6 — network around {}: {}", dataset.blogger(focus).name, mass::viz::network_stats(&net));
+    println!(
+        "step 6 — network around {}: {}",
+        dataset.blogger(focus).name,
+        mass::viz::network_stats(&net)
+    );
 
     // The pop-up for the focus node.
     let node = &net.nodes[net.node_of(focus).unwrap()];
@@ -110,7 +136,11 @@ fn main() {
     let view_svg = dir.join("network.svg");
     let view_dot = dir.join("network.dot");
     std::fs::write(&view_xml, mass::viz::to_xml_string(&readable)).unwrap();
-    std::fs::write(&view_svg, mass::viz::svg::to_svg(&readable, &SvgParams::default())).unwrap();
+    std::fs::write(
+        &view_svg,
+        mass::viz::svg::to_svg(&readable, &SvgParams::default()),
+    )
+    .unwrap();
     std::fs::write(&view_dot, mass::viz::to_dot(&readable)).unwrap();
     let reloaded = mass::viz::from_xml_str(&std::fs::read_to_string(&view_xml).unwrap()).unwrap();
     assert_eq!(readable, reloaded, "the paper's save/load promise");
@@ -121,5 +151,8 @@ fn main() {
         view_svg.display(),
         view_dot.display()
     );
-    println!("\ndemo complete — open {} in a browser for the Fig. 4 picture", view_svg.display());
+    println!(
+        "\ndemo complete — open {} in a browser for the Fig. 4 picture",
+        view_svg.display()
+    );
 }

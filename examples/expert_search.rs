@@ -14,7 +14,11 @@ use mass::core::ExpertSearch;
 use mass::prelude::*;
 
 fn main() {
-    let out = generate(&SynthConfig { bloggers: 400, seed: 61, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 400,
+        seed: 61,
+        ..Default::default()
+    });
     let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let engine = ExpertSearch::build(&out.dataset, &analysis);
     println!("indexed {} posts\n", engine.len());

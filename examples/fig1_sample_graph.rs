@@ -43,9 +43,19 @@ fn main() {
          couple of months: markets, inflation and what banks may do",
         economics,
     );
-    b.comment(post1, bob, "I agree, these debugging habits work", Some(Sentiment::Positive));
+    b.comment(
+        post1,
+        bob,
+        "I agree, these debugging habits work",
+        Some(Sentiment::Positive),
+    );
     b.comment(post1, cary, "what about interpreted languages", None);
-    b.comment(post2, cary, "I support this reading of the market", Some(Sentiment::Positive));
+    b.comment(
+        post2,
+        cary,
+        "I support this reading of the market",
+        Some(Sentiment::Positive),
+    );
 
     // Bob's Post3 and Cary's Post4 (both CS), with their commenters.
     let post3 = b.post_in_domain(
@@ -54,9 +64,19 @@ fn main() {
         "notes on computer architecture and software pipelines",
         computer,
     );
-    b.comment(post3, jane, "nice overview, thanks", Some(Sentiment::Positive));
+    b.comment(
+        post3,
+        jane,
+        "nice overview, thanks",
+        Some(Sentiment::Positive),
+    );
     b.comment(post3, helen, "hm, not sure this holds", None);
-    b.comment(post3, eddie, "agree with the pipeline part", Some(Sentiment::Positive));
+    b.comment(
+        post3,
+        eddie,
+        "agree with the pipeline part",
+        Some(Sentiment::Positive),
+    );
     let post4 = b.post_in_domain(
         cary,
         "Post4",
@@ -64,7 +84,12 @@ fn main() {
         computer,
     );
     b.comment(post4, dolly, "great list", Some(Sentiment::Positive));
-    b.comment(post4, leo, "this is missing the classics, disappointing", Some(Sentiment::Negative));
+    b.comment(
+        post4,
+        leo,
+        "this is missing the classics, disappointing",
+        Some(Sentiment::Negative),
+    );
     b.comment(post4, michael, "bookmarked", None);
 
     let ds = b.build().expect("Fig. 1 graph is consistent");
@@ -72,7 +97,10 @@ fn main() {
 
     // Oracle iv (the figure tells us each post's domain) so the output maps
     // one-to-one onto the picture.
-    let params = MassParams { iv: IvSource::TrueDomains, ..MassParams::paper() };
+    let params = MassParams {
+        iv: IvSource::TrueDomains,
+        ..MassParams::paper()
+    };
     let analysis = MassAnalysis::analyze(&ds, &params);
 
     println!("\nper-post influence Inf(b_i, d_k):");

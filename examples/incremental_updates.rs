@@ -14,7 +14,11 @@ use mass::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let out = generate(&SynthConfig { bloggers: 500, seed: 77, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 500,
+        seed: 77,
+        ..Default::default()
+    });
 
     let t = Instant::now();
     let mut live = IncrementalMass::new(out.dataset, MassParams::paper());
@@ -47,7 +51,10 @@ fn main() {
             },
         );
     }
-    println!("applied {} edits (1 blogger, 1 post, 40 links, 40 comments)", live.pending_edits());
+    println!(
+        "applied {} edits (1 blogger, 1 post, 40 links, 40 comments)",
+        live.pending_edits()
+    );
 
     let t = Instant::now();
     let stats = live.refresh();
@@ -70,5 +77,8 @@ fn main() {
         .position(|(b, _)| *b == star)
         .unwrap()
         + 1;
-    println!("\nthe newcomer now ranks #{rank} of {}", live.dataset().bloggers.len());
+    println!(
+        "\nthe newcomer now ranks #{rank} of {}",
+        live.dataset().bloggers.len()
+    );
 }

@@ -13,7 +13,11 @@
 use mass::prelude::*;
 
 fn main() {
-    let out = generate(&SynthConfig { bloggers: 400, seed: 23, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 400,
+        seed: 23,
+        ..Default::default()
+    });
     let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let recommender = Recommender::new(&analysis);
 
@@ -22,14 +26,21 @@ fn main() {
                    care and vaccine research, and follow new therapy trials.";
     println!("new user profile:\n  {profile}\n");
 
-    let interests =
-        recommender.mined_domains(profile, 1.2).expect("classifier trained on tagged corpus");
+    let interests = recommender
+        .mined_domains(profile, 1.2)
+        .expect("classifier trained on tagged corpus");
     println!("extracted interest domains:");
     for (domain, weight) in &interests {
-        println!("  {:<14} {:.1}%", out.dataset.domains.name(*domain), weight * 100.0);
+        println!(
+            "  {:<14} {:.1}%",
+            out.dataset.domains.name(*domain),
+            weight * 100.0
+        );
     }
 
-    let follows = recommender.for_profile(profile, 3).expect("classifier available");
+    let follows = recommender
+        .for_profile(profile, 3)
+        .expect("classifier available");
     println!("\nbloggers MASS recommends this user follow:");
     for (rank, (blogger, score)) in follows.iter().enumerate() {
         let b = out.dataset.blogger(*blogger);
@@ -40,6 +51,10 @@ fn main() {
     let art = out.dataset.domains.id_of("Art").unwrap();
     println!("\nexisting blogger asks for the Art domain:");
     for (rank, (blogger, score)) in recommender.for_domains(&[art], 3).iter().enumerate() {
-        println!("  {}. {:<14} {score:.4}", rank + 1, out.dataset.blogger(*blogger).name);
+        println!(
+            "  {}. {:<14} {score:.4}",
+            rank + 1,
+            out.dataset.blogger(*blogger).name
+        );
     }
 }

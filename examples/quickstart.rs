@@ -9,7 +9,11 @@ use mass::prelude::*;
 fn main() {
     // A synthetic blogosphere standing in for the paper's MSN-Spaces crawl
     // (the service shut down in 2011; see DESIGN.md §2).
-    let out = generate(&SynthConfig { bloggers: 300, seed: 7, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 300,
+        seed: 7,
+        ..Default::default()
+    });
     println!("corpus: {}", out.dataset.stats());
 
     // The full MASS pipeline with the paper's parameters (α = 0.5, β = 0.6):
@@ -23,7 +27,11 @@ fn main() {
 
     println!("top-5 influential bloggers overall:");
     for (rank, (blogger, score)) in analysis.top_k_general(5).iter().enumerate() {
-        println!("  {}. {:<14} Inf = {score:.4}", rank + 1, out.dataset.blogger(*blogger).name);
+        println!(
+            "  {}. {:<14} Inf = {score:.4}",
+            rank + 1,
+            out.dataset.blogger(*blogger).name
+        );
     }
 
     for name in ["Sports", "Travel", "Economics"] {

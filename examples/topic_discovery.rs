@@ -18,18 +18,36 @@ use mass::text::{discover_topics, DiscoveryParams};
 fn main() {
     // Generate, then throw away the domain tags: this is what a freshly
     // crawled corpus looks like before any human defines categories.
-    let mut out = generate(&SynthConfig { bloggers: 400, seed: 5, ..Default::default() });
+    let mut out = generate(&SynthConfig {
+        bloggers: 400,
+        seed: 5,
+        ..Default::default()
+    });
     for post in &mut out.dataset.posts {
         post.true_domain = None;
     }
 
     // Discover topics from the raw post texts.
-    let docs: Vec<String> =
-        out.dataset.posts.iter().map(|p| format!("{} {}", p.title, p.text)).collect();
+    let docs: Vec<String> = out
+        .dataset
+        .posts
+        .iter()
+        .map(|p| format!("{} {}", p.title, p.text))
+        .collect();
     let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
-    let model = discover_topics(&refs, &DiscoveryParams { topics: 10, ..Default::default() });
+    let model = discover_topics(
+        &refs,
+        &DiscoveryParams {
+            topics: 10,
+            ..Default::default()
+        },
+    );
 
-    println!("discovered {} topics from {} untagged posts:", model.len(), refs.len());
+    println!(
+        "discovered {} topics from {} untagged posts:",
+        model.len(),
+        refs.len()
+    );
     for topic in model.topics() {
         let head: Vec<&str> = topic.terms.iter().take(6).map(String::as_str).collect();
         println!("  [{}] {}", topic.label, head.join(", "));
@@ -38,7 +56,10 @@ fn main() {
     // Run the full pipeline against the discovered catalogue.
     let analysis = MassAnalysis::analyze_discovered(
         &out.dataset,
-        &DiscoveryParams { topics: 10, ..Default::default() },
+        &DiscoveryParams {
+            topics: 10,
+            ..Default::default()
+        },
         &MassParams::paper(),
     )
     .expect("a 10-theme corpus yields topics");
@@ -46,8 +67,10 @@ fn main() {
     println!("\ntop-3 influencers per discovered domain:");
     for d in 0..model.len() {
         let tops = analysis.top_k_in_domain(DomainId::new(d), 3);
-        let names: Vec<String> =
-            tops.iter().map(|(b, _)| out.dataset.blogger(*b).name.clone()).collect();
+        let names: Vec<String> = tops
+            .iter()
+            .map(|(b, _)| out.dataset.blogger(*b).name.clone())
+            .collect();
         println!("  {:<16} {}", model.topics()[d].label, names.join(", "));
     }
 

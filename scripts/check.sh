@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, lints, formatting.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh --fast   # skip the release build
+#
+# Mirrors what reviewers run; keep it green before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ $fast -eq 0 ]]; then
+  echo "== cargo build --release =="
+  cargo build --release
+fi
+
+echo "== cargo test --workspace =="
+cargo test --workspace --quiet
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "all checks passed"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-6da20a672f93f002.d: crates/crawler/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-6da20a672f93f002: crates/crawler/tests/chaos.rs
+
+crates/crawler/tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/classifier-ac8e7c0cd4d65d95.d: crates/bench/benches/classifier.rs
+
+/root/repo/target/debug/deps/classifier-ac8e7c0cd4d65d95: crates/bench/benches/classifier.rs
+
+crates/bench/benches/classifier.rs:

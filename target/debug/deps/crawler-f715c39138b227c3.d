@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crawler-f715c39138b227c3.d: crates/bench/benches/crawler.rs
+
+/root/repo/target/debug/deps/crawler-f715c39138b227c3: crates/bench/benches/crawler.rs
+
+crates/bench/benches/crawler.rs:

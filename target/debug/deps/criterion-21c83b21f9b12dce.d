@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-21c83b21f9b12dce.d: crates/shim-criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-21c83b21f9b12dce.rmeta: crates/shim-criterion/src/lib.rs Cargo.toml
+
+crates/shim-criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-3b5bf92246bf8ca7.d: crates/shim-criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-3b5bf92246bf8ca7.rmeta: crates/shim-criterion/src/lib.rs Cargo.toml
+
+crates/shim-criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-5ef7ce5b0b0742bc.d: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5ef7ce5b0b0742bc.rlib: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5ef7ce5b0b0742bc.rmeta: crates/shim-criterion/src/lib.rs
+
+crates/shim-criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-ca1339cabcb91e8f.d: crates/shim-criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-ca1339cabcb91e8f: crates/shim-criterion/src/lib.rs
+
+crates/shim-criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-783f515f7feb0b90.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-783f515f7feb0b90: tests/end_to_end.rs
+
+tests/end_to_end.rs:

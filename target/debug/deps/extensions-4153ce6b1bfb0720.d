@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-4153ce6b1bfb0720.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-4153ce6b1bfb0720: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_sample_graph-2acb94a0c02f3d46.d: crates/bench/src/bin/fig1_sample_graph.rs
+
+/root/repo/target/debug/deps/fig1_sample_graph-2acb94a0c02f3d46: crates/bench/src/bin/fig1_sample_graph.rs
+
+crates/bench/src/bin/fig1_sample_graph.rs:

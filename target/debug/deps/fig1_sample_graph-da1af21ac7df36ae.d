@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_sample_graph-da1af21ac7df36ae.d: crates/bench/src/bin/fig1_sample_graph.rs
+
+/root/repo/target/debug/deps/fig1_sample_graph-da1af21ac7df36ae: crates/bench/src/bin/fig1_sample_graph.rs
+
+crates/bench/src/bin/fig1_sample_graph.rs:

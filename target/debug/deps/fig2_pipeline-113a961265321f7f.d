@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pipeline-113a961265321f7f.d: crates/bench/src/bin/fig2_pipeline.rs
+
+/root/repo/target/debug/deps/fig2_pipeline-113a961265321f7f: crates/bench/src/bin/fig2_pipeline.rs
+
+crates/bench/src/bin/fig2_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pipeline-255c6326e51891c8.d: crates/bench/src/bin/fig2_pipeline.rs
+
+/root/repo/target/debug/deps/fig2_pipeline-255c6326e51891c8: crates/bench/src/bin/fig2_pipeline.rs
+
+crates/bench/src/bin/fig2_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_advertisement-3fd56d7a9a820855.d: crates/bench/src/bin/fig3_advertisement.rs
+
+/root/repo/target/debug/deps/fig3_advertisement-3fd56d7a9a820855: crates/bench/src/bin/fig3_advertisement.rs
+
+crates/bench/src/bin/fig3_advertisement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_advertisement-7e7ee05bde6a01cc.d: crates/bench/src/bin/fig3_advertisement.rs
+
+/root/repo/target/debug/deps/fig3_advertisement-7e7ee05bde6a01cc: crates/bench/src/bin/fig3_advertisement.rs
+
+crates/bench/src/bin/fig3_advertisement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_network-53d20cac13a056b0.d: crates/bench/src/bin/fig4_network.rs
+
+/root/repo/target/debug/deps/fig4_network-53d20cac13a056b0: crates/bench/src/bin/fig4_network.rs
+
+crates/bench/src/bin/fig4_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_network-f7d97829c1823469.d: crates/bench/src/bin/fig4_network.rs
+
+/root/repo/target/debug/deps/fig4_network-f7d97829c1823469: crates/bench/src/bin/fig4_network.rs
+
+crates/bench/src/bin/fig4_network.rs:

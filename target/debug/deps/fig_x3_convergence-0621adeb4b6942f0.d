@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_x3_convergence-0621adeb4b6942f0.d: crates/bench/src/bin/fig_x3_convergence.rs
+
+/root/repo/target/debug/deps/fig_x3_convergence-0621adeb4b6942f0: crates/bench/src/bin/fig_x3_convergence.rs
+
+crates/bench/src/bin/fig_x3_convergence.rs:

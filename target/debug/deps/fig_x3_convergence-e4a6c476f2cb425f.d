@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_x3_convergence-e4a6c476f2cb425f.d: crates/bench/src/bin/fig_x3_convergence.rs
+
+/root/repo/target/debug/deps/fig_x3_convergence-e4a6c476f2cb425f: crates/bench/src/bin/fig_x3_convergence.rs
+
+crates/bench/src/bin/fig_x3_convergence.rs:

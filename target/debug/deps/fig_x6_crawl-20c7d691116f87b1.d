@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_x6_crawl-20c7d691116f87b1.d: crates/bench/src/bin/fig_x6_crawl.rs
+
+/root/repo/target/debug/deps/fig_x6_crawl-20c7d691116f87b1: crates/bench/src/bin/fig_x6_crawl.rs
+
+crates/bench/src/bin/fig_x6_crawl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_x6_crawl-64dbd1d5bb1c69a1.d: crates/bench/src/bin/fig_x6_crawl.rs
+
+/root/repo/target/debug/deps/fig_x6_crawl-64dbd1d5bb1c69a1: crates/bench/src/bin/fig_x6_crawl.rs
+
+crates/bench/src/bin/fig_x6_crawl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ground_truth_recovery-d7ca456a67945713.d: tests/ground_truth_recovery.rs
+
+/root/repo/target/debug/deps/ground_truth_recovery-d7ca456a67945713: tests/ground_truth_recovery.rs
+
+tests/ground_truth_recovery.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mass-24436db264defc56.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmass-24436db264defc56.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmass-24436db264defc56.rmeta: src/lib.rs
+
+src/lib.rs:

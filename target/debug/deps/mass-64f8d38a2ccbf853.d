@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mass-64f8d38a2ccbf853.d: src/lib.rs
+
+/root/repo/target/debug/deps/mass-64f8d38a2ccbf853: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mass_bench-5e5e99d72ac87d73.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mass_bench-5e5e99d72ac87d73: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

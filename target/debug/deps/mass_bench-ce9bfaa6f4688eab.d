@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mass_bench-ce9bfaa6f4688eab.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmass_bench-ce9bfaa6f4688eab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmass_bench-ce9bfaa6f4688eab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

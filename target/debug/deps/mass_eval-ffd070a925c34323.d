@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mass_eval-ffd070a925c34323.d: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+/root/repo/target/debug/deps/mass_eval-ffd070a925c34323: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:
+crates/eval/src/table.rs:
+crates/eval/src/user_study.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mass_graph-0968a1e221024e62.d: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+/root/repo/target/debug/deps/libmass_graph-0968a1e221024e62.rlib: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+/root/repo/target/debug/deps/libmass_graph-0968a1e221024e62.rmeta: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/hits.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/traversal.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mass_graph-5e0b8e3d76a3c40a.d: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+/root/repo/target/debug/deps/mass_graph-5e0b8e3d76a3c40a: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/hits.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/traversal.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mass_graph-6494a632661f5d93.d: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_graph-6494a632661f5d93.rmeta: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/hits.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mass_text-7ca92e2ec3e2db67.d: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/mass_text-7ca92e2ec3e2db67: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/discovery.rs:
+crates/text/src/interest.rs:
+crates/text/src/nb.rs:
+crates/text/src/novelty.rs:
+crates/text/src/search.rs:
+crates/text/src/sentiment.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mass_text-c62189910658018d.d: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libmass_text-c62189910658018d.rlib: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libmass_text-c62189910658018d.rmeta: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/discovery.rs:
+crates/text/src/interest.rs:
+crates/text/src/nb.rs:
+crates/text/src/novelty.rs:
+crates/text/src/search.rs:
+crates/text/src/sentiment.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:

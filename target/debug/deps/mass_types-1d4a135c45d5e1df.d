@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mass_types-1d4a135c45d5e1df.d: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+/root/repo/target/debug/deps/libmass_types-1d4a135c45d5e1df.rlib: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+/root/repo/target/debug/deps/libmass_types-1d4a135c45d5e1df.rmeta: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+crates/types/src/lib.rs:
+crates/types/src/dataset.rs:
+crates/types/src/domains.rs:
+crates/types/src/entity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/index.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mass_types-d59626772a8ec9f8.d: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_types-d59626772a8ec9f8.rmeta: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/dataset.rs:
+crates/types/src/domains.rs:
+crates/types/src/entity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

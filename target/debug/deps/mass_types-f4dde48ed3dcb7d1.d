@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mass_types-f4dde48ed3dcb7d1.d: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+/root/repo/target/debug/deps/mass_types-f4dde48ed3dcb7d1: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+crates/types/src/lib.rs:
+crates/types/src/dataset.rs:
+crates/types/src/domains.rs:
+crates/types/src/entity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/index.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mass_viz-238de9e84678c88c.d: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_viz-238de9e84678c88c.rmeta: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs Cargo.toml
+
+crates/viz/src/lib.rs:
+crates/viz/src/export.rs:
+crates/viz/src/filter.rs:
+crates/viz/src/layout.rs:
+crates/viz/src/network.rs:
+crates/viz/src/stats.rs:
+crates/viz/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mass_viz-b7d0159541156928.d: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libmass_viz-b7d0159541156928.rlib: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/libmass_viz-b7d0159541156928.rmeta: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/export.rs:
+crates/viz/src/filter.rs:
+crates/viz/src/layout.rs:
+crates/viz/src/network.rs:
+crates/viz/src/stats.rs:
+crates/viz/src/svg.rs:

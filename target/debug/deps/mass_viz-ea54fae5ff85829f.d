@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mass_viz-ea54fae5ff85829f.d: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/mass_viz-ea54fae5ff85829f: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/export.rs:
+crates/viz/src/filter.rs:
+crates/viz/src/layout.rs:
+crates/viz/src/network.rs:
+crates/viz/src/stats.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mass_xml-254325b51f5d2678.d: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+/root/repo/target/debug/deps/libmass_xml-254325b51f5d2678.rlib: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+/root/repo/target/debug/deps/libmass_xml-254325b51f5d2678.rmeta: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+crates/xmlstore/src/lib.rs:
+crates/xmlstore/src/dataset_io.rs:
+crates/xmlstore/src/error.rs:
+crates/xmlstore/src/escape.rs:
+crates/xmlstore/src/parser.rs:
+crates/xmlstore/src/tree.rs:
+crates/xmlstore/src/writer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mass_xml-6c54953b247cb34d.d: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_xml-6c54953b247cb34d.rmeta: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs Cargo.toml
+
+crates/xmlstore/src/lib.rs:
+crates/xmlstore/src/dataset_io.rs:
+crates/xmlstore/src/error.rs:
+crates/xmlstore/src/escape.rs:
+crates/xmlstore/src/parser.rs:
+crates/xmlstore/src/tree.rs:
+crates/xmlstore/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

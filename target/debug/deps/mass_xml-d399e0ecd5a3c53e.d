@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mass_xml-d399e0ecd5a3c53e.d: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+/root/repo/target/debug/deps/mass_xml-d399e0ecd5a3c53e: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+crates/xmlstore/src/lib.rs:
+crates/xmlstore/src/dataset_io.rs:
+crates/xmlstore/src/error.rs:
+crates/xmlstore/src/escape.rs:
+crates/xmlstore/src/parser.rs:
+crates/xmlstore/src/tree.rs:
+crates/xmlstore/src/writer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pagerank-0f145df46e1eac2d.d: crates/bench/benches/pagerank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagerank-0f145df46e1eac2d.rmeta: crates/bench/benches/pagerank.rs Cargo.toml
+
+crates/bench/benches/pagerank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pagerank-6745a87e0428c04d.d: crates/bench/benches/pagerank.rs
+
+/root/repo/target/debug/deps/pagerank-6745a87e0428c04d: crates/bench/benches/pagerank.rs
+
+crates/bench/benches/pagerank.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-2c4ed67063cd16dc.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-2c4ed67063cd16dc: tests/paper_scale.rs
+
+tests/paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-e056c7fe9b1b019a.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-e056c7fe9b1b019a: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

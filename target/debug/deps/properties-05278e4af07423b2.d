@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-05278e4af07423b2.d: crates/synth/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-05278e4af07423b2.rmeta: crates/synth/tests/properties.rs Cargo.toml
+
+crates/synth/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0a08b1e36eab6280.d: crates/crawler/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0a08b1e36eab6280: crates/crawler/tests/properties.rs
+
+crates/crawler/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-15b5737bf7909f38.d: crates/synth/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-15b5737bf7909f38: crates/synth/tests/properties.rs
+
+crates/synth/tests/properties.rs:

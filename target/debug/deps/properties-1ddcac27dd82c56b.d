@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1ddcac27dd82c56b.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1ddcac27dd82c56b: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

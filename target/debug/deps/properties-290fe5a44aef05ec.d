@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-290fe5a44aef05ec.d: crates/eval/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-290fe5a44aef05ec: crates/eval/tests/properties.rs
+
+crates/eval/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3bbf8c688ec6f686.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3bbf8c688ec6f686: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4fc596751ac77d0a.d: crates/text/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4fc596751ac77d0a: crates/text/tests/properties.rs
+
+crates/text/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5af558dbccd5b1be.d: crates/text/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5af558dbccd5b1be.rmeta: crates/text/tests/properties.rs Cargo.toml
+
+crates/text/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

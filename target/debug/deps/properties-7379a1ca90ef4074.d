@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7379a1ca90ef4074.d: crates/viz/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7379a1ca90ef4074: crates/viz/tests/properties.rs
+
+crates/viz/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7b5db9b27bd17ef2.d: crates/crawler/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7b5db9b27bd17ef2.rmeta: crates/crawler/tests/properties.rs Cargo.toml
+
+crates/crawler/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

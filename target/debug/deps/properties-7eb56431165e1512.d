@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7eb56431165e1512.d: crates/xmlstore/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7eb56431165e1512: crates/xmlstore/tests/properties.rs
+
+crates/xmlstore/tests/properties.rs:

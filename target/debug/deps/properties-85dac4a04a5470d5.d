@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-85dac4a04a5470d5.d: crates/eval/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-85dac4a04a5470d5.rmeta: crates/eval/tests/properties.rs Cargo.toml
+
+crates/eval/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

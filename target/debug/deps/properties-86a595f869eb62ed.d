@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-86a595f869eb62ed.d: crates/types/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-86a595f869eb62ed: crates/types/tests/properties.rs
+
+crates/types/tests/properties.rs:

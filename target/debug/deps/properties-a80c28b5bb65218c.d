@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a80c28b5bb65218c.d: crates/viz/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a80c28b5bb65218c.rmeta: crates/viz/tests/properties.rs Cargo.toml
+
+crates/viz/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c3222e14d78b195f.d: crates/types/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c3222e14d78b195f.rmeta: crates/types/tests/properties.rs Cargo.toml
+
+crates/types/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

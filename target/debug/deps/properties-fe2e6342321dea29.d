@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-fe2e6342321dea29.d: crates/xmlstore/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-fe2e6342321dea29.rmeta: crates/xmlstore/tests/properties.rs Cargo.toml
+
+crates/xmlstore/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

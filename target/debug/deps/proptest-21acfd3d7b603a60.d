@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-21acfd3d7b603a60.d: crates/shim-proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-21acfd3d7b603a60.rmeta: crates/shim-proptest/src/lib.rs Cargo.toml
+
+crates/shim-proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

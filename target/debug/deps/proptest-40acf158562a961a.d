@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-40acf158562a961a.d: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-40acf158562a961a.rlib: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-40acf158562a961a.rmeta: crates/shim-proptest/src/lib.rs
+
+crates/shim-proptest/src/lib.rs:

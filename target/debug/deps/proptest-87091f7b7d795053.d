@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-87091f7b7d795053.d: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-87091f7b7d795053: crates/shim-proptest/src/lib.rs
+
+crates/shim-proptest/src/lib.rs:

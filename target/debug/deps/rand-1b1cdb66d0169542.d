@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-1b1cdb66d0169542.d: crates/shim-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1b1cdb66d0169542.rlib: crates/shim-rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-1b1cdb66d0169542.rmeta: crates/shim-rand/src/lib.rs
+
+crates/shim-rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-a49bbc6881cd1dae.d: crates/shim-rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a49bbc6881cd1dae.rmeta: crates/shim-rand/src/lib.rs Cargo.toml
+
+crates/shim-rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

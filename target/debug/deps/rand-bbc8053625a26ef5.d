@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-bbc8053625a26ef5.d: crates/shim-rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-bbc8053625a26ef5.rmeta: crates/shim-rand/src/lib.rs Cargo.toml
+
+crates/shim-rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-d91e143883de8734.d: crates/shim-rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-d91e143883de8734: crates/shim-rand/src/lib.rs
+
+crates/shim-rand/src/lib.rs:

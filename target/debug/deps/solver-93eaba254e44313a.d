@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver-93eaba254e44313a.d: crates/bench/benches/solver.rs
+
+/root/repo/target/debug/deps/solver-93eaba254e44313a: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_user_study-247e0e6472fda2b0.d: crates/bench/src/bin/table1_user_study.rs
+
+/root/repo/target/debug/deps/table1_user_study-247e0e6472fda2b0: crates/bench/src/bin/table1_user_study.rs
+
+crates/bench/src/bin/table1_user_study.rs:

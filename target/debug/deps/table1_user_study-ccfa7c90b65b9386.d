@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_user_study-ccfa7c90b65b9386.d: crates/bench/src/bin/table1_user_study.rs
+
+/root/repo/target/debug/deps/table1_user_study-ccfa7c90b65b9386: crates/bench/src/bin/table1_user_study.rs
+
+crates/bench/src/bin/table1_user_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x1_ranking_quality-8f0c9a1d08798244.d: crates/bench/src/bin/table_x1_ranking_quality.rs
+
+/root/repo/target/debug/deps/table_x1_ranking_quality-8f0c9a1d08798244: crates/bench/src/bin/table_x1_ranking_quality.rs
+
+crates/bench/src/bin/table_x1_ranking_quality.rs:

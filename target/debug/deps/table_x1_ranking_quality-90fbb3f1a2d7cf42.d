@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x1_ranking_quality-90fbb3f1a2d7cf42.d: crates/bench/src/bin/table_x1_ranking_quality.rs
+
+/root/repo/target/debug/deps/table_x1_ranking_quality-90fbb3f1a2d7cf42: crates/bench/src/bin/table_x1_ranking_quality.rs
+
+crates/bench/src/bin/table_x1_ranking_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x2_ablation-4e97852d427ccd5a.d: crates/bench/src/bin/table_x2_ablation.rs
+
+/root/repo/target/debug/deps/table_x2_ablation-4e97852d427ccd5a: crates/bench/src/bin/table_x2_ablation.rs
+
+crates/bench/src/bin/table_x2_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x2_ablation-75fe958f1000b305.d: crates/bench/src/bin/table_x2_ablation.rs
+
+/root/repo/target/debug/deps/table_x2_ablation-75fe958f1000b305: crates/bench/src/bin/table_x2_ablation.rs
+
+crates/bench/src/bin/table_x2_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x5_sensitivity-4f6cb431fc2c5f4f.d: crates/bench/src/bin/table_x5_sensitivity.rs
+
+/root/repo/target/debug/deps/table_x5_sensitivity-4f6cb431fc2c5f4f: crates/bench/src/bin/table_x5_sensitivity.rs
+
+crates/bench/src/bin/table_x5_sensitivity.rs:

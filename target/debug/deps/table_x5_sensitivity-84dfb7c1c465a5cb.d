@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x5_sensitivity-84dfb7c1c465a5cb.d: crates/bench/src/bin/table_x5_sensitivity.rs
+
+/root/repo/target/debug/deps/table_x5_sensitivity-84dfb7c1c465a5cb: crates/bench/src/bin/table_x5_sensitivity.rs
+
+crates/bench/src/bin/table_x5_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x7_classifier-500b33419d7263d0.d: crates/bench/src/bin/table_x7_classifier.rs
+
+/root/repo/target/debug/deps/table_x7_classifier-500b33419d7263d0: crates/bench/src/bin/table_x7_classifier.rs
+
+crates/bench/src/bin/table_x7_classifier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x7_classifier-eae3e60f7e6072f9.d: crates/bench/src/bin/table_x7_classifier.rs
+
+/root/repo/target/debug/deps/table_x7_classifier-eae3e60f7e6072f9: crates/bench/src/bin/table_x7_classifier.rs
+
+crates/bench/src/bin/table_x7_classifier.rs:

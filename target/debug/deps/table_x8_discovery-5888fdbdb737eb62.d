@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x8_discovery-5888fdbdb737eb62.d: crates/bench/src/bin/table_x8_discovery.rs
+
+/root/repo/target/debug/deps/table_x8_discovery-5888fdbdb737eb62: crates/bench/src/bin/table_x8_discovery.rs
+
+crates/bench/src/bin/table_x8_discovery.rs:

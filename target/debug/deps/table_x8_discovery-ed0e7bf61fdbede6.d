@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x8_discovery-ed0e7bf61fdbede6.d: crates/bench/src/bin/table_x8_discovery.rs
+
+/root/repo/target/debug/deps/table_x8_discovery-ed0e7bf61fdbede6: crates/bench/src/bin/table_x8_discovery.rs
+
+crates/bench/src/bin/table_x8_discovery.rs:

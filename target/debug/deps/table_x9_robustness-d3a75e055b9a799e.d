@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x9_robustness-d3a75e055b9a799e.d: crates/bench/src/bin/table_x9_robustness.rs
+
+/root/repo/target/debug/deps/table_x9_robustness-d3a75e055b9a799e: crates/bench/src/bin/table_x9_robustness.rs
+
+crates/bench/src/bin/table_x9_robustness.rs:

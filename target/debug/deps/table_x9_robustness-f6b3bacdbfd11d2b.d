@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x9_robustness-f6b3bacdbfd11d2b.d: crates/bench/src/bin/table_x9_robustness.rs
+
+/root/repo/target/debug/deps/table_x9_robustness-f6b3bacdbfd11d2b: crates/bench/src/bin/table_x9_robustness.rs
+
+crates/bench/src/bin/table_x9_robustness.rs:

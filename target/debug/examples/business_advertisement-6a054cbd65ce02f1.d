@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/business_advertisement-6a054cbd65ce02f1.d: examples/business_advertisement.rs
+
+/root/repo/target/debug/examples/business_advertisement-6a054cbd65ce02f1: examples/business_advertisement.rs
+
+examples/business_advertisement.rs:

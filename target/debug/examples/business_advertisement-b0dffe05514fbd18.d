@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/business_advertisement-b0dffe05514fbd18.d: examples/business_advertisement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbusiness_advertisement-b0dffe05514fbd18.rmeta: examples/business_advertisement.rs Cargo.toml
+
+examples/business_advertisement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

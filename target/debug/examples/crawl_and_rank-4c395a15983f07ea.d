@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crawl_and_rank-4c395a15983f07ea.d: examples/crawl_and_rank.rs
+
+/root/repo/target/debug/examples/crawl_and_rank-4c395a15983f07ea: examples/crawl_and_rank.rs
+
+examples/crawl_and_rank.rs:

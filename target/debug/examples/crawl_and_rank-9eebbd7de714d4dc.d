@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crawl_and_rank-9eebbd7de714d4dc.d: examples/crawl_and_rank.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrawl_and_rank-9eebbd7de714d4dc.rmeta: examples/crawl_and_rank.rs Cargo.toml
+
+examples/crawl_and_rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/demo_walkthrough-bf93808ac8fc2482.d: examples/demo_walkthrough.rs
+
+/root/repo/target/debug/examples/demo_walkthrough-bf93808ac8fc2482: examples/demo_walkthrough.rs
+
+examples/demo_walkthrough.rs:

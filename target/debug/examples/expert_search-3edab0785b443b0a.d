@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expert_search-3edab0785b443b0a.d: examples/expert_search.rs
+
+/root/repo/target/debug/examples/expert_search-3edab0785b443b0a: examples/expert_search.rs
+
+examples/expert_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig1_sample_graph-f829abd938427841.d: examples/fig1_sample_graph.rs
+
+/root/repo/target/debug/examples/fig1_sample_graph-f829abd938427841: examples/fig1_sample_graph.rs
+
+examples/fig1_sample_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_updates-efb5c3f202f86659.d: examples/incremental_updates.rs
+
+/root/repo/target/debug/examples/incremental_updates-efb5c3f202f86659: examples/incremental_updates.rs
+
+examples/incremental_updates.rs:

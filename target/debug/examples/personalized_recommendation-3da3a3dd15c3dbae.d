@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/personalized_recommendation-3da3a3dd15c3dbae.d: examples/personalized_recommendation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpersonalized_recommendation-3da3a3dd15c3dbae.rmeta: examples/personalized_recommendation.rs Cargo.toml
+
+examples/personalized_recommendation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

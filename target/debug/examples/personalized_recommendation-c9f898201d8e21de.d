@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/personalized_recommendation-c9f898201d8e21de.d: examples/personalized_recommendation.rs
+
+/root/repo/target/debug/examples/personalized_recommendation-c9f898201d8e21de: examples/personalized_recommendation.rs
+
+examples/personalized_recommendation.rs:

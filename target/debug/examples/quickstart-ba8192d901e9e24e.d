@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ba8192d901e9e24e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ba8192d901e9e24e: examples/quickstart.rs
+
+examples/quickstart.rs:

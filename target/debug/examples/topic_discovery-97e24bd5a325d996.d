@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topic_discovery-97e24bd5a325d996.d: examples/topic_discovery.rs
+
+/root/repo/target/debug/examples/topic_discovery-97e24bd5a325d996: examples/topic_discovery.rs
+
+examples/topic_discovery.rs:

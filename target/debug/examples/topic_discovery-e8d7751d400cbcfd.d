@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topic_discovery-e8d7751d400cbcfd.d: examples/topic_discovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopic_discovery-e8d7751d400cbcfd.rmeta: examples/topic_discovery.rs Cargo.toml
+
+examples/topic_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcriterion.rlib: /root/repo/crates/shim-criterion/src/lib.rs

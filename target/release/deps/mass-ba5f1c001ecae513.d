@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mass-ba5f1c001ecae513.d: src/lib.rs
+
+/root/repo/target/release/deps/libmass-ba5f1c001ecae513.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmass-ba5f1c001ecae513.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mass-ba9e30dd9e4b32ab.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/release/deps/mass-ba9e30dd9e4b32ab: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

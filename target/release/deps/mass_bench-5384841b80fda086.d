@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mass_bench-5384841b80fda086.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmass_bench-5384841b80fda086.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmass_bench-5384841b80fda086.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

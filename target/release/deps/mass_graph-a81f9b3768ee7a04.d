@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mass_graph-a81f9b3768ee7a04.d: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+/root/repo/target/release/deps/libmass_graph-a81f9b3768ee7a04.rlib: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+/root/repo/target/release/deps/libmass_graph-a81f9b3768ee7a04.rmeta: crates/graph/src/lib.rs crates/graph/src/components.rs crates/graph/src/digraph.rs crates/graph/src/hits.rs crates/graph/src/pagerank.rs crates/graph/src/traversal.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/components.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/hits.rs:
+crates/graph/src/pagerank.rs:
+crates/graph/src/traversal.rs:

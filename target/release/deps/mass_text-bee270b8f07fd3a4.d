@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mass_text-bee270b8f07fd3a4.d: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libmass_text-bee270b8f07fd3a4.rlib: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libmass_text-bee270b8f07fd3a4.rmeta: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/discovery.rs:
+crates/text/src/interest.rs:
+crates/text/src/nb.rs:
+crates/text/src/novelty.rs:
+crates/text/src/search.rs:
+crates/text/src/sentiment.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:

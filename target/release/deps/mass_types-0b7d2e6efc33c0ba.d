@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mass_types-0b7d2e6efc33c0ba.d: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+/root/repo/target/release/deps/libmass_types-0b7d2e6efc33c0ba.rlib: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+/root/repo/target/release/deps/libmass_types-0b7d2e6efc33c0ba.rmeta: crates/types/src/lib.rs crates/types/src/dataset.rs crates/types/src/domains.rs crates/types/src/entity.rs crates/types/src/error.rs crates/types/src/ids.rs crates/types/src/index.rs
+
+crates/types/src/lib.rs:
+crates/types/src/dataset.rs:
+crates/types/src/domains.rs:
+crates/types/src/entity.rs:
+crates/types/src/error.rs:
+crates/types/src/ids.rs:
+crates/types/src/index.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mass_viz-2bfae6d73b3527f7.d: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libmass_viz-2bfae6d73b3527f7.rlib: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/libmass_viz-2bfae6d73b3527f7.rmeta: crates/viz/src/lib.rs crates/viz/src/export.rs crates/viz/src/filter.rs crates/viz/src/layout.rs crates/viz/src/network.rs crates/viz/src/stats.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/export.rs:
+crates/viz/src/filter.rs:
+crates/viz/src/layout.rs:
+crates/viz/src/network.rs:
+crates/viz/src/stats.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mass_xml-72b84b29beebcc5d.d: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+/root/repo/target/release/deps/libmass_xml-72b84b29beebcc5d.rlib: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+/root/repo/target/release/deps/libmass_xml-72b84b29beebcc5d.rmeta: crates/xmlstore/src/lib.rs crates/xmlstore/src/dataset_io.rs crates/xmlstore/src/error.rs crates/xmlstore/src/escape.rs crates/xmlstore/src/parser.rs crates/xmlstore/src/tree.rs crates/xmlstore/src/writer.rs
+
+crates/xmlstore/src/lib.rs:
+crates/xmlstore/src/dataset_io.rs:
+crates/xmlstore/src/error.rs:
+crates/xmlstore/src/escape.rs:
+crates/xmlstore/src/parser.rs:
+crates/xmlstore/src/tree.rs:
+crates/xmlstore/src/writer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7bfb886635ed3657.d: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7bfb886635ed3657.rlib: crates/shim-proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7bfb886635ed3657.rmeta: crates/shim-proptest/src/lib.rs
+
+crates/shim-proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-f28fcf5fbfd657fa.d: crates/shim-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f28fcf5fbfd657fa.rlib: crates/shim-rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-f28fcf5fbfd657fa.rmeta: crates/shim-rand/src/lib.rs
+
+crates/shim-rand/src/lib.rs:

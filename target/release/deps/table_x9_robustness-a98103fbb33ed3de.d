@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_x9_robustness-a98103fbb33ed3de.d: crates/bench/src/bin/table_x9_robustness.rs
+
+/root/repo/target/release/deps/table_x9_robustness-a98103fbb33ed3de: crates/bench/src/bin/table_x9_robustness.rs
+
+crates/bench/src/bin/table_x9_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/verify_probe_tmp-2d04d8e24b6a4c25.d: examples/verify_probe_tmp.rs
+
+/root/repo/target/release/examples/verify_probe_tmp-2d04d8e24b6a4c25: examples/verify_probe_tmp.rs
+
+examples/verify_probe_tmp.rs:

@@ -7,7 +7,11 @@ use mass::viz::{apply_layout, LayoutParams};
 /// generate → XML save → XML load → analyze → recommend → visualise.
 #[test]
 fn full_pipeline_over_xml_store() {
-    let out = generate(&SynthConfig { bloggers: 120, seed: 31, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 120,
+        seed: 31,
+        ..Default::default()
+    });
 
     // Persist and reload through the XML store.
     let path = std::env::temp_dir().join("mass_e2e_corpus.xml");
@@ -23,7 +27,9 @@ fn full_pipeline_over_xml_store() {
     let recommender = Recommender::new(&analysis);
     let sports = dataset.domains.id_of("Sports").unwrap();
     let ad = advertisement_text(sports, 5);
-    let recs = recommender.for_advertisement(&ad, 3).expect("classifier trained");
+    let recs = recommender
+        .for_advertisement(&ad, 3)
+        .expect("classifier trained");
     assert_eq!(recs.len(), 3);
 
     // Visualise the top recommendation and round-trip the view.
@@ -32,7 +38,10 @@ fn full_pipeline_over_xml_store() {
     apply_layout(&mut net, &LayoutParams::default());
     let view_xml = mass::viz::to_xml_string(&net);
     let reloaded = mass::viz::from_xml_str(&view_xml).unwrap();
-    assert_eq!(net, reloaded, "network view XML round-trip must be lossless");
+    assert_eq!(
+        net, reloaded,
+        "network view XML round-trip must be lossless"
+    );
 }
 
 /// A complete crawl of the host must analyze identically to the original
@@ -47,8 +56,11 @@ fn full_crawl_matches_direct_analysis() {
         ..Default::default()
     });
     let host = SimulatedHost::new(out.dataset.clone());
-    let crawled = mass::crawler::crawl(&host, &CrawlConfig::default());
-    assert_eq!(crawled.dataset, out.dataset, "full crawl must reproduce the corpus");
+    let crawled = mass::crawler::crawl(&host, &CrawlConfig::default()).unwrap();
+    assert_eq!(
+        crawled.dataset, out.dataset,
+        "full crawl must reproduce the corpus"
+    );
 
     let direct = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let via_crawl = MassAnalysis::analyze(&crawled.dataset, &MassParams::paper());
@@ -58,16 +70,33 @@ fn full_crawl_matches_direct_analysis() {
 /// A radius-limited crawl yields a strict, analyzable sub-view.
 #[test]
 fn partial_crawl_is_self_consistent() {
-    let out = generate(&SynthConfig { bloggers: 200, seed: 13, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 200,
+        seed: 13,
+        ..Default::default()
+    });
     let host = SimulatedHost::with_config(
         out.dataset,
-        HostConfig { failure_rate: 0.1, ..Default::default() },
-    );
+        HostConfig {
+            failure_rate: 0.1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let result = mass::crawler::crawl(
         &host,
-        &CrawlConfig { seeds: vec![3], radius: Some(1), retries: 10, ..Default::default() },
+        &CrawlConfig {
+            seeds: vec![3],
+            radius: Some(1),
+            retries: 10,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        result.report.spaces_fetched < host.space_count(),
+        "radius-1 crawl fetched everything"
     );
-    assert!(result.report.spaces_fetched < host.space_count(), "radius-1 crawl fetched everything");
     assert!(result.stub_start <= result.dataset.bloggers.len());
     result.dataset.validate().unwrap();
     let analysis = MassAnalysis::analyze(&result.dataset, &MassParams::paper());
@@ -78,7 +107,11 @@ fn partial_crawl_is_self_consistent() {
 /// The Table I experiment runs end-to-end and keeps its headline shape.
 #[test]
 fn user_study_reproduces_table1_shape() {
-    let out = generate(&SynthConfig { bloggers: 600, seed: 3, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 600,
+        seed: 3,
+        ..Default::default()
+    });
     let table = mass::eval::run_user_study(&out.dataset, &out.truth, &UserStudyConfig::default());
     let ds_mean = table.system_mean("Domain Specific").unwrap();
     let gen_mean = table.system_mean("General").unwrap();
@@ -88,7 +121,10 @@ fn user_study_reproduces_table1_shape() {
         "domain-specific ({ds_mean:.2}) must beat general ({gen_mean:.2}) and live index ({li_mean:.2})"
     );
     // The paper reports roughly 4.3 vs 3.2 — over a full point of headroom.
-    assert!(ds_mean - gen_mean.max(li_mean) > 0.3, "margin too thin: {table}");
+    assert!(
+        ds_mean - gen_mean.max(li_mean) > 0.3,
+        "margin too thin: {table}"
+    );
 }
 
 /// Parameter extremes stay well-defined end to end.
@@ -96,7 +132,11 @@ fn user_study_reproduces_table1_shape() {
 fn alpha_beta_extremes_run() {
     let out = generate(&SynthConfig::tiny(19));
     for (alpha, beta) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
-        let params = MassParams { alpha, beta, ..MassParams::paper() };
+        let params = MassParams {
+            alpha,
+            beta,
+            ..MassParams::paper()
+        };
         let analysis = MassAnalysis::analyze(&out.dataset, &params);
         assert!(
             analysis.scores.blogger.iter().all(|s| s.is_finite()),

@@ -9,7 +9,11 @@ use mass::text::DiscoveryParams;
 
 #[test]
 fn expert_search_agrees_with_domain_ranking() {
-    let out = generate(&SynthConfig { bloggers: 300, seed: 71, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 300,
+        seed: 71,
+        ..Default::default()
+    });
     let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let engine = ExpertSearch::build(&out.dataset, &analysis);
 
@@ -34,18 +38,37 @@ fn expert_search_agrees_with_domain_ranking() {
 fn incremental_tracks_a_growing_crawl() {
     // Start from a radius-1 crawl, then grow: the incremental analyzer's
     // dataset stays valid and its scores match a batch run at every stage.
-    let world = generate(&SynthConfig { bloggers: 150, seed: 72, tag_sentiment_prob: 0.0, ..Default::default() });
+    let world = generate(&SynthConfig {
+        bloggers: 150,
+        seed: 72,
+        tag_sentiment_prob: 0.0,
+        ..Default::default()
+    });
     let host = SimulatedHost::new(world.dataset.clone());
     let first = mass::crawler::crawl(
         &host,
-        &CrawlConfig { seeds: vec![0], radius: Some(1), ..Default::default() },
-    );
+        &CrawlConfig {
+            seeds: vec![0],
+            radius: Some(1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
 
     let mut live = IncrementalMass::new(first.dataset.clone(), MassParams::paper());
     // Simulate newly observed activity on the crawled view.
-    let author = first.dataset.posts.first().map(|p| p.author).unwrap_or(BloggerId::new(0));
+    let author = first
+        .dataset
+        .posts
+        .first()
+        .map(|p| p.author)
+        .unwrap_or(BloggerId::new(0));
     let commenter = BloggerId::new((author.index() + 1) % first.dataset.bloggers.len());
-    let pid = live.add_post(Post::new(author, "update", "fresh words about travel and hotels"));
+    let pid = live.add_post(Post::new(
+        author,
+        "update",
+        "fresh words about travel and hotels",
+    ));
     if commenter != author {
         live.add_comment(pid, Comment::new(commenter, "I agree, helpful"));
     }
@@ -60,7 +83,12 @@ fn incremental_tracks_a_growing_crawl() {
 
 #[test]
 fn archive_roundtrip_preserves_analysis() {
-    let world = generate(&SynthConfig { bloggers: 100, seed: 73, tag_sentiment_prob: 0.0, ..Default::default() });
+    let world = generate(&SynthConfig {
+        bloggers: 100,
+        seed: 73,
+        tag_sentiment_prob: 0.0,
+        ..Default::default()
+    });
     let live = SimulatedHost::new(world.dataset.clone());
     let dir = std::env::temp_dir().join("mass_ext_archive");
     let _ = std::fs::remove_dir_all(&dir);
@@ -68,7 +96,7 @@ fn archive_roundtrip_preserves_analysis() {
 
     let replay = XmlArchiveHost::open(&dir).unwrap();
     assert_eq!(replay.space_count(), live.space_count());
-    let crawled = mass::crawler::crawl(&replay, &CrawlConfig::default());
+    let crawled = mass::crawler::crawl(&replay, &CrawlConfig::default()).unwrap();
     let via_archive = MassAnalysis::analyze(&crawled.dataset, &MassParams::paper());
     let direct = MassAnalysis::analyze(&world.dataset, &MassParams::paper());
     assert_eq!(via_archive.scores.blogger, direct.scores.blogger);
@@ -76,17 +104,37 @@ fn archive_roundtrip_preserves_analysis() {
 
 #[test]
 fn discovery_covers_most_planted_domains() {
-    let out = generate(&SynthConfig { bloggers: 400, seed: 74, ..Default::default() });
-    let docs: Vec<String> =
-        out.dataset.posts.iter().map(|p| format!("{} {}", p.title, p.text)).collect();
+    let out = generate(&SynthConfig {
+        bloggers: 400,
+        seed: 74,
+        ..Default::default()
+    });
+    let docs: Vec<String> = out
+        .dataset
+        .posts
+        .iter()
+        .map(|p| format!("{} {}", p.title, p.text))
+        .collect();
     let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
-    let model =
-        mass::text::discover_topics(&refs, &DiscoveryParams { topics: 10, ..Default::default() });
+    let model = mass::text::discover_topics(
+        &refs,
+        &DiscoveryParams {
+            topics: 10,
+            ..Default::default()
+        },
+    );
     assert!(model.len() >= 8, "discovered only {} topics", model.len());
 
     // Labels must come from the planted domain vocabularies (not filler).
-    let planted: Vec<&str> = mass::synth::vocab::DOMAIN_VOCAB.iter().flat_map(|v| v.iter().copied()).collect();
-    let on_vocab = model.topics().iter().filter(|t| planted.contains(&t.label.as_str())).count();
+    let planted: Vec<&str> = mass::synth::vocab::DOMAIN_VOCAB
+        .iter()
+        .flat_map(|v| v.iter().copied())
+        .collect();
+    let on_vocab = model
+        .topics()
+        .iter()
+        .filter(|t| planted.contains(&t.label.as_str()))
+        .count();
     assert!(
         on_vocab * 10 >= model.len() * 8,
         "too many filler-labelled topics: {on_vocab}/{}",
@@ -96,11 +144,19 @@ fn discovery_covers_most_planted_domains() {
 
 #[test]
 fn network_stats_reflect_the_corpus() {
-    let out = generate(&SynthConfig { bloggers: 120, seed: 75, ..Default::default() });
+    let out = generate(&SynthConfig {
+        bloggers: 120,
+        seed: 75,
+        ..Default::default()
+    });
     let net = PostReplyNetwork::build(&out.dataset);
     let stats = mass::viz::network_stats(&net);
-    let total_comments: u64 =
-        out.dataset.posts.iter().map(|p| p.comments.len() as u64).sum();
+    let total_comments: u64 = out
+        .dataset
+        .posts
+        .iter()
+        .map(|p| p.comments.len() as u64)
+        .sum();
     assert_eq!(stats.comments, total_comments);
     assert_eq!(stats.nodes, 120);
     assert!(stats.density > 0.0 && stats.density < 1.0);

@@ -7,7 +7,11 @@ use mass::eval::{evaluate_domain_system, evaluate_general_system};
 use mass::prelude::*;
 
 fn corpus() -> mass::synth::SynthOutput {
-    generate(&SynthConfig { bloggers: 400, seed: 77, ..Default::default() })
+    generate(&SynthConfig {
+        bloggers: 400,
+        seed: 77,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -25,9 +29,15 @@ fn the_top_planted_influencer_is_found() {
     let out = corpus();
     let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     let star = out.truth.top_k_general(1)[0];
-    let found: Vec<BloggerId> =
-        analysis.top_k_general(5).into_iter().map(|(b, _)| b).collect();
-    assert!(found.contains(&star), "planted star {star} missing from top-5 {found:?}");
+    let found: Vec<BloggerId> = analysis
+        .top_k_general(5)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    assert!(
+        found.contains(&star),
+        "planted star {star} missing from top-5 {found:?}"
+    );
 }
 
 #[test]
@@ -39,8 +49,11 @@ fn domain_rankings_recover_domain_specialists() {
     let mut total_precision = 0.0;
     for d in 0..10 {
         let domain = DomainId::new(d);
-        let column: Vec<f64> =
-            analysis.domain_matrix.iter().map(|row| row[domain.index()]).collect();
+        let column: Vec<f64> = analysis
+            .domain_matrix
+            .iter()
+            .map(|row| row[domain.index()])
+            .collect();
         let q = evaluate_domain_system(&column, &out.truth, domain, 5);
         total_precision += q.precision;
     }
@@ -78,11 +91,13 @@ fn domain_specific_beats_general_for_domain_queries() {
     let mut wins = 0;
     for d in 0..10 {
         let domain = DomainId::new(d);
-        let column: Vec<f64> =
-            analysis.domain_matrix.iter().map(|row| row[domain.index()]).collect();
+        let column: Vec<f64> = analysis
+            .domain_matrix
+            .iter()
+            .map(|row| row[domain.index()])
+            .collect();
         let specific = evaluate_domain_system(&column, &out.truth, domain, 5);
-        let general =
-            evaluate_domain_system(&analysis.scores.blogger, &out.truth, domain, 5);
+        let general = evaluate_domain_system(&analysis.scores.blogger, &out.truth, domain, 5);
         if specific.precision > general.precision {
             wins += 1;
         }

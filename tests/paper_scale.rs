@@ -15,11 +15,18 @@ fn paper_scale_pipeline() {
     let out = generate(&mass::synth::SynthConfig::paper_scale(2026));
     let stats = out.dataset.stats();
     assert!((2_900..=3_100).contains(&stats.bloggers));
-    assert!((25_000..=60_000).contains(&stats.posts), "posts: {}", stats.posts);
+    assert!(
+        (25_000..=60_000).contains(&stats.posts),
+        "posts: {}",
+        stats.posts
+    );
 
     // XML round-trip at scale.
     let xml = mass::xml::dataset_io::to_xml_string(&out.dataset);
-    assert!(xml.len() > 10 * 1024 * 1024 / 2, "corpus should serialise to MiBs");
+    assert!(
+        xml.len() > 10 * 1024 * 1024 / 2,
+        "corpus should serialise to MiBs"
+    );
     let back = mass::xml::dataset_io::from_xml_str(&xml).unwrap();
     assert_eq!(out.dataset, back);
 
@@ -27,9 +34,15 @@ fn paper_scale_pipeline() {
     let analysis = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
     assert!(analysis.scores.converged);
     let star = out.truth.top_k_general(1)[0];
-    let top10: Vec<BloggerId> =
-        analysis.top_k_general(10).into_iter().map(|(b, _)| b).collect();
-    assert!(top10.contains(&star), "planted star missing from paper-scale top-10");
+    let top10: Vec<BloggerId> = analysis
+        .top_k_general(10)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    assert!(
+        top10.contains(&star),
+        "planted star missing from paper-scale top-10"
+    );
 
     // Table I shape at paper scale.
     let table = mass::eval::run_user_study(
@@ -39,5 +52,8 @@ fn paper_scale_pipeline() {
     );
     let ds_mean = table.system_mean("Domain Specific").unwrap();
     let gen_mean = table.system_mean("General").unwrap();
-    assert!(ds_mean > gen_mean, "paper-scale Table I shape violated: {table}");
+    assert!(
+        ds_mean > gen_mean,
+        "paper-scale Table I shape violated: {table}"
+    );
 }
