@@ -1,0 +1,160 @@
+//! X10 — telemetry overhead: what does the mass-obs instrumentation cost?
+//!
+//! Runs the full pipeline (crawl a simulated host, then the MASS analysis)
+//! under four telemetry modes and compares median wall times:
+//!
+//! * `off`          — no telemetry installed (the default; one atomic load
+//!   per instrumentation point)
+//! * `metrics-only` — telemetry with no sinks: metrics collected, all span
+//!   and event records skipped
+//! * `null-sink`    — a trace-level null sink: full record construction
+//!   and fan-out, no I/O
+//! * `jsonl`        — a trace-level JSON-lines file sink (the
+//!   `--trace-out` path)
+//!
+//! The modes are interleaved across repetitions so clock drift and cache
+//! warmth hit all of them equally. The headline shape: disabled telemetry
+//! must show no measurable slowdown against itself rerun (within noise +
+//! a fixed allowance), because that is what every un-flagged CLI run pays.
+//! Writes the measurements to `BENCH_X10.json`.
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin table_x10_telemetry
+//! ```
+
+use mass_bench::{banner, corpus_of};
+use mass_core::{MassAnalysis, MassParams};
+use mass_crawler::{crawl, CrawlConfig, SimulatedHost};
+use mass_eval::TextTable;
+use mass_obs::json::Json;
+use mass_obs::{Level, NullSink, Telemetry};
+use std::time::Instant;
+
+const MODES: [&str; 4] = ["off", "metrics-only", "null-sink", "jsonl"];
+
+fn pipeline_once(host: &SimulatedHost) -> usize {
+    let result = crawl(host, &CrawlConfig::default()).expect("valid config");
+    let analysis = MassAnalysis::analyze(&result.dataset, &MassParams::paper());
+    // Return something data-dependent so the work cannot be optimised out.
+    analysis.scores.iterations + result.report.spaces_fetched
+}
+
+fn install_mode(mode: &str, trace_path: &str) {
+    match mode {
+        "off" => mass_obs::uninstall(),
+        "metrics-only" => mass_obs::install(Telemetry::builder().build()),
+        "null-sink" => mass_obs::install(
+            Telemetry::builder()
+                .sink(Box::new(NullSink::new(Level::Trace)))
+                .build(),
+        ),
+        "jsonl" => mass_obs::install(
+            Telemetry::builder()
+                .jsonl(trace_path)
+                .expect("temp trace file")
+                .build(),
+        ),
+        other => unreachable!("unknown mode {other}"),
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    banner(
+        "X10",
+        "telemetry overhead",
+        "full pipeline wall time under off / metrics-only / null-sink / jsonl telemetry",
+    );
+
+    let (bloggers, reps) = match std::env::var("MASS_BENCH_SCALE").as_deref() {
+        Ok("paper") => (600, 9),
+        _ => (200, 5),
+    };
+    let host = SimulatedHost::new(corpus_of(bloggers, 42).dataset);
+    let trace_path = std::env::temp_dir()
+        .join("mass_bench_x10_trace.jsonl")
+        .to_string_lossy()
+        .into_owned();
+
+    // Warm-up: touch every code path once before timing anything.
+    install_mode("jsonl", &trace_path);
+    let checksum = pipeline_once(&host);
+    mass_obs::uninstall();
+
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); MODES.len()];
+    for _rep in 0..reps {
+        for (i, mode) in MODES.iter().enumerate() {
+            install_mode(mode, &trace_path);
+            let start = Instant::now();
+            let got = pipeline_once(&host);
+            times[i].push(start.elapsed().as_secs_f64() * 1e3);
+            mass_obs::uninstall();
+            assert_eq!(got, checksum, "telemetry must not change results");
+        }
+    }
+
+    let medians: Vec<f64> = times.iter().map(|xs| median(&mut xs.clone())).collect();
+    let base = medians[0];
+    let mut table = TextTable::new(["mode", "median ms", "vs off", "runs"]);
+    for (i, mode) in MODES.iter().enumerate() {
+        table.row([
+            mode.to_string(),
+            format!("{:.2}", medians[i]),
+            format!("{:+.1}%", (medians[i] / base - 1.0) * 100.0),
+            format!("{reps}"),
+        ]);
+    }
+    println!("{table}");
+
+    let trace_lines = std::fs::read_to_string(&trace_path)
+        .map(|t| t.lines().count())
+        .unwrap_or(0);
+    println!("jsonl mode wrote {trace_lines} trace records per run");
+
+    let artifact = Json::Obj(vec![
+        ("experiment".into(), Json::from("X10 telemetry overhead")),
+        ("bloggers".into(), Json::from(bloggers as u64)),
+        ("reps".into(), Json::from(reps as u64)),
+        (
+            "median_ms".into(),
+            Json::Obj(
+                MODES
+                    .iter()
+                    .zip(&medians)
+                    .map(|(m, &v)| (m.to_string(), Json::Num(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "trace_records_per_run".into(),
+            Json::from(trace_lines as u64),
+        ),
+    ]);
+    std::fs::write("BENCH_X10.json", artifact.render() + "\n").expect("write BENCH_X10.json");
+    println!("wrote BENCH_X10.json");
+    let _ = std::fs::remove_file(&trace_path);
+
+    // Disabled instrumentation must be free: `off` pays one atomic load per
+    // probe. The allowance (25% + 2ms) absorbs scheduler noise at this
+    // corpus size; a real regression (record construction on the fast
+    // path) shows up as a multiple, not a percentage.
+    let disabled_ok = base <= medians[1] * 1.25 + 2.0 && medians[1] <= base * 1.25 + 2.0;
+    println!(
+        "shape {}: off and metrics-only telemetry cost the same within noise",
+        if disabled_ok { "HOLDS" } else { "VIOLATED" }
+    );
+    // The traced pipeline must stay usable — an order-of-magnitude blowup
+    // would make --trace-out useless on real corpora.
+    let traced_ok = medians[3] <= base * 10.0 + 50.0;
+    println!(
+        "shape {}: jsonl tracing keeps the pipeline within an order of magnitude",
+        if traced_ok { "HOLDS" } else { "VIOLATED" }
+    );
+    if !disabled_ok || !traced_ok {
+        std::process::exit(1);
+    }
+}

@@ -52,20 +52,29 @@ fn resolve_domain(ds: &Dataset, name: &str) -> Result<DomainId, String> {
     })
 }
 
-/// Prints a stderr warning when the solver run behind an analysis was not a
+/// Emits a warn event when the solver run behind an analysis was not a
 /// clean converged fixed point (shared by rank/recommend/search/report).
+/// With no telemetry installed the event falls back to a stderr line, so
+/// the warning stays visible by default; `--log-level off` silences it.
 fn warn_on_solver_status(scores: &mass_core::InfluenceScores) {
     use mass_core::SolveStatus;
+    use mass_obs::field;
     match scores.status {
         SolveStatus::Converged => {}
-        SolveStatus::MaxIterations => eprintln!(
-            "warning: solver did not converge (residual {:.2e} after {} sweeps); \
-             scores are approximate",
-            scores.residual, scores.iterations
+        SolveStatus::MaxIterations => mass_obs::warn(
+            "solver.not_converged",
+            &[
+                field("residual", scores.residual),
+                field("sweeps", scores.iterations),
+                field("note", "scores are approximate"),
+            ],
         ),
-        SolveStatus::Degenerate => eprintln!(
-            "warning: solver inputs were degenerate (non-finite values neutralised); \
-             treat the ranking with suspicion"
+        SolveStatus::Degenerate => mass_obs::warn(
+            "solver.degenerate_inputs",
+            &[field(
+                "note",
+                "non-finite values neutralised; treat the ranking with suspicion",
+            )],
         ),
     }
 }
@@ -164,24 +173,38 @@ pub fn crawl_cmd(args: &Args) -> CmdResult {
     if r.checkpoints_written > 0 {
         println!("wrote {} checkpoint(s)", r.checkpoints_written);
     }
-    if !r.rejected_pages.is_empty() {
-        println!(
-            "quarantined {} corrupt page(s): {:?}",
-            r.rejected_pages.len(),
-            r.rejected_pages
-        );
-    }
-    if r.throttled > 0 || r.corrupt_fetches > 0 {
-        println!(
-            "host pushback: {} throttled, {} corrupt responses",
-            r.throttled, r.corrupt_fetches
-        );
-    }
-    if r.breaker_trips > 0 {
-        println!(
-            "circuit breaker tripped {} time(s), open {:?}",
-            r.breaker_trips, r.breaker_open_time
-        );
+    // Crawl health notices go through the event API: visible on stderr by
+    // default (warn fallback), tunable with --log-level, and captured in
+    // --trace-out artifacts.
+    {
+        use mass_obs::field;
+        if !r.rejected_pages.is_empty() {
+            mass_obs::warn(
+                "crawl.pages_quarantined",
+                &[
+                    field("count", r.rejected_pages.len()),
+                    field("spaces", format!("{:?}", r.rejected_pages)),
+                ],
+            );
+        }
+        if r.throttled > 0 || r.corrupt_fetches > 0 {
+            mass_obs::info(
+                "crawl.host_pushback",
+                &[
+                    field("throttled", r.throttled),
+                    field("corrupt", r.corrupt_fetches),
+                ],
+            );
+        }
+        if r.breaker_trips > 0 {
+            mass_obs::warn(
+                "crawl.breaker_summary",
+                &[
+                    field("trips", r.breaker_trips),
+                    field("open_ms", r.breaker_open_time.as_millis() as u64),
+                ],
+            );
+        }
     }
     if r.budget_exhausted {
         println!("stopped early: time budget exhausted (resume with --checkpoint DIR --resume)");
@@ -435,6 +458,136 @@ pub fn discover(args: &Args) -> CmdResult {
         ]);
     }
     print!("{table}");
+    Ok(())
+}
+
+/// `mass obs-validate` — check that `--trace-out` / `--metrics-out`
+/// artifacts parse and contain the expected instrumentation. Used by the
+/// `scripts/check.sh` observability gate and handy after any traced run.
+pub fn obs_validate(args: &Args) -> CmdResult {
+    use mass_obs::json::{self, Json};
+    use std::collections::BTreeSet;
+
+    let mut checked = false;
+
+    if let Some(path) = args.get("trace").filter(|s| !s.is_empty()) {
+        checked = true;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading trace {path}: {e}"))?;
+        let records = json::parse_lines(&text)
+            .map_err(|(line, e)| format!("{path}:{line}: invalid JSON: {e}"))?;
+        if records.is_empty() {
+            return Err(format!("{path}: trace is empty"));
+        }
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        let (mut opens, mut closes, mut events) = (0usize, 0usize, 0usize);
+        for (i, r) in records.iter().enumerate() {
+            let line = i + 1;
+            let kind = r
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}:{line}: record has no kind"))?;
+            let name = r
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}:{line}: record has no name"))?;
+            r.get("t_us")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{path}:{line}: record has no t_us"))?;
+            let level = r
+                .get("level")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}:{line}: record has no level"))?;
+            if !matches!(mass_obs::parse_level(level), Ok(Some(_))) {
+                return Err(format!("{path}:{line}: unknown level {level:?}"));
+            }
+            match kind {
+                "span_open" => opens += 1,
+                "span_close" => {
+                    closes += 1;
+                    r.get("elapsed_us")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("{path}:{line}: span_close has no elapsed_us"))?;
+                }
+                "event" => events += 1,
+                other => return Err(format!("{path}:{line}: unknown kind {other:?}")),
+            }
+            names.insert(name.to_string());
+        }
+        if opens != closes {
+            return Err(format!(
+                "{path}: {opens} span_open records vs {closes} span_close — spans leaked"
+            ));
+        }
+        if let Some(expected) = args.get("expect-spans").filter(|s| !s.is_empty()) {
+            for want in expected.split(',').map(str::trim) {
+                if !names.contains(want) {
+                    return Err(format!(
+                        "{path}: expected span/event {want:?} not found; present: {}",
+                        names.iter().cloned().collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+        }
+        println!(
+            "trace {path}: OK ({} records: {opens} spans, {events} events, {} distinct names)",
+            records.len(),
+            names.len()
+        );
+    }
+
+    if let Some(path) = args.get("metrics").filter(|s| !s.is_empty()) {
+        checked = true;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading metrics {path}: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for section in ["counters", "gauges", "histograms"] {
+            let obj = doc
+                .get(section)
+                .and_then(Json::as_obj)
+                .ok_or(format!("{path}: missing {section:?} object"))?;
+            names.extend(obj.iter().map(|(k, _)| k.clone()));
+        }
+        // Quantiles of every histogram must be ordered and bracketed.
+        for (name, h) in doc.get("histograms").and_then(Json::as_obj).unwrap() {
+            let q = |key: &str| {
+                h.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("{path}: histogram {name:?} has no {key}"))
+            };
+            let count = h
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{path}: histogram {name:?} has no count"))?;
+            if count == 0 {
+                continue;
+            }
+            let (p50, p95, p99) = (q("p50")?, q("p95")?, q("p99")?);
+            let (min, max) = (q("min")?, q("max")?);
+            if !(min <= p50 && p50 <= p95 && p95 <= p99 && p99 <= max) {
+                return Err(format!(
+                    "{path}: histogram {name:?} quantiles disordered: \
+                     min {min} p50 {p50} p95 {p95} p99 {p99} max {max}"
+                ));
+            }
+        }
+        if let Some(expected) = args.get("expect-metrics").filter(|s| !s.is_empty()) {
+            for want in expected.split(',').map(str::trim) {
+                if !names.contains(want) {
+                    return Err(format!(
+                        "{path}: expected metric {want:?} not found; present: {}",
+                        names.iter().cloned().collect::<Vec<_>>().join(", ")
+                    ));
+                }
+            }
+        }
+        println!("metrics {path}: OK ({} metrics)", names.len());
+    }
+
+    if !checked {
+        return Err("nothing to validate; pass --trace FILE and/or --metrics FILE".into());
+    }
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 
 mod args;
 mod commands;
+mod obs_session;
 
 use args::Args;
 use std::process::ExitCode;
@@ -57,7 +58,17 @@ COMMANDS:
                --in FILE  --topics N (10)  --k N (3)
   user-study   reproduce Table I on a fresh synthetic corpus
                --bloggers N (3000)  --posts-per-blogger F (13.3)  --seed N (42)
+  obs-validate check telemetry artifacts written by --trace-out/--metrics-out
+               --trace FILE  --metrics FILE
+               --expect-spans NAME[,NAME...]  --expect-metrics NAME[,NAME...]
   help         print this message
+
+TELEMETRY (any command):
+  --log-level off|error|warn|info|debug|trace   stderr verbosity (warn)
+  --trace-out FILE    write spans/events as JSON lines
+  --metrics-out FILE  write the metrics snapshot as JSON
+  Any of these flags enables telemetry for the run and prints a metrics
+  summary to stderr afterwards; without them instrumentation is off.
 ";
 
 fn main() -> ExitCode {
@@ -66,6 +77,13 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let session = match obs_session::init(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -81,13 +99,18 @@ fn main() -> ExitCode {
         Some("report") => commands::report(&args),
         Some("discover") => commands::discover(&args),
         Some("user-study") => commands::user_study(&args),
+        Some("obs-validate") => commands::obs_validate(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(format!("unknown command {other:?}; try `mass help`")),
     };
-    match outcome {
+    let teardown = match session {
+        Some(s) => s.finish(),
+        None => Ok(()),
+    };
+    match outcome.and(teardown) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

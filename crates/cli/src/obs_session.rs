@@ -1,0 +1,161 @@
+//! Per-invocation telemetry wiring: the `--log-level`, `--trace-out` and
+//! `--metrics-out` global flags.
+//!
+//! With none of the flags present the CLI installs no telemetry at all, so
+//! the instrumented library paths stay on their one-atomic-load fast path
+//! and warn/error events fall back to plain stderr lines. With any flag
+//! present a [`mass_obs::Telemetry`] is installed for the duration of the
+//! command and torn down afterwards, flushing the artifacts and printing a
+//! metrics summary.
+
+use crate::args::Args;
+use mass_obs::{Level, Telemetry};
+use std::sync::Arc;
+
+/// The telemetry attached to one CLI invocation.
+#[derive(Debug)]
+pub struct ObsSession {
+    telemetry: Arc<Telemetry>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Inspects the obs flags and installs a telemetry when any is present.
+/// `--log-level` defaults to `warn` when another obs flag activates the
+/// session; `--log-level off` keeps stderr silent while still writing
+/// artifacts.
+pub fn init(args: &Args) -> Result<Option<ObsSession>, String> {
+    let log_level = args.get("log-level").filter(|s| !s.is_empty());
+    let trace_out = args
+        .get("trace-out")
+        .filter(|s| !s.is_empty())
+        .map(str::to_string);
+    let metrics_out = args
+        .get("metrics-out")
+        .filter(|s| !s.is_empty())
+        .map(str::to_string);
+    if log_level.is_none() && trace_out.is_none() && metrics_out.is_none() {
+        return Ok(None);
+    }
+
+    let stderr_level = match log_level {
+        Some(raw) => mass_obs::parse_level(raw)?,
+        None => Some(Level::Warn),
+    };
+    let mut builder = Telemetry::builder();
+    if let Some(level) = stderr_level {
+        builder = builder.stderr(level);
+    }
+    if let Some(path) = &trace_out {
+        builder = builder
+            .jsonl(path)
+            .map_err(|e| format!("creating trace file {path}: {e}"))?;
+    }
+    let telemetry = builder.build();
+    mass_obs::install(Arc::clone(&telemetry));
+    Ok(Some(ObsSession {
+        telemetry,
+        metrics_out,
+        trace_out,
+    }))
+}
+
+impl ObsSession {
+    /// Tears the session down: uninstalls the global telemetry, flushes the
+    /// trace file, writes the metrics artifact and prints the summary table
+    /// to stderr (stdout is reserved for command output).
+    pub fn finish(self) -> Result<(), String> {
+        mass_obs::uninstall();
+        self.telemetry.flush();
+        let snapshot = self.telemetry.metrics().snapshot();
+        if let Some(path) = &self.metrics_out {
+            let mut body = snapshot.to_json().render();
+            body.push('\n');
+            std::fs::write(path, body).map_err(|e| format!("writing metrics to {path}: {e}"))?;
+            eprintln!("wrote metrics to {path}");
+        }
+        if let Some(path) = &self.trace_out {
+            eprintln!("wrote trace to {path}");
+        }
+        if !snapshot.is_empty() {
+            eprint!("{}", snapshot.render_table());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// These tests install the process-global telemetry; run them one at a
+    /// time so parallel tests never see each other's pipelines.
+    static GLOBAL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mass_cli_obs_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn no_flags_installs_nothing() {
+        let args = Args::parse(["rank", "--k", "3"]).unwrap();
+        assert!(init(&args).unwrap().is_none());
+        assert!(!mass_obs::active());
+    }
+
+    #[test]
+    fn bad_level_is_an_error() {
+        let args = Args::parse(["rank", "--log-level", "shout"]).unwrap();
+        assert!(init(&args).unwrap_err().contains("shout"));
+    }
+
+    #[test]
+    fn session_writes_artifacts() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        let trace = tmp("session.jsonl");
+        let metrics = tmp("session_metrics.json");
+        let args = Args::parse([
+            "rank",
+            "--log-level",
+            "off",
+            "--trace-out",
+            &trace,
+            "--metrics-out",
+            &metrics,
+        ])
+        .unwrap();
+        let session = init(&args).unwrap().expect("flags present");
+        assert!(mass_obs::active());
+        {
+            let _span = mass_obs::span("cli.test_stage");
+            mass_obs::counter("cli.test_counter").add(2);
+        }
+        session.finish().unwrap();
+        assert!(!mass_obs::active());
+
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        let records = mass_obs::json::parse_lines(&trace_text).unwrap();
+        assert!(records.iter().any(
+            |r| r.get("name").and_then(mass_obs::json::Json::as_str) == Some("cli.test_stage")
+        ));
+        let metrics_doc =
+            mass_obs::json::parse(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        let counters = metrics_doc.get("counters").unwrap();
+        assert_eq!(
+            counters
+                .get("cli.test_counter")
+                .and_then(mass_obs::json::Json::as_u64),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn unwritable_trace_path_is_an_error() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        let args = Args::parse(["rank", "--trace-out", "/no/such/dir/trace.jsonl"]).unwrap();
+        assert!(init(&args).is_err());
+        assert!(!mass_obs::active());
+    }
+}

@@ -1,0 +1,187 @@
+//! End-to-end telemetry tests driving the built `mass` binary, so the
+//! process-global telemetry cannot interfere with other tests.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mass() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mass"))
+}
+
+fn tmp(name: &str) -> String {
+    let dir: PathBuf = std::env::temp_dir().join("mass_obs_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn run_ok(cmd: &mut Command) -> (String, String) {
+    let out = cmd.output().expect("spawn mass");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        out.status.success(),
+        "command failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    (stdout, stderr)
+}
+
+/// Crawl + rank with both artifacts on, then validate them with the
+/// expected span and metric names — the ISSUE's acceptance path.
+#[test]
+fn traced_pipeline_produces_validatable_artifacts() {
+    let corpus = tmp("corpus.xml");
+    let trace = tmp("trace.jsonl");
+    let metrics = tmp("metrics.json");
+
+    let (_, stderr) = run_ok(mass().args([
+        "crawl",
+        "--bloggers",
+        "30",
+        "--seed",
+        "5",
+        "--out",
+        &corpus,
+        "--log-level",
+        "off",
+        "--trace-out",
+        &trace,
+        "--metrics-out",
+        &metrics,
+    ]));
+    assert!(stderr.contains("wrote metrics to"), "stderr: {stderr}");
+    run_ok(mass().args([
+        "obs-validate",
+        "--trace",
+        &trace,
+        "--metrics",
+        &metrics,
+        "--expect-spans",
+        "crawl.run,crawl.layer,crawl.assemble",
+        "--expect-metrics",
+        "crawl.fetch_latency_us,crawl.retries,crawl.spaces_fetched",
+    ]));
+
+    // The solver path: rank over the crawled corpus, tracing solver spans
+    // and per-sweep residual events.
+    let rank_trace = tmp("rank_trace.jsonl");
+    let rank_metrics = tmp("rank_metrics.json");
+    let (_, stderr) = run_ok(mass().args([
+        "rank",
+        "--in",
+        &corpus,
+        "--k",
+        "3",
+        "--log-level",
+        "off",
+        "--trace-out",
+        &rank_trace,
+        "--metrics-out",
+        &rank_metrics,
+    ]));
+    // The metrics summary table is printed after the run.
+    assert!(stderr.contains("solver.sweep_us"), "stderr: {stderr}");
+    run_ok(mass().args([
+        "obs-validate",
+        "--trace",
+        &rank_trace,
+        "--metrics",
+        &rank_metrics,
+        "--expect-spans",
+        "solver.solve,solver.sweep,analysis.analyze",
+        "--expect-metrics",
+        "solver.sweeps,solver.sweep_us",
+    ]));
+
+    // Per-sweep residual events carry the sweep number and residual.
+    let text = std::fs::read_to_string(&rank_trace).unwrap();
+    let sweeps: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"solver.sweep\""))
+        .collect();
+    assert!(!sweeps.is_empty(), "no solver.sweep events in trace");
+    assert!(
+        sweeps.iter().all(|l| l.contains("residual")),
+        "sweep events must carry the residual"
+    );
+}
+
+#[test]
+fn log_level_controls_stderr_verbosity() {
+    let corpus = tmp("verbosity.xml");
+    run_ok(mass().args([
+        "generate",
+        "--bloggers",
+        "20",
+        "--seed",
+        "2",
+        "--out",
+        &corpus,
+    ]));
+    // debug shows span open/close lines on stderr.
+    let (_, loud) =
+        run_ok(mass().args(["rank", "--in", &corpus, "--k", "2", "--log-level", "debug"]));
+    assert!(loud.contains("solver.solve"), "stderr: {loud}");
+    // error level hides them (metrics summary still prints).
+    let (_, quiet) =
+        run_ok(mass().args(["rank", "--in", &corpus, "--k", "2", "--log-level", "error"]));
+    assert!(!quiet.contains("> solver.solve"), "stderr: {quiet}");
+}
+
+#[test]
+fn obs_validate_rejects_garbage() {
+    let bad = tmp("bad.jsonl");
+    std::fs::write(&bad, "this is not json\n").unwrap();
+    let out = mass()
+        .args(["obs-validate", "--trace", &bad])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid JSON"), "stderr: {stderr}");
+
+    let out = mass().args(["obs-validate"]).output().unwrap();
+    assert!(!out.status.success(), "no inputs must be an error");
+}
+
+#[test]
+fn obs_validate_reports_missing_expectations() {
+    let corpus = tmp("expect.xml");
+    let metrics = tmp("expect_metrics.json");
+    run_ok(mass().args([
+        "generate",
+        "--bloggers",
+        "15",
+        "--seed",
+        "3",
+        "--out",
+        &corpus,
+        "--log-level",
+        "off",
+        "--metrics-out",
+        &metrics,
+    ]));
+    let out = mass()
+        .args([
+            "obs-validate",
+            "--metrics",
+            &metrics,
+            "--expect-metrics",
+            "no.such.metric",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no.such.metric"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_log_level_fails_fast() {
+    let out = mass()
+        .args(["stats", "--in", "whatever.xml", "--log-level", "shout"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("shout"), "stderr: {stderr}");
+}

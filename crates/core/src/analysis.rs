@@ -32,13 +32,30 @@ impl MassAnalysis {
     /// Runs the complete pipeline on a dataset.
     pub fn analyze(ds: &Dataset, params: &MassParams) -> MassAnalysis {
         params.validate();
-        let ix = ds.index();
+        let _span = mass_obs::span_with(
+            "analysis.analyze",
+            vec![
+                mass_obs::field("bloggers", ds.bloggers.len()),
+                mass_obs::field("posts", ds.posts.len()),
+            ],
+        );
+        let ix = {
+            let _s = mass_obs::span("analysis.index");
+            ds.index()
+        };
         let scores = solve(ds, &ix, params);
-        let iv = iv_vectors(ds, params);
-        let domain_matrix = domain_influence(ds, &scores.post, &iv);
+        let iv = {
+            let _s = mass_obs::span("analysis.iv_vectors");
+            iv_vectors(ds, params)
+        };
+        let domain_matrix = {
+            let _s = mass_obs::span("analysis.domain_matrix");
+            domain_influence(ds, &scores.post, &iv)
+        };
         let classifier = match &params.iv {
             IvSource::Classifier(m) => Some(m.clone()),
             IvSource::TrainOnTagged | IvSource::TrueDomains => {
+                let _s = mass_obs::span("analysis.train_classifier");
                 train_on_tagged(ds, ds.domains.len())
             }
         };

@@ -80,6 +80,13 @@ pub struct MassParams {
     pub epsilon: f64,
     /// Solver: hard sweep cap.
     pub max_iterations: usize,
+    /// Solver: most residuals kept in `residual_history`. When a run would
+    /// exceed the cap the stored series is decimated by doubling its stride
+    /// (see `InfluenceScores::residual_stride`), bounding memory on long
+    /// runs; the full per-sweep series is still emitted as `solver.sweep`
+    /// trace events. The default exceeds the default `max_iterations`, so
+    /// out of the box the history stays exact.
+    pub residual_history_cap: usize,
 }
 
 impl MassParams {
@@ -96,6 +103,7 @@ impl MassParams {
             tc_normalisation: true,
             epsilon: 1e-9,
             max_iterations: 100,
+            residual_history_cap: 256,
         }
     }
 
@@ -117,6 +125,11 @@ impl MassParams {
         );
         assert!(self.epsilon > 0.0, "epsilon must be positive");
         assert!(self.max_iterations > 0, "max_iterations must be positive");
+        assert!(
+            self.residual_history_cap >= 2,
+            "residual_history_cap must be at least 2, got {}",
+            self.residual_history_cap
+        );
     }
 }
 
@@ -137,6 +150,7 @@ impl PartialEq for MassParams {
             && self.tc_normalisation == other.tc_normalisation
             && self.epsilon == other.epsilon
             && self.max_iterations == other.max_iterations
+            && self.residual_history_cap == other.residual_history_cap
             && matches!(
                 (&self.iv, &other.iv),
                 (IvSource::TrainOnTagged, IvSource::TrainOnTagged)
@@ -177,6 +191,16 @@ mod tests {
     fn beta_out_of_range() {
         MassParams {
             beta: -0.1,
+            ..MassParams::paper()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "residual_history_cap")]
+    fn history_cap_must_allow_endpoints() {
+        MassParams {
+            residual_history_cap: 1,
             ..MassParams::paper()
         }
         .validate();

@@ -19,6 +19,7 @@
 use crate::gl::gl_scores;
 use crate::params::MassParams;
 use crate::quality::raw_quality_scores;
+use mass_obs::field;
 use mass_text::SentimentLexicon;
 use mass_types::{BloggerId, Dataset, DatasetIndex, PostId};
 
@@ -109,8 +110,13 @@ pub struct InfluenceScores {
     pub iterations: usize,
     /// Final L∞ residual of the blogger-influence vector.
     pub residual: f64,
-    /// Residual after each sweep (the X3 convergence curve).
+    /// Residual per recorded sweep (the X3 convergence curve).
+    /// `residual_history[i]` belongs to sweep `1 + i * residual_stride`;
+    /// see [`MassParams::residual_history_cap`].
     pub residual_history: Vec<f64>,
+    /// Sweep stride of `residual_history`: 1 while the run fits the cap,
+    /// doubled each time the series is decimated.
+    pub residual_stride: usize,
     /// Whether the residual dropped below ε within the sweep cap.
     pub converged: bool,
     /// How the run ended; [`SolveStatus::Degenerate`] flags sanitised inputs
@@ -178,6 +184,14 @@ pub fn solve_prepared(
     params.validate();
     let nb = ds.bloggers.len();
     let np = ds.posts.len();
+    let _solve_span = mass_obs::span_with(
+        "solver.solve",
+        vec![
+            field("bloggers", nb),
+            field("posts", np),
+            field("warm", warm_start.is_some()),
+        ],
+    );
     assert_eq!(inputs.raw_quality.len(), np, "quality input mismatch");
     assert_eq!(inputs.gl.len(), nb, "gl input mismatch");
     assert_eq!(inputs.factors.len(), np, "factors input mismatch");
@@ -273,10 +287,16 @@ pub fn solve_prepared(
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
     let mut residual_history = Vec::new();
+    // Sweeps 1 + i*stride are recorded; the stride doubles (and the stored
+    // series is decimated to match) whenever the cap is hit.
+    let mut residual_stride = 1usize;
     let mut converged = false;
+    let sweep_time = mass_obs::histogram("solver.sweep_us");
+    let sweep_count = mass_obs::counter("solver.sweeps");
 
     while iterations < params.max_iterations {
         iterations += 1;
+        let sweep_start = std::time::Instant::now();
 
         // Step 1: raw comment scores, then max-normalise.
         let mut comment_raw = vec![0.0f64; np];
@@ -315,7 +335,25 @@ pub fn solve_prepared(
             inf[i] = next;
         }
         residual = new_residual;
-        residual_history.push(residual);
+        // The trace stream always carries the full series; the in-memory
+        // history is the one bounded by the cap.
+        sweep_time.record_duration(sweep_start.elapsed());
+        sweep_count.inc();
+        mass_obs::trace(
+            "solver.sweep",
+            &[field("sweep", iterations), field("residual", residual)],
+        );
+        if (iterations - 1) % residual_stride == 0 {
+            residual_history.push(residual);
+            if residual_history.len() >= params.residual_history_cap {
+                let mut keep = 0usize;
+                residual_history.retain(|_| {
+                    keep += 1;
+                    (keep - 1).is_multiple_of(2)
+                });
+                residual_stride *= 2;
+            }
+        }
         comment_norm = comment_raw;
 
         if residual < params.epsilon {
@@ -352,6 +390,23 @@ pub fn solve_prepared(
     } else {
         SolveStatus::MaxIterations
     };
+    if degenerate {
+        mass_obs::counter("solver.degenerate_runs").inc();
+    }
+    if !converged {
+        mass_obs::counter("solver.capped_runs").inc();
+    }
+    if mass_obs::active() {
+        // Guarded so the status string is not formatted on disabled runs.
+        mass_obs::debug(
+            "solver.done",
+            &[
+                field("iterations", iterations),
+                field("residual", residual),
+                field("status", format!("{status}")),
+            ],
+        );
+    }
 
     InfluenceScores {
         blogger: inf,
@@ -363,6 +418,7 @@ pub fn solve_prepared(
         iterations,
         residual,
         residual_history,
+        residual_stride,
         converged,
         status,
     }
@@ -580,6 +636,49 @@ mod tests {
         );
         assert_eq!(s.iterations, 3);
         assert!(!s.converged);
+    }
+
+    /// The capped residual history is a stride-aligned subsample of the
+    /// uncapped series: entry `i` is the residual of sweep `1 + i*stride`.
+    #[test]
+    fn residual_history_cap_decimates_but_stays_aligned() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(1));
+        let slow = MassParams {
+            epsilon: 1e-300,
+            max_iterations: 64,
+            ..MassParams::paper()
+        };
+        let full = solve_ds(&out.dataset, &slow);
+        assert_eq!(full.residual_stride, 1);
+        assert_eq!(full.residual_history.len(), full.iterations);
+        // The corpus reaches its fixed point exactly, but well past the cap
+        // we decimate against below.
+        assert!(
+            full.iterations > 8,
+            "need >8 sweeps, got {}",
+            full.iterations
+        );
+        let capped = solve_ds(
+            &out.dataset,
+            &MassParams {
+                residual_history_cap: 4,
+                ..slow
+            },
+        );
+        assert!(capped.residual_history.len() <= 4);
+        assert!(capped.residual_stride > 1);
+        assert_eq!(capped.residual_history[0], full.residual_history[0]);
+        for (i, &r) in capped.residual_history.iter().enumerate() {
+            assert_eq!(
+                r,
+                full.residual_history[i * capped.residual_stride],
+                "entry {i} misaligned for stride {}",
+                capped.residual_stride
+            );
+        }
+        // The endpoint is always available even when decimation drops it.
+        assert_eq!(capped.residual, full.residual);
+        assert_eq!(capped.iterations, full.iterations);
     }
 
     #[test]

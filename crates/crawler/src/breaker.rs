@@ -11,6 +11,7 @@
 //! timing changes.
 
 use crate::config::ConfigError;
+use mass_obs::field;
 use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -175,6 +176,7 @@ impl CircuitBreaker {
                         // Probes all passed: host looks healthy again.
                         inner.state = State::Closed;
                         inner.window.clear();
+                        mass_obs::info("breaker.close", &[field("probes", self.cfg.probes)]);
                     } else {
                         inner.state = State::HalfOpen {
                             in_flight: in_flight.saturating_sub(1),
@@ -200,6 +202,14 @@ impl CircuitBreaker {
         inner.window.clear();
         inner.trips += 1;
         inner.open_since = Some(now);
+        mass_obs::counter("breaker.trips").inc();
+        mass_obs::warn(
+            "breaker.open",
+            &[
+                field("trips", inner.trips),
+                field("cooldown_ms", self.cfg.cooldown.as_millis() as u64),
+            ],
+        );
     }
 
     fn leave_open(&self, inner: &mut Inner) {

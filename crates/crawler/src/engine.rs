@@ -20,6 +20,7 @@ use crate::checkpoint::{load_checkpoint, save_checkpoint, CrawlCheckpoint};
 use crate::config::{ConfigError, CrawlConfig};
 use crate::host::{BlogHost, FetchError, SpacePage};
 use crate::politeness::RateLimiter;
+use mass_obs::field;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -134,6 +135,14 @@ fn snapshot(
 /// Crawls `host` according to `cfg` and assembles the result.
 pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, CrawlError> {
     cfg.validate()?;
+    let _run_span = mass_obs::span_with(
+        "crawl.run",
+        vec![
+            field("threads", cfg.threads),
+            field("max_spaces", cfg.max_spaces),
+            field("retries", cfg.retries),
+        ],
+    );
     let start = Instant::now();
     let deadline = cfg.time_budget.map(|b| start + b);
 
@@ -165,6 +174,14 @@ pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, Craw
             report.throttled = cp.throttled;
             report.corrupt_fetches = cp.corrupt_fetches;
             report.resumed_from_checkpoint = true;
+            mass_obs::info(
+                "crawl.resumed",
+                &[
+                    field("depth", depth),
+                    field("pages", cp_pages.len()),
+                    field("frontier", frontier.len()),
+                ],
+            );
             pages = cp_pages;
         }
         None => {
@@ -209,6 +226,10 @@ pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, Craw
         frontier.truncate(budget);
         report.layer_sizes.push(frontier.len());
 
+        let layer_span = mass_obs::span_with(
+            "crawl.layer",
+            vec![field("depth", depth), field("spaces", frontier.len())],
+        );
         let layer = fetch_layer(
             host,
             &frontier,
@@ -218,6 +239,7 @@ pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, Craw
             deadline,
             &mut report,
         );
+        drop(layer_span);
         let mut next: BTreeSet<usize> = BTreeSet::new();
         for page in layer {
             for &f in &page.friends {
@@ -247,6 +269,11 @@ pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, Craw
                 save_checkpoint(dir, &snapshot(&visited, &frontier, depth, &report), &pages)
                     .map_err(|e| CrawlError::Checkpoint(e.to_string()))?;
                 report.checkpoints_written += 1;
+                mass_obs::counter("crawl.checkpoints").inc();
+                mass_obs::info(
+                    "crawl.checkpoint",
+                    &[field("depth", depth), field("pages", pages.len())],
+                );
             }
         }
         if frontier.is_empty() {
@@ -270,13 +297,23 @@ pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, Craw
         report.breaker_open_time = b.open_time();
     }
     report.spaces_fetched = pages.len();
+    mass_obs::counter("crawl.spaces_fetched").add(pages.len() as u64);
+    if report.budget_exhausted {
+        mass_obs::warn(
+            "crawl.budget_exhausted",
+            &[field("pages", pages.len()), field("depth", depth)],
+        );
+    }
 
+    let assemble_span = mass_obs::span_with("crawl.assemble", vec![field("pages", pages.len())]);
     let AssembledCrawl {
         dataset,
         space_of,
         stub_start,
         rejected,
     } = assemble_dataset(&pages);
+    drop(assemble_span);
+    mass_obs::counter("crawl.quarantined").add(rejected.len() as u64);
     report.rejected_pages = rejected;
     report.posts = dataset.posts.len();
     report.comments = dataset.posts.iter().map(|p| p.comments.len()).sum();
@@ -303,6 +340,13 @@ fn fetch_layer(
     let cursor = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, Option<SpacePage>)>> =
         Mutex::new(Vec::with_capacity(frontier.len()));
+    // Metric handles are hoisted outside the worker loop: recording through
+    // them is lock-free, only the name lookup takes a mutex.
+    let fetch_latency = mass_obs::histogram("crawl.fetch_latency_us");
+    let retry_events = mass_obs::counter("crawl.retries");
+    let throttled_events = mass_obs::counter("crawl.throttled");
+    let corrupt_events = mass_obs::counter("crawl.corrupt_fetches");
+    let backoff_sleep = mass_obs::counter("crawl.backoff_sleep_us");
     let retries = AtomicUsize::new(0);
     let missing = AtomicUsize::new(0);
     let failed = AtomicUsize::new(0);
@@ -330,6 +374,7 @@ fn fetch_layer(
                     if attempt > 0 {
                         let delay = cfg.backoff.delay(space, attempt);
                         if !delay.is_zero() {
+                            backoff_sleep.add(delay.as_micros() as u64);
                             std::thread::sleep(delay);
                         }
                     }
@@ -347,7 +392,10 @@ fn fetch_layer(
                     if let Some(l) = limiter {
                         l.acquire();
                     }
-                    match host.fetch_space(space) {
+                    let fetch_start = Instant::now();
+                    let fetched = host.fetch_space(space);
+                    fetch_latency.record_duration(fetch_start.elapsed());
+                    match fetched {
                         Ok(page) => {
                             if let Some(b) = breaker {
                                 b.record(true);
@@ -368,9 +416,11 @@ fn fetch_layer(
                             match err {
                                 FetchError::Throttled(_) => {
                                     throttled.fetch_add(1, Ordering::Relaxed);
+                                    throttled_events.inc();
                                 }
                                 FetchError::Corrupt(_) => {
                                     corrupt.fetch_add(1, Ordering::Relaxed);
+                                    corrupt_events.inc();
                                 }
                                 _ => {}
                             }
@@ -382,6 +432,7 @@ fn fetch_layer(
                             }
                             if attempt < cfg.retries {
                                 retries.fetch_add(1, Ordering::Relaxed);
+                                retry_events.inc();
                             }
                         }
                     }

@@ -1,0 +1,293 @@
+//! Trace record sinks: null, stderr pretty-printer, JSON-lines file.
+
+use crate::json::Json;
+use crate::{Field, Level, Value};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// What a record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span just opened.
+    SpanOpen,
+    /// A span just closed (`elapsed_us` is set).
+    SpanClose,
+    /// A point event.
+    Event,
+}
+
+/// One trace record handed to every sink.
+#[derive(Clone, Debug)]
+pub struct Record<'a> {
+    /// Record class.
+    pub kind: RecordKind,
+    /// Microseconds since the telemetry epoch (monotonic).
+    pub t_us: u64,
+    /// Severity (spans record at [`Level::Debug`]).
+    pub level: Level,
+    /// Span id this record belongs to (0 = none / root).
+    pub span: u64,
+    /// Parent span id (0 = root).
+    pub parent: u64,
+    /// Nesting depth on the emitting thread (0 = top level).
+    pub depth: usize,
+    /// Span or event name (dotted taxonomy, e.g. `crawl.layer`).
+    pub name: &'a str,
+    /// Key-value payload.
+    pub fields: &'a [Field],
+    /// Wall time of the span on close.
+    pub elapsed_us: Option<u64>,
+}
+
+/// Receives trace records. Implementations filter by level themselves, so
+/// one telemetry can fan out to sinks of different verbosity.
+pub trait Sink: Send + Sync {
+    /// Handles one record.
+    fn emit(&self, record: &Record<'_>);
+    /// The most verbose level this sink wants (records above are skipped).
+    fn max_level(&self) -> Level;
+    /// Flushes buffered output (called at session end).
+    fn flush(&self) {}
+}
+
+/// Discards everything. Useful to measure instrumentation overhead with
+/// the full record construction path active but no I/O.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink {
+    /// Verbosity the sink *claims*, so records are still constructed.
+    pub level: Level,
+}
+
+impl NullSink {
+    /// A null sink claiming the given verbosity.
+    pub fn new(level: Level) -> Self {
+        NullSink { level }
+    }
+}
+
+impl Sink for NullSink {
+    fn emit(&self, _record: &Record<'_>) {}
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+}
+
+/// Renders one record as the human-readable line the stderr sink prints.
+pub fn pretty_line(r: &Record<'_>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "[{:>12.3}ms] {:<5}", r.t_us as f64 / 1e3, r.level);
+    for _ in 0..r.depth {
+        out.push_str("  ");
+    }
+    match r.kind {
+        RecordKind::SpanOpen => {
+            let _ = write!(out, " > {}", r.name);
+        }
+        RecordKind::SpanClose => {
+            let _ = write!(
+                out,
+                " < {} ({:.3}ms)",
+                r.name,
+                r.elapsed_us.unwrap_or(0) as f64 / 1e3
+            );
+        }
+        RecordKind::Event => {
+            let _ = write!(out, " {}", r.name);
+        }
+    }
+    for f in r.fields {
+        let _ = write!(out, " {}={}", f.key, f.value);
+    }
+    out
+}
+
+/// Pretty-prints records to stderr at or below a verbosity level.
+#[derive(Clone, Copy, Debug)]
+pub struct StderrSink {
+    level: Level,
+}
+
+impl StderrSink {
+    /// A stderr sink showing records at or below `level`.
+    pub fn new(level: Level) -> Self {
+        StderrSink { level }
+    }
+}
+
+impl Sink for StderrSink {
+    fn emit(&self, record: &Record<'_>) {
+        if record.level <= self.level {
+            eprintln!("{}", pretty_line(record));
+        }
+    }
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+}
+
+/// Serialises one record to its JSON-lines form.
+pub fn record_to_json(r: &Record<'_>) -> Json {
+    let mut pairs = vec![
+        (
+            "kind".to_string(),
+            Json::from(match r.kind {
+                RecordKind::SpanOpen => "span_open",
+                RecordKind::SpanClose => "span_close",
+                RecordKind::Event => "event",
+            }),
+        ),
+        ("t_us".to_string(), Json::from(r.t_us)),
+        ("level".to_string(), Json::from(r.level.as_str())),
+        ("name".to_string(), Json::from(r.name)),
+    ];
+    if r.span != 0 {
+        pairs.push(("span".into(), Json::from(r.span)));
+    }
+    if r.parent != 0 {
+        pairs.push(("parent".into(), Json::from(r.parent)));
+    }
+    if let Some(elapsed) = r.elapsed_us {
+        pairs.push(("elapsed_us".into(), Json::from(elapsed)));
+    }
+    if !r.fields.is_empty() {
+        pairs.push((
+            "fields".into(),
+            Json::Obj(
+                r.fields
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.key.to_string(),
+                            match &f.value {
+                                Value::U64(n) => Json::from(*n),
+                                Value::I64(n) => Json::Num(*n as f64),
+                                Value::F64(n) => Json::Num(*n),
+                                Value::Bool(b) => Json::Bool(*b),
+                                Value::Str(s) => Json::from(s.as_str()),
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Appends records as JSON lines to a file, fully buffered.
+#[derive(Debug)]
+pub struct JsonlSink {
+    level: Level,
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the output file; records at or below `level`
+    /// are written.
+    pub fn create(path: impl AsRef<Path>, level: Level) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            level,
+            file: Mutex::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, record: &Record<'_>) {
+        if record.level > self.level {
+            return;
+        }
+        let line = record_to_json(record).render();
+        let mut file = self.file.lock().expect("jsonl sink poisoned");
+        let _ = writeln!(file, "{line}");
+    }
+
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn flush(&self) {
+        let _ = self.file.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field;
+
+    fn sample<'a>(fields: &'a [Field]) -> Record<'a> {
+        Record {
+            kind: RecordKind::Event,
+            t_us: 1500,
+            level: Level::Warn,
+            span: 3,
+            parent: 1,
+            depth: 2,
+            name: "solver.degenerate",
+            fields,
+            elapsed_us: None,
+        }
+    }
+
+    #[test]
+    fn pretty_line_shows_name_level_fields() {
+        let fields = vec![field("residual", 0.5), field("what", "nan")];
+        let line = pretty_line(&sample(&fields));
+        assert!(line.contains("WARN"), "{line}");
+        assert!(line.contains("solver.degenerate"));
+        assert!(line.contains("residual=0.5"));
+        assert!(line.contains("what=nan"));
+    }
+
+    #[test]
+    fn record_json_round_trips() {
+        let fields = vec![field("depth", 4u64), field("ok", true)];
+        let doc = record_to_json(&sample(&fields));
+        let parsed = crate::json::parse(&doc.render()).unwrap();
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("event"));
+        assert_eq!(parsed.get("t_us").and_then(Json::as_u64), Some(1500));
+        assert_eq!(parsed.get("span").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            parsed
+                .get("fields")
+                .and_then(|f| f.get("depth"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("mass_obs_sink_test.jsonl");
+        let sink = JsonlSink::create(&path, Level::Trace).unwrap();
+        let fields = vec![field("n", 1u64)];
+        sink.emit(&sample(&fields));
+        sink.emit(&Record {
+            kind: RecordKind::SpanClose,
+            elapsed_us: Some(42),
+            ..sample(&[])
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let docs = crate::json::parse_lines(&text).unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[1].get("elapsed_us").and_then(Json::as_u64), Some(42));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn level_filter_applies() {
+        let path = std::env::temp_dir().join("mass_obs_sink_filter.jsonl");
+        let sink = JsonlSink::create(&path, Level::Error).unwrap();
+        let fields = [];
+        sink.emit(&sample(&fields)); // Warn > Error → dropped
+        sink.flush();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let _ = std::fs::remove_file(&path);
+    }
+}

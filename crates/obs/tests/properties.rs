@@ -1,0 +1,124 @@
+//! Property-based tests for the metrics registry: quantile ordering,
+//! merge algebra, and conservation under concurrent recording.
+
+use mass_obs::metrics::{HistogramSnapshot, MetricsSnapshot, Registry};
+use proptest::prelude::*;
+
+fn filled_histogram(values: &[f64]) -> HistogramSnapshot {
+    let registry = Registry::new();
+    let h = registry.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn filled_registry(counts: &[(u8, u64)], values: &[f64]) -> Registry {
+    let registry = Registry::new();
+    for &(name, n) in counts {
+        registry.counter(&format!("c{name}")).add(n);
+    }
+    let h = registry.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    registry
+}
+
+fn counter_sum(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles of any recorded sample are monotone: p50 <= p95 <= p99,
+    /// and all of them sit inside [min, max].
+    #[test]
+    fn histogram_quantiles_are_monotone(
+        values in proptest::collection::vec(0.0f64..1.0e7, 1..200),
+    ) {
+        let snap = filled_histogram(&values);
+        let p50 = snap.quantile(0.50).unwrap();
+        let p95 = snap.quantile(0.95).unwrap();
+        let p99 = snap.quantile(0.99).unwrap();
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        prop_assert!(snap.min.unwrap() <= p50);
+        prop_assert!(p99 <= snap.max.unwrap());
+        prop_assert_eq!(snap.count, values.len() as u64);
+    }
+
+    /// Merging snapshots is associative and commutative on every counter,
+    /// and histogram counts/sums add up exactly.
+    #[test]
+    fn snapshot_merge_is_associative(
+        a in proptest::collection::vec((0u8..4, 0u64..1000), 0..4),
+        b in proptest::collection::vec((0u8..4, 0u64..1000), 0..4),
+        c in proptest::collection::vec((0u8..4, 0u64..1000), 0..4),
+        va in proptest::collection::vec(0.0f64..1000.0, 0..20),
+        vb in proptest::collection::vec(0.0f64..1000.0, 0..20),
+        vc in proptest::collection::vec(0.0f64..1000.0, 0..20),
+    ) {
+        let (sa, sb, sc) = (
+            filled_registry(&a, &va).snapshot(),
+            filled_registry(&b, &vb).snapshot(),
+            filled_registry(&c, &vc).snapshot(),
+        );
+        let left = sa.merge(&sb).merge(&sc);
+        let right = sa.merge(&sb.merge(&sc));
+        for name in ["c0", "c1", "c2", "c3"] {
+            let want: u64 = [&a, &b, &c]
+                .iter()
+                .flat_map(|set| set.iter())
+                .filter(|(n, _)| format!("c{n}") == name)
+                .map(|&(_, v)| v)
+                .sum();
+            prop_assert_eq!(counter_sum(&left, name), want);
+            prop_assert_eq!(counter_sum(&right, name), want);
+            prop_assert_eq!(counter_sum(&sb.merge(&sa), name), counter_sum(&sa.merge(&sb), name));
+        }
+        let hl = left.histograms.get("h").unwrap();
+        let hr = right.histograms.get("h").unwrap();
+        let want_n = (va.len() + vb.len() + vc.len()) as u64;
+        prop_assert_eq!(hl.count, want_n);
+        prop_assert_eq!(hr.count, want_n);
+        let want_sum: f64 = va.iter().chain(&vb).chain(&vc).sum();
+        prop_assert!((hl.sum - want_sum).abs() <= 1e-6 * want_sum.max(1.0));
+    }
+
+    /// Concurrent recording never loses an observation: with T threads each
+    /// recording N values into the same histogram and counter, the snapshot
+    /// holds exactly T*N observations and the bucket counts sum to that.
+    #[test]
+    fn concurrent_recording_conserves_counts(
+        threads in 2usize..6,
+        per_thread in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let registry = Registry::new();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = &registry;
+                scope.spawn(move || {
+                    let hits = registry.counter("hits");
+                    let lat = registry.histogram("lat");
+                    for i in 0..per_thread {
+                        hits.inc();
+                        // Spread values across buckets deterministically.
+                        let v = ((seed ^ ((t as u64) << 32)) >> 7) as f64
+                            + (i as f64) * 13.7;
+                        lat.record(v % 1.0e6);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let want = (threads * per_thread) as u64;
+        prop_assert_eq!(counter_sum(&snap, "hits"), want);
+        let h = snap.histograms.get("lat").unwrap();
+        prop_assert_eq!(h.count, want);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), want);
+        prop_assert!(h.min.unwrap() <= h.max.unwrap());
+    }
+}

@@ -142,6 +142,13 @@ impl TopicModel {
 /// Discovers topics in an untagged corpus by co-occurrence clustering of
 /// frequent terms.
 pub fn discover_topics(docs: &[&str], params: &DiscoveryParams) -> TopicModel {
+    let _span = mass_obs::span_with(
+        "text.discover_topics",
+        vec![
+            mass_obs::field("docs", docs.len()),
+            mass_obs::field("topics", params.topics),
+        ],
+    );
     assert!(params.topics > 0, "must request at least one topic");
     assert!(
         params.vocabulary >= params.topics,

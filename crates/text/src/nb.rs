@@ -66,6 +66,13 @@ impl NaiveBayesTrainer {
     /// Freezes the model. `min_term_count` prunes terms seen fewer times in
     /// total (0 or 1 keeps everything).
     pub fn build(self, min_term_count: u32) -> NaiveBayes {
+        let _span = mass_obs::span_with(
+            "text.nb_build",
+            vec![
+                mass_obs::field("classes", self.classes),
+                mass_obs::field("docs", self.document_count()),
+            ],
+        );
         let mut vocab: Vec<(String, Vec<u32>)> = self
             .term_counts
             .into_iter()

@@ -25,4 +25,25 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
+if [[ $fast -eq 0 ]]; then
+  echo "== obs smoke: traced pipeline round-trips through obs-validate =="
+  obs_dir="$(mktemp -d)"
+  trap 'rm -rf "$obs_dir"' EXIT
+  mass=target/release/mass
+  "$mass" crawl --bloggers 30 --seed 5 --out "$obs_dir/corpus.xml" \
+    --log-level off --trace-out "$obs_dir/crawl.jsonl" \
+    --metrics-out "$obs_dir/crawl_metrics.json" >/dev/null
+  "$mass" obs-validate --trace "$obs_dir/crawl.jsonl" \
+    --metrics "$obs_dir/crawl_metrics.json" \
+    --expect-spans crawl.run,crawl.layer,crawl.assemble \
+    --expect-metrics crawl.fetch_latency_us,crawl.retries,crawl.spaces_fetched
+  "$mass" rank --in "$obs_dir/corpus.xml" --k 3 \
+    --log-level off --trace-out "$obs_dir/rank.jsonl" \
+    --metrics-out "$obs_dir/rank_metrics.json" >/dev/null
+  "$mass" obs-validate --trace "$obs_dir/rank.jsonl" \
+    --metrics "$obs_dir/rank_metrics.json" \
+    --expect-spans solver.solve,analysis.analyze \
+    --expect-metrics solver.sweeps,solver.sweep_us
+fi
+
 echo "all checks passed"

@@ -13,6 +13,7 @@
 //! | [`crawler`] | `mass-crawler` | multi-threaded crawl over a blog host |
 //! | [`core`] | `mass-core` | the influence model, top-k, recommendation |
 //! | [`eval`] | `mass-eval` | user-study reproduction, ranking metrics |
+//! | [`obs`] | `mass-obs` | tracing spans/events, metrics registry, JSON export |
 //! | [`viz`] | `mass-viz` | post-reply network, layout, exports |
 //!
 //! ## Thirty-second tour
@@ -37,6 +38,7 @@ pub use mass_core as core;
 pub use mass_crawler as crawler;
 pub use mass_eval as eval;
 pub use mass_graph as graph;
+pub use mass_obs as obs;
 pub use mass_synth as synth;
 pub use mass_text as text;
 pub use mass_types as types;

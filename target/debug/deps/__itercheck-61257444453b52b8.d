@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/__itercheck-61257444453b52b8.d: crates/bench/src/bin/__itercheck.rs
+
+/root/repo/target/debug/deps/__itercheck-61257444453b52b8: crates/bench/src/bin/__itercheck.rs
+
+crates/bench/src/bin/__itercheck.rs:

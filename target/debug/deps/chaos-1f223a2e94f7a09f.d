@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-1f223a2e94f7a09f.d: crates/crawler/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-1f223a2e94f7a09f.rmeta: crates/crawler/tests/chaos.rs Cargo.toml
+
+crates/crawler/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

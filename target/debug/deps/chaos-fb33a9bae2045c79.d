@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-fb33a9bae2045c79.d: crates/crawler/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-fb33a9bae2045c79: crates/crawler/tests/chaos.rs
+
+crates/crawler/tests/chaos.rs:

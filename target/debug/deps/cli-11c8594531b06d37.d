@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-11c8594531b06d37.d: crates/cli/tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-11c8594531b06d37.rmeta: crates/cli/tests/cli.rs Cargo.toml
+
+crates/cli/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_mass=placeholder:mass
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-3b8ea54e53144809.d: crates/cli/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-3b8ea54e53144809: crates/cli/tests/cli.rs
+
+crates/cli/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mass=/root/repo/target/debug/mass

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crawler-cef34154eb2cc309.d: crates/bench/benches/crawler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrawler-cef34154eb2cc309.rmeta: crates/bench/benches/crawler.rs Cargo.toml
+
+crates/bench/benches/crawler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-984b914cb56d325b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-984b914cb56d325b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-5d3f8064b8480b58.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-5d3f8064b8480b58.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

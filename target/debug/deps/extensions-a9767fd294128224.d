@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-a9767fd294128224.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-a9767fd294128224: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_sample_graph-4f9f4a6850134931.d: crates/bench/src/bin/fig1_sample_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_sample_graph-4f9f4a6850134931.rmeta: crates/bench/src/bin/fig1_sample_graph.rs Cargo.toml
+
+crates/bench/src/bin/fig1_sample_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

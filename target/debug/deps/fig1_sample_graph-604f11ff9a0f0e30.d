@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_sample_graph-604f11ff9a0f0e30.d: crates/bench/src/bin/fig1_sample_graph.rs
+
+/root/repo/target/debug/deps/fig1_sample_graph-604f11ff9a0f0e30: crates/bench/src/bin/fig1_sample_graph.rs
+
+crates/bench/src/bin/fig1_sample_graph.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_sample_graph-e5697a2a48b7d763.d: crates/bench/src/bin/fig1_sample_graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_sample_graph-e5697a2a48b7d763.rmeta: crates/bench/src/bin/fig1_sample_graph.rs Cargo.toml
+
+crates/bench/src/bin/fig1_sample_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_pipeline-0f080c068b4bafe9.d: crates/bench/src/bin/fig2_pipeline.rs
+
+/root/repo/target/debug/deps/fig2_pipeline-0f080c068b4bafe9: crates/bench/src/bin/fig2_pipeline.rs
+
+crates/bench/src/bin/fig2_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_pipeline-618250762e6fd8b1.d: crates/bench/src/bin/fig2_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_pipeline-618250762e6fd8b1.rmeta: crates/bench/src/bin/fig2_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/fig2_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_advertisement-4fa77db77866596c.d: crates/bench/src/bin/fig3_advertisement.rs
+
+/root/repo/target/debug/deps/fig3_advertisement-4fa77db77866596c: crates/bench/src/bin/fig3_advertisement.rs
+
+crates/bench/src/bin/fig3_advertisement.rs:

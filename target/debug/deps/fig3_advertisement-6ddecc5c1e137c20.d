@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_advertisement-6ddecc5c1e137c20.d: crates/bench/src/bin/fig3_advertisement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_advertisement-6ddecc5c1e137c20.rmeta: crates/bench/src/bin/fig3_advertisement.rs Cargo.toml
+
+crates/bench/src/bin/fig3_advertisement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

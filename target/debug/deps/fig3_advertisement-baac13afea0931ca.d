@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_advertisement-baac13afea0931ca.d: crates/bench/src/bin/fig3_advertisement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_advertisement-baac13afea0931ca.rmeta: crates/bench/src/bin/fig3_advertisement.rs Cargo.toml
+
+crates/bench/src/bin/fig3_advertisement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

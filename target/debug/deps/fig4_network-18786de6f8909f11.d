@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_network-18786de6f8909f11.d: crates/bench/src/bin/fig4_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_network-18786de6f8909f11.rmeta: crates/bench/src/bin/fig4_network.rs Cargo.toml
+
+crates/bench/src/bin/fig4_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_network-8d8ae968dc007de7.d: crates/bench/src/bin/fig4_network.rs
+
+/root/repo/target/debug/deps/fig4_network-8d8ae968dc007de7: crates/bench/src/bin/fig4_network.rs
+
+crates/bench/src/bin/fig4_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_network-f6d9b928d60529b8.d: crates/bench/src/bin/fig4_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_network-f6d9b928d60529b8.rmeta: crates/bench/src/bin/fig4_network.rs Cargo.toml
+
+crates/bench/src/bin/fig4_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

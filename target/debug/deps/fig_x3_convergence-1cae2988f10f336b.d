@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_x3_convergence-1cae2988f10f336b.d: crates/bench/src/bin/fig_x3_convergence.rs
+
+/root/repo/target/debug/deps/fig_x3_convergence-1cae2988f10f336b: crates/bench/src/bin/fig_x3_convergence.rs
+
+crates/bench/src/bin/fig_x3_convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_x3_convergence-b158d616ad61a721.d: crates/bench/src/bin/fig_x3_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_x3_convergence-b158d616ad61a721.rmeta: crates/bench/src/bin/fig_x3_convergence.rs Cargo.toml
+
+crates/bench/src/bin/fig_x3_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_x6_crawl-71aced4e8f3efd5a.d: crates/bench/src/bin/fig_x6_crawl.rs
+
+/root/repo/target/debug/deps/fig_x6_crawl-71aced4e8f3efd5a: crates/bench/src/bin/fig_x6_crawl.rs
+
+crates/bench/src/bin/fig_x6_crawl.rs:

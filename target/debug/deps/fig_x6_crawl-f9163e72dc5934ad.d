@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_x6_crawl-f9163e72dc5934ad.d: crates/bench/src/bin/fig_x6_crawl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_x6_crawl-f9163e72dc5934ad.rmeta: crates/bench/src/bin/fig_x6_crawl.rs Cargo.toml
+
+crates/bench/src/bin/fig_x6_crawl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ground_truth_recovery-10da9ca69bd24d1f.d: tests/ground_truth_recovery.rs
+
+/root/repo/target/debug/deps/ground_truth_recovery-10da9ca69bd24d1f: tests/ground_truth_recovery.rs
+
+tests/ground_truth_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ground_truth_recovery-8e3d05a50335a59b.d: tests/ground_truth_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libground_truth_recovery-8e3d05a50335a59b.rmeta: tests/ground_truth_recovery.rs Cargo.toml
+
+tests/ground_truth_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

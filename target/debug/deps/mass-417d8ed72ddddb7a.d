@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mass-417d8ed72ddddb7a.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/obs_session.rs
+
+/root/repo/target/debug/deps/mass-417d8ed72ddddb7a: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/obs_session.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/obs_session.rs:

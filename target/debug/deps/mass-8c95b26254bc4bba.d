@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mass-8c95b26254bc4bba.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass-8c95b26254bc4bba.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mass-9a737d6ea1c16871.d: src/lib.rs
+
+/root/repo/target/debug/deps/mass-9a737d6ea1c16871: src/lib.rs
+
+src/lib.rs:

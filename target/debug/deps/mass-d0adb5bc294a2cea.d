@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mass-d0adb5bc294a2cea.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass-d0adb5bc294a2cea.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

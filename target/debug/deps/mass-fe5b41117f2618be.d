@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mass-fe5b41117f2618be.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmass-fe5b41117f2618be.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmass-fe5b41117f2618be.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mass_bench-0b102f708378a8ca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmass_bench-0b102f708378a8ca.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmass_bench-0b102f708378a8ca.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

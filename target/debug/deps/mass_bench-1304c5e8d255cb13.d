@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mass_bench-1304c5e8d255cb13.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mass_bench-1304c5e8d255cb13: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mass_bench-6544f9d30907af51.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmass_bench-6544f9d30907af51.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmass_bench-6544f9d30907af51.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

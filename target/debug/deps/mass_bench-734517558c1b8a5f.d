@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mass_bench-734517558c1b8a5f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_bench-734517558c1b8a5f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

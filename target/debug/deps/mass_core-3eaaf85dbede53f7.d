@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mass_core-3eaaf85dbede53f7.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/baselines.rs crates/core/src/domain.rs crates/core/src/expert_search.rs crates/core/src/gl.rs crates/core/src/incremental.rs crates/core/src/params.rs crates/core/src/quality.rs crates/core/src/recommend.rs crates/core/src/solver.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libmass_core-3eaaf85dbede53f7.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/baselines.rs crates/core/src/domain.rs crates/core/src/expert_search.rs crates/core/src/gl.rs crates/core/src/incremental.rs crates/core/src/params.rs crates/core/src/quality.rs crates/core/src/recommend.rs crates/core/src/solver.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libmass_core-3eaaf85dbede53f7.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/baselines.rs crates/core/src/domain.rs crates/core/src/expert_search.rs crates/core/src/gl.rs crates/core/src/incremental.rs crates/core/src/params.rs crates/core/src/quality.rs crates/core/src/recommend.rs crates/core/src/solver.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/baselines.rs:
+crates/core/src/domain.rs:
+crates/core/src/expert_search.rs:
+crates/core/src/gl.rs:
+crates/core/src/incremental.rs:
+crates/core/src/params.rs:
+crates/core/src/quality.rs:
+crates/core/src/recommend.rs:
+crates/core/src/solver.rs:
+crates/core/src/topk.rs:

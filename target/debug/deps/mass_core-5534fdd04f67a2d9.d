@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mass_core-5534fdd04f67a2d9.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/baselines.rs crates/core/src/domain.rs crates/core/src/expert_search.rs crates/core/src/gl.rs crates/core/src/incremental.rs crates/core/src/params.rs crates/core/src/quality.rs crates/core/src/recommend.rs crates/core/src/solver.rs crates/core/src/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_core-5534fdd04f67a2d9.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/baselines.rs crates/core/src/domain.rs crates/core/src/expert_search.rs crates/core/src/gl.rs crates/core/src/incremental.rs crates/core/src/params.rs crates/core/src/quality.rs crates/core/src/recommend.rs crates/core/src/solver.rs crates/core/src/topk.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/baselines.rs:
+crates/core/src/domain.rs:
+crates/core/src/expert_search.rs:
+crates/core/src/gl.rs:
+crates/core/src/incremental.rs:
+crates/core/src/params.rs:
+crates/core/src/quality.rs:
+crates/core/src/recommend.rs:
+crates/core/src/solver.rs:
+crates/core/src/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

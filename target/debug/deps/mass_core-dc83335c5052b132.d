@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mass_core-dc83335c5052b132.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/baselines.rs crates/core/src/domain.rs crates/core/src/expert_search.rs crates/core/src/gl.rs crates/core/src/incremental.rs crates/core/src/params.rs crates/core/src/quality.rs crates/core/src/recommend.rs crates/core/src/solver.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/mass_core-dc83335c5052b132: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/baselines.rs crates/core/src/domain.rs crates/core/src/expert_search.rs crates/core/src/gl.rs crates/core/src/incremental.rs crates/core/src/params.rs crates/core/src/quality.rs crates/core/src/recommend.rs crates/core/src/solver.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/baselines.rs:
+crates/core/src/domain.rs:
+crates/core/src/expert_search.rs:
+crates/core/src/gl.rs:
+crates/core/src/incremental.rs:
+crates/core/src/params.rs:
+crates/core/src/quality.rs:
+crates/core/src/recommend.rs:
+crates/core/src/solver.rs:
+crates/core/src/topk.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mass_crawler-a60720a23e14a379.d: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_crawler-a60720a23e14a379.rmeta: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs Cargo.toml
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/assemble.rs:
+crates/crawler/src/backoff.rs:
+crates/crawler/src/breaker.rs:
+crates/crawler/src/checkpoint.rs:
+crates/crawler/src/config.rs:
+crates/crawler/src/engine.rs:
+crates/crawler/src/host.rs:
+crates/crawler/src/politeness.rs:
+crates/crawler/src/xml_host.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

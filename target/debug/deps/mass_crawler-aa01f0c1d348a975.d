@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mass_crawler-aa01f0c1d348a975.d: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs
+
+/root/repo/target/debug/deps/libmass_crawler-aa01f0c1d348a975.rlib: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs
+
+/root/repo/target/debug/deps/libmass_crawler-aa01f0c1d348a975.rmeta: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/assemble.rs:
+crates/crawler/src/backoff.rs:
+crates/crawler/src/breaker.rs:
+crates/crawler/src/checkpoint.rs:
+crates/crawler/src/config.rs:
+crates/crawler/src/engine.rs:
+crates/crawler/src/host.rs:
+crates/crawler/src/politeness.rs:
+crates/crawler/src/xml_host.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mass_eval-67dbdb749eddbbbd.d: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_eval-67dbdb749eddbbbd.rmeta: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs Cargo.toml
+
+crates/eval/src/lib.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:
+crates/eval/src/table.rs:
+crates/eval/src/user_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mass_eval-a3520b7b1e8b2838.d: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+/root/repo/target/debug/deps/mass_eval-a3520b7b1e8b2838: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:
+crates/eval/src/table.rs:
+crates/eval/src/user_study.rs:

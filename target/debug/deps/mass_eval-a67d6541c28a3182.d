@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mass_eval-a67d6541c28a3182.d: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+/root/repo/target/debug/deps/libmass_eval-a67d6541c28a3182.rlib: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+/root/repo/target/debug/deps/libmass_eval-a67d6541c28a3182.rmeta: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:
+crates/eval/src/table.rs:
+crates/eval/src/user_study.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mass_obs-4f395ba728372cc1.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libmass_obs-4f395ba728372cc1.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/libmass_obs-4f395ba728372cc1.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mass_obs-98549af74077e8cf.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/debug/deps/mass_obs-98549af74077e8cf: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:

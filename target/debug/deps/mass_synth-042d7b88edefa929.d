@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mass_synth-042d7b88edefa929.d: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_synth-042d7b88edefa929.rmeta: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/ads.rs:
+crates/synth/src/config.rs:
+crates/synth/src/generator.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/sampling.rs:
+crates/synth/src/truth.rs:
+crates/synth/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mass_synth-706222882ac1d1e9.d: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+/root/repo/target/debug/deps/mass_synth-706222882ac1d1e9: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/ads.rs:
+crates/synth/src/config.rs:
+crates/synth/src/generator.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/sampling.rs:
+crates/synth/src/truth.rs:
+crates/synth/src/vocab.rs:

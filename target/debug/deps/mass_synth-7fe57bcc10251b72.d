@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mass_synth-7fe57bcc10251b72.d: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+/root/repo/target/debug/deps/libmass_synth-7fe57bcc10251b72.rlib: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+/root/repo/target/debug/deps/libmass_synth-7fe57bcc10251b72.rmeta: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/ads.rs:
+crates/synth/src/config.rs:
+crates/synth/src/generator.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/sampling.rs:
+crates/synth/src/truth.rs:
+crates/synth/src/vocab.rs:

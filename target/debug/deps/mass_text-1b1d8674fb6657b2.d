@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mass_text-1b1d8674fb6657b2.d: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libmass_text-1b1d8674fb6657b2.rlib: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libmass_text-1b1d8674fb6657b2.rmeta: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/discovery.rs:
+crates/text/src/interest.rs:
+crates/text/src/nb.rs:
+crates/text/src/novelty.rs:
+crates/text/src/search.rs:
+crates/text/src/sentiment.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mass_text-9af4c096eb9a9b9a.d: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmass_text-9af4c096eb9a9b9a.rmeta: crates/text/src/lib.rs crates/text/src/discovery.rs crates/text/src/interest.rs crates/text/src/nb.rs crates/text/src/novelty.rs crates/text/src/search.rs crates/text/src/sentiment.rs crates/text/src/stopwords.rs crates/text/src/tokenize.rs Cargo.toml
+
+crates/text/src/lib.rs:
+crates/text/src/discovery.rs:
+crates/text/src/interest.rs:
+crates/text/src/nb.rs:
+crates/text/src/novelty.rs:
+crates/text/src/search.rs:
+crates/text/src/sentiment.rs:
+crates/text/src/stopwords.rs:
+crates/text/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

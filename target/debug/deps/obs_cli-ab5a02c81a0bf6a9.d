@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/obs_cli-ab5a02c81a0bf6a9.d: crates/cli/tests/obs_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_cli-ab5a02c81a0bf6a9.rmeta: crates/cli/tests/obs_cli.rs Cargo.toml
+
+crates/cli/tests/obs_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_mass=placeholder:mass
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/obs_cli-e920b55b066e6d6b.d: crates/cli/tests/obs_cli.rs
+
+/root/repo/target/debug/deps/obs_cli-e920b55b066e6d6b: crates/cli/tests/obs_cli.rs
+
+crates/cli/tests/obs_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_mass=/root/repo/target/debug/mass

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pagerank-719503fc8308a002.d: crates/bench/benches/pagerank.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpagerank-719503fc8308a002.rmeta: crates/bench/benches/pagerank.rs Cargo.toml
+
+crates/bench/benches/pagerank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-050915e66976bc6c.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-050915e66976bc6c: tests/paper_scale.rs
+
+tests/paper_scale.rs:

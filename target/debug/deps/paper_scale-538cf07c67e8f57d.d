@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_scale-538cf07c67e8f57d.d: tests/paper_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_scale-538cf07c67e8f57d.rmeta: tests/paper_scale.rs Cargo.toml
+
+tests/paper_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1a3ef7ee94e26754.d: crates/crawler/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1a3ef7ee94e26754: crates/crawler/tests/properties.rs
+
+crates/crawler/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-267429c067a88e80.d: crates/crawler/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-267429c067a88e80.rmeta: crates/crawler/tests/properties.rs Cargo.toml
+
+crates/crawler/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

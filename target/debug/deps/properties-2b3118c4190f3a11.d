@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2b3118c4190f3a11.d: crates/synth/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2b3118c4190f3a11: crates/synth/tests/properties.rs
+
+crates/synth/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3bad124612c306bf.d: crates/synth/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3bad124612c306bf.rmeta: crates/synth/tests/properties.rs Cargo.toml
+
+crates/synth/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-45b5ef336db6a07d.d: crates/text/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-45b5ef336db6a07d: crates/text/tests/properties.rs
+
+crates/text/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-66f9a81d7cbf30eb.d: crates/eval/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-66f9a81d7cbf30eb.rmeta: crates/eval/tests/properties.rs Cargo.toml
+
+crates/eval/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-760c627c0e07a65a.d: crates/eval/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-760c627c0e07a65a: crates/eval/tests/properties.rs
+
+crates/eval/tests/properties.rs:

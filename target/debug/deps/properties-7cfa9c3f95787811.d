@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7cfa9c3f95787811.d: crates/obs/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7cfa9c3f95787811: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8cbe32697316139e.d: crates/obs/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8cbe32697316139e.rmeta: crates/obs/tests/properties.rs Cargo.toml
+
+crates/obs/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9a6d9912bf93c39e.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9a6d9912bf93c39e: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

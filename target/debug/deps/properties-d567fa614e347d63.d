@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d567fa614e347d63.d: crates/text/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d567fa614e347d63.rmeta: crates/text/tests/properties.rs Cargo.toml
+
+crates/text/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

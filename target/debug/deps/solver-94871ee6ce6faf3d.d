@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver-94871ee6ce6faf3d.d: crates/bench/benches/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver-94871ee6ce6faf3d.rmeta: crates/bench/benches/solver.rs Cargo.toml
+
+crates/bench/benches/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_user_study-77faf6c78965cec1.d: crates/bench/src/bin/table1_user_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_user_study-77faf6c78965cec1.rmeta: crates/bench/src/bin/table1_user_study.rs Cargo.toml
+
+crates/bench/src/bin/table1_user_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

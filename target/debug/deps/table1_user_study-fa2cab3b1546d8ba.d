@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_user_study-fa2cab3b1546d8ba.d: crates/bench/src/bin/table1_user_study.rs
+
+/root/repo/target/debug/deps/table1_user_study-fa2cab3b1546d8ba: crates/bench/src/bin/table1_user_study.rs
+
+crates/bench/src/bin/table1_user_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_x10_telemetry-a727513a5e1282fb.d: crates/bench/src/bin/table_x10_telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_x10_telemetry-a727513a5e1282fb.rmeta: crates/bench/src/bin/table_x10_telemetry.rs Cargo.toml
+
+crates/bench/src/bin/table_x10_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

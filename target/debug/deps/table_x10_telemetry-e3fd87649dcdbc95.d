@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x10_telemetry-e3fd87649dcdbc95.d: crates/bench/src/bin/table_x10_telemetry.rs
+
+/root/repo/target/debug/deps/table_x10_telemetry-e3fd87649dcdbc95: crates/bench/src/bin/table_x10_telemetry.rs
+
+crates/bench/src/bin/table_x10_telemetry.rs:

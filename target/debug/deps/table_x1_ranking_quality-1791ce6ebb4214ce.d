@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x1_ranking_quality-1791ce6ebb4214ce.d: crates/bench/src/bin/table_x1_ranking_quality.rs
+
+/root/repo/target/debug/deps/table_x1_ranking_quality-1791ce6ebb4214ce: crates/bench/src/bin/table_x1_ranking_quality.rs
+
+crates/bench/src/bin/table_x1_ranking_quality.rs:

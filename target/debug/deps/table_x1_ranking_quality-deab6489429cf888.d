@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_x1_ranking_quality-deab6489429cf888.d: crates/bench/src/bin/table_x1_ranking_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_x1_ranking_quality-deab6489429cf888.rmeta: crates/bench/src/bin/table_x1_ranking_quality.rs Cargo.toml
+
+crates/bench/src/bin/table_x1_ranking_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

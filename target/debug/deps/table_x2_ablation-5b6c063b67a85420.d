@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_x2_ablation-5b6c063b67a85420.d: crates/bench/src/bin/table_x2_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_x2_ablation-5b6c063b67a85420.rmeta: crates/bench/src/bin/table_x2_ablation.rs Cargo.toml
+
+crates/bench/src/bin/table_x2_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x2_ablation-9b5f89b60192659b.d: crates/bench/src/bin/table_x2_ablation.rs
+
+/root/repo/target/debug/deps/table_x2_ablation-9b5f89b60192659b: crates/bench/src/bin/table_x2_ablation.rs
+
+crates/bench/src/bin/table_x2_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_x5_sensitivity-557f5a79fa21c4eb.d: crates/bench/src/bin/table_x5_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_x5_sensitivity-557f5a79fa21c4eb.rmeta: crates/bench/src/bin/table_x5_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/table_x5_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x5_sensitivity-ed99de5a9ce458ee.d: crates/bench/src/bin/table_x5_sensitivity.rs
+
+/root/repo/target/debug/deps/table_x5_sensitivity-ed99de5a9ce458ee: crates/bench/src/bin/table_x5_sensitivity.rs
+
+crates/bench/src/bin/table_x5_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x7_classifier-21ae05a76ae3b004.d: crates/bench/src/bin/table_x7_classifier.rs
+
+/root/repo/target/debug/deps/table_x7_classifier-21ae05a76ae3b004: crates/bench/src/bin/table_x7_classifier.rs
+
+crates/bench/src/bin/table_x7_classifier.rs:

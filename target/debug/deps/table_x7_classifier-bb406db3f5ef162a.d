@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_x7_classifier-bb406db3f5ef162a.d: crates/bench/src/bin/table_x7_classifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_x7_classifier-bb406db3f5ef162a.rmeta: crates/bench/src/bin/table_x7_classifier.rs Cargo.toml
+
+crates/bench/src/bin/table_x7_classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

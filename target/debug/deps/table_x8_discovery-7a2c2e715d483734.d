@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x8_discovery-7a2c2e715d483734.d: crates/bench/src/bin/table_x8_discovery.rs
+
+/root/repo/target/debug/deps/table_x8_discovery-7a2c2e715d483734: crates/bench/src/bin/table_x8_discovery.rs
+
+crates/bench/src/bin/table_x8_discovery.rs:

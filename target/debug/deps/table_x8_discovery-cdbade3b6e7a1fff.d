@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_x8_discovery-cdbade3b6e7a1fff.d: crates/bench/src/bin/table_x8_discovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_x8_discovery-cdbade3b6e7a1fff.rmeta: crates/bench/src/bin/table_x8_discovery.rs Cargo.toml
+
+crates/bench/src/bin/table_x8_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_x9_robustness-300962f36268acf4.d: crates/bench/src/bin/table_x9_robustness.rs
+
+/root/repo/target/debug/deps/table_x9_robustness-300962f36268acf4: crates/bench/src/bin/table_x9_robustness.rs
+
+crates/bench/src/bin/table_x9_robustness.rs:

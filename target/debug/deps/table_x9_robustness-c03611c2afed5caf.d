@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_x9_robustness-c03611c2afed5caf.d: crates/bench/src/bin/table_x9_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_x9_robustness-c03611c2afed5caf.rmeta: crates/bench/src/bin/table_x9_robustness.rs Cargo.toml
+
+crates/bench/src/bin/table_x9_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

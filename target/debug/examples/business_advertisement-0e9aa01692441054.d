@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/business_advertisement-0e9aa01692441054.d: examples/business_advertisement.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbusiness_advertisement-0e9aa01692441054.rmeta: examples/business_advertisement.rs Cargo.toml
+
+examples/business_advertisement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/business_advertisement-7a68fd79ea3aaa07.d: examples/business_advertisement.rs
+
+/root/repo/target/debug/examples/business_advertisement-7a68fd79ea3aaa07: examples/business_advertisement.rs
+
+examples/business_advertisement.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/crawl_and_rank-1bf065a96d336c46.d: examples/crawl_and_rank.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcrawl_and_rank-1bf065a96d336c46.rmeta: examples/crawl_and_rank.rs Cargo.toml
+
+examples/crawl_and_rank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crawl_and_rank-8f1e070eff29971b.d: examples/crawl_and_rank.rs
+
+/root/repo/target/debug/examples/crawl_and_rank-8f1e070eff29971b: examples/crawl_and_rank.rs
+
+examples/crawl_and_rank.rs:

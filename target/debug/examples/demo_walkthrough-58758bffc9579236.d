@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/demo_walkthrough-58758bffc9579236.d: examples/demo_walkthrough.rs
+
+/root/repo/target/debug/examples/demo_walkthrough-58758bffc9579236: examples/demo_walkthrough.rs
+
+examples/demo_walkthrough.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/demo_walkthrough-c393b41a305430e7.d: examples/demo_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdemo_walkthrough-c393b41a305430e7.rmeta: examples/demo_walkthrough.rs Cargo.toml
+
+examples/demo_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

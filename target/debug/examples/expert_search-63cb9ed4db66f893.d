@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expert_search-63cb9ed4db66f893.d: examples/expert_search.rs
+
+/root/repo/target/debug/examples/expert_search-63cb9ed4db66f893: examples/expert_search.rs
+
+examples/expert_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/expert_search-9df96d9677d299ed.d: examples/expert_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexpert_search-9df96d9677d299ed.rmeta: examples/expert_search.rs Cargo.toml
+
+examples/expert_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fig1_sample_graph-45eff2d587ec7442.d: examples/fig1_sample_graph.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfig1_sample_graph-45eff2d587ec7442.rmeta: examples/fig1_sample_graph.rs Cargo.toml
+
+examples/fig1_sample_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig1_sample_graph-faf10524676e128e.d: examples/fig1_sample_graph.rs
+
+/root/repo/target/debug/examples/fig1_sample_graph-faf10524676e128e: examples/fig1_sample_graph.rs
+
+examples/fig1_sample_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/incremental_updates-ca1ac282c3af4117.d: examples/incremental_updates.rs
+
+/root/repo/target/debug/examples/incremental_updates-ca1ac282c3af4117: examples/incremental_updates.rs
+
+examples/incremental_updates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/incremental_updates-f541ea1a62179ef0.d: examples/incremental_updates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libincremental_updates-f541ea1a62179ef0.rmeta: examples/incremental_updates.rs Cargo.toml
+
+examples/incremental_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

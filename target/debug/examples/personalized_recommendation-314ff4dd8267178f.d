@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/personalized_recommendation-314ff4dd8267178f.d: examples/personalized_recommendation.rs
+
+/root/repo/target/debug/examples/personalized_recommendation-314ff4dd8267178f: examples/personalized_recommendation.rs
+
+examples/personalized_recommendation.rs:

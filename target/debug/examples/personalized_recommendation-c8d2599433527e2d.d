@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/personalized_recommendation-c8d2599433527e2d.d: examples/personalized_recommendation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpersonalized_recommendation-c8d2599433527e2d.rmeta: examples/personalized_recommendation.rs Cargo.toml
+
+examples/personalized_recommendation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

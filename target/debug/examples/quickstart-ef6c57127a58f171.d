@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef6c57127a58f171.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ef6c57127a58f171: examples/quickstart.rs
+
+examples/quickstart.rs:

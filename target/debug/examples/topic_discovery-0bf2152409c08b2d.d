@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topic_discovery-0bf2152409c08b2d.d: examples/topic_discovery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopic_discovery-0bf2152409c08b2d.rmeta: examples/topic_discovery.rs Cargo.toml
+
+examples/topic_discovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topic_discovery-2649c6955de7fac5.d: examples/topic_discovery.rs
+
+/root/repo/target/debug/examples/topic_discovery-2649c6955de7fac5: examples/topic_discovery.rs
+
+examples/topic_discovery.rs:

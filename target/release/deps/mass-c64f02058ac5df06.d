@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mass-c64f02058ac5df06.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/obs_session.rs
+
+/root/repo/target/release/deps/mass-c64f02058ac5df06: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/obs_session.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/obs_session.rs:

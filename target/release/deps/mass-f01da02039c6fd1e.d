@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mass-f01da02039c6fd1e.d: src/lib.rs
+
+/root/repo/target/release/deps/libmass-f01da02039c6fd1e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmass-f01da02039c6fd1e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mass_bench-f37edd5fa8cb68ee.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmass_bench-f37edd5fa8cb68ee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmass_bench-f37edd5fa8cb68ee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

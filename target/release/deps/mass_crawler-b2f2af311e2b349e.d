@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mass_crawler-b2f2af311e2b349e.d: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs
+
+/root/repo/target/release/deps/libmass_crawler-b2f2af311e2b349e.rlib: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs
+
+/root/repo/target/release/deps/libmass_crawler-b2f2af311e2b349e.rmeta: crates/crawler/src/lib.rs crates/crawler/src/assemble.rs crates/crawler/src/backoff.rs crates/crawler/src/breaker.rs crates/crawler/src/checkpoint.rs crates/crawler/src/config.rs crates/crawler/src/engine.rs crates/crawler/src/host.rs crates/crawler/src/politeness.rs crates/crawler/src/xml_host.rs
+
+crates/crawler/src/lib.rs:
+crates/crawler/src/assemble.rs:
+crates/crawler/src/backoff.rs:
+crates/crawler/src/breaker.rs:
+crates/crawler/src/checkpoint.rs:
+crates/crawler/src/config.rs:
+crates/crawler/src/engine.rs:
+crates/crawler/src/host.rs:
+crates/crawler/src/politeness.rs:
+crates/crawler/src/xml_host.rs:

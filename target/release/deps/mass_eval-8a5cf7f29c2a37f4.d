@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mass_eval-8a5cf7f29c2a37f4.d: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+/root/repo/target/release/deps/libmass_eval-8a5cf7f29c2a37f4.rlib: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+/root/repo/target/release/deps/libmass_eval-8a5cf7f29c2a37f4.rmeta: crates/eval/src/lib.rs crates/eval/src/metrics.rs crates/eval/src/ranking.rs crates/eval/src/report.rs crates/eval/src/significance.rs crates/eval/src/table.rs crates/eval/src/user_study.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/ranking.rs:
+crates/eval/src/report.rs:
+crates/eval/src/significance.rs:
+crates/eval/src/table.rs:
+crates/eval/src/user_study.rs:

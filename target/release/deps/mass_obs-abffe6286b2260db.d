@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mass_obs-abffe6286b2260db.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libmass_obs-abffe6286b2260db.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+/root/repo/target/release/deps/libmass_obs-abffe6286b2260db.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/sink.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/sink.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/mass_synth-f9700375070605b8.d: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+/root/repo/target/release/deps/libmass_synth-f9700375070605b8.rlib: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+/root/repo/target/release/deps/libmass_synth-f9700375070605b8.rmeta: crates/synth/src/lib.rs crates/synth/src/ads.rs crates/synth/src/config.rs crates/synth/src/generator.rs crates/synth/src/oracle.rs crates/synth/src/sampling.rs crates/synth/src/truth.rs crates/synth/src/vocab.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/ads.rs:
+crates/synth/src/config.rs:
+crates/synth/src/generator.rs:
+crates/synth/src/oracle.rs:
+crates/synth/src/sampling.rs:
+crates/synth/src/truth.rs:
+crates/synth/src/vocab.rs:

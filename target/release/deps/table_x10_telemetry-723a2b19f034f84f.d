@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_x10_telemetry-723a2b19f034f84f.d: crates/bench/src/bin/table_x10_telemetry.rs
+
+/root/repo/target/release/deps/table_x10_telemetry-723a2b19f034f84f: crates/bench/src/bin/table_x10_telemetry.rs
+
+crates/bench/src/bin/table_x10_telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-2eda9ba740e611c1.d: examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-2eda9ba740e611c1: examples/probe_tmp.rs
+
+examples/probe_tmp.rs:
