@@ -35,6 +35,7 @@ fn mass_params(args: &Args) -> Result<MassParams, String> {
     let params = MassParams {
         alpha: args.get_parse("alpha", 0.5)?,
         beta: args.get_parse("beta", 0.6)?,
+        threads: args.get_parse("threads", 0usize)?,
         ..MassParams::paper()
     };
     if !(0.0..=1.0).contains(&params.alpha) || !(0.0..=1.0).contains(&params.beta) {
@@ -252,6 +253,44 @@ pub fn rank(args: &Args) -> CmdResult {
         ]);
     }
     print!("{table}");
+
+    // Machine-readable artifact. Scores are emitted at full precision and
+    // `threads` is deliberately excluded, so two runs that differ only in
+    // thread count must produce byte-identical files — the determinism gate
+    // in scripts/check.sh diffs exactly this output.
+    if let Some(path) = args.get("json-out").filter(|s| !s.is_empty()) {
+        use mass_obs::json::Json;
+        let artifact = Json::Obj(vec![
+            ("title".into(), Json::from(title.as_str())),
+            ("alpha".into(), Json::Num(params.alpha)),
+            ("beta".into(), Json::Num(params.beta)),
+            ("k".into(), Json::from(k as u64)),
+            (
+                "ranking".into(),
+                Json::Arr(
+                    ranked
+                        .iter()
+                        .enumerate()
+                        .map(|(rank, (b, score))| {
+                            Json::Obj(vec![
+                                ("rank".into(), Json::from((rank + 1) as u64)),
+                                ("blogger".into(), Json::from(b.index() as u64)),
+                                ("name".into(), Json::from(ds.blogger(*b).name.as_str())),
+                                ("score".into(), Json::Num(*score)),
+                                (
+                                    "score_bits".into(),
+                                    Json::Str(format!("{:016x}", score.to_bits())),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, artifact.render() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -634,6 +673,47 @@ mod tests {
             "rank", "--in", &path, "--k", "3", "--domain", "sports",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn rank_json_out_is_thread_count_invariant() {
+        let path = tmp("gen_json.xml");
+        generate(&args(&[
+            "generate",
+            "--bloggers",
+            "50",
+            "--seed",
+            "7",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let mut outputs = Vec::new();
+        for threads in ["1", "2", "4", "8"] {
+            let json_path = tmp(&format!("rank_t{threads}.json"));
+            rank(&args(&[
+                "rank",
+                "--in",
+                &path,
+                "--k",
+                "10",
+                "--threads",
+                threads,
+                "--json-out",
+                &json_path,
+            ]))
+            .unwrap();
+            outputs.push(std::fs::read(&json_path).unwrap());
+        }
+        let baseline = &outputs[0];
+        assert!(baseline.starts_with(b"{"));
+        assert!(baseline.windows(10).any(|w| w == b"score_bits"));
+        for (i, out) in outputs.iter().enumerate().skip(1) {
+            assert_eq!(
+                out, baseline,
+                "rank --json-out differs from --threads 1 at run {i}"
+            );
+        }
     }
 
     #[test]

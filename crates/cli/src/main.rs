@@ -44,6 +44,7 @@ COMMANDS:
   rank         print the top-k influential bloggers
                --in FILE  --k N (10)  --domain NAME (general if absent)
                --alpha F (0.5)  --beta F (0.6)
+               --json-out FILE  [full-precision machine-readable ranking]
   recommend    scenario 1 & 2 recommendations
                --in FILE  --k N (3)
                one of: --ad TEXT | --ad-domain NAME[,NAME...] | --profile TEXT
@@ -62,6 +63,10 @@ COMMANDS:
                --trace FILE  --metrics FILE
                --expect-spans NAME[,NAME...]  --expect-metrics NAME[,NAME...]
   help         print this message
+
+PARALLELISM (rank/recommend/search/report/user-study):
+  --threads N   mass-par worker threads: 0 = all cores (default), 1 = serial.
+                Scores are bit-identical at every setting.
 
 TELEMETRY (any command):
   --log-level off|error|warn|info|debug|trace   stderr verbosity (warn)

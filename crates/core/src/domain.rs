@@ -22,9 +22,9 @@ pub fn iv_vectors(ds: &Dataset, params: &MassParams) -> Vec<Vec<f64>> {
                 None => uniform(nd),
             })
             .collect(),
-        IvSource::Classifier(model) => classify_all(ds, model),
+        IvSource::Classifier(model) => classify_all(ds, model, params.threads),
         IvSource::TrainOnTagged => match train_on_tagged(ds, nd) {
-            Some(model) => classify_all(ds, &model),
+            Some(model) => classify_all(ds, &model, params.threads),
             None => ds.posts.iter().map(|_| uniform(nd)).collect(),
         },
     }
@@ -47,11 +47,13 @@ pub fn train_on_tagged(ds: &Dataset, domains: usize) -> Option<NaiveBayes> {
     any.then(|| trainer.build(1))
 }
 
-fn classify_all(ds: &Dataset, model: &NaiveBayes) -> Vec<Vec<f64>> {
-    ds.posts
+fn classify_all(ds: &Dataset, model: &NaiveBayes, threads: usize) -> Vec<Vec<f64>> {
+    let docs: Vec<String> = ds
+        .posts
         .iter()
-        .map(|p| model.posterior(&format!("{} {}", p.title, p.text)))
-        .collect()
+        .map(|p| format!("{} {}", p.title, p.text))
+        .collect();
+    model.posterior_batch(&docs, threads)
 }
 
 fn one_hot(n: usize, hot: usize) -> Vec<f64> {

@@ -47,16 +47,27 @@ pub fn post_graph(ds: &Dataset) -> DiGraph {
 /// zero, e.g. with [`GlProvider::None`]).
 pub fn gl_scores(ds: &Dataset, params: &MassParams) -> Vec<f64> {
     let n = ds.bloggers.len();
+    let pr_params = PageRankParams {
+        threads: params.threads,
+        ..Default::default()
+    };
     let mut scores = match params.gl {
-        GlProvider::PageRank => pagerank(&blogger_graph(ds), &PageRankParams::default()).scores,
-        GlProvider::Hits => hits(&blogger_graph(ds), &HitsParams::default()).authority,
+        GlProvider::PageRank => pagerank(&blogger_graph(ds), &pr_params).scores,
+        GlProvider::Hits => {
+            hits(
+                &blogger_graph(ds),
+                &HitsParams {
+                    threads: params.threads,
+                    ..Default::default()
+                },
+            )
+            .authority
+        }
         GlProvider::InlinkCount => {
             let g = blogger_graph(ds);
             (0..n).map(|i| g.in_degree(i) as f64).collect()
         }
-        GlProvider::CommentGraphPageRank => {
-            pagerank(&comment_graph(ds), &PageRankParams::default()).scores
-        }
+        GlProvider::CommentGraphPageRank => pagerank(&comment_graph(ds), &pr_params).scores,
         GlProvider::None => vec![0.0; n],
     };
     let max = scores.iter().cloned().fold(0.0f64, f64::max);

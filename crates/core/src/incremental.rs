@@ -363,6 +363,138 @@ mod tests {
     }
 
     #[test]
+    fn randomized_edit_storms_agree_with_full_recompute() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Oracle IV so batch and incremental share the domain source (the
+        // default retrains the classifier per batch, which is a documented
+        // divergence, not a solver bug).
+        for seed in [11u64, 47, 313] {
+            let out = generate(&SynthConfig {
+                bloggers: 25,
+                mean_posts_per_blogger: 2.0,
+                seed,
+                ..Default::default()
+            });
+            let params = MassParams {
+                iv: IvSource::TrueDomains,
+                shingle_novelty: false, // detector state is order-dependent by design
+                ..MassParams::paper()
+            };
+            let mut inc = IncrementalMass::new(out.dataset, params.clone());
+            let mut rng = StdRng::seed_from_u64(seed * 7919);
+
+            for round in 0..4 {
+                let edits = 3 + rng.random_range(0usize..6);
+                for _ in 0..edits {
+                    let nb = inc.dataset().bloggers.len();
+                    let np = inc.dataset().posts.len();
+                    match rng.random_range(0usize..10) {
+                        0 => {
+                            inc.add_blogger(Blogger::new(format!("new_{round}_{nb}")));
+                        }
+                        1 | 2 => {
+                            let from = BloggerId::new(rng.random_range(0..nb));
+                            let to = BloggerId::new(rng.random_range(0..nb));
+                            if from != to {
+                                inc.add_friend_link(from, to);
+                            }
+                        }
+                        3..=6 => {
+                            let author = BloggerId::new(rng.random_range(0..nb));
+                            let words = 5 + rng.random_range(0usize..40);
+                            let mut post = Post::new(
+                                author,
+                                format!("t{np}"),
+                                format!("word{seed} ").repeat(words),
+                            );
+                            post.true_domain = Some(DomainId::new(rng.random_range(0..10usize)));
+                            inc.add_post(post);
+                        }
+                        _ => {
+                            let pid = PostId::new(rng.random_range(0..np));
+                            let author = inc.dataset().posts[pid.index()].author;
+                            let commenter = BloggerId::new(rng.random_range(0..nb));
+                            if commenter != author {
+                                inc.add_comment(
+                                    pid,
+                                    Comment {
+                                        commenter,
+                                        text: "great insight thanks".into(),
+                                        sentiment: Some(Sentiment::Positive),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                // End every round with a friend-link edit: GL recompute is
+                // only triggered by link edits (a lone new blogger keeps
+                // GL = 0 until then — a documented incremental staleness),
+                // and this test targets the refreshed fixed point.
+                let nb = inc.dataset().bloggers.len();
+                let from = BloggerId::new(rng.random_range(0..nb));
+                let to = BloggerId::new((from.index() + 1) % nb);
+                inc.add_friend_link(from, to);
+
+                let stats = inc.refresh();
+                assert!(stats.converged, "seed {seed} round {round}");
+                inc.dataset().validate().unwrap();
+
+                let batch = MassAnalysis::analyze(inc.dataset(), &params);
+                for (i, (a, b)) in inc
+                    .scores()
+                    .blogger
+                    .iter()
+                    .zip(&batch.scores.blogger)
+                    .enumerate()
+                {
+                    assert!(
+                        (a - b).abs() < 1e-6,
+                        "seed {seed} round {round}: blogger {i} drifted {a} vs {b}"
+                    );
+                }
+                for (i, (ra, rb)) in inc
+                    .domain_matrix()
+                    .iter()
+                    .zip(&batch.domain_matrix)
+                    .enumerate()
+                {
+                    for (d, (a, b)) in ra.iter().zip(rb).enumerate() {
+                        assert!(
+                            (a - b).abs() < 1e-6,
+                            "seed {seed} round {round}: matrix[{i}][{d}] {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tied_newcomers_rank_by_id_after_refresh() {
+        // Bloggers added with no posts, comments, or links all score
+        // identically; the ranking must order them by ascending id.
+        let (ds, params) = base();
+        let mut inc = IncrementalMass::new(ds, params);
+        let a = inc.add_blogger(Blogger::new("tied_a"));
+        let b = inc.add_blogger(Blogger::new("tied_b"));
+        let c = inc.add_blogger(Blogger::new("tied_c"));
+        inc.refresh();
+        let ranked = inc.top_k_general(inc.dataset().bloggers.len());
+        let positions: Vec<usize> = [a, b, c]
+            .iter()
+            .map(|id| ranked.iter().position(|(r, _)| r == id).unwrap())
+            .collect();
+        assert!(
+            positions[0] < positions[1] && positions[1] < positions[2],
+            "tied newcomers out of id order: {positions:?}"
+        );
+        assert_eq!(ranked[positions[0]].1, ranked[positions[1]].1);
+        assert_eq!(ranked[positions[1]].1, ranked[positions[2]].1);
+    }
+
+    #[test]
     fn warm_refresh_uses_fewer_sweeps_than_cold_solve() {
         let out = generate(&SynthConfig::default());
         let params = MassParams::paper();

@@ -87,6 +87,12 @@ pub struct MassParams {
     /// trace events. The default exceeds the default `max_iterations`, so
     /// out of the box the history stays exact.
     pub residual_history_cap: usize,
+    /// Worker threads for the data-parallel layer (`mass-par`): `0` uses
+    /// every available core, `1` is the exact legacy serial path, `n` caps
+    /// concurrency at `n`. Scores are bit-identical at every setting — the
+    /// determinism contract of DESIGN.md §8, enforced by the differential
+    /// harness in `tests/parallel_determinism.rs`.
+    pub threads: usize,
 }
 
 impl MassParams {
@@ -104,6 +110,7 @@ impl MassParams {
             epsilon: 1e-9,
             max_iterations: 100,
             residual_history_cap: 256,
+            threads: 1,
         }
     }
 
@@ -151,6 +158,7 @@ impl PartialEq for MassParams {
             && self.epsilon == other.epsilon
             && self.max_iterations == other.max_iterations
             && self.residual_history_cap == other.residual_history_cap
+            && self.threads == other.threads
             && matches!(
                 (&self.iv, &other.iv),
                 (IvSource::TrainOnTagged, IvSource::TrainOnTagged)

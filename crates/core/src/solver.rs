@@ -184,12 +184,14 @@ pub fn solve_prepared(
     params.validate();
     let nb = ds.bloggers.len();
     let np = ds.posts.len();
+    let ex = mass_par::executor(params.threads);
     let _solve_span = mass_obs::span_with(
         "solver.solve",
         vec![
             field("bloggers", nb),
             field("posts", np),
             field("warm", warm_start.is_some()),
+            field("threads", ex.threads()),
         ],
     );
     assert_eq!(inputs.raw_quality.len(), np, "quality input mismatch");
@@ -271,6 +273,14 @@ pub fn solve_prepared(
     };
 
     let (alpha, beta) = (params.alpha, params.beta);
+    // Posts grouped by author, ascending post id within each group: this
+    // turns the Step-3 scatter into independent per-blogger gathers, which
+    // parallelise freely while keeping each slot's accumulation order — and
+    // therefore its bits — identical to the serial sweep.
+    let mut posts_by_author: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for (k, post) in ds.posts.iter().enumerate() {
+        posts_by_author[post.author.index()].push(k);
+    }
     let mut inf = vec![0.5f64; nb]; // neutral start
     if let Some(seed) = warm_start {
         for (slot, &value) in inf.iter_mut().zip(seed) {
@@ -282,8 +292,10 @@ pub fn solve_prepared(
             }
         }
     }
+    let mut next_inf = vec![0.0f64; nb];
+    let mut ap = vec![0.0f64; nb];
     let mut post_score = vec![0.0f64; np];
-    let mut comment_norm = vec![0.0f64; np];
+    let mut comment_raw = vec![0.0f64; np];
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
     let mut residual_history = Vec::new();
@@ -298,43 +310,40 @@ pub fn solve_prepared(
         iterations += 1;
         let sweep_start = std::time::Instant::now();
 
-        // Step 1: raw comment scores, then max-normalise.
-        let mut comment_raw = vec![0.0f64; np];
-        for k in 0..np {
-            let mut cs = 0.0;
-            for &(j, sf) in &factors[k] {
-                cs += inf[j] * sf / tc[j];
-            }
-            comment_raw[k] = cs;
-        }
-        let cmax = comment_raw.iter().cloned().fold(0.0f64, f64::max);
+        // Step 1: raw comment scores, then max-normalise. Per-post folds
+        // are independent; the max is grouping-insensitive, so the chunked
+        // tree equals the serial fold bit for bit.
+        ex.par_fill(&mut comment_raw, |k| {
+            factors[k]
+                .iter()
+                .fold(0.0, |cs, &(j, sf)| cs + inf[j] * sf / tc[j])
+        });
+        let cmax = ex.par_max(&comment_raw);
         if cmax > 0.0 {
-            comment_raw.iter_mut().for_each(|c| *c /= cmax);
+            ex.par_update(&mut comment_raw, |_, &c| c / cmax);
         }
 
         // Step 2: post influence.
-        for k in 0..np {
-            post_score[k] = beta * quality[k] + (1.0 - beta) * comment_raw[k];
-        }
+        ex.par_fill(&mut post_score, |k| {
+            beta * quality[k] + (1.0 - beta) * comment_raw[k]
+        });
 
-        // Step 3: accumulated-post influence, max-normalised.
-        let mut ap = vec![0.0f64; nb];
-        for (k, score) in post_score.iter().enumerate() {
-            ap[ds.posts[k].author.index()] += score;
-        }
-        let amax = ap.iter().cloned().fold(0.0f64, f64::max);
+        // Step 3: accumulated-post influence, max-normalised. Gathering by
+        // author keeps each slot's addition order identical to the scatter.
+        ex.par_fill(&mut ap, |i| {
+            posts_by_author[i]
+                .iter()
+                .fold(0.0, |a, &k| a + post_score[k])
+        });
+        let amax = ex.par_max(&ap);
         if amax > 0.0 {
-            ap.iter_mut().for_each(|a| *a /= amax);
+            ex.par_update(&mut ap, |_, &a| a / amax);
         }
 
         // Step 4: overall influence + convergence check.
-        let mut new_residual = 0.0f64;
-        for i in 0..nb {
-            let next = alpha * ap[i] + (1.0 - alpha) * gl[i];
-            new_residual = new_residual.max((next - inf[i]).abs());
-            inf[i] = next;
-        }
-        residual = new_residual;
+        ex.par_fill(&mut next_inf, |i| alpha * ap[i] + (1.0 - alpha) * gl[i]);
+        residual = ex.par_reduce_det(nb, 0.0, |i| (next_inf[i] - inf[i]).abs(), f64::max);
+        std::mem::swap(&mut inf, &mut next_inf);
         // The trace stream always carries the full series; the in-memory
         // history is the one bounded by the cap.
         sweep_time.record_duration(sweep_start.elapsed());
@@ -354,22 +363,24 @@ pub fn solve_prepared(
                 residual_stride *= 2;
             }
         }
-        comment_norm = comment_raw;
-
         if residual < params.epsilon {
             converged = true;
             break;
         }
     }
+    // The last sweep's normalised comment vector (validate() guarantees at
+    // least one sweep runs).
+    let comment_norm = comment_raw;
 
     // Final AP for reporting (from the last post scores).
-    let mut ap = vec![0.0f64; nb];
-    for (k, score) in post_score.iter().enumerate() {
-        ap[ds.posts[k].author.index()] += score;
-    }
-    let amax = ap.iter().cloned().fold(0.0f64, f64::max);
+    ex.par_fill(&mut ap, |i| {
+        posts_by_author[i]
+            .iter()
+            .fold(0.0, |a, &k| a + post_score[k])
+    });
+    let amax = ex.par_max(&ap);
     if amax > 0.0 {
-        ap.iter_mut().for_each(|a| *a /= amax);
+        ex.par_update(&mut ap, |_, &a| a / amax);
     }
 
     // Belt and braces: if anything non-finite still slipped through (e.g. a

@@ -67,6 +67,56 @@ mod tests {
     }
 
     #[test]
+    fn tied_blocks_rank_by_id_everywhere_in_the_list() {
+        // Several tie plateaus at different score levels, interleaved across
+        // ids, so the secondary id ordering is exercised mid-list, not just
+        // at the top.
+        let scores = [0.5, 0.9, 0.5, 0.1, 0.9, 0.5, 0.1, 0.9];
+        let got = top_k(&scores, scores.len());
+        let ids: Vec<usize> = got.iter().map(|(b, _)| b.index()).collect();
+        assert_eq!(ids, vec![1, 4, 7, 0, 2, 5, 3, 6]);
+        // Within every equal-score block, ids must ascend.
+        for pair in got.windows(2) {
+            if pair[0].1 == pair[1].1 {
+                assert!(pair[0].0 < pair[1].0, "ids regress inside a tie block");
+            }
+        }
+    }
+
+    #[test]
+    fn all_tied_truncation_keeps_lowest_ids() {
+        let got = top_k(&[0.3; 7], 3);
+        let ids: Vec<usize> = got.iter().map(|(b, _)| b.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2], "truncation must keep the lowest ids");
+    }
+
+    #[test]
+    fn tie_order_is_permutation_stable() {
+        // Deterministic pseudo-random scores drawn from a small value set so
+        // ties are plentiful; ranking twice (and via the matrix path) must
+        // agree exactly.
+        let scores: Vec<f64> = (0..200).map(|i| ((i * 13 + 5) % 7) as f64 / 7.0).collect();
+        let a = top_k(&scores, 200);
+        let b = top_k(&scores, 200);
+        assert_eq!(a, b);
+        let matrix: Vec<Vec<f64>> = scores.iter().map(|&s| vec![s]).collect();
+        assert_eq!(top_k_in_domain(&matrix, 0, 200), a);
+    }
+
+    #[test]
+    fn domain_ties_break_by_id_too() {
+        let matrix = vec![vec![0.4, 0.7], vec![0.4, 0.2], vec![0.4, 0.7]];
+        let got = top_k_in_domain(&matrix, 0, 3);
+        let ids: Vec<usize> = got.iter().map(|(b, _)| b.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let d1 = top_k_in_domain(&matrix, 1, 2);
+        assert_eq!(
+            d1.iter().map(|(b, _)| b.index()).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
     fn domain_column_selection() {
         let matrix = vec![vec![0.9, 0.1], vec![0.2, 0.8], vec![0.5, 0.5]];
         let travel = top_k_in_domain(&matrix, 0, 1);

@@ -56,8 +56,19 @@ impl AssembledCrawl {
 }
 
 /// Builds the dataset from fetched pages. Duplicate pages for the same
-/// space id keep the first occurrence.
+/// space id keep the first occurrence. Serial wrapper around
+/// [`assemble_dataset_threaded`]; the output never depends on `threads`.
 pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
+    assemble_dataset_threaded(pages, 1)
+}
+
+/// [`assemble_dataset`] with blogger and post construction fanned out over
+/// the `mass-par` executor. Dedup, quarantine, and id assignment stay serial
+/// (they are order-sensitive scans); the per-blogger and per-post clone/remap
+/// work is embarrassingly parallel, each result landing in its own slot, so
+/// the assembled dataset is identical at every thread count.
+pub fn assemble_dataset_threaded(pages: &[SpacePage], threads: usize) -> AssembledCrawl {
+    let ex = mass_par::executor(threads);
     // Deduplicate and order pages by space id.
     let mut by_space: BTreeMap<usize, &SpacePage> = BTreeMap::new();
     for p in pages {
@@ -139,9 +150,9 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
         .map(|(local, (_, p))| (p.global_id, local))
         .collect();
 
-    // Bloggers.
-    let mut bloggers = Vec::with_capacity(space_of.len());
-    for &space in &space_of[..stub_start] {
+    // Bloggers: each crawled blogger's profile clone + friend remap is
+    // independent of the others.
+    let mut bloggers = ex.par_map(&space_of[..stub_start], |&space| {
         let page = by_space[&space];
         let mut b = Blogger::with_profile(page.name.clone(), page.profile.clone());
         b.friends = page
@@ -149,15 +160,17 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
             .iter()
             .filter_map(|f| local_of.get(f).map(|&l| BloggerId::new(l)))
             .collect();
-        bloggers.push(b);
-    }
+        b
+    });
     for &space in &space_of[stub_start..] {
         bloggers.push(Blogger::new(format!("space_{space}")));
     }
 
-    // Posts.
-    let mut posts = Vec::with_capacity(all_posts.len());
-    for (page, view) in &all_posts {
+    // Posts: each fetched post remaps into its own dataset slot. `local` is
+    // the index being built, which the serial loop expressed as `posts.len()`
+    // in its self-link filter.
+    let posts = ex.par_map_collect(all_posts.len(), |local| {
+        let (page, view) = &all_posts[local];
         let author = BloggerId::new(local_of[&page.space_id]);
         let mut post = Post::new(author, view.title.clone(), view.text.clone());
         post.true_domain = view.domain_hint.map(DomainId::new);
@@ -165,7 +178,7 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
             .links_to
             .iter()
             .filter_map(|g| post_local.get(g).map(|&l| PostId::new(l)))
-            .filter(|&target| target.index() != posts.len())
+            .filter(|&target| target.index() != local)
             .collect();
         post.comments = view
             .comments
@@ -181,8 +194,8 @@ pub fn assemble_dataset(pages: &[SpacePage]) -> AssembledCrawl {
                 })
             })
             .collect();
-        posts.push(post);
-    }
+        post
+    });
 
     let dataset = Dataset {
         bloggers,
@@ -357,6 +370,31 @@ mod tests {
         assert_eq!(out.stub_start, 1);
         assert!(out.is_stub(BloggerId::new(1)));
         out.dataset.validate().unwrap();
+    }
+
+    #[test]
+    fn threaded_assembly_is_identical_to_serial() {
+        // Mix of quarantined pages, stubs, cross links, and self links so
+        // every assembly branch runs under the pool.
+        let mut pages = vec![page(1, vec![1], vec![])]; // quarantined self-friend
+        for s in 2..40 {
+            pages.push(page(
+                s,
+                vec![s - 1, s + 1, 500],
+                vec![
+                    post(s * 10, vec![s * 10, (s - 1) * 10], vec![(s + 1, "hi")]),
+                    post(s * 10 + 1, vec![], vec![(900 + s, "out"), (s, "self")]),
+                ],
+            ));
+        }
+        let serial = assemble_dataset(&pages);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                assemble_dataset_threaded(&pages, threads),
+                serial,
+                "assembly diverged at threads={threads}"
+            );
+        }
     }
 
     #[test]

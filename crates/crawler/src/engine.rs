@@ -14,7 +14,7 @@
 //! host melts down; and BFS state checkpoints at layer boundaries so an
 //! interrupted crawl resumes exactly where it left off.
 
-use crate::assemble::{assemble_dataset, AssembledCrawl};
+use crate::assemble::{assemble_dataset_threaded, AssembledCrawl};
 use crate::breaker::CircuitBreaker;
 use crate::checkpoint::{load_checkpoint, save_checkpoint, CrawlCheckpoint};
 use crate::config::{ConfigError, CrawlConfig};
@@ -311,7 +311,7 @@ pub fn crawl(host: &dyn BlogHost, cfg: &CrawlConfig) -> Result<CrawlResult, Craw
         space_of,
         stub_start,
         rejected,
-    } = assemble_dataset(&pages);
+    } = assemble_dataset_threaded(&pages, cfg.threads);
     drop(assemble_span);
     mass_obs::counter("crawl.quarantined").add(rejected.len() as u64);
     report.rejected_pages = rejected;

@@ -48,7 +48,7 @@ pub mod host;
 pub mod politeness;
 pub mod xml_host;
 
-pub use assemble::assemble_dataset;
+pub use assemble::{assemble_dataset, assemble_dataset_threaded};
 pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerConfig, CircuitBreaker};
 pub use checkpoint::{load_checkpoint, save_checkpoint, CrawlCheckpoint};

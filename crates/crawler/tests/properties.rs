@@ -110,3 +110,74 @@ proptest! {
         prop_assert!(result.dataset.validate().is_ok());
     }
 }
+
+/// Differential fuzz of the checkpoint manifest codec: any checkpoint state
+/// must survive write → parse → write with *byte-identical* XML, and parse
+/// back to the original state. Catches both lossy fields and any
+/// nondeterminism in the writer.
+mod checkpoint_roundtrip {
+    use mass_crawler::checkpoint::{checkpoint_from_xml, checkpoint_to_xml};
+    use mass_crawler::CrawlCheckpoint;
+    use proptest::prelude::*;
+
+    fn arb_checkpoint() -> impl Strategy<Value = (CrawlCheckpoint, Vec<usize>)> {
+        (
+            proptest::collection::hash_set(0usize..10_000, 0..60),
+            proptest::collection::vec(0usize..10_000, 0..40),
+            0usize..20,
+            proptest::collection::vec(0usize..500, 0..12),
+            (
+                0usize..100,
+                0usize..100,
+                0usize..1000,
+                0usize..100,
+                0usize..100,
+            ),
+            proptest::collection::vec(0usize..10_000, 0..50),
+        )
+            .prop_map(
+                |(visited, frontier, depth, layer_sizes, counters, page_ids)| {
+                    let (failed, missing, retries, throttled, corrupt) = counters;
+                    (
+                        CrawlCheckpoint {
+                            visited: visited.into_iter().collect(),
+                            frontier,
+                            depth,
+                            layer_sizes,
+                            spaces_failed: failed,
+                            spaces_missing: missing,
+                            retries,
+                            throttled,
+                            corrupt_fetches: corrupt,
+                        },
+                        page_ids,
+                    )
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn write_parse_write_is_byte_identical((cp, page_ids) in arb_checkpoint()) {
+            let first = checkpoint_to_xml(&cp, &page_ids);
+            let (parsed, parsed_pages) = checkpoint_from_xml(&first).expect("own output parses");
+            prop_assert_eq!(&parsed, &cp, "checkpoint state must round-trip losslessly");
+            prop_assert_eq!(&parsed_pages, &page_ids, "page list must round-trip");
+            let second = checkpoint_to_xml(&parsed, &parsed_pages);
+            prop_assert_eq!(first.into_bytes(), second.into_bytes(),
+                "second serialisation must be byte-identical");
+        }
+
+        #[test]
+        fn empty_and_degenerate_states_roundtrip(depth in 0usize..5) {
+            let cp = CrawlCheckpoint { depth, ..Default::default() };
+            let xml = checkpoint_to_xml(&cp, &[]);
+            let (parsed, pages) = checkpoint_from_xml(&xml).unwrap();
+            prop_assert_eq!(parsed, cp);
+            prop_assert!(pages.is_empty());
+            prop_assert_eq!(checkpoint_to_xml(&CrawlCheckpoint { depth, ..Default::default() }, &[]), xml);
+        }
+    }
+}

@@ -13,6 +13,10 @@ pub struct HitsParams {
     pub tolerance: f64,
     /// Hard iteration cap.
     pub max_iterations: usize,
+    /// Worker threads for the `mass-par` layer: `0` = every available core,
+    /// `1` = the exact legacy serial loop, `n` = cap. Scores are bit-identical
+    /// at every setting (DESIGN.md §8).
+    pub threads: usize,
 }
 
 impl Default for HitsParams {
@@ -20,6 +24,7 @@ impl Default for HitsParams {
         HitsParams {
             tolerance: 1e-10,
             max_iterations: 200,
+            threads: 1,
         }
     }
 }
@@ -62,23 +67,50 @@ pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
             converged: true,
         };
     }
+    let ex = mass_par::executor(params.threads);
     let mut auth = vec![uniform; n];
     let mut hub = vec![uniform; n];
     let mut iterations = 0;
 
+    // Same pull-mode preimage as `pagerank`: ascending-`u` predecessor lists
+    // reproduce the serial scatter's per-slot addition order bit for bit.
+    let preds: Vec<Vec<u32>> = if ex.threads() > 1 {
+        let mut preds = vec![Vec::new(); n];
+        for u in 0..n {
+            for v in g.successors(u) {
+                preds[v].push(u as u32);
+            }
+        }
+        preds
+    } else {
+        Vec::new()
+    };
+
     while iterations < params.max_iterations {
         iterations += 1;
         let mut new_auth = vec![0.0f64; n];
-        for (u, &h) in hub.iter().enumerate() {
-            for v in g.successors(u) {
-                new_auth[v] += h;
+        if ex.threads() > 1 {
+            let (hub, preds) = (&hub, &preds);
+            ex.par_fill(&mut new_auth, |v| {
+                preds[v].iter().fold(0.0, |a, &u| a + hub[u as usize])
+            });
+        } else {
+            for (u, &h) in hub.iter().enumerate() {
+                for v in g.successors(u) {
+                    new_auth[v] += h;
+                }
             }
         }
         normalize_l1(&mut new_auth, uniform);
 
         let mut new_hub = vec![0.0f64; n];
-        for (u, slot) in new_hub.iter_mut().enumerate() {
-            *slot = g.successors(u).map(|v| new_auth[v]).sum();
+        if ex.threads() > 1 {
+            let new_auth = &new_auth;
+            ex.par_fill(&mut new_hub, |u| g.successors(u).map(|v| new_auth[v]).sum());
+        } else {
+            for (u, slot) in new_hub.iter_mut().enumerate() {
+                *slot = g.successors(u).map(|v| new_auth[v]).sum();
+            }
         }
         normalize_l1(&mut new_hub, uniform);
 
@@ -172,6 +204,47 @@ mod tests {
     }
 
     #[test]
+    fn parallel_scores_are_bit_identical_to_serial() {
+        let mut edges = Vec::new();
+        for u in 0..83usize {
+            edges.push((u, (u * 5 + 2) % 83));
+            edges.push((u, (u * 17 + 7) % 83));
+            if u % 4 == 0 {
+                edges.push((u, (u * 5 + 2) % 83)); // parallel edge
+            }
+        }
+        let g = DiGraph::from_edges(83, edges);
+        let serial = hits(&g, &HitsParams::default());
+        for threads in [2, 3, 8] {
+            let par = hits(
+                &g,
+                &HitsParams {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(par.iterations, serial.iterations);
+            assert_eq!(
+                par.authority
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                serial
+                    .authority
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                "hits authority diverged at threads={threads}"
+            );
+            assert_eq!(
+                par.hub.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                serial.hub.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                "hits hub diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
     fn iteration_cap_respected() {
         let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
         let s = hits(
@@ -179,6 +252,7 @@ mod tests {
             &HitsParams {
                 tolerance: 0.0,
                 max_iterations: 3,
+                ..Default::default()
             },
         );
         assert_eq!(s.iterations, 3);

@@ -11,6 +11,10 @@ pub struct PageRankParams {
     pub tolerance: f64,
     /// Hard iteration cap (protects against pathological graphs).
     pub max_iterations: usize,
+    /// Worker threads for the `mass-par` layer: `0` = every available core,
+    /// `1` = the exact legacy serial loop, `n` = cap. Scores are bit-identical
+    /// at every setting (DESIGN.md §8).
+    pub threads: usize,
 }
 
 impl Default for PageRankParams {
@@ -19,6 +23,7 @@ impl Default for PageRankParams {
             damping: 0.85,
             tolerance: 1e-10,
             max_iterations: 200,
+            threads: 1,
         }
     }
 }
@@ -57,6 +62,7 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
         "damping must be in [0, 1), got {}",
         params.damping
     );
+    let ex = mass_par::executor(params.threads);
     let d = params.damping;
     let uniform = 1.0 / n as f64;
     let mut rank = vec![uniform; n];
@@ -64,23 +70,56 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
 
+    // Pull-mode preimage for the parallel path: `preds[v]` lists every
+    // in-edge source (with multiplicity) in ascending-`u` order, which is
+    // exactly the order the serial scatter loop adds into slot `v` — so the
+    // pull fold reproduces the scatter result bit for bit.
+    let preds: Vec<Vec<u32>> = if ex.threads() > 1 {
+        let mut preds = vec![Vec::new(); n];
+        for u in 0..n {
+            for v in g.successors(u) {
+                preds[v].push(u as u32);
+            }
+        }
+        preds
+    } else {
+        Vec::new()
+    };
+    let mut share = vec![0.0f64; n];
+
     while iterations < params.max_iterations {
         iterations += 1;
-        // Mass from dangling nodes is spread uniformly.
+        // Mass from dangling nodes is spread uniformly. Order-sensitive O(n)
+        // sum: stays serial so bits never depend on the thread count.
         let dangling_mass: f64 = (0..n)
             .filter(|&u| g.out_degree(u) == 0)
             .map(|u| rank[u])
             .sum();
         let base = (1.0 - d) * uniform + d * dangling_mass * uniform;
-        next.iter_mut().for_each(|x| *x = base);
-        for (u, &r) in rank.iter().enumerate() {
-            let deg = g.out_degree(u);
-            if deg == 0 {
-                continue;
-            }
-            let share = d * r / deg as f64;
-            for v in g.successors(u) {
-                next[v] += share;
+        if ex.threads() > 1 {
+            ex.par_fill(&mut share, |u| {
+                let deg = g.out_degree(u);
+                if deg == 0 {
+                    0.0
+                } else {
+                    d * rank[u] / deg as f64
+                }
+            });
+            let (share, preds) = (&share, &preds);
+            ex.par_fill(&mut next, |v| {
+                preds[v].iter().fold(base, |a, &u| a + share[u as usize])
+            });
+        } else {
+            next.iter_mut().for_each(|x| *x = base);
+            for (u, &r) in rank.iter().enumerate() {
+                let deg = g.out_degree(u);
+                if deg == 0 {
+                    continue;
+                }
+                let share = d * r / deg as f64;
+                for v in g.successors(u) {
+                    next[v] += share;
+                }
             }
         }
         residual = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
@@ -194,6 +233,43 @@ mod tests {
         );
         assert_eq!(r.iterations, 5);
         assert!(!r.converged);
+    }
+
+    #[test]
+    fn parallel_ranks_are_bit_identical_to_serial() {
+        // Irregular graph with parallel edges and dangling nodes so every
+        // code path (share precompute, pull fold, dangling mass) is hit.
+        let mut edges = Vec::new();
+        for u in 0..97usize {
+            edges.push((u, (u * 7 + 3) % 97));
+            edges.push((u, (u * 31 + 11) % 97));
+            if u % 5 == 0 {
+                edges.push((u, (u * 13 + 1) % 97)); // heavier hubs
+                edges.push((u, (u * 7 + 3) % 97)); // parallel edge
+            }
+        }
+        let g = DiGraph::from_edges(97, edges.into_iter().filter(|&(u, _)| u % 11 != 0));
+        let serial = pagerank(&g, &PageRankParams::default());
+        for threads in [2, 3, 8] {
+            let par = pagerank(
+                &g,
+                &PageRankParams {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(par.iterations, serial.iterations);
+            assert_eq!(
+                par.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                serial
+                    .scores
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                "pagerank diverged at threads={threads}"
+            );
+            assert_eq!(par.residual.to_bits(), serial.residual.to_bits());
+        }
     }
 
     #[test]

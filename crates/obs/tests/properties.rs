@@ -122,3 +122,93 @@ proptest! {
         prop_assert!(h.min.unwrap() <= h.max.unwrap());
     }
 }
+
+/// Metrics under real pool parallelism: handles are shared across `mass-par`
+/// workers, so recording must conserve counts whatever the thread count,
+/// and sharded registries must merge to the same totals.
+mod under_parallelism {
+    use super::*;
+    use mass_par::{Exec, Pool};
+
+    /// Every observation recorded from a pool worker lands in the
+    /// histogram: total count and per-bucket counts are conserved exactly,
+    /// at every thread count.
+    #[test]
+    fn pool_recording_conserves_counts() {
+        let n = 10_000usize;
+        let serial = filled_histogram(
+            &(0..n)
+                .map(|i| ((i * 37) % 1000) as f64)
+                .collect::<Vec<f64>>(),
+        );
+        let pool = Pool::new(8);
+        for threads in [2, 3, 8] {
+            let registry = Registry::new();
+            let h = registry.histogram("h");
+            Exec::on(&pool, threads).for_each_chunk(n, |_c, range| {
+                for i in range {
+                    h.record(((i * 37) % 1000) as f64);
+                }
+            });
+            let snap = h.snapshot();
+            assert_eq!(snap.count, n as u64, "count lost at threads={threads}");
+            assert_eq!(
+                snap.counts, serial.counts,
+                "bucket counts diverged at threads={threads}"
+            );
+            assert_eq!(snap.counts.iter().sum::<u64>(), snap.count);
+            assert_eq!(snap.min, serial.min);
+            assert_eq!(snap.max, serial.max);
+            // The sum is an atomic f64 accumulation — order-dependent in the
+            // last bits, but never lossy beyond rounding.
+            let expect = serial.sum;
+            assert!(
+                (snap.sum - expect).abs() <= expect.abs() * 1e-9 + 1e-9,
+                "sum drifted at threads={threads}: {} vs {expect}",
+                snap.sum
+            );
+        }
+    }
+
+    /// Counters bumped from concurrent workers never lose increments.
+    #[test]
+    fn pool_counter_increments_are_exact() {
+        let pool = Pool::new(8);
+        for threads in [2, 4, 8] {
+            let registry = Registry::new();
+            let c = registry.counter("events");
+            Exec::on(&pool, threads).for_each_chunk(50_000, |_c, range| {
+                for _ in range {
+                    c.inc();
+                }
+            });
+            assert_eq!(c.get(), 50_000, "increments lost at threads={threads}");
+        }
+    }
+
+    /// Per-worker registries merged in any sharding agree with one shared
+    /// registry: the merge algebra is independent of how many workers the
+    /// samples were spread across.
+    #[test]
+    fn merged_shards_are_thread_count_independent() {
+        let values: Vec<f64> = (0..4096).map(|i| ((i * 97) % 3000) as f64).collect();
+        let whole = filled_histogram(&values);
+        for shards in [1usize, 2, 3, 8] {
+            let registries: Vec<Registry> = (0..shards).map(|_| Registry::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                registries[i % shards].histogram("h").record(v);
+                registries[i % shards].counter("c").inc();
+            }
+            let mut merged = registries[0].snapshot();
+            for r in &registries[1..] {
+                merged = merged.merge(&r.snapshot());
+            }
+            let h = &merged.histograms["h"];
+            assert_eq!(h.count, whole.count, "count differs at {shards} shards");
+            assert_eq!(h.counts, whole.counts, "buckets differ at {shards} shards");
+            assert_eq!(h.min, whole.min);
+            assert_eq!(h.max, whole.max);
+            assert_eq!(merged.counters["c"], values.len() as u64);
+        }
+    }
+}

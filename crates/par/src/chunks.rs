@@ -1,0 +1,106 @@
+//! The chunk plan: the *only* place parallel granularity is decided.
+//!
+//! Determinism hinges on chunk boundaries being a pure function of the
+//! input length — independent of thread count, pool size, machine, and
+//! scheduling — because [`crate::Exec::par_reduce_det`]'s combine tree is
+//! keyed by chunk index. Change these constants and every recorded
+//! reduction changes bits; they are part of the determinism contract
+//! (DESIGN.md §8).
+
+use std::ops::Range;
+
+/// Never split below this many elements per chunk: tiny chunks pay more in
+/// claim traffic than they win in overlap.
+const MIN_CHUNK: usize = 16;
+
+/// Never produce more than this many chunks. 64 partials keep the combine
+/// tree trivial while leaving 8 chunks per thread of load-balancing slack
+/// at the largest sane `--threads`.
+const MAX_CHUNKS: usize = 64;
+
+/// A fixed partition of `0..len` into contiguous chunks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkPlan {
+    len: usize,
+    chunk_size: usize,
+    chunks: usize,
+}
+
+impl ChunkPlan {
+    /// The canonical plan for an input of `len` elements.
+    pub fn for_len(len: usize) -> ChunkPlan {
+        if len == 0 {
+            return ChunkPlan {
+                len: 0,
+                chunk_size: MIN_CHUNK,
+                chunks: 0,
+            };
+        }
+        let chunk_size = len.div_ceil(MAX_CHUNKS).max(MIN_CHUNK);
+        ChunkPlan {
+            len,
+            chunk_size,
+            chunks: len.div_ceil(chunk_size),
+        }
+    }
+
+    /// Number of chunks (0 only for empty input).
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Elements per chunk (the last chunk may be shorter).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// The element range of chunk `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn range(&self, c: usize) -> Range<usize> {
+        assert!(c < self.chunks, "chunk {c} out of {}", self.chunks);
+        let start = c * self.chunk_size;
+        start..(start + self.chunk_size).min(self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_chunks() {
+        assert_eq!(ChunkPlan::for_len(0).chunks(), 0);
+    }
+
+    #[test]
+    fn ranges_partition_the_input() {
+        for len in [1, 15, 16, 17, 100, 1023, 1024, 1025, 65_536, 1_000_000] {
+            let plan = ChunkPlan::for_len(len);
+            let mut covered = 0;
+            for c in 0..plan.chunks() {
+                let r = plan.range(c);
+                assert_eq!(r.start, covered, "gap before chunk {c} at len {len}");
+                assert!(r.end > r.start);
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            assert!(plan.chunks() <= MAX_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_single_chunk() {
+        for len in 1..=MIN_CHUNK {
+            assert_eq!(ChunkPlan::for_len(len).chunks(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_chunk_panics() {
+        let plan = ChunkPlan::for_len(10);
+        let _ = plan.range(1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property and stress tests for the determinism contract of `mass-par`.
+//!
+//! The contract under test (DESIGN.md §8): for a fixed input, every
+//! derived operation returns the same bits at every thread count, under
+//! any chunk completion order, and a panic anywhere propagates to the
+//! caller without poisoning the pool.
+
+use mass_par::{Exec, Pool};
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Vectors with wildly mixed magnitudes so f64 association genuinely
+/// changes low bits — any ordering bug becomes a bit difference.
+fn arb_values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0usize..64, -0.5f64..0.5), 0..3000).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(exp, mantissa)| mantissa * (2.0f64).powi(exp as i32 - 32))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn reduce_det_sum_is_thread_count_invariant(values in arb_values()) {
+        let reference =
+            Exec::serial().par_reduce_det(values.len(), 0.0, |i| values[i], |a, b| a + b);
+        let pool = Pool::new(8);
+        for threads in [2, 3, 8] {
+            let got = Exec::on(&pool, threads)
+                .par_reduce_det(values.len(), 0.0, |i| values[i], |a, b| a + b);
+            prop_assert_eq!(got.to_bits(), reference.to_bits(), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn reduce_det_is_invariant_under_completion_order(values in arb_values()) {
+        // Stagger chunk completion with an index-dependent spin so chunks
+        // finish in a different interleaving on every thread count; the
+        // combine tree must not care.
+        let reference =
+            Exec::serial().par_reduce_det(values.len(), 0.0, |i| values[i], |a, b| a + b);
+        let pool = Pool::new(8);
+        for (round, threads) in [2usize, 5, 8].into_iter().enumerate() {
+            let got = Exec::on(&pool, threads).par_reduce_det(
+                values.len(),
+                0.0,
+                |i| {
+                    // Per-element jitter that differs across rounds.
+                    let spin = (i * 7 + round * 13) % 97;
+                    for _ in 0..spin {
+                        std::hint::spin_loop();
+                    }
+                    values[i]
+                },
+                |a, b| a + b,
+            );
+            prop_assert_eq!(got.to_bits(), reference.to_bits(), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn par_max_equals_serial_left_fold(values in arb_values()) {
+        // The wired hot paths rely on max over non-negative values being
+        // bit-equal to the PRE-pool serial fold, not just self-consistent.
+        let values: Vec<f64> = values.into_iter().map(f64::abs).collect();
+        let legacy = values.iter().cloned().fold(0.0f64, f64::max);
+        let pool = Pool::new(4);
+        for threads in [1, 2, 4] {
+            let got = Exec::on(&pool, threads).par_max(&values);
+            prop_assert_eq!(got.to_bits(), legacy.to_bits(), "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn par_map_collect_matches_serial(len in 0usize..5000, scale in 1u64..1000) {
+        let pool = Pool::new(4);
+        let serial: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(scale) ^ i).collect();
+        for threads in [2, 3, 8] {
+            let par = Exec::on(&pool, threads)
+                .par_map_collect(len, |i| (i as u64).wrapping_mul(scale) ^ i as u64);
+            prop_assert_eq!(&par, &serial, "threads={}", threads);
+        }
+    }
+
+    #[test]
+    fn every_element_is_visited_exactly_once(len in 0usize..4000) {
+        let pool = Pool::new(8);
+        let counts: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        Exec::on(&pool, 8).for_each_chunk(len, |_c, range| {
+            for i in range {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "element {} visited", i);
+        }
+    }
+}
+
+/// A panic in one chunk reaches the caller with its payload, and the same
+/// pool keeps serving later regions — even when hammered repeatedly.
+#[test]
+fn panics_propagate_and_pool_survives_repeated_failures() {
+    let pool = Pool::new(4);
+    for round in 0..20 {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            Exec::on(&pool, 4).for_each_chunk(5000, |c, _| {
+                if c == round % 5 {
+                    panic!("round {round}");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "round {round} must panic");
+        // The pool still computes correctly right after.
+        let sum = Exec::on(&pool, 4).par_sum(1000, |i| i as f64);
+        assert_eq!(sum, 499_500.0);
+    }
+}
+
+/// Many caller threads share one pool concurrently; every caller must get
+/// exactly the serial answer for its own region (no cross-talk, no lost
+/// wakeups, no deadlock).
+#[test]
+fn concurrent_callers_on_one_shared_pool() {
+    let pool = Arc::new(Pool::new(4));
+    let mut expected = Vec::new();
+    for caller in 0..12usize {
+        let len = 500 + caller * 37;
+        let values: Vec<f64> = (0..len)
+            .map(|i| ((i * 31 + caller * 7) % 101) as f64 * (2.0f64).powi((i % 30) as i32 - 15))
+            .collect();
+        let serial = Exec::serial().par_reduce_det(len, 0.0, |i| values[i], |a, b| a + b);
+        expected.push((values, serial));
+    }
+    let expected = Arc::new(expected);
+
+    let handles: Vec<_> = (0..12usize)
+        .map(|caller| {
+            let pool = Arc::clone(&pool);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let (values, want) = &expected[caller];
+                for rep in 0..30 {
+                    let threads = 2 + (caller + rep) % 7;
+                    let got = Exec::on(&pool, threads).par_reduce_det(
+                        values.len(),
+                        0.0,
+                        |i| values[i],
+                        |a, b| a + b,
+                    );
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "caller {caller} rep {rep} threads {threads}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress caller must not die");
+    }
+}
+
+/// Nested regions issued from inside pool-executed chunks complete even on
+/// a single-worker pool (the caller-helps-drain protocol).
+#[test]
+fn deep_nesting_on_a_starved_pool() {
+    let pool = Pool::new(1);
+    let out = Exec::on(&pool, 2).par_map_collect(40, |i| {
+        Exec::on(&pool, 2).par_reduce_det(i + 20, 0usize, |j| j, |a, b| a + b)
+    });
+    for (i, &got) in out.iter().enumerate() {
+        let n = i + 20;
+        assert_eq!(got, n * (n - 1) / 2, "inner sum at {i}");
+    }
+}

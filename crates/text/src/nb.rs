@@ -162,6 +162,14 @@ impl NaiveBayes {
         softmax(&self.log_scores(text))
     }
 
+    /// Posteriors for a batch of documents, computed through the `mass-par`
+    /// executor. Each document's vector is independent of the others, so the
+    /// result is element-for-element bit-identical to calling
+    /// [`NaiveBayes::posterior`] serially, at every thread count.
+    pub fn posterior_batch(&self, docs: &[String], threads: usize) -> Vec<Vec<f64>> {
+        mass_par::executor(threads).par_map(docs, |doc| self.posterior(doc))
+    }
+
     /// Posterior for pre-tokenized terms.
     pub fn posterior_tokens<'a, I: IntoIterator<Item = &'a str>>(&self, tokens: I) -> Vec<f64> {
         softmax(&self.log_scores_tokens(tokens))

@@ -44,6 +44,13 @@ if [[ $fast -eq 0 ]]; then
     --metrics "$obs_dir/rank_metrics.json" \
     --expect-spans solver.solve,analysis.analyze \
     --expect-metrics solver.sweeps,solver.sweep_us
+
+  echo "== parallel determinism: rank at --threads 1 and 4 is byte-identical =="
+  "$mass" rank --in "$obs_dir/corpus.xml" --k 10 --threads 1 \
+    --json-out "$obs_dir/rank_t1.json" >/dev/null
+  "$mass" rank --in "$obs_dir/corpus.xml" --k 10 --threads 4 \
+    --json-out "$obs_dir/rank_t4.json" >/dev/null
+  cmp "$obs_dir/rank_t1.json" "$obs_dir/rank_t4.json"
 fi
 
 echo "all checks passed"

@@ -39,6 +39,7 @@ pub use mass_crawler as crawler;
 pub use mass_eval as eval;
 pub use mass_graph as graph;
 pub use mass_obs as obs;
+pub use mass_par as par;
 pub use mass_synth as synth;
 pub use mass_text as text;
 pub use mass_types as types;
