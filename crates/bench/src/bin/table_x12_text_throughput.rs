@@ -1,0 +1,221 @@
+//! X12 — text-pipeline throughput: the interned zero-copy path versus the
+//! legacy string path, with the bitwise contract checked inline.
+//!
+//! Three measurements on the standard corpus (`MASS_BENCH_SCALE=paper` for
+//! the paper-scale variant):
+//!
+//! 1. **Tokenization** — tokens/sec building a [`PreparedCorpus`] (tokenize
+//!    once, intern to dense ids) versus re-tokenizing every post document
+//!    and comment with the string tokenizer.
+//! 2. **Classification** — posterior docs/sec for the compiled NB gather
+//!    (`posterior_batch_prepared`) versus the string `posterior_batch`.
+//! 3. **End-to-end analyze** — `MassAnalysis::analyze` (tokenize-once
+//!    pipeline) versus the legacy composite it replaced: string-built
+//!    solver inputs, string-path iv vectors, a second classifier training.
+//!
+//! Variants are interleaved across repetitions so clock drift hits them
+//! equally; medians are reported. Every prepared-path result is bit-compared
+//! against the string path — a speedup that changes the answer is a bug.
+//! Writes `BENCH_X12.json`. Release builds enforce the headline shapes
+//! (≥2× posterior throughput, measurably faster analyze); a debug build
+//! still measures and bit-checks but skips the speed asserts.
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin table_x12_text_throughput
+//! ```
+
+use mass_bench::{banner, standard_corpus};
+use mass_core::domain::{domain_influence, iv_vectors, train_on_tagged};
+use mass_core::{solve, MassAnalysis, MassParams};
+use mass_eval::TextTable;
+use mass_obs::json::Json;
+use mass_text::{tokenize, tokenize_keep_stopwords, PreparedCorpus};
+use std::time::Instant;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    banner(
+        "X12",
+        "text-pipeline throughput",
+        "interned zero-copy pipeline vs legacy string path; results bit-compared",
+    );
+
+    let reps = match std::env::var("MASS_BENCH_SCALE").as_deref() {
+        Ok("paper") => 5,
+        _ => 7,
+    };
+    let out = standard_corpus();
+    let ds = &out.dataset;
+    let params = MassParams::paper();
+
+    // --- 1. Tokenization: string tokenizer vs prepared build. -------------
+    let mut tok_legacy_ms = Vec::new();
+    let mut tok_prepared_ms = Vec::new();
+    let mut token_count = 0usize;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let mut n = 0usize;
+        for p in &ds.posts {
+            n += tokenize(&format!("{} {}", p.title, p.text)).len();
+            for c in &p.comments {
+                n += tokenize_keep_stopwords(&c.text).len();
+            }
+        }
+        tok_legacy_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let corpus = PreparedCorpus::build(ds, 1);
+        tok_prepared_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(n, corpus.total_tokens(), "token streams diverged");
+        token_count = n;
+    }
+
+    // --- 2. Classification: string posterior_batch vs compiled gather. ----
+    let corpus = PreparedCorpus::build(ds, 1);
+    let model = train_on_tagged(ds, ds.domains.len()).expect("synthetic posts are tagged");
+    let compiled = model.compile(corpus.interner());
+    let docs: Vec<String> = ds
+        .posts
+        .iter()
+        .map(|p| format!("{} {}", p.title, p.text))
+        .collect();
+    let mut nb_legacy_ms = Vec::new();
+    let mut nb_prepared_ms = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let legacy = model.posterior_batch(&docs, 1);
+        nb_legacy_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let prepared = compiled.posterior_batch_prepared(&corpus, 1);
+        nb_prepared_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        for (k, (a, b)) in legacy.iter().zip(&prepared).enumerate() {
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "posterior row {k} diverged"
+            );
+        }
+    }
+
+    // --- 3. End-to-end analyze: legacy composite vs tokenize-once. --------
+    let mut e2e_legacy_ms = Vec::new();
+    let mut e2e_prepared_ms = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        let ix = ds.index();
+        let legacy_scores = solve(ds, &ix, &params);
+        let legacy_iv = iv_vectors(ds, &params);
+        let _legacy_matrix = domain_influence(ds, &legacy_scores.post, &legacy_iv);
+        let _legacy_model = train_on_tagged(ds, ds.domains.len());
+        e2e_legacy_ms.push(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        let analysis = MassAnalysis::analyze(ds, &params);
+        e2e_prepared_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            analysis
+                .scores
+                .blogger
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            legacy_scores
+                .blogger
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>(),
+            "analyze diverged from the legacy pipeline"
+        );
+    }
+
+    let tok_legacy = median(&mut tok_legacy_ms);
+    let tok_prepared = median(&mut tok_prepared_ms);
+    let nb_legacy = median(&mut nb_legacy_ms);
+    let nb_prepared = median(&mut nb_prepared_ms);
+    let e2e_legacy = median(&mut e2e_legacy_ms);
+    let e2e_prepared = median(&mut e2e_prepared_ms);
+
+    let tokens_per_sec = |ms: f64| token_count as f64 / (ms / 1e3);
+    let docs_per_sec = |ms: f64| ds.posts.len() as f64 / (ms / 1e3);
+
+    let mut table = TextTable::new(["stage", "legacy", "interned", "speedup"]);
+    table.row([
+        "tokenize (tokens/s)".into(),
+        format!("{:.0}", tokens_per_sec(tok_legacy)),
+        format!("{:.0}", tokens_per_sec(tok_prepared)),
+        format!("{:.2}x", tok_legacy / tok_prepared),
+    ]);
+    table.row([
+        "posterior_batch (docs/s)".into(),
+        format!("{:.0}", docs_per_sec(nb_legacy)),
+        format!("{:.0}", docs_per_sec(nb_prepared)),
+        format!("{:.2}x", nb_legacy / nb_prepared),
+    ]);
+    table.row([
+        "analyze end-to-end (ms)".into(),
+        format!("{e2e_legacy:.1}"),
+        format!("{e2e_prepared:.1}"),
+        format!("{:.2}x", e2e_legacy / e2e_prepared),
+    ]);
+    println!("{table}");
+    println!(
+        "corpus: {} bloggers, {} posts, {} tokens, vocab {}",
+        ds.bloggers.len(),
+        ds.posts.len(),
+        token_count,
+        corpus.vocab_len()
+    );
+
+    let artifact = Json::Obj(vec![
+        ("experiment".into(), Json::from("X12 text throughput")),
+        ("bloggers".into(), Json::from(ds.bloggers.len() as u64)),
+        ("posts".into(), Json::from(ds.posts.len() as u64)),
+        ("tokens".into(), Json::from(token_count as u64)),
+        ("vocab".into(), Json::from(corpus.vocab_len() as u64)),
+        ("reps".into(), Json::from(reps as u64)),
+        ("tokenize_legacy_ms".into(), Json::Num(tok_legacy)),
+        ("tokenize_prepared_ms".into(), Json::Num(tok_prepared)),
+        ("posterior_legacy_ms".into(), Json::Num(nb_legacy)),
+        ("posterior_prepared_ms".into(), Json::Num(nb_prepared)),
+        (
+            "posterior_speedup".into(),
+            Json::Num(nb_legacy / nb_prepared),
+        ),
+        ("analyze_legacy_ms".into(), Json::Num(e2e_legacy)),
+        ("analyze_prepared_ms".into(), Json::Num(e2e_prepared)),
+        (
+            "analyze_speedup".into(),
+            Json::Num(e2e_legacy / e2e_prepared),
+        ),
+        ("bitwise_identical".into(), Json::Bool(true)),
+    ]);
+    std::fs::write("BENCH_X12.json", artifact.render() + "\n").expect("write BENCH_X12.json");
+    println!("wrote BENCH_X12.json");
+
+    // Bitwise identity always held (asserts above). The throughput shapes
+    // only mean anything with the optimizer on.
+    if cfg!(debug_assertions) {
+        println!("shape SKIPPED: debug build (bitwise identity was still verified)");
+        return;
+    }
+    let posterior_speedup = nb_legacy / nb_prepared;
+    let analyze_speedup = e2e_legacy / e2e_prepared;
+    let posterior_ok = posterior_speedup >= 2.0;
+    let analyze_ok = analyze_speedup >= 1.02;
+    println!(
+        "shape {}: compiled posterior speedup {posterior_speedup:.2}x (need >= 2.00x)",
+        if posterior_ok { "HOLDS" } else { "VIOLATED" }
+    );
+    println!(
+        "shape {}: end-to-end analyze speedup {analyze_speedup:.2}x (need >= 1.02x)",
+        if analyze_ok { "HOLDS" } else { "VIOLATED" }
+    );
+    if !(posterior_ok && analyze_ok) {
+        std::process::exit(1);
+    }
+}

@@ -451,14 +451,13 @@ pub fn discover(args: &Args) -> CmdResult {
         return Err("--topics must be positive".into());
     }
 
-    let docs: Vec<String> = ds
-        .posts
-        .iter()
-        .map(|p| format!("{} {}", p.title, p.text))
-        .collect();
-    let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
-    let model = mass_text::discover_topics(
-        &refs,
+    // One prepared corpus serves the whole command: topic discovery, the
+    // bootstrap classifier, and the final analysis all read the same
+    // interned tokens — the posts are never tokenized twice.
+    let params = mass_params(args)?;
+    let corpus = mass_text::PreparedCorpus::build(&ds, params.threads);
+    let model = mass_text::discover_topics_prepared(
+        &corpus,
         &DiscoveryParams {
             topics,
             ..Default::default()
@@ -475,15 +474,19 @@ pub fn discover(args: &Args) -> CmdResult {
     }
     print!("{table}");
 
-    let analysis = MassAnalysis::analyze_discovered(
-        &ds,
-        &DiscoveryParams {
-            topics,
-            ..Default::default()
-        },
-        &mass_params(args)?,
-    )
-    .ok_or("discovery produced no usable classifier")?;
+    let classifier = model
+        .bootstrap_classifier_prepared(&corpus)
+        .ok_or("discovery produced no usable classifier")?;
+    let mut rebased = ds.clone();
+    rebased.domains = model.domain_set();
+    for post in &mut rebased.posts {
+        post.true_domain = None;
+    }
+    let params = MassParams {
+        iv: mass_core::IvSource::Classifier(classifier),
+        ..params
+    };
+    let analysis = MassAnalysis::analyze_with_corpus(&rebased, &corpus, &params);
     println!("\ntop-{k} per discovered domain:");
     let mut table = TextTable::new(["domain", "top bloggers"]);
     for d in 0..model.len() {

@@ -1,11 +1,11 @@
 //! The one-call MASS pipeline: solve influence, classify domains, build the
 //! domain-influence matrix.
 
-use crate::domain::{domain_influence, iv_vectors, train_on_tagged};
+use crate::domain::{domain_influence, iv_vectors_prepared, train_on_tagged_prepared};
 use crate::params::{IvSource, MassParams};
-use crate::solver::{solve, InfluenceScores};
+use crate::solver::{solve_prepared, InfluenceScores, SolverInputs};
 use crate::topk::{top_k, top_k_in_domain};
-use mass_text::{InterestMiner, NaiveBayes};
+use mass_text::{InterestMiner, NaiveBayes, PreparedCorpus};
 use mass_types::{BloggerId, Dataset, DomainId};
 
 /// The full output of analysing a blogosphere snapshot with MASS.
@@ -30,7 +30,25 @@ pub struct MassAnalysis {
 
 impl MassAnalysis {
     /// Runs the complete pipeline on a dataset.
+    ///
+    /// Every post and comment is tokenized exactly once, into the
+    /// [`PreparedCorpus`] the solver, classifier and novelty stages share
+    /// (DESIGN.md §10).
     pub fn analyze(ds: &Dataset, params: &MassParams) -> MassAnalysis {
+        params.validate();
+        let corpus = PreparedCorpus::build(ds, params.threads);
+        Self::analyze_with_corpus(ds, &corpus, params)
+    }
+
+    /// [`analyze`](Self::analyze) over a corpus the caller already prepared
+    /// — the entry point when the interned text is reused across runs (e.g.
+    /// discovered-domain analysis prepares once and analyses the rebased
+    /// dataset with the same corpus).
+    pub fn analyze_with_corpus(
+        ds: &Dataset,
+        corpus: &PreparedCorpus,
+        params: &MassParams,
+    ) -> MassAnalysis {
         params.validate();
         let _span = mass_obs::span_with(
             "analysis.analyze",
@@ -43,20 +61,24 @@ impl MassAnalysis {
             let _s = mass_obs::span("analysis.index");
             ds.index()
         };
-        let scores = solve(ds, &ix, params);
-        let iv = {
+        let inputs = SolverInputs::build_prepared(ds, &ix, params, corpus);
+        let scores = solve_prepared(ds, &inputs, params, None);
+        let (iv, trained) = {
             let _s = mass_obs::span("analysis.iv_vectors");
-            iv_vectors(ds, params)
+            iv_vectors_prepared(ds, params, corpus)
         };
         let domain_matrix = {
             let _s = mass_obs::span("analysis.domain_matrix");
             domain_influence(ds, &scores.post, &iv)
         };
+        // TrainOnTagged already trained its model while building `iv`;
+        // reuse it instead of training the same classifier twice.
         let classifier = match &params.iv {
             IvSource::Classifier(m) => Some(m.clone()),
-            IvSource::TrainOnTagged | IvSource::TrueDomains => {
+            IvSource::TrainOnTagged => trained,
+            IvSource::TrueDomains => {
                 let _s = mass_obs::span("analysis.train_classifier");
-                train_on_tagged(ds, ds.domains.len())
+                train_on_tagged_prepared(ds, ds.domains.len(), corpus)
             }
         };
         MassAnalysis {
@@ -107,18 +129,15 @@ impl MassAnalysis {
         discovery: &mass_text::DiscoveryParams,
         params: &MassParams,
     ) -> Option<MassAnalysis> {
-        let docs: Vec<String> = ds
-            .posts
-            .iter()
-            .map(|p| format!("{} {}", p.title, p.text))
-            .collect();
-        let doc_refs: Vec<&str> = docs.iter().map(String::as_str).collect();
-        let model = mass_text::discover_topics(&doc_refs, discovery);
+        let corpus = PreparedCorpus::build(ds, params.threads);
+        let model = mass_text::discover_topics_prepared(&corpus, discovery);
         if model.is_empty() {
             return None;
         }
-        let classifier = model.bootstrap_classifier(&doc_refs)?;
+        let classifier = model.bootstrap_classifier_prepared(&corpus)?;
 
+        // Rebasing only swaps the domain catalogue and drops stale tags —
+        // post and comment text are untouched, so the corpus carries over.
         let mut rebased = ds.clone();
         rebased.domains = model.domain_set();
         for post in &mut rebased.posts {
@@ -128,7 +147,9 @@ impl MassAnalysis {
             iv: IvSource::Classifier(classifier),
             ..params.clone()
         };
-        Some(MassAnalysis::analyze(&rebased, &params))
+        Some(MassAnalysis::analyze_with_corpus(
+            &rebased, &corpus, &params,
+        ))
     }
 }
 
@@ -137,6 +158,59 @@ mod tests {
     use super::*;
     use mass_synth::{generate, SynthConfig};
     use mass_types::DatasetBuilder;
+
+    /// The interned pipeline must reproduce the legacy string pipeline —
+    /// solve over string-built inputs plus string-path iv vectors — bit for
+    /// bit, at one thread and several.
+    #[test]
+    fn prepared_pipeline_matches_legacy_bitwise() {
+        use crate::domain::iv_vectors;
+        use crate::solver::solve;
+        let out = generate(&SynthConfig::tiny(21));
+        let ds = &out.dataset;
+        for threads in [1, 4] {
+            let params = MassParams {
+                threads,
+                ..MassParams::paper()
+            };
+            let a = MassAnalysis::analyze(ds, &params);
+            let legacy_scores = solve(ds, &ds.index(), &params);
+            let legacy_iv = iv_vectors(ds, &params);
+            assert_eq!(
+                a.scores
+                    .blogger
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                legacy_scores
+                    .blogger
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "blogger scores diverged at threads={threads}"
+            );
+            assert_eq!(
+                a.scores
+                    .post
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                legacy_scores
+                    .post
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "post scores diverged at threads={threads}"
+            );
+            for (k, (row_a, row_b)) in a.iv.iter().zip(&legacy_iv).enumerate() {
+                assert_eq!(
+                    row_a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    row_b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "iv row {k} diverged at threads={threads}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn pipeline_runs_on_synthetic_corpus() {

@@ -7,7 +7,7 @@
 //! variant (ground-truth one-hot) is kept for ablation upper bounds.
 
 use crate::params::{IvSource, MassParams};
-use mass_text::{NaiveBayes, NaiveBayesTrainer};
+use mass_text::{NaiveBayes, NaiveBayesTrainer, PreparedCorpus};
 use mass_types::{BloggerId, Dataset, DomainId};
 
 /// Per-post domain probability vectors (`iv`), each summing to 1.
@@ -30,6 +30,45 @@ pub fn iv_vectors(ds: &Dataset, params: &MassParams) -> Vec<Vec<f64>> {
     }
 }
 
+/// [`iv_vectors`] over a [`PreparedCorpus`]: classification is a dense
+/// gather over interned token ids, and — for [`IvSource::TrainOnTagged`] —
+/// the trained model is returned so callers reuse it instead of training a
+/// second time. Bit-identical iv rows to the string path.
+pub fn iv_vectors_prepared(
+    ds: &Dataset,
+    params: &MassParams,
+    corpus: &PreparedCorpus,
+) -> (Vec<Vec<f64>>, Option<NaiveBayes>) {
+    let nd = ds.domains.len();
+    match &params.iv {
+        IvSource::TrueDomains => (
+            ds.posts
+                .iter()
+                .map(|p| match p.true_domain {
+                    Some(d) => one_hot(nd, d.index()),
+                    None => uniform(nd),
+                })
+                .collect(),
+            None,
+        ),
+        IvSource::Classifier(model) => (
+            model
+                .compile(corpus.interner())
+                .posterior_batch_prepared(corpus, params.threads),
+            None,
+        ),
+        IvSource::TrainOnTagged => match train_on_tagged_prepared(ds, nd, corpus) {
+            Some(model) => {
+                let iv = model
+                    .compile(corpus.interner())
+                    .posterior_batch_prepared(corpus, params.threads);
+                (iv, Some(model))
+            }
+            None => (ds.posts.iter().map(|_| uniform(nd)).collect(), None),
+        },
+    }
+}
+
 /// Trains the Post Analyzer's classifier on the tagged subset of the corpus.
 /// Returns `None` when no posts are tagged.
 pub fn train_on_tagged(ds: &Dataset, domains: usize) -> Option<NaiveBayes> {
@@ -41,6 +80,35 @@ pub fn train_on_tagged(ds: &Dataset, domains: usize) -> Option<NaiveBayes> {
     for post in &ds.posts {
         if let Some(d) = post.true_domain {
             trainer.add_document(d.index(), &format!("{} {}", post.title, post.text));
+            any = true;
+        }
+    }
+    any.then(|| trainer.build(1))
+}
+
+/// [`train_on_tagged`] from the prepared document-term rows: each tagged
+/// post contributes its CSR `(term, count)` row instead of being
+/// re-tokenized. Produces a bit-identical model.
+pub fn train_on_tagged_prepared(
+    ds: &Dataset,
+    domains: usize,
+    corpus: &PreparedCorpus,
+) -> Option<NaiveBayes> {
+    if domains == 0 {
+        return None;
+    }
+    let mut trainer = NaiveBayesTrainer::new(domains);
+    let mut any = false;
+    for (k, post) in ds.posts.iter().enumerate() {
+        if let Some(d) = post.true_domain {
+            let (terms, counts) = corpus.doc_terms(k);
+            trainer.add_term_counts(
+                d.index(),
+                terms
+                    .iter()
+                    .zip(counts)
+                    .map(|(&t, &c)| (corpus.resolve(t), c)),
+            );
             any = true;
         }
     }

@@ -19,13 +19,13 @@
 //! The fixed point is property-tested to match a cold solve exactly (the
 //! iteration converges to the same point regardless of start).
 
-use crate::domain::{domain_influence, train_on_tagged};
+use crate::domain::{domain_influence, iv_vectors_prepared, train_on_tagged_prepared};
 use crate::gl::gl_scores;
 use crate::params::{IvSource, MassParams};
-use crate::quality::{make_detector, raw_quality_of};
+use crate::quality::{make_detector, raw_quality_of, raw_quality_scores_with_detector};
 use crate::solver::{solve_prepared, InfluenceScores, SolverInputs};
 use crate::topk::{top_k, top_k_in_domain};
-use mass_text::{NaiveBayes, NoveltyDetector, SentimentLexicon};
+use mass_text::{NaiveBayes, NoveltyDetector, PreparedCorpus, SentimentLexicon};
 use mass_types::{Blogger, BloggerId, Comment, Dataset, DomainId, Post, PostId};
 
 /// Statistics of one [`IncrementalMass::refresh`].
@@ -62,26 +62,32 @@ impl IncrementalMass {
     pub fn new(dataset: Dataset, params: MassParams) -> Self {
         params.validate();
         let ix = dataset.index();
+        // The initial corpus is tokenized exactly once; later edits score
+        // their own text through the string paths (one post at a time).
+        let corpus = PreparedCorpus::build(&dataset, params.threads);
         // Build inputs with a persistent detector so later posts dedupe
         // against the initial corpus.
         let mut detector = make_detector(&params);
-        let raw_quality: Vec<f64> = dataset
-            .posts
-            .iter()
-            .map(|p| raw_quality_of(p, &params, detector.as_mut()))
-            .collect();
         let inputs = SolverInputs {
-            raw_quality,
+            raw_quality: raw_quality_scores_with_detector(
+                &dataset,
+                &corpus,
+                &params,
+                detector.as_mut(),
+            ),
             gl: gl_scores(&dataset, &params),
-            factors: crate::solver::resolve_comment_factors(&dataset),
+            factors: crate::solver::resolve_comment_factors_prepared(&dataset, &corpus),
             tc: crate::solver::compute_tc(&dataset, &ix, &params),
         };
         let scores = solve_prepared(&dataset, &inputs, &params, None);
+        let (iv, trained) = iv_vectors_prepared(&dataset, &params, &corpus);
         let classifier = match &params.iv {
             IvSource::Classifier(m) => Some(m.clone()),
-            _ => train_on_tagged(&dataset, dataset.domains.len()),
+            IvSource::TrainOnTagged => trained,
+            IvSource::TrueDomains => {
+                train_on_tagged_prepared(&dataset, dataset.domains.len(), &corpus)
+            }
         };
-        let iv = crate::domain::iv_vectors(&dataset, &params);
         let domain_matrix = domain_influence(&dataset, &scores.post, &iv);
         let comment_counts: Vec<u32> = (0..dataset.bloggers.len())
             .map(|i| ix.total_comments_made(BloggerId::new(i)))

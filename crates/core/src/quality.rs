@@ -8,7 +8,7 @@
 
 use crate::params::{LengthMode, MassParams};
 use mass_text::novelty::novelty_from_markers;
-use mass_text::{NoveltyDetector, NoveltyParams};
+use mass_text::{NoveltyDetector, NoveltyParams, PreparedCorpus};
 use mass_types::Dataset;
 
 /// The length factor of the quality score for a post of `len` words.
@@ -58,6 +58,52 @@ pub fn raw_quality_scores(ds: &Dataset, params: &MassParams) -> Vec<f64> {
         .iter()
         .map(|post| raw_quality_of(post, params, detector.as_mut()))
         .collect()
+}
+
+/// [`raw_quality_scores`] over a [`PreparedCorpus`]: novelty shingles are
+/// built from the already-interned body tokens instead of re-tokenizing
+/// `post.text`, bit-identical to the string path (`&str` and `String` hash
+/// alike, and the marker scan still reads the raw text).
+///
+/// The caller supplies — and keeps — the detector so later incremental
+/// posts dedupe against this corpus; pass
+/// [`make_detector`]`(params).as_mut()` for a one-shot run.
+pub fn raw_quality_scores_with_detector(
+    ds: &Dataset,
+    corpus: &PreparedCorpus,
+    params: &MassParams,
+    mut detector: Option<&mut NoveltyDetector>,
+) -> Vec<f64> {
+    let mut toks: Vec<&str> = Vec::new();
+    ds.posts
+        .iter()
+        .enumerate()
+        .map(|(k, post)| {
+            let novelty = if !params.use_novelty {
+                1.0
+            } else {
+                match detector.as_deref_mut() {
+                    Some(d) => {
+                        toks.clear();
+                        toks.extend(corpus.text_tokens(k).iter().map(|&t| corpus.resolve(t)));
+                        d.score_and_add_tokens(&post.text, &toks)
+                    }
+                    None => novelty_from_markers(&post.text),
+                }
+            };
+            length_term(post.length_words(), params.length_mode) * novelty
+        })
+        .collect()
+}
+
+/// Per-post *raw* quality scores from a prepared corpus (tokenize-once path).
+pub fn raw_quality_scores_prepared(
+    ds: &Dataset,
+    corpus: &PreparedCorpus,
+    params: &MassParams,
+) -> Vec<f64> {
+    let mut detector = make_detector(params);
+    raw_quality_scores_with_detector(ds, corpus, params, detector.as_mut())
 }
 
 /// Per-post quality scores, max-normalised (empty corpus → empty vector;
@@ -152,6 +198,30 @@ mod tests {
     fn empty_corpus_yields_empty() {
         let ds = DatasetBuilder::new().build().unwrap();
         assert!(quality_scores(&ds, &MassParams::paper()).is_empty());
+    }
+
+    #[test]
+    fn prepared_path_is_bitwise_identical_to_string_path() {
+        let ds = ds_with_posts(&[
+            "original thoughtful words on many topics worth reading today",
+            "reprinted from another blog: original thoughtful words on many topics",
+            "a wholly different post about compilers rust and 3 web frameworks",
+            "original thoughtful words on many topics worth reading today",
+            "",
+        ]);
+        for shingles in [false, true] {
+            for mode in [LengthMode::Raw, LengthMode::LogDamped] {
+                let p = params(mode, shingles);
+                let corpus = mass_text::PreparedCorpus::build(&ds, 1);
+                let legacy = raw_quality_scores(&ds, &p);
+                let prepared = raw_quality_scores_prepared(&ds, &corpus, &p);
+                assert_eq!(
+                    legacy.iter().map(|q| q.to_bits()).collect::<Vec<_>>(),
+                    prepared.iter().map(|q| q.to_bits()).collect::<Vec<_>>(),
+                    "shingles={shingles} mode={mode:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,9 +18,9 @@
 
 use crate::gl::gl_scores;
 use crate::params::MassParams;
-use crate::quality::raw_quality_scores;
+use crate::quality::{raw_quality_scores, raw_quality_scores_prepared};
 use mass_obs::field;
-use mass_text::SentimentLexicon;
+use mass_text::{PreparedCorpus, SentimentLexicon};
 use mass_types::{BloggerId, Dataset, DatasetIndex, PostId};
 
 /// Precomputed, incrementally-maintainable solver inputs.
@@ -49,6 +49,23 @@ impl SolverInputs {
             raw_quality: raw_quality_scores(ds, params),
             gl: gl_scores(ds, params),
             factors: resolve_comment_factors(ds),
+            tc: compute_tc(ds, ix, params),
+        }
+    }
+
+    /// Builds all inputs from a dataset whose text is already interned:
+    /// novelty and sentiment read token ids from the [`PreparedCorpus`]
+    /// instead of re-tokenizing. Bit-identical to [`SolverInputs::build`].
+    pub fn build_prepared(
+        ds: &Dataset,
+        ix: &DatasetIndex,
+        params: &MassParams,
+        corpus: &PreparedCorpus,
+    ) -> Self {
+        SolverInputs {
+            raw_quality: raw_quality_scores_prepared(ds, corpus, params),
+            gl: gl_scores(ds, params),
+            factors: resolve_comment_factors_prepared(ds, corpus),
             tc: compute_tc(ds, ix, params),
         }
     }
@@ -151,6 +168,33 @@ pub(crate) fn resolve_comment_factors(ds: &Dataset) -> Vec<Vec<(usize, f64)>> {
                     let sf = match c.sentiment {
                         Some(s) => s.factor(),
                         None => lexicon.factor(&c.text),
+                    };
+                    (c.commenter.index(), sf)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// [`resolve_comment_factors`] over interned comment tokens: the lexicon is
+/// compiled to a per-term polarity table once, and each untagged comment is
+/// scored by a gather over its ids — no re-tokenization, no hash lookups.
+pub(crate) fn resolve_comment_factors_prepared(
+    ds: &Dataset,
+    corpus: &PreparedCorpus,
+) -> Vec<Vec<(usize, f64)>> {
+    let compiled = SentimentLexicon::default().compile(corpus.interner());
+    ds.posts
+        .iter()
+        .enumerate()
+        .map(|(k, post)| {
+            post.comments
+                .iter()
+                .enumerate()
+                .map(|(j, c)| {
+                    let sf = match c.sentiment {
+                        Some(s) => s.factor(),
+                        None => compiled.factor_ids(corpus.comment_tokens(k, j)),
                     };
                     (c.commenter.index(), sf)
                 })
@@ -698,6 +742,30 @@ mod tests {
         let a = solve_ds(&out.dataset, &MassParams::paper());
         let b = solve_ds(&out.dataset, &MassParams::paper());
         assert_eq!(a, b);
+    }
+
+    /// The interned input pipeline must reproduce the string pipeline's
+    /// inputs — and therefore the whole solve — bit for bit.
+    #[test]
+    fn prepared_inputs_match_string_inputs_bitwise() {
+        let out = mass_synth::generate(&mass_synth::SynthConfig::tiny(9));
+        let ds = &out.dataset;
+        let ix = ds.index();
+        let params = MassParams::paper();
+        let corpus = PreparedCorpus::build(ds, params.threads);
+        let legacy = SolverInputs::build(ds, &ix, &params);
+        let prepared = SolverInputs::build_prepared(ds, &ix, &params, &corpus);
+        assert_eq!(legacy, prepared, "solver inputs diverged");
+        let a = solve_prepared(ds, &legacy, &params, None);
+        let b = solve_prepared(ds, &prepared, &params, None);
+        assert_eq!(
+            a.blogger.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.blogger.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.post.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            b.post.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -53,6 +53,13 @@ impl AssembledCrawl {
     pub fn is_stub(&self, b: BloggerId) -> bool {
         b.index() >= self.stub_start
     }
+
+    /// Tokenizes and interns the assembled dataset once, ready for the
+    /// analysis pipeline — the crawl output feeds the interner directly so
+    /// downstream stages never re-tokenize raw text (DESIGN.md §10).
+    pub fn prepared_corpus(&self, threads: usize) -> mass_text::PreparedCorpus {
+        mass_text::PreparedCorpus::build(&self.dataset, threads)
+    }
 }
 
 /// Builds the dataset from fetched pages. Duplicate pages for the same
@@ -401,5 +408,31 @@ mod tests {
     fn clean_pages_report_no_rejects() {
         let out = assemble_dataset(&[page(0, vec![], vec![post(4, vec![], vec![])])]);
         assert!(out.rejected.is_empty());
+    }
+
+    #[test]
+    fn prepared_corpus_matches_direct_build_at_every_thread_count() {
+        let pages = vec![
+            page(
+                1,
+                vec![2],
+                vec![post(10, vec![], vec![(2, "nice write-up")])],
+            ),
+            page(
+                2,
+                vec![1],
+                vec![post(20, vec![10], vec![(1, "I do not agree")])],
+            ),
+        ];
+        let out = assemble_dataset(&pages);
+        let direct = mass_text::PreparedCorpus::build(&out.dataset, 1);
+        for threads in [1, 4] {
+            let c = out.prepared_corpus(threads);
+            assert_eq!(c.vocab_len(), direct.vocab_len(), "threads={threads}");
+            assert_eq!(c.total_tokens(), direct.total_tokens());
+            for k in 0..c.posts() {
+                assert_eq!(c.doc_tokens(k), direct.doc_tokens(k), "post {k}");
+            }
+        }
     }
 }

@@ -1,0 +1,155 @@
+//! Flattened CSR (compressed sparse row) adjacency for the pull kernels.
+//!
+//! [`DiGraph`] stores `Vec<Vec<u32>>` adjacency — fine for construction and
+//! mutation, but every row is its own heap allocation, so an iteration
+//! sweep pointer-chases per node. [`Csr`] flattens the whole structure into
+//! two arrays (`offsets`, `edges`); PageRank and HITS walk it with pure
+//! sequential loads (DESIGN.md §10).
+//!
+//! Ordering contract: [`Csr::successors_of`] keeps each row in the graph's
+//! insertion order; [`Csr::predecessors_of`] lists every in-edge source
+//! (with multiplicity) in **ascending-`u`** order — exactly the order the
+//! legacy serial scatter loop added into each slot, so a pull fold over a
+//! predecessor row reproduces the scatter result bit for bit.
+
+use crate::digraph::DiGraph;
+
+/// A read-only flattened adjacency view: row `i` is
+/// `edges[offsets[i] .. offsets[i + 1]]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl Csr {
+    /// Successor rows of `g`, each in insertion order.
+    pub fn successors_of(g: &DiGraph) -> Csr {
+        let n = g.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(g.edge_count());
+        offsets.push(0);
+        for u in 0..n {
+            edges.extend(g.successors(u).map(|v| v as u32));
+            offsets.push(edges.len() as u32);
+        }
+        Csr { offsets, edges }
+    }
+
+    /// Predecessor rows of `g`, each in ascending-source order with
+    /// multiplicity. Built by a counting sort over the successor lists
+    /// (`DiGraph`'s own `in_edges` are insertion-ordered, which is *not*
+    /// the scatter-equivalent order the kernels need).
+    pub fn predecessors_of(g: &DiGraph) -> Csr {
+        let n = g.len();
+        let mut offsets = vec![0u32; n + 1];
+        for u in 0..n {
+            for v in g.successors(u) {
+                offsets[v + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut edges = vec![0u32; g.edge_count()];
+        for u in 0..n {
+            for v in g.successors(u) {
+                edges[cursor[v] as usize] = u as u32;
+                cursor[v] += 1;
+            }
+        }
+        Csr { offsets, edges }
+    }
+
+    /// Number of rows (nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the view has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row `i` as a slice of neighbour ids.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Length of row `i`.
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successors_preserve_insertion_order() {
+        let g = DiGraph::from_edges(4, [(0, 2), (0, 1), (0, 2), (2, 0), (3, 1)]);
+        let s = Csr::successors_of(&g);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.row(0), &[2, 1, 2]);
+        assert_eq!(s.row(1), &[] as &[u32]);
+        assert_eq!(s.row(2), &[0]);
+        assert_eq!(s.row(3), &[1]);
+        assert_eq!(s.degree(0), 3);
+    }
+
+    #[test]
+    fn predecessors_ascend_with_multiplicity() {
+        // in_edges insertion order for node 1 would be [3, 0, 0] if edges
+        // are added as (3,1) first — the CSR must re-sort to ascending u.
+        let g = DiGraph::from_edges(4, [(3, 1), (0, 1), (0, 1), (2, 0), (1, 0)]);
+        let p = Csr::predecessors_of(&g);
+        assert_eq!(p.row(1), &[0, 0, 3]);
+        assert_eq!(p.row(0), &[1, 2]);
+        assert_eq!(p.row(2), &[] as &[u32]);
+        assert_eq!(p.degree(3), 0);
+    }
+
+    #[test]
+    fn matches_digraph_views() {
+        let mut edges = Vec::new();
+        for u in 0..50usize {
+            edges.push((u, (u * 7 + 3) % 50));
+            if u % 4 == 0 {
+                edges.push((u, (u * 7 + 3) % 50)); // parallel
+                edges.push((u, 0));
+            }
+        }
+        let g = DiGraph::from_edges(50, edges.iter().copied().filter(|&(u, _)| u % 9 != 0));
+        let s = Csr::successors_of(&g);
+        let p = Csr::predecessors_of(&g);
+        for u in 0..g.len() {
+            assert_eq!(
+                s.row(u).iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                g.successors(u).collect::<Vec<_>>()
+            );
+            let mut want: Vec<usize> = g.predecessors(u).collect();
+            want.sort_unstable();
+            assert_eq!(
+                p.row(u).iter().map(|&v| v as usize).collect::<Vec<_>>(),
+                want,
+                "preds of {u}"
+            );
+            assert_eq!(s.degree(u), g.out_degree(u));
+            assert_eq!(p.degree(u), g.in_degree(u));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new(0);
+        let s = Csr::successors_of(&g);
+        assert!(s.is_empty());
+        assert_eq!(Csr::predecessors_of(&g).len(), 0);
+    }
+}

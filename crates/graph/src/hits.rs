@@ -4,6 +4,7 @@
 //! facet; `mass-core` exposes it as an alternative GL provider and the
 //! evaluation harness compares both.
 
+use crate::csr::Csr;
 use crate::digraph::DiGraph;
 
 /// Tuning knobs for [`hits`].
@@ -72,45 +73,30 @@ pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
     let mut hub = vec![uniform; n];
     let mut iterations = 0;
 
-    // Same pull-mode preimage as `pagerank`: ascending-`u` predecessor lists
-    // reproduce the serial scatter's per-slot addition order bit for bit.
-    let preds: Vec<Vec<u32>> = if ex.threads() > 1 {
-        let mut preds = vec![Vec::new(); n];
-        for u in 0..n {
-            for v in g.successors(u) {
-                preds[v].push(u as u32);
-            }
-        }
-        preds
-    } else {
-        Vec::new()
-    };
+    // Same CSR pull kernels as `pagerank`, for every thread count:
+    // ascending-`u` predecessor rows reproduce the legacy serial scatter's
+    // per-slot addition order bit for bit, and the hub half-step's
+    // successor rows keep each node's insertion-order sum.
+    let preds = Csr::predecessors_of(g);
+    let succs = Csr::successors_of(g);
 
     while iterations < params.max_iterations {
         iterations += 1;
         let mut new_auth = vec![0.0f64; n];
-        if ex.threads() > 1 {
+        {
             let (hub, preds) = (&hub, &preds);
             ex.par_fill(&mut new_auth, |v| {
-                preds[v].iter().fold(0.0, |a, &u| a + hub[u as usize])
+                preds.row(v).iter().fold(0.0, |a, &u| a + hub[u as usize])
             });
-        } else {
-            for (u, &h) in hub.iter().enumerate() {
-                for v in g.successors(u) {
-                    new_auth[v] += h;
-                }
-            }
         }
         normalize_l1(&mut new_auth, uniform);
 
         let mut new_hub = vec![0.0f64; n];
-        if ex.threads() > 1 {
-            let new_auth = &new_auth;
-            ex.par_fill(&mut new_hub, |u| g.successors(u).map(|v| new_auth[v]).sum());
-        } else {
-            for (u, slot) in new_hub.iter_mut().enumerate() {
-                *slot = g.successors(u).map(|v| new_auth[v]).sum();
-            }
+        {
+            let (new_auth, succs) = (&new_auth, &succs);
+            ex.par_fill(&mut new_hub, |u| {
+                succs.row(u).iter().map(|&v| new_auth[v as usize]).sum()
+            });
         }
         normalize_l1(&mut new_hub, uniform);
 

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod components;
+pub mod csr;
 pub mod digraph;
 pub mod hits;
 pub mod pagerank;
@@ -39,6 +40,7 @@ pub mod traversal;
 pub use components::{
     giant_component_size, strongly_connected_components, weakly_connected_components,
 };
+pub use csr::Csr;
 pub use digraph::{DegreeStats, DiGraph};
 pub use hits::{hits, HitsParams, HitsScores};
 pub use pagerank::{pagerank, PageRankParams, PageRankResult};

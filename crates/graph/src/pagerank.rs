@@ -1,5 +1,6 @@
 //! PageRank (Page et al., ref \[3\] of the paper) — the General-Links facet.
 
+use crate::csr::Csr;
 use crate::digraph::DiGraph;
 
 /// Tuning knobs for [`pagerank`].
@@ -70,57 +71,37 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
 
-    // Pull-mode preimage for the parallel path: `preds[v]` lists every
-    // in-edge source (with multiplicity) in ascending-`u` order, which is
-    // exactly the order the serial scatter loop adds into slot `v` — so the
-    // pull fold reproduces the scatter result bit for bit.
-    let preds: Vec<Vec<u32>> = if ex.threads() > 1 {
-        let mut preds = vec![Vec::new(); n];
-        for u in 0..n {
-            for v in g.successors(u) {
-                preds[v].push(u as u32);
-            }
-        }
-        preds
-    } else {
-        Vec::new()
-    };
+    // One pull kernel for every thread count, over flattened CSR rows.
+    // `preds.row(v)` lists every in-edge source (with multiplicity) in
+    // ascending-`u` order — exactly the order the legacy serial scatter
+    // added into slot `v` — so the fold reproduces the scatter result bit
+    // for bit, and `par_fill` at one thread is the plain serial loop.
+    let preds = Csr::predecessors_of(g);
+    let degree: Vec<u32> = (0..n).map(|u| g.out_degree(u) as u32).collect();
     let mut share = vec![0.0f64; n];
 
     while iterations < params.max_iterations {
         iterations += 1;
         // Mass from dangling nodes is spread uniformly. Order-sensitive O(n)
         // sum: stays serial so bits never depend on the thread count.
-        let dangling_mass: f64 = (0..n)
-            .filter(|&u| g.out_degree(u) == 0)
-            .map(|u| rank[u])
-            .sum();
+        let dangling_mass: f64 = (0..n).filter(|&u| degree[u] == 0).map(|u| rank[u]).sum();
         let base = (1.0 - d) * uniform + d * dangling_mass * uniform;
-        if ex.threads() > 1 {
+        {
+            let (rank, degree) = (&rank, &degree);
             ex.par_fill(&mut share, |u| {
-                let deg = g.out_degree(u);
-                if deg == 0 {
+                if degree[u] == 0 {
                     0.0
                 } else {
-                    d * rank[u] / deg as f64
+                    d * rank[u] / degree[u] as f64
                 }
             });
             let (share, preds) = (&share, &preds);
             ex.par_fill(&mut next, |v| {
-                preds[v].iter().fold(base, |a, &u| a + share[u as usize])
+                preds
+                    .row(v)
+                    .iter()
+                    .fold(base, |a, &u| a + share[u as usize])
             });
-        } else {
-            next.iter_mut().for_each(|x| *x = base);
-            for (u, &r) in rank.iter().enumerate() {
-                let deg = g.out_degree(u);
-                if deg == 0 {
-                    continue;
-                }
-                let share = d * r / deg as f64;
-                for v in g.successors(u) {
-                    next[v] += share;
-                }
-            }
         }
         residual = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);

@@ -10,7 +10,9 @@
 //! fed back into MASS as a [`mass_types::DomainSet`], with a naive-Bayes
 //! classifier bootstrapped from the topic assignments.
 
+use crate::intern::{Interner, TermId};
 use crate::nb::{NaiveBayes, NaiveBayesTrainer};
+use crate::prepared::PreparedCorpus;
 use crate::tokenize::tokenize;
 use mass_types::DomainSet;
 use std::collections::{HashMap, HashSet};
@@ -137,6 +139,84 @@ impl TopicModel {
         }
         any.then(|| trainer.build(2))
     }
+
+    /// Maps every id of an interner's vocabulary to its topic index, or
+    /// `u32::MAX` for terms outside every cluster — one membership probe per
+    /// distinct term instead of one per token.
+    pub fn membership_ids(&self, interner: &Interner) -> Vec<u32> {
+        (0..interner.len() as u32)
+            .map(|id| {
+                self.membership
+                    .get(interner.resolve(id))
+                    .map_or(u32::MAX, |&t| t as u32)
+            })
+            .collect()
+    }
+
+    /// [`Self::assign`] over a prepared document-term row (`topic_of` from
+    /// [`Self::membership_ids`]). Counts are whole numbers, so grouping the
+    /// per-token 1.0-adds by term is exact and the distribution is
+    /// bit-identical to the string path.
+    pub fn assign_counts(&self, terms: &[TermId], counts: &[u32], topic_of: &[u32]) -> Vec<f64> {
+        let n = self.topics.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0f64; n];
+        let mut total = 0.0;
+        for (&t, &c) in terms.iter().zip(counts) {
+            let topic = topic_of[t as usize];
+            if topic != u32::MAX {
+                out[topic as usize] += c as f64;
+                total += c as f64;
+            }
+        }
+        if total == 0.0 {
+            return vec![1.0 / n as f64; n];
+        }
+        out.iter_mut().for_each(|c| *c /= total);
+        out
+    }
+
+    /// [`Self::classify`] over a prepared document-term row.
+    pub fn classify_counts(
+        &self,
+        terms: &[TermId],
+        counts: &[u32],
+        topic_of: &[u32],
+    ) -> Option<usize> {
+        let dist = self.assign_counts(terms, counts, topic_of);
+        dist.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+    }
+
+    /// [`Self::bootstrap_classifier`] over a prepared corpus — trains the
+    /// identical model from the CSR document-term rows without re-tokenizing
+    /// a single document.
+    pub fn bootstrap_classifier_prepared(&self, corpus: &PreparedCorpus) -> Option<NaiveBayes> {
+        if self.topics.is_empty() || corpus.posts() == 0 {
+            return None;
+        }
+        let topic_of = self.membership_ids(corpus.interner());
+        let mut trainer = NaiveBayesTrainer::new(self.topics.len());
+        let mut any = false;
+        for k in 0..corpus.posts() {
+            let (terms, counts) = corpus.doc_terms(k);
+            if let Some(topic) = self.classify_counts(terms, counts, &topic_of) {
+                trainer.add_term_counts(
+                    topic,
+                    terms
+                        .iter()
+                        .zip(counts)
+                        .map(|(&t, &n)| (corpus.resolve(t), n)),
+                );
+                any = true;
+            }
+        }
+        any.then(|| trainer.build(2))
+    }
 }
 
 /// Discovers topics in an untagged corpus by co-occurrence clustering of
@@ -206,9 +286,98 @@ pub fn discover_topics(docs: &[&str], params: &DiscoveryParams) -> TopicModel {
             }
         }
     }
-    let n_docs = docs.len().max(1) as f64;
+    let terms: Vec<&str> = vocab.iter().map(|&(t, _)| t).collect();
+    let dfs: Vec<u32> = vocab.iter().map(|&(_, c)| c).collect();
+    cluster_vocab(&terms, &dfs, &cooc, docs.len(), params)
+}
+
+/// Discovers topics over a [`PreparedCorpus`] — the same clustering, fed by
+/// the CSR document-term rows instead of re-tokenized strings. Produces a
+/// model identical to [`discover_topics`] on the equivalent raw documents:
+/// document frequencies and co-occurrence counts are integer sums (order
+/// independent), the candidate order is fixed by the (df desc, term asc)
+/// sort, and the lift arithmetic is shared.
+pub fn discover_topics_prepared(corpus: &PreparedCorpus, params: &DiscoveryParams) -> TopicModel {
+    let _span = mass_obs::span_with(
+        "text.discover_topics",
+        vec![
+            mass_obs::field("docs", corpus.posts()),
+            mass_obs::field("topics", params.topics),
+        ],
+    );
+    assert!(params.topics > 0, "must request at least one topic");
+    assert!(
+        params.vocabulary >= params.topics,
+        "vocabulary smaller than topic count"
+    );
+
+    // 1. Document frequency, dense over the interned vocabulary.
+    let n = corpus.posts();
+    let mut df = vec![0u32; corpus.vocab_len()];
+    for k in 0..n {
+        for &t in corpus.doc_terms(k).0 {
+            df[t as usize] += 1;
+        }
+    }
+    let cap = (n as u32).max(1);
+    let mut vocab: Vec<(TermId, u32)> = df
+        .iter()
+        .enumerate()
+        .map(|(id, &c)| (id as TermId, c))
+        .filter(|&(_, c)| c >= 2 && c * 10 <= cap * 8) // df < 80%
+        .collect();
+    vocab.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| corpus.resolve(a.0).cmp(corpus.resolve(b.0)))
+    });
+    vocab.truncate(params.vocabulary);
+    if vocab.is_empty() {
+        return TopicModel {
+            topics: Vec::new(),
+            membership: HashMap::new(),
+        };
+    }
+
+    // 2. Co-occurrence over kept terms, via a dense id → position map.
+    let v = vocab.len();
+    let mut pos = vec![u32::MAX; corpus.vocab_len()];
+    for (i, &(id, _)) in vocab.iter().enumerate() {
+        pos[id as usize] = i as u32;
+    }
+    let mut cooc = vec![0u32; v * v];
+    let mut present: Vec<usize> = Vec::new();
+    for k in 0..n {
+        present.clear();
+        present.extend(corpus.doc_terms(k).0.iter().filter_map(|&t| {
+            let p = pos[t as usize];
+            (p != u32::MAX).then_some(p as usize)
+        }));
+        for (i, &a) in present.iter().enumerate() {
+            for &b in &present[i + 1..] {
+                cooc[a * v + b] += 1;
+                cooc[b * v + a] += 1;
+            }
+        }
+    }
+    let terms: Vec<&str> = vocab.iter().map(|&(id, _)| corpus.resolve(id)).collect();
+    let dfs: Vec<u32> = vocab.iter().map(|&(_, c)| c).collect();
+    cluster_vocab(&terms, &dfs, &cooc, n, params)
+}
+
+/// Steps 3–4 of discovery, shared by the string and prepared front ends:
+/// seed selection and cluster assignment over a kept vocabulary (`terms[i]`
+/// with document frequency `df[i]` and co-occurrence row `cooc[i * v ..]`).
+fn cluster_vocab(
+    terms: &[&str],
+    df: &[u32],
+    cooc: &[u32],
+    docs: usize,
+    params: &DiscoveryParams,
+) -> TopicModel {
+    let v = terms.len();
+    let n_docs = docs.max(1) as f64;
     let sim = |a: usize, b: usize| -> f64 {
-        let expected = vocab[a].1 as f64 * vocab[b].1 as f64 / n_docs;
+        let expected = df[a] as f64 * df[b] as f64 / n_docs;
         cooc[a * v + b] as f64 / expected.max(1e-12)
     };
 
@@ -255,8 +424,8 @@ pub fn discover_topics(docs: &[&str], params: &DiscoveryParams) -> TopicModel {
     let topics: Vec<Topic> = clusters
         .into_iter()
         .map(|members| Topic {
-            label: vocab[members[0]].0.to_string(),
-            terms: members.iter().map(|&i| vocab[i].0.to_string()).collect(),
+            label: terms[members[0]].to_string(),
+            terms: members.iter().map(|&i| terms[i].to_string()).collect(),
         })
         .collect();
     let membership: HashMap<String, usize> = topics
@@ -421,6 +590,61 @@ mod tests {
         let a = model();
         let b = model();
         assert_eq!(a.topics(), b.topics());
+    }
+
+    #[test]
+    fn prepared_discovery_matches_string_discovery() {
+        let docs = corpus();
+        let mut b = mass_types::DatasetBuilder::new();
+        let blogger = b.blogger("author");
+        for d in &docs {
+            b.post(blogger, "", d.clone());
+        }
+        let ds = b.build().unwrap();
+        let prepared = PreparedCorpus::build(&ds, 1);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let params = DiscoveryParams {
+            topics: 3,
+            vocabulary: 50,
+            ..Default::default()
+        };
+        let by_string = discover_topics(&refs, &params);
+        let by_corpus = discover_topics_prepared(&prepared, &params);
+        assert_eq!(by_string.topics(), by_corpus.topics());
+
+        // Assignment and the bootstrapped classifier agree bit for bit.
+        let topic_of = by_string.membership_ids(prepared.interner());
+        for (k, doc) in refs.iter().enumerate() {
+            let (terms, counts) = prepared.doc_terms(k);
+            let a = by_string.assign(doc);
+            let b = by_string.assign_counts(terms, counts, &topic_of);
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "assignment diverged on doc {k}"
+            );
+            assert_eq!(
+                by_string.classify(doc),
+                by_string.classify_counts(terms, counts, &topic_of)
+            );
+        }
+        let nb_string = by_string.bootstrap_classifier(&refs).unwrap();
+        let nb_prepared = by_string.bootstrap_classifier_prepared(&prepared).unwrap();
+        for doc in &refs {
+            assert_eq!(
+                nb_string
+                    .posterior(doc)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                nb_prepared
+                    .posterior(doc)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "bootstrapped models diverged"
+            );
+        }
     }
 
     #[test]

@@ -30,17 +30,23 @@
 
 pub mod discovery;
 pub mod interest;
+pub mod intern;
 pub mod nb;
 pub mod novelty;
+pub mod prepared;
 pub mod search;
 pub mod sentiment;
 pub mod stopwords;
 pub mod tokenize;
 
-pub use discovery::{discover_topics, DiscoveryParams, Topic, TopicModel};
+pub use discovery::{
+    discover_topics, discover_topics_prepared, DiscoveryParams, Topic, TopicModel,
+};
 pub use interest::InterestMiner;
-pub use nb::{NaiveBayes, NaiveBayesTrainer};
+pub use intern::{Interner, TermId};
+pub use nb::{CompiledNb, NaiveBayes, NaiveBayesTrainer};
 pub use novelty::{NoveltyDetector, NoveltyParams};
+pub use prepared::PreparedCorpus;
 pub use search::{Bm25Params, InvertedIndex};
-pub use sentiment::SentimentLexicon;
-pub use tokenize::{tokenize, tokenize_keep_stopwords, TermCounts};
+pub use sentiment::{CompiledSentiment, SentimentLexicon};
+pub use tokenize::{for_each_token, tokenize, tokenize_keep_stopwords, TermCounts};

@@ -5,6 +5,8 @@
 //! returns exactly that: a probability vector over the domain catalogue for
 //! one post, which Eq. 5 multiplies into the post's influence score.
 
+use crate::intern::{Interner, TermId};
+use crate::prepared::PreparedCorpus;
 use crate::tokenize::tokenize;
 use std::collections::HashMap;
 
@@ -55,6 +57,26 @@ impl NaiveBayesTrainer {
                 .or_insert_with(|| vec![0; self.classes]);
             entry[class] += 1;
             self.class_tokens[class] += 1;
+        }
+    }
+
+    /// Adds a labelled document given its `(term, count)` bag — the prepared
+    /// corpus's CSR row. Produces exactly the trainer state of feeding the
+    /// same token multiset through [`NaiveBayesTrainer::add_tokens`].
+    pub fn add_term_counts<'a, I: IntoIterator<Item = (&'a str, u32)>>(
+        &mut self,
+        class: usize,
+        terms: I,
+    ) {
+        assert!(class < self.classes, "class {class} out of range");
+        self.class_docs[class] += 1;
+        for (t, n) in terms {
+            let entry = self
+                .term_counts
+                .entry(t.to_string())
+                .or_insert_with(|| vec![0; self.classes]);
+            entry[class] += n;
+            self.class_tokens[class] += n as u64;
         }
     }
 
@@ -165,9 +187,15 @@ impl NaiveBayes {
     /// Posteriors for a batch of documents, computed through the `mass-par`
     /// executor. Each document's vector is independent of the others, so the
     /// result is element-for-element bit-identical to calling
-    /// [`NaiveBayes::posterior`] serially, at every thread count.
-    pub fn posterior_batch(&self, docs: &[String], threads: usize) -> Vec<Vec<f64>> {
-        mass_par::executor(threads).par_map(docs, |doc| self.posterior(doc))
+    /// [`NaiveBayes::posterior`] serially, at every thread count. Accepts
+    /// any string-ish slice (`&[String]`, `&[&str]`, …) so callers need not
+    /// clone whole documents.
+    pub fn posterior_batch<S: AsRef<str> + Sync>(
+        &self,
+        docs: &[S],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        mass_par::executor(threads).par_map(docs, |doc| self.posterior(doc.as_ref()))
     }
 
     /// Posterior for pre-tokenized terms.
@@ -178,6 +206,111 @@ impl NaiveBayes {
     /// Most probable class.
     pub fn classify(&self, text: &str) -> usize {
         argmax(&self.log_scores(text))
+    }
+
+    /// Compiles the model against an interner's vocabulary into a dense
+    /// log-likelihood table for gather-and-sum classification. The compiled
+    /// model scores interned token sequences with `f64::to_bits`-identical
+    /// results to [`NaiveBayes::log_scores`] on the equivalent raw text.
+    pub fn compile(&self, interner: &Interner) -> CompiledNb {
+        let v = self.term_index.len() as f64;
+        let total_docs: u64 = self.class_docs.iter().sum();
+        // One extra all-zero column absorbs out-of-vocabulary terms: adding
+        // its +0.0 per class is a bit-exact no-op (running scores start at
+        // ln(prior) ≤ 0 and never become -0.0), so the gather loop needs no
+        // membership branch.
+        let width = self.term_index.len() + 1;
+        let mut ll = vec![0.0f64; self.classes * width];
+        for (idx, counts) in self.term_class_counts.iter().enumerate() {
+            for (c, row) in ll.chunks_exact_mut(width).enumerate() {
+                row[idx] = ((counts[c] as f64 + 1.0) / (self.class_tokens[c] as f64 + v)).ln();
+            }
+        }
+        let log_priors: Vec<f64> = (0..self.classes)
+            .map(|c| {
+                ((self.class_docs[c] as f64 + 1.0) / (total_docs as f64 + self.classes as f64)).ln()
+            })
+            .collect();
+        let oov = (width - 1) as u32;
+        let term_map: Vec<u32> = (0..interner.len() as u32)
+            .map(|id| {
+                self.term_index
+                    .get(interner.resolve(id))
+                    .map_or(oov, |&i| i as u32)
+            })
+            .collect();
+        CompiledNb {
+            classes: self.classes,
+            width,
+            log_priors,
+            ll,
+            term_map,
+        }
+    }
+}
+
+/// A trained model flattened into a dense row-major table of precomputed
+/// log-likelihoods (`ll[class * width + column]`), plus a map from interner
+/// [`TermId`]s to table columns. Classification over interned token
+/// sequences becomes a branch-free gather-and-sum — no tokenization, no
+/// hashing, no `ln` — that `mass-par` chunks effectively.
+#[derive(Clone, Debug)]
+pub struct CompiledNb {
+    classes: usize,
+    /// Model vocabulary size + 1; the last column is all zeros (OOV).
+    width: usize,
+    log_priors: Vec<f64>,
+    ll: Vec<f64>,
+    /// Interner id → table column (`width - 1` for terms the model never
+    /// saw).
+    term_map: Vec<u32>,
+}
+
+impl CompiledNb {
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Unnormalised log-posterior per class for an interned token sequence.
+    /// Walks tokens in order, adding each one's per-class column — the exact
+    /// addition order of [`NaiveBayes::log_scores_tokens`], so the bits
+    /// match.
+    pub fn log_scores_ids(&self, ids: &[TermId]) -> Vec<f64> {
+        let mut scores = self.log_priors.clone();
+        for &t in ids {
+            let col = self.term_map[t as usize] as usize;
+            for (c, score) in scores.iter_mut().enumerate() {
+                *score += self.ll[c * self.width + col];
+            }
+        }
+        scores
+    }
+
+    /// The posterior distribution for an interned token sequence.
+    pub fn posterior_ids(&self, ids: &[TermId]) -> Vec<f64> {
+        softmax(&self.log_scores_ids(ids))
+    }
+
+    /// Most probable class for an interned token sequence.
+    pub fn classify_ids(&self, ids: &[TermId]) -> usize {
+        argmax(&self.log_scores_ids(ids))
+    }
+
+    /// Posterior of every post document in `corpus`, through the `mass-par`
+    /// executor. Bit-identical to [`NaiveBayes::posterior`] on each post's
+    /// `"{title} {text}"` document at every thread count. Records the
+    /// `text.classify_batch_us` histogram.
+    pub fn posterior_batch_prepared(
+        &self,
+        corpus: &PreparedCorpus,
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let start = std::time::Instant::now();
+        let out = mass_par::executor(threads)
+            .par_map_collect(corpus.posts(), |k| self.posterior_ids(corpus.doc_tokens(k)));
+        mass_obs::histogram("text.classify_batch_us").record_duration(start.elapsed());
+        out
     }
 }
 
@@ -303,6 +436,91 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_class_panics() {
         NaiveBayesTrainer::new(2).add_document(5, "x");
+    }
+
+    #[test]
+    fn compiled_matches_string_path_bitwise() {
+        let m = trained();
+        let texts = [
+            "booking a hotel for my beach vacation",
+            "the team scored a late goal in the match",
+            "writing rust code for a compiler",
+            "zzzzqqq xyzzy entirely out of vocabulary",
+            "",
+            "hotel hotel hotel code",
+        ];
+        let mut interner = Interner::new();
+        let ids: Vec<Vec<u32>> = texts
+            .iter()
+            .map(|t| tokenize(t).iter().map(|w| interner.intern(w)).collect())
+            .collect();
+        let compiled = m.compile(&interner);
+        for (text, ids) in texts.iter().zip(&ids) {
+            let slow = m.log_scores(text);
+            let fast = compiled.log_scores_ids(ids);
+            assert_eq!(
+                slow.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                fast.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "log scores diverged on {text:?}"
+            );
+            assert_eq!(
+                m.posterior(text)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                compiled
+                    .posterior_ids(ids)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "posterior diverged on {text:?}"
+            );
+            assert_eq!(m.classify(text), compiled.classify_ids(ids));
+        }
+    }
+
+    #[test]
+    fn term_count_training_equals_token_training() {
+        let docs = [
+            (0, "travel hotel hotel beach"),
+            (1, "football match match match team"),
+            (0, "hotel tour"),
+        ];
+        let mut by_tokens = NaiveBayesTrainer::new(2);
+        let mut by_counts = NaiveBayesTrainer::new(2);
+        for &(class, text) in &docs {
+            by_tokens.add_document(class, text);
+            let mut bag: std::collections::BTreeMap<String, u32> = Default::default();
+            for t in tokenize(text) {
+                *bag.entry(t).or_insert(0) += 1;
+            }
+            by_counts.add_term_counts(class, bag.iter().map(|(t, &n)| (t.as_str(), n)));
+        }
+        let a = by_tokens.build(1);
+        let b = by_counts.build(1);
+        for probe in ["hotel match", "beach", "absent", ""] {
+            assert_eq!(
+                a.log_scores(probe)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                b.log_scores(probe)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "models diverged on {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn posterior_batch_accepts_str_slices() {
+        let m = trained();
+        let owned = vec!["hotel beach".to_string(), "team goal".to_string()];
+        let borrowed: Vec<&str> = owned.iter().map(String::as_str).collect();
+        let a = m.posterior_batch(&owned, 1);
+        let b = m.posterior_batch(&borrowed, 1);
+        assert_eq!(a, b);
     }
 
     #[test]

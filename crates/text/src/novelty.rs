@@ -103,8 +103,20 @@ impl NoveltyDetector {
 
     /// Scores `text` against the corpus so far, then adds it to the corpus.
     pub fn score_and_add(&mut self, text: &str) -> f64 {
+        let tokens = tokenize(text);
+        let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+        self.score_and_add_tokens(text, &refs)
+    }
+
+    /// [`Self::score_and_add`] with the tokenization already done — the
+    /// prepared-corpus path. `tokens` must be the (stopword-filtered) tokens
+    /// of `text`; the raw text is still needed for the marker scan, which is
+    /// a substring search, not a token match. Hashing a resolved `&str`
+    /// produces the same shingle hash as the owned-`String` path, so mixing
+    /// both against one detector is exact.
+    pub fn score_and_add_tokens(&mut self, text: &str, tokens: &[&str]) -> f64 {
         let marker_score = novelty_from_markers(text);
-        let shingles = self.shingles(text);
+        let shingles = self.shingles(tokens);
         let overlap = if shingles.is_empty() {
             0.0
         } else {
@@ -131,14 +143,13 @@ impl NoveltyDetector {
         self.seen_shingles.len()
     }
 
-    fn shingles(&self, text: &str) -> Vec<u64> {
-        let tokens = tokenize(text);
+    fn shingles(&self, tokens: &[&str]) -> Vec<u64> {
         if tokens.len() < self.params.shingle_len {
             // Short posts hash as a single whole-text shingle.
             if tokens.is_empty() {
                 return Vec::new();
             }
-            return vec![hash_tokens(&tokens)];
+            return vec![hash_tokens(tokens)];
         }
         tokens
             .windows(self.params.shingle_len)
@@ -153,7 +164,10 @@ impl Default for NoveltyDetector {
     }
 }
 
-fn hash_tokens(tokens: &[String]) -> u64 {
+// `&str` hashes exactly like the `String` it was resolved from (bytes plus
+// the 0xff length terminator), so interned and owned token streams index
+// into the same shingle space.
+fn hash_tokens(tokens: &[&str]) -> u64 {
     let mut h = DefaultHasher::new();
     for t in tokens {
         t.hash(&mut h);
@@ -229,6 +243,33 @@ mod tests {
         let s =
             d.score_and_add("reprinted reprinted something fresh entirely new words here today");
         assert!(s <= 0.1);
+    }
+
+    #[test]
+    fn token_path_matches_text_path_even_interleaved() {
+        let texts = [
+            "a long enough post about travel plans in summer with many details",
+            "a long enough post about travel plans in summer with many details",
+            "reprinted, forwarded from a friend, source: somewhere",
+            "hi",
+            "hi",
+            "",
+            "alpha beta gamma delta totally different ending here now",
+        ];
+        let mut by_text = NoveltyDetector::default();
+        let mut mixed = NoveltyDetector::default();
+        for (i, text) in texts.iter().enumerate() {
+            let a = by_text.score_and_add(text);
+            let b = if i % 2 == 0 {
+                let tokens = tokenize(text);
+                let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+                mixed.score_and_add_tokens(text, &refs)
+            } else {
+                mixed.score_and_add(text)
+            };
+            assert_eq!(a.to_bits(), b.to_bits(), "diverged on post {i}");
+        }
+        assert_eq!(by_text.indexed_shingles(), mixed.indexed_shingles());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! technique contemporary with the paper (2010 blog mining used lexicons,
 //! not learned models).
 
+use crate::intern::{Interner, TermId};
 use crate::tokenize::tokenize_keep_stopwords;
 use mass_types::Sentiment;
 use std::collections::HashSet;
@@ -169,6 +170,75 @@ impl SentimentLexicon {
     pub fn factor(&self, text: &str) -> f64 {
         self.classify(text).factor()
     }
+
+    /// Compiles the lexicon against an interner's vocabulary: one table
+    /// probe per distinct term, then scoring interned token sequences is a
+    /// plain array walk with no hashing. Same vote, same window, same
+    /// precedence (negation > positive > negative) as [`Self::score`].
+    pub fn compile(&self, interner: &Interner) -> CompiledSentiment {
+        let polarity = (0..interner.len() as u32)
+            .map(|id| {
+                let t = interner.resolve(id);
+                if self.negations.contains(t) {
+                    NEGATION_MARK
+                } else if self.positive.contains(t) {
+                    1
+                } else if self.negative.contains(t) {
+                    -1
+                } else {
+                    0
+                }
+            })
+            .collect();
+        CompiledSentiment { polarity }
+    }
+}
+
+/// Per-[`TermId`] marker for negation words in [`CompiledSentiment`].
+const NEGATION_MARK: i8 = 2;
+
+/// A [`SentimentLexicon`] flattened to a per-term polarity table over an
+/// interner's vocabulary. Scores interned token sequences with results
+/// identical to the string lexicon on the equivalent raw text.
+#[derive(Clone, Debug)]
+pub struct CompiledSentiment {
+    /// Interner id → +1 (positive), −1 (negative), [`NEGATION_MARK`], or 0.
+    polarity: Vec<i8>,
+}
+
+impl CompiledSentiment {
+    /// The signed vote for a stopword-keeping interned token sequence —
+    /// exactly [`SentimentLexicon::score`] on the text those tokens came
+    /// from.
+    pub fn score_ids(&self, ids: &[TermId]) -> i32 {
+        let mut score = 0i32;
+        let mut negate_until: Option<usize> = None;
+        for (i, &t) in ids.iter().enumerate() {
+            let p = self.polarity[t as usize];
+            if p == NEGATION_MARK {
+                negate_until = Some(i + NEGATION_WINDOW);
+                continue;
+            }
+            let negated = negate_until.is_some_and(|until| i <= until);
+            let polarity = p as i32;
+            score += if negated { -polarity } else { polarity };
+        }
+        score
+    }
+
+    /// The attitude class for an interned token sequence.
+    pub fn classify_ids(&self, ids: &[TermId]) -> Sentiment {
+        match self.score_ids(ids) {
+            s if s > 0 => Sentiment::Positive,
+            s if s < 0 => Sentiment::Negative,
+            _ => Sentiment::Neutral,
+        }
+    }
+
+    /// The sentiment factor `SF` for an interned token sequence.
+    pub fn factor_ids(&self, ids: &[TermId]) -> f64 {
+        self.classify_ids(ids).factor()
+    }
 }
 
 #[cfg(test)]
@@ -251,5 +321,44 @@ mod tests {
     fn case_insensitive_via_tokenizer() {
         let lex = SentimentLexicon::default();
         assert_eq!(lex.classify("AGREE!"), Sentiment::Positive);
+    }
+
+    #[test]
+    fn compiled_matches_string_lexicon() {
+        let lex = SentimentLexicon::default();
+        let texts = [
+            "not good",
+            "never disappointed",
+            "i don't agree",
+            "not that it matters really good",
+            "great great terrible",
+            "good but wrong",
+            "no no never good bad",
+            "",
+            "AGREE!",
+        ];
+        let mut interner = Interner::new();
+        let ids: Vec<Vec<u32>> = texts
+            .iter()
+            .map(|t| {
+                tokenize_keep_stopwords(t)
+                    .iter()
+                    .map(|w| interner.intern(w))
+                    .collect()
+            })
+            .collect();
+        let compiled = lex.compile(&interner);
+        for (text, ids) in texts.iter().zip(&ids) {
+            assert_eq!(
+                lex.score(text),
+                compiled.score_ids(ids),
+                "score diverged on {text:?}"
+            );
+            assert_eq!(lex.classify(text), compiled.classify_ids(ids));
+            assert_eq!(
+                lex.factor(text).to_bits(),
+                compiled.factor_ids(ids).to_bits()
+            );
+        }
     }
 }

@@ -23,8 +23,68 @@ pub fn tokenize_keep_stopwords(text: &str) -> Vec<String> {
 fn raw_tokens(text: &str) -> impl Iterator<Item = String> + '_ {
     text.split(|c: char| !(c.is_alphanumeric() || c == '\''))
         .map(|w| w.replace('\'', "").to_lowercase())
-        .filter(|w| w.len() > 1 || w.chars().all(|c| c.is_ascii_digit() && !w.is_empty()))
-        .filter(|w| !w.is_empty())
+        .filter(|w| keep_token(w))
+}
+
+/// The single-char filter: a normalized word survives iff it is longer than
+/// one byte, or its one byte is an ASCII digit ("3" stays, "c" and "" go).
+/// A one-byte token is necessarily one ASCII char, so checking the first
+/// byte is exact; multi-byte single chars ("旅") pass the length test.
+fn keep_token(w: &str) -> bool {
+    w.len() > 1 || w.as_bytes().first().is_some_and(|b| b.is_ascii_digit())
+}
+
+/// Normalizes one raw word in place: strip apostrophes, lowercase, apply the
+/// single-char filter. Returns `None` for filtered words. ASCII words that
+/// are already clean are returned as-is (zero copies); others are built in
+/// `scratch`. Byte-for-byte equal to `w.replace('\'', "").to_lowercase()` —
+/// including `str::to_lowercase`'s context-sensitive cases (final sigma),
+/// which is why the non-ASCII path falls back to it.
+fn normalize_word<'a>(word: &'a str, scratch: &'a mut String) -> Option<&'a str> {
+    let tok: &str = if word.is_ascii() {
+        if word.bytes().all(|b| !b.is_ascii_uppercase() && b != b'\'') {
+            word
+        } else {
+            scratch.clear();
+            scratch.extend(
+                word.bytes()
+                    .filter(|&b| b != b'\'')
+                    .map(|b| b.to_ascii_lowercase() as char),
+            );
+            scratch
+        }
+    } else {
+        scratch.clear();
+        if word.contains('\'') {
+            let stripped: String = word.chars().filter(|&c| c != '\'').collect();
+            scratch.push_str(&stripped.to_lowercase());
+        } else {
+            scratch.push_str(&word.to_lowercase());
+        }
+        scratch
+    };
+    keep_token(tok).then_some(tok)
+}
+
+/// Zero-copy tokenization: calls `visit` once per token of `text`, in
+/// order, producing the exact token stream of [`tokenize`] (or
+/// [`tokenize_keep_stopwords`] when `keep_stopwords`) without allocating a
+/// `String` per token. `scratch` is a caller-owned reuse buffer; tokens are
+/// only valid for the duration of each `visit` call. This is the hot path
+/// the corpus interner feeds on.
+pub fn for_each_token(
+    text: &str,
+    keep_stopwords: bool,
+    scratch: &mut String,
+    mut visit: impl FnMut(&str),
+) {
+    for word in text.split(|c: char| !(c.is_alphanumeric() || c == '\'')) {
+        if let Some(tok) = normalize_word(word, scratch) {
+            if keep_stopwords || !is_stopword(tok) {
+                visit(tok);
+            }
+        }
+    }
 }
 
 /// A bag-of-words: term → occurrence count.
@@ -179,6 +239,77 @@ mod tests {
         let ba = b.cosine(&a);
         assert!((ab - ba).abs() < 1e-12);
         assert!(ab > 0.0 && ab < 1.0);
+    }
+
+    /// Golden snapshot: a fixed corpus must produce exactly this token list,
+    /// forever. Locks tokenizer behavior (splitting, apostrophe folding,
+    /// lowercasing incl. final sigma, single-char and stopword filters)
+    /// across the zero-copy rewrite.
+    #[test]
+    fn golden_snapshot_fixed_corpus() {
+        let corpus = "The Quick BROWN fox's den, at web 3.0 — it's NOT \
+                      O'Brien's café!  ΣΊΣΥΦΟΣ & ΟΔΥΣΣΕΎΣ wrote 42 blogs; \
+                      x y 7 'quoted' STRASSE-straße 旅行日記 über__alles";
+        assert_eq!(
+            tokenize(corpus),
+            vec![
+                "quick",
+                "brown",
+                "foxs",
+                "den",
+                "web",
+                "3",
+                "0",
+                "not",
+                "obriens",
+                "café",
+                "σίσυφος",
+                "οδυσσεύς",
+                "wrote",
+                "42",
+                "blogs",
+                "7",
+                "quoted",
+                "strasse",
+                "straße",
+                "旅行日記",
+                "über",
+                "alles",
+            ]
+        );
+        assert_eq!(
+            tokenize_keep_stopwords("It's NOT the Best"),
+            vec!["its", "not", "the", "best"]
+        );
+    }
+
+    /// The zero-copy visitor emits the exact stream of the allocating path,
+    /// including the borrow-as-is, ASCII-scratch, and unicode fallbacks.
+    #[test]
+    fn for_each_token_matches_tokenize() {
+        for text in [
+            "The Quick BROWN fox, and the lazy dog!",
+            "it's Amery's blog",
+            "web 3 rocks x",
+            "旅行 blog über café",
+            "ΣΊΣΥΦΟΣ ΟΔΥΣΣΕΎΣ İstanbul",
+            "don't can't won't O'Brien's café's",
+            "",
+            "!!! ... ???",
+            "mixed 'ΣΣ' CASE ß ẞ 42 a 7",
+        ] {
+            let mut scratch = String::new();
+            for keep in [false, true] {
+                let mut got = Vec::new();
+                for_each_token(text, keep, &mut scratch, |t| got.push(t.to_string()));
+                let want = if keep {
+                    tokenize_keep_stopwords(text)
+                } else {
+                    tokenize(text)
+                };
+                assert_eq!(got, want, "diverged on {text:?} keep_stopwords={keep}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@ fast=0
 
 if [[ $fast -eq 0 ]]; then
   echo "== cargo build --release =="
-  cargo build --release
+  # --workspace: the root facade package does not depend on mass-cli, so a
+  # bare `cargo build --release` would leave the `mass` binary the smoke
+  # gates below run against stale.
+  cargo build --release --workspace
 fi
 
 echo "== cargo test --workspace =="
@@ -42,8 +45,8 @@ if [[ $fast -eq 0 ]]; then
     --metrics-out "$obs_dir/rank_metrics.json" >/dev/null
   "$mass" obs-validate --trace "$obs_dir/rank.jsonl" \
     --metrics "$obs_dir/rank_metrics.json" \
-    --expect-spans solver.solve,analysis.analyze \
-    --expect-metrics solver.sweeps,solver.sweep_us
+    --expect-spans solver.solve,analysis.analyze,text.prepare \
+    --expect-metrics solver.sweeps,solver.sweep_us,text.tokens_interned,text.vocab_size,text.classify_batch_us
 
   echo "== parallel determinism: rank at --threads 1 and 4 is byte-identical =="
   "$mass" rank --in "$obs_dir/corpus.xml" --k 10 --threads 1 \
