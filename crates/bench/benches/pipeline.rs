@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mass_bench::corpus_of;
-use mass_core::{IncrementalMass, MassAnalysis, MassParams};
+use mass_core::{IncrementalMass, MassAnalysis, MassParams, RefreshMode};
 use mass_types::{BloggerId, Comment, Post};
 
 fn bench_analyze(c: &mut Criterion) {
@@ -44,7 +44,7 @@ fn bench_incremental(c: &mut Criterion) {
         b.iter(|| {
             let pid = live.add_post(Post::new(BloggerId::new(0), "t", "a fresh short note"));
             live.add_comment(pid, Comment::new(BloggerId::new(1), "nice one"));
-            live.refresh()
+            live.refresh_with(RefreshMode::WarmStart)
         });
     });
     group.finish();

@@ -1,0 +1,155 @@
+//! X13 — incremental refresh latency versus full recompute, with the
+//! exactness contract checked inline.
+//!
+//! Edit storms of 1, 16 and 256 link-free edits (posts and comments only —
+//! the provider's link graph stays untouched, so an Exact refresh skips
+//! link analysis entirely) are applied to a live [`IncrementalMass`] and
+//! refreshed in Exact mode; the same grown dataset is then re-analysed from
+//! scratch. Both timings come from the same interleaved repetitions, the
+//! storm composes across reps (the corpus genuinely grows), and every rep
+//! bit-compares the refreshed blogger and post scores against the batch
+//! run — a speedup that changes the answer is a bug.
+//!
+//! Medians are reported and written to `BENCH_X13.json`. Release builds
+//! enforce the headline shape (Exact refresh ≥ 2× faster than a full
+//! recompute for a single-edit storm); a debug build still measures and
+//! bit-checks but skips the speed assert.
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin table_x13_incremental
+//! ```
+
+use mass_bench::{banner, standard_corpus};
+use mass_core::storm::{apply_to_incremental, scripted_storm, StormMix};
+use mass_core::{IncrementalMass, MassAnalysis, MassParams};
+use mass_eval::TextTable;
+use mass_obs::json::Json;
+use std::time::Instant;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn main() {
+    banner(
+        "X13",
+        "incremental refresh vs full recompute",
+        "Exact-mode refresh latency across edit-storm sizes; bit-identity checked every rep",
+    );
+
+    let reps = match std::env::var("MASS_BENCH_SCALE").as_deref() {
+        Ok("paper") => 3,
+        _ => 5,
+    };
+    let out = standard_corpus();
+    let params = MassParams::paper();
+    let storm_sizes = [1usize, 16, 256];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for &size in &storm_sizes {
+        let mut live = IncrementalMass::new(out.dataset.clone(), params.clone());
+        let mut refresh_ms = Vec::new();
+        let mut full_ms = Vec::new();
+        for rep in 0..reps {
+            let script = scripted_storm(
+                live.dataset(),
+                size,
+                0xa11ce + size as u64 * 100 + rep as u64,
+                StormMix::LinkFree,
+            );
+            apply_to_incremental(&mut live, &script);
+
+            let start = Instant::now();
+            let stats = live.refresh();
+            refresh_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                !stats.gl_refreshed,
+                "link-free storm must not trigger link analysis"
+            );
+            assert!(stats.converged, "refresh did not converge");
+
+            let start = Instant::now();
+            let batch = MassAnalysis::analyze(live.dataset(), &params);
+            full_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                bits(&live.scores().blogger),
+                bits(&batch.scores.blogger),
+                "storm {size} rep {rep}: blogger scores diverged from batch"
+            );
+            assert_eq!(
+                bits(&live.scores().post),
+                bits(&batch.scores.post),
+                "storm {size} rep {rep}: post scores diverged from batch"
+            );
+        }
+        let refresh = median(&mut refresh_ms);
+        let full = median(&mut full_ms);
+        rows.push((size, refresh, full));
+        json_rows.push(Json::Obj(vec![
+            ("storm_edits".into(), Json::from(size as u64)),
+            ("exact_refresh_ms".into(), Json::Num(refresh)),
+            ("full_recompute_ms".into(), Json::Num(full)),
+            ("speedup".into(), Json::Num(full / refresh)),
+        ]));
+    }
+
+    let mut table = TextTable::new([
+        "storm edits",
+        "exact refresh (ms)",
+        "full recompute (ms)",
+        "speedup",
+    ]);
+    for &(size, refresh, full) in &rows {
+        table.row([
+            size.to_string(),
+            format!("{refresh:.2}"),
+            format!("{full:.2}"),
+            format!("{:.2}x", full / refresh),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "corpus: {} bloggers, {} posts; link-free storms, Exact mode, bit-compared every rep",
+        out.dataset.bloggers.len(),
+        out.dataset.posts.len()
+    );
+
+    let artifact = Json::Obj(vec![
+        ("experiment".into(), Json::from("X13 incremental refresh")),
+        (
+            "bloggers".into(),
+            Json::from(out.dataset.bloggers.len() as u64),
+        ),
+        ("posts".into(), Json::from(out.dataset.posts.len() as u64)),
+        ("reps".into(), Json::from(reps as u64)),
+        ("mode".into(), Json::from("exact")),
+        ("storm_mix".into(), Json::from("link_free")),
+        ("rows".into(), Json::Arr(json_rows)),
+        ("bitwise_identical".into(), Json::Bool(true)),
+    ]);
+    std::fs::write("BENCH_X13.json", artifact.render() + "\n").expect("write BENCH_X13.json");
+    println!("wrote BENCH_X13.json");
+
+    // Bit-identity always held (asserts above). The latency shape only
+    // means anything with the optimizer on.
+    if cfg!(debug_assertions) {
+        println!("shape SKIPPED: debug build (bit-identity was still verified)");
+        return;
+    }
+    let (_, refresh, full) = rows[0];
+    let speedup = full / refresh;
+    let ok = speedup >= 2.0;
+    println!(
+        "shape {}: single-edit Exact refresh speedup {speedup:.2}x over full recompute (need >= 2.00x)",
+        if ok { "HOLDS" } else { "VIOLATED" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

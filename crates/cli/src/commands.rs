@@ -1,7 +1,8 @@
 //! Implementations of the `mass` subcommands.
 
 use crate::args::Args;
-use mass_core::{MassAnalysis, MassParams, Recommender};
+use mass_core::storm::{apply_to_dataset, apply_to_incremental, scripted_storm, StormMix};
+use mass_core::{IncrementalMass, MassAnalysis, MassParams, Recommender, RefreshMode};
 use mass_crawler::{
     archive_host, crawl, BlogHost, CrawlConfig, HostConfig, SimulatedHost, XmlArchiveHost,
 };
@@ -221,12 +222,73 @@ pub fn stats(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Applies a scripted edit storm (`--edit-storm N --edit-seed S`) to the
+/// loaded dataset and analyses the result via the path `--refresh-mode`
+/// names: `exact` / `warm` go through the incremental engine, `full` is a
+/// plain batch recompute. The `exact`-vs-`full` pair is the CLI surface of
+/// the exactness contract — check.sh diffs their `--json-out` artifacts.
+fn rank_analysis(
+    args: &Args,
+    ds: Dataset,
+    params: &MassParams,
+) -> Result<(Dataset, MassAnalysis), String> {
+    let edits: usize = args.get_parse("edit-storm", 0usize)?;
+    let mode = args.get("refresh-mode").filter(|s| !s.is_empty());
+    if edits == 0 {
+        if mode.is_some() {
+            return Err("--refresh-mode requires --edit-storm N".into());
+        }
+        let analysis = MassAnalysis::analyze(&ds, params);
+        return Ok((ds, analysis));
+    }
+    if ds.bloggers.len() < 2 || ds.posts.is_empty() {
+        return Err("--edit-storm needs a corpus with >= 2 bloggers and >= 1 post".into());
+    }
+    let seed: u64 = args.get_parse("edit-seed", 42u64)?;
+    let script = scripted_storm(&ds, edits, seed, StormMix::Mixed);
+    match mode.unwrap_or("exact") {
+        "full" => {
+            let mut ds = ds;
+            apply_to_dataset(&mut ds, &script);
+            eprintln!("storm: {edits} edits (seed {seed}), full batch recompute");
+            let analysis = MassAnalysis::analyze(&ds, params);
+            Ok((ds, analysis))
+        }
+        m @ ("exact" | "warm") => {
+            let refresh_mode = if m == "warm" {
+                RefreshMode::WarmStart
+            } else {
+                RefreshMode::Exact
+            };
+            let mut live = IncrementalMass::new(ds, params.clone());
+            apply_to_incremental(&mut live, &script);
+            let stats = live.refresh_with(refresh_mode);
+            eprintln!(
+                "storm: {} edits (seed {seed}), {} refresh: {} sweeps, gl {}, residual {:.3e}",
+                stats.edits_applied,
+                stats.mode.as_str(),
+                stats.sweeps,
+                if stats.gl_refreshed {
+                    "recomputed"
+                } else {
+                    "reused"
+                },
+                stats.residual,
+            );
+            Ok(live.into_parts())
+        }
+        other => Err(format!(
+            "unknown --refresh-mode {other:?}; expected exact, warm or full"
+        )),
+    }
+}
+
 /// `mass rank` — top-k general or domain-specific influencers.
 pub fn rank(args: &Args) -> CmdResult {
     let ds = load_dataset(args)?;
     let k: usize = args.get_parse("k", 10)?;
     let params = mass_params(args)?;
-    let analysis = MassAnalysis::analyze(&ds, &params);
+    let (ds, analysis) = rank_analysis(args, ds, &params)?;
     warn_on_solver_status(&analysis.scores);
 
     let (title, ranked) = match args.get("domain") {

@@ -45,6 +45,10 @@ COMMANDS:
                --in FILE  --k N (10)  --domain NAME (general if absent)
                --alpha F (0.5)  --beta F (0.6)
                --json-out FILE  [full-precision machine-readable ranking]
+               --edit-storm N  --edit-seed N (42)  [apply a scripted edit
+               storm before ranking]  --refresh-mode exact|warm|full (exact)
+               exact/warm refresh incrementally; full recomputes from
+               scratch — exact and full produce identical artifacts
   recommend    scenario 1 & 2 recommendations
                --in FILE  --k N (3)
                one of: --ad TEXT | --ad-domain NAME[,NAME...] | --profile TEXT

@@ -156,6 +156,112 @@ fn crawl_subcommand_writes_loadable_xml() {
 }
 
 #[test]
+fn edit_storm_exact_matches_full_recompute_artifact() {
+    let corpus = tmp("bb_storm.xml");
+    assert!(mass(&[
+        "generate",
+        "--bloggers",
+        "60",
+        "--seed",
+        "8",
+        "--out",
+        &corpus
+    ])
+    .status
+    .success());
+
+    // The same storm ranked through the incremental engine (Exact mode)
+    // and as a from-scratch batch recompute: the full-precision artifacts
+    // must be byte-identical — the CLI face of the exactness contract.
+    let exact_json = tmp("bb_storm_exact.json");
+    let o = mass(&[
+        "rank",
+        "--in",
+        &corpus,
+        "--k",
+        "10",
+        "--edit-storm",
+        "25",
+        "--edit-seed",
+        "9",
+        "--refresh-mode",
+        "exact",
+        "--json-out",
+        &exact_json,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("exact refresh"), "{}", stderr(&o));
+
+    let full_json = tmp("bb_storm_full.json");
+    let o = mass(&[
+        "rank",
+        "--in",
+        &corpus,
+        "--k",
+        "10",
+        "--edit-storm",
+        "25",
+        "--edit-seed",
+        "9",
+        "--refresh-mode",
+        "full",
+        "--json-out",
+        &full_json,
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+
+    let exact = std::fs::read_to_string(&exact_json).unwrap();
+    let full = std::fs::read_to_string(&full_json).unwrap();
+    assert_eq!(
+        exact, full,
+        "exact refresh artifact diverged from full recompute"
+    );
+    assert!(exact.contains("score_bits"));
+}
+
+#[test]
+fn warm_refresh_mode_runs_and_reports() {
+    let corpus = tmp("bb_storm_warm.xml");
+    assert!(mass(&["generate", "--bloggers", "40", "--out", &corpus])
+        .status
+        .success());
+    let o = mass(&[
+        "rank",
+        "--in",
+        &corpus,
+        "--edit-storm",
+        "10",
+        "--refresh-mode",
+        "warm",
+    ]);
+    assert!(o.status.success(), "{}", stderr(&o));
+    assert!(stderr(&o).contains("warm refresh"), "{}", stderr(&o));
+}
+
+#[test]
+fn refresh_mode_without_storm_is_rejected() {
+    let corpus = tmp("bb_storm_err.xml");
+    assert!(mass(&["generate", "--bloggers", "10", "--out", &corpus])
+        .status
+        .success());
+    let o = mass(&["rank", "--in", &corpus, "--refresh-mode", "exact"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--edit-storm"));
+
+    let o = mass(&[
+        "rank",
+        "--in",
+        &corpus,
+        "--edit-storm",
+        "5",
+        "--refresh-mode",
+        "sideways",
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown --refresh-mode"));
+}
+
+#[test]
 fn discover_runs_on_generated_corpus() {
     let corpus = tmp("bb_disc.xml");
     assert!(mass(&[

@@ -1,0 +1,239 @@
+//! Edit classification for the incremental engine (DESIGN.md §11).
+//!
+//! Every edit the live analyzer absorbs lands in a [`DirtySet`]; at refresh
+//! time the set is classified into the minimal recompute
+//! [`Obligations`] under the active parameters. The classification is what
+//! lets an Exact refresh skip link analysis entirely when the provider's
+//! input graph is untouched — the headline saving, since GL dominates
+//! refresh cost on comment-heavy edit streams.
+
+use crate::params::{GlProvider, MassParams};
+
+/// Everything that changed since the last refresh, in a form the refresh
+/// planner can classify.
+///
+/// Edge lists are kept in edit order (each entry is a blogger-index pair)
+/// because the successor-side CSR maintenance appends them in that order;
+/// see [`mass_graph::LinkCsr::apply_edits`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DirtySet {
+    /// Bloggers appended (new nodes in every provider graph).
+    pub bloggers_added: usize,
+    /// New friend links, `from → to`, in edit order.
+    pub friend_edges: Vec<(u32, u32)>,
+    /// New reply edges, `commenter → author`, in edit order (one per added
+    /// comment, including comments embedded in added posts).
+    pub comment_edges: Vec<(u32, u32)>,
+    /// Posts appended since the last refresh.
+    pub posts_added: usize,
+    /// Comments appended to existing posts since the last refresh.
+    pub comments_added: usize,
+}
+
+/// The minimal recompute plan a [`DirtySet`] implies under given params.
+///
+/// Quality, comment factors, `TC` and post domain vectors are maintained
+/// *eagerly* at edit time (they are per-edit-local), so the obligations
+/// only cover the global stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Obligations {
+    /// The GL provider's input changed: rerun link analysis. False means an
+    /// Exact refresh may reuse the previous GL vector bit-for-bit.
+    pub refresh_gl: bool,
+    /// Solver inputs changed: rerun the influence fixed point.
+    pub resolve: bool,
+    /// Post scores or the post set changed: rebuild the domain-influence
+    /// matrix.
+    pub rebuild_domains: bool,
+}
+
+impl DirtySet {
+    /// Whether nothing changed — a refresh over an empty set is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.bloggers_added == 0
+            && self.friend_edges.is_empty()
+            && self.comment_edges.is_empty()
+            && self.posts_added == 0
+            && self.comments_added == 0
+    }
+
+    /// Absorbs another set's edits (counts add, edge batches concatenate).
+    pub fn merge(&mut self, other: &DirtySet) {
+        self.bloggers_added += other.bloggers_added;
+        self.friend_edges.extend_from_slice(&other.friend_edges);
+        self.comment_edges.extend_from_slice(&other.comment_edges);
+        self.posts_added += other.posts_added;
+        self.comments_added += other.comments_added;
+    }
+
+    /// Forgets everything (after a refresh absorbed the set).
+    pub fn clear(&mut self) {
+        *self = DirtySet::default();
+    }
+
+    /// The edge edits that feed the active provider's link graph.
+    pub fn provider_edges(&self, params: &MassParams) -> &[(u32, u32)] {
+        match params.gl {
+            GlProvider::PageRank | GlProvider::Hits | GlProvider::InlinkCount => &self.friend_edges,
+            GlProvider::CommentGraphPageRank => &self.comment_edges,
+            GlProvider::None => &[],
+        }
+    }
+
+    /// Classifies the set into its minimal recompute obligations.
+    ///
+    /// GL dirtiness is provider-aware:
+    /// * `PageRank` / `Hits` rerun on friend-link edits *or* blogger adds —
+    ///   a new node changes the teleport/uniform share of every score even
+    ///   without edges;
+    /// * `InlinkCount` reruns only on friend-link edits — an isolated new
+    ///   blogger's in-degree is 0, and the eagerly-pushed 0.0 placeholder
+    ///   already equals what a recompute would produce;
+    /// * `CommentGraphPageRank` reruns on reply edges or blogger adds;
+    /// * `None` never reruns (GL is identically zero).
+    pub fn obligations(&self, params: &MassParams) -> Obligations {
+        let refresh_gl = match params.gl {
+            GlProvider::PageRank | GlProvider::Hits => {
+                !self.friend_edges.is_empty() || self.bloggers_added > 0
+            }
+            GlProvider::InlinkCount => !self.friend_edges.is_empty(),
+            GlProvider::CommentGraphPageRank => {
+                !self.comment_edges.is_empty() || self.bloggers_added > 0
+            }
+            GlProvider::None => false,
+        };
+        let resolve = !self.is_empty();
+        Obligations {
+            refresh_gl,
+            resolve,
+            rebuild_domains: resolve,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_provider(gl: GlProvider) -> MassParams {
+        MassParams {
+            gl,
+            ..MassParams::paper()
+        }
+    }
+
+    #[test]
+    fn empty_set_obliges_nothing() {
+        let d = DirtySet::default();
+        assert!(d.is_empty());
+        for gl in [
+            GlProvider::PageRank,
+            GlProvider::Hits,
+            GlProvider::InlinkCount,
+            GlProvider::CommentGraphPageRank,
+            GlProvider::None,
+        ] {
+            let ob = d.obligations(&with_provider(gl));
+            assert!(
+                !ob.refresh_gl && !ob.resolve && !ob.rebuild_domains,
+                "{gl:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blogger_add_dirties_normalising_providers_only() {
+        let d = DirtySet {
+            bloggers_added: 1,
+            ..Default::default()
+        };
+        assert!(
+            d.obligations(&with_provider(GlProvider::PageRank))
+                .refresh_gl
+        );
+        assert!(d.obligations(&with_provider(GlProvider::Hits)).refresh_gl);
+        assert!(
+            d.obligations(&with_provider(GlProvider::CommentGraphPageRank))
+                .refresh_gl
+        );
+        // A lone new blogger has in-degree 0; the pushed placeholder is
+        // already exact, so InlinkCount may keep its vector.
+        assert!(
+            !d.obligations(&with_provider(GlProvider::InlinkCount))
+                .refresh_gl
+        );
+        assert!(!d.obligations(&with_provider(GlProvider::None)).refresh_gl);
+        let ob = d.obligations(&with_provider(GlProvider::InlinkCount));
+        assert!(ob.resolve && ob.rebuild_domains);
+    }
+
+    #[test]
+    fn comment_edits_leave_friend_graph_providers_clean() {
+        let d = DirtySet {
+            comment_edges: vec![(1, 0)],
+            comments_added: 1,
+            ..Default::default()
+        };
+        assert!(
+            !d.obligations(&with_provider(GlProvider::PageRank))
+                .refresh_gl
+        );
+        assert!(
+            !d.obligations(&with_provider(GlProvider::InlinkCount))
+                .refresh_gl
+        );
+        assert!(
+            d.obligations(&with_provider(GlProvider::CommentGraphPageRank))
+                .refresh_gl
+        );
+        assert!(d.obligations(&with_provider(GlProvider::PageRank)).resolve);
+    }
+
+    #[test]
+    fn provider_edges_select_the_right_graph() {
+        let d = DirtySet {
+            friend_edges: vec![(0, 1)],
+            comment_edges: vec![(2, 3)],
+            ..Default::default()
+        };
+        assert_eq!(
+            d.provider_edges(&with_provider(GlProvider::PageRank)),
+            &[(0, 1)]
+        );
+        assert_eq!(
+            d.provider_edges(&with_provider(GlProvider::Hits)),
+            &[(0, 1)]
+        );
+        assert_eq!(
+            d.provider_edges(&with_provider(GlProvider::CommentGraphPageRank)),
+            &[(2, 3)]
+        );
+        assert!(d
+            .provider_edges(&with_provider(GlProvider::None))
+            .is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates_and_clear_resets() {
+        let mut a = DirtySet {
+            bloggers_added: 1,
+            friend_edges: vec![(0, 1)],
+            ..Default::default()
+        };
+        let b = DirtySet {
+            posts_added: 2,
+            friend_edges: vec![(1, 2)],
+            comment_edges: vec![(3, 0)],
+            comments_added: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bloggers_added, 1);
+        assert_eq!(a.friend_edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(a.posts_added, 2);
+        assert_eq!(a.comments_added, 1);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a, DirtySet::default());
+    }
+}

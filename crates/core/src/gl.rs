@@ -6,7 +6,7 @@
 //! max-normalised to [0, 1] so it combines with AP on a common scale.
 
 use crate::params::{GlProvider, MassParams};
-use mass_graph::{hits, pagerank, DiGraph, HitsParams, PageRankParams};
+use mass_graph::{hits_csr, pagerank_csr, DiGraph, HitsParams, LinkCsr, PageRankParams};
 use mass_types::Dataset;
 
 /// Builds the blogger-level link graph (friend/space links).
@@ -43,38 +43,91 @@ pub fn post_graph(ds: &Dataset) -> DiGraph {
     g
 }
 
-/// Per-blogger GL scores in [0, 1] (max-normalised; all-zero inputs stay
-/// zero, e.g. with [`GlProvider::None`]).
-pub fn gl_scores(ds: &Dataset, params: &MassParams) -> Vec<f64> {
-    let n = ds.bloggers.len();
-    let pr_params = PageRankParams {
-        threads: params.threads,
-        ..Default::default()
-    };
-    let mut scores = match params.gl {
-        GlProvider::PageRank => pagerank(&blogger_graph(ds), &pr_params).scores,
+/// The active provider's input graph, over bloggers.
+///
+/// [`GlProvider::None`] gets an edgeless graph (its GL vector is
+/// identically zero, but the node count still has to track the dataset so
+/// the incremental engine's maintained CSR stays dimensioned).
+pub fn gl_graph(ds: &Dataset, params: &MassParams) -> DiGraph {
+    match params.gl {
+        GlProvider::PageRank | GlProvider::Hits | GlProvider::InlinkCount => blogger_graph(ds),
+        GlProvider::CommentGraphPageRank => comment_graph(ds),
+        GlProvider::None => DiGraph::new(ds.bloggers.len()),
+    }
+}
+
+/// Output of [`gl_scores_csr`]: the normalised facet plus everything the
+/// incremental engine needs to warm-start and report the next refresh.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlRefresh {
+    /// Max-normalised GL facet (what `SolverInputs::gl` stores).
+    pub gl: Vec<f64>,
+    /// Provider-native state before normalisation — PageRank's stationary
+    /// distribution, HITS's hub vector — the right seed for the next
+    /// warm-started refresh. Empty for the closed-form providers.
+    pub warm: Vec<f64>,
+    /// Link-analysis sweeps performed (0 for closed-form providers).
+    pub sweeps: usize,
+    /// Final residual of the link iteration (0 for closed-form providers).
+    pub residual: f64,
+    /// Whether the link iteration converged.
+    pub converged: bool,
+}
+
+/// [`gl_scores`] over a prebuilt [`LinkCsr`] of [`gl_graph`], optionally
+/// warm-started from a previous [`GlRefresh::warm`] vector.
+///
+/// With `warm = None` the scores are bit-identical to [`gl_scores`] over
+/// the same graph — the incremental engine's Exact mode relies on this.
+pub fn gl_scores_csr(link: &LinkCsr, params: &MassParams, warm: Option<&[f64]>) -> GlRefresh {
+    let n = link.len();
+    let (mut scores, warm_out, sweeps, residual, converged) = match params.gl {
+        GlProvider::PageRank | GlProvider::CommentGraphPageRank => {
+            let r = pagerank_csr(
+                link,
+                &PageRankParams {
+                    threads: params.threads,
+                    ..Default::default()
+                },
+                warm,
+            );
+            let warm_out = r.scores.clone();
+            (r.scores, warm_out, r.iterations, r.residual, r.converged)
+        }
         GlProvider::Hits => {
-            hits(
-                &blogger_graph(ds),
+            let r = hits_csr(
+                link,
                 &HitsParams {
                     threads: params.threads,
                     ..Default::default()
                 },
-            )
-            .authority
+                warm,
+            );
+            (r.authority, r.hub, r.iterations, r.residual, r.converged)
         }
         GlProvider::InlinkCount => {
-            let g = blogger_graph(ds);
-            (0..n).map(|i| g.in_degree(i) as f64).collect()
+            let scores: Vec<f64> = (0..n).map(|i| link.in_degree(i) as f64).collect();
+            (scores, Vec::new(), 0, 0.0, true)
         }
-        GlProvider::CommentGraphPageRank => pagerank(&comment_graph(ds), &pr_params).scores,
-        GlProvider::None => vec![0.0; n],
+        GlProvider::None => (vec![0.0; n], Vec::new(), 0, 0.0, true),
     };
     let max = scores.iter().cloned().fold(0.0f64, f64::max);
     if max > 0.0 {
         scores.iter_mut().for_each(|s| *s /= max);
     }
-    scores
+    GlRefresh {
+        gl: scores,
+        warm: warm_out,
+        sweeps,
+        residual,
+        converged,
+    }
+}
+
+/// Per-blogger GL scores in [0, 1] (max-normalised; all-zero inputs stay
+/// zero, e.g. with [`GlProvider::None`]).
+pub fn gl_scores(ds: &Dataset, params: &MassParams) -> Vec<f64> {
+    gl_scores_csr(&LinkCsr::from_digraph(&gl_graph(ds, params)), params, None).gl
 }
 
 #[cfg(test)]
@@ -191,6 +244,60 @@ mod tests {
             },
         );
         assert!(gl.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn csr_path_matches_gl_scores_bitwise_for_every_provider() {
+        let mut b = DatasetBuilder::new();
+        let ids: Vec<_> = (0..6).map(|i| b.blogger(format!("b{i}"))).collect();
+        for &x in &ids[1..] {
+            b.friend(x, ids[0]);
+        }
+        b.friend(ids[0], ids[1]);
+        let p = b.post(ids[0], "t", "x");
+        b.comment(p, ids[1], "one", None);
+        b.comment(p, ids[2], "two", None);
+        let ds = b.build().unwrap();
+        for gl in [
+            GlProvider::PageRank,
+            GlProvider::Hits,
+            GlProvider::InlinkCount,
+            GlProvider::CommentGraphPageRank,
+            GlProvider::None,
+        ] {
+            let params = MassParams {
+                gl,
+                ..MassParams::paper()
+            };
+            let legacy = gl_scores(&ds, &params);
+            let link = LinkCsr::from_digraph(&gl_graph(&ds, &params));
+            let r = gl_scores_csr(&link, &params, None);
+            assert_eq!(
+                legacy.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                r.gl.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                "{gl:?}"
+            );
+            assert!(r.converged, "{gl:?}");
+        }
+    }
+
+    #[test]
+    fn warm_started_gl_is_tolerance_close_with_fewer_or_equal_sweeps() {
+        let ds = linked_dataset();
+        let params = MassParams::paper();
+        let link = LinkCsr::from_digraph(&gl_graph(&ds, &params));
+        let cold = gl_scores_csr(&link, &params, None);
+        assert!(cold.sweeps > 0 && !cold.warm.is_empty());
+        let warm = gl_scores_csr(&link, &params, Some(&cold.warm));
+        assert!(
+            warm.sweeps <= cold.sweeps,
+            "warm {} vs cold {}",
+            warm.sweeps,
+            cold.sweeps
+        );
+        for (a, b) in warm.gl.iter().zip(&cold.gl) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod dirty;
 pub mod domain;
 pub mod expert_search;
 pub mod gl;
@@ -61,12 +62,16 @@ pub mod params;
 pub mod quality;
 pub mod recommend;
 pub mod solver;
+pub mod storm;
 pub mod topk;
 
 pub use analysis::MassAnalysis;
+pub use dirty::{DirtySet, Obligations};
 pub use expert_search::ExpertSearch;
-pub use incremental::{IncrementalMass, RefreshStats};
+pub use gl::{gl_graph, gl_scores_csr, GlRefresh};
+pub use incremental::{IncrementalMass, RefreshMode, RefreshStats};
 pub use params::{GlProvider, IvSource, LengthMode, MassParams};
 pub use recommend::Recommender;
 pub use solver::{solve, solve_prepared, InfluenceScores, SolveStatus, SolverInputs};
+pub use storm::{apply_to_dataset, apply_to_incremental, scripted_storm, ScriptedEdit, StormMix};
 pub use topk::top_k;

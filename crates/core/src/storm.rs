@@ -1,0 +1,318 @@
+//! Deterministic scripted edit storms.
+//!
+//! The exactness contract (DESIGN.md §11) is enforced by *differential*
+//! checks: the same edit sequence is applied once through
+//! [`IncrementalMass`] and once as plain dataset appends followed by a full
+//! batch analysis, and the results are compared bit for bit. Tests, the
+//! CLI's `--edit-storm` flag and the X13 bench all need "the same storm" to
+//! mean byte-for-byte the same edits, so the generator lives here, seeded,
+//! with its own tiny RNG (no external dependency, stable across runs and
+//! platforms).
+
+use crate::incremental::IncrementalMass;
+use mass_types::{Blogger, BloggerId, Comment, Dataset, DomainId, Post, PostId, Sentiment};
+
+/// One scripted edit, in absolute ids, applicable identically to a live
+/// [`IncrementalMass`] and to a plain [`Dataset`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptedEdit {
+    /// Register a new blogger (no friends yet).
+    AddBlogger {
+        /// Display name.
+        name: String,
+    },
+    /// Append `to` to `from`'s friend list.
+    AddFriendLink {
+        /// Source blogger index.
+        from: u32,
+        /// Target blogger index.
+        to: u32,
+    },
+    /// Append a post (no embedded comments, no post links).
+    AddPost {
+        /// Author blogger index.
+        author: u32,
+        /// Post title.
+        title: String,
+        /// Post body.
+        text: String,
+        /// Ground-truth domain tag, when the catalogue is non-empty.
+        domain: Option<u32>,
+    },
+    /// Append a comment to an existing post.
+    AddComment {
+        /// Target post index.
+        post: u32,
+        /// Commenting blogger index (never the post's author).
+        commenter: u32,
+        /// Comment body.
+        text: String,
+        /// Sentiment tag; `None` routes through the lexicon analyzer.
+        sentiment: Option<Sentiment>,
+    },
+}
+
+/// Which edit kinds a storm draws from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StormMix {
+    /// All four kinds: bloggers, friend links, posts, comments.
+    Mixed,
+    /// Posts and comments only — the friend graph *and* the blogger count
+    /// stay untouched, so an Exact refresh under a friend-graph GL provider
+    /// skips link analysis entirely.
+    LinkFree,
+}
+
+/// SplitMix64 — tiny, seedable, identical everywhere.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+const POST_WORDS: &[&str] = &[
+    "travel", "hotel", "flight", "camera", "lens", "recipe", "kitchen", "match", "league",
+    "market", "stock", "novel", "poem", "garden", "engine", "kernel", "review", "insight",
+];
+
+const COMMENT_TEXTS: &[&str] = &[
+    "great insight thanks for sharing",
+    "totally agree with this take",
+    "this is bad wrong and misleading",
+    "interesting point about the details",
+    "could not disagree more honestly",
+];
+
+/// Generates a deterministic storm of `edits` edits against the current
+/// shape of `ds` (the script may reference bloggers and posts it adds
+/// itself, so storms compose across refreshes).
+///
+/// # Panics
+/// Panics unless the dataset has at least two bloggers and one post —
+/// comments need a non-author commenter and a target.
+pub fn scripted_storm(ds: &Dataset, edits: usize, seed: u64, mix: StormMix) -> Vec<ScriptedEdit> {
+    assert!(
+        ds.bloggers.len() >= 2 && !ds.posts.is_empty(),
+        "storms need >= 2 bloggers and >= 1 post"
+    );
+    let mut rng = Rng(seed);
+    let mut nb = ds.bloggers.len();
+    // Post authors, extended as the script adds posts, so comment edits can
+    // avoid self-comments without re-resolving at apply time.
+    let mut authors: Vec<u32> = ds.posts.iter().map(|p| p.author.index() as u32).collect();
+    let nd = ds.domains.len();
+    let mut script = Vec::with_capacity(edits);
+    for i in 0..edits {
+        let roll = match mix {
+            StormMix::Mixed => rng.below(10),
+            StormMix::LinkFree => 3 + rng.below(7), // posts and comments only
+        };
+        match roll {
+            0 => {
+                script.push(ScriptedEdit::AddBlogger {
+                    name: format!("storm_blogger_{i}"),
+                });
+                nb += 1;
+            }
+            1 | 2 => {
+                let from = rng.below(nb);
+                let mut to = rng.below(nb);
+                if to == from {
+                    to = (to + 1) % nb;
+                }
+                script.push(ScriptedEdit::AddFriendLink {
+                    from: from as u32,
+                    to: to as u32,
+                });
+            }
+            3..=5 => {
+                let author = rng.below(nb) as u32;
+                let words = 6 + rng.below(24);
+                let mut text = String::new();
+                for _ in 0..words {
+                    text.push_str(POST_WORDS[rng.below(POST_WORDS.len())]);
+                    text.push(' ');
+                }
+                let domain = (nd > 0).then(|| rng.below(nd) as u32);
+                script.push(ScriptedEdit::AddPost {
+                    author,
+                    title: format!("storm post {i}"),
+                    text,
+                    domain,
+                });
+                authors.push(author);
+            }
+            _ => {
+                let post = rng.below(authors.len());
+                let author = authors[post] as usize;
+                let mut commenter = rng.below(nb);
+                if commenter == author {
+                    commenter = (commenter + 1) % nb;
+                }
+                let sentiment = match rng.below(4) {
+                    0 => Some(Sentiment::Positive),
+                    1 => Some(Sentiment::Negative),
+                    _ => None,
+                };
+                script.push(ScriptedEdit::AddComment {
+                    post: post as u32,
+                    commenter: commenter as u32,
+                    text: COMMENT_TEXTS[rng.below(COMMENT_TEXTS.len())].to_string(),
+                    sentiment,
+                });
+            }
+        }
+    }
+    script
+}
+
+/// Applies a script to a live analyzer, one edit call per entry.
+pub fn apply_to_incremental(inc: &mut IncrementalMass, script: &[ScriptedEdit]) {
+    for edit in script {
+        match edit {
+            ScriptedEdit::AddBlogger { name } => {
+                inc.add_blogger(Blogger::new(name.clone()));
+            }
+            ScriptedEdit::AddFriendLink { from, to } => {
+                inc.add_friend_link(BloggerId::new(*from as usize), BloggerId::new(*to as usize));
+            }
+            ScriptedEdit::AddPost {
+                author,
+                title,
+                text,
+                domain,
+            } => {
+                let mut post = Post::new(
+                    BloggerId::new(*author as usize),
+                    title.clone(),
+                    text.clone(),
+                );
+                post.true_domain = domain.map(|d| DomainId::new(d as usize));
+                inc.add_post(post);
+            }
+            ScriptedEdit::AddComment {
+                post,
+                commenter,
+                text,
+                sentiment,
+            } => {
+                inc.add_comment(
+                    PostId::new(*post as usize),
+                    Comment {
+                        commenter: BloggerId::new(*commenter as usize),
+                        text: text.clone(),
+                        sentiment: *sentiment,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Applies a script as plain dataset appends — the "full recompute" side of
+/// the differential. Produces exactly the dataset
+/// [`apply_to_incremental`] leaves behind.
+pub fn apply_to_dataset(ds: &mut Dataset, script: &[ScriptedEdit]) {
+    for edit in script {
+        match edit {
+            ScriptedEdit::AddBlogger { name } => {
+                ds.bloggers.push(Blogger::new(name.clone()));
+            }
+            ScriptedEdit::AddFriendLink { from, to } => {
+                ds.bloggers[*from as usize]
+                    .friends
+                    .push(BloggerId::new(*to as usize));
+            }
+            ScriptedEdit::AddPost {
+                author,
+                title,
+                text,
+                domain,
+            } => {
+                let mut post = Post::new(
+                    BloggerId::new(*author as usize),
+                    title.clone(),
+                    text.clone(),
+                );
+                post.true_domain = domain.map(|d| DomainId::new(d as usize));
+                ds.posts.push(post);
+            }
+            ScriptedEdit::AddComment {
+                post,
+                commenter,
+                text,
+                sentiment,
+            } => {
+                ds.posts[*post as usize].comments.push(Comment {
+                    commenter: BloggerId::new(*commenter as usize),
+                    text: text.clone(),
+                    sentiment: *sentiment,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mass_synth::{generate, SynthConfig};
+
+    #[test]
+    fn storms_are_deterministic() {
+        let out = generate(&SynthConfig::tiny(5));
+        let a = scripted_storm(&out.dataset, 50, 9, StormMix::Mixed);
+        let b = scripted_storm(&out.dataset, 50, 9, StormMix::Mixed);
+        assert_eq!(a, b);
+        let c = scripted_storm(&out.dataset, 50, 10, StormMix::Mixed);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn link_free_storms_touch_no_graph_nodes_or_links() {
+        let out = generate(&SynthConfig::tiny(5));
+        let script = scripted_storm(&out.dataset, 200, 3, StormMix::LinkFree);
+        assert!(script.iter().all(|e| matches!(
+            e,
+            ScriptedEdit::AddPost { .. } | ScriptedEdit::AddComment { .. }
+        )));
+        // A decently mixed stream: both kinds occur.
+        assert!(script
+            .iter()
+            .any(|e| matches!(e, ScriptedEdit::AddPost { .. })));
+        assert!(script
+            .iter()
+            .any(|e| matches!(e, ScriptedEdit::AddComment { .. })));
+    }
+
+    #[test]
+    fn applied_storm_keeps_the_dataset_valid() {
+        let out = generate(&SynthConfig::tiny(8));
+        let mut ds = out.dataset;
+        let script = scripted_storm(&ds, 120, 77, StormMix::Mixed);
+        apply_to_dataset(&mut ds, &script);
+        ds.validate().unwrap();
+    }
+
+    #[test]
+    fn both_application_paths_produce_the_same_dataset() {
+        let out = generate(&SynthConfig::tiny(13));
+        let params = crate::params::MassParams::paper();
+        let script = scripted_storm(&out.dataset, 60, 41, StormMix::Mixed);
+        let mut plain = out.dataset.clone();
+        apply_to_dataset(&mut plain, &script);
+        let mut inc = IncrementalMass::new(out.dataset, params);
+        apply_to_incremental(&mut inc, &script);
+        assert_eq!(inc.dataset(), &plain);
+    }
+}

@@ -1,0 +1,84 @@
+//! Observability contract of the incremental engine, checked through real
+//! metric deltas.
+//!
+//! This lives in its own integration-test binary because `mass_obs::install`
+//! is process-global: sharing a binary with other tests would race on the
+//! global telemetry. Here we install once, then read counter snapshots
+//! around each scenario.
+
+use mass_core::{IncrementalMass, MassParams, RefreshMode};
+use mass_obs::Telemetry;
+use mass_synth::{generate, SynthConfig};
+use mass_types::{BloggerId, Comment, Post};
+
+fn counter(name: &str) -> u64 {
+    mass_obs::handle()
+        .expect("telemetry installed")
+        .metrics()
+        .snapshot()
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+#[test]
+fn refresh_metrics_tell_the_truth() {
+    // No sinks: records are dropped, metrics are still collected.
+    mass_obs::install(Telemetry::builder().build());
+
+    let out = generate(&SynthConfig::tiny(9));
+    let mut inc = IncrementalMass::new(out.dataset, MassParams::paper());
+    let scores_before = inc.scores().clone();
+
+    // 1. Empty refresh: a strict no-op — counted as such, zero solver
+    //    sweeps, scores bit-untouched.
+    let sweeps0 = counter("solver.sweeps");
+    let noop0 = counter("incremental.noop_refreshes");
+    let refreshes0 = counter("incremental.refreshes");
+    let stats = inc.refresh();
+    assert_eq!(stats.sweeps, 0);
+    assert_eq!(counter("solver.sweeps"), sweeps0, "no-op ran solver sweeps");
+    assert_eq!(counter("incremental.noop_refreshes"), noop0 + 1);
+    assert_eq!(counter("incremental.refreshes"), refreshes0);
+    let unchanged: Vec<u64> = inc.scores().blogger.iter().map(|s| s.to_bits()).collect();
+    let expected: Vec<u64> = scores_before.blogger.iter().map(|s| s.to_bits()).collect();
+    assert_eq!(unchanged, expected);
+
+    // 2. A link-free edit refresh: solver runs, GL is skipped.
+    let author = BloggerId::new(0);
+    let commenter = BloggerId::new(1);
+    let gl_skips0 = counter("incremental.gl_skips");
+    let gl_refreshes0 = counter("incremental.gl_refreshes");
+    let edits0 = counter("incremental.edits_applied");
+    let pid = inc.add_post(Post::new(author, "t", "a few words of content"));
+    inc.add_comment(pid, Comment::new(commenter, "nice"));
+    let stats = inc.refresh();
+    assert!(stats.sweeps > 0);
+    assert!(counter("solver.sweeps") > sweeps0);
+    assert_eq!(counter("incremental.gl_skips"), gl_skips0 + 1);
+    assert_eq!(counter("incremental.gl_refreshes"), gl_refreshes0);
+    assert_eq!(counter("incremental.refreshes"), refreshes0 + 1);
+    assert_eq!(counter("incremental.edits_applied"), edits0 + 2);
+
+    // 3. A link edit refresh: GL reruns.
+    inc.add_friend_link(commenter, author);
+    inc.refresh();
+    assert_eq!(counter("incremental.gl_refreshes"), gl_refreshes0 + 1);
+
+    // 4. Warm mode is counted as a refresh too and bumps the epoch gauge.
+    inc.add_friend_link(author, commenter);
+    inc.refresh_with(RefreshMode::WarmStart);
+    assert_eq!(counter("incremental.refreshes"), refreshes0 + 3);
+    let epoch_gauge = mass_obs::handle()
+        .unwrap()
+        .metrics()
+        .snapshot()
+        .gauges
+        .get("incremental.epoch")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(epoch_gauge, inc.epoch() as i64);
+
+    mass_obs::uninstall();
+}

@@ -11,8 +11,28 @@
 //! (with multiplicity) in **ascending-`u`** order — exactly the order the
 //! legacy serial scatter loop added into each slot, so a pull fold over a
 //! predecessor row reproduces the scatter result bit for bit.
+//!
+//! Both orderings survive **append-only edits**: [`Csr::apply_edits`] folds
+//! a batch of new nodes and edges into an existing view, rebuilding only the
+//! touched adjacency runs (untouched runs are bulk-copied) while preserving
+//! the per-row order contract — so a maintained view equals a from-scratch
+//! rebuild, and the pull kernels stay bit-identical across edits. [`LinkCsr`]
+//! bundles the two views of one graph for the kernels that need both.
 
 use crate::digraph::DiGraph;
+
+/// Which adjacency a [`Csr`] holds — decides where [`Csr::apply_edits`]
+/// lands each new edge `u → v` and in what order within the row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdjacencyKind {
+    /// Rows are successor lists: `u → v` appends `v` to row `u`, keeping
+    /// the batch's edit order (= the source graph's insertion order when
+    /// edits append to the underlying adjacency).
+    Successors,
+    /// Rows are predecessor lists: `u → v` inserts `u` into row `v`,
+    /// keeping the ascending-source counting-sort order.
+    Predecessors,
+}
 
 /// A read-only flattened adjacency view: row `i` is
 /// `edges[offsets[i] .. offsets[i + 1]]`.
@@ -62,6 +82,130 @@ impl Csr {
         Csr { offsets, edges }
     }
 
+    /// A view with `n` rows and no edges.
+    pub fn empty(n: usize) -> Csr {
+        Csr {
+            offsets: vec![0; n + 1],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Folds an append-only edit batch into the view: `added_rows` new empty
+    /// rows (new nodes, ids continuing the dense range), then one entry per
+    /// new edge `(u, v)`, placed according to `kind`.
+    ///
+    /// Only rows that actually receive an edge are rebuilt; runs of
+    /// untouched rows between them are contiguous in the old layout and are
+    /// bulk-copied. The per-row order contract of
+    /// [`successors_of`](Csr::successors_of) /
+    /// [`predecessors_of`](Csr::predecessors_of) is preserved, so the result
+    /// equals a from-scratch rebuild of the edited graph (for successor
+    /// views: provided the underlying adjacency also appends, i.e. each new
+    /// edge lands at the end of its source's list).
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is outside the grown node range.
+    pub fn apply_edits(
+        &mut self,
+        added_rows: usize,
+        new_edges: &[(u32, u32)],
+        kind: AdjacencyKind,
+    ) {
+        let n_old = self.len();
+        let n_new = n_old + added_rows;
+        for &(u, v) in new_edges {
+            assert!(
+                (u as usize) < n_new,
+                "edge source {u} out of range ({n_new} nodes)"
+            );
+            assert!(
+                (v as usize) < n_new,
+                "edge target {v} out of range ({n_new} nodes)"
+            );
+        }
+        if new_edges.is_empty() {
+            let end = *self.offsets.last().expect("offsets never empty");
+            self.offsets.resize(n_new + 1, end);
+            return;
+        }
+        // (row, value) per edit; stable sort by row keeps each row's edits
+        // in batch order, which is what the successor contract needs.
+        let mut adds: Vec<(u32, u32)> = match kind {
+            AdjacencyKind::Successors => new_edges.to_vec(),
+            AdjacencyKind::Predecessors => new_edges.iter().map(|&(u, v)| (v, u)).collect(),
+        };
+        adds.sort_by_key(|&(row, _)| row);
+
+        let mut offsets = vec![0u32; n_new + 1];
+        let mut edges = Vec::with_capacity(self.edges.len() + adds.len());
+        {
+            // Copies rows `lo..hi` verbatim: their edges are one contiguous
+            // slice of the old layout, so an untouched run costs a single
+            // extend plus an offset shift.
+            let copy_untouched =
+                |lo: usize, hi: usize, edges: &mut Vec<u32>, offsets: &mut [u32]| {
+                    let lo_e = self.offsets[lo.min(n_old)] as usize;
+                    let hi_e = self.offsets[hi.min(n_old)] as usize;
+                    let shift = edges.len() - lo_e;
+                    edges.extend_from_slice(&self.edges[lo_e..hi_e]);
+                    for r in lo..hi {
+                        offsets[r + 1] = if r < n_old {
+                            (self.offsets[r + 1] as usize + shift) as u32
+                        } else {
+                            edges.len() as u32
+                        };
+                    }
+                };
+            let mut ai = 0usize;
+            let mut next_row = 0usize;
+            while ai < adds.len() {
+                let row = adds[ai].0 as usize;
+                copy_untouched(next_row, row, &mut edges, &mut offsets);
+                let mut run_end = ai;
+                while run_end < adds.len() && adds[run_end].0 as usize == row {
+                    run_end += 1;
+                }
+                let old: &[u32] = if row < n_old {
+                    &self.edges[self.offsets[row] as usize..self.offsets[row + 1] as usize]
+                } else {
+                    &[]
+                };
+                match kind {
+                    AdjacencyKind::Successors => {
+                        edges.extend_from_slice(old);
+                        edges.extend(adds[ai..run_end].iter().map(|&(_, v)| v));
+                    }
+                    AdjacencyKind::Predecessors => {
+                        // Merge the (sorted) old run with the sorted batch —
+                        // the union is the same sorted multiset a counting
+                        // sort over the edited graph produces.
+                        let mut new_vals: Vec<u32> =
+                            adds[ai..run_end].iter().map(|&(_, v)| v).collect();
+                        new_vals.sort_unstable();
+                        let (mut i, mut j) = (0usize, 0usize);
+                        while i < old.len() && j < new_vals.len() {
+                            if old[i] <= new_vals[j] {
+                                edges.push(old[i]);
+                                i += 1;
+                            } else {
+                                edges.push(new_vals[j]);
+                                j += 1;
+                            }
+                        }
+                        edges.extend_from_slice(&old[i..]);
+                        edges.extend_from_slice(&new_vals[j..]);
+                    }
+                }
+                offsets[row + 1] = edges.len() as u32;
+                next_row = row + 1;
+                ai = run_end;
+            }
+            copy_untouched(next_row, n_new, &mut edges, &mut offsets);
+        }
+        self.offsets = offsets;
+        self.edges = edges;
+    }
+
     /// Number of rows (nodes).
     #[inline]
     pub fn len(&self) -> usize {
@@ -84,6 +228,93 @@ impl Csr {
     #[inline]
     pub fn degree(&self, i: usize) -> usize {
         (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+}
+
+/// Both flattened views of one link graph — everything the pull kernels
+/// read — maintainable in place across append-only edits.
+///
+/// [`pagerank_csr`](crate::pagerank::pagerank_csr) and
+/// [`hits_csr`](crate::hits::hits_csr) take this directly, so a caller that
+/// keeps a `LinkCsr` current via [`apply_edits`](LinkCsr::apply_edits) can
+/// rerun link analysis without ever rebuilding the graph: the maintained
+/// views equal a from-scratch rebuild, and therefore so do the scores, bit
+/// for bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkCsr {
+    succs: Csr,
+    preds: Csr,
+}
+
+impl LinkCsr {
+    /// Flattens both views of `g`.
+    pub fn from_digraph(g: &DiGraph) -> LinkCsr {
+        LinkCsr {
+            succs: Csr::successors_of(g),
+            preds: Csr::predecessors_of(g),
+        }
+    }
+
+    /// An edgeless graph over `n` nodes.
+    pub fn empty(n: usize) -> LinkCsr {
+        LinkCsr {
+            succs: Csr::empty(n),
+            preds: Csr::empty(n),
+        }
+    }
+
+    /// Folds `added_nodes` new nodes and a batch of new edges `u → v` into
+    /// both views ([`Csr::apply_edits`] per view).
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is outside the grown node range.
+    pub fn apply_edits(&mut self, added_nodes: usize, new_edges: &[(u32, u32)]) {
+        self.succs
+            .apply_edits(added_nodes, new_edges, AdjacencyKind::Successors);
+        self.preds
+            .apply_edits(added_nodes, new_edges, AdjacencyKind::Predecessors);
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.succs.edges.len()
+    }
+
+    /// Out-neighbours of `u`, in insertion order.
+    #[inline]
+    pub fn successors(&self, u: usize) -> &[u32] {
+        self.succs.row(u)
+    }
+
+    /// In-edge sources of `v`, ascending with multiplicity.
+    #[inline]
+    pub fn predecessors(&self, v: usize) -> &[u32] {
+        self.preds.row(v)
+    }
+
+    /// Out-degree of `u`.
+    #[inline]
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.succs.degree(u)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.preds.degree(v)
     }
 }
 
@@ -151,5 +382,57 @@ mod tests {
         let s = Csr::successors_of(&g);
         assert!(s.is_empty());
         assert_eq!(Csr::predecessors_of(&g).len(), 0);
+    }
+
+    #[test]
+    fn apply_edits_matches_rebuild_on_both_views() {
+        let base_edges = [(0usize, 2usize), (0, 1), (2, 0), (3, 1), (3, 1)];
+        let g0 = DiGraph::from_edges(4, base_edges);
+        let mut link = LinkCsr::from_digraph(&g0);
+        // Two new nodes; edits touch old rows, new rows, include a self-loop
+        // and a duplicate of an existing edge.
+        let edits = [(0u32, 3u32), (4, 4), (5, 0), (0, 1), (4, 2)];
+        link.apply_edits(2, &edits);
+
+        let mut g1 = DiGraph::from_edges(6, base_edges);
+        for &(u, v) in &edits {
+            g1.add_edge(u as usize, v as usize);
+        }
+        assert_eq!(link, LinkCsr::from_digraph(&g1));
+        assert_eq!(link.edge_count(), base_edges.len() + edits.len());
+        // Successor rows append in edit order; predecessor rows stay sorted.
+        assert_eq!(link.successors(0), &[2, 1, 3, 1]);
+        assert_eq!(link.predecessors(1), &[0, 0, 3, 3]);
+        assert_eq!(link.predecessors(4), &[4]);
+    }
+
+    #[test]
+    fn apply_edits_with_no_edges_only_grows_rows() {
+        let g = DiGraph::from_edges(3, [(0, 1), (2, 0)]);
+        let mut link = LinkCsr::from_digraph(&g);
+        link.apply_edits(2, &[]);
+        assert_eq!(link.len(), 5);
+        assert_eq!(link.edge_count(), 2);
+        assert_eq!(link.successors(0), &[1]);
+        assert!(link.successors(3).is_empty() && link.predecessors(4).is_empty());
+        let mut grown = DiGraph::new(5);
+        grown.add_edge(0, 1);
+        grown.add_edge(2, 0);
+        assert_eq!(link, LinkCsr::from_digraph(&grown));
+    }
+
+    #[test]
+    fn apply_edits_from_empty_graph() {
+        let mut link = LinkCsr::empty(0);
+        link.apply_edits(3, &[(0, 1), (1, 2), (0, 2)]);
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(link, LinkCsr::from_digraph(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_edits_rejects_out_of_range_targets() {
+        let mut link = LinkCsr::empty(2);
+        link.apply_edits(0, &[(0, 5)]);
     }
 }

@@ -4,8 +4,9 @@
 //! facet; `mass-core` exposes it as an alternative GL provider and the
 //! evaluation harness compares both.
 
-use crate::csr::Csr;
+use crate::csr::LinkCsr;
 use crate::digraph::DiGraph;
+use crate::pagerank::warm_start;
 
 /// Tuning knobs for [`hits`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +41,9 @@ pub struct HitsScores {
     pub hub: Vec<f64>,
     /// Sweeps performed.
     pub iterations: usize,
+    /// Final L1 residual (authority + hub change of the last sweep; 0 for
+    /// the degenerate early returns).
+    pub residual: f64,
     /// Whether convergence was reached within the cap.
     pub converged: bool,
 }
@@ -50,12 +54,26 @@ pub struct HitsScores {
 /// normalisation after each half-step. Graphs with no edges yield uniform
 /// vectors (degenerate but well-defined).
 pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
+    hits_csr(&LinkCsr::from_digraph(g), params, None)
+}
+
+/// [`hits`] over a prebuilt [`LinkCsr`], optionally warm-starting the *hub*
+/// vector (the authority half-step derives from hubs first, so the hub
+/// vector is the iteration's true state) — the incremental engine's entry
+/// point.
+///
+/// With `warm_hub = None` this is exactly [`hits`] (same bits). A warm hub
+/// vector is padded/sanitised and L1-renormalised like
+/// [`pagerank_csr`](crate::pagerank::pagerank_csr)'s warm start;
+/// warm results are tolerance-close to cold ones, not bit-identical.
+pub fn hits_csr(g: &LinkCsr, params: &HitsParams, warm_hub: Option<&[f64]>) -> HitsScores {
     let n = g.len();
     if n == 0 {
         return HitsScores {
             authority: vec![],
             hub: vec![],
             iterations: 0,
+            residual: 0.0,
             converged: true,
         };
     }
@@ -65,42 +83,46 @@ pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
             authority: vec![uniform; n],
             hub: vec![uniform; n],
             iterations: 0,
+            residual: 0.0,
             converged: true,
         };
     }
     let ex = mass_par::executor(params.threads);
     let mut auth = vec![uniform; n];
-    let mut hub = vec![uniform; n];
+    let mut hub = match warm_hub {
+        None => vec![uniform; n],
+        Some(prev) => warm_start(prev, n, uniform),
+    };
     let mut iterations = 0;
+    let mut residual = f64::INFINITY;
 
     // Same CSR pull kernels as `pagerank`, for every thread count:
     // ascending-`u` predecessor rows reproduce the legacy serial scatter's
     // per-slot addition order bit for bit, and the hub half-step's
     // successor rows keep each node's insertion-order sum.
-    let preds = Csr::predecessors_of(g);
-    let succs = Csr::successors_of(g);
-
     while iterations < params.max_iterations {
         iterations += 1;
         let mut new_auth = vec![0.0f64; n];
         {
-            let (hub, preds) = (&hub, &preds);
+            let hub = &hub;
             ex.par_fill(&mut new_auth, |v| {
-                preds.row(v).iter().fold(0.0, |a, &u| a + hub[u as usize])
+                g.predecessors(v)
+                    .iter()
+                    .fold(0.0, |a, &u| a + hub[u as usize])
             });
         }
         normalize_l1(&mut new_auth, uniform);
 
         let mut new_hub = vec![0.0f64; n];
         {
-            let (new_auth, succs) = (&new_auth, &succs);
+            let new_auth = &new_auth;
             ex.par_fill(&mut new_hub, |u| {
-                succs.row(u).iter().map(|&v| new_auth[v as usize]).sum()
+                g.successors(u).iter().map(|&v| new_auth[v as usize]).sum()
             });
         }
         normalize_l1(&mut new_hub, uniform);
 
-        let residual: f64 = auth
+        residual = auth
             .iter()
             .zip(&new_auth)
             .map(|(a, b)| (a - b).abs())
@@ -117,6 +139,7 @@ pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
                 authority: auth,
                 hub,
                 iterations,
+                residual,
                 converged: true,
             };
         }
@@ -125,6 +148,7 @@ pub fn hits(g: &DiGraph, params: &HitsParams) -> HitsScores {
         authority: auth,
         hub,
         iterations,
+        residual,
         converged: false,
     }
 }
@@ -227,6 +251,46 @@ mod tests {
                 serial.hub.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
                 "hits hub diverged at threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn csr_entry_point_without_warm_start_matches_hits_bitwise() {
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 1), (3, 1), (4, 3)]);
+        let a = hits(&g, &HitsParams::default());
+        let b = hits_csr(&LinkCsr::from_digraph(&g), &HitsParams::default(), None);
+        assert_eq!(
+            a.authority.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            b.authority.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.hub.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            b.hub.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn warm_hub_start_reaches_the_fixed_point_in_fewer_or_equal_sweeps() {
+        let mut edges = Vec::new();
+        for u in 0..40usize {
+            edges.push((u, (u * 3 + 1) % 40));
+            edges.push((u, (u * 11 + 7) % 40));
+        }
+        let g = DiGraph::from_edges(40, edges);
+        let link = LinkCsr::from_digraph(&g);
+        let cold = hits_csr(&link, &HitsParams::default(), None);
+        assert!(cold.converged);
+        let warm = hits_csr(&link, &HitsParams::default(), Some(&cold.hub));
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        for (a, b) in warm.authority.iter().zip(&cold.authority) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         }
     }
 

@@ -40,8 +40,8 @@ pub mod traversal;
 pub use components::{
     giant_component_size, strongly_connected_components, weakly_connected_components,
 };
-pub use csr::Csr;
+pub use csr::{AdjacencyKind, Csr, LinkCsr};
 pub use digraph::{DegreeStats, DiGraph};
-pub use hits::{hits, HitsParams, HitsScores};
-pub use pagerank::{pagerank, PageRankParams, PageRankResult};
+pub use hits::{hits, hits_csr, HitsParams, HitsScores};
+pub use pagerank::{pagerank, pagerank_csr, PageRankParams, PageRankResult};
 pub use traversal::{ball, bfs_within_radius, BfsLayer};

@@ -1,6 +1,6 @@
 //! PageRank (Page et al., ref \[3\] of the paper) — the General-Links facet.
 
-use crate::csr::Csr;
+use crate::csr::LinkCsr;
 use crate::digraph::DiGraph;
 
 /// Tuning knobs for [`pagerank`].
@@ -49,6 +49,19 @@ pub struct PageRankResult {
 /// with multiplicity: a blogger who links twice to the same space passes
 /// twice the share, matching how the crawler records repeated links.
 pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
+    pagerank_csr(&LinkCsr::from_digraph(g), params, None)
+}
+
+/// [`pagerank`] over a prebuilt [`LinkCsr`], optionally warm-starting from a
+/// previous rank vector — the incremental engine's entry point.
+///
+/// With `warm = None` this is exactly [`pagerank`] (same bits). A warm
+/// vector is padded with the uniform share for nodes beyond its length (and
+/// for non-finite or negative entries), then L1-renormalised so the
+/// iteration stays stochastic; it converges to the same fixed point within
+/// tolerance, usually in fewer sweeps — but along a different trajectory,
+/// so warm results are tolerance-close, not bit-identical.
+pub fn pagerank_csr(g: &LinkCsr, params: &PageRankParams, warm: Option<&[f64]>) -> PageRankResult {
     let n = g.len();
     if n == 0 {
         return PageRankResult {
@@ -66,17 +79,19 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
     let ex = mass_par::executor(params.threads);
     let d = params.damping;
     let uniform = 1.0 / n as f64;
-    let mut rank = vec![uniform; n];
+    let mut rank = match warm {
+        None => vec![uniform; n],
+        Some(prev) => warm_start(prev, n, uniform),
+    };
     let mut next = vec![0.0f64; n];
     let mut iterations = 0;
     let mut residual = f64::INFINITY;
 
     // One pull kernel for every thread count, over flattened CSR rows.
-    // `preds.row(v)` lists every in-edge source (with multiplicity) in
+    // `g.predecessors(v)` lists every in-edge source (with multiplicity) in
     // ascending-`u` order — exactly the order the legacy serial scatter
     // added into slot `v` — so the fold reproduces the scatter result bit
     // for bit, and `par_fill` at one thread is the plain serial loop.
-    let preds = Csr::predecessors_of(g);
     let degree: Vec<u32> = (0..n).map(|u| g.out_degree(u) as u32).collect();
     let mut share = vec![0.0f64; n];
 
@@ -95,10 +110,9 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
                     d * rank[u] / degree[u] as f64
                 }
             });
-            let (share, preds) = (&share, &preds);
+            let share = &share;
             ex.par_fill(&mut next, |v| {
-                preds
-                    .row(v)
+                g.predecessors(v)
                     .iter()
                     .fold(base, |a, &u| a + share[u as usize])
             });
@@ -120,6 +134,25 @@ pub fn pagerank(g: &DiGraph, params: &PageRankParams) -> PageRankResult {
         residual,
         converged: false,
     }
+}
+
+/// Sanitises a previous score vector into a stochastic start: entries
+/// beyond its length (new nodes) and non-finite or negative carry-overs
+/// take the uniform share, then the vector is L1-renormalised.
+pub(crate) fn warm_start(prev: &[f64], n: usize, uniform: f64) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| match prev.get(i) {
+            Some(&x) if x.is_finite() && x >= 0.0 => x,
+            _ => uniform,
+        })
+        .collect();
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        v.iter_mut().for_each(|x| *x /= sum);
+    } else {
+        v.iter_mut().for_each(|x| *x = uniform);
+    }
+    v
 }
 
 #[cfg(test)]
@@ -251,6 +284,54 @@ mod tests {
             );
             assert_eq!(par.residual.to_bits(), serial.residual.to_bits());
         }
+    }
+
+    #[test]
+    fn csr_entry_point_without_warm_start_matches_pagerank_bitwise() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 0), (3, 0), (4, 3)]);
+        let a = pagerank(&g, &PageRankParams::default());
+        let b = pagerank_csr(&LinkCsr::from_digraph(&g), &PageRankParams::default(), None);
+        assert_eq!(
+            a.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            b.scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn warm_start_reaches_the_fixed_point_in_fewer_or_equal_sweeps() {
+        let mut edges = Vec::new();
+        for u in 0..60usize {
+            edges.push((u, (u * 7 + 3) % 60));
+            edges.push((u, (u * 13 + 5) % 60));
+        }
+        let g = DiGraph::from_edges(60, edges);
+        let link = LinkCsr::from_digraph(&g);
+        let cold = pagerank_csr(&link, &PageRankParams::default(), None);
+        assert!(cold.converged);
+        let warm = pagerank_csr(&link, &PageRankParams::default(), Some(&cold.scores));
+        assert!(warm.converged);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        for (a, b) in warm.scores.iter().zip(&cold.scores) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn warm_start_pads_new_nodes_and_sanitises_garbage() {
+        // Previous vector is short (graph grew), has a NaN and a negative —
+        // all three must fall back to the uniform share, and the start must
+        // renormalise to a stochastic vector.
+        let v = warm_start(&[0.5, f64::NAN, -3.0], 5, 0.2);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(v[1], v[2]);
+        assert_eq!(v[2], v[3]);
+        assert!(v[0] > v[1]);
     }
 
     #[test]

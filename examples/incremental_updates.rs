@@ -2,14 +2,16 @@
 //!
 //! The demo lets the user extend the loaded data (crawl more spaces, watch
 //! new comments arrive) and re-rank; this example shows the incremental
-//! analyzer absorbing edits and re-solving warm — orders of magnitude
-//! cheaper than a cold re-analysis per edit.
+//! analyzer absorbing edits and refreshing in Exact mode — bit-identical to
+//! a cold re-analysis (DESIGN.md §11) while skipping the stages the edit
+//! delta leaves clean, then once more in WarmStart mode for the lowest
+//! latency when tolerance-close scores are acceptable.
 //!
 //! ```sh
 //! cargo run --release --example incremental_updates
 //! ```
 
-use mass::core::IncrementalMass;
+use mass::core::{IncrementalMass, RefreshMode};
 use mass::prelude::*;
 use std::time::Instant;
 
@@ -57,11 +59,12 @@ fn main() {
     );
 
     let t = Instant::now();
-    let stats = live.refresh();
+    let stats = live.refresh(); // Exact mode: bit-identical to a cold analysis
     println!(
-        "warm refresh: {:?} ({} sweeps, converged = {})\n",
+        "exact refresh: {:?} ({} sweeps, gl recomputed = {}, converged = {})\n",
         t.elapsed(),
         stats.sweeps,
+        stats.gl_refreshed,
         stats.converged
     );
 
@@ -80,5 +83,25 @@ fn main() {
     println!(
         "\nthe newcomer now ranks #{rank} of {}",
         live.dataset().bloggers.len()
+    );
+
+    // A link-free trickle (one comment) refreshed warm: link analysis is
+    // skipped and the solver starts from the previous fixed point.
+    live.add_comment(
+        post,
+        Comment {
+            commenter: BloggerId::new(41),
+            text: "late to the party but this is great".into(),
+            sentiment: None,
+        },
+    );
+    let t = Instant::now();
+    let stats = live.refresh_with(RefreshMode::WarmStart);
+    println!(
+        "\nwarm refresh after one comment: {:?} ({} sweeps, gl recomputed = {}, residual {:.3e})",
+        t.elapsed(),
+        stats.sweeps,
+        stats.gl_refreshed,
+        stats.residual
     );
 }

@@ -54,6 +54,31 @@ if [[ $fast -eq 0 ]]; then
   "$mass" rank --in "$obs_dir/corpus.xml" --k 10 --threads 4 \
     --json-out "$obs_dir/rank_t4.json" >/dev/null
   cmp "$obs_dir/rank_t1.json" "$obs_dir/rank_t4.json"
+
+  echo "== golden artifact: rank output matches the committed fixture =="
+  # Guards the whole numeric pipeline against silent drift: same seed, same
+  # scores, byte for byte. Regenerate deliberately (and review the diff)
+  # with scripts/regen_golden.sh after an intentional scoring change.
+  "$mass" generate --bloggers 40 --seed 12 --out "$obs_dir/golden.xml" >/dev/null
+  "$mass" rank --in "$obs_dir/golden.xml" --k 8 \
+    --json-out "$obs_dir/golden_rank.json" >/dev/null
+  cmp tests/golden/rank_b40_s12_k8.json "$obs_dir/golden_rank.json"
+
+  echo "== incremental exactness: Exact refresh artifact equals full recompute =="
+  # The CLI face of the exactness contract (DESIGN.md §11): a scripted edit
+  # storm refreshed incrementally in Exact mode must produce a byte-identical
+  # ranking artifact to a from-scratch batch analysis of the same edits.
+  "$mass" rank --in "$obs_dir/golden.xml" --k 10 --edit-storm 30 --edit-seed 7 \
+    --refresh-mode exact --json-out "$obs_dir/storm_exact.json" \
+    --log-level off --trace-out "$obs_dir/storm.jsonl" \
+    --metrics-out "$obs_dir/storm_metrics.json" >/dev/null
+  "$mass" rank --in "$obs_dir/golden.xml" --k 10 --edit-storm 30 --edit-seed 7 \
+    --refresh-mode full --json-out "$obs_dir/storm_full.json" >/dev/null
+  cmp "$obs_dir/storm_exact.json" "$obs_dir/storm_full.json"
+  "$mass" obs-validate --trace "$obs_dir/storm.jsonl" \
+    --metrics "$obs_dir/storm_metrics.json" \
+    --expect-spans incremental.refresh \
+    --expect-metrics incremental.refreshes,incremental.edits_applied
 fi
 
 echo "all checks passed"

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates the committed golden rank artifact that scripts/check.sh
+# diffs against. Run this ONLY after an intentional scoring change, and
+# review the resulting diff — the fixture exists to make silent numeric
+# drift loud.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+mass=target/release/mass
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$mass" generate --bloggers 40 --seed 12 --out "$tmp/golden.xml"
+mkdir -p tests/golden
+"$mass" rank --in "$tmp/golden.xml" --k 8 --json-out tests/golden/rank_b40_s12_k8.json
+echo "regenerated tests/golden/rank_b40_s12_k8.json — review the diff before committing"
