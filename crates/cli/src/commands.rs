@@ -705,6 +705,96 @@ pub fn user_study(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `mass serve` — run the fault-tolerant online serving layer over a
+/// loaded corpus until `POST /admin/shutdown` (or SIGKILL).
+pub fn serve(args: &Args) -> CmdResult {
+    use std::io::Write;
+
+    let ds = load_dataset(args)?;
+    let params = mass_params(args)?;
+    let refresh_mode = match args.get("refresh-mode").filter(|s| !s.is_empty()) {
+        None | Some("exact") => RefreshMode::Exact,
+        Some("warm") => RefreshMode::WarmStart,
+        Some(other) => {
+            return Err(format!(
+                "unknown --refresh-mode {other:?}; expected exact or warm"
+            ))
+        }
+    };
+    let engine = IncrementalMass::new(ds, params);
+    let config = mass_serve::ServeConfig {
+        addr: format!("127.0.0.1:{}", args.get_parse("port", 0u16)?),
+        workers: args.get_parse("workers", 4usize)?,
+        queue_capacity: args.get_parse("queue", 64usize)?,
+        topk_cap: args.get_parse("topk-cap", 100usize)?,
+        enable_test_hooks: args.flag("chaos-hooks"),
+        refresh_mode,
+        ..mass_serve::ServeConfig::default()
+    };
+    let handle = mass_serve::start(engine, config).map_err(|e| format!("bind: {e}"))?;
+    // The smoke gate polls stdout for this line; flush past any pipe
+    // buffering before blocking on the drain.
+    println!("serving on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    let report = handle.wait();
+    println!(
+        "drained: {} requests answered, {} shed, {} refresh failures, final epoch {}",
+        report.requests, report.shed, report.refresh_failures, report.epoch
+    );
+    Ok(())
+}
+
+/// `mass http` — a tiny scriptable HTTP probe against `mass serve`
+/// (avoids a curl dependency in the smoke gates).
+pub fn http(args: &Args) -> CmdResult {
+    let url = args.require("url")?;
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("only http:// URLs are supported, got {url:?}"))?;
+    let (addr, target) = match rest.find('/') {
+        Some(slash) => (&rest[..slash], &rest[slash..]),
+        None => (rest, "/"),
+    };
+    let method = args
+        .get("method")
+        .filter(|s| !s.is_empty())
+        .unwrap_or("GET");
+    let body = args.get("body").unwrap_or("");
+    let expect: Option<u16> = match args.get("expect").filter(|s| !s.is_empty()) {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid --expect {raw:?}"))?,
+        ),
+    };
+    let retries = args.get_parse("retry", 0usize)?;
+    let delay = std::time::Duration::from_millis(args.get_parse("retry-delay-ms", 200u64)?);
+    let timeout = std::time::Duration::from_secs(10);
+
+    let mut last_err = String::new();
+    for attempt in 0..=retries {
+        if attempt > 0 {
+            std::thread::sleep(delay);
+        }
+        match mass_serve::client::request(addr, method, target, Some(body.as_bytes()), timeout) {
+            Ok(reply) => {
+                if expect.is_none_or(|code| code == reply.status) {
+                    println!("{} {}", reply.status, reply.body);
+                    return Ok(());
+                }
+                last_err = format!(
+                    "got {} (want {}): {}",
+                    reply.status,
+                    expect.unwrap(),
+                    reply.body
+                );
+            }
+            Err(e) => last_err = format!("request failed: {e}"),
+        }
+    }
+    Err(format!("{method} {url}: {last_err}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1071,6 +1161,66 @@ mod tests {
             "5",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_unknown_refresh_mode() {
+        let path = tmp("gen_serve.xml");
+        generate(&args(&["generate", "--bloggers", "20", "--out", &path])).unwrap();
+        let err = serve(&args(&["serve", "--in", &path, "--refresh-mode", "full"])).unwrap_err();
+        assert!(err.contains("refresh-mode"), "{err}");
+    }
+
+    #[test]
+    fn http_probes_a_live_server_and_checks_expectations() {
+        let path = tmp("gen_http.xml");
+        generate(&args(&[
+            "generate",
+            "--bloggers",
+            "30",
+            "--seed",
+            "3",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let ds = mass_xml::dataset_io::load(&path).unwrap();
+        let engine = IncrementalMass::new(ds, MassParams::paper());
+        let handle = mass_serve::start(engine, mass_serve::ServeConfig::default()).unwrap();
+        let url = |target: &str| format!("http://{}{target}", handle.addr());
+
+        http(&args(&[
+            "http",
+            "--url",
+            &url("/topk?k=3"),
+            "--expect",
+            "200",
+        ]))
+        .unwrap();
+        http(&args(&[
+            "http",
+            "--url",
+            &url("/match?k=2"),
+            "--method",
+            "POST",
+            "--body",
+            "discount football boots",
+            "--expect",
+            "200",
+        ]))
+        .unwrap();
+        let err = http(&args(&[
+            "http",
+            "--url",
+            &url("/topk?domain=nonsense"),
+            "--expect",
+            "200",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("404"), "{err}");
+        let err = http(&args(&["http", "--url", "ftp://x/y"])).unwrap_err();
+        assert!(err.contains("http://"), "{err}");
+        handle.shutdown();
     }
 
     #[test]

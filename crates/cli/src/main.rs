@@ -12,6 +12,8 @@
 //! mass recommend  --in corpus.xml --profile "I love hiking and hotels" --k 3
 //! mass network    --in corpus.xml --focus blogger_0001 --radius 2 --format dot --out net.dot
 //! mass user-study --bloggers 500 --seed 7
+//! mass serve      --in corpus.xml --port 8080 --workers 4
+//! mass http       --url http://127.0.0.1:8080/topk?k=3 --expect 200
 //! ```
 
 mod args;
@@ -63,6 +65,18 @@ COMMANDS:
                --in FILE  --topics N (10)  --k N (3)
   user-study   reproduce Table I on a fresh synthetic corpus
                --bloggers N (3000)  --posts-per-blogger F (13.3)  --seed N (42)
+  serve        run the fault-tolerant HTTP serving layer over a corpus
+               --in FILE  --port N (0 = ephemeral; prints \"serving on ...\")
+               --workers N (4)  --queue N (64)  --topk-cap N (100)
+               --refresh-mode exact|warm (exact)  --chaos-hooks [enable
+               /admin/inject-fault for drills]  --threads N
+               endpoints: GET /topk?domain=d&k=n  POST /match?k=n (ad text
+               body)  POST /edits  GET /healthz  GET /readyz
+               POST /admin/shutdown [clean drain]
+  http         one scriptable HTTP request (for smoke tests; no curl needed)
+               --url http://HOST:PORT/PATH  --method GET|POST (GET)
+               --body TEXT  --expect CODE  --retry N (0)
+               --retry-delay-ms N (200)
   obs-validate check telemetry artifacts written by --trace-out/--metrics-out
                --trace FILE  --metrics FILE
                --expect-spans NAME[,NAME...]  --expect-metrics NAME[,NAME...]
@@ -108,6 +122,8 @@ fn main() -> ExitCode {
         Some("report") => commands::report(&args),
         Some("discover") => commands::discover(&args),
         Some("user-study") => commands::user_study(&args),
+        Some("serve") => commands::serve(&args),
+        Some("http") => commands::http(&args),
         Some("obs-validate") => commands::obs_validate(&args),
         Some("help") | None => {
             println!("{USAGE}");

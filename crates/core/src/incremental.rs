@@ -71,6 +71,35 @@ impl RefreshMode {
     }
 }
 
+/// Where [`IncrementalMass::inject_refresh_fault`] detonates inside the
+/// next refresh. Each point sits on a different stage boundary of the
+/// staged pipeline, so the fault tests can prove no boundary leaks torn
+/// state: whatever the point, a panicking refresh must leave the engine on
+/// its previous epoch with the dirty set intact and every score bit
+/// unchanged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshFault {
+    /// After graph edits folded into the staged CSR, before link analysis.
+    AfterCsr,
+    /// After link analysis produced the staged GL vector, before the solve.
+    AfterGl,
+    /// Inside the solve stage, after the staged GL vector was swapped into
+    /// the solver inputs (exercises the swap rollback).
+    DuringSolve,
+    /// After everything was computed, immediately before the commit.
+    BeforeCommit,
+}
+
+impl RefreshFault {
+    /// Every injection point, in pipeline order.
+    pub const ALL: [RefreshFault; 4] = [
+        RefreshFault::AfterCsr,
+        RefreshFault::AfterGl,
+        RefreshFault::DuringSolve,
+        RefreshFault::BeforeCommit,
+    ];
+}
+
 /// Statistics of one [`IncrementalMass::refresh`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RefreshStats {
@@ -125,6 +154,9 @@ pub struct IncrementalMass {
     dirty: DirtySet,
     pending_edits: usize,
     epoch: u64,
+    /// One-shot injected fault for the next refresh (chaos-test hook);
+    /// interior mutability so read-only callers can arm it.
+    fault: std::cell::Cell<Option<RefreshFault>>,
 }
 
 impl IncrementalMass {
@@ -181,6 +213,23 @@ impl IncrementalMass {
             dirty: DirtySet::default(),
             pending_edits: 0,
             epoch: 0,
+            fault: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Arms a one-shot panic at `point` inside the next refresh — the
+    /// chaos-test hook behind `tests/refresh_faults.rs` and the serving
+    /// layer's degradation drills. The refresh panics at the chosen point;
+    /// the transactional pipeline guarantees the engine stays on its
+    /// previous epoch and remains fully usable afterwards.
+    pub fn inject_refresh_fault(&self, point: RefreshFault) {
+        self.fault.set(Some(point));
+    }
+
+    fn detonate(&self, point: RefreshFault) {
+        if self.fault.get() == Some(point) {
+            self.fault.set(None);
+            panic!("injected refresh fault: {point:?}");
         }
     }
 
@@ -214,6 +263,13 @@ impl IncrementalMass {
     /// refreshes do not advance it).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// An interest miner over the live Post Analyzer model, for matching
+    /// advertisement text against the domain matrix (None when no
+    /// classifier is available, e.g. an untagged corpus).
+    pub fn interest_miner(&self) -> Option<mass_text::InterestMiner> {
+        self.classifier.clone().map(mass_text::InterestMiner::new)
     }
 
     /// The current state as a [`MassAnalysis`] snapshot (same fields a
@@ -397,47 +453,93 @@ impl IncrementalMass {
                 epoch: self.epoch,
             };
         }
+        // The refresh is transactional: every effect is staged on
+        // temporaries and `self` commits only in the infallible block at
+        // the end. A panic anywhere in the pipeline — injected through
+        // `inject_refresh_fault` or organic — leaves the engine on its
+        // previous epoch with the dirty set intact, so a later refresh
+        // absorbs the same edits again (nothing is lost, nothing torn).
         let ob = self.dirty.obligations(&self.params);
-        self.epoch += 1;
-        // Graph edits always fold into the maintained CSR — even when the
-        // GL kernel is skipped — so its node count never goes stale.
+
+        // Graph edits fold into a staged copy of the maintained CSR — even
+        // when the GL kernel is skipped — so its node count never goes
+        // stale. No graph edits → no clone, the live CSR is already right.
         let provider_edges = self.dirty.provider_edges(&self.params).to_vec();
-        self.link
-            .apply_edits(self.dirty.bloggers_added, &provider_edges);
+        let staged_link =
+            (self.dirty.bloggers_added > 0 || !provider_edges.is_empty()).then(|| {
+                let mut link = self.link.clone();
+                link.apply_edits(self.dirty.bloggers_added, &provider_edges);
+                link
+            });
+        self.detonate(RefreshFault::AfterCsr);
 
         // An Exact refresh must also erase the imprint of earlier
         // warm-started GL runs: their vectors are tolerance-close, not
         // bit-equal, to a cold recompute.
         let restore_exactness = mode == RefreshMode::Exact && !self.gl_exact;
-        let (mut gl_refreshed, mut gl_sweeps, mut gl_residual) = (false, 0usize, 0.0f64);
-        if ob.refresh_gl || restore_exactness {
+        let staged_gl = if ob.refresh_gl || restore_exactness {
             let warm = match mode {
                 RefreshMode::Exact => None,
                 RefreshMode::WarmStart => (!self.gl_warm.is_empty()).then(|| self.gl_warm.clone()),
             };
-            let r = gl_scores_csr(&self.link, &self.params, warm.as_deref());
-            self.inputs.gl = r.gl;
-            // Closed-form providers ignore warm starts, so their refresh is
-            // exact in either mode.
-            self.gl_exact = mode == RefreshMode::Exact || r.warm.is_empty();
-            self.gl_warm = r.warm;
-            (gl_refreshed, gl_sweeps, gl_residual) = (true, r.sweeps, r.residual);
-            mass_obs::counter("incremental.gl_refreshes").inc();
+            let link = staged_link.as_ref().unwrap_or(&self.link);
+            Some(gl_scores_csr(link, &self.params, warm.as_deref()))
         } else {
-            mass_obs::counter("incremental.gl_skips").inc();
-        }
+            None
+        };
+        self.detonate(RefreshFault::AfterGl);
 
+        let (staged_gl_vec, staged_warm, gl_refreshed, gl_sweeps, gl_residual) = match staged_gl {
+            Some(r) => (Some(r.gl), Some(r.warm), true, r.sweeps, r.residual),
+            None => (None, None, false, 0, 0.0),
+        };
         let warm_scores = match mode {
             RefreshMode::Exact => None,
             RefreshMode::WarmStart => Some(self.scores.blogger.clone()),
         };
-        self.scores = solve_prepared(
-            &self.dataset,
-            &self.inputs,
-            &self.params,
-            warm_scores.as_deref(),
-        );
-        self.domain_matrix = domain_influence(&self.dataset, &self.scores.post, &self.iv);
+        // The solver reads `inputs.gl`, so the staged vector must be
+        // swapped in before the solve; the catch_unwind below restores the
+        // previous vector if the solve (or an injected fault) panics,
+        // keeping the swap transactional too.
+        let saved_gl = staged_gl_vec.map(|gl| std::mem::replace(&mut self.inputs.gl, gl));
+        let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.detonate(RefreshFault::DuringSolve);
+            let scores = solve_prepared(
+                &self.dataset,
+                &self.inputs,
+                &self.params,
+                warm_scores.as_deref(),
+            );
+            let domain_matrix = domain_influence(&self.dataset, &scores.post, &self.iv);
+            self.detonate(RefreshFault::BeforeCommit);
+            (scores, domain_matrix)
+        }));
+        let (scores, domain_matrix) = match solved {
+            Ok(v) => v,
+            Err(payload) => {
+                if let Some(old) = saved_gl {
+                    self.inputs.gl = old;
+                }
+                std::panic::resume_unwind(payload);
+            }
+        };
+
+        // Commit — infallible from here on.
+        self.epoch += 1;
+        if let Some(link) = staged_link {
+            self.link = link;
+        }
+        if let Some(warm) = staged_warm {
+            // Closed-form providers ignore warm starts, so their refresh is
+            // exact in either mode.
+            self.gl_exact = mode == RefreshMode::Exact || warm.is_empty();
+            self.gl_warm = warm;
+            mass_obs::counter("incremental.gl_refreshes").inc();
+        } else {
+            mass_obs::counter("incremental.gl_skips").inc();
+        }
+        self.scores = scores;
+        self.domain_matrix = domain_matrix;
         let applied = self.pending_edits;
         self.pending_edits = 0;
         self.dirty.clear();

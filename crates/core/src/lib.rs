@@ -61,6 +61,7 @@ pub mod incremental;
 pub mod params;
 pub mod quality;
 pub mod recommend;
+pub mod snapshot;
 pub mod solver;
 pub mod storm;
 pub mod topk;
@@ -69,9 +70,10 @@ pub use analysis::MassAnalysis;
 pub use dirty::{DirtySet, Obligations};
 pub use expert_search::ExpertSearch;
 pub use gl::{gl_graph, gl_scores_csr, GlRefresh};
-pub use incremental::{IncrementalMass, RefreshMode, RefreshStats};
+pub use incremental::{IncrementalMass, RefreshFault, RefreshMode, RefreshStats};
 pub use params::{GlProvider, IvSource, LengthMode, MassParams};
 pub use recommend::Recommender;
+pub use snapshot::ServingSnapshot;
 pub use solver::{solve, solve_prepared, InfluenceScores, SolveStatus, SolverInputs};
 pub use storm::{apply_to_dataset, apply_to_incremental, scripted_storm, ScriptedEdit, StormMix};
 pub use topk::top_k;

@@ -18,6 +18,12 @@ const MIN_CHUNK: usize = 16;
 /// at the largest sane `--threads`.
 const MAX_CHUNKS: usize = 64;
 
+/// Below this many total elements, a region runs inline on the caller:
+/// submitting pool jobs, waking workers, and parking the caller costs more
+/// than the loop itself. This gates only *where* chunks execute — the
+/// boundaries (and therefore every recorded reduction) are unchanged.
+const MIN_PARALLEL_LEN: usize = 64;
+
 /// A fixed partition of `0..len` into contiguous chunks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChunkPlan {
@@ -52,6 +58,15 @@ impl ChunkPlan {
     /// Elements per chunk (the last chunk may be shorter).
     pub fn chunk_size(&self) -> usize {
         self.chunk_size
+    }
+
+    /// Whether fanning this plan out to a pool can plausibly win: more
+    /// than one chunk *and* enough total work to amortise dispatch.
+    /// `Exec::for_each_chunk` runs non-worthwhile plans inline on the
+    /// caller — same chunks, same order as `threads == 1`, so the output
+    /// is bit-identical either way.
+    pub fn parallel_worthwhile(&self) -> bool {
+        self.chunks > 1 && self.len >= MIN_PARALLEL_LEN
     }
 
     /// The element range of chunk `c`.
@@ -95,6 +110,20 @@ mod tests {
         for len in 1..=MIN_CHUNK {
             assert_eq!(ChunkPlan::for_len(len).chunks(), 1);
         }
+    }
+
+    #[test]
+    fn work_floor_gates_tiny_inputs() {
+        // Single-chunk plans are never worth dispatching.
+        for len in [0, 1, MIN_CHUNK] {
+            assert!(!ChunkPlan::for_len(len).parallel_worthwhile(), "len {len}");
+        }
+        // Multi-chunk but below the work floor: still inline.
+        assert!(ChunkPlan::for_len(MIN_PARALLEL_LEN - 1).chunks() > 1);
+        assert!(!ChunkPlan::for_len(MIN_PARALLEL_LEN - 1).parallel_worthwhile());
+        // At the floor with multiple chunks the pool takes over.
+        assert!(ChunkPlan::for_len(MIN_PARALLEL_LEN).parallel_worthwhile());
+        assert!(ChunkPlan::for_len(1_000_000).parallel_worthwhile());
     }
 
     #[test]

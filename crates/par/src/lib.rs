@@ -331,7 +331,7 @@ impl<'p> Exec<'p> {
     {
         let plan = ChunkPlan::for_len(len);
         let pool = match self.pool {
-            Some(pool) if plan.chunks() > 1 => pool,
+            Some(pool) if plan.parallel_worthwhile() => pool,
             _ => {
                 for c in 0..plan.chunks() {
                     f(c, plan.range(c));
@@ -622,6 +622,37 @@ mod tests {
         for (i, &got) in out.iter().enumerate() {
             assert_eq!(got, i * (i + 1) / 2);
         }
+    }
+
+    #[test]
+    fn sub_floor_regions_run_inline_on_the_caller() {
+        let pool = Pool::new(3);
+        let ex = Exec::on(&pool, 4);
+        // 63 elements → multiple chunks, but below the work floor: every
+        // chunk must execute on the calling thread, in chunk order.
+        let caller = std::thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        ex.for_each_chunk(63, |c, _range| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "chunk {c} left the caller"
+            );
+            seen.lock().unwrap().push(c);
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(
+            seen.len() > 1,
+            "63 elements should still be multiple chunks"
+        );
+        assert!(
+            seen.windows(2).all(|w| w[0] < w[1]),
+            "inline order: {seen:?}"
+        );
+        // And the inline path produces the same bits as the true serial one.
+        let got = ex.par_map_collect(63, |i| (i as f64) * 0.1);
+        let reference = Exec::serial().par_map_collect(63, |i| (i as f64) * 0.1);
+        assert_eq!(got, reference);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! A small FIFO cache for mined ad interest vectors.
+//!
+//! `POST /match` classifies the advertisement text into an interest
+//! vector before the dot-product scan. The classifier is *frozen* for the
+//! lifetime of the process (incremental refreshes never retrain it —
+//! DESIGN.md §11's carve-out), so a text's interest vector is stable
+//! across epochs and safe to cache. Businesses re-submit the same ad text
+//! while tuning `k`, making even a tiny cache effective.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+struct Inner {
+    map: HashMap<String, Arc<Vec<f64>>>,
+    order: VecDeque<String>,
+}
+
+/// Thread-safe text → interest-vector cache with FIFO eviction.
+pub struct AdVectorCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl AdVectorCache {
+    /// A cache holding at most `capacity` vectors (min 1).
+    pub fn new(capacity: usize) -> AdVectorCache {
+        AdVectorCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Returns the cached vector for `text`, or computes it with `mine`
+    /// and caches it. `mine` returning `None` (no classifier) is not
+    /// cached — the condition is process-wide and the caller 4xxes anyway.
+    pub fn get_or_mine(
+        &self,
+        text: &str,
+        mine: impl FnOnce() -> Option<Vec<f64>>,
+    ) -> Option<Arc<Vec<f64>>> {
+        if let Some(hit) = self.inner.lock().unwrap().map.get(text) {
+            mass_obs::counter("serve.ad_cache_hits").inc();
+            return Some(Arc::clone(hit));
+        }
+        // Mine outside the lock: classification is the expensive part.
+        let vector = Arc::new(mine()?);
+        mass_obs::counter("serve.ad_cache_misses").inc();
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.map.contains_key(text) {
+            if inner.map.len() >= self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                }
+            }
+            inner.map.insert(text.to_string(), Arc::clone(&vector));
+            inner.order.push_back(text.to_string());
+        }
+        Some(vector)
+    }
+
+    /// Number of cached vectors.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_hits() {
+        let c = AdVectorCache::new(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = c
+                .get_or_mine("sports ad", || {
+                    calls += 1;
+                    Some(vec![1.0, 2.0])
+                })
+                .unwrap();
+            assert_eq!(*v, vec![1.0, 2.0]);
+        }
+        assert_eq!(calls, 1, "only the first lookup mines");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_fifo_at_capacity() {
+        let c = AdVectorCache::new(2);
+        c.get_or_mine("a", || Some(vec![1.0])).unwrap();
+        c.get_or_mine("b", || Some(vec![2.0])).unwrap();
+        c.get_or_mine("c", || Some(vec![3.0])).unwrap();
+        assert_eq!(c.len(), 2);
+        // "a" was evicted: mining runs again.
+        let mut mined = false;
+        c.get_or_mine("a", || {
+            mined = true;
+            Some(vec![1.0])
+        })
+        .unwrap();
+        assert!(mined);
+    }
+
+    #[test]
+    fn none_is_not_cached() {
+        let c = AdVectorCache::new(2);
+        assert!(c.get_or_mine("x", || None).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! Shared by the CLI's `mass http` probe, the chaos tests, and the X14
+//! load bench — one request per connection, mirroring the server's
+//! `Connection: close` discipline. Not a general client: it exists so the
+//! smoke gates need no external tooling.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Clone, Debug)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// Body, lossily decoded to UTF-8.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses a raw response byte stream (exposed for the serve-side
+/// round-trip tests).
+pub fn parse_reply(wire: &[u8]) -> io::Result<HttpReply> {
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, why.to_string());
+    let head_end = wire
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator"))?;
+    let head = String::from_utf8_lossy(&wire[..head_end]);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/") {
+        return Err(bad("not an HTTP status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparsable status code"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+        })
+        .collect();
+    let body = String::from_utf8_lossy(&wire[head_end + 4..]).into_owned();
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Sends one request and reads the full response. `addr` is `host:port`;
+/// `target` is the path plus query (`/topk?k=3`).
+pub fn request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> io::Result<HttpReply> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    let body = body.unwrap_or(b"");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    let mut wire = Vec::new();
+    stream.read_to_end(&mut wire)?;
+    parse_reply(&wire)
+}
+
+/// `GET` convenience.
+pub fn get(addr: &str, target: &str, timeout: Duration) -> io::Result<HttpReply> {
+    request(addr, "GET", target, None, timeout)
+}
+
+/// `POST` convenience.
+pub fn post(addr: &str, target: &str, body: &[u8], timeout: Duration) -> io::Result<HttpReply> {
+    request(addr, "POST", target, Some(body), timeout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply() {
+        let wire =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\nhi";
+        let reply = parse_reply(wire).unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        assert_eq!(reply.body, "hi");
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert!(parse_reply(b"garbage\r\n\r\n").is_err());
+        assert!(parse_reply(b"no terminator").is_err());
+    }
+}

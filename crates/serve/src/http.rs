@@ -1,0 +1,560 @@
+//! A byte-budgeted HTTP/1.1 request parser and response writer.
+//!
+//! The parser is the server's first line of defence: every read is
+//! bounded (request line, header count, header size, body size), every
+//! malformed input maps to a definite [`ParseError`] with a 4xx/5xx
+//! classification, and no input — truncated, oversized, or garbage — can
+//! make it panic (`tests/parser_fuzz.rs` owns that invariant). Socket
+//! read timeouts surface as [`ParseError::Timeout`] so slow-loris clients
+//! get a fast 408 instead of a parked worker.
+//!
+//! Only the subset the serving layer needs is implemented: `GET`/`POST`,
+//! `Content-Length` bodies (no chunked transfer), `Connection: close` on
+//! every response.
+
+use std::io::{self, Read, Write};
+
+/// Hard byte budgets for one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Longest accepted request line (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Longest accepted single header line.
+    pub max_header_line: usize,
+    /// Largest accepted `Content-Length` body.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_request_line: 4096,
+            max_headers: 64,
+            max_header_line: 1024,
+            max_body: 64 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read. [`status`](ParseError::status) maps
+/// each variant to the response the server should write (`None` = the
+/// client is gone or never spoke; drop the connection silently).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The stream ended before a complete request arrived.
+    Incomplete,
+    /// A socket read timed out (slow-loris or stalled client).
+    Timeout,
+    /// An I/O error other than timeout.
+    Io(io::ErrorKind),
+    /// The request line is not `METHOD TARGET HTTP/x.y`.
+    BadRequestLine,
+    /// A method other than GET/POST.
+    UnsupportedMethod,
+    /// An HTTP version other than 1.0/1.1.
+    UnsupportedVersion,
+    /// The request line exceeded its byte budget.
+    UriTooLong,
+    /// A header line exceeded its byte budget.
+    HeaderTooLarge,
+    /// More header lines than the budget allows.
+    TooManyHeaders,
+    /// A header line without a `:` separator.
+    BadHeader,
+    /// An unparsable `Content-Length` value.
+    BadContentLength,
+    /// `Content-Length` exceeded the body budget.
+    BodyTooLarge,
+    /// A `Transfer-Encoding` the server does not implement.
+    UnsupportedTransferEncoding,
+}
+
+impl ParseError {
+    /// The status code to answer with (`None`: drop without a response).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ParseError::Incomplete | ParseError::Io(_) => None,
+            ParseError::Timeout => Some(408),
+            ParseError::BadRequestLine | ParseError::BadHeader | ParseError::BadContentLength => {
+                Some(400)
+            }
+            ParseError::UnsupportedMethod => Some(405),
+            ParseError::UnsupportedVersion => Some(505),
+            ParseError::UriTooLong => Some(414),
+            ParseError::HeaderTooLarge | ParseError::TooManyHeaders => Some(431),
+            ParseError::BodyTooLarge => Some(413),
+            ParseError::UnsupportedTransferEncoding => Some(501),
+        }
+    }
+
+    /// Short stable label for metrics and error bodies.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ParseError::Incomplete => "incomplete",
+            ParseError::Timeout => "timeout",
+            ParseError::Io(_) => "io",
+            ParseError::BadRequestLine => "bad_request_line",
+            ParseError::UnsupportedMethod => "unsupported_method",
+            ParseError::UnsupportedVersion => "unsupported_version",
+            ParseError::UriTooLong => "uri_too_long",
+            ParseError::HeaderTooLarge => "header_too_large",
+            ParseError::TooManyHeaders => "too_many_headers",
+            ParseError::BadHeader => "bad_header",
+            ParseError::BadContentLength => "bad_content_length",
+            ParseError::BodyTooLarge => "body_too_large",
+            ParseError::UnsupportedTransferEncoding => "unsupported_transfer_encoding",
+        }
+    }
+}
+
+fn io_err(e: io::Error) -> ParseError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ParseError::Timeout,
+        kind => ParseError::Io(kind),
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Uppercase method (`GET` or `POST`).
+    pub method: String,
+    /// Percent-decoded path, without the query string.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A buffered byte source over any `Read`, with budget-aware line reads.
+struct ByteReader<'a, R: Read> {
+    inner: &'a mut R,
+    buf: [u8; 4096],
+    start: usize,
+    end: usize,
+}
+
+impl<'a, R: Read> ByteReader<'a, R> {
+    fn new(inner: &'a mut R) -> Self {
+        ByteReader {
+            inner,
+            buf: [0; 4096],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Next byte; `Ok(None)` at end of stream.
+    fn next_byte(&mut self) -> Result<Option<u8>, ParseError> {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = self.inner.read(&mut self.buf).map_err(io_err)?;
+            if self.end == 0 {
+                return Ok(None);
+            }
+        }
+        let b = self.buf[self.start];
+        self.start += 1;
+        Ok(Some(b))
+    }
+
+    /// Reads one `\n`-terminated line (CR stripped), spending at most
+    /// `budget` bytes; `over` is returned the moment the budget is blown.
+    fn read_line(&mut self, budget: usize, over: ParseError) -> Result<Option<String>, ParseError> {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            match self.next_byte()? {
+                None => {
+                    return if line.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(ParseError::Incomplete)
+                    }
+                }
+                Some(b'\n') => break,
+                Some(b) => {
+                    if line.len() >= budget {
+                        return Err(over);
+                    }
+                    line.push(b);
+                }
+            }
+        }
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+    }
+
+    /// Reads exactly `n` bytes (the body).
+    fn read_exact_n(&mut self, n: usize) -> Result<Vec<u8>, ParseError> {
+        let mut out = Vec::with_capacity(n.min(64 * 1024));
+        while out.len() < n {
+            match self.next_byte()? {
+                Some(b) => out.push(b),
+                None => return Err(ParseError::Incomplete),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Decodes `%XX` escapes (and, when `plus_is_space`, `+` as space).
+/// Invalid escapes pass through literally — never an error, never a panic.
+fn percent_decode(s: &str, plus_is_space: bool) -> String {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    let hi = (h[0] as char).to_digit(16)?;
+                    let lo = (h[1] as char).to_digit(16)?;
+                    Some((hi * 16 + lo) as u8)
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a request target into a decoded path and query pairs.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let pairs = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k, true), percent_decode(v, true)),
+            None => (percent_decode(kv, true), String::new()),
+        })
+        .collect();
+    (percent_decode(path, false), pairs)
+}
+
+/// Reads one request from `stream` under the given budgets.
+pub fn read_request<R: Read>(stream: &mut R, limits: &Limits) -> Result<Request, ParseError> {
+    let mut r = ByteReader::new(stream);
+
+    let line = r
+        .read_line(limits.max_request_line, ParseError::UriTooLong)?
+        .ok_or(ParseError::Incomplete)?;
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(ParseError::BadRequestLine),
+    };
+    if !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        if version.starts_with("HTTP/") {
+            return Err(ParseError::UnsupportedVersion);
+        }
+        return Err(ParseError::BadRequestLine);
+    }
+    if !matches!(method, "GET" | "POST") {
+        return Err(ParseError::UnsupportedMethod);
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::BadRequestLine);
+    }
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = r
+            .read_line(limits.max_header_line, ParseError::HeaderTooLarge)?
+            .ok_or(ParseError::Incomplete)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ParseError::TooManyHeaders);
+        }
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(ParseError::BadHeader);
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(ParseError::UnsupportedTransferEncoding);
+    }
+    let body = match find("content-length") {
+        None => Vec::new(),
+        Some(v) => {
+            let n: usize = v.parse().map_err(|_| ParseError::BadContentLength)?;
+            if n > limits.max_body {
+                return Err(ParseError::BodyTooLarge);
+            }
+            r.read_exact_n(n)?
+        }
+    };
+
+    let (path, query) = parse_target(target);
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// The reason phrase for every status this server emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// One response. Always closes the connection (`Connection: close`): the
+/// server is snapshot-read-only per request, so keep-alive buys little and
+/// connection state machines are where parsers grow holes.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Connection` are added on write).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: mass_obs::json::Json) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: value.render().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// The standard error shape: `{"error": <label>}`.
+    pub fn error(status: u16, label: &str) -> Response {
+        Response::json(
+            status,
+            mass_obs::json::Json::Obj(vec![(
+                "error".into(),
+                mass_obs::json::Json::Str(label.into()),
+            )]),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.headers.push((name.into(), value));
+        self
+    }
+
+    /// Serialises the response (HTTP/1.1, `Connection: close`).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, status_text(self.status));
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(input: &[u8]) -> Result<Request, ParseError> {
+        read_request(&mut Cursor::new(input.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let req = parse(b"GET /topk?domain=Sports&k=5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/topk");
+        assert_eq!(req.query_param("domain"), Some("Sports"));
+        assert_eq!(req.query_param("k"), Some("5"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body() {
+        let req = parse(b"POST /match HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn percent_and_plus_decode_in_queries() {
+        let req = parse(b"GET /topk?domain=a%20b+c&x=%2f HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("domain"), Some("a b c"));
+        assert_eq!(req.query_param("x"), Some("/"));
+        // Invalid escapes pass through untouched.
+        let req = parse(b"GET /p%zz?k=%2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/p%zz");
+        assert_eq!(req.query_param("k"), Some("%2"));
+    }
+
+    #[test]
+    fn classification_table() {
+        let cases: Vec<(&[u8], ParseError)> = vec![
+            (b"", ParseError::Incomplete),
+            (b"GET /x HTTP/1.1\r\nHost: x", ParseError::Incomplete),
+            (b"garbage\r\n\r\n", ParseError::BadRequestLine),
+            (b"GET /x HTTP/1.1 extra\r\n\r\n", ParseError::BadRequestLine),
+            (b"GET x HTTP/1.1\r\n\r\n", ParseError::BadRequestLine),
+            (b"DELETE /x HTTP/1.1\r\n\r\n", ParseError::UnsupportedMethod),
+            (b"GET /x HTTP/2.0\r\n\r\n", ParseError::UnsupportedVersion),
+            (b"GET /x FTP/1.1\r\n\r\n", ParseError::BadRequestLine),
+            (b"GET /x HTTP/1.1\r\nnocolon\r\n\r\n", ParseError::BadHeader),
+            (
+                b"GET /x HTTP/1.1\r\n: novalue\r\n\r\n",
+                ParseError::BadHeader,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+                ParseError::BadContentLength,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+                ParseError::BodyTooLarge,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                ParseError::UnsupportedTransferEncoding,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+                ParseError::Incomplete,
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(parse(input), Err(want.clone()), "{:?}", input);
+        }
+    }
+
+    #[test]
+    fn budgets_are_enforced() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(8000));
+        assert_eq!(parse(long_target.as_bytes()), Err(ParseError::UriTooLong));
+
+        let big_header = format!("GET /x HTTP/1.1\r\nh: {}\r\n\r\n", "v".repeat(4000));
+        assert_eq!(
+            parse(big_header.as_bytes()),
+            Err(ParseError::HeaderTooLarge)
+        );
+
+        let mut many = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..100 {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert_eq!(parse(many.as_bytes()), Err(ParseError::TooManyHeaders));
+    }
+
+    #[test]
+    fn statuses_match_the_contract() {
+        assert_eq!(ParseError::Incomplete.status(), None);
+        assert_eq!(ParseError::Timeout.status(), Some(408));
+        assert_eq!(ParseError::BodyTooLarge.status(), Some(413));
+        assert_eq!(ParseError::UriTooLong.status(), Some(414));
+        assert_eq!(ParseError::TooManyHeaders.status(), Some(431));
+        assert_eq!(ParseError::UnsupportedMethod.status(), Some(405));
+        assert_eq!(ParseError::UnsupportedVersion.status(), Some(505));
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_parser() {
+        let resp = Response::json(
+            200,
+            mass_obs::json::Json::Obj(vec![("ok".into(), mass_obs::json::Json::Bool(true))]),
+        )
+        .with_header("X-Mass-Epoch", "7".into());
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire).unwrap();
+        let reply = crate::client::parse_reply(&wire).unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("x-mass-epoch"), Some("7"));
+        assert_eq!(reply.body, r#"{"ok":true}"#);
+    }
+}

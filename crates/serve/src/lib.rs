@@ -1,0 +1,33 @@
+//! mass-serve: a fault-tolerant online serving layer for MASS.
+//!
+//! A hand-rolled HTTP/1.1 server (no external deps, `std::net` only) that
+//! answers ad-match and top-k recommendation queries from an
+//! epoch-versioned [`ServingSnapshot`](mass_core::ServingSnapshot) while a
+//! single writer thread owns the incremental engine and publishes new
+//! epochs after each edit batch. The design goal is graceful degradation:
+//! overload sheds with a fast 503, a panicking refresh quarantines (the
+//! server keeps answering from the last-good epoch and reports staleness),
+//! and malformed or malicious byte streams die in a budgeted parser.
+//!
+//! Endpoints:
+//!
+//! | route | method | purpose |
+//! |---|---|---|
+//! | `/topk?domain=d&k=n` | GET | precomputed influence ranking |
+//! | `/match?k=n` | POST | ad text → matched bloggers |
+//! | `/edits` | POST | queue an edit batch (202, async refresh) |
+//! | `/healthz` | GET | 200 ok / 503 degraded + staleness JSON |
+//! | `/readyz` | GET | 200 until draining |
+//! | `/admin/shutdown` | POST | start a clean drain |
+//! | `/admin/inject-fault` | POST | arm a refresh fault (test hooks only) |
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod queue;
+pub mod server;
+
+pub use cache::AdVectorCache;
+pub use http::{Limits, ParseError, Request, Response};
+pub use queue::BoundedQueue;
+pub use server::{start, ServeConfig, ServerHandle, ShutdownReport};

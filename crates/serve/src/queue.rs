@@ -1,0 +1,151 @@
+//! A bounded MPMC work queue — the admission-control point.
+//!
+//! The accept thread `try_push`es connections; when the queue is full the
+//! push fails *immediately* and the caller sheds the connection with a
+//! fast 503 instead of queuing unboundedly (DESIGN.md §12: overload must
+//! degrade the newest request, not the tail latency of every request).
+//! Workers block on [`BoundedQueue::pop`], which drains remaining items
+//! after [`BoundedQueue::close`] so shutdown finishes in-flight work.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A mutex+condvar bounded queue (no external deps, no spinning).
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues without blocking. Returns the item back when the queue is
+    /// full (shed it) or closed (drop it).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item; `None` once the queue is closed *and*
+    /// drained (workers exit then).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: pushes start failing, pops drain then return
+    /// `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sheds_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert_eq!(q.try_push("c"), Err("c"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut got = 0;
+                    while q.pop().is_some() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut pushed = 0;
+        while pushed < 20 {
+            if q.try_push(pushed).is_ok() {
+                pushed += 1;
+            } else {
+                thread::yield_now();
+            }
+        }
+        // Give consumers a chance to drain before closing.
+        while !q.is_empty() {
+            thread::yield_now();
+        }
+        q.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let q = BoundedQueue::new(0);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

@@ -1,0 +1,352 @@
+//! Chaos suite: the server must keep answering under malicious clients,
+//! overload, and injected refresh panics (ISSUE 6 acceptance criteria).
+//!
+//! Every scenario ends with a normal request succeeding — "the server
+//! survived" is the invariant, the specific error code is the detail.
+
+use mass_core::{IncrementalMass, MassParams};
+use mass_obs::json::{self, Json};
+use mass_serve::client::{self, HttpReply};
+use mass_serve::{start, ServeConfig, ServerHandle};
+use mass_synth::{generate, SynthConfig};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+const T: Duration = Duration::from_secs(10);
+
+fn engine(seed: u64) -> IncrementalMass {
+    let out = generate(&SynthConfig::tiny(seed));
+    IncrementalMass::new(out.dataset, MassParams::paper())
+}
+
+fn serve(config: ServeConfig) -> (ServerHandle, String) {
+    let handle = start(engine(7), config).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn get(addr: &str, target: &str) -> HttpReply {
+    client::get(addr, target, T).expect("request round-trips")
+}
+
+fn post(addr: &str, target: &str, body: &str) -> HttpReply {
+    client::post(addr, target, body.as_bytes(), T).expect("request round-trips")
+}
+
+/// Polls `/healthz` until `pred` holds or the deadline passes.
+fn poll_healthz(addr: &str, deadline: Duration, pred: impl Fn(&HttpReply) -> bool) -> HttpReply {
+    let start = Instant::now();
+    loop {
+        let reply = get(addr, "/healthz");
+        if pred(&reply) {
+            return reply;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "healthz never reached the expected state; last: {} {}",
+            reply.status,
+            reply.body
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn assert_alive(addr: &str) {
+    let reply = get(addr, "/topk?k=3");
+    assert_eq!(
+        reply.status, 200,
+        "server must still answer: {}",
+        reply.body
+    );
+}
+
+#[test]
+fn garbage_bytes_get_a_400_and_the_server_survives() {
+    let (handle, addr) = serve(ServeConfig::default());
+    for garbage in [
+        &b"\x00\xff\xfe\x01garbage\r\n\r\n"[..],
+        &b"TRACE * SMTP/9.9\r\n\r\n"[..],
+        &b"GET\r\n\r\n"[..],
+    ] {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.set_read_timeout(Some(T)).unwrap();
+        stream.write_all(garbage).unwrap();
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut wire = Vec::new();
+        let _ = stream.read_to_end(&mut wire);
+        let reply = client::parse_reply(&wire).expect("a 4xx came back");
+        assert!(
+            (400..500).contains(&reply.status),
+            "garbage classified as {}",
+            reply.status
+        );
+        assert_alive(&addr);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let (handle, addr) = serve(ServeConfig::default());
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_read_timeout(Some(T)).unwrap();
+    // Declare a body far beyond the budget; never send it.
+    stream
+        .write_all(b"POST /match HTTP/1.1\r\nHost: x\r\nContent-Length: 99999999\r\n\r\n")
+        .unwrap();
+    let mut wire = Vec::new();
+    let _ = stream.read_to_end(&mut wire);
+    let reply = client::parse_reply(&wire).unwrap();
+    assert_eq!(reply.status, 413, "{}", reply.body);
+    assert_alive(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_deadline() {
+    let (handle, addr) = serve(ServeConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream.set_read_timeout(Some(T)).unwrap();
+    // Dribble a never-finishing request line.
+    stream.write_all(b"GET /to").unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    let _ = stream.write_all(b"pk");
+    let mut wire = Vec::new();
+    let _ = stream.read_to_end(&mut wire);
+    // Either an explicit 408 or a hangup — never a hung worker.
+    if let Ok(reply) = client::parse_reply(&wire) {
+        assert_eq!(reply.status, 408, "{}", reply.body);
+    }
+    assert_alive(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn half_closed_sockets_are_dropped_silently() {
+    let (handle, addr) = serve(ServeConfig::default());
+    for _ in 0..3 {
+        let stream = TcpStream::connect(&addr).unwrap();
+        // Close our write half without sending a byte: the worker sees EOF
+        // mid-request and drops the connection without a response.
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut stream = stream;
+        stream.set_read_timeout(Some(T)).unwrap();
+        let mut wire = Vec::new();
+        let _ = stream.read_to_end(&mut wire);
+        assert!(wire.is_empty(), "no response expected, got {wire:?}");
+    }
+    assert_alive(&addr);
+    handle.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_a_fast_503_and_retry_after() {
+    // One worker, one queue slot. Stall the worker with a silent
+    // connection, fill the slot with another, then burst: the burst must
+    // shed with 503 + Retry-After instead of queueing unboundedly.
+    let (handle, addr) = serve(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    });
+    let stall = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(300)); // worker pops the stall
+    let filler = TcpStream::connect(&addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // filler lands in queue
+    let mut shed = 0;
+    for _ in 0..5 {
+        if let Ok(reply) = client::get(&addr, "/topk?k=1", Duration::from_secs(2)) {
+            if reply.status == 503 {
+                assert_eq!(reply.header("retry-after"), Some("1"));
+                shed += 1;
+            }
+        }
+    }
+    assert!(shed > 0, "expected at least one shed 503");
+    drop(stall);
+    drop(filler);
+    std::thread::sleep(Duration::from_millis(200));
+    assert_alive(&addr);
+    let report = handle.shutdown();
+    assert!(report.shed >= shed, "report counts the sheds");
+}
+
+#[test]
+fn refresh_panic_quarantines_and_the_next_good_batch_recovers() {
+    let (handle, addr) = serve(ServeConfig {
+        enable_test_hooks: true,
+        ..ServeConfig::default()
+    });
+
+    // Arm a fault, then feed an edit storm: the refresh panics.
+    assert_eq!(
+        post(&addr, "/admin/inject-fault", "during_solve").status,
+        202
+    );
+    let accepted = post(&addr, "/edits", r#"{"storm": 4, "seed": 11}"#);
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+
+    // Degradation is visible: /healthz flips to 503 ...
+    let degraded = poll_healthz(&addr, T, |r| r.status == 503);
+    let health = json::parse(&degraded.body).unwrap();
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("degraded")
+    );
+    assert_eq!(
+        health.get("refresh_failures").and_then(Json::as_u64),
+        Some(1)
+    );
+
+    // ... but queries still answer 200 from the last-good epoch 0.
+    let reply = get(&addr, "/topk?k=3");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.header("x-mass-epoch"), Some("0"));
+    assert_eq!(reply.header("x-mass-degraded"), Some("true"));
+
+    // A good batch recovers; the quarantined edits are retried with it.
+    assert_eq!(
+        post(&addr, "/edits", r#"{"storm": 3, "seed": 12}"#).status,
+        202
+    );
+    let healthy = poll_healthz(&addr, T, |r| r.status == 200);
+    let health = json::parse(&healthy.body).unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    let reply = get(&addr, "/topk?k=3");
+    assert_eq!(reply.status, 200);
+    let epoch: u64 = reply.header("x-mass-epoch").unwrap().parse().unwrap();
+    assert!(epoch >= 1, "recovery publishes a fresh epoch, got {epoch}");
+    assert_eq!(reply.header("x-mass-degraded"), None);
+
+    let report = handle.shutdown();
+    assert_eq!(report.refresh_failures, 1);
+}
+
+#[test]
+fn every_fault_point_leaves_queries_answerable() {
+    let (handle, addr) = serve(ServeConfig {
+        enable_test_hooks: true,
+        ..ServeConfig::default()
+    });
+    for (i, point) in ["after_csr", "after_gl", "during_solve", "before_commit"]
+        .iter()
+        .enumerate()
+    {
+        assert_eq!(post(&addr, "/admin/inject-fault", point).status, 202);
+        let body = format!(r#"{{"storm": 3, "seed": {}}}"#, 100 + i as u64);
+        assert_eq!(post(&addr, "/edits", &body).status, 202);
+        poll_healthz(&addr, T, |r| r.status == 503);
+        assert_alive(&addr);
+        // Recover before the next round so failures count one at a time.
+        let body = format!(r#"{{"storm": 2, "seed": {}}}"#, 200 + i as u64);
+        assert_eq!(post(&addr, "/edits", &body).status, 202);
+        poll_healthz(&addr, T, |r| r.status == 200);
+    }
+    let report = handle.shutdown();
+    assert_eq!(report.refresh_failures, 4);
+}
+
+#[test]
+fn edit_storms_under_query_flood_never_5xx_and_epochs_are_monotonic() {
+    let (handle, addr) = serve(ServeConfig::default());
+    let addr = std::sync::Arc::new(addr);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let editors = {
+        let addr = std::sync::Arc::clone(&addr);
+        std::thread::spawn(move || {
+            for seed in 0..5u64 {
+                let body = format!(r#"{{"storm": 5, "seed": {seed}}}"#);
+                let reply = client::post(&addr, "/edits", body.as_bytes(), T).unwrap();
+                assert_eq!(reply.status, 202, "{}", reply.body);
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        })
+    };
+    let queriers: Vec<_> = (0..2)
+        .map(|q| {
+            let addr = std::sync::Arc::clone(&addr);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut n = 0;
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    let reply = if n % 3 == q % 2 {
+                        client::post(&addr, "/match?k=2", b"great football boots", T)
+                    } else {
+                        client::get(&addr, "/topk?k=5", T)
+                    }
+                    .unwrap();
+                    assert!(
+                        reply.status < 500,
+                        "unexpected {}: {}",
+                        reply.status,
+                        reply.body
+                    );
+                    if let Some(e) = reply.header("x-mass-epoch") {
+                        let epoch: u64 = e.parse().unwrap();
+                        assert!(epoch >= last_epoch, "epoch went backwards");
+                        last_epoch = epoch;
+                    }
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+
+    editors.join().unwrap();
+    // Let the writer drain its batches, then stop the flood.
+    let deadline = Instant::now() + T;
+    loop {
+        let reply = get(&addr, "/healthz");
+        let pending = json::parse(&reply.body)
+            .ok()
+            .and_then(|h| h.get("pending_batches").and_then(Json::as_u64));
+        if pending == Some(0) || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let answered: usize = queriers.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(answered > 0);
+
+    let reply = get(&addr, "/topk?k=3");
+    let epoch: u64 = reply.header("x-mass-epoch").unwrap().parse().unwrap();
+    assert!(epoch >= 1, "storms published at least one epoch");
+    let report = handle.shutdown();
+    assert_eq!(report.refresh_failures, 0);
+}
+
+#[test]
+fn clean_shutdown_drains_and_refuses_new_work() {
+    let (handle, addr) = serve(ServeConfig::default());
+    assert_eq!(get(&addr, "/readyz").status, 200);
+    assert_eq!(get(&addr, "/topk?k=2").status, 200);
+    let reply = post(&addr, "/admin/shutdown", "");
+    assert_eq!(reply.status, 202, "{}", reply.body);
+    let report = handle.wait();
+    assert!(report.requests >= 3);
+    // The listener is gone: connects now fail outright (or are refused
+    // before a response).
+    match client::get(&addr, "/topk?k=1", Duration::from_secs(2)) {
+        Err(_) => {}
+        Ok(reply) => panic!("drained server still answered {}", reply.status),
+    }
+}
+
+#[test]
+fn admin_endpoints_are_hidden_without_test_hooks() {
+    let (handle, addr) = serve(ServeConfig::default());
+    assert_eq!(
+        post(&addr, "/admin/inject-fault", "during_solve").status,
+        404
+    );
+    handle.shutdown();
+}

@@ -1,0 +1,114 @@
+//! Fuzz the HTTP/1.1 request parser: arbitrary bytes, truncated streams,
+//! and hostile-but-well-formed requests must never panic, and every
+//! rejection must classify as a 4xx/5xx the server can answer with.
+
+use mass_serve::http::{read_request, Limits, ParseError};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn parse(bytes: &[u8]) -> Result<mass_serve::http::Request, ParseError> {
+    read_request(&mut Cursor::new(bytes), &Limits::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Arbitrary byte soup: no panic, and any error has a sane
+    /// classification (silent drop or a 4xx/5xx the handler can write).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..300)) {
+        match parse(&bytes) {
+            Ok(req) => {
+                prop_assert!(req.method == "GET" || req.method == "POST");
+                prop_assert!(req.path.starts_with('/'));
+            }
+            Err(e) => {
+                let status = e.status();
+                prop_assert!(
+                    status.is_none() || (400..=599).contains(&status.unwrap()),
+                    "weird classification {status:?} for {e:?}"
+                );
+            }
+        }
+    }
+
+    /// Structured junk around a plausible request skeleton: exercises the
+    /// header and body paths more densely than pure noise.
+    #[test]
+    fn mangled_requests_never_panic(
+        verb_ix in 0usize..5,
+        target_len in 0usize..5000,
+        version_ix in 0usize..5,
+        header_count in 0usize..80,
+        declared_len in 0usize..200_000,
+        actual_len in 0usize..300,
+    ) {
+        let verb = ["GET", "POST", "PUT", "FETCH", "G\u{0}T"][verb_ix];
+        let version = ["HTTP/0.9", "HTTP/1.0", "HTTP/1.1", "HTTP/2", "HTTP/9.9"][version_ix];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(verb.as_bytes());
+        wire.push(b' ');
+        wire.push(b'/');
+        wire.extend(std::iter::repeat_n(b'x', target_len));
+        wire.push(b' ');
+        wire.extend_from_slice(version.as_bytes());
+        wire.extend_from_slice(b"\r\n");
+        for i in 0..header_count {
+            wire.extend_from_slice(format!("h{i}: v{i}\r\n").as_bytes());
+        }
+        wire.extend_from_slice(format!("Content-Length: {declared_len}\r\n\r\n").as_bytes());
+        wire.extend(std::iter::repeat_n(b'b', actual_len));
+        // Must classify, never panic; success needs the full declared body.
+        if let Ok(req) = parse(&wire) {
+            prop_assert_eq!(req.body.len(), declared_len);
+        }
+    }
+
+    /// Every truncation of a valid request is `Incomplete` (silent drop),
+    /// never a panic and never a phantom success.
+    #[test]
+    fn truncations_classify_as_incomplete(cut in 0usize..69) {
+        let full = b"POST /match?k=3 HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\nrunning shoe";
+        prop_assert_eq!(full.len(), 69, "keep `cut` in sync with the wire length");
+        match parse(&full[..cut]) {
+            Err(ParseError::Incomplete) => {}
+            other => prop_assert!(false, "prefix {cut} gave {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn the_full_request_still_parses() {
+    let full = b"POST /match?k=3 HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\nrunning shoe";
+    let req = parse(full).expect("valid request");
+    assert_eq!(req.method, "POST");
+    assert_eq!(req.path, "/match");
+    assert_eq!(req.query_param("k"), Some("3"));
+    assert_eq!(req.body, b"running shoe");
+}
+
+#[test]
+fn hostile_budget_probes_classify_correctly() {
+    let cases: [(&[u8], u16); 5] = [
+        (
+            b"GET /a HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            501,
+        ),
+        (b"PATCH /a HTTP/1.1\r\n\r\n", 405),
+        (b"GET /a HTTP/3.0\r\n\r\n", 505),
+        (b"GET /a HTTP/1.1\r\nContent-Length: banana\r\n\r\n", 400),
+        (
+            b"GET /a HTTP/1.1\r\nContent-Length: 9999999999\r\n\r\n",
+            413,
+        ),
+    ];
+    for (wire, expected) in cases {
+        let err = parse(wire).expect_err("must reject");
+        assert_eq!(
+            err.status(),
+            Some(expected),
+            "{:?} → {err:?}",
+            String::from_utf8_lossy(wire)
+        );
+    }
+}

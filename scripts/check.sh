@@ -31,7 +31,8 @@ cargo fmt --all --check
 if [[ $fast -eq 0 ]]; then
   echo "== obs smoke: traced pipeline round-trips through obs-validate =="
   obs_dir="$(mktemp -d)"
-  trap 'rm -rf "$obs_dir"' EXIT
+  serve_pid=""
+  trap '[[ -n "$serve_pid" ]] && kill "$serve_pid" 2>/dev/null; rm -rf "$obs_dir"' EXIT
   mass=target/release/mass
   "$mass" crawl --bloggers 30 --seed 5 --out "$obs_dir/corpus.xml" \
     --log-level off --trace-out "$obs_dir/crawl.jsonl" \
@@ -79,6 +80,63 @@ if [[ $fast -eq 0 ]]; then
     --metrics "$obs_dir/storm_metrics.json" \
     --expect-spans incremental.refresh \
     --expect-metrics incremental.refreshes,incremental.edits_applied
+
+  echo "== serve smoke: query+edit round-trip, chaos drill, clean drain =="
+  # Boot the serving layer on an ephemeral port with chaos hooks on, walk it
+  # through the degradation lifecycle (healthy -> injected refresh panic ->
+  # degraded-but-answering -> recovered), then drain it cleanly and check
+  # the telemetry it wrote on the way out.
+  "$mass" serve --in "$obs_dir/golden.xml" --chaos-hooks \
+    --log-level off --trace-out "$obs_dir/serve.jsonl" \
+    --metrics-out "$obs_dir/serve_metrics.json" > "$obs_dir/serve.out" &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$obs_dir/serve.out")"
+    [[ -n "$port" ]] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "serve died at startup"; cat "$obs_dir/serve.out"; exit 1; }
+    sleep 0.1
+  done
+  [[ -n "$port" ]] || { echo "serve never printed its address"; exit 1; }
+  base="http://127.0.0.1:$port"
+
+  "$mass" http --url "$base/readyz" --expect 200 --retry 20 --retry-delay-ms 100 >/dev/null
+  "$mass" http --url "$base/topk?domain=sports&k=3" --expect 200 >/dev/null
+  "$mass" http --url "$base/match?k=2" --method POST \
+    --body "cheap flights and hotel deals" --expect 200 >/dev/null
+  # An edit batch publishes a fresh epoch: top-k must start reporting it.
+  "$mass" http --url "$base/edits" --method POST \
+    --body '{"storm": 10, "seed": 3}' --expect 202 >/dev/null
+  epoch_ok=0
+  for _ in $(seq 1 50); do
+    if "$mass" http --url "$base/topk?k=3" | grep -q '"epoch":[1-9]'; then
+      epoch_ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  [[ $epoch_ok -eq 1 ]] || { echo "edit storm never published a fresh epoch"; exit 1; }
+
+  # Chaos drill: a refresh panic must degrade /healthz without killing
+  # queries, and the next good batch must recover.
+  "$mass" http --url "$base/admin/inject-fault" --method POST \
+    --body during_solve --expect 202 >/dev/null
+  "$mass" http --url "$base/edits" --method POST \
+    --body '{"storm": 5, "seed": 4}' --expect 202 >/dev/null
+  "$mass" http --url "$base/healthz" --expect 503 --retry 50 --retry-delay-ms 100 >/dev/null
+  "$mass" http --url "$base/topk?k=3" --expect 200 >/dev/null
+  "$mass" http --url "$base/edits" --method POST \
+    --body '{"storm": 5, "seed": 5}' --expect 202 >/dev/null
+  "$mass" http --url "$base/healthz" --expect 200 --retry 50 --retry-delay-ms 100 >/dev/null
+
+  "$mass" http --url "$base/admin/shutdown" --method POST --expect 202 >/dev/null
+  wait "$serve_pid" || { echo "serve exited non-zero"; exit 1; }
+  serve_pid=""
+  grep -q "drained:" "$obs_dir/serve.out" || { echo "serve never printed its drain report"; exit 1; }
+  "$mass" obs-validate --trace "$obs_dir/serve.jsonl" \
+    --metrics "$obs_dir/serve_metrics.json" \
+    --expect-spans serve.request,incremental.refresh \
+    --expect-metrics serve.requests,serve.request_us,serve.refreshes,serve.refresh_failures,serve.epoch
 fi
 
 echo "all checks passed"

@@ -14,6 +14,7 @@
 //! | [`core`] | `mass-core` | the influence model, top-k, recommendation |
 //! | [`eval`] | `mass-eval` | user-study reproduction, ranking metrics |
 //! | [`obs`] | `mass-obs` | tracing spans/events, metrics registry, JSON export |
+//! | [`serve`] | `mass-serve` | fault-tolerant HTTP serving over epoch snapshots |
 //! | [`viz`] | `mass-viz` | post-reply network, layout, exports |
 //!
 //! ## Thirty-second tour
@@ -40,6 +41,7 @@ pub use mass_eval as eval;
 pub use mass_graph as graph;
 pub use mass_obs as obs;
 pub use mass_par as par;
+pub use mass_serve as serve;
 pub use mass_synth as synth;
 pub use mass_text as text;
 pub use mass_types as types;
