@@ -1,0 +1,317 @@
+//! X15 — the cost of the live telemetry plane.
+//!
+//! Reruns the X14-shaped socket load three times against identical fresh
+//! servers that differ only in telemetry configuration:
+//!
+//! * **off** — live metrics disabled, flight recorder capacity 0 (the
+//!   plane's handles are inert; this is the baseline);
+//! * **metrics** — live metrics on, recorder still off;
+//! * **full** — metrics + a 256-slot flight recorder with tail sampling,
+//!   while a concurrent scraper hits `GET /metrics` at 10 Hz (the
+//!   production posture).
+//!
+//! Shape checks:
+//! * **overhead ceiling** (release only) — full telemetry must keep at
+//!   least 90% of the baseline QPS;
+//! * **scrape deadline** — every `/metrics` scrape under load must answer
+//!   within the handler deadline, and the exposition must pass the
+//!   Prometheus validator with the serving families present.
+//!
+//! Writes the measurements to `BENCH_X15.json`.
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin table_x15_telemetry_overhead
+//! ```
+
+use mass_bench::{banner, corpus_of};
+use mass_core::{IncrementalMass, MassParams};
+use mass_eval::TextTable;
+use mass_obs::json::Json;
+use mass_serve::client;
+use mass_serve::{PlaneConfig, ServeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const AD_TEXTS: [&str; 8] = [
+    "new football boots for the winter season",
+    "discount flights and hotel packages",
+    "the latest smartphone with a stunning camera",
+    "healthy recipes and cooking classes",
+    "invest your savings with low fees",
+    "concert tickets for the summer festival",
+    "fashion deals on designer handbags",
+    "a political documentary streaming now",
+];
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[ix]
+}
+
+struct PhaseResult {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    worst_status: u16,
+    scrapes: usize,
+    scrape_p99_ms: f64,
+    scrape_worst_ms: f64,
+    last_scrape: String,
+}
+
+/// One full load run against a fresh server. The request mix, counts, and
+/// storm seeds are identical across phases so only telemetry varies.
+fn run_phase(
+    bloggers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    telemetry: PlaneConfig,
+    scrape: bool,
+) -> PhaseResult {
+    let out = corpus_of(bloggers, 42);
+    let engine = IncrementalMass::new(out.dataset, MassParams::paper());
+    let handle = mass_serve::start(
+        engine,
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 256,
+            telemetry,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let timeout = Duration::from_secs(30);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = scrape.then(|| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut latencies_ms = Vec::new();
+            let mut last_body = String::new();
+            while !stop.load(Ordering::Relaxed) {
+                let t0 = Instant::now();
+                let reply = client::get(&addr, "/metrics", timeout).expect("scrape round-trips");
+                latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(reply.status, 200, "scrape must answer 200");
+                last_body = reply.body;
+                std::thread::sleep(Duration::from_millis(100)); // 10 Hz
+            }
+            (latencies_ms, last_body)
+        })
+    });
+
+    let started = Instant::now();
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut latencies_ms = Vec::with_capacity(requests_per_client);
+                let mut worst_status = 0u16;
+                let domains = ["Sports", "Travel", "Computer", "Economics"];
+                for n in 0..requests_per_client {
+                    let t0 = Instant::now();
+                    let reply = match n % 25 {
+                        0 => {
+                            let body = format!(r#"{{"storm": 5, "seed": {}}}"#, c * 1000 + n);
+                            client::post(&addr, "/edits", body.as_bytes(), timeout)
+                        }
+                        i if i % 3 == 0 => client::post(
+                            &addr,
+                            "/match?k=3",
+                            AD_TEXTS[(c + n) % AD_TEXTS.len()].as_bytes(),
+                            timeout,
+                        ),
+                        i if i % 3 == 1 => client::get(
+                            &addr,
+                            &format!("/topk?domain={}&k=10", domains[(c + n) % domains.len()]),
+                            timeout,
+                        ),
+                        _ => client::get(&addr, "/topk?k=10", timeout),
+                    }
+                    .expect("request round-trips");
+                    latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                    worst_status = worst_status.max(reply.status);
+                }
+                (latencies_ms, worst_status)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut worst_status = 0u16;
+    for t in threads {
+        let (l, w) = t.join().expect("client thread");
+        latencies.extend(l);
+        worst_status = worst_status.max(w);
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let (mut scrape_latencies, last_scrape) = match scraper {
+        Some(t) => t.join().expect("scraper thread"),
+        None => (Vec::new(), String::new()),
+    };
+    handle.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scrape_latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    PhaseResult {
+        qps: latencies.len() as f64 / wall_s,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        worst_status,
+        scrapes: scrape_latencies.len(),
+        scrape_p99_ms: percentile(&scrape_latencies, 0.99),
+        scrape_worst_ms: scrape_latencies.last().copied().unwrap_or(0.0),
+        last_scrape,
+    }
+}
+
+fn main() {
+    banner(
+        "X15",
+        "live telemetry overhead",
+        "QPS/latency with telemetry off vs metrics-only vs full recorder + 10 Hz scraper",
+    );
+
+    let (bloggers, clients, requests_per_client) =
+        match std::env::var("MASS_BENCH_SCALE").as_deref() {
+            Ok("paper") => (800, 4, 300),
+            _ => (240, 4, 150),
+        };
+
+    let off = run_phase(
+        bloggers,
+        clients,
+        requests_per_client,
+        PlaneConfig {
+            live_metrics: false,
+            flight_recorder_cap: 0,
+            ..PlaneConfig::default()
+        },
+        false,
+    );
+    let metrics = run_phase(
+        bloggers,
+        clients,
+        requests_per_client,
+        PlaneConfig {
+            live_metrics: true,
+            flight_recorder_cap: 0,
+            ..PlaneConfig::default()
+        },
+        false,
+    );
+    let full = run_phase(
+        bloggers,
+        clients,
+        requests_per_client,
+        PlaneConfig {
+            live_metrics: true,
+            flight_recorder_cap: 256,
+            sample_slow_ms: 50,
+            ..PlaneConfig::default()
+        },
+        true,
+    );
+
+    let overhead_pct = |phase: &PhaseResult| (1.0 - phase.qps / off.qps) * 100.0;
+    let mut table = TextTable::new(["phase", "QPS", "p50 ms", "p99 ms", "overhead %"]);
+    for (name, phase) in [("off", &off), ("metrics", &metrics), ("full", &full)] {
+        table.row([
+            name.into(),
+            format!("{:.0}", phase.qps),
+            format!("{:.2}", phase.p50_ms),
+            format!("{:.2}", phase.p99_ms),
+            format!("{:+.1}", overhead_pct(phase)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "scrapes under load: {} (p99 {:.2} ms, worst {:.2} ms)",
+        full.scrapes, full.scrape_p99_ms, full.scrape_worst_ms
+    );
+
+    let phase_json = |phase: &PhaseResult| {
+        Json::Obj(vec![
+            ("qps".into(), Json::Num(phase.qps)),
+            ("p50_ms".into(), Json::Num(phase.p50_ms)),
+            ("p99_ms".into(), Json::Num(phase.p99_ms)),
+            ("worst_status".into(), Json::from(phase.worst_status as u64)),
+        ])
+    };
+    let artifact = Json::Obj(vec![
+        ("experiment".into(), Json::from("X15 telemetry overhead")),
+        ("bloggers".into(), Json::from(bloggers as u64)),
+        ("clients".into(), Json::from(clients as u64)),
+        (
+            "requests_per_phase".into(),
+            Json::from((clients * requests_per_client) as u64),
+        ),
+        ("off".into(), phase_json(&off)),
+        ("metrics_only".into(), phase_json(&metrics)),
+        ("full".into(), phase_json(&full)),
+        ("full_overhead_pct".into(), Json::Num(overhead_pct(&full))),
+        ("scrapes".into(), Json::from(full.scrapes as u64)),
+        ("scrape_p99_ms".into(), Json::Num(full.scrape_p99_ms)),
+        ("scrape_worst_ms".into(), Json::Num(full.scrape_worst_ms)),
+    ]);
+    std::fs::write("BENCH_X15.json", artifact.render() + "\n").expect("write BENCH_X15.json");
+    println!("wrote BENCH_X15.json");
+
+    // Correctness shapes hold in every build profile.
+    for (name, phase) in [("off", &off), ("metrics", &metrics), ("full", &full)] {
+        assert!(
+            phase.worst_status < 500,
+            "{name}: 5xx under nominal load (worst {})",
+            phase.worst_status
+        );
+    }
+    assert!(full.scrapes > 0, "the 10 Hz scraper must have scraped");
+    let report =
+        mass_obs::prometheus::validate(&full.last_scrape).expect("scrape under load validates");
+    for family in [
+        "serve_requests",
+        "serve_request_us",
+        "serve_epoch",
+        "serve_flight_sampled",
+    ] {
+        assert!(
+            report.families.contains_key(family),
+            "scrape missing family {family}"
+        );
+    }
+    // Every scrape must answer well inside the 2 s handler deadline.
+    let deadline_ms = ServeConfig::default().handler_deadline.as_secs_f64() * 1e3;
+    assert!(
+        full.scrape_worst_ms < deadline_ms,
+        "scrape took {:.1} ms (deadline {deadline_ms:.0} ms)",
+        full.scrape_worst_ms
+    );
+    println!(
+        "shape HOLDS: zero 5xx in all phases, scrape valid, worst scrape {:.1} ms",
+        full.scrape_worst_ms
+    );
+
+    // The overhead ceiling only means something with optimisations on.
+    if cfg!(debug_assertions) {
+        println!("shape SKIPPED: overhead ceiling not checked in debug builds");
+    } else {
+        let ok = full.qps >= 0.9 * off.qps;
+        println!(
+            "shape {}: full-telemetry QPS {:.0} vs baseline {:.0} ({:+.1}% overhead, ceiling 10%)",
+            if ok { "HOLDS" } else { "VIOLATED" },
+            full.qps,
+            off.qps,
+            overhead_pct(&full)
+        );
+        if !ok {
+            std::process::exit(1);
+        }
+    }
+}

@@ -689,8 +689,124 @@ pub fn obs_validate(args: &Args) -> CmdResult {
         println!("metrics {path}: OK ({} metrics)", names.len());
     }
 
+    if let Some(path) = args.get("prometheus").filter(|s| !s.is_empty()) {
+        checked = true;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading prometheus {path}: {e}"))?;
+        // Syntax, TYPE precedence, bucket monotonicity/cumulativeness,
+        // +Inf == _count, and _sum presence all checked by the validator.
+        let report = mass_obs::prometheus::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(expected) = args.get("expect-families").filter(|s| !s.is_empty()) {
+            for want in expected.split(',').map(str::trim) {
+                if !report.families.contains_key(want) {
+                    return Err(format!(
+                        "{path}: expected metric family {want:?} not found; present: {}",
+                        report
+                            .families
+                            .keys()
+                            .cloned()
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+            }
+        }
+        println!(
+            "prometheus {path}: OK ({} families, {} samples)",
+            report.families.len(),
+            report.samples
+        );
+    }
+
+    if let Some(path) = args.get("requests").filter(|s| !s.is_empty()) {
+        checked = true;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading requests dump {path}: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        // Collect every sampled trace from both lists (they may overlap).
+        let mut traces: Vec<&Json> = Vec::new();
+        for list in ["recent", "slowest"] {
+            traces.extend(
+                doc.get(list)
+                    .and_then(Json::as_arr)
+                    .ok_or(format!("{path}: missing {list:?} array"))?,
+            );
+        }
+        if traces.is_empty() {
+            return Err(format!("{path}: flight recorder holds no traces"));
+        }
+        // span name -> set of trace ids whose tree contains that span.
+        let mut span_traces: Vec<(String, String)> = Vec::new();
+        for (i, t) in traces.iter().enumerate() {
+            let id = t
+                .get("trace")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}: trace {i} has no trace id"))?;
+            if id.trim_matches('0').is_empty() {
+                return Err(format!("{path}: trace {i} has a zero trace id"));
+            }
+            let spans = t
+                .get("spans")
+                .and_then(Json::as_arr)
+                .ok_or(format!("{path}: trace {i} has no spans"))?;
+            if spans.is_empty() {
+                return Err(format!("{path}: trace {id} captured no spans"));
+            }
+            let mut roots = 0usize;
+            for s in spans {
+                let name = s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{path}: trace {id} has an unnamed span"))?;
+                let stamped = s
+                    .get("trace")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("{path}: span {name} has no trace id"))?;
+                if stamped != id {
+                    return Err(format!(
+                        "{path}: trace {id} contains span {name} stamped {stamped} — \
+                         inconsistent correlation"
+                    ));
+                }
+                if s.get("depth").and_then(Json::as_u64) == Some(0) {
+                    roots += 1;
+                }
+                span_traces.push((name.to_string(), id.to_string()));
+            }
+            if roots != 1 {
+                return Err(format!(
+                    "{path}: trace {id} has {roots} depth-0 spans — unbalanced tree"
+                ));
+            }
+        }
+        // `--expect-linked A=B`: some trace id must appear under span A in
+        // one sampled trace and span B in another (request → refresh).
+        if let Some(spec) = args.get("expect-linked").filter(|s| !s.is_empty()) {
+            let (a, b) = spec
+                .split_once('=')
+                .ok_or(format!("--expect-linked wants SPAN=SPAN, got {spec:?}"))?;
+            let ids_with = |name: &str| -> BTreeSet<&str> {
+                span_traces
+                    .iter()
+                    .filter(|(n, _)| n == name)
+                    .map(|(_, id)| id.as_str())
+                    .collect()
+            };
+            let linked: Vec<&str> = ids_with(a).intersection(&ids_with(b)).copied().collect();
+            if linked.is_empty() {
+                return Err(format!(
+                    "{path}: no trace id links span {a:?} to span {b:?}"
+                ));
+            }
+            println!("requests {path}: linked {a} -> {b} via trace {}", linked[0]);
+        }
+        println!("requests {path}: OK ({} sampled traces)", traces.len());
+    }
+
     if !checked {
-        return Err("nothing to validate; pass --trace FILE and/or --metrics FILE".into());
+        return Err(
+            "nothing to validate; pass --trace, --metrics, --prometheus and/or --requests".into(),
+        );
     }
     Ok(())
 }
@@ -722,6 +838,13 @@ pub fn serve(args: &Args) -> CmdResult {
         }
     };
     let engine = IncrementalMass::new(ds, params);
+    let telemetry = mass_serve::PlaneConfig {
+        flight_recorder_cap: args.get_parse("flight-recorder-cap", 256usize)?,
+        sample_slow_ms: args.get_parse("sample-slow-ms", 50u64)?,
+        window_secs: args.get_parse("window-secs", 60u64)?,
+        trace_seed: args.get_parse("trace-seed", 0u64)?,
+        ..mass_serve::PlaneConfig::default()
+    };
     let config = mass_serve::ServeConfig {
         addr: format!("127.0.0.1:{}", args.get_parse("port", 0u16)?),
         workers: args.get_parse("workers", 4usize)?,
@@ -729,6 +852,7 @@ pub fn serve(args: &Args) -> CmdResult {
         topk_cap: args.get_parse("topk-cap", 100usize)?,
         enable_test_hooks: args.flag("chaos-hooks"),
         refresh_mode,
+        telemetry,
         ..mass_serve::ServeConfig::default()
     };
     let handle = mass_serve::start(engine, config).map_err(|e| format!("bind: {e}"))?;
@@ -770,6 +894,17 @@ pub fn http(args: &Args) -> CmdResult {
     let retries = args.get_parse("retry", 0usize)?;
     let delay = std::time::Duration::from_millis(args.get_parse("retry-delay-ms", 200u64)?);
     let timeout = std::time::Duration::from_secs(10);
+    // `--header-expect NAME` asserts presence; `NAME=VALUE` asserts the
+    // exact value — so check.sh can gate on X-Mass-Epoch/X-Mass-Degraded
+    // without grepping raw responses.
+    let header_expect = args
+        .get("header-expect")
+        .filter(|s| !s.is_empty())
+        .map(|spec| match spec.split_once('=') {
+            Some((name, value)) => (name.to_string(), Some(value.to_string())),
+            None => (spec.to_string(), None),
+        });
+    let out = args.get("out").filter(|s| !s.is_empty());
 
     let mut last_err = String::new();
     for attempt in 0..=retries {
@@ -778,16 +913,37 @@ pub fn http(args: &Args) -> CmdResult {
         }
         match mass_serve::client::request(addr, method, target, Some(body.as_bytes()), timeout) {
             Ok(reply) => {
-                if expect.is_none_or(|code| code == reply.status) {
-                    println!("{} {}", reply.status, reply.body);
-                    return Ok(());
+                if expect.is_some_and(|code| code != reply.status) {
+                    last_err = format!(
+                        "got {} (want {}): {}",
+                        reply.status,
+                        expect.unwrap(),
+                        reply.body
+                    );
+                    continue;
                 }
-                last_err = format!(
-                    "got {} (want {}): {}",
-                    reply.status,
-                    expect.unwrap(),
-                    reply.body
-                );
+                if let Some((name, want)) = &header_expect {
+                    let got = reply.header(&name.to_ascii_lowercase());
+                    match (got, want) {
+                        (None, _) => {
+                            last_err = format!("header {name} absent (status {})", reply.status);
+                            continue;
+                        }
+                        (Some(got), Some(want)) if got != want => {
+                            last_err = format!("header {name}: got {got:?}, want {want:?}");
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(path) = out {
+                    std::fs::write(path, &reply.body)
+                        .map_err(|e| format!("writing --out {path}: {e}"))?;
+                    println!("{} -> {path} ({} bytes)", reply.status, reply.body.len());
+                } else {
+                    println!("{} {}", reply.status, reply.body);
+                }
+                return Ok(());
             }
             Err(e) => last_err = format!("request failed: {e}"),
         }
@@ -1220,7 +1376,145 @@ mod tests {
         assert!(err.contains("404"), "{err}");
         let err = http(&args(&["http", "--url", "ftp://x/y"])).unwrap_err();
         assert!(err.contains("http://"), "{err}");
+
+        // Header assertions: presence, exact value, and failures.
+        http(&args(&[
+            "http",
+            "--url",
+            &url("/topk?k=1"),
+            "--header-expect",
+            "X-Mass-Epoch=0",
+        ]))
+        .unwrap();
+        http(&args(&[
+            "http",
+            "--url",
+            &url("/topk?k=1"),
+            "--header-expect",
+            "X-Mass-Trace",
+        ]))
+        .unwrap();
+        let err = http(&args(&[
+            "http",
+            "--url",
+            &url("/topk?k=1"),
+            "--header-expect",
+            "X-Mass-Epoch=999",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("X-Mass-Epoch"), "{err}");
+        let err = http(&args(&[
+            "http",
+            "--url",
+            &url("/topk?k=1"),
+            "--header-expect",
+            "X-Mass-Degraded",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("absent"), "{err}");
+
+        // --out writes the raw body; a /metrics scrape round-trips
+        // through the prometheus validator.
+        let scrape = tmp("scrape.prom");
+        http(&args(&[
+            "http",
+            "--url",
+            &url("/metrics"),
+            "--expect",
+            "200",
+            "--out",
+            &scrape,
+        ]))
+        .unwrap();
+        obs_validate(&args(&[
+            "obs-validate",
+            "--prometheus",
+            &scrape,
+            "--expect-families",
+            "serve_requests,serve_request_us,serve_epoch",
+        ]))
+        .unwrap();
+        let err = obs_validate(&args(&[
+            "obs-validate",
+            "--prometheus",
+            &scrape,
+            "--expect-families",
+            "no_such_family",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no_such_family"), "{err}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn obs_validate_checks_prometheus_and_requests_dumps() {
+        // Invalid exposition text is rejected.
+        let bad = tmp("bad.prom");
+        std::fs::write(&bad, "serve_requests{ 3\n").unwrap();
+        assert!(obs_validate(&args(&["obs-validate", "--prometheus", &bad])).is_err());
+
+        // A well-formed flight-recorder dump with a linked request →
+        // refresh pair passes; breaking the link or the tree fails.
+        let good = tmp("requests.json");
+        std::fs::write(
+            &good,
+            r#"{"recent": [
+                {"trace": "00000000000000aa", "name": "POST /edits", "status": 202,
+                 "error": false, "total_us": 900,
+                 "spans": [{"name": "serve.request", "trace": "00000000000000aa",
+                            "depth": 0, "start_us": 0, "elapsed_us": 900}]},
+                {"trace": "00000000000000aa", "name": "incremental.refresh", "status": 0,
+                 "error": false, "total_us": 5000,
+                 "spans": [{"name": "incremental.refresh", "trace": "00000000000000aa",
+                            "depth": 0, "start_us": 0, "elapsed_us": 5000}]}
+            ], "slowest": []}"#,
+        )
+        .unwrap();
+        obs_validate(&args(&[
+            "obs-validate",
+            "--requests",
+            &good,
+            "--expect-linked",
+            "serve.request=incremental.refresh",
+        ]))
+        .unwrap();
+        let err = obs_validate(&args(&[
+            "obs-validate",
+            "--requests",
+            &good,
+            "--expect-linked",
+            "serve.request=no.such.span",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("no trace id links"), "{err}");
+
+        let inconsistent = tmp("requests_bad.json");
+        std::fs::write(
+            &inconsistent,
+            r#"{"recent": [
+                {"trace": "00000000000000aa", "name": "GET /topk", "status": 200,
+                 "error": false, "total_us": 10,
+                 "spans": [{"name": "serve.request", "trace": "00000000000000bb",
+                            "depth": 0, "start_us": 0, "elapsed_us": 10}]}
+            ], "slowest": []}"#,
+        )
+        .unwrap();
+        let err = obs_validate(&args(&["obs-validate", "--requests", &inconsistent])).unwrap_err();
+        assert!(err.contains("inconsistent"), "{err}");
+
+        let unbalanced = tmp("requests_unbalanced.json");
+        std::fs::write(
+            &unbalanced,
+            r#"{"recent": [
+                {"trace": "00000000000000aa", "name": "GET /topk", "status": 200,
+                 "error": false, "total_us": 10,
+                 "spans": [{"name": "a", "trace": "00000000000000aa",
+                            "depth": 1, "start_us": 0, "elapsed_us": 5}]}
+            ], "slowest": []}"#,
+        )
+        .unwrap();
+        let err = obs_validate(&args(&["obs-validate", "--requests", &unbalanced])).unwrap_err();
+        assert!(err.contains("unbalanced"), "{err}");
     }
 
     #[test]

@@ -69,17 +69,25 @@ COMMANDS:
                --in FILE  --port N (0 = ephemeral; prints \"serving on ...\")
                --workers N (4)  --queue N (64)  --topk-cap N (100)
                --refresh-mode exact|warm (exact)  --chaos-hooks [enable
-               /admin/inject-fault for drills]  --threads N
+               /admin/inject-fault + ?debug-sleep-ms for drills]  --threads N
+               --flight-recorder-cap N (256; 0 = off)  --sample-slow-ms N (50)
+               --window-secs N (60)  --trace-seed N (0)
                endpoints: GET /topk?domain=d&k=n  POST /match?k=n (ad text
-               body)  POST /edits  GET /healthz  GET /readyz
+               body)  POST /edits  GET /healthz  GET /readyz  GET /metrics
+               GET /debug/requests  GET /debug/slo
                POST /admin/shutdown [clean drain]
   http         one scriptable HTTP request (for smoke tests; no curl needed)
                --url http://HOST:PORT/PATH  --method GET|POST (GET)
                --body TEXT  --expect CODE  --retry N (0)
-               --retry-delay-ms N (200)
-  obs-validate check telemetry artifacts written by --trace-out/--metrics-out
+               --retry-delay-ms N (200)  --out FILE [write raw body]
+               --header-expect NAME[=VALUE] [assert a response header]
+  obs-validate check telemetry artifacts (offline files or live scrapes)
                --trace FILE  --metrics FILE
                --expect-spans NAME[,NAME...]  --expect-metrics NAME[,NAME...]
+               --prometheus FILE [a /metrics scrape: syntax, TYPE lines,
+               bucket monotonicity]  --expect-families NAME[,NAME...]
+               --requests FILE [a /debug/requests dump: balanced span
+               trees, consistent trace ids]  --expect-linked SPAN=SPAN
   help         print this message
 
 PARALLELISM (rank/recommend/search/report/user-study):

@@ -1,0 +1,348 @@
+//! Flight recorder: a fixed-capacity ring of completed span trees with
+//! tail-based sampling (DESIGN.md §7).
+//!
+//! The recorder answers "why was that request slow" on a *live* server:
+//! request handlers capture their span tree (see [`crate::begin_capture`])
+//! and offer the completed trace here. Sampling is decided at the tail —
+//! after the outcome is known — so errors, 5xx responses, and requests
+//! over the slow threshold are always kept, while ordinary traffic is
+//! down-sampled deterministically (1-in-N by an atomic counter).
+//!
+//! ## Concurrency
+//!
+//! The ring is a vector of slots, each a `Mutex<Option<Arc<CompletedTrace>>>`,
+//! plus an atomic cursor. Writers claim a slot by `fetch_add` on the cursor
+//! and store through `try_lock`: a writer **never blocks** — if the slot is
+//! momentarily held (by a reader snapshotting or a lapped writer), the
+//! trace is counted as contended and dropped. Readers lock each slot only
+//! long enough to clone the `Arc`. When the recorder is disabled
+//! (capacity 0) the offer path is a branch and nothing allocates.
+
+use crate::json::Json;
+use crate::TraceId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One completed span inside a captured trace: timings are relative to
+/// the capture start, depth is capture-relative nesting (0 = root).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanTiming {
+    /// Span name (dotted taxonomy, e.g. `serve.request`).
+    pub name: &'static str,
+    /// Trace id the span was stamped with (0 = none).
+    pub trace: u64,
+    /// Capture-relative nesting depth (0 = root).
+    pub depth: usize,
+    /// Microseconds from capture start to span open.
+    pub start_us: u64,
+    /// Span wall time in microseconds.
+    pub elapsed_us: u64,
+}
+
+impl SpanTiming {
+    /// JSON form used by `/debug/requests`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name".to_string(), Json::from(self.name)),
+            (
+                "trace".to_string(),
+                Json::from(TraceId(self.trace).as_hex()),
+            ),
+            ("depth".to_string(), Json::from(self.depth)),
+            ("start_us".to_string(), Json::from(self.start_us)),
+            ("elapsed_us".to_string(), Json::from(self.elapsed_us)),
+        ])
+    }
+}
+
+/// One sampled trace: the root identity plus every completed span.
+#[derive(Clone, Debug)]
+pub struct CompletedTrace {
+    /// Request-correlation id.
+    pub trace: TraceId,
+    /// Human identity of the trace root (e.g. `GET /topk` or
+    /// `incremental.refresh`).
+    pub name: String,
+    /// HTTP status for request traces; 0 for non-request traces.
+    pub status: u16,
+    /// Whether the traced operation failed.
+    pub error: bool,
+    /// End-to-end wall time in microseconds.
+    pub total_us: u64,
+    /// Completed spans in completion order (children before parents).
+    pub spans: Vec<SpanTiming>,
+}
+
+impl CompletedTrace {
+    /// JSON form used by `/debug/requests`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("trace".to_string(), Json::from(self.trace.as_hex())),
+            ("name".to_string(), Json::from(self.name.as_str())),
+            ("status".to_string(), Json::from(u64::from(self.status))),
+            ("error".to_string(), Json::from(self.error)),
+            ("total_us".to_string(), Json::from(self.total_us)),
+            (
+                "spans".to_string(),
+                Json::Arr(self.spans.iter().map(SpanTiming::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Running counters describing recorder behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Traces offered to [`FlightRecorder::should_keep`].
+    pub offered: u64,
+    /// Traces stored in the ring.
+    pub kept: u64,
+    /// Traces dropped because the target slot was momentarily held.
+    pub contended: u64,
+}
+
+/// One ring slot: the trace plus the monotonic sequence number it was
+/// admitted under (used to order `recent` views).
+type Slot = Mutex<Option<(u64, Arc<CompletedTrace>)>>;
+
+/// The ring buffer. See the module docs for the concurrency contract.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Vec<Slot>,
+    cursor: AtomicU64,
+    seq: AtomicU64,
+    slow_us: u64,
+    keep_one_in: u64,
+    probe: AtomicU64,
+    offered: AtomicU64,
+    kept: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding up to `capacity` traces. Traces slower than
+    /// `slow_us` (or erroring, or 5xx) are always kept; otherwise one in
+    /// `keep_one_in` is kept (`0` disables the probabilistic path).
+    /// `capacity == 0` disables the recorder entirely; `slow_us == 0`
+    /// keeps everything (debug mode).
+    pub fn new(capacity: usize, slow_us: u64, keep_one_in: u64) -> FlightRecorder {
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            slow_us,
+            keep_one_in,
+            probe: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    /// A recorder that keeps nothing (zero-cost offer path).
+    pub fn disabled() -> FlightRecorder {
+        FlightRecorder::new(0, 0, 0)
+    }
+
+    /// Whether the ring has any capacity.
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// The always-keep latency threshold in microseconds.
+    pub fn slow_us(&self) -> u64 {
+        self.slow_us
+    }
+
+    /// Tail-sampling decision. Call once per completed trace *before*
+    /// building the [`CompletedTrace`], so the common discard path
+    /// allocates nothing.
+    pub fn should_keep(&self, status: u16, error: bool, total_us: u64) -> bool {
+        if self.slots.is_empty() {
+            return false;
+        }
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        if error || status >= 500 || total_us >= self.slow_us {
+            return true;
+        }
+        self.keep_one_in > 0
+            && self
+                .probe
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.keep_one_in)
+    }
+
+    /// Stores one trace, overwriting the oldest slot. Never blocks: a
+    /// contended slot drops the trace instead (counted in
+    /// [`FlightStats::contended`]).
+    pub fn record(&self, trace: CompletedTrace) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let idx = (self.cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.slots.len();
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => {
+                *slot = Some((seq, Arc::new(trace)));
+                self.kept.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            offered: self.offered.load(Ordering::Relaxed),
+            kept: self.kept.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Every stored trace as `(recency_seq, trace)`, unordered. Higher
+    /// seq = more recent.
+    pub fn snapshot(&self) -> Vec<(u64, Arc<CompletedTrace>)> {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.lock().ok().and_then(|s| s.clone()))
+            .collect()
+    }
+
+    /// The `/debug/requests` document: recorder stats plus the
+    /// `recent` most recent and `slowest` slowest sampled traces.
+    pub fn to_json(&self, recent: usize, slowest: usize) -> Json {
+        let mut all = self.snapshot();
+        all.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        let recent_list: Vec<Json> = all.iter().take(recent).map(|(_, t)| t.to_json()).collect();
+        let mut by_latency: Vec<&(u64, Arc<CompletedTrace>)> = all.iter().collect();
+        by_latency.sort_by_key(|entry| std::cmp::Reverse(entry.1.total_us));
+        let slow_list: Vec<Json> = by_latency
+            .iter()
+            .take(slowest)
+            .map(|(_, t)| t.to_json())
+            .collect();
+        let stats = self.stats();
+        Json::obj([
+            ("capacity".to_string(), Json::from(self.slots.len())),
+            ("offered".to_string(), Json::from(stats.offered)),
+            ("sampled".to_string(), Json::from(stats.kept)),
+            ("contended".to_string(), Json::from(stats.contended)),
+            ("slow_threshold_us".to_string(), Json::from(self.slow_us)),
+            ("recent".to_string(), Json::Arr(recent_list)),
+            ("slowest".to_string(), Json::Arr(slow_list)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, total_us: u64) -> CompletedTrace {
+        CompletedTrace {
+            trace: TraceId(id),
+            name: format!("GET /t{id}"),
+            status: 200,
+            error: false,
+            total_us,
+            spans: vec![SpanTiming {
+                name: "serve.request",
+                trace: id,
+                depth: 0,
+                start_us: 0,
+                elapsed_us: total_us,
+            }],
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_nothing() {
+        let r = FlightRecorder::disabled();
+        assert!(!r.is_enabled());
+        assert!(!r.should_keep(500, true, u64::MAX));
+        r.record(trace(1, 10));
+        assert!(r.snapshot().is_empty());
+        assert_eq!(r.stats(), FlightStats::default());
+    }
+
+    #[test]
+    fn tail_sampling_always_keeps_errors_5xx_and_slow() {
+        let r = FlightRecorder::new(8, 1_000, 0);
+        assert!(r.should_keep(200, false, 1_000), "at threshold");
+        assert!(r.should_keep(200, false, 50_000), "slow");
+        assert!(r.should_keep(503, false, 10), "5xx");
+        assert!(r.should_keep(200, true, 10), "error flag");
+        assert!(!r.should_keep(200, false, 10), "fast+ok not kept at 1-in-0");
+        assert!(!r.should_keep(404, false, 10), "4xx is not an error");
+    }
+
+    #[test]
+    fn probabilistic_keep_is_one_in_n() {
+        let r = FlightRecorder::new(8, u64::MAX, 4);
+        let kept = (0..100).filter(|_| r.should_keep(200, false, 1)).count();
+        assert_eq!(kept, 25);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_orders_by_recency() {
+        let r = FlightRecorder::new(4, 0, 1);
+        for i in 1..=10u64 {
+            r.record(trace(i, i * 100));
+        }
+        let mut snap = r.snapshot();
+        assert_eq!(snap.len(), 4);
+        snap.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        let ids: Vec<u64> = snap.iter().map(|(_, t)| t.trace.0).collect();
+        assert_eq!(ids, vec![10, 9, 8, 7], "newest four survive");
+        assert_eq!(r.stats().kept, 10);
+        assert_eq!(r.stats().contended, 0);
+    }
+
+    #[test]
+    fn json_dump_has_recent_and_slowest() {
+        let r = FlightRecorder::new(8, 0, 1);
+        r.record(trace(1, 900));
+        r.record(trace(2, 100));
+        r.record(trace(3, 500));
+        let doc = r.to_json(2, 1);
+        let recent = doc.get("recent").and_then(Json::as_arr).unwrap();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(
+            recent[0].get("trace").and_then(Json::as_str),
+            Some(TraceId(3).as_hex().as_str())
+        );
+        let slowest = doc.get("slowest").and_then(Json::as_arr).unwrap();
+        assert_eq!(slowest[0].get("total_us").and_then(Json::as_u64), Some(900));
+        assert_eq!(doc.get("sampled").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn concurrent_offer_record_never_blocks_or_panics() {
+        let r = std::sync::Arc::new(FlightRecorder::new(16, 0, 1));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let id = (t as u64) << 32 | i;
+                        if r.should_keep(200, false, i) {
+                            r.record(trace(id, i));
+                        }
+                    }
+                });
+            }
+            let r2 = std::sync::Arc::clone(&r);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let _ = r2.snapshot();
+                }
+            });
+        });
+        let stats = r.stats();
+        assert_eq!(stats.offered, 2_000);
+        assert_eq!(stats.kept + stats.contended, 2_000);
+        assert!(r.snapshot().len() <= 16);
+    }
+}

@@ -12,6 +12,13 @@
 //!   ([`metrics::Registry`]), snapshot-mergeable across shards.
 //! * **Export** — snapshots serialise to JSON via the tiny writer/parser in
 //!   [`json`] (the `--metrics-out` / `--trace-out` artifacts).
+//! * **Request correlation** — seeded [`TraceId`]s scoped per thread
+//!   ([`trace_scope`]) stamp every span/event record, and a per-thread
+//!   span capture ([`begin_capture`]/[`end_capture`]) feeds the lock-free
+//!   [`flight::FlightRecorder`] ring of tail-sampled span trees.
+//! * **Live surfaces** — sliding-window histograms/counters ([`window`])
+//!   for "last 60 s" quantiles, and Prometheus text exposition v0.0.4
+//!   rendering + validation ([`prometheus`]) for scrape endpoints.
 //!
 //! ## Cost model
 //!
@@ -42,14 +49,19 @@
 //! mass_obs::uninstall();
 //! ```
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prometheus;
 pub mod sink;
+pub mod window;
 
+pub use flight::{CompletedTrace, FlightRecorder, SpanTiming};
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 pub use sink::{JsonlSink, NullSink, Record, RecordKind, Sink, StderrSink};
+pub use window::{WindowCounter, WindowHistogram};
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -305,6 +317,163 @@ static ACTIVE: AtomicBool = AtomicBool::new(false);
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
+    static CAPTURE_ON: Cell<bool> = const { Cell::new(false) };
+    static CAPTURE: RefCell<Option<CaptureState>> = const { RefCell::new(None) };
+}
+
+/// A request-correlation id propagated through the span stack via
+/// [`trace_scope`]. `0` means "no trace"; every record emitted while a
+/// scope is active carries the id, so a `serve.request` span tree and the
+/// writer-thread `incremental.refresh` it triggered share one id.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The "no trace" sentinel.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Whether this is a real id (nonzero).
+    pub fn is_set(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Fixed-width lower-hex rendering (the wire/JSON form).
+    pub fn as_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the [`as_hex`](TraceId::as_hex) form back.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        u64::from_str_radix(s, 16).ok().map(TraceId)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Deterministic trace-id generator: splitmix64 over `seed + counter`, so
+/// a seeded server produces a reproducible id sequence under test while
+/// ids still look uniformly random. Never yields 0.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    seed: u64,
+    next: AtomicU64,
+}
+
+impl TraceIdGen {
+    /// A generator for the given seed.
+    pub fn new(seed: u64) -> TraceIdGen {
+        TraceIdGen {
+            seed,
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// The next id (thread-safe, lock-free).
+    pub fn next_id(&self) -> TraceId {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut z = self
+            .seed
+            .wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TraceId(if z == 0 { 1 } else { z })
+    }
+}
+
+/// The trace id active on this thread (0 when none).
+pub fn current_trace() -> TraceId {
+    TraceId(CURRENT_TRACE.with(Cell::get))
+}
+
+/// RAII guard restoring the previous thread-local trace id on drop.
+#[must_use = "dropping the scope immediately reverts the trace id"]
+#[derive(Debug)]
+pub struct TraceScope {
+    prev: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT_TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Makes `id` the current trace on this thread until the guard drops.
+/// Spans and events opened inside the scope are stamped with it.
+pub fn trace_scope(id: TraceId) -> TraceScope {
+    TraceScope {
+        prev: CURRENT_TRACE.with(|c| c.replace(id.0)),
+    }
+}
+
+/// Per-thread span-capture buffer backing the flight recorder. Capture is
+/// independent of the global telemetry: spans append their timing here
+/// even when no sink (or no telemetry at all) is installed.
+#[derive(Debug)]
+struct CaptureState {
+    epoch: Instant,
+    open: usize,
+    spans: Vec<SpanTiming>,
+}
+
+/// Spans per capture beyond which further timings are dropped (a runaway
+/// recursion must not turn the recorder into an allocator stress test).
+const CAPTURE_SPAN_CAP: usize = 1024;
+
+/// Starts capturing completed span timings on this thread. A capture in
+/// progress is discarded and restarted. Pair with [`end_capture`].
+pub fn begin_capture() {
+    CAPTURE.with(|c| {
+        *c.borrow_mut() = Some(CaptureState {
+            epoch: Instant::now(),
+            open: 0,
+            spans: Vec::new(),
+        });
+    });
+    CAPTURE_ON.with(|c| c.set(true));
+}
+
+/// Stops capturing and returns every span that completed since
+/// [`begin_capture`], in completion order (children before parents).
+/// Returns an empty vec when no capture was active.
+pub fn end_capture() -> Vec<SpanTiming> {
+    CAPTURE_ON.with(|c| c.set(false));
+    CAPTURE.with(|c| c.borrow_mut().take().map(|s| s.spans).unwrap_or_default())
+}
+
+/// Whether a span capture is active on this thread.
+pub fn capture_active() -> bool {
+    CAPTURE_ON.with(Cell::get)
+}
+
+/// Records a span open into the active capture: bumps the nesting depth
+/// and returns `(start_us, depth)` relative to the capture epoch.
+fn capture_open() -> Option<(u64, usize)> {
+    CAPTURE.with(|c| {
+        let mut state = c.borrow_mut();
+        let state = state.as_mut()?;
+        let depth = state.open;
+        state.open += 1;
+        Some((state.epoch.elapsed().as_micros() as u64, depth))
+    })
+}
+
+/// Appends one completed span to the active capture (if still active).
+fn capture_close(timing: SpanTiming) {
+    CAPTURE.with(|c| {
+        if let Some(state) = c.borrow_mut().as_mut() {
+            state.open = state.open.saturating_sub(1);
+            if state.spans.len() < CAPTURE_SPAN_CAP {
+                state.spans.push(timing);
+            }
+        }
+    });
 }
 
 /// Makes `telemetry` the process-global pipeline used by the free
@@ -338,13 +507,19 @@ pub fn active() -> bool {
 
 /// An RAII scope timer. Emits `span_open` on creation and `span_close`
 /// (with elapsed wall time) on drop; nesting is tracked per thread.
-/// A guard from a disabled telemetry is inert.
+/// A guard from a disabled telemetry is inert — unless a span capture
+/// ([`begin_capture`]) is active, in which case the guard still records
+/// its timing into the capture buffer on drop.
 #[must_use = "a span measures the scope it lives in; bind it to a variable"]
 #[derive(Debug)]
 pub struct SpanGuard {
     telemetry: Option<Arc<Telemetry>>,
     id: u64,
     name: &'static str,
+    trace: u64,
+    /// `(start_us since capture epoch, capture-relative depth)` when a
+    /// capture was active at open.
+    capture: Option<(u64, usize)>,
     start: Instant,
 }
 
@@ -354,6 +529,8 @@ impl SpanGuard {
             telemetry: None,
             id: 0,
             name: "",
+            trace: 0,
+            capture: None,
             start: Instant::now(),
         }
     }
@@ -361,6 +538,16 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        let elapsed_us = self.start.elapsed().as_micros() as u64;
+        if let Some((start_us, depth)) = self.capture.take() {
+            capture_close(SpanTiming {
+                name: self.name,
+                trace: self.trace,
+                depth,
+                start_us,
+                elapsed_us,
+            });
+        }
         let Some(t) = self.telemetry.take() else {
             return;
         };
@@ -378,11 +565,12 @@ impl Drop for SpanGuard {
             t_us: t.now_us(),
             level: Level::Debug,
             span: self.id,
+            trace: self.trace,
             parent,
             depth,
             name: self.name,
             fields: &[],
-            elapsed_us: Some(self.start.elapsed().as_micros() as u64),
+            elapsed_us: Some(elapsed_us),
         });
     }
 }
@@ -393,15 +581,29 @@ pub fn span(name: &'static str) -> SpanGuard {
 }
 
 /// Opens a named, timed scope with fields. The returned guard emits the
-/// close record when dropped. No-op (one atomic load) when telemetry is
-/// off or no sink wants [`Level::Debug`].
+/// close record when dropped. No-op (one atomic load and a thread-local
+/// flag check) when telemetry is off or no sink wants [`Level::Debug`] —
+/// unless a span capture is active, which records timings regardless.
 pub fn span_with(name: &'static str, fields: Vec<Field>) -> SpanGuard {
-    let Some(t) = handle() else {
-        return SpanGuard::noop();
-    };
-    if !t.accepts(Level::Debug) {
+    let capturing = CAPTURE_ON.with(Cell::get);
+    let t = handle().filter(|t| t.accepts(Level::Debug));
+    if t.is_none() && !capturing {
         return SpanGuard::noop();
     }
+    let trace = CURRENT_TRACE.with(Cell::get);
+    let capture = if capturing { capture_open() } else { None };
+    let Some(t) = t else {
+        // Capture-only span: no sink wants it, so no id is allocated and
+        // nothing is emitted, but the timing still lands in the capture.
+        return SpanGuard {
+            telemetry: None,
+            id: 0,
+            name,
+            trace,
+            capture,
+            start: Instant::now(),
+        };
+    };
     let id = t.next_span.fetch_add(1, Ordering::Relaxed);
     let (parent, depth) = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
@@ -415,6 +617,7 @@ pub fn span_with(name: &'static str, fields: Vec<Field>) -> SpanGuard {
         t_us: t.now_us(),
         level: Level::Debug,
         span: id,
+        trace,
         parent,
         depth,
         name,
@@ -425,6 +628,8 @@ pub fn span_with(name: &'static str, fields: Vec<Field>) -> SpanGuard {
         telemetry: Some(t),
         id,
         name,
+        trace,
+        capture,
         start: Instant::now(),
     }
 }
@@ -446,6 +651,7 @@ pub fn event(level: Level, name: &str, fields: &[Field]) {
                 t_us: t.now_us(),
                 level,
                 span,
+                trace: CURRENT_TRACE.with(Cell::get),
                 parent: 0,
                 depth,
                 name,
@@ -462,6 +668,7 @@ pub fn event(level: Level, name: &str, fields: &[Field]) {
                         t_us: 0,
                         level,
                         span: 0,
+                        trace: 0,
                         parent: 0,
                         depth: 0,
                         name,
@@ -518,6 +725,14 @@ pub fn gauge(name: &str) -> Gauge {
 pub fn histogram(name: &str) -> Histogram {
     handle()
         .map(|t| t.metrics().histogram(name))
+        .unwrap_or_default()
+}
+
+/// Global histogram handle with explicit bucket bounds (inert when
+/// telemetry is off). Bounds apply on first registration of `name` only.
+pub fn histogram_with(name: &str, bounds: &[f64]) -> Histogram {
+    handle()
+        .map(|t| t.metrics().histogram_with(name, bounds))
         .unwrap_or_default()
 }
 
@@ -636,6 +851,92 @@ mod tests {
         counter("x").inc();
         uninstall();
         assert!(t.metrics().snapshot().is_empty());
+    }
+
+    #[test]
+    fn trace_id_generation_is_seeded_and_nonzero() {
+        let a = TraceIdGen::new(42);
+        let b = TraceIdGen::new(42);
+        let ids: Vec<TraceId> = (0..100).map(|_| a.next_id()).collect();
+        assert!(ids.iter().all(|id| id.is_set()));
+        assert_eq!(ids, (0..100).map(|_| b.next_id()).collect::<Vec<_>>());
+        let other = TraceIdGen::new(43).next_id();
+        assert_ne!(ids[0], other, "different seeds diverge");
+        let hex = ids[0].as_hex();
+        assert_eq!(hex.len(), 16);
+        assert_eq!(TraceId::from_hex(&hex), Some(ids[0]));
+    }
+
+    #[test]
+    fn trace_scope_nests_and_restores() {
+        assert!(!current_trace().is_set());
+        {
+            let _outer = trace_scope(TraceId(7));
+            assert_eq!(current_trace(), TraceId(7));
+            {
+                let _inner = trace_scope(TraceId(9));
+                assert_eq!(current_trace(), TraceId(9));
+            }
+            assert_eq!(current_trace(), TraceId(7));
+        }
+        assert!(!current_trace().is_set());
+    }
+
+    #[test]
+    fn records_carry_the_active_trace_id() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        let (t, sink) = mem_telemetry();
+        install(t);
+        {
+            let _scope = trace_scope(TraceId(0xABCD));
+            let _span = span("traced");
+            info("inside", &[]);
+        }
+        {
+            let _span = span("untraced");
+        }
+        uninstall();
+        let lines = sink.lines.lock().unwrap();
+        let docs: Vec<_> = lines.iter().map(|l| json::parse(l).unwrap()).collect();
+        let hex = TraceId(0xABCD).as_hex();
+        for doc in &docs[..3] {
+            assert_eq!(
+                doc.get("trace").and_then(json::Json::as_str),
+                Some(hex.as_str()),
+                "{doc:?}"
+            );
+        }
+        assert_eq!(docs[3].get("trace"), None, "untraced span has no trace key");
+    }
+
+    #[test]
+    fn capture_works_without_any_telemetry() {
+        let _guard = GLOBAL_LOCK.lock().unwrap();
+        uninstall();
+        let _scope = trace_scope(TraceId(5));
+        begin_capture();
+        {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = span("inner");
+            }
+        }
+        let spans = end_capture();
+        assert_eq!(spans.len(), 2, "{spans:?}");
+        // Completion order: inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert!(spans[1].elapsed_us >= 1_000);
+        assert!(spans[1].start_us <= spans[0].start_us);
+        assert!(spans.iter().all(|s| s.trace == 5));
+        // After end_capture, spans stop recording.
+        {
+            let _late = span("late");
+        }
+        assert!(end_capture().is_empty());
     }
 
     #[test]

@@ -20,6 +20,17 @@ pub const DEFAULT_BOUNDS: [f64; 22] = [
     2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7,
 ];
 
+/// Bucket upper bounds for request-serving latencies (microseconds).
+/// X14 measured p50 ≈ 210 µs / p99 ≈ 1.4 ms, where [`DEFAULT_BOUNDS`]
+/// jumps 100 → 250 → 500 → 1000 µs — too coarse to resolve serving
+/// quantiles. These buckets are dense across 25 µs – 5 ms and then taper
+/// off, so a 0.1–2 ms distribution lands p50/p99 within one bucket of
+/// truth (regression-tested below).
+pub const SERVE_LATENCY_BOUNDS: [f64; 24] = [
+    25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0, 650.0, 800.0, 1e3, 1.25e3,
+    1.5e3, 2e3, 2.5e3, 3.5e3, 5e3, 1e4, 2.5e4, 1e5, 1e6, 1e7,
+];
+
 /// A monotonically increasing counter. Inert when obtained from a disabled
 /// registry.
 #[derive(Clone, Debug, Default)]
@@ -234,14 +245,22 @@ impl HistogramSnapshot {
         self.max
     }
 
-    /// Adds another snapshot's observations into this one. Requires equal
-    /// bounds (all pipeline histograms of one name share theirs).
-    ///
-    /// # Panics
-    /// Panics if the bucket layouts differ.
-    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
-        assert_eq!(self.bounds, other.bounds, "cannot merge histogram layouts");
-        HistogramSnapshot {
+    /// Fallible merge: adds another snapshot's observations into this one.
+    /// Mismatched bucket layouts are rejected with a descriptive error
+    /// instead of zipping unequal bucket vectors (which would silently
+    /// truncate counts to the shorter layout).
+    pub fn try_merge(&self, other: &HistogramSnapshot) -> Result<HistogramSnapshot, String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bucket layouts differ: {} bounds (first {:?}) vs {} bounds (first {:?})",
+                self.bounds.len(),
+                self.bounds.first(),
+                other.bounds.len(),
+                other.bounds.first(),
+            ));
+        }
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        Ok(HistogramSnapshot {
             bounds: self.bounds.clone(),
             counts: self
                 .counts
@@ -253,7 +272,18 @@ impl HistogramSnapshot {
             sum: self.sum + other.sum,
             min: opt_fold(self.min, other.min, f64::min),
             max: opt_fold(self.max, other.max, f64::max),
-        }
+        })
+    }
+
+    /// Adds another snapshot's observations into this one. Requires equal
+    /// bounds (all pipeline histograms of one name share theirs); use
+    /// [`try_merge`](HistogramSnapshot::try_merge) to handle mismatches.
+    ///
+    /// # Panics
+    /// Panics if the bucket layouts differ.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        self.try_merge(other)
+            .unwrap_or_else(|e| panic!("cannot merge histograms: {e}"))
     }
 
     fn to_json(&self) -> Json {
@@ -430,10 +460,17 @@ impl MetricsSnapshot {
             *out.gauges.entry(k.clone()).or_insert(0) += v;
         }
         for (k, v) in &other.histograms {
-            out.histograms
-                .entry(k.clone())
-                .and_modify(|h| *h = h.merge(v))
-                .or_insert_with(|| v.clone());
+            match out.histograms.entry(k.clone()) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let merged = e.get().try_merge(v).unwrap_or_else(|err| {
+                        panic!("cannot merge histogram {k:?}: {err}");
+                    });
+                    *e.get_mut() = merged;
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v.clone());
+                }
+            }
         }
         out
     }
@@ -585,6 +622,83 @@ mod tests {
         assert_eq!(merged.histograms["h"].sum, 30.0);
         assert_eq!(merged.histograms["h"].min, Some(10.0));
         assert_eq!(merged.histograms["h"].max, Some(20.0));
+    }
+
+    #[test]
+    fn try_merge_rejects_mismatched_bounds() {
+        let a = HistogramSnapshot::empty(&[1.0, 2.0, 3.0]);
+        let b = HistogramSnapshot::empty(&[1.0, 2.0, 4.0]);
+        let err = a.try_merge(&b).unwrap_err();
+        assert!(err.contains("layouts differ"), "{err}");
+        // Differing lengths would previously zip-truncate silently.
+        let c = HistogramSnapshot::empty(&DEFAULT_BOUNDS);
+        let d = HistogramSnapshot::empty(&SERVE_LATENCY_BOUNDS);
+        assert!(c.try_merge(&d).is_err());
+        // Matching bounds still merge additively.
+        let merged = a
+            .try_merge(&HistogramSnapshot::empty(&[1.0, 2.0, 3.0]))
+            .unwrap();
+        assert_eq!(merged.bounds, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge histogram")]
+    fn merge_panics_on_mismatched_bounds() {
+        let a = HistogramSnapshot::empty(&[1.0, 2.0]);
+        let b = HistogramSnapshot::empty(&[1.0, 5.0]);
+        let _ = a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge histogram \"h\"")]
+    fn snapshot_merge_names_the_conflicting_histogram() {
+        let mut a = MetricsSnapshot::default();
+        a.histograms
+            .insert("h".into(), HistogramSnapshot::empty(&[1.0, 2.0]));
+        let mut b = MetricsSnapshot::default();
+        b.histograms
+            .insert("h".into(), HistogramSnapshot::empty(&[3.0]));
+        let _ = a.merge(&b);
+    }
+
+    /// The serve-latency bounds must resolve sub-millisecond quantiles:
+    /// for a synthetic 0.1–2 ms distribution, the estimated p50/p99 lands
+    /// within one bucket of the true order statistic.
+    #[test]
+    fn serve_bounds_resolve_submillisecond_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram_with("lat", &SERVE_LATENCY_BOUNDS);
+        // Deterministic values spread over 100–2000 µs, skewed low like
+        // real serving latency (most requests fast, a slow tail).
+        let mut values: Vec<f64> = (0..2000u64)
+            .map(|i| {
+                let u = ((i.wrapping_mul(2654435761) >> 8) % 1000) as f64 / 1000.0;
+                100.0 + 1900.0 * u * u
+            })
+            .collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let snap = h.snapshot();
+        for (q, label) in [(0.50, "p50"), (0.99, "p99")] {
+            let truth =
+                values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+            let est = snap.quantile(q).unwrap();
+            // "Within one bucket": the estimate must fall inside the truth's
+            // bucket widened by one bucket on each side.
+            let idx = SERVE_LATENCY_BOUNDS.partition_point(|&b| truth > b);
+            let lo = if idx == 0 {
+                0.0
+            } else {
+                SERVE_LATENCY_BOUNDS[idx - 1]
+            };
+            let hi = SERVE_LATENCY_BOUNDS[(idx + 1).min(SERVE_LATENCY_BOUNDS.len() - 1)];
+            assert!(
+                (lo..=hi).contains(&est),
+                "{label}: estimate {est} outside [{lo}, {hi}] around truth {truth}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! Prometheus text exposition (v0.0.4): rendering metric snapshots for a
+//! `/metrics` scrape surface, and a validator for the CI gate
+//! (`mass obs-validate --prometheus`).
+//!
+//! Rendering covers counters, gauges, and histograms (cumulative
+//! `_bucket{le=..}` series plus `_sum`/`_count`), with arbitrary constant
+//! labels so window variants can ride the same family as their cumulative
+//! twins (e.g. `serve_request_us_bucket{window="60s",le="250"}`). Names
+//! are sanitised (`serve.request_us` → `serve_request_us`).
+//!
+//! The validator checks exposition-format syntax line by line, that every
+//! sample belongs to a `# TYPE`-declared family, and histogram coherence:
+//! `le` buckets cumulative and non-decreasing, `+Inf` present and equal to
+//! `_count`, `_sum` present.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Maps an internal dotted metric name to a Prometheus metric name.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders `f64` the way Prometheus expects (`+Inf`, no exponent for the
+/// common cases, trailing `.0` trimmed).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        return "+Inf".to_string();
+    }
+    if v == f64::NEG_INFINITY {
+        return "-Inf".to_string();
+    }
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", k, v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Incremental exposition-text builder. Emits one `# TYPE` line per
+/// family (on first use) and keeps insertion order otherwise.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    typed: BTreeSet<String>,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    fn type_line(&mut self, family: &str, kind: &str) {
+        if self.typed.insert(family.to_string()) {
+            let _ = writeln!(self.out, "# TYPE {family} {kind}");
+        }
+    }
+
+    /// One counter sample.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        let family = sanitize_name(name);
+        self.type_line(&family, "counter");
+        let _ = writeln!(self.out, "{family}{} {value}", fmt_labels(labels));
+    }
+
+    /// One gauge sample.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let family = sanitize_name(name);
+        self.type_line(&family, "gauge");
+        let _ = writeln!(
+            self.out,
+            "{family}{} {}",
+            fmt_labels(labels),
+            fmt_value(value)
+        );
+    }
+
+    /// One histogram series: cumulative `_bucket` samples, `_sum`, `_count`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let family = sanitize_name(name);
+        self.type_line(&family, "histogram");
+        let mut cum = 0u64;
+        for (i, &c) in snap.counts.iter().enumerate() {
+            cum += c;
+            let le = if i < snap.bounds.len() {
+                fmt_value(snap.bounds[i])
+            } else {
+                "+Inf".to_string()
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            let _ = writeln!(self.out, "{family}_bucket{} {cum}", fmt_labels(&with_le));
+        }
+        let _ = writeln!(
+            self.out,
+            "{family}_sum{} {}",
+            fmt_labels(labels),
+            fmt_value(snap.sum)
+        );
+        let _ = writeln!(
+            self.out,
+            "{family}_count{} {}",
+            fmt_labels(labels),
+            snap.count
+        );
+    }
+
+    /// Every metric in a snapshot, unlabelled.
+    pub fn snapshot(&mut self, snap: &MetricsSnapshot) {
+        for (name, v) in &snap.counters {
+            self.counter(name, &[], *v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name, &[], *v as f64);
+        }
+        for (name, h) in &snap.histograms {
+            self.histogram(name, &[], h);
+        }
+    }
+
+    /// The finished exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// What [`validate`] learned about a document.
+#[derive(Debug, Default)]
+pub struct PromReport {
+    /// Families with a `# TYPE` declaration, mapped to their kind.
+    pub families: BTreeMap<String, String>,
+    /// Number of sample lines seen.
+    pub samples: usize,
+}
+
+/// A parsed sample line: metric name, label pairs, raw value string.
+type Sample = (String, Vec<(String, String)>, String);
+
+/// Splits a sample line into (name, labels, value-str). Labels keep their
+/// raw quoted form pre-parsed into pairs.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| format!("sample without value: {line:?}"))?;
+    let name = &line[..name_end];
+    if name.is_empty()
+        || !name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    let rest = &line[name_end..];
+    let (labels, value_part) = if let Some(body) = rest.strip_prefix('{') {
+        let close = body
+            .find('}')
+            .ok_or_else(|| format!("unterminated label set: {line:?}"))?;
+        let mut labels = Vec::new();
+        let label_body = &body[..close];
+        if !label_body.is_empty() {
+            for pair in label_body.split(',') {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed label {pair:?} in {line:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("unquoted label value {pair:?} in {line:?}"))?;
+                labels.push((k.to_string(), v.replace("\\\"", "\"").replace("\\\\", "\\")));
+            }
+        }
+        (labels, body[close + 1..].trim_start())
+    } else {
+        (Vec::new(), rest.trim_start())
+    };
+    let value = value_part
+        .split_whitespace()
+        .next()
+        .ok_or_else(|| format!("sample without value: {line:?}"))?;
+    Ok((name.to_string(), labels, value.to_string()))
+}
+
+fn parse_prom_float(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("unparsable sample value {other:?}")),
+    }
+}
+
+/// Checks a text-exposition document. Returns what it found, or the first
+/// problem as an error string.
+pub fn validate(text: &str) -> Result<PromReport, String> {
+    let mut report = PromReport::default();
+    // (family, labels-minus-le) -> ordered (le, cumulative_count)
+    let mut hist_buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut hist_sums: BTreeSet<(String, String)> = BTreeSet::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let at = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let family = parts
+                        .next()
+                        .ok_or_else(|| at("TYPE line without family".into()))?;
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| at("TYPE line without kind".into()))?;
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return Err(at(format!("unknown TYPE kind {kind:?}")));
+                    }
+                    if report
+                        .families
+                        .insert(family.to_string(), kind.to_string())
+                        .is_some()
+                    {
+                        return Err(at(format!("duplicate TYPE for family {family:?}")));
+                    }
+                }
+                Some("HELP") => {}
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line).map_err(&at)?;
+        let value = parse_prom_float(&value).map_err(&at)?;
+        report.samples += 1;
+
+        // Resolve the family: histogram samples use suffixed names.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                (report.families.get(base).map(String::as_str) == Some("histogram"))
+                    .then(|| base.to_string())
+            })
+            .unwrap_or_else(|| name.clone());
+        let Some(kind) = report.families.get(&family) else {
+            return Err(at(format!("sample {name:?} has no preceding # TYPE")));
+        };
+
+        if kind == "histogram" {
+            let series_key = {
+                let mut rest: Vec<String> = labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                rest.sort();
+                (family.clone(), rest.join(","))
+            };
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| at(format!("bucket sample without le label: {line:?}")))?;
+                let le = parse_prom_float(&le.1).map_err(&at)?;
+                hist_buckets
+                    .entry(series_key)
+                    .or_default()
+                    .push((le, value));
+            } else if name.ends_with("_count") {
+                hist_counts.insert(series_key, value);
+            } else if name.ends_with("_sum") {
+                hist_sums.insert(series_key);
+            } else {
+                return Err(at(format!(
+                    "histogram family {family:?} has non-histogram sample {name:?}"
+                )));
+            }
+        } else if value.is_nan() {
+            return Err(at(format!("{kind} {name:?} is NaN")));
+        }
+    }
+
+    for ((family, series), buckets) in &hist_buckets {
+        let label = if series.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{series}}}")
+        };
+        for pair in buckets.windows(2) {
+            if pair[1].0 < pair[0].0 {
+                return Err(format!("{label}: le bounds out of order"));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!(
+                    "{label}: bucket counts not cumulative ({} after {})",
+                    pair[1].1, pair[0].1
+                ));
+            }
+        }
+        let inf = buckets
+            .last()
+            .filter(|(le, _)| *le == f64::INFINITY)
+            .ok_or_else(|| format!("{label}: missing le=\"+Inf\" bucket"))?;
+        let count = hist_counts
+            .get(&(family.clone(), series.clone()))
+            .ok_or_else(|| format!("{label}: missing _count sample"))?;
+        if inf.1 != *count {
+            return Err(format!("{label}: +Inf bucket {} != _count {count}", inf.1));
+        }
+        if !hist_sums.contains(&(family.clone(), series.clone())) {
+            return Err(format!("{label}: missing _sum sample"));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn rendered() -> String {
+        let r = Registry::new();
+        r.counter("serve.requests").add(7);
+        r.gauge("serve.epoch").set(3);
+        let h = r.histogram_with("serve.request_us", &[100.0, 1000.0]);
+        h.record(50.0);
+        h.record(500.0);
+        h.record(5000.0);
+        let mut w = PromWriter::new();
+        w.snapshot(&r.snapshot());
+        w.histogram("serve.request_us", &[("window", "60s")], &h.snapshot());
+        w.finish()
+    }
+
+    #[test]
+    fn renders_and_validates_round_trip() {
+        let text = rendered();
+        assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+        assert!(text.contains("serve_requests 7"));
+        assert!(text.contains("serve_request_us_bucket{le=\"100\"} 1"));
+        assert!(text.contains("serve_request_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("serve_request_us_bucket{window=\"60s\",le=\"100\"} 1"));
+        assert!(text.contains("serve_request_us_count{window=\"60s\"} 3"));
+        let report = validate(&text).unwrap();
+        assert!(report.families.contains_key("serve_requests"));
+        assert!(report.families.contains_key("serve_request_us"));
+        assert_eq!(report.families["serve_request_us"], "histogram");
+        assert!(report.samples >= 8);
+    }
+
+    #[test]
+    fn validator_rejects_untyped_samples() {
+        let err = validate("lonely_metric 3\n").unwrap_err();
+        assert!(err.contains("no preceding # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_non_cumulative_buckets() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\n\
+                    h_bucket{le=\"2\"} 3\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\nh_count 5\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_inf_count_mismatch() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"+Inf\"} 4\n\
+                    h_sum 9\nh_count 5\n";
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("!= _count"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_syntax_errors() {
+        assert!(validate("# TYPE h histogram\nh_bucket{le=1} 4\n").is_err());
+        assert!(validate("# TYPE g gauge\ng{unterminated 1\n").is_err());
+        assert!(validate("# TYPE c counter\nc notanumber\n").is_err());
+        assert!(validate("# TYPE c counter\n# TYPE c counter\nc 1\n").is_err());
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_name("serve.request_us"), "serve_request_us");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+    }
+}

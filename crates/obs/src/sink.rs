@@ -28,6 +28,9 @@ pub struct Record<'a> {
     pub level: Level,
     /// Span id this record belongs to (0 = none / root).
     pub span: u64,
+    /// Request-correlation trace id (0 = none). Stamped from the
+    /// thread-local trace scope (see [`crate::trace_scope`]).
+    pub trace: u64,
     /// Parent span id (0 = root).
     pub parent: u64,
     /// Nesting depth on the emitting thread (0 = top level).
@@ -147,6 +150,9 @@ pub fn record_to_json(r: &Record<'_>) -> Json {
     if r.span != 0 {
         pairs.push(("span".into(), Json::from(r.span)));
     }
+    if r.trace != 0 {
+        pairs.push(("trace".into(), Json::from(format!("{:016x}", r.trace))));
+    }
     if r.parent != 0 {
         pairs.push(("parent".into(), Json::from(r.parent)));
     }
@@ -226,6 +232,7 @@ mod tests {
             t_us: 1500,
             level: Level::Warn,
             span: 3,
+            trace: 0,
             parent: 1,
             depth: 2,
             name: "solver.degenerate",

@@ -1,0 +1,321 @@
+//! Sliding-window metrics: a ring of fixed buckets rotated by a coarse
+//! clock, so quantiles and rates answer "the last 60 s" rather than
+//! "since process start".
+//!
+//! A window of `W` seconds is split into `S` slots of `W/S` seconds each.
+//! Recording lands in the slot for the current coarse tick; a slot whose
+//! stored tick is stale is reset (lazily, by the first writer to touch it)
+//! before accumulating. Snapshots merge every slot whose tick is still
+//! inside the window. Slot rotation is racy by design — a handful of
+//! observations recorded exactly at a tick boundary may be attributed to
+//! the wrong slot or lost to a concurrent reset — which is fine for
+//! monitoring surfaces and keeps the record path lock-free.
+//!
+//! Every operation has an `_at(now_us, ..)` variant taking explicit time,
+//! so window behaviour is deterministic under test; the plain variants use
+//! a monotonic clock anchored at construction.
+
+use crate::metrics::HistogramSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Ticks are stored +1 so 0 can mean "slot never used".
+fn tick_of(now_us: u64, slot_us: u64) -> u64 {
+    now_us / slot_us + 1
+}
+
+/// A sliding-window histogram over fixed bucket bounds.
+#[derive(Debug)]
+pub struct WindowHistogram {
+    bounds: Vec<f64>,
+    slots: Vec<HistSlot>,
+    slot_us: u64,
+    epoch: Instant,
+}
+
+#[derive(Debug)]
+struct HistSlot {
+    tick: AtomicU64,
+    count: AtomicU64,
+    /// Sum in microsecond units, accumulated as integer micros to stay a
+    /// plain `fetch_add` (window sums are diagnostic, not exact).
+    sum_int: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl HistSlot {
+    fn new(n_buckets: usize) -> HistSlot {
+        HistSlot {
+            tick: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_int: AtomicU64::new(0),
+            buckets: (0..n_buckets).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Resets the slot if its tick is stale. The first writer to observe
+    /// staleness wins the CAS and zeroes the cells.
+    fn rotate_to(&self, tick: u64) {
+        let seen = self.tick.load(Ordering::Acquire);
+        if seen == tick {
+            return;
+        }
+        if self
+            .tick
+            .compare_exchange(seen, tick, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.count.store(0, Ordering::Relaxed);
+            self.sum_int.store(0, Ordering::Relaxed);
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl WindowHistogram {
+    /// A window of `window_secs` seconds split into `slots` slots.
+    /// `window_secs` and `slots` are clamped to at least 1.
+    pub fn new(bounds: &[f64], window_secs: u64, slots: usize) -> WindowHistogram {
+        let window_secs = window_secs.max(1);
+        let slots = slots.max(1);
+        WindowHistogram {
+            bounds: bounds.to_vec(),
+            slots: (0..slots)
+                .map(|_| HistSlot::new(bounds.len() + 1))
+                .collect(),
+            slot_us: (window_secs * 1_000_000 / slots as u64).max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The configured window length in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.slot_us * self.slots.len() as u64 / 1_000_000
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Records one observation at the current time.
+    pub fn record(&self, v: f64) {
+        self.record_at(self.now_us(), v);
+    }
+
+    /// Records one observation at an explicit time (for tests).
+    pub fn record_at(&self, now_us: u64, v: f64) {
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        let tick = tick_of(now_us, self.slot_us);
+        let slot = &self.slots[(tick - 1) as usize % self.slots.len()];
+        slot.rotate_to(tick);
+        let idx = self.bounds.partition_point(|&b| v > b);
+        slot.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum_int.fetch_add(v as u64, Ordering::Relaxed);
+    }
+
+    /// Merged snapshot of every slot still inside the window.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.snapshot_at(self.now_us())
+    }
+
+    /// Snapshot at an explicit time (for tests).
+    pub fn snapshot_at(&self, now_us: u64) -> HistogramSnapshot {
+        let tick = tick_of(now_us, self.slot_us);
+        let oldest_live = tick.saturating_sub(self.slots.len() as u64 - 1);
+        let mut counts = vec![0u64; self.bounds.len() + 1];
+        let mut sum = 0.0;
+        for slot in &self.slots {
+            let t = slot.tick.load(Ordering::Acquire);
+            if t == 0 || t < oldest_live || t > tick {
+                continue;
+            }
+            for (acc, b) in counts.iter_mut().zip(&slot.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum += slot.sum_int.load(Ordering::Relaxed) as f64;
+        }
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum,
+            min: None,
+            max: None,
+        }
+    }
+}
+
+/// A sliding-window counter (events in the last `window_secs` seconds).
+#[derive(Debug)]
+pub struct WindowCounter {
+    slots: Vec<CountSlot>,
+    slot_us: u64,
+    epoch: Instant,
+}
+
+#[derive(Debug)]
+struct CountSlot {
+    tick: AtomicU64,
+    n: AtomicU64,
+}
+
+impl WindowCounter {
+    /// A window of `window_secs` seconds split into `slots` slots
+    /// (both clamped to at least 1).
+    pub fn new(window_secs: u64, slots: usize) -> WindowCounter {
+        let window_secs = window_secs.max(1);
+        let slots = slots.max(1);
+        WindowCounter {
+            slots: (0..slots)
+                .map(|_| CountSlot {
+                    tick: AtomicU64::new(0),
+                    n: AtomicU64::new(0),
+                })
+                .collect(),
+            slot_us: (window_secs * 1_000_000 / slots as u64).max(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The configured window length in seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.slot_us * self.slots.len() as u64 / 1_000_000
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Adds `n` events at the current time.
+    pub fn add(&self, n: u64) {
+        self.add_at(self.now_us(), n);
+    }
+
+    /// Adds one event at the current time.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` events at an explicit time (for tests).
+    pub fn add_at(&self, now_us: u64, n: u64) {
+        let tick = tick_of(now_us, self.slot_us);
+        let slot = &self.slots[(tick - 1) as usize % self.slots.len()];
+        let seen = slot.tick.load(Ordering::Acquire);
+        if seen != tick
+            && slot
+                .tick
+                .compare_exchange(seen, tick, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            slot.n.store(0, Ordering::Relaxed);
+        }
+        slot.n.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Events observed within the window ending now.
+    pub fn sum(&self) -> u64 {
+        self.sum_at(self.now_us())
+    }
+
+    /// Events within the window ending at an explicit time (for tests).
+    pub fn sum_at(&self, now_us: u64) -> u64 {
+        let tick = tick_of(now_us, self.slot_us);
+        let oldest_live = tick.saturating_sub(self.slots.len() as u64 - 1);
+        self.slots
+            .iter()
+            .filter(|s| {
+                let t = s.tick.load(Ordering::Acquire);
+                t != 0 && t >= oldest_live && t <= tick
+            })
+            .map(|s| s.n.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SERVE_LATENCY_BOUNDS;
+
+    const S: u64 = 1_000_000; // one second in µs
+
+    #[test]
+    fn counter_expires_old_slots() {
+        let c = WindowCounter::new(60, 6); // 10 s slots
+        c.add_at(0, 5);
+        c.add_at(15 * S, 3);
+        assert_eq!(c.sum_at(15 * S), 8, "both inside the window");
+        // 65 s later the first slot (tick for t=0) has left the window.
+        assert_eq!(c.sum_at(65 * S), 3);
+        // 200 s later everything has expired.
+        assert_eq!(c.sum_at(200 * S), 0);
+    }
+
+    #[test]
+    fn counter_slot_reuse_resets_stale_contents() {
+        let c = WindowCounter::new(6, 6); // 1 s slots
+        c.add_at(0, 100);
+        // t = 6 s maps onto the same slot index as t = 0; the stale count
+        // must not leak into the new slot.
+        c.add_at(6 * S, 1);
+        assert_eq!(c.sum_at(6 * S), 1);
+    }
+
+    #[test]
+    fn histogram_window_quantiles_track_recent_traffic() {
+        let h = WindowHistogram::new(&SERVE_LATENCY_BOUNDS, 60, 6);
+        // Old traffic: fast requests at t=0.
+        for _ in 0..100 {
+            h.record_at(0, 100.0);
+        }
+        // Recent traffic: slow requests at t=70 s (old slots expired).
+        for _ in 0..100 {
+            h.record_at(70 * S, 1_400.0);
+        }
+        let snap = h.snapshot_at(70 * S);
+        assert_eq!(snap.count, 100, "only the recent slot is live");
+        let p50 = snap.quantile(0.5).unwrap();
+        assert!(
+            p50 > 1_000.0,
+            "window p50 {p50} must reflect recent slow traffic"
+        );
+        // A cumulative histogram over the same stream would sit near 100 µs.
+    }
+
+    #[test]
+    fn histogram_empty_window_snapshot_is_empty() {
+        let h = WindowHistogram::new(&SERVE_LATENCY_BOUNDS, 60, 6);
+        h.record_at(0, 500.0);
+        let snap = h.snapshot_at(300 * S);
+        assert_eq!(snap.count, 0);
+        assert!(snap.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn window_secs_round_trips() {
+        assert_eq!(WindowHistogram::new(&[1.0], 60, 6).window_secs(), 60);
+        assert_eq!(WindowCounter::new(30, 10).window_secs(), 30);
+    }
+
+    #[test]
+    fn concurrent_window_recording_is_lossless_within_a_slot() {
+        let c = std::sync::Arc::new(WindowCounter::new(60, 6));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.add_at(5 * S, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.sum_at(5 * S), 4000);
+    }
+}

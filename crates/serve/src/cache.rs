@@ -7,6 +7,7 @@
 //! across epochs and safe to cache. Businesses re-submit the same ad text
 //! while tuning `k`, making even a tiny cache effective.
 
+use mass_obs::Counter;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
@@ -19,17 +20,30 @@ struct Inner {
 pub struct AdVectorCache {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Live hit/miss counters (the telemetry plane's `serve.ad_cache_*`;
+    /// inert by default). The process-global counters are also bumped so
+    /// `--metrics-out` artifacts keep seeing cache behaviour.
+    hits: Counter,
+    misses: Counter,
 }
 
 impl AdVectorCache {
     /// A cache holding at most `capacity` vectors (min 1).
     pub fn new(capacity: usize) -> AdVectorCache {
+        AdVectorCache::with_counters(capacity, Counter::default(), Counter::default())
+    }
+
+    /// Like [`new`](Self::new), but hits/misses are also mirrored into the
+    /// given live counters.
+    pub fn with_counters(capacity: usize, hits: Counter, misses: Counter) -> AdVectorCache {
         AdVectorCache {
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 order: VecDeque::new(),
             }),
             capacity: capacity.max(1),
+            hits,
+            misses,
         }
     }
 
@@ -43,11 +57,13 @@ impl AdVectorCache {
     ) -> Option<Arc<Vec<f64>>> {
         if let Some(hit) = self.inner.lock().unwrap().map.get(text) {
             mass_obs::counter("serve.ad_cache_hits").inc();
+            self.hits.inc();
             return Some(Arc::clone(hit));
         }
         // Mine outside the lock: classification is the expensive part.
         let vector = Arc::new(mine()?);
         mass_obs::counter("serve.ad_cache_misses").inc();
+        self.misses.inc();
         let mut inner = self.inner.lock().unwrap();
         if !inner.map.contains_key(text) {
             if inner.map.len() >= self.capacity {
@@ -115,5 +131,45 @@ mod tests {
         let c = AdVectorCache::new(2);
         assert!(c.get_or_mine("x", || None).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn surfaces_hit_and_miss_counters() {
+        let registry = mass_obs::Registry::new();
+        let hits = registry.counter("serve.ad_cache_hits");
+        let misses = registry.counter("serve.ad_cache_misses");
+        let c = AdVectorCache::with_counters(2, hits.clone(), misses.clone());
+        c.get_or_mine("a", || Some(vec![1.0])).unwrap();
+        c.get_or_mine("a", || Some(vec![1.0])).unwrap();
+        c.get_or_mine("a", || Some(vec![1.0])).unwrap();
+        c.get_or_mine("b", || Some(vec![2.0])).unwrap();
+        assert_eq!(misses.get(), 2, "two distinct texts mined");
+        assert_eq!(hits.get(), 2, "two repeat lookups hit");
+        // A failed mine is neither a hit nor a miss.
+        assert!(c.get_or_mine("x", || None).is_none());
+        assert_eq!(misses.get(), 2);
+        // The counters land in the registry snapshot for /metrics.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("serve.ad_cache_hits"), Some(&2));
+        assert_eq!(snap.counters.get("serve.ad_cache_misses"), Some(&2));
+    }
+
+    #[test]
+    fn eviction_order_is_insertion_order_not_recency() {
+        let c = AdVectorCache::new(2);
+        c.get_or_mine("a", || Some(vec![1.0])).unwrap();
+        c.get_or_mine("b", || Some(vec![2.0])).unwrap();
+        // Hit "a" repeatedly — FIFO must still evict it first.
+        for _ in 0..5 {
+            c.get_or_mine("a", || panic!("cached")).unwrap();
+        }
+        c.get_or_mine("c", || Some(vec![3.0])).unwrap();
+        let mut remined_a = false;
+        c.get_or_mine("a", || {
+            remined_a = true;
+            Some(vec![1.0])
+        })
+        .unwrap();
+        assert!(remined_a, "FIFO evicts the oldest insertion even if hot");
     }
 }

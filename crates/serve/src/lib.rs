@@ -18,16 +18,25 @@
 //! | `/edits` | POST | queue an edit batch (202, async refresh) |
 //! | `/healthz` | GET | 200 ok / 503 degraded + staleness JSON |
 //! | `/readyz` | GET | 200 until draining |
+//! | `/metrics` | GET | Prometheus text exposition (live + window metrics) |
+//! | `/debug/requests` | GET | flight-recorder dump: sampled span trees |
+//! | `/debug/slo` | GET | epoch/staleness/queue/rolling-latency snapshot |
 //! | `/admin/shutdown` | POST | start a clean drain |
 //! | `/admin/inject-fault` | POST | arm a refresh fault (test hooks only) |
+//!
+//! Every response carries an `X-Mass-Trace` header with the request's
+//! correlation id; slow or failed requests land in the flight recorder
+//! under that id (see [`telemetry`]).
 
 pub mod cache;
 pub mod client;
 pub mod http;
 pub mod queue;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::AdVectorCache;
 pub use http::{Limits, ParseError, Request, Response};
 pub use queue::BoundedQueue;
 pub use server::{start, ServeConfig, ServerHandle, ShutdownReport};
+pub use telemetry::{PlaneConfig, TelemetryPlane};

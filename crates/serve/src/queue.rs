@@ -7,6 +7,7 @@
 //! Workers block on [`BoundedQueue::pop`], which drains remaining items
 //! after [`BoundedQueue::close`] so shutdown finishes in-flight work.
 
+use mass_obs::Gauge;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -20,11 +21,20 @@ pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
     capacity: usize,
+    /// Depth gauge updated under the queue lock, so its value is always a
+    /// length the queue really had (inert by default).
+    depth: Gauge,
 }
 
 impl<T> BoundedQueue<T> {
     /// An empty queue holding at most `capacity` items (min 1).
     pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue::with_gauge(capacity, Gauge::default())
+    }
+
+    /// Like [`new`](Self::new), but queue depth is mirrored into `gauge`
+    /// on every push/pop (the telemetry plane's `serve.queue_depth`).
+    pub fn with_gauge(capacity: usize, gauge: Gauge) -> BoundedQueue<T> {
         BoundedQueue {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
@@ -32,6 +42,7 @@ impl<T> BoundedQueue<T> {
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            depth: gauge,
         }
     }
 
@@ -43,6 +54,7 @@ impl<T> BoundedQueue<T> {
             return Err(item);
         }
         inner.items.push_back(item);
+        self.depth.set(inner.items.len() as i64);
         drop(inner);
         self.ready.notify_one();
         Ok(())
@@ -54,6 +66,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                self.depth.set(inner.items.len() as i64);
                 return Some(item);
             }
             if inner.closed {
@@ -147,5 +160,60 @@ mod tests {
         let q = BoundedQueue::new(0);
         assert!(q.try_push(1).is_ok());
         assert_eq!(q.try_push(2), Err(2));
+    }
+
+    #[test]
+    fn depth_gauge_tracks_length() {
+        let registry = mass_obs::Registry::new();
+        let gauge = registry.gauge("serve.queue_depth");
+        let q = BoundedQueue::with_gauge(4, gauge.clone());
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(gauge.get(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(gauge.get(), 1);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(gauge.get(), 0);
+    }
+
+    #[test]
+    fn depth_gauge_is_bounded_under_concurrent_enqueue_and_shed() {
+        let registry = mass_obs::Registry::new();
+        let gauge = registry.gauge("serve.queue_depth");
+        let q = Arc::new(BoundedQueue::with_gauge(3, gauge.clone()));
+        let shed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        thread::scope(|s| {
+            // Producers race pushes; full-queue pushes count as sheds.
+            let producers: Vec<_> = (0..4)
+                .map(|t| {
+                    let q = Arc::clone(&q);
+                    let shed = Arc::clone(&shed);
+                    s.spawn(move || {
+                        for i in 0..200 {
+                            if q.try_push(t * 1000 + i).is_err() {
+                                shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // One consumer drains while producers push, sampling the gauge.
+            let q2 = Arc::clone(&q);
+            let g2 = gauge.clone();
+            let consumer = s.spawn(move || {
+                while q2.pop().is_some() {
+                    let d = g2.get();
+                    assert!((0..=3).contains(&d), "gauge {d} outside capacity");
+                }
+            });
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            consumer.join().unwrap();
+        });
+        // At quiescence the gauge agrees with the real (drained) length.
+        assert_eq!(gauge.get(), q.len() as i64);
+        assert!(shed.load(std::sync::atomic::Ordering::Relaxed) > 0);
     }
 }

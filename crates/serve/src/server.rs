@@ -16,12 +16,13 @@
 use crate::cache::AdVectorCache;
 use crate::http::{read_request, Limits, Request, Response};
 use crate::queue::BoundedQueue;
+use crate::telemetry::{PlaneConfig, TelemetryPlane};
 use mass_core::{
     apply_to_incremental, scripted_storm, IncrementalMass, RefreshFault, RefreshMode, ScriptedEdit,
     ServingSnapshot, StormMix,
 };
-use mass_obs::field;
 use mass_obs::json::Json;
+use mass_obs::{field, CompletedTrace, TraceId};
 use mass_types::{DomainId, Sentiment};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -61,6 +62,8 @@ pub struct ServeConfig {
     pub enable_test_hooks: bool,
     /// `Retry-After` seconds on shed responses.
     pub retry_after_secs: u32,
+    /// Live telemetry plane knobs (`/metrics`, `/debug/*`, tracing).
+    pub telemetry: PlaneConfig,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +82,7 @@ impl Default for ServeConfig {
             refresh_mode: RefreshMode::Exact,
             enable_test_hooks: false,
             retry_after_secs: 1,
+            telemetry: PlaneConfig::default(),
         }
     }
 }
@@ -106,10 +110,14 @@ struct Shared {
     refresh_failures: AtomicU64,
     requests: AtomicU64,
     shed: AtomicU64,
-    edits_tx: Mutex<Option<Sender<EditBatch>>>,
+    /// Batches carry the submitting request's trace id so the writer's
+    /// refresh spans correlate back to the request that caused them.
+    edits_tx: Mutex<Option<Sender<(TraceId, EditBatch)>>>,
     cache: AdVectorCache,
     /// Fault armed via `/admin/inject-fault` for the next refresh.
     armed_fault: Mutex<Option<RefreshFault>>,
+    /// Live telemetry: `/metrics`, `/debug/*`, flight recorder, trace ids.
+    plane: TelemetryPlane,
 }
 
 impl Shared {
@@ -119,6 +127,7 @@ impl Shared {
 
     fn publish(&self, snap: Arc<ServingSnapshot>) {
         mass_obs::gauge("serve.epoch").set(snap.epoch() as i64);
+        self.plane.epoch.set(snap.epoch() as i64);
         *self.snapshot.write().unwrap() = snap;
         self.published_at_ms
             .store(self.start.elapsed().as_millis() as u64, Ordering::SeqCst);
@@ -209,8 +218,14 @@ pub fn start(engine: IncrementalMass, config: ServeConfig) -> io::Result<ServerH
     let addr = listener.local_addr()?;
     let first = Arc::new(ServingSnapshot::capture(&engine, config.topk_cap));
     let (tx, rx) = mpsc::channel();
+    let plane = TelemetryPlane::new(&config.telemetry);
+    plane.epoch.set(first.epoch() as i64);
     let shared = Arc::new(Shared {
-        cache: AdVectorCache::new(config.ad_cache_capacity),
+        cache: AdVectorCache::with_counters(
+            config.ad_cache_capacity,
+            plane.cache_hits.clone(),
+            plane.cache_misses.clone(),
+        ),
         config: config.clone(),
         addr,
         snapshot: RwLock::new(first),
@@ -224,8 +239,12 @@ pub fn start(engine: IncrementalMass, config: ServeConfig) -> io::Result<ServerH
         shed: AtomicU64::new(0),
         edits_tx: Mutex::new(Some(tx)),
         armed_fault: Mutex::new(None),
+        plane,
     });
-    let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+    let queue = Arc::new(BoundedQueue::with_gauge(
+        config.queue_capacity,
+        shared.plane.queue_depth.clone(),
+    ));
 
     let accept = {
         let shared = Arc::clone(&shared);
@@ -290,6 +309,7 @@ fn accept_loop(listener: TcpListener, queue: Arc<BoundedQueue<TcpStream>>, share
 fn shed(mut stream: TcpStream, shared: &Shared) {
     shared.shed.fetch_add(1, Ordering::SeqCst);
     mass_obs::counter("serve.shed").inc();
+    shared.plane.shed.inc();
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let resp = Response::error(503, "overloaded")
         .with_header("Retry-After", shared.config.retry_after_secs.to_string());
@@ -317,6 +337,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             match e.status() {
                 Some(code) => {
                     mass_obs::counter("serve.http_4xx").inc();
+                    shared.plane.http_4xx.inc();
                     mass_obs::warn("serve.bad_request", &[field("why", e.label())]);
                     let _ = Response::error(code, e.label()).write_to(&mut stream);
                 }
@@ -326,26 +347,59 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         }
     };
 
-    let _span = mass_obs::span_with(
-        "serve.request",
-        vec![
-            field("method", req.method.clone()),
-            field("path", req.path.clone()),
-        ],
-    );
-    shared.requests.fetch_add(1, Ordering::SeqCst);
-    mass_obs::counter("serve.requests").inc();
-    let mut resp = route(&req, shared);
-    if started.elapsed() > cfg.handler_deadline {
-        mass_obs::counter("serve.deadline_exceeded").inc();
-        resp = Response::error(503, "deadline_exceeded");
+    // Every parsed request gets a trace id; it scopes this thread (so the
+    // handler's spans and any edit batch it submits carry it) and rides
+    // back to the client as `X-Mass-Trace`.
+    let plane = &shared.plane;
+    let trace = plane.next_trace();
+    let _trace_scope = mass_obs::trace_scope(trace);
+    let capturing = plane.recorder.is_enabled();
+    if capturing {
+        mass_obs::begin_capture();
     }
+    // The request span must close before the capture ends, so the span
+    // tree handed to the flight recorder includes the root.
+    let resp = {
+        let _span = mass_obs::span_with(
+            "serve.request",
+            vec![
+                field("method", req.method.clone()),
+                field("path", req.path.clone()),
+            ],
+        );
+        shared.requests.fetch_add(1, Ordering::SeqCst);
+        mass_obs::counter("serve.requests").inc();
+        let mut resp = route(&req, shared);
+        if started.elapsed() > cfg.handler_deadline {
+            mass_obs::counter("serve.deadline_exceeded").inc();
+            plane.deadline_exceeded.inc();
+            resp = Response::error(503, "deadline_exceeded");
+        }
+        resp
+    };
+    let elapsed_us = started.elapsed().as_micros() as u64;
     match resp.status {
         200..=299 => {}
         400..=499 => mass_obs::counter("serve.http_4xx").inc(),
         _ => mass_obs::counter("serve.http_5xx").inc(),
     }
-    mass_obs::histogram("serve.request_us").record(started.elapsed().as_micros() as f64);
+    mass_obs::histogram("serve.request_us").record(elapsed_us as f64);
+    plane.observe_request(resp.status, elapsed_us);
+    if capturing {
+        let spans = mass_obs::end_capture();
+        let error = resp.status >= 500;
+        if plane.recorder.should_keep(resp.status, error, elapsed_us) {
+            plane.recorder.record(CompletedTrace {
+                trace,
+                name: format!("{} {}", req.method, req.path),
+                status: resp.status,
+                error,
+                total_us: elapsed_us,
+                spans,
+            });
+        }
+    }
+    let resp = resp.with_header("X-Mass-Trace", trace.as_hex());
     if resp.write_to(&mut stream).is_err() {
         mass_obs::counter("serve.write_failures").inc();
     }
@@ -364,9 +418,24 @@ fn stamp(resp: Response, snap: &ServingSnapshot, shared: &Shared) -> Response {
 }
 
 fn route(req: &Request, shared: &Shared) -> Response {
+    // Chaos hook: `?debug-sleep-ms=N` stalls the handler inside its span,
+    // so tests can inject a provably-slow request and find it (with this
+    // extra span) in `/debug/requests`.
+    if shared.config.enable_test_hooks {
+        if let Some(ms) = req
+            .query_param("debug-sleep-ms")
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            let _hook = mass_obs::span_with("serve.debug_sleep", vec![field("ms", ms)]);
+            std::thread::sleep(Duration::from_millis(ms.min(2_000)));
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/readyz") => readyz(shared),
+        ("GET", "/metrics") => metrics_scrape(shared),
+        ("GET", "/debug/requests") => debug_requests(req, shared),
+        ("GET", "/debug/slo") => debug_slo(shared),
         ("GET", "/topk") => topk(req, shared),
         ("POST", "/match") => match_ad(req, shared),
         ("POST", "/edits") => edits(req, shared),
@@ -375,7 +444,12 @@ fn route(req: &Request, shared: &Shared) -> Response {
             admin_inject_fault(req, shared)
         }
         // Right path, wrong verb: say which verb works.
-        ("POST", "/topk") | ("POST", "/healthz") | ("POST", "/readyz") => {
+        ("POST", "/topk")
+        | ("POST", "/healthz")
+        | ("POST", "/readyz")
+        | ("POST", "/metrics")
+        | ("POST", "/debug/requests")
+        | ("POST", "/debug/slo") => {
             Response::error(405, "use_get").with_header("Allow", "GET".into())
         }
         ("GET", "/match") | ("GET", "/edits") | ("GET", "/admin/shutdown") => {
@@ -383,6 +457,109 @@ fn route(req: &Request, shared: &Shared) -> Response {
         }
         _ => Response::error(404, "unknown_path"),
     }
+}
+
+/// `GET /metrics`: Prometheus text exposition v0.0.4 off the live plane.
+/// Point-in-time gauges are refreshed from the shared atomics first; the
+/// render itself touches only the plane's own snapshots — never the
+/// query path's snapshot lock beyond one epoch read.
+fn metrics_scrape(shared: &Shared) -> Response {
+    let plane = &shared.plane;
+    plane.stale_ms.set(shared.stale_ms() as i64);
+    plane
+        .pending_batches
+        .set(shared.pending_batches.load(Ordering::SeqCst) as i64);
+    plane
+        .degraded
+        .set(shared.degraded.load(Ordering::SeqCst) as i64);
+    Response {
+        status: 200,
+        headers: vec![(
+            "Content-Type".into(),
+            "text/plain; version=0.0.4; charset=utf-8".into(),
+        )],
+        body: plane.render_prometheus().into_bytes(),
+    }
+}
+
+/// `GET /debug/requests`: the flight-recorder dump (most recent and
+/// slowest sampled traces with per-span timings). `?recent=N&slowest=N`
+/// bound the lists.
+fn debug_requests(req: &Request, shared: &Shared) -> Response {
+    let bound = |key: &str, default: usize| {
+        req.query_param(key)
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(default)
+            .min(64)
+    };
+    Response::json(
+        200,
+        shared
+            .plane
+            .recorder
+            .to_json(bound("recent", 8), bound("slowest", 8)),
+    )
+}
+
+/// `GET /debug/slo`: one JSON page answering "are we inside our
+/// objectives right now" — epoch/staleness, backlog, shed, the rolling
+/// window's latency quantiles, and error-budget burn.
+fn debug_slo(shared: &Shared) -> Response {
+    let plane = &shared.plane;
+    let stats = plane.window_stats();
+    let window_secs = plane.window_secs();
+    let snap = shared.snapshot();
+    let quantile_ms = |q: Option<f64>| match q {
+        Some(us) => Json::Num(us / 1_000.0),
+        None => Json::Null,
+    };
+    let body = Json::Obj(vec![
+        ("epoch".into(), Json::from(snap.epoch())),
+        ("stale_ms".into(), Json::from(shared.stale_ms())),
+        (
+            "degraded".into(),
+            Json::from(shared.degraded.load(Ordering::SeqCst)),
+        ),
+        (
+            "draining".into(),
+            Json::from(shared.draining.load(Ordering::SeqCst)),
+        ),
+        (
+            "queue_depth".into(),
+            Json::from(plane.queue_depth.get().max(0) as u64),
+        ),
+        (
+            "pending_batches".into(),
+            Json::from(shared.pending_batches.load(Ordering::SeqCst) as u64),
+        ),
+        (
+            "shed".into(),
+            Json::from(shared.shed.load(Ordering::SeqCst)),
+        ),
+        (
+            "refresh_failures".into(),
+            Json::from(shared.refresh_failures.load(Ordering::SeqCst)),
+        ),
+        ("window_secs".into(), Json::from(window_secs)),
+        (
+            "window".into(),
+            Json::Obj(vec![
+                ("requests".into(), Json::from(stats.requests)),
+                ("errors".into(), Json::from(stats.errors)),
+                (
+                    "qps".into(),
+                    Json::Num(stats.requests as f64 / window_secs as f64),
+                ),
+                ("p50_ms".into(), quantile_ms(stats.p50_us)),
+                ("p99_ms".into(), quantile_ms(stats.p99_us)),
+                (
+                    "error_budget_burn".into(),
+                    Json::Num(plane.error_budget_burn(&stats)),
+                ),
+            ]),
+        ),
+    ]);
+    Response::json(200, body)
 }
 
 fn healthz(shared: &Shared) -> Response {
@@ -631,6 +808,7 @@ fn edits(req: &Request, shared: &Shared) -> Response {
     if pending >= shared.config.max_pending_batches {
         shared.shed.fetch_add(1, Ordering::SeqCst);
         mass_obs::counter("serve.shed").inc();
+        shared.plane.shed.inc();
         return stamp(
             Response::error(503, "edit_backlog")
                 .with_header("Retry-After", shared.config.retry_after_secs.to_string()),
@@ -638,8 +816,11 @@ fn edits(req: &Request, shared: &Shared) -> Response {
             shared,
         );
     }
+    // Stamp the batch with this request's trace id: the refresh it
+    // triggers records its spans under the same id.
+    let trace = mass_obs::current_trace();
     let sent = match shared.edits_tx.lock().unwrap().as_ref() {
-        Some(tx) => tx.send(batch).is_ok(),
+        Some(tx) => tx.send((trace, batch)).is_ok(),
         None => false,
     };
     if !sent {
@@ -647,6 +828,7 @@ fn edits(req: &Request, shared: &Shared) -> Response {
     }
     shared.pending_batches.fetch_add(1, Ordering::SeqCst);
     mass_obs::counter("serve.edit_batches").inc();
+    shared.plane.edit_batches.inc();
     let body = Json::Obj(vec![
         ("accepted".into(), Json::from(true)),
         ("batch_edits".into(), Json::from(batch_edits as u64)),
@@ -726,14 +908,25 @@ fn validate_script(engine: &IncrementalMass, script: &[ScriptedEdit]) -> Result<
     Ok(())
 }
 
-fn writer_loop(mut engine: IncrementalMass, rx: Receiver<EditBatch>, shared: Arc<Shared>) {
+fn writer_loop(
+    mut engine: IncrementalMass,
+    rx: Receiver<(TraceId, EditBatch)>,
+    shared: Arc<Shared>,
+) {
     while let Ok(first) = rx.recv() {
         // Coalesce whatever else is queued: one refresh absorbs them all.
         let mut batches = vec![first];
         while let Ok(b) = rx.try_recv() {
             batches.push(b);
         }
-        for batch in batches {
+        // A coalesced refresh serves many requests; attribute it to the
+        // first traced one so /debug/requests can link request → refresh.
+        let trace = batches
+            .iter()
+            .map(|(t, _)| *t)
+            .find(|t| t.is_set())
+            .unwrap_or(TraceId::NONE);
+        for (_, batch) in batches {
             shared.pending_batches.fetch_sub(1, Ordering::SeqCst);
             let script = match batch {
                 EditBatch::Script(script) => script,
@@ -761,10 +954,37 @@ fn writer_loop(mut engine: IncrementalMass, rx: Receiver<EditBatch>, shared: Arc
         if let Some(point) = shared.armed_fault.lock().unwrap().take() {
             engine.inject_refresh_fault(point);
         }
+        // Run the refresh under the submitting request's trace id and
+        // capture its span tree (`incremental.refresh` and children), so
+        // the flight recorder links the edit request to the work it
+        // caused. Refresh traces bypass tail sampling — they are rare
+        // and always worth keeping.
+        let _trace_scope = mass_obs::trace_scope(trace);
+        let capturing = shared.plane.recorder.is_enabled();
+        if capturing {
+            mass_obs::begin_capture();
+        }
         let t0 = Instant::now();
         let mode = shared.config.refresh_mode;
         let outcome = catch_unwind(AssertUnwindSafe(|| engine.refresh_with(mode)));
-        mass_obs::histogram("serve.refresh_us").record(t0.elapsed().as_micros() as f64);
+        let refresh_us = t0.elapsed().as_micros() as u64;
+        mass_obs::histogram("serve.refresh_us").record(refresh_us as f64);
+        shared.plane.observe_refresh(outcome.is_ok(), refresh_us);
+        if capturing {
+            let spans = mass_obs::end_capture();
+            // `error: true` forces keep — the offered/kept counters stay
+            // consistent while refresh traces always survive sampling.
+            if shared.plane.recorder.should_keep(0, true, refresh_us) {
+                shared.plane.recorder.record(CompletedTrace {
+                    trace,
+                    name: "incremental.refresh".into(),
+                    status: 0,
+                    error: outcome.is_err(),
+                    total_us: refresh_us,
+                    spans,
+                });
+            }
+        }
         match outcome {
             Ok(stats) => {
                 mass_obs::counter("serve.refreshes").inc();
@@ -901,6 +1121,136 @@ mod tests {
             }
             EditBatch::Storm { .. } => panic!("expected a script"),
         }
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_valid_exposition() {
+        let handle = start(
+            tiny_engine(),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let t = Duration::from_secs(5);
+        let reply = crate::client::get(&addr, "/topk?k=2", t).unwrap();
+        assert_eq!(reply.status, 200);
+        assert!(
+            reply.header("x-mass-trace").is_some(),
+            "every response carries its trace id"
+        );
+        let scrape = crate::client::get(&addr, "/metrics", t).unwrap();
+        assert_eq!(scrape.status, 200);
+        assert!(scrape
+            .header("content-type")
+            .unwrap()
+            .contains("version=0.0.4"));
+        let report = mass_obs::prometheus::validate(&scrape.body).expect("valid exposition");
+        for family in [
+            "serve_requests",
+            "serve_request_us",
+            "serve_epoch",
+            "serve_queue_depth",
+            "serve_window_requests",
+            "serve_flight_sampled",
+        ] {
+            assert!(report.families.contains_key(family), "missing {family}");
+        }
+        assert!(
+            scrape
+                .body
+                .contains("serve_request_us_bucket{window=\"60s\""),
+            "window-labelled histogram missing"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slo_page_reports_window_quantiles() {
+        let handle = start(tiny_engine(), ServeConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let t = Duration::from_secs(5);
+        for _ in 0..3 {
+            crate::client::get(&addr, "/topk?k=2", t).unwrap();
+        }
+        let reply = crate::client::get(&addr, "/debug/slo", t).unwrap();
+        assert_eq!(reply.status, 200);
+        let doc = mass_obs::json::parse(&reply.body).unwrap();
+        assert_eq!(doc.get("epoch").and_then(Json::as_u64), Some(0));
+        let window = doc.get("window").unwrap();
+        assert!(window.get("requests").and_then(Json::as_u64).unwrap() >= 3);
+        assert!(window.get("p99_ms").unwrap().as_f64().is_some());
+        assert_eq!(
+            window.get("error_budget_burn").and_then(Json::as_f64),
+            Some(0.0)
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_edit_request_links_to_its_refresh_in_flight_recorder() {
+        let mut config = ServeConfig {
+            workers: 2,
+            enable_test_hooks: true,
+            ..ServeConfig::default()
+        };
+        config.telemetry.sample_slow_ms = 20;
+        config.telemetry.trace_seed = 42;
+        let handle = start(tiny_engine(), config).unwrap();
+        let addr = handle.addr().to_string();
+        let t = Duration::from_secs(5);
+        // A provably slow request (debug sleep > slow threshold) that also
+        // submits an edit batch, so it triggers a refresh.
+        let reply = crate::client::post(
+            &addr,
+            "/edits?debug-sleep-ms=40",
+            br#"{"edits": [{"op": "add_blogger", "name": "traced"}]}"#,
+            t,
+        )
+        .unwrap();
+        assert_eq!(reply.status, 202, "{}", reply.body);
+        let trace = reply.header("x-mass-trace").unwrap().to_string();
+        assert_ne!(trace, "0000000000000000");
+        // Poll until the refresh trace shows up in the recorder.
+        let mut linked = false;
+        let mut saw_request = false;
+        for _ in 0..250 {
+            std::thread::sleep(Duration::from_millis(20));
+            let dump = crate::client::get(&addr, "/debug/requests", t).unwrap();
+            let doc = mass_obs::json::parse(&dump.body).unwrap();
+            let recent = doc.get("recent").and_then(Json::as_arr).unwrap();
+            let by_trace = |name: &str| {
+                recent.iter().any(|e| {
+                    e.get("trace").and_then(Json::as_str) == Some(trace.as_str())
+                        && e.get("name").and_then(Json::as_str) == Some(name)
+                })
+            };
+            saw_request = by_trace("POST /edits");
+            linked = by_trace("incremental.refresh");
+            if linked && saw_request {
+                break;
+            }
+        }
+        assert!(saw_request, "slow request sampled under its trace id");
+        assert!(linked, "refresh trace carries the submitting request's id");
+        // The sampled request trace includes the injected sleep span.
+        let dump = crate::client::get(&addr, "/debug/requests", t).unwrap();
+        let doc = mass_obs::json::parse(&dump.body).unwrap();
+        let recent = doc.get("recent").and_then(Json::as_arr).unwrap();
+        let req_trace = recent
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("POST /edits"))
+            .unwrap();
+        let spans = req_trace.get("spans").and_then(Json::as_arr).unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("serve.debug_sleep")));
+        assert!(spans
+            .iter()
+            .all(|s| s.get("trace").and_then(Json::as_str) == Some(trace.as_str())));
+        handle.shutdown();
     }
 
     #[test]

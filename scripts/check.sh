@@ -87,6 +87,7 @@ if [[ $fast -eq 0 ]]; then
   # degraded-but-answering -> recovered), then drain it cleanly and check
   # the telemetry it wrote on the way out.
   "$mass" serve --in "$obs_dir/golden.xml" --chaos-hooks \
+    --flight-recorder-cap 128 --sample-slow-ms 40 --window-secs 30 --trace-seed 7 \
     --log-level off --trace-out "$obs_dir/serve.jsonl" \
     --metrics-out "$obs_dir/serve_metrics.json" > "$obs_dir/serve.out" &
   serve_pid=$!
@@ -117,6 +118,38 @@ if [[ $fast -eq 0 ]]; then
   done
   [[ $epoch_ok -eq 1 ]] || { echo "edit storm never published a fresh epoch"; exit 1; }
 
+  # Live telemetry: scrape /metrics mid-load and validate the exposition
+  # (syntax, TYPE lines, bucket monotonicity, required families). The
+  # header assertions replace response-grepping for the epoch stamp.
+  "$mass" http --url "$base/topk?k=3" --expect 200 \
+    --header-expect X-Mass-Epoch >/dev/null
+  "$mass" http --url "$base/topk?k=3" --expect 200 \
+    --header-expect X-Mass-Trace >/dev/null
+  "$mass" http --url "$base/metrics" --expect 200 \
+    --out "$obs_dir/scrape.prom" >/dev/null
+  "$mass" obs-validate --prometheus "$obs_dir/scrape.prom" \
+    --expect-families serve_requests,serve_request_us,serve_epoch,serve_queue_depth,serve_window_requests,serve_flight_sampled
+  "$mass" http --url "$base/debug/slo" --expect 200 >/dev/null
+
+  # Flight recorder: an injected slow edit (debug sleep > the 40 ms
+  # sampling threshold) must appear in /debug/requests, and its trace id
+  # must link the request span to the refresh it triggered.
+  "$mass" http --url "$base/edits?debug-sleep-ms=80" --method POST \
+    --body '{"storm": 5, "seed": 6}' --expect 202 \
+    --header-expect X-Mass-Trace >/dev/null
+  linked_ok=0
+  for _ in $(seq 1 50); do
+    "$mass" http --url "$base/debug/requests" --expect 200 \
+      --out "$obs_dir/requests.json" >/dev/null
+    if "$mass" obs-validate --requests "$obs_dir/requests.json" \
+        --expect-linked serve.request=incremental.refresh >/dev/null 2>&1; then
+      linked_ok=1
+      break
+    fi
+    sleep 0.1
+  done
+  [[ $linked_ok -eq 1 ]] || { echo "slow request never linked to its refresh in /debug/requests"; exit 1; }
+
   # Chaos drill: a refresh panic must degrade /healthz without killing
   # queries, and the next good batch must recover.
   "$mass" http --url "$base/admin/inject-fault" --method POST \
@@ -124,7 +157,8 @@ if [[ $fast -eq 0 ]]; then
   "$mass" http --url "$base/edits" --method POST \
     --body '{"storm": 5, "seed": 4}' --expect 202 >/dev/null
   "$mass" http --url "$base/healthz" --expect 503 --retry 50 --retry-delay-ms 100 >/dev/null
-  "$mass" http --url "$base/topk?k=3" --expect 200 >/dev/null
+  "$mass" http --url "$base/topk?k=3" --expect 200 \
+    --header-expect X-Mass-Degraded=true >/dev/null
   "$mass" http --url "$base/edits" --method POST \
     --body '{"storm": 5, "seed": 5}' --expect 202 >/dev/null
   "$mass" http --url "$base/healthz" --expect 200 --retry 50 --retry-delay-ms 100 >/dev/null
