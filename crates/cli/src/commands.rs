@@ -7,7 +7,10 @@ use mass_crawler::{
     archive_host, crawl, BlogHost, CrawlConfig, HostConfig, SimulatedHost, XmlArchiveHost,
 };
 use mass_eval::{run_user_study, TextTable, UserStudyConfig};
-use mass_synth::{generate as synth_generate, SynthConfig};
+use mass_synth::{
+    generate as synth_generate, ingest_sharded, ingest_sharded_spilled, CorpusSpec, CorpusStream,
+    IngestOptions, SynthConfig,
+};
 use mass_text::DiscoveryParams;
 use mass_types::{BloggerId, Dataset, DomainId};
 use mass_viz::{apply_layout, LayoutParams, PostReplyNetwork};
@@ -29,6 +32,38 @@ fn synth_config(
         mean_posts_per_blogger: args.get_parse("posts-per-blogger", default_ppb)?,
         seed: args.get_parse("seed", 42u64)?,
         ..Default::default()
+    })
+}
+
+/// Builds a [`CorpusSpec`] from `--lean --domains --zipf --planted --boost
+/// --posts-per-blogger` overrides on top of the sized defaults.
+fn stream_spec(args: &Args, bloggers: usize, seed: u64) -> Result<CorpusSpec, String> {
+    let mut spec = if args.flag("lean") {
+        CorpusSpec::lean(bloggers, seed)
+    } else {
+        CorpusSpec::sized(bloggers, seed)
+    };
+    let mixture = spec.word_mixtures[0];
+    spec.domains = args.get_parse("domains", spec.domains)?;
+    spec.word_mixtures = vec![mixture; spec.domains];
+    spec.zipf_exponent = args.get_parse("zipf", spec.zipf_exponent)?;
+    spec.planted_influencers = args.get_parse("planted", spec.planted_influencers)?;
+    spec.influencer_boost = args.get_parse("boost", spec.influencer_boost)?;
+    spec.mean_posts_per_blogger =
+        args.get_parse("posts-per-blogger", spec.mean_posts_per_blogger)?;
+    Ok(spec)
+}
+
+fn ingest_options(args: &Args) -> Result<IngestOptions, String> {
+    Ok(IngestOptions {
+        shards: args.get_parse("shards", 4usize)?,
+        spill_budget: match args.get("spill-budget").filter(|s| !s.is_empty()) {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --spill-budget: {raw:?}"))?,
+            None => usize::MAX,
+        },
+        threads: args.get_parse("threads", 0usize)?,
     })
 }
 
@@ -88,6 +123,69 @@ pub fn generate(args: &Args) -> CmdResult {
     let out = synth_generate(&cfg);
     mass_xml::dataset_io::save(&out.dataset, out_path).map_err(|e| e.to_string())?;
     println!("wrote {out_path}: {}", out.dataset.stats());
+    Ok(())
+}
+
+/// `mass synth` — stream a declarative corpus spec, optionally straight
+/// into the analysis substrate (`--stream`) without an XML round-trip.
+pub fn synth(args: &Args) -> CmdResult {
+    let bloggers: usize = args.get_parse("bloggers", 1000)?;
+    let seed: u64 = args.get_parse("seed", 7)?;
+    let spec = stream_spec(args, bloggers, seed)?;
+    let stream = CorpusStream::new(spec).map_err(|e| format!("invalid spec: {e}"))?;
+
+    if args.flag("stream") {
+        let opts = ingest_options(args)?;
+        let started = std::time::Instant::now();
+        if args.get("spill-budget").filter(|s| !s.is_empty()).is_some() {
+            let out = ingest_sharded_spilled(&stream, &opts).map_err(|e| format!("ingest: {e}"))?;
+            println!(
+                "streamed {bloggers} bloggers -> {} posts, {} comments, vocab {} \
+                 ({} shards, {} spilled segments / {} bytes, corpus on disk: {} bytes) \
+                 in {:.2?}",
+                out.corpus.posts(),
+                out.stats.comments(),
+                out.corpus.vocab_len(),
+                opts.shards.max(1),
+                out.stats.spill.segments_spilled,
+                out.stats.spill.bytes_spilled,
+                out.corpus.file_bytes(),
+                started.elapsed(),
+            );
+        } else {
+            let out = ingest_sharded(&stream, &opts).map_err(|e| format!("ingest: {e}"))?;
+            println!(
+                "streamed {bloggers} bloggers -> {} posts, {} comments, vocab {} \
+                 ({} shards, resident) in {:.2?}",
+                out.corpus.posts(),
+                out.stats.comments(),
+                out.corpus.interner().len(),
+                opts.shards.max(1),
+                started.elapsed(),
+            );
+        }
+        let peak = mass_obs::process::peak_rss_kb();
+        if peak > 0 {
+            println!("peak rss: {peak} KiB");
+        }
+    }
+
+    if let Some(path) = args.get("records-out").filter(|s| !s.is_empty()) {
+        std::fs::write(path, stream.records_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.get("out").filter(|s| !s.is_empty()) {
+        let out = stream.materialize();
+        mass_xml::dataset_io::save(&out.dataset, path).map_err(|e| e.to_string())?;
+        println!("wrote {path}: {}", out.dataset.stats());
+    }
+    if !args.flag("stream") && args.get("records-out").is_none() && args.get("out").is_none() {
+        println!(
+            "spec validates: {bloggers} bloggers, {} domains, seed {seed} \
+             (add --stream, --out FILE or --records-out FILE to produce something)",
+            stream.spec().domains
+        );
+    }
     Ok(())
 }
 
@@ -283,12 +381,51 @@ fn rank_analysis(
     }
 }
 
+/// Builds the rank inputs from `--synth N --synth-seed S`: the dataset is
+/// materialised from a [`CorpusStream`], and with `--stream` the corpus
+/// comes from sharded ingest instead of in-memory tokenization — the two
+/// paths must produce byte-identical `--json-out` artifacts (check.sh
+/// diffs them).
+fn rank_synth_analysis(
+    args: &Args,
+    bloggers: usize,
+    params: &MassParams,
+) -> Result<(Dataset, MassAnalysis), String> {
+    if args.get_parse("edit-storm", 0usize)? != 0 {
+        return Err("--synth cannot be combined with --edit-storm (use --in FILE)".into());
+    }
+    let seed: u64 = args.get_parse("synth-seed", 7)?;
+    let spec = stream_spec(args, bloggers, seed)?;
+    let stream = CorpusStream::new(spec).map_err(|e| format!("invalid spec: {e}"))?;
+    let out = stream.materialize();
+    let analysis = if args.flag("stream") {
+        let opts = ingest_options(args)?;
+        let ingest = ingest_sharded(&stream, &opts).map_err(|e| format!("ingest: {e}"))?;
+        eprintln!(
+            "streamed ingest: {} shards, {} posts, {} comments, {} spilled segments",
+            opts.shards.max(1),
+            ingest.stats.posts(),
+            ingest.stats.comments(),
+            ingest.stats.spill.segments_spilled,
+        );
+        MassAnalysis::analyze_with_corpus(&out.dataset, &ingest.corpus, params)
+    } else {
+        MassAnalysis::analyze(&out.dataset, params)
+    };
+    Ok((out.dataset, analysis))
+}
+
 /// `mass rank` — top-k general or domain-specific influencers.
 pub fn rank(args: &Args) -> CmdResult {
-    let ds = load_dataset(args)?;
     let k: usize = args.get_parse("k", 10)?;
     let params = mass_params(args)?;
-    let (ds, analysis) = rank_analysis(args, ds, &params)?;
+    let synth_bloggers: usize = args.get_parse("synth", 0)?;
+    let (ds, analysis) = if synth_bloggers > 0 {
+        rank_synth_analysis(args, synth_bloggers, &params)?
+    } else {
+        let ds = load_dataset(args)?;
+        rank_analysis(args, ds, &params)?
+    };
     warn_on_solver_status(&analysis.scores);
 
     let (title, ranked) = match args.get("domain") {

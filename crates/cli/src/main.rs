@@ -32,6 +32,12 @@ COMMANDS:
   generate     generate a synthetic blogosphere and write it as XML
                --bloggers N (200)  --posts-per-blogger F (5.0)  --seed N (42)
                --out FILE (required)
+  synth        stream a declarative corpus spec (O(1) state per blogger)
+               --bloggers N (1000)  --seed N (7)  --lean  --domains N
+               --zipf F  --planted N  --boost F  --posts-per-blogger F
+               --stream [ingest shard-by-shard, skipping XML]
+               --shards N (4)  --spill-budget BYTES [out-of-core merge]
+               --out FILE [XML]  --records-out FILE [JSON lines]
   crawl        crawl a simulated host (or XML archive) and write the XML
                --bloggers N (200)  --seed N (42)   [synthetic host corpus]
                --from-archive DIR  [crawl a saved archive instead]
@@ -51,6 +57,9 @@ COMMANDS:
                storm before ranking]  --refresh-mode exact|warm|full (exact)
                exact/warm refresh incrementally; full recomputes from
                scratch — exact and full produce identical artifacts
+               --synth N --synth-seed S [rank a streamed synthetic corpus
+               instead of --in]  --stream --shards K --spill-budget B
+               [sharded ingest; artifacts byte-identical to in-memory]
   recommend    scenario 1 & 2 recommendations
                --in FILE  --k N (3)
                one of: --ad TEXT | --ad-domain NAME[,NAME...] | --profile TEXT
@@ -120,6 +129,7 @@ fn main() -> ExitCode {
     };
     let outcome = match args.command.as_deref() {
         Some("generate") => commands::generate(&args),
+        Some("synth") => commands::synth(&args),
         Some("crawl") => commands::crawl_cmd(&args),
         Some("archive") => commands::archive(&args),
         Some("stats") => commands::stats(&args),

@@ -206,6 +206,30 @@ impl Csr {
         self.edges = edges;
     }
 
+    /// The predecessor view of this successor view: every in-edge source in
+    /// ascending-`u` order with multiplicity — the same counting sort as
+    /// [`Csr::predecessors_of`], but straight off the flattened rows, so
+    /// sharded builders never need an intermediate [`DiGraph`].
+    pub fn predecessors_from_successors(&self) -> Csr {
+        let n = self.len();
+        let mut offsets = vec![0u32; n + 1];
+        for &v in &self.edges {
+            offsets[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut edges = vec![0u32; self.edges.len()];
+        for u in 0..n {
+            for &v in self.row(u) {
+                edges[cursor[v as usize] as usize] = u as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        Csr { offsets, edges }
+    }
+
     /// Number of rows (nodes).
     #[inline]
     pub fn len(&self) -> usize {
@@ -231,6 +255,56 @@ impl Csr {
     }
 }
 
+/// Row-by-row constructor for a successor [`Csr`] — what sharded corpus
+/// ingest uses to assemble the friend-link graph without materialising a
+/// [`DiGraph`]: each shard builds the rows of its contiguous node range,
+/// and segments concatenate in shard order via
+/// [`append`](CsrBuilder::append).
+#[derive(Clone, Debug, Default)]
+pub struct CsrBuilder {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl CsrBuilder {
+    /// An empty builder.
+    pub fn new() -> CsrBuilder {
+        CsrBuilder {
+            offsets: vec![0],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Appends the next node's successor row (kept in the given order).
+    pub fn push_row(&mut self, targets: &[u32]) {
+        self.edges.extend_from_slice(targets);
+        self.offsets.push(self.edges.len() as u32);
+    }
+
+    /// Appends every row of `segment` after the rows already pushed —
+    /// segment node `i` becomes global node `rows-before + i`, so callers
+    /// append shards of a contiguous node range in shard order.
+    pub fn append(&mut self, segment: &Csr) {
+        let base = self.edges.len() as u32;
+        self.edges.extend_from_slice(&segment.edges);
+        self.offsets
+            .extend(segment.offsets[1..].iter().map(|&o| o + base));
+    }
+
+    /// Rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Seals the successor view.
+    pub fn finish(self) -> Csr {
+        Csr {
+            offsets: self.offsets,
+            edges: self.edges,
+        }
+    }
+}
+
 /// Both flattened views of one link graph — everything the pull kernels
 /// read — maintainable in place across append-only edits.
 ///
@@ -252,6 +326,15 @@ impl LinkCsr {
         LinkCsr {
             succs: Csr::successors_of(g),
             preds: Csr::predecessors_of(g),
+        }
+    }
+
+    /// Bundles a successor view with its derived predecessor view — equals
+    /// [`LinkCsr::from_digraph`] of the graph the rows describe.
+    pub fn from_successors(succs: Csr) -> LinkCsr {
+        LinkCsr {
+            preds: succs.predecessors_from_successors(),
+            succs,
         }
     }
 
@@ -434,5 +517,58 @@ mod tests {
     fn apply_edits_rejects_out_of_range_targets() {
         let mut link = LinkCsr::empty(2);
         link.apply_edits(0, &[(0, 5)]);
+    }
+
+    #[test]
+    fn builder_rows_match_digraph_views() {
+        let g = DiGraph::from_edges(5, [(0, 2), (0, 1), (0, 2), (2, 0), (3, 1), (4, 4)]);
+        let mut b = CsrBuilder::new();
+        for u in 0..g.len() {
+            let row: Vec<u32> = g.successors(u).map(|v| v as u32).collect();
+            b.push_row(&row);
+        }
+        assert_eq!(b.rows(), 5);
+        let succ = b.finish();
+        assert_eq!(succ, Csr::successors_of(&g));
+        assert_eq!(
+            succ.predecessors_from_successors(),
+            Csr::predecessors_of(&g)
+        );
+        assert_eq!(LinkCsr::from_successors(succ), LinkCsr::from_digraph(&g));
+    }
+
+    #[test]
+    fn builder_append_concatenates_shards() {
+        let edges = [(0usize, 3usize), (1, 0), (2, 2), (3, 1), (3, 0), (5, 4)];
+        let g = DiGraph::from_edges(6, edges);
+        // Build node ranges 0..2, 2..4, 4..6 as separate segments, rows
+        // numbered within the segment (global = base + local).
+        let mut whole = CsrBuilder::new();
+        for range in [0..2usize, 2..4, 4..6] {
+            let mut seg = CsrBuilder::new();
+            for u in range {
+                let row: Vec<u32> = g.successors(u).map(|v| v as u32).collect();
+                seg.push_row(&row);
+            }
+            whole.append(&seg.finish());
+        }
+        assert_eq!(whole.rows(), 6);
+        assert_eq!(whole.finish(), Csr::successors_of(&g));
+    }
+
+    #[test]
+    fn builder_empty_and_empty_rows() {
+        let b = CsrBuilder::new();
+        assert_eq!(b.rows(), 0);
+        let empty = b.finish();
+        assert!(empty.is_empty());
+        assert_eq!(empty.predecessors_from_successors(), Csr::empty(0));
+        let mut b = CsrBuilder::new();
+        b.push_row(&[]);
+        b.push_row(&[0]);
+        let c = b.finish();
+        assert_eq!(c.row(0), &[] as &[u32]);
+        assert_eq!(c.row(1), &[0]);
+        assert_eq!(c.predecessors_from_successors().row(0), &[1]);
     }
 }

@@ -40,7 +40,7 @@ pub mod traversal;
 pub use components::{
     giant_component_size, strongly_connected_components, weakly_connected_components,
 };
-pub use csr::{AdjacencyKind, Csr, LinkCsr};
+pub use csr::{AdjacencyKind, Csr, CsrBuilder, LinkCsr};
 pub use digraph::{DegreeStats, DiGraph};
 pub use hits::{hits, hits_csr, HitsParams, HitsScores};
 pub use pagerank::{pagerank, pagerank_csr, PageRankParams, PageRankResult};

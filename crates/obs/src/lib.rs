@@ -52,6 +52,7 @@
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod process;
 pub mod prometheus;
 pub mod sink;
 pub mod window;

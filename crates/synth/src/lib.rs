@@ -35,13 +35,25 @@
 pub mod ads;
 pub mod config;
 pub mod generator;
+pub mod ingest;
 pub mod oracle;
 pub mod sampling;
+pub mod spec;
+pub mod stream;
 pub mod truth;
 pub mod vocab;
 
 pub use ads::{advertisement_text, profile_text};
 pub use config::SynthConfig;
 pub use generator::{generate, SynthOutput};
+pub use ingest::{
+    ingest_sharded, ingest_sharded_spilled, IngestOptions, IngestStats, SpilledStreamIngest,
+    StreamIngest,
+};
 pub use oracle::{JudgePanel, JudgePanelConfig};
+pub use spec::{ConfigError, CorpusSpec};
+pub use stream::{
+    shard_ranges, BloggerRecord, CorpusStream, Permutation, PostContent, PostRecord, PostRef,
+    StreamOutput,
+};
 pub use truth::GroundTruth;

@@ -1,0 +1,392 @@
+//! Declarative corpus specification for the streaming generator.
+//!
+//! A [`CorpusSpec`] describes a blogosphere as a set of *distributions* —
+//! Zipf authority/activity, preferential-attachment friend links, planted
+//! influencers, per-domain vocabulary mixtures — rather than as the
+//! materialised corpus itself. The streaming generator
+//! ([`crate::stream::CorpusStream`]) evaluates any blogger record directly
+//! from `(spec.seed, blogger_index)` with O(1) generator state, so a
+//! million-blogger corpus never has to be resident in memory.
+//!
+//! Validation is `Result`-based: degenerate specs (zero domains, empty
+//! vocabulary, non-positive Zipf exponent) are rejected with a typed
+//! [`ConfigError`] *before* streaming starts, never by a panic mid-stream.
+
+use crate::vocab::DOMAIN_VOCAB;
+use std::fmt;
+
+/// Why a [`CorpusSpec`] was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `bloggers == 0`: an empty blogosphere has no stream.
+    NoBloggers,
+    /// `domains == 0`: every post needs a domain to draw vocabulary from.
+    NoDomains,
+    /// More domains requested than vocabularies available (the built-in
+    /// catalogue has [`DOMAIN_VOCAB`]`.len()` entries; pass `custom_vocab`
+    /// for more).
+    TooManyDomains { requested: usize, available: usize },
+    /// A domain's vocabulary word list is empty — post text for that
+    /// domain would be unsampleable.
+    EmptyVocab { domain: usize },
+    /// The Zipf authority exponent must be strictly positive; `<= 0`
+    /// inverts or flattens the law and breaks rank inversion.
+    BadZipfExponent { value: f64 },
+    /// A probability-typed field left `[0, 1]`.
+    BadProbability { field: &'static str, value: f64 },
+    /// A mean-count field was negative or non-finite.
+    BadMean { field: &'static str, value: f64 },
+    /// The per-domain word-mixture vector length disagrees with `domains`.
+    MixtureLengthMismatch { mixtures: usize, domains: usize },
+    /// More planted influencers than bloggers.
+    PlantedExceedsBloggers { planted: usize, bloggers: usize },
+    /// The planted-influencer boost must be `>= 1` and finite.
+    BadBoost { value: f64 },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoBloggers => write!(f, "spec needs at least one blogger"),
+            ConfigError::NoDomains => write!(f, "spec needs at least one domain"),
+            ConfigError::TooManyDomains {
+                requested,
+                available,
+            } => write!(
+                f,
+                "spec requests {requested} domains but only {available} vocabularies are available"
+            ),
+            ConfigError::EmptyVocab { domain } => {
+                write!(f, "domain {domain} has an empty vocabulary")
+            }
+            ConfigError::BadZipfExponent { value } => {
+                write!(f, "zipf exponent must be > 0, got {value}")
+            }
+            ConfigError::BadProbability { field, value } => {
+                write!(f, "{field} must be a probability in [0, 1], got {value}")
+            }
+            ConfigError::BadMean { field, value } => {
+                write!(f, "{field} must be a finite non-negative mean, got {value}")
+            }
+            ConfigError::MixtureLengthMismatch { mixtures, domains } => write!(
+                f,
+                "word_mixtures has {mixtures} entries but the spec has {domains} domains"
+            ),
+            ConfigError::PlantedExceedsBloggers { planted, bloggers } => write!(
+                f,
+                "cannot plant {planted} influencers among {bloggers} bloggers"
+            ),
+            ConfigError::BadBoost { value } => {
+                write!(f, "influencer boost must be finite and >= 1, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Declarative description of a synthetic blogosphere.
+///
+/// Unlike [`crate::SynthConfig`] (which parameterises a sequential
+/// generator whose RNG state threads through the whole corpus), every
+/// quantity here is defined per-blogger as a pure function of
+/// `(seed, blogger_index)` — see [`crate::stream::CorpusStream`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusSpec {
+    /// Number of bloggers in the corpus.
+    pub bloggers: usize,
+    /// Number of interest domains (vocabulary mixtures). At most
+    /// [`DOMAIN_VOCAB`]`.len()` unless `custom_vocab` supplies more.
+    pub domains: usize,
+    /// Zipf exponent of the latent authority/activity law: blogger at
+    /// authority rank `r` has weight `(r + 1)^-exponent`. Must be `> 0`.
+    pub zipf_exponent: f64,
+    /// Mean posts per blogger; actual counts follow authority.
+    pub mean_posts_per_blogger: f64,
+    /// Mean friend links per blogger. Targets are drawn preferentially by
+    /// authority (popular spaces collect links).
+    pub mean_friends: f64,
+    /// Mean outgoing post-to-post citations per post.
+    pub mean_post_links: f64,
+    /// Mean comments on a top-authority post; lower-authority posts
+    /// receive proportionally fewer.
+    pub mean_comments_top: f64,
+    /// Number of planted influencers: the top `planted` authority ranks
+    /// get their weight multiplied by `influencer_boost`, sharpening the
+    /// head of the distribution into a known set of ground-truth stars.
+    pub planted_influencers: usize,
+    /// Authority multiplier for planted influencers (`>= 1`).
+    pub influencer_boost: f64,
+    /// Per-domain fraction of post words drawn from the domain vocabulary
+    /// (the rest is general filler). One entry per domain.
+    pub word_mixtures: Vec<f64>,
+    /// Probability a post after the author's first reproduces one of their
+    /// own earlier posts (exercises the novelty facet without needing
+    /// cross-blogger state).
+    pub copy_rate: f64,
+    /// Probability a comment carries its ground-truth sentiment tag.
+    pub tag_sentiment_prob: f64,
+    /// How strongly comment positivity tracks author authority.
+    pub sentiment_authority_corr: f64,
+    /// Base post length in words; actual length scales with authority.
+    pub base_post_words: usize,
+    /// Replacement vocabularies (one word list per domain). `None` uses the
+    /// built-in [`DOMAIN_VOCAB`] catalogue truncated to `domains`.
+    pub custom_vocab: Option<Vec<Vec<String>>>,
+    /// RNG seed. Equal specs stream identical corpora.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            bloggers: 200,
+            domains: DOMAIN_VOCAB.len(),
+            zipf_exponent: 1.1,
+            mean_posts_per_blogger: 5.0,
+            mean_friends: 4.0,
+            mean_post_links: 1.0,
+            mean_comments_top: 30.0,
+            planted_influencers: 0,
+            influencer_boost: 4.0,
+            word_mixtures: vec![0.55; DOMAIN_VOCAB.len()],
+            copy_rate: 0.08,
+            tag_sentiment_prob: 0.5,
+            sentiment_authority_corr: 0.6,
+            base_post_words: 60,
+            custom_vocab: None,
+            seed: 7,
+        }
+    }
+}
+
+impl CorpusSpec {
+    /// A spec sized to `bloggers`, otherwise default-shaped.
+    pub fn sized(bloggers: usize, seed: u64) -> Self {
+        CorpusSpec {
+            bloggers,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// A lean spec for very large corpora (short posts, few comments) —
+    /// what the X16 bench streams at 100k/1M bloggers.
+    pub fn lean(bloggers: usize, seed: u64) -> Self {
+        CorpusSpec {
+            bloggers,
+            mean_posts_per_blogger: 1.5,
+            mean_friends: 3.0,
+            mean_post_links: 0.5,
+            mean_comments_top: 3.0,
+            base_post_words: 18,
+            copy_rate: 0.05,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Checks every parameter range, returning the first violation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.bloggers == 0 {
+            return Err(ConfigError::NoBloggers);
+        }
+        if self.domains == 0 {
+            return Err(ConfigError::NoDomains);
+        }
+        match &self.custom_vocab {
+            Some(vocab) => {
+                if vocab.len() < self.domains {
+                    return Err(ConfigError::TooManyDomains {
+                        requested: self.domains,
+                        available: vocab.len(),
+                    });
+                }
+                for (d, words) in vocab.iter().take(self.domains).enumerate() {
+                    if words.is_empty() || words.iter().all(|w| w.is_empty()) {
+                        return Err(ConfigError::EmptyVocab { domain: d });
+                    }
+                }
+            }
+            None => {
+                if self.domains > DOMAIN_VOCAB.len() {
+                    return Err(ConfigError::TooManyDomains {
+                        requested: self.domains,
+                        available: DOMAIN_VOCAB.len(),
+                    });
+                }
+            }
+        }
+        if !(self.zipf_exponent > 0.0 && self.zipf_exponent.is_finite()) {
+            return Err(ConfigError::BadZipfExponent {
+                value: self.zipf_exponent,
+            });
+        }
+        for (field, value) in [
+            ("mean_posts_per_blogger", self.mean_posts_per_blogger),
+            ("mean_friends", self.mean_friends),
+            ("mean_post_links", self.mean_post_links),
+            ("mean_comments_top", self.mean_comments_top),
+        ] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(ConfigError::BadMean { field, value });
+            }
+        }
+        for (field, value) in [
+            ("copy_rate", self.copy_rate),
+            ("tag_sentiment_prob", self.tag_sentiment_prob),
+            ("sentiment_authority_corr", self.sentiment_authority_corr),
+        ] {
+            if !((0.0..=1.0).contains(&value) && value.is_finite()) {
+                return Err(ConfigError::BadProbability { field, value });
+            }
+        }
+        if self.word_mixtures.len() != self.domains {
+            return Err(ConfigError::MixtureLengthMismatch {
+                mixtures: self.word_mixtures.len(),
+                domains: self.domains,
+            });
+        }
+        for &m in &self.word_mixtures {
+            if !((0.0..=1.0).contains(&m) && m.is_finite()) {
+                return Err(ConfigError::BadProbability {
+                    field: "word_mixtures",
+                    value: m,
+                });
+            }
+        }
+        if self.planted_influencers > self.bloggers {
+            return Err(ConfigError::PlantedExceedsBloggers {
+                planted: self.planted_influencers,
+                bloggers: self.bloggers,
+            });
+        }
+        if !(self.influencer_boost >= 1.0 && self.influencer_boost.is_finite()) {
+            return Err(ConfigError::BadBoost {
+                value: self.influencer_boost,
+            });
+        }
+        Ok(())
+    }
+
+    /// The effective vocabulary of domain `d` (custom or built-in).
+    pub(crate) fn domain_words(&self, d: usize) -> Vec<String> {
+        match &self.custom_vocab {
+            Some(vocab) => vocab[d].clone(),
+            None => DOMAIN_VOCAB[d].iter().map(|w| w.to_string()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        CorpusSpec::default().validate().unwrap();
+        CorpusSpec::sized(600, 7).validate().unwrap();
+        CorpusSpec::lean(1000, 7).validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_specs_yield_typed_errors() {
+        let base = CorpusSpec::default();
+        assert_eq!(
+            CorpusSpec {
+                bloggers: 0,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::NoBloggers)
+        );
+        assert_eq!(
+            CorpusSpec {
+                domains: 0,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::NoDomains)
+        );
+        assert_eq!(
+            CorpusSpec {
+                zipf_exponent: 0.0,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::BadZipfExponent { value: 0.0 })
+        );
+        assert_eq!(
+            CorpusSpec {
+                zipf_exponent: -1.5,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::BadZipfExponent { value: -1.5 })
+        );
+        assert!(matches!(
+            CorpusSpec {
+                custom_vocab: Some(vec![Vec::new(); 10]),
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::EmptyVocab { domain: 0 })
+        ));
+        assert!(matches!(
+            CorpusSpec {
+                domains: 99,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::TooManyDomains { requested: 99, .. })
+        ));
+        assert!(matches!(
+            CorpusSpec {
+                copy_rate: 1.5,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::BadProbability {
+                field: "copy_rate",
+                ..
+            })
+        ));
+        assert!(matches!(
+            CorpusSpec {
+                word_mixtures: vec![0.5; 3],
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::MixtureLengthMismatch { mixtures: 3, .. })
+        ));
+        assert!(matches!(
+            CorpusSpec {
+                planted_influencers: 1000,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::PlantedExceedsBloggers { .. })
+        ));
+        assert!(matches!(
+            CorpusSpec {
+                influencer_boost: 0.5,
+                ..base
+            }
+            .validate(),
+            Err(ConfigError::BadBoost { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_the_offending_value() {
+        let e = CorpusSpec {
+            zipf_exponent: -2.0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(e.to_string().contains("-2"));
+        let e: Box<dyn std::error::Error> = Box::new(ConfigError::NoDomains);
+        assert!(e.to_string().contains("domain"));
+    }
+}

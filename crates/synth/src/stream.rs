@@ -1,0 +1,1109 @@
+//! Streaming corpus generation: any blogger record from `(seed, index)`.
+//!
+//! The legacy generator ([`crate::generate`]) threads one RNG through the
+//! whole corpus, so record `i` depends on every record before it and the
+//! blogosphere must be materialised in memory. [`CorpusStream`] removes
+//! both constraints:
+//!
+//! * **O(1) generator state.** Every latent quantity of blogger `i` —
+//!   authority, domain affinity, friends, post count, each post's words and
+//!   comments — is a pure function of `(spec.seed, i)` evaluated through
+//!   independent per-record RNG streams. Regenerating blogger 738 412 of a
+//!   million-blogger corpus costs the same as blogger 0.
+//! * **Stateless heavy tails.** Authority ranks are assigned by a seeded
+//!   Feistel [`Permutation`] (a bijection on `0..n` with O(1) `apply` and
+//!   `invert`), and authority-weighted choices (friend targets, commenters)
+//!   are drawn by inverting the continuous power-law CDF — no cumulative
+//!   table over `n` bloggers.
+//! * **Self-contained records.** A post may copy one of its *author's* own
+//!   earlier posts and may cite another blogger's post symbolically as
+//!   [`PostRef`] `{blogger, slot}`; nothing in a record depends on the
+//!   realised content of other records.
+//!
+//! Shards of the index range therefore generate independently and in
+//! parallel (see [`crate::ingest`]), and the whole corpus can also be
+//! materialised into a classic [`Dataset`] via [`CorpusStream::materialize`]
+//! for the differential tests that pin the streamed path to the in-memory
+//! path bit for bit.
+
+use crate::spec::{ConfigError, CorpusSpec};
+use crate::truth::GroundTruth;
+use crate::vocab::{
+    COPY_OPENERS, GENERAL_WORDS, NEGATIVE_COMMENT_TEMPLATES, NEUTRAL_COMMENT_TEMPLATES,
+    POSITIVE_COMMENT_TEMPLATES,
+};
+use mass_types::{
+    Blogger, BloggerId, Comment, Dataset, DomainId, DomainSet, Post, PostId, Sentiment,
+    PAPER_DOMAINS,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Per-record RNG stream tags: one independent stream per latent quantity,
+/// so adding draws to one stream never perturbs another.
+mod tag {
+    pub const AFFINITY: u64 = 0x01;
+    pub const FRIENDS: u64 = 0x02;
+    pub const VOLUME: u64 = 0x03;
+    pub const POST_META: u64 = 0x04;
+    pub const POST_BODY: u64 = 0x05;
+    pub const COMMENTS: u64 = 0x06;
+}
+
+/// SplitMix64 finalizer: a strong 64→64 bit mixer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of stream `(tag, i, k)` under a corpus seed. Each
+/// argument is folded through [`mix64`] with a distinct odd multiplier, so
+/// nearby `(i, k)` pairs land on unrelated RNG states.
+#[inline]
+fn stream_seed(seed: u64, tag: u64, i: u64, k: u64) -> u64 {
+    let a = mix64(seed ^ tag.wrapping_mul(0xA076_1D64_78BD_642F));
+    let b = mix64(a ^ i.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    mix64(b ^ k.wrapping_mul(0x8EBC_6AF0_9C88_C6E3))
+}
+
+#[inline]
+fn stream_rng(seed: u64, tag: u64, i: u64, k: u64) -> StdRng {
+    StdRng::seed_from_u64(stream_seed(seed, tag, i, k))
+}
+
+/// A seeded bijection on `0..n` with O(1) forward and inverse evaluation.
+///
+/// Implemented as a 4-round balanced Feistel network over the smallest
+/// even-bit power of two ≥ `n`, with cycle-walking to stay inside `0..n`:
+/// out-of-range intermediate values are re-encrypted until they land in
+/// range, which preserves bijectivity and terminates in < 4 expected steps
+/// (the walk domain is at most 4× `n`).
+///
+/// The stream generator uses it to scatter authority ranks over blogger
+/// indices without storing a shuffled permutation vector: `apply(i)` is the
+/// authority rank of blogger `i`, `invert(rank)` recovers the blogger.
+#[derive(Clone, Debug)]
+pub struct Permutation {
+    n: u64,
+    half_bits: u32,
+    mask: u64,
+    keys: [u64; 4],
+}
+
+impl Permutation {
+    /// A permutation of `0..n` determined by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, seed: u64) -> Permutation {
+        assert!(n > 0, "permutation over empty domain");
+        let mut half_bits = 1;
+        while (1u64 << (2 * half_bits)) < n {
+            half_bits += 1;
+        }
+        let base = mix64(seed ^ 0x1B87_3F7A_55D8_90E3);
+        let keys = [
+            mix64(base ^ 1),
+            mix64(base ^ 2),
+            mix64(base ^ 3),
+            mix64(base ^ 4),
+        ];
+        Permutation {
+            n,
+            half_bits,
+            mask: (1u64 << half_bits) - 1,
+            keys,
+        }
+    }
+
+    #[inline]
+    fn round(&self, r: u64, key: u64) -> u64 {
+        mix64(r ^ key) & self.mask
+    }
+
+    #[inline]
+    fn encrypt(&self, x: u64) -> u64 {
+        let (mut l, mut r) = (x >> self.half_bits, x & self.mask);
+        for &k in &self.keys {
+            let f = self.round(r, k);
+            let nl = r;
+            let nr = l ^ f;
+            l = nl;
+            r = nr;
+        }
+        (l << self.half_bits) | r
+    }
+
+    #[inline]
+    fn decrypt(&self, y: u64) -> u64 {
+        let (mut l, mut r) = (y >> self.half_bits, y & self.mask);
+        for &k in self.keys.iter().rev() {
+            let f = self.round(l, k);
+            let nl = r ^ f;
+            let nr = l;
+            l = nl;
+            r = nr;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// Image of `i` under the permutation (`i < n`).
+    #[inline]
+    pub fn apply(&self, i: u64) -> u64 {
+        debug_assert!(i < self.n);
+        let mut x = self.encrypt(i);
+        while x >= self.n {
+            x = self.encrypt(x);
+        }
+        x
+    }
+
+    /// Preimage: `invert(apply(i)) == i`.
+    #[inline]
+    pub fn invert(&self, y: u64) -> u64 {
+        debug_assert!(y < self.n);
+        let mut x = self.decrypt(y);
+        while x >= self.n {
+            x = self.decrypt(x);
+        }
+        x
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the domain is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Latent (unobservable) per-blogger quantities, the same facts
+/// [`GroundTruth`] tabulates corpus-wide.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Latent {
+    /// Authority in `(0, 1]`, `1.0` for the top-ranked blogger.
+    pub authority: f64,
+    /// Zipf rank (0 = most authoritative).
+    pub rank: usize,
+    /// Main interest domain.
+    pub primary_domain: DomainId,
+    /// Per-domain activity fractions; sums to 1.
+    pub relevance: Vec<f64>,
+}
+
+/// Symbolic reference to the `slot`-th post of blogger `blogger`, resolved
+/// to a global [`PostId`] only at materialisation/ingest time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PostRef {
+    /// Author of the cited post.
+    pub blogger: usize,
+    /// Position of the cited post within that author's posts.
+    pub slot: usize,
+}
+
+/// A post minus its comments — the unit the posts pass of sharded ingest
+/// consumes ([`CorpusStream::post_content`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PostContent {
+    /// Ground-truth domain of the body text.
+    pub domain: DomainId,
+    /// Post title.
+    pub title: String,
+    /// Post body text.
+    pub text: String,
+    /// Cited posts of *other* bloggers (symbolic; never self-citations).
+    pub links: Vec<PostRef>,
+}
+
+/// One generated post, self-contained within its author's record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PostRecord {
+    /// Post title.
+    pub title: String,
+    /// Post body text.
+    pub text: String,
+    /// Ground-truth domain of the body text.
+    pub domain: DomainId,
+    /// Cited posts of *other* bloggers (symbolic; never self-citations).
+    pub links: Vec<PostRef>,
+    /// Reader comments.
+    pub comments: Vec<Comment>,
+}
+
+/// One blogger's complete generated record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BloggerRecord {
+    /// Blogger index (= `BloggerId` after materialisation).
+    pub index: usize,
+    /// Display name.
+    pub name: String,
+    /// Profile text.
+    pub profile: String,
+    /// Latent quantities the observables were derived from.
+    pub latent: Latent,
+    /// Outgoing space links (never self-links).
+    pub friends: Vec<BloggerId>,
+    /// The blogger's posts, in publication order.
+    pub posts: Vec<PostRecord>,
+}
+
+/// A materialised stream: the classic in-memory dataset plus ground truth.
+#[derive(Clone, Debug)]
+pub struct StreamOutput {
+    /// The blogosphere snapshot, identical to what shard-by-shard ingest
+    /// of the same stream observes.
+    pub dataset: Dataset,
+    /// Planted latent quantities for evaluation.
+    pub truth: GroundTruth,
+}
+
+/// Deterministic blogger-record stream over a validated [`CorpusSpec`].
+///
+/// Construction is O(n) time (two scalar reductions over authority ranks)
+/// but O(1) memory beyond the spec's vocabulary; every record access is
+/// independent of every other.
+#[derive(Clone, Debug)]
+pub struct CorpusStream {
+    spec: CorpusSpec,
+    perm: Permutation,
+    vocab: Vec<Vec<String>>,
+    /// Σ authority(rank) — mass of the authority component in mixture draws.
+    s_auth: f64,
+    /// Σ (0.3 + 3·√authority) — post-volume normaliser.
+    s_vol: f64,
+    /// Raw weight of rank 0 (the normaliser making top authority 1.0).
+    w_max: f64,
+    /// Continuous CDF mass of the planted (boosted) segment.
+    h_planted: f64,
+    /// Total continuous CDF mass (boosted head + tail).
+    total_mass: f64,
+}
+
+impl CorpusStream {
+    /// Validates the spec and precomputes the O(1) sampling state.
+    pub fn new(spec: CorpusSpec) -> Result<CorpusStream, ConfigError> {
+        spec.validate()?;
+        let n = spec.bloggers;
+        let perm = Permutation::new(n as u64, spec.seed);
+        let vocab: Vec<Vec<String>> = (0..spec.domains).map(|d| spec.domain_words(d)).collect();
+
+        let boost = if spec.planted_influencers > 0 {
+            spec.influencer_boost
+        } else {
+            1.0
+        };
+        let s = spec.zipf_exponent;
+        let w_max = boost * 1.0f64; // rank 0: (0+1)^-s == 1, boosted
+        let mut s_auth = 0.0;
+        let mut s_vol = 0.0;
+        for r in 0..n {
+            let raw = Self::raw_weight(r, s, spec.planted_influencers, boost);
+            let a = raw / w_max;
+            s_auth += a;
+            s_vol += 0.3 + 3.0 * a.sqrt();
+        }
+        let p = spec.planted_influencers as f64;
+        let h_planted = h_integral(p, s);
+        let total_mass = boost * h_planted + (h_integral(n as f64, s) - h_planted);
+        Ok(CorpusStream {
+            spec,
+            perm,
+            vocab,
+            s_auth,
+            s_vol,
+            w_max,
+            h_planted,
+            total_mass,
+        })
+    }
+
+    /// The validated spec this stream realises.
+    pub fn spec(&self) -> &CorpusSpec {
+        &self.spec
+    }
+
+    /// Number of bloggers in the stream.
+    pub fn len(&self) -> usize {
+        self.spec.bloggers
+    }
+
+    /// Whether the stream is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.spec.bloggers == 0
+    }
+
+    #[inline]
+    fn boost(&self) -> f64 {
+        if self.spec.planted_influencers > 0 {
+            self.spec.influencer_boost
+        } else {
+            1.0
+        }
+    }
+
+    #[inline]
+    fn raw_weight(rank: usize, s: f64, planted: usize, boost: f64) -> f64 {
+        let base = ((rank + 1) as f64).powf(-s);
+        if rank < planted {
+            base * boost
+        } else {
+            base
+        }
+    }
+
+    /// Authority of blogger `i` in `(0, 1]`.
+    #[inline]
+    pub fn authority(&self, i: usize) -> f64 {
+        self.authority_of_rank(self.rank_of(i))
+    }
+
+    /// Authority of the blogger at Zipf rank `r`.
+    #[inline]
+    pub fn authority_of_rank(&self, r: usize) -> f64 {
+        Self::raw_weight(
+            r,
+            self.spec.zipf_exponent,
+            self.spec.planted_influencers,
+            self.boost(),
+        ) / self.w_max
+    }
+
+    /// Zipf rank of blogger `i` (0 = most authoritative).
+    #[inline]
+    pub fn rank_of(&self, i: usize) -> usize {
+        self.perm.apply(i as u64) as usize
+    }
+
+    /// Blogger occupying Zipf rank `r`.
+    #[inline]
+    pub fn blogger_at_rank(&self, r: usize) -> usize {
+        self.perm.invert(r as u64) as usize
+    }
+
+    /// Draws a rank with probability ∝ its (boosted) power-law weight, via
+    /// the inverse continuous CDF — O(1), no cumulative table.
+    #[inline]
+    fn sample_rank<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let s = self.spec.zipf_exponent;
+        let y = rng.random::<f64>() * self.total_mass;
+        let boosted = self.boost() * self.h_planted;
+        let x = if y < boosted {
+            h_inverse(y / self.boost(), s)
+        } else {
+            h_inverse(self.h_planted + (y - boosted), s)
+        };
+        (x as usize).min(self.spec.bloggers - 1)
+    }
+
+    #[inline]
+    fn sample_blogger<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.blogger_at_rank(self.sample_rank(rng))
+    }
+
+    /// Number of posts blogger `i` publishes — O(1).
+    pub fn n_posts(&self, i: usize) -> usize {
+        let a = self.authority(i);
+        let vw = 0.3 + 3.0 * a.sqrt();
+        let mut rng = stream_rng(self.spec.seed, tag::VOLUME, i as u64, 0);
+        let jitter = 0.7 + 0.6 * rng.random::<f64>();
+        let n = self.spec.bloggers as f64;
+        (self.spec.mean_posts_per_blogger * n * (vw / self.s_vol) * jitter).round() as usize
+    }
+
+    /// Latent quantities of blogger `i` — O(1).
+    pub fn latent(&self, i: usize) -> Latent {
+        let rank = self.rank_of(i);
+        let authority = self.authority_of_rank(rank);
+        let nd = self.spec.domains;
+        let mut rng = stream_rng(self.spec.seed, tag::AFFINITY, i as u64, 0);
+        let primary = rng.random_range(0..nd);
+        let mut relevance = vec![0.01; nd];
+        relevance[primary] += 0.6 + 0.3 * rng.random::<f64>();
+        if nd > 1 {
+            let n_sec = if rng.random_bool(0.5) { 2 } else { 1 }.min(nd - 1);
+            let mut remaining = 0.05 + 0.25 * rng.random::<f64>();
+            for _ in 0..n_sec {
+                // Offset draw keeps the secondary distinct from the primary
+                // without rejection loops.
+                let d = (primary + 1 + rng.random_range(0..nd - 1)) % nd;
+                let share = remaining * (0.3 + 0.5 * rng.random::<f64>());
+                relevance[d] += share;
+                remaining -= share;
+            }
+        }
+        let total: f64 = relevance.iter().sum();
+        for r in relevance.iter_mut() {
+            *r /= total;
+        }
+        Latent {
+            authority,
+            rank,
+            primary_domain: DomainId::new(primary),
+            relevance,
+        }
+    }
+
+    /// Outgoing friend links of blogger `i` — preferential attachment by
+    /// authority, deduplicated, never self-directed.
+    pub fn friends(&self, i: usize) -> Vec<BloggerId> {
+        let nb = self.spec.bloggers;
+        if nb < 2 {
+            return Vec::new();
+        }
+        let mut rng = stream_rng(self.spec.seed, tag::FRIENDS, i as u64, 0);
+        let cap = (nb - 1).min(128);
+        let want = crate::sampling::skewed_count(&mut rng, self.spec.mean_friends, cap);
+        let mut friends: Vec<BloggerId> = Vec::with_capacity(want);
+        let mut attempts = 0;
+        while friends.len() < want && attempts < 4 * want + 16 {
+            attempts += 1;
+            let t = self.sample_blogger(&mut rng);
+            if t != i && !friends.iter().any(|f| f.index() == t) {
+                friends.push(BloggerId::new(t));
+            }
+        }
+        friends
+    }
+
+    /// Domain ∼ the blogger's relevance mixture (≤ a few dozen domains;
+    /// linear CDF walk is exact and cheap). Consumes exactly one draw —
+    /// the *first* draw of the post-body stream, so
+    /// [`CorpusStream::post_domain`] can replay it without generating words.
+    fn domain_walk<R: Rng + ?Sized>(&self, rng: &mut R, latent: &Latent) -> usize {
+        let mut target = rng.random::<f64>();
+        let mut domain = self.spec.domains - 1;
+        for (d, &w) in latent.relevance.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                domain = d;
+                break;
+            }
+        }
+        domain
+    }
+
+    /// The body (domain, title, text) post `(i, t)` would have as an
+    /// original composition. Pure in `(seed, i, t)` — copies re-derive the
+    /// source body without touching the source's own copy decision, keeping
+    /// records O(1) to evaluate.
+    fn post_body(&self, i: usize, t: usize, latent: &Latent) -> (DomainId, String, String) {
+        let mut rng = stream_rng(self.spec.seed, tag::POST_BODY, i as u64, t as u64);
+        let domain = self.domain_walk(&mut rng, latent);
+        let words = &self.vocab[domain];
+        let a = latent.authority;
+        let len_f =
+            self.spec.base_post_words as f64 * (0.35 + 1.3 * a.sqrt() + 0.25 * rng.random::<f64>());
+        let n_words = (len_f as usize).max(3);
+        let mixture = self.spec.word_mixtures[domain];
+        let mut text = String::with_capacity(n_words * 8);
+        for w in 0..n_words {
+            if w > 0 {
+                text.push(' ');
+            }
+            if rng.random_bool(mixture) {
+                text.push_str(&words[rng.random_range(0..words.len())]);
+            } else {
+                text.push_str(GENERAL_WORDS[rng.random_range(0..GENERAL_WORDS.len())]);
+            }
+        }
+        let title = format!(
+            "{} {}",
+            words[rng.random_range(0..words.len())],
+            GENERAL_WORDS[rng.random_range(0..GENERAL_WORDS.len())]
+        );
+        (DomainId::new(domain), title, text)
+    }
+
+    /// Comments on post `(i, t)`: volume follows the author's authority,
+    /// commenters mix uniform readers with authority-weighted peers, and
+    /// sentiment correlates with authority per the spec.
+    fn comments(&self, i: usize, t: usize, latent: &Latent, domain: DomainId) -> Vec<Comment> {
+        let nb = self.spec.bloggers;
+        if nb < 2 {
+            return Vec::new(); // only possible commenter would be the author
+        }
+        let a = latent.authority;
+        let mut rng = stream_rng(self.spec.seed, tag::COMMENTS, i as u64, t as u64);
+        let rate = self.spec.mean_comments_top * (0.02 + 0.98 * a.sqrt());
+        let count = crate::sampling::skewed_count(&mut rng, rate, 400);
+        let uniform_mass = 0.3 * nb as f64;
+        let corr = self.spec.sentiment_authority_corr;
+        let p_pos = 0.25 + 0.55 * corr * a;
+        let p_neg = (0.35 - 0.30 * corr * a).max(0.05);
+        let words = &self.vocab[domain.index()];
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pick = rng.random::<f64>() * (uniform_mass + self.s_auth);
+            let mut commenter = if pick < uniform_mass {
+                rng.random_range(0..nb)
+            } else {
+                self.sample_blogger(&mut rng)
+            };
+            if commenter == i {
+                commenter = (commenter + 1) % nb;
+            }
+            let u = rng.random::<f64>();
+            let (sentiment, templates) = if u < p_pos {
+                (Sentiment::Positive, POSITIVE_COMMENT_TEMPLATES)
+            } else if u < p_pos + p_neg {
+                (Sentiment::Negative, NEGATIVE_COMMENT_TEMPLATES)
+            } else {
+                (Sentiment::Neutral, NEUTRAL_COMMENT_TEMPLATES)
+            };
+            let template = templates[rng.random_range(0..templates.len())];
+            let word = &words[rng.random_range(0..words.len())];
+            let tagged = rng.random_bool(self.spec.tag_sentiment_prob);
+            out.push(Comment {
+                commenter: BloggerId::new(commenter),
+                text: template.replace("{}", word),
+                sentiment: if tagged { Some(sentiment) } else { None },
+            });
+        }
+        out
+    }
+
+    /// Everything about post `(i, t)` except its comments — what the posts
+    /// pass of sharded ingest consumes. O(1) in corpus size.
+    pub fn post_content(&self, i: usize, t: usize, latent: &Latent) -> PostContent {
+        let mut meta = stream_rng(self.spec.seed, tag::POST_META, i as u64, t as u64);
+        let is_copy = t > 0 && meta.random_bool(self.spec.copy_rate);
+        let (domain, title, text) = if is_copy {
+            let src = meta.random_range(0..t);
+            let opener = COPY_OPENERS[meta.random_range(0..COPY_OPENERS.len())];
+            let (domain, title, body) = self.post_body(i, src, latent);
+            (domain, title, format!("{opener} {body}"))
+        } else {
+            self.post_body(i, t, latent)
+        };
+        let mut links = Vec::new();
+        let want = crate::sampling::skewed_count(&mut meta, self.spec.mean_post_links, 4);
+        let mut attempts = 0;
+        while links.len() < want && attempts < 4 * want + 8 {
+            attempts += 1;
+            let j = self.sample_blogger(&mut meta);
+            if j == i {
+                continue; // a blogger's own posts are handled by copies, not links
+            }
+            let jp = self.n_posts(j);
+            if jp == 0 {
+                continue;
+            }
+            links.push(PostRef {
+                blogger: j,
+                slot: meta.random_range(0..jp),
+            });
+        }
+        PostContent {
+            domain,
+            title,
+            text,
+            links,
+        }
+    }
+
+    /// The realised domain of post `(i, t)` without generating its words:
+    /// replays the copy decision (first draws of the meta stream) and the
+    /// domain draw (first draw of the body stream). Lets the comments pass
+    /// of sharded ingest run without re-tokenizing post bodies.
+    pub fn post_domain(&self, i: usize, t: usize, latent: &Latent) -> DomainId {
+        let mut meta = stream_rng(self.spec.seed, tag::POST_META, i as u64, t as u64);
+        let src = if t > 0 && meta.random_bool(self.spec.copy_rate) {
+            meta.random_range(0..t)
+        } else {
+            t
+        };
+        let mut body = stream_rng(self.spec.seed, tag::POST_BODY, i as u64, src as u64);
+        DomainId::new(self.domain_walk(&mut body, latent))
+    }
+
+    /// The comments of post `(i, t)` — what the comments pass of sharded
+    /// ingest consumes. O(1) in corpus size.
+    pub fn post_comments(&self, i: usize, t: usize, latent: &Latent) -> Vec<Comment> {
+        self.comments(i, t, latent, self.post_domain(i, t, latent))
+    }
+
+    /// Post `(i, t)` in full — O(1) in corpus size.
+    fn post(&self, i: usize, t: usize, latent: &Latent) -> PostRecord {
+        let content = self.post_content(i, t, latent);
+        let comments = self.comments(i, t, latent, content.domain);
+        PostRecord {
+            title: content.title,
+            text: content.text,
+            domain: content.domain,
+            links: content.links,
+            comments,
+        }
+    }
+
+    /// The complete record of blogger `i` — independent of all others.
+    pub fn record(&self, i: usize) -> BloggerRecord {
+        assert!(i < self.spec.bloggers, "blogger {i} out of range");
+        let latent = self.latent(i);
+        let pd = latent.primary_domain.index();
+        let words = &self.vocab[pd];
+        let profile = format!(
+            "I blog about {} and {} especially {}",
+            words[0],
+            words[(1 + i) % words.len()],
+            words[(2 + i / 7) % words.len()],
+        );
+        let n_posts = self.n_posts(i);
+        let posts: Vec<PostRecord> = (0..n_posts).map(|t| self.post(i, t, &latent)).collect();
+        BloggerRecord {
+            index: i,
+            name: format!("blogger_{i:04}"),
+            profile,
+            latent: latent.clone(),
+            friends: self.friends(i),
+            posts,
+        }
+    }
+
+    /// Ground truth for the whole corpus (O(n) — evaluation scales only).
+    pub fn truth(&self) -> GroundTruth {
+        let n = self.spec.bloggers;
+        let mut authority = Vec::with_capacity(n);
+        let mut primary_domain = Vec::with_capacity(n);
+        let mut domain_relevance = Vec::with_capacity(n);
+        for i in 0..n {
+            let l = self.latent(i);
+            authority.push(l.authority);
+            primary_domain.push(l.primary_domain);
+            domain_relevance.push(l.relevance);
+        }
+        GroundTruth {
+            authority,
+            primary_domain,
+            domain_relevance,
+        }
+    }
+
+    /// The domain catalogue the stream's posts are labelled against.
+    pub fn domain_set(&self) -> DomainSet {
+        if self.spec.custom_vocab.is_none() && self.spec.domains <= PAPER_DOMAINS.len() {
+            return DomainSet::new(PAPER_DOMAINS[..self.spec.domains].iter().copied());
+        }
+        DomainSet::new((0..self.spec.domains).map(|d| {
+            self.vocab[d]
+                .iter()
+                .find(|w| !w.is_empty())
+                .cloned()
+                .unwrap_or_else(|| format!("domain{d}"))
+        }))
+    }
+
+    /// Global [`PostId`] offsets: `prefix[i]` is the id of blogger `i`'s
+    /// first post. O(n) time, used by materialisation and sharded ingest to
+    /// resolve [`PostRef`]s.
+    pub fn post_prefix(&self) -> Vec<usize> {
+        let mut prefix = Vec::with_capacity(self.spec.bloggers + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for i in 0..self.spec.bloggers {
+            acc += self.n_posts(i);
+            prefix.push(acc);
+        }
+        prefix
+    }
+
+    /// Splits `0..bloggers` into `shards` contiguous, balanced ranges.
+    /// Empty trailing ranges are produced when `shards > bloggers`.
+    pub fn shard_ranges(&self, shards: usize) -> Vec<Range<usize>> {
+        shard_ranges(self.spec.bloggers, shards)
+    }
+
+    /// Materialises the full stream as a classic validated [`Dataset`] plus
+    /// ground truth — the reference the sharded out-of-core path is tested
+    /// bit-for-bit against.
+    pub fn materialize(&self) -> StreamOutput {
+        let n = self.spec.bloggers;
+        let prefix = self.post_prefix();
+        let mut bloggers = Vec::with_capacity(n);
+        let mut posts = Vec::with_capacity(prefix[n]);
+        for i in 0..n {
+            let rec = self.record(i);
+            bloggers.push(Blogger {
+                name: rec.name,
+                profile: rec.profile,
+                friends: rec.friends,
+            });
+            for p in rec.posts {
+                posts.push(Post {
+                    author: BloggerId::new(i),
+                    title: p.title,
+                    text: p.text,
+                    links_to: p
+                        .links
+                        .iter()
+                        .map(|r| PostId::new(prefix[r.blogger] + r.slot))
+                        .collect(),
+                    comments: p.comments,
+                    true_domain: Some(p.domain),
+                });
+            }
+        }
+        let dataset = Dataset {
+            bloggers,
+            posts,
+            domains: self.domain_set(),
+        };
+        dataset
+            .validate()
+            .expect("stream generation upholds dataset invariants");
+        StreamOutput {
+            dataset,
+            truth: self.truth(),
+        }
+    }
+
+    /// Serialises every record as one JSON object per line, with floats as
+    /// `f64::to_bits` hex so the encoding is byte-stable across platforms.
+    /// This is the golden-snapshot format (`tests/golden/synth_stream_s7.json`)
+    /// and the CLI `synth --records-out` format.
+    pub fn records_json(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.spec.bloggers {
+            let rec = self.record(i);
+            out.push_str(&record_json_line(&rec));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// ∫₀ˣ (t+1)^(−s) dt — the continuous analogue of the Zipf CDF.
+#[inline]
+fn h_integral(x: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        (x + 1.0).ln()
+    } else {
+        ((x + 1.0).powf(1.0 - s) - 1.0) / (1.0 - s)
+    }
+}
+
+/// Inverse of [`h_integral`] in `x`.
+#[inline]
+fn h_inverse(y: f64, s: f64) -> f64 {
+    if (s - 1.0).abs() < 1e-9 {
+        y.exp() - 1.0
+    } else {
+        ((1.0 - s) * y + 1.0).powf(1.0 / (1.0 - s)) - 1.0
+    }
+}
+
+/// Splits `0..n` into `shards` contiguous balanced ranges (first `n % shards`
+/// ranges get the extra element).
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1);
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[inline]
+fn push_bits(out: &mut String, v: f64) {
+    out.push('"');
+    out.push_str(&format!("{:016x}", v.to_bits()));
+    out.push('"');
+}
+
+/// One blogger record as a single-line JSON object (see
+/// [`CorpusStream::records_json`]).
+pub fn record_json_line(rec: &BloggerRecord) -> String {
+    let mut s = String::with_capacity(256);
+    s.push_str(&format!("{{\"index\":{},\"name\":", rec.index));
+    push_json_str(&mut s, &rec.name);
+    s.push_str(",\"profile\":");
+    push_json_str(&mut s, &rec.profile);
+    s.push_str(&format!(
+        ",\"rank\":{},\"authority_bits\":",
+        rec.latent.rank
+    ));
+    push_bits(&mut s, rec.latent.authority);
+    s.push_str(&format!(
+        ",\"primary_domain\":{},\"relevance_bits\":[",
+        rec.latent.primary_domain.index()
+    ));
+    for (k, &r) in rec.latent.relevance.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        push_bits(&mut s, r);
+    }
+    s.push_str("],\"friends\":[");
+    for (k, f) in rec.friends.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str(&f.index().to_string());
+    }
+    s.push_str("],\"posts\":[");
+    for (k, p) in rec.posts.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"title\":");
+        push_json_str(&mut s, &p.title);
+        s.push_str(",\"text\":");
+        push_json_str(&mut s, &p.text);
+        s.push_str(&format!(",\"domain\":{},\"links\":[", p.domain.index()));
+        for (j, l) in p.links.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("[{},{}]", l.blogger, l.slot));
+        }
+        s.push_str("],\"comments\":[");
+        for (j, c) in p.comments.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{{\"by\":{},\"text\":", c.commenter.index()));
+            push_json_str(&mut s, &c.text);
+            s.push_str(",\"sentiment\":");
+            match c.sentiment {
+                Some(Sentiment::Positive) => s.push_str("\"pos\""),
+                Some(Sentiment::Negative) => s.push_str("\"neg\""),
+                Some(Sentiment::Neutral) => s.push_str("\"neu\""),
+                None => s.push_str("null"),
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_bijection_with_inverse() {
+        for n in [1u64, 2, 3, 7, 64, 100, 1000] {
+            let p = Permutation::new(n, 42);
+            let mut seen = vec![false; n as usize];
+            for i in 0..n {
+                let y = p.apply(i);
+                assert!(y < n, "image out of range: {y} >= {n}");
+                assert!(!seen[y as usize], "collision at {y}");
+                seen[y as usize] = true;
+                assert_eq!(p.invert(y), i, "invert(apply({i})) != {i} for n={n}");
+            }
+            assert_eq!(p.len(), n);
+            assert!(!p.is_empty());
+        }
+    }
+
+    #[test]
+    fn permutation_depends_on_seed() {
+        let a = Permutation::new(1000, 1);
+        let b = Permutation::new(1000, 2);
+        let differs = (0..1000).filter(|&i| a.apply(i) != b.apply(i)).count();
+        assert!(differs > 900, "seeds should decorrelate images: {differs}");
+    }
+
+    #[test]
+    fn h_inverse_inverts_h() {
+        for s in [0.7, 1.0, 1.1, 1.6] {
+            for x in [0.0, 0.5, 3.0, 100.0, 9999.0] {
+                let y = h_integral(x, s);
+                let back = h_inverse(y, s);
+                assert!(
+                    (back - x).abs() < 1e-6 * (1.0 + x),
+                    "s={s} x={x} back={back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn records_are_reproducible_and_independent() {
+        let stream = CorpusStream::new(CorpusSpec::sized(80, 11)).unwrap();
+        let r5 = stream.record(5);
+        let again = stream.record(5);
+        assert_eq!(r5, again);
+        // A fresh stream over an equal spec agrees record-by-record.
+        let other = CorpusStream::new(CorpusSpec::sized(80, 11)).unwrap();
+        assert_eq!(other.record(5), r5);
+        assert_eq!(other.record(79), stream.record(79));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CorpusStream::new(CorpusSpec::sized(40, 1)).unwrap();
+        let b = CorpusStream::new(CorpusSpec::sized(40, 2)).unwrap();
+        assert_ne!(a.record(0), b.record(0));
+    }
+
+    #[test]
+    fn authority_is_zipf_over_ranks() {
+        let stream = CorpusStream::new(CorpusSpec::sized(100, 3)).unwrap();
+        assert_eq!(stream.authority_of_rank(0), 1.0);
+        for r in 1..100 {
+            assert!(stream.authority_of_rank(r) < stream.authority_of_rank(r - 1));
+        }
+        let top = stream.blogger_at_rank(0);
+        assert_eq!(stream.authority(top), 1.0);
+        assert_eq!(stream.rank_of(top), 0);
+    }
+
+    #[test]
+    fn planted_influencers_are_boosted() {
+        let plain = CorpusStream::new(CorpusSpec::sized(100, 3)).unwrap();
+        let planted = CorpusStream::new(CorpusSpec {
+            planted_influencers: 5,
+            influencer_boost: 4.0,
+            ..CorpusSpec::sized(100, 3)
+        })
+        .unwrap();
+        // With the head boosted 4x, the relative authority of a tail rank
+        // drops by the same factor.
+        let ratio = plain.authority_of_rank(50) / planted.authority_of_rank(50);
+        assert!((ratio - 4.0).abs() < 1e-12, "ratio {ratio}");
+        // Within the planted head the law is unchanged (all boosted alike).
+        let r0 = planted.authority_of_rank(0);
+        let r4 = planted.authority_of_rank(4);
+        let e0 = plain.authority_of_rank(0);
+        let e4 = plain.authority_of_rank(4);
+        assert!((r4 / r0 - e4 / e0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialized_dataset_is_valid_and_consistent() {
+        let stream = CorpusStream::new(CorpusSpec::sized(60, 9)).unwrap();
+        let out = stream.materialize();
+        let ds = &out.dataset;
+        assert_eq!(ds.bloggers.len(), 60);
+        assert_eq!(out.truth.len(), 60);
+        let prefix = stream.post_prefix();
+        assert_eq!(ds.posts.len(), prefix[60]);
+        // Posts are grouped by author in blogger order.
+        for i in 0..60 {
+            for t in prefix[i]..prefix[i + 1] {
+                assert_eq!(ds.posts[t].author.index(), i);
+            }
+            assert_eq!(prefix[i + 1] - prefix[i], stream.n_posts(i));
+        }
+        assert!(ds.posts.iter().any(|p| !p.comments.is_empty()));
+        assert!(ds.bloggers.iter().any(|b| !b.friends.is_empty()));
+    }
+
+    #[test]
+    fn truth_matches_per_record_latents() {
+        let stream = CorpusStream::new(CorpusSpec::sized(50, 5)).unwrap();
+        let truth = stream.truth();
+        for i in [0usize, 7, 49] {
+            let l = stream.latent(i);
+            assert_eq!(truth.authority[i].to_bits(), l.authority.to_bits());
+            assert_eq!(truth.primary_domain[i], l.primary_domain);
+            assert_eq!(truth.domain_relevance[i], l.relevance);
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for (n, k) in [(100, 7), (5, 8), (64, 1), (1000, 16), (3, 3)] {
+            let ranges = shard_ranges(n, k);
+            assert_eq!(ranges.len(), k);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, n);
+            let max = ranges.iter().map(|r| r.len()).max().unwrap();
+            let min = ranges.iter().map(|r| r.len()).min().unwrap();
+            assert!(max - min <= 1, "unbalanced: {min}..{max}");
+        }
+    }
+
+    #[test]
+    fn records_json_is_stable_and_parseable_shape() {
+        let stream = CorpusStream::new(CorpusSpec::sized(8, 7)).unwrap();
+        let a = stream.records_json();
+        let b = stream.records_json();
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 8);
+        for line in a.lines() {
+            assert!(line.starts_with("{\"index\":"));
+            assert!(line.ends_with("]}"));
+            assert!(line.contains("\"authority_bits\":\""));
+        }
+    }
+
+    #[test]
+    fn tiny_corpora_stream_without_panicking() {
+        for n in [1usize, 2, 3] {
+            let stream = CorpusStream::new(CorpusSpec::sized(n, 1)).unwrap();
+            let out = stream.materialize();
+            assert_eq!(out.dataset.bloggers.len(), n);
+            // A single blogger can neither befriend nor comment.
+            if n == 1 {
+                assert!(out.dataset.bloggers[0].friends.is_empty());
+                assert!(out.dataset.posts.iter().all(|p| p.comments.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn split_accessors_match_full_records() {
+        let stream = CorpusStream::new(CorpusSpec::sized(50, 21)).unwrap();
+        for i in [0usize, 13, 49] {
+            let latent = stream.latent(i);
+            let rec = stream.record(i);
+            for (t, p) in rec.posts.iter().enumerate() {
+                let c = stream.post_content(i, t, &latent);
+                assert_eq!(c.title, p.title);
+                assert_eq!(c.text, p.text);
+                assert_eq!(c.domain, p.domain);
+                assert_eq!(c.links, p.links);
+                assert_eq!(stream.post_domain(i, t, &latent), p.domain);
+                assert_eq!(stream.post_comments(i, t, &latent), p.comments);
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_edges_anywhere() {
+        let stream = CorpusStream::new(CorpusSpec::sized(40, 13)).unwrap();
+        for i in 0..40 {
+            let rec = stream.record(i);
+            assert!(rec.friends.iter().all(|f| f.index() != i));
+            for p in &rec.posts {
+                assert!(p.links.iter().all(|l| l.blogger != i));
+                assert!(p.comments.iter().all(|c| c.commenter.index() != i));
+            }
+        }
+    }
+}

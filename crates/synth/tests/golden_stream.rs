@@ -1,0 +1,49 @@
+//! Golden snapshot of the streaming generator.
+//!
+//! `tests/golden/synth_stream_s7.json` is the committed JSON-lines dump of
+//! the 64-blogger, seed-7 corpus (floats as `f64::to_bits` hex, so the file
+//! is byte-stable across platforms and build profiles). Any change to the
+//! generator's draw order, the vocabulary catalogue, or the JSON shape
+//! shows up here as a byte diff — regenerate deliberately with
+//! `scripts/regen_golden.sh` and review it.
+
+use mass_synth::{CorpusSpec, CorpusStream};
+
+const GOLDEN: &str = include_str!("../../../tests/golden/synth_stream_s7.json");
+
+fn golden_stream() -> CorpusStream {
+    CorpusStream::new(CorpusSpec::sized(64, 7)).unwrap()
+}
+
+#[test]
+fn stream_matches_committed_golden_byte_for_byte() {
+    assert_eq!(
+        golden_stream().records_json(),
+        GOLDEN,
+        "streaming generator drifted from tests/golden/synth_stream_s7.json; \
+         if the change is intentional, run scripts/regen_golden.sh and review the diff"
+    );
+}
+
+#[test]
+fn golden_has_one_record_per_blogger() {
+    assert_eq!(GOLDEN.lines().count(), 64);
+    for (i, line) in GOLDEN.lines().enumerate() {
+        assert!(
+            line.starts_with(&format!("{{\"index\":{i},")),
+            "line {i} out of order"
+        );
+        assert!(line.ends_with('}'), "line {i} truncated");
+    }
+}
+
+#[test]
+fn single_record_lines_match_the_full_dump() {
+    // record_json_line over an isolated record equals the corresponding
+    // golden line — the snapshot also pins O(1)-state random access.
+    let stream = golden_stream();
+    for i in [0usize, 31, 63] {
+        let line = mass_synth::stream::record_json_line(&stream.record(i));
+        assert_eq!(Some(line.as_str()), GOLDEN.lines().nth(i));
+    }
+}

@@ -1,0 +1,219 @@
+//! Property tests for the streaming generator and sharded ingest.
+//!
+//! The contracts under test (DESIGN.md §13):
+//!
+//! * **(seed, index) determinism** — a blogger record is a pure function of
+//!   the spec and its index: independently constructed streams agree, and
+//!   evaluating one record in isolation equals evaluating it inside a full
+//!   sweep (no hidden cross-record state).
+//! * **Shard invariance** — the ingested corpus is identical at every shard
+//!   count, and spilling to disk never changes a byte.
+//! * **Typed validation** — degenerate specs come back as [`ConfigError`]s,
+//!   never as panics, for *any* parameter junk in the strategy envelope.
+
+use mass_synth::{
+    ingest_sharded, shard_ranges, ConfigError, CorpusSpec, CorpusStream, IngestOptions,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = CorpusSpec> {
+    (
+        (
+            1usize..80,  // bloggers
+            1usize..10,  // domains
+            0.4f64..2.2, // zipf exponent
+            0.0f64..4.0, // mean posts per blogger
+        ),
+        (
+            0.0f64..5.0, // mean friends
+            0.0f64..1.0, // copy rate
+            0.0f64..1.0, // tag prob
+            0.0f64..1.0, // sentiment corr
+        ),
+        (
+            0usize..6,    // planted influencers (clamped to bloggers)
+            1.0f64..6.0,  // boost
+            any::<u64>(), // seed
+        ),
+    )
+        .prop_map(
+            |(
+                (bloggers, domains, zipf, ppb),
+                (friends, copy, tag, corr),
+                (planted, boost, seed),
+            )| {
+                CorpusSpec {
+                    bloggers,
+                    domains,
+                    zipf_exponent: zipf,
+                    mean_posts_per_blogger: ppb,
+                    mean_friends: friends,
+                    copy_rate: copy,
+                    tag_sentiment_prob: tag,
+                    sentiment_authority_corr: corr,
+                    planted_influencers: planted.min(bloggers),
+                    influencer_boost: boost,
+                    word_mixtures: vec![0.55; domains],
+                    seed,
+                    ..Default::default()
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn records_are_a_pure_function_of_seed_and_index(spec in arb_spec()) {
+        let a = CorpusStream::new(spec.clone()).unwrap();
+        let b = CorpusStream::new(spec.clone()).unwrap();
+        // Isolated evaluation (stream `b` touches only blogger j) matches a
+        // full left-to-right sweep of stream `a` — O(1) state means no
+        // record can depend on any other having been generated.
+        let sweep: Vec<_> = (0..spec.bloggers).map(|i| a.record(i)).collect();
+        for j in [0, spec.bloggers / 2, spec.bloggers - 1] {
+            prop_assert_eq!(&b.record(j), &sweep[j], "record {}", j);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ(spec in arb_spec()) {
+        prop_assume!(spec.mean_posts_per_blogger > 1.0 && spec.bloggers > 4);
+        let a = CorpusStream::new(spec.clone()).unwrap();
+        let b = CorpusStream::new(CorpusSpec { seed: spec.seed ^ 0x5DEECE66D, ..spec.clone() }).unwrap();
+        let differs = (0..spec.bloggers).any(|i| a.record(i) != b.record(i));
+        prop_assert!(differs, "two seeds produced an identical corpus");
+    }
+
+    #[test]
+    fn ingest_is_shard_count_invariant(spec in arb_spec(), shards_a in 1usize..9, shards_b in 1usize..9) {
+        let stream = CorpusStream::new(spec).unwrap();
+        let run = |shards| {
+            ingest_sharded(&stream, &IngestOptions { shards, ..Default::default() }).unwrap()
+        };
+        let a = run(shards_a);
+        let b = run(shards_b);
+        prop_assert!(a.corpus == b.corpus, "{} vs {} shards", shards_a, shards_b);
+        prop_assert_eq!(&a.friends, &b.friends);
+        prop_assert_eq!(a.stats.posts(), b.stats.posts());
+        prop_assert_eq!(a.stats.comments(), b.stats.comments());
+    }
+
+    #[test]
+    fn spilling_never_changes_a_byte(spec in arb_spec(), shards in 1usize..7) {
+        let stream = CorpusStream::new(spec).unwrap();
+        let resident = ingest_sharded(
+            &stream,
+            &IngestOptions { shards, ..Default::default() },
+        ).unwrap();
+        let spilled = ingest_sharded(
+            &stream,
+            &IngestOptions { shards, spill_budget: 0, ..Default::default() },
+        ).unwrap();
+        prop_assert!(spilled.stats.spill.segments_spilled > 0);
+        prop_assert!(resident.corpus == spilled.corpus);
+        prop_assert_eq!(&resident.friends, &spilled.friends);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly(n in 0usize..5000, shards in 1usize..40) {
+        let ranges = shard_ranges(n, shards);
+        prop_assert_eq!(ranges.len(), shards);
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next, "ranges must be contiguous");
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n, "ranges must cover 0..n");
+        let (lo, hi) = ranges.iter().fold((usize::MAX, 0), |(lo, hi), r| {
+            (lo.min(r.len()), hi.max(r.len()))
+        });
+        prop_assert!(hi - lo <= 1, "balanced: sizes {} and {}", lo, hi);
+    }
+
+    // ---- typed validation: degenerate specs error, never panic ----
+
+    #[test]
+    fn zero_bloggers_is_a_typed_error(spec in arb_spec()) {
+        let spec = CorpusSpec { bloggers: 0, ..spec };
+        prop_assert_eq!(spec.validate(), Err(ConfigError::NoBloggers));
+        prop_assert!(CorpusStream::new(spec).is_err());
+    }
+
+    #[test]
+    fn zero_domains_is_a_typed_error(spec in arb_spec()) {
+        let spec = CorpusSpec { domains: 0, word_mixtures: Vec::new(), ..spec };
+        prop_assert_eq!(spec.validate(), Err(ConfigError::NoDomains));
+        prop_assert!(CorpusStream::new(spec).is_err());
+    }
+
+    #[test]
+    fn non_positive_zipf_is_a_typed_error(spec in arb_spec(), bad in -3.0f64..0.0) {
+        let spec = CorpusSpec { zipf_exponent: bad, ..spec };
+        prop_assert_eq!(spec.validate(), Err(ConfigError::BadZipfExponent { value: bad }));
+        prop_assert!(CorpusStream::new(spec).is_err());
+    }
+
+    #[test]
+    fn empty_vocab_is_a_typed_error(spec in arb_spec()) {
+        let spec = CorpusSpec {
+            custom_vocab: Some(vec![Vec::new(); spec.domains]),
+            ..spec
+        };
+        prop_assert!(matches!(spec.validate(), Err(ConfigError::EmptyVocab { domain: 0 })));
+        prop_assert!(CorpusStream::new(spec).is_err());
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_typed_errors(spec in arb_spec(), bad in 1.0001f64..9.0) {
+        let spec = CorpusSpec { copy_rate: bad, ..spec };
+        prop_assert!(matches!(
+            spec.validate(),
+            Err(ConfigError::BadProbability { field: "copy_rate", .. })
+        ));
+        let nan = CorpusSpec { tag_sentiment_prob: f64::NAN, copy_rate: 0.1, ..spec };
+        prop_assert!(matches!(
+            nan.validate(),
+            Err(ConfigError::BadProbability { field: "tag_sentiment_prob", .. })
+        ));
+    }
+
+    #[test]
+    fn validation_never_panics_on_junk(
+        bloggers in 0usize..50,
+        domains in 0usize..20,
+        zipf in -5.0f64..5.0,
+        ppb in -5.0f64..5.0,
+        copy in -2.0f64..2.0,
+        boost in -2.0f64..8.0,
+        mixtures in 0usize..20,
+        weird in 0usize..4,
+    ) {
+        // Mix in the non-finite values a range strategy can't produce.
+        let zipf = [zipf, f64::NAN, f64::INFINITY, f64::NEG_INFINITY][weird];
+        let spec = CorpusSpec {
+            bloggers,
+            domains,
+            zipf_exponent: zipf,
+            mean_posts_per_blogger: ppb,
+            copy_rate: copy,
+            influencer_boost: boost,
+            word_mixtures: vec![0.5; mixtures],
+            ..Default::default()
+        };
+        // Either it validates (and then streaming a record must work) or it
+        // reports a typed error — a panic fails the test either way.
+        match spec.validate() {
+            Ok(()) => {
+                let stream = CorpusStream::new(spec).unwrap();
+                let _ = stream.record(0);
+            }
+            Err(e) => {
+                prop_assert!(!e.to_string().is_empty());
+                prop_assert!(CorpusStream::new(spec).is_err());
+            }
+        }
+    }
+}

@@ -37,6 +37,17 @@ pub struct Interner {
     table: Vec<u32>,
 }
 
+/// Two interners are equal when they issued the same ids for the same terms
+/// — i.e. the arena and spans agree. The hash table is derived state (its
+/// slot layout depends on growth history) and is deliberately ignored.
+impl PartialEq for Interner {
+    fn eq(&self, other: &Self) -> bool {
+        self.arena == other.arena && self.spans == other.spans
+    }
+}
+
+impl Eq for Interner {}
+
 impl Interner {
     /// An empty interner.
     pub fn new() -> Self {

@@ -36,6 +36,7 @@ pub mod novelty;
 pub mod prepared;
 pub mod search;
 pub mod sentiment;
+pub mod shard;
 pub mod stopwords;
 pub mod tokenize;
 
@@ -49,4 +50,5 @@ pub use novelty::{NoveltyDetector, NoveltyParams};
 pub use prepared::PreparedCorpus;
 pub use search::{Bm25Params, InvertedIndex};
 pub use sentiment::{CompiledSentiment, SentimentLexicon};
+pub use shard::{CorpusSegment, SegmentBuilder, ShardedCorpusBuilder, SpillStats, SpilledCorpus};
 pub use tokenize::{for_each_token, tokenize, tokenize_keep_stopwords, TermCounts};

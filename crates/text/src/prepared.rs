@@ -20,16 +20,18 @@ use mass_obs::field;
 use mass_types::Dataset;
 
 /// One document's tokens, flattened into a private buffer before interning.
-struct FlatDoc {
+/// Crate-visible so the sharded builder (`shard` module) reuses the exact
+/// tokenization path of the in-memory build.
+pub(crate) struct FlatDoc {
     /// All token bytes back to back.
     buf: String,
     /// `ends[j]` = byte offset one past token `j` in `buf`.
     ends: Vec<u32>,
     /// How many leading tokens came from the title.
-    title_count: u32,
+    pub(crate) title_count: u32,
 }
 
-fn flatten(parts: &[&str], keep_stopwords: bool) -> FlatDoc {
+pub(crate) fn flatten(parts: &[&str], keep_stopwords: bool) -> FlatDoc {
     let mut buf = String::with_capacity(parts.iter().map(|p| p.len()).sum());
     let mut ends = Vec::new();
     let mut scratch = String::new();
@@ -51,7 +53,7 @@ fn flatten(parts: &[&str], keep_stopwords: bool) -> FlatDoc {
 }
 
 impl FlatDoc {
-    fn tokens(&self) -> impl Iterator<Item = &str> {
+    pub(crate) fn tokens(&self) -> impl Iterator<Item = &str> {
         let mut start = 0usize;
         self.ends.iter().map(move |&end| {
             let tok = &self.buf[start..end as usize];
@@ -88,7 +90,57 @@ pub struct PreparedCorpus {
     comment_starts: Vec<u32>,
 }
 
+/// Field-by-field equality. Because ids are assigned by first appearance,
+/// two corpora are equal iff they observed the same document stream — this
+/// is the relation the streamed-ingest differential tests assert.
+impl PartialEq for PreparedCorpus {
+    fn eq(&self, other: &Self) -> bool {
+        self.interner == other.interner
+            && self.doc_tokens == other.doc_tokens
+            && self.doc_offsets == other.doc_offsets
+            && self.text_starts == other.text_starts
+            && self.dt_terms == other.dt_terms
+            && self.dt_counts == other.dt_counts
+            && self.dt_offsets == other.dt_offsets
+            && self.comment_tokens == other.comment_tokens
+            && self.comment_offsets == other.comment_offsets
+            && self.comment_starts == other.comment_starts
+    }
+}
+
+impl Eq for PreparedCorpus {}
+
 impl PreparedCorpus {
+    /// Assembles a corpus from already-interned arrays — the sharded
+    /// builder's merge output. Callers (crate-internal only) guarantee the
+    /// arrays satisfy the layout invariants documented on the fields.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        interner: Interner,
+        doc_tokens: Vec<TermId>,
+        doc_offsets: Vec<u32>,
+        text_starts: Vec<u32>,
+        dt_terms: Vec<TermId>,
+        dt_counts: Vec<u32>,
+        dt_offsets: Vec<u32>,
+        comment_tokens: Vec<TermId>,
+        comment_offsets: Vec<u32>,
+        comment_starts: Vec<u32>,
+    ) -> PreparedCorpus {
+        PreparedCorpus {
+            interner,
+            doc_tokens,
+            doc_offsets,
+            text_starts,
+            dt_terms,
+            dt_counts,
+            dt_offsets,
+            comment_tokens,
+            comment_offsets,
+            comment_starts,
+        }
+    }
+
     /// Tokenizes and interns every post and comment of `ds` once.
     ///
     /// Records the `text.prepare` span and the `text.tokens_interned` /

@@ -65,6 +65,30 @@ if [[ $fast -eq 0 ]]; then
     --json-out "$obs_dir/golden_rank.json" >/dev/null
   cmp tests/golden/rank_b40_s12_k8.json "$obs_dir/golden_rank.json"
 
+  echo "== streaming ingest: streamed rank artifact equals in-memory, byte for byte =="
+  # The CLI face of the streaming exactness contract (DESIGN.md §13): the
+  # sharded out-of-core ingest path and the classic in-memory path must
+  # produce byte-identical full-precision ranking artifacts.
+  "$mass" rank --synth 600 --synth-seed 11 --k 10 \
+    --json-out "$obs_dir/stream_mem.json" >/dev/null
+  "$mass" rank --synth 600 --synth-seed 11 --k 10 --stream --shards 16 \
+    --json-out "$obs_dir/stream_shard.json" >/dev/null 2>&1
+  cmp "$obs_dir/stream_mem.json" "$obs_dir/stream_shard.json"
+
+  echo "== streaming golden: generator records match the committed fixture =="
+  "$mass" synth --bloggers 64 --seed 7 \
+    --records-out "$obs_dir/stream_golden.json" >/dev/null
+  cmp tests/golden/synth_stream_s7.json "$obs_dir/stream_golden.json"
+
+  echo "== streaming smoke: 100k bloggers generate+ingest under the time budget =="
+  # Out-of-core path at real scale: must finish inside 120 s on any box
+  # (typically a few seconds in release).
+  timeout 120 "$mass" synth --bloggers 100000 --seed 4242 --lean \
+    --stream --shards 8 --spill-budget 33554432 >/dev/null
+
+  echo "== release-only differential: streamed path bit-identical at 3k bloggers =="
+  cargo test --release -q -p mass-core --test stream_differential -- --ignored
+
   echo "== incremental exactness: Exact refresh artifact equals full recompute =="
   # The CLI face of the exactness contract (DESIGN.md §11): a scripted edit
   # storm refreshed incrementally in Exact mode must produce a byte-identical

@@ -15,3 +15,6 @@ trap 'rm -rf "$tmp"' EXIT
 mkdir -p tests/golden
 "$mass" rank --in "$tmp/golden.xml" --k 8 --json-out tests/golden/rank_b40_s12_k8.json
 echo "regenerated tests/golden/rank_b40_s12_k8.json — review the diff before committing"
+
+"$mass" synth --bloggers 64 --seed 7 --records-out tests/golden/synth_stream_s7.json
+echo "regenerated tests/golden/synth_stream_s7.json — review the diff before committing"

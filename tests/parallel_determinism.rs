@@ -275,6 +275,69 @@ fn nb_posterior_batch_matches_serial_calls() {
     }
 }
 
+/// Sharded corpus generation fans out per shard; the ingested corpus, the
+/// friend-link CSR, and the per-shard accounting must all be independent of
+/// the worker count.
+#[test]
+fn sharded_stream_ingest_is_thread_count_invariant() {
+    use mass::synth::{ingest_sharded, CorpusSpec, CorpusStream, IngestOptions};
+    let stream = CorpusStream::new(CorpusSpec::sized(150, 31)).unwrap();
+    for shards in [1usize, 4, 16] {
+        let serial = ingest_sharded(
+            &stream,
+            &IngestOptions {
+                shards,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Exactly-once: per-shard tallies cover every blogger once and the
+        // totals match the materialised dataset.
+        assert_eq!(serial.stats.shard_bloggers.len(), shards);
+        assert_eq!(serial.stats.shard_bloggers.iter().sum::<usize>(), 150);
+        let ds = stream.materialize().dataset;
+        assert_eq!(serial.stats.posts(), ds.posts.len());
+        assert_eq!(
+            serial.stats.comments(),
+            ds.posts.iter().map(|p| p.comments.len()).sum::<usize>()
+        );
+        for threads in [2usize, 8] {
+            let par = ingest_sharded(
+                &stream,
+                &IngestOptions {
+                    shards,
+                    threads,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let what = format!("shards={shards}, threads={threads}");
+            assert!(par.corpus == serial.corpus, "{what}: corpus diverged");
+            assert_eq!(par.friends, serial.friends, "{what}: friend CSR");
+            assert_eq!(par.stats, serial.stats, "{what}: per-shard accounting");
+        }
+    }
+}
+
+/// The record stream itself is embarrassingly parallel: evaluating records
+/// through the executor at any worker count equals a serial sweep.
+#[test]
+fn record_generation_is_thread_count_invariant() {
+    use mass::synth::{CorpusSpec, CorpusStream};
+    let stream = CorpusStream::new(CorpusSpec::sized(120, 77)).unwrap();
+    let serial: Vec<String> = (0..120)
+        .map(|i| mass::synth::stream::record_json_line(&stream.record(i)))
+        .collect();
+    for threads in [2usize, 3, 8] {
+        let ex = mass::par::executor(threads);
+        let par = ex.par_map_collect(120, |i| {
+            mass::synth::stream::record_json_line(&stream.record(i))
+        });
+        assert_eq!(par, serial, "records diverged at threads={threads}");
+    }
+}
+
 /// Crawl assembly fans out per page; the assembled dataset must not depend
 /// on the worker count.
 #[test]
