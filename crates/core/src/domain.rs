@@ -51,22 +51,32 @@ pub fn iv_vectors_prepared(
                 .collect(),
             None,
         ),
-        IvSource::Classifier(model) => (
-            model
-                .compile(corpus.interner())
-                .posterior_batch_prepared(corpus, params.threads),
-            None,
-        ),
+        IvSource::Classifier(model) => (classify_all_prepared(model, corpus, params), None),
         IvSource::TrainOnTagged => match train_on_tagged_prepared(ds, nd, corpus) {
             Some(model) => {
-                let iv = model
-                    .compile(corpus.interner())
-                    .posterior_batch_prepared(corpus, params.threads);
+                let iv = classify_all_prepared(&model, corpus, params);
                 (iv, Some(model))
             }
             None => (ds.posts.iter().map(|_| uniform(nd)).collect(), None),
         },
     }
+}
+
+/// Batch classification over interned documents, honouring
+/// [`MassParams::nb_precision`]: the flat `posts × classes` posterior block
+/// is computed in one allocation and carved into per-post rows.
+fn classify_all_prepared(
+    model: &NaiveBayes,
+    corpus: &PreparedCorpus,
+    params: &MassParams,
+) -> Vec<Vec<f64>> {
+    let compiled = model.compile(corpus.interner());
+    let classes = compiled.classes();
+    compiled
+        .posterior_batch_prepared_flat_with(corpus, params.threads, params.nb_precision)
+        .chunks_exact(classes)
+        .map(|row| row.to_vec())
+        .collect()
 }
 
 /// Trains the Post Analyzer's classifier on the tagged subset of the corpus.

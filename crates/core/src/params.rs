@@ -4,7 +4,7 @@
 //! parameters for modeling general influence and domain influence" — α and β
 //! are user-tunable, with paper defaults 0.5 and 0.6.
 
-use mass_text::NaiveBayes;
+use mass_text::{NaiveBayes, NbPrecision};
 
 /// Which authority measure backs the General-Links (GL) facet of Eq. 1.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -93,6 +93,23 @@ pub struct MassParams {
     /// determinism contract of DESIGN.md §8, enforced by the differential
     /// harness in `tests/parallel_determinism.rs`.
     pub threads: usize,
+    /// Cache-blocking tile width (destination nodes) for the link-analysis
+    /// pull kernel (DESIGN.md §14): `0` keeps the plain kernel (blocking
+    /// is opt-in — see `resolve_block_nodes`), any other value forces that
+    /// tile, `usize::MAX` disables blocking.
+    /// Scores are bit-identical at every setting.
+    pub block_nodes: usize,
+    /// Arithmetic for the naive-Bayes domain classifier.
+    /// [`NbPrecision::Exact`] (default) is bit-identical to the reference
+    /// gather; [`NbPrecision::Fast`] gathers from an `f32` table —
+    /// tolerance-bounded, never bit-identical, so artifacts built with it
+    /// must not feed byte-identity gates.
+    pub nb_precision: NbPrecision,
+    /// Build quality and comment-sentiment inputs in one fused corpus sweep
+    /// (the default) instead of two separate passes. The fused sweep is
+    /// bit-identical to the separate path — `false` keeps the legacy
+    /// two-pass build callable for differential pinning.
+    pub fused_prepare: bool,
 }
 
 impl MassParams {
@@ -111,6 +128,9 @@ impl MassParams {
             max_iterations: 100,
             residual_history_cap: 256,
             threads: 1,
+            block_nodes: 0,
+            nb_precision: NbPrecision::Exact,
+            fused_prepare: true,
         }
     }
 
@@ -159,6 +179,9 @@ impl PartialEq for MassParams {
             && self.max_iterations == other.max_iterations
             && self.residual_history_cap == other.residual_history_cap
             && self.threads == other.threads
+            && self.block_nodes == other.block_nodes
+            && self.nb_precision == other.nb_precision
+            && self.fused_prepare == other.fused_prepare
             && matches!(
                 (&self.iv, &other.iv),
                 (IvSource::TrainOnTagged, IvSource::TrainOnTagged)

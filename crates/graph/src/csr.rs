@@ -399,6 +399,20 @@ impl LinkCsr {
     pub fn in_degree(&self, v: usize) -> usize {
         self.preds.degree(v)
     }
+
+    /// The successor adjacency as a whole — the pull kernels hand this to
+    /// [`crate::pull::PullKernel`].
+    #[inline]
+    pub fn successors_csr(&self) -> &Csr {
+        &self.succs
+    }
+
+    /// The predecessor adjacency as a whole (ascending-`u` rows with
+    /// multiplicity).
+    #[inline]
+    pub fn predecessors_csr(&self) -> &Csr {
+        &self.preds
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@ pub struct HitsParams {
     /// `1` = the exact legacy serial loop, `n` = cap. Scores are bit-identical
     /// at every setting (DESIGN.md §8).
     pub threads: usize,
+    /// Source slots per cache tile for the authority pull: `0` = auto
+    /// (plain kernel), an explicit value forces that tile, `usize::MAX` =
+    /// never block. Scores are bit-identical at every setting (§14).
+    pub block_nodes: usize,
 }
 
 impl Default for HitsParams {
@@ -27,6 +31,7 @@ impl Default for HitsParams {
             tolerance: 1e-10,
             max_iterations: 200,
             threads: 1,
+            block_nodes: 0,
         }
     }
 }
@@ -98,22 +103,18 @@ pub fn hits_csr(g: &LinkCsr, params: &HitsParams, warm_hub: Option<&[f64]>) -> H
 
     // Same CSR pull kernels as `pagerank`, for every thread count:
     // ascending-`u` predecessor rows reproduce the legacy serial scatter's
-    // per-slot addition order bit for bit, and the hub half-step's
-    // successor rows keep each node's insertion-order sum.
+    // per-slot addition order bit for bit (cache-blocked on large graphs,
+    // DESIGN.md §14), and the hub half-step's successor rows keep each
+    // node's insertion-order sum. The next-vector buffers are allocated
+    // once and swapped, not reallocated per sweep.
+    let kernel = crate::pull::PullKernel::prepare(g.predecessors_csr(), params.block_nodes);
+    let mut new_auth = vec![0.0f64; n];
+    let mut new_hub = vec![0.0f64; n];
     while iterations < params.max_iterations {
         iterations += 1;
-        let mut new_auth = vec![0.0f64; n];
-        {
-            let hub = &hub;
-            ex.par_fill(&mut new_auth, |v| {
-                g.predecessors(v)
-                    .iter()
-                    .fold(0.0, |a, &u| a + hub[u as usize])
-            });
-        }
+        kernel.pull(ex, &hub, 0.0, &mut new_auth);
         normalize_l1(&mut new_auth, uniform);
 
-        let mut new_hub = vec![0.0f64; n];
         {
             let new_auth = &new_auth;
             ex.par_fill(&mut new_hub, |u| {
@@ -132,8 +133,8 @@ pub fn hits_csr(g: &LinkCsr, params: &HitsParams, warm_hub: Option<&[f64]>) -> H
                 .zip(&new_hub)
                 .map(|(a, b)| (a - b).abs())
                 .sum::<f64>();
-        auth = new_auth;
-        hub = new_hub;
+        std::mem::swap(&mut auth, &mut new_auth);
+        std::mem::swap(&mut hub, &mut new_hub);
         if residual < params.tolerance {
             return HitsScores {
                 authority: auth,

@@ -16,6 +16,10 @@ pub struct PageRankParams {
     /// `1` = the exact legacy serial loop, `n` = cap. Scores are bit-identical
     /// at every setting (DESIGN.md §8).
     pub threads: usize,
+    /// Source slots per cache tile for the pull kernel: `0` = auto (plain
+    /// kernel), an explicit value forces that tile, `usize::MAX` = never
+    /// block. Scores are bit-identical at every setting (DESIGN.md §14).
+    pub block_nodes: usize,
 }
 
 impl Default for PageRankParams {
@@ -25,6 +29,7 @@ impl Default for PageRankParams {
             tolerance: 1e-10,
             max_iterations: 200,
             threads: 1,
+            block_nodes: 0,
         }
     }
 }
@@ -88,18 +93,23 @@ pub fn pagerank_csr(g: &LinkCsr, params: &PageRankParams, warm: Option<&[f64]>) 
     let mut residual = f64::INFINITY;
 
     // One pull kernel for every thread count, over flattened CSR rows.
-    // `g.predecessors(v)` lists every in-edge source (with multiplicity) in
+    // Predecessor rows list every in-edge source (with multiplicity) in
     // ascending-`u` order — exactly the order the legacy serial scatter
     // added into slot `v` — so the fold reproduces the scatter result bit
-    // for bit, and `par_fill` at one thread is the plain serial loop.
+    // for bit, and the blocked layout reproduces the fold (DESIGN.md §14).
     let degree: Vec<u32> = (0..n).map(|u| g.out_degree(u) as u32).collect();
+    // Dangling nodes never change across sweeps: index them once instead of
+    // rescanning all n degrees every sweep. Ascending order, so the serial
+    // per-sweep sum keeps the legacy filter-scan's exact addition sequence.
+    let dangling: Vec<u32> = (0..n as u32).filter(|&u| degree[u as usize] == 0).collect();
+    let kernel = crate::pull::PullKernel::prepare(g.predecessors_csr(), params.block_nodes);
     let mut share = vec![0.0f64; n];
 
     while iterations < params.max_iterations {
         iterations += 1;
-        // Mass from dangling nodes is spread uniformly. Order-sensitive O(n)
+        // Mass from dangling nodes is spread uniformly. Order-sensitive
         // sum: stays serial so bits never depend on the thread count.
-        let dangling_mass: f64 = (0..n).filter(|&u| degree[u] == 0).map(|u| rank[u]).sum();
+        let dangling_mass: f64 = dangling.iter().map(|&u| rank[u as usize]).sum();
         let base = (1.0 - d) * uniform + d * dangling_mass * uniform;
         {
             let (rank, degree) = (&rank, &degree);
@@ -110,12 +120,7 @@ pub fn pagerank_csr(g: &LinkCsr, params: &PageRankParams, warm: Option<&[f64]>) 
                     d * rank[u] / degree[u] as f64
                 }
             });
-            let share = &share;
-            ex.par_fill(&mut next, |v| {
-                g.predecessors(v)
-                    .iter()
-                    .fold(base, |a, &u| a + share[u as usize])
-            });
+            kernel.pull(ex, &share, base, &mut next);
         }
         residual = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);

@@ -1,0 +1,306 @@
+//! Cache-blocked CSR pull kernel (DESIGN.md §14).
+//!
+//! The pull step behind PageRank and the HITS authority half-step is
+//! `out[v] = base + Σ_{u ∈ preds(v)} weights[u]` — a gather whose `weights`
+//! accesses are random within `0..n`. Once `n × 8` bytes outgrow L2 the
+//! gather pays a cache miss per edge. Blocking partitions the *source* id
+//! range into tiles of [`DEFAULT_BLOCK_NODES`] slots (sized so a tile of
+//! `weights` fits in half of a typical 2 MiB L2) and re-lays the edges out
+//! block-major once per solve, so each sweep streams the edge array
+//! sequentially while its `weights` reads stay inside one resident tile.
+//!
+//! Bit-identity: predecessor rows are ascending in `u`, and a row's
+//! intersection with the ascending block sequence visits exactly the same
+//! sources in exactly the same order. Each destination's accumulation is
+//! `base`, then block segments in ascending block order, each segment in
+//! ascending `u` order — the identical f64 addition sequence the unblocked
+//! fold performs, so blocked results are `f64::to_bits`-identical to the
+//! plain kernel at every thread count and block size.
+
+use crate::csr::Csr;
+use mass_par::Exec;
+
+/// The recommended tile when blocking is requested explicitly: 128 Ki
+/// slots = 1 MiB of f64 weights, half of a typical 2 MiB L2 so the edge
+/// stream and destination accumulators keep the other half.
+pub const DEFAULT_BLOCK_NODES: usize = 1 << 17;
+
+/// Resolves a block-size knob. `0` ("auto") picks the plain kernel:
+/// blocking is opt-in because it only pays off when the weight vector
+/// outruns the last-level cache *and* rows are dense enough that a row's
+/// edges don't shatter into near-empty per-block segments — X17 measures
+/// it losing outright on a 260 MiB-LLC host at every feasible size. Any
+/// other value is taken literally (`usize::MAX` disables blocking too).
+pub fn resolve_block_nodes(block_nodes: usize) -> usize {
+    if block_nodes == 0 {
+        usize::MAX
+    } else {
+        block_nodes
+    }
+}
+
+/// The unblocked reference pull: `out[v] = base + Σ weights[u]` over row
+/// `v` in ascending-`u` order. This is the exact pre-blocking kernel; the
+/// blocked path must reproduce it bit for bit.
+pub fn pull_unblocked(ex: Exec, rows: &Csr, weights: &[f64], base: f64, out: &mut [f64]) {
+    ex.par_fill(out, |v| {
+        rows.row(v)
+            .iter()
+            .fold(base, |a, &u| a + weights[u as usize])
+    });
+}
+
+/// Edges of one CSR re-laid out block-major: for each source block, the
+/// (destination, edge-range) segments of every row that intersects the
+/// block, in ascending destination order, each segment preserving the
+/// row's ascending-`u` edge order. Built once per solve (`O(E)`), reused
+/// every sweep.
+pub struct BlockedPull {
+    n: usize,
+    block: usize,
+    /// Per block, the range into `seg_dst`/`seg_edge_off` (len nblocks+1).
+    block_seg_off: Vec<u32>,
+    /// Destination node of each segment, ascending within a block.
+    seg_dst: Vec<u32>,
+    /// Start of each segment's edges in `edges` (len segments+1; segments
+    /// are contiguous in `edges`, so entry `s+1` is also segment `s`'s end).
+    seg_edge_off: Vec<u32>,
+    /// Edge sources, block-major.
+    edges: Vec<u32>,
+}
+
+impl BlockedPull {
+    /// Builds the block-major layout for `rows` with `block` source slots
+    /// per tile. Two counting-sort passes over the edges.
+    pub fn new(rows: &Csr, block: usize) -> BlockedPull {
+        assert!(block > 0, "block size must be positive");
+        let n = rows.len();
+        let nblocks = n.div_ceil(block).max(1);
+        let mut edge_count = vec![0u32; nblocks];
+        let mut seg_count = vec![0u32; nblocks];
+        for v in 0..n {
+            let row = rows.row(v);
+            let mut i = 0;
+            while i < row.len() {
+                let b = row[i] as usize / block;
+                let take = row[i..].partition_point(|&u| (u as usize) / block == b);
+                edge_count[b] += take as u32;
+                seg_count[b] += 1;
+                i += take;
+            }
+        }
+        let total_segs: usize = seg_count.iter().map(|&c| c as usize).sum();
+        let total_edges: usize = edge_count.iter().map(|&c| c as usize).sum();
+        let mut block_seg_off = Vec::with_capacity(nblocks + 1);
+        let mut seg_cursor = Vec::with_capacity(nblocks);
+        let mut edge_cursor = Vec::with_capacity(nblocks);
+        let (mut segs, mut edges_so_far) = (0u32, 0u32);
+        for b in 0..nblocks {
+            block_seg_off.push(segs);
+            seg_cursor.push(segs as usize);
+            edge_cursor.push(edges_so_far as usize);
+            segs += seg_count[b];
+            edges_so_far += edge_count[b];
+        }
+        block_seg_off.push(segs);
+        let mut seg_dst = vec![0u32; total_segs];
+        let mut seg_edge_off = vec![0u32; total_segs + 1];
+        seg_edge_off[total_segs] = total_edges as u32;
+        let mut edges = vec![0u32; total_edges];
+        for v in 0..n {
+            let row = rows.row(v);
+            let mut i = 0;
+            while i < row.len() {
+                let b = row[i] as usize / block;
+                let take = row[i..].partition_point(|&u| (u as usize) / block == b);
+                let s = seg_cursor[b];
+                let e = edge_cursor[b];
+                seg_dst[s] = v as u32;
+                seg_edge_off[s] = e as u32;
+                edges[e..e + take].copy_from_slice(&row[i..i + take]);
+                seg_cursor[b] = s + 1;
+                edge_cursor[b] = e + take;
+                i += take;
+            }
+        }
+        BlockedPull {
+            n,
+            block,
+            block_seg_off,
+            seg_dst,
+            seg_edge_off,
+            edges,
+        }
+    }
+
+    /// Number of source blocks.
+    pub fn blocks(&self) -> usize {
+        self.block_seg_off.len() - 1
+    }
+
+    /// Source slots per block tile.
+    pub fn block_nodes(&self) -> usize {
+        self.block
+    }
+
+    /// Runs the pull: `out[v] = base + Σ weights[u]` in the same per-slot
+    /// order as [`pull_unblocked`]. Destinations are chunked exactly like
+    /// `par_fill`; each chunk walks the source blocks in ascending order,
+    /// restricted to its own destination range.
+    pub fn pull(&self, ex: Exec, weights: &[f64], base: f64, out: &mut [f64]) {
+        assert_eq!(out.len(), self.n);
+        let nblocks = self.blocks();
+        let ptr = SendPtr(out.as_mut_ptr());
+        ex.for_each_chunk(self.n, |_c, range| {
+            let ptr = &ptr;
+            for v in range.clone() {
+                // SAFETY: chunk ranges partition 0..n; this chunk owns `v`.
+                unsafe { *ptr.0.add(v) = base };
+            }
+            for b in 0..nblocks {
+                let s0 = self.block_seg_off[b] as usize;
+                let s1 = self.block_seg_off[b + 1] as usize;
+                let segs = &self.seg_dst[s0..s1];
+                let lo = s0 + segs.partition_point(|&d| (d as usize) < range.start);
+                let hi = s0 + segs.partition_point(|&d| (d as usize) < range.end);
+                for s in lo..hi {
+                    let v = self.seg_dst[s] as usize;
+                    let e0 = self.seg_edge_off[s] as usize;
+                    let e1 = self.seg_edge_off[s + 1] as usize;
+                    // SAFETY: `v` lies in this chunk's range (the
+                    // partition_point bounds above), so no other chunk
+                    // touches this slot.
+                    let mut a = unsafe { *ptr.0.add(v) };
+                    for &u in &self.edges[e0..e1] {
+                        a += weights[u as usize];
+                    }
+                    unsafe { *ptr.0.add(v) = a };
+                }
+            }
+        });
+    }
+}
+
+/// The kernel actually used by a solve: the plain fold when the graph fits
+/// the tile (or blocking is disabled), the block-major layout otherwise.
+pub struct PullKernel<'a> {
+    rows: &'a Csr,
+    blocked: Option<BlockedPull>,
+}
+
+impl<'a> PullKernel<'a> {
+    /// Prepares the pull for `rows`. `block_nodes`: `0` = auto (plain
+    /// kernel — see [`resolve_block_nodes`]), `usize::MAX` = never block,
+    /// anything else is an explicit tile size. Blocking only engages when
+    /// the graph has more nodes than one tile — below that the plain
+    /// kernel already runs in-cache and the relayout would be waste.
+    pub fn prepare(rows: &'a Csr, block_nodes: usize) -> PullKernel<'a> {
+        let block = resolve_block_nodes(block_nodes);
+        let blocked = (rows.len() > block).then(|| BlockedPull::new(rows, block));
+        PullKernel { rows, blocked }
+    }
+
+    /// Whether the blocked layout engaged.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked.is_some()
+    }
+
+    /// `out[v] = base + Σ_{u ∈ rows.row(v)} weights[u]`, ascending `u`.
+    pub fn pull(&self, ex: Exec, weights: &[f64], base: f64, out: &mut [f64]) {
+        match &self.blocked {
+            None => pull_unblocked(ex, self.rows, weights, base, out),
+            Some(b) => b.pull(ex, weights, base, out),
+        }
+    }
+}
+
+/// A raw pointer that crosses threads; every use writes disjoint
+/// destination ranges derived from the chunk plan partition.
+struct SendPtr<U>(*mut U);
+unsafe impl<U: Send> Send for SendPtr<U> {}
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+
+    fn preds_of(edges: Vec<(usize, usize)>, n: usize) -> Csr {
+        Csr::predecessors_of(&DiGraph::from_edges(n, edges))
+    }
+
+    fn pull_all_ways(rows: &Csr, weights: &[f64], base: f64) -> Vec<Vec<u64>> {
+        let n = rows.len();
+        let mut outs = Vec::new();
+        for block in [1usize, 3, DEFAULT_BLOCK_NODES, usize::MAX] {
+            for threads in [1usize, 4] {
+                let ex = mass_par::executor(threads);
+                let mut out = vec![0.0f64; n];
+                let kernel = PullKernel::prepare(rows, block);
+                kernel.pull(ex, weights, base, &mut out);
+                outs.push(out.iter().map(|x| x.to_bits()).collect());
+            }
+        }
+        outs
+    }
+
+    #[test]
+    fn blocked_pull_is_bit_identical_to_unblocked() {
+        // Rounding-sensitive weights: magnitudes spread over ~2^40 so any
+        // reassociation would flip low bits.
+        let n = 97;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            edges.push((u, (u * 7 + 3) % n));
+            edges.push((u, (u * 31 + 11) % n));
+            if u % 5 == 0 {
+                edges.push((u, (u * 7 + 3) % n)); // multi-edge
+            }
+        }
+        let rows = preds_of(edges, n);
+        let weights: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761usize % 89) as f64) * (2.0f64).powi((i % 40) as i32 - 20))
+            .collect();
+        let outs = pull_all_ways(&rows, &weights, 0.125);
+        for (k, o) in outs.iter().enumerate() {
+            assert_eq!(o, &outs[0], "variant {k} drifted");
+        }
+    }
+
+    #[test]
+    fn empty_rows_get_base() {
+        let rows = preds_of(vec![(0, 1)], 5);
+        let kernel = PullKernel::prepare(&rows, 2);
+        assert!(kernel.is_blocked());
+        let mut out = vec![0.0f64; 5];
+        kernel.pull(mass_par::executor(1), &[1.0; 5], 0.5, &mut out);
+        assert_eq!(out, vec![0.5, 1.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn blocking_engages_only_above_one_tile() {
+        let rows = preds_of(vec![(0, 1), (1, 2)], 3);
+        assert!(!PullKernel::prepare(&rows, 3).is_blocked());
+        assert!(PullKernel::prepare(&rows, 2).is_blocked());
+        assert!(!PullKernel::prepare(&rows, usize::MAX).is_blocked());
+        // Auto keeps the plain kernel; explicit sizes are literal.
+        assert!(!PullKernel::prepare(&rows, 0).is_blocked());
+        assert_eq!(resolve_block_nodes(0), usize::MAX);
+        assert_eq!(resolve_block_nodes(7), 7);
+    }
+
+    #[test]
+    fn block_layout_counts_every_edge_once() {
+        let n = 50;
+        let edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| [(u, (u * 3) % n), (u, (u * 7 + 1) % n)])
+            .collect();
+        let rows = preds_of(edges, n);
+        let blocked = BlockedPull::new(&rows, 8);
+        assert_eq!(
+            blocked.edges.len(),
+            (0..n).map(|v| rows.row(v).len()).sum::<usize>()
+        );
+        assert_eq!(blocked.blocks(), n.div_ceil(8));
+    }
+}

@@ -472,6 +472,111 @@ impl<'p> Exec<'p> {
         });
     }
 
+    /// Fused fill + deterministic reduction: `out[i] = fill(i)` for every
+    /// slot, while folding `fold(acc, i, &out[i])` per chunk and combining
+    /// the per-chunk partials in the same fixed ascending-chunk tournament
+    /// as [`Exec::par_reduce_det`]. One pass over `out` instead of a fill
+    /// followed by a re-read — the building block for fused solver sweeps
+    /// where a pass both writes a vector and needs its max/residual.
+    ///
+    /// The reduction shape depends only on `out.len()`, so for a fixed
+    /// input both `out` and the returned accumulator are bit-identical at
+    /// every thread count, and equal to `par_fill` + `par_reduce_det` over
+    /// the same inputs.
+    pub fn par_fill_fold<U, A, F, M, C>(
+        &self,
+        out: &mut [U],
+        fill: F,
+        identity: A,
+        fold: M,
+        combine: C,
+    ) -> A
+    where
+        U: Send + Sync,
+        A: Send + Sync + Clone,
+        F: Fn(usize) -> U + Sync,
+        M: Fn(A, usize, &U) -> A + Sync,
+        C: Fn(A, A) -> A + Sync,
+    {
+        let len = out.len();
+        if len == 0 {
+            return identity;
+        }
+        let plan = ChunkPlan::for_len(len);
+        let slots = SendPtr(out.as_mut_ptr());
+        let mut partials: Vec<std::mem::MaybeUninit<A>> = Vec::with_capacity(plan.chunks());
+        partials.resize_with(plan.chunks(), std::mem::MaybeUninit::uninit);
+        let pslots = SendPtr(partials.as_mut_ptr());
+        self.for_each_chunk(len, |c, range| {
+            let slots = &slots;
+            let pslots = &pslots;
+            let mut acc = identity.clone();
+            for i in range {
+                // SAFETY: chunk ranges partition 0..len; each slot is
+                // written once, then read back only by the same thread.
+                unsafe {
+                    let slot = slots.0.add(i);
+                    *slot = fill(i);
+                    acc = fold(acc, i, &*slot);
+                }
+            }
+            // SAFETY: one partial slot per chunk, written exactly once.
+            unsafe { pslots.0.add(c).write(std::mem::MaybeUninit::new(acc)) };
+        });
+        // SAFETY: for_each_chunk ran every chunk (or propagated a panic
+        // before reaching this line), so every partial is initialised.
+        let mut partials: Vec<A> = unsafe {
+            let mut p = std::mem::ManuallyDrop::new(partials);
+            Vec::from_raw_parts(p.as_mut_ptr() as *mut A, p.len(), p.capacity())
+        };
+        // Fixed-shape tournament over chunk index — identical association
+        // to par_reduce_det for the same length.
+        while partials.len() > 1 {
+            let mut next = Vec::with_capacity(partials.len().div_ceil(2));
+            let mut it = partials.into_iter();
+            while let Some(a) = it.next() {
+                next.push(match it.next() {
+                    Some(b) => combine(a, b),
+                    None => a,
+                });
+            }
+            partials = next;
+        }
+        partials.pop().expect("non-empty reduction")
+    }
+
+    /// Fills a flat row-major matrix: `f(r, row)` receives the mutable row
+    /// slice `out[r*width .. (r+1)*width]` for every row `r`. Chunk
+    /// boundaries depend only on the row count, so the row slices handed to
+    /// concurrent chunks are disjoint and the result is thread-invariant.
+    /// This is the one-allocation batch shape (`rows × width` flat) used by
+    /// the compiled NB gather instead of a `Vec<Vec<f64>>`.
+    pub fn par_fill_rows<U, F>(&self, out: &mut [U], width: usize, f: F)
+    where
+        U: Send,
+        F: Fn(usize, &mut [U]) + Sync,
+    {
+        if width == 0 {
+            assert!(out.is_empty(), "width 0 with non-empty output");
+            return;
+        }
+        assert_eq!(
+            out.len() % width,
+            0,
+            "flat matrix length must be a multiple of width"
+        );
+        let rows = out.len() / width;
+        let slots = SendPtr(out.as_mut_ptr());
+        self.for_each_chunk(rows, |_c, range| {
+            let slots = &slots;
+            for r in range {
+                // SAFETY: disjoint chunk row ranges → disjoint row slices.
+                let row = unsafe { std::slice::from_raw_parts_mut(slots.0.add(r * width), width) };
+                f(r, row);
+            }
+        });
+    }
+
     /// Deterministic tree reduction of `map(0) ⊕ map(1) ⊕ … ⊕ map(len-1)`.
     ///
     /// Each chunk folds left from `identity`; the per-chunk partials are
@@ -653,6 +758,80 @@ mod tests {
         let got = ex.par_map_collect(63, |i| (i as f64) * 0.1);
         let reference = Exec::serial().par_map_collect(63, |i| (i as f64) * 0.1);
         assert_eq!(got, reference);
+    }
+
+    #[test]
+    fn fill_fold_matches_fill_plus_reduce_bitwise() {
+        // Rounding-sensitive values: association genuinely changes low bits,
+        // so equality here proves the tournament shape is the same one
+        // par_reduce_det uses — not merely close.
+        let pool = Pool::new(8);
+        for len in [0usize, 1, 5, 63, 64, 1024, 4097] {
+            let value = |i: usize| {
+                ((i as u64 * 2654435761 % 97) as f64) * (2.0f64).powi((i % 40) as i32 - 20)
+            };
+            let reference_sum = Exec::serial().par_reduce_det(len, 0.0, value, |a, b| a + b);
+            for threads in [1, 2, 4, 8] {
+                let ex = Exec::on(&pool, threads);
+                let mut out = vec![0.0f64; len];
+                let sum = ex.par_fill_fold(
+                    &mut out,
+                    value,
+                    0.0,
+                    |acc, _i, &v: &f64| acc + v,
+                    |a, b| a + b,
+                );
+                assert_eq!(
+                    sum.to_bits(),
+                    reference_sum.to_bits(),
+                    "len={len} threads={threads} fold drifted"
+                );
+                assert!(
+                    out.iter()
+                        .enumerate()
+                        .all(|(i, &v)| v.to_bits() == value(i).to_bits()),
+                    "len={len} threads={threads} fill drifted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_fold_sees_the_index() {
+        // The fold closure receives the element index, so residual-style
+        // folds can consult sibling arrays (|next[i] - inf[i]|).
+        let pool = Pool::new(4);
+        let prev: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let mut next = vec![0.0f64; 500];
+        let residual = Exec::on(&pool, 4).par_fill_fold(
+            &mut next,
+            |i| (i as f64) + if i == 137 { 9.5 } else { 0.25 },
+            0.0,
+            |acc: f64, i, &v: &f64| acc.max((v - prev[i]).abs()),
+            f64::max,
+        );
+        assert_eq!(residual, 9.5);
+    }
+
+    #[test]
+    fn fill_rows_hands_out_disjoint_rows() {
+        let pool = Pool::new(4);
+        for threads in [1, 4] {
+            let ex = Exec::on(&pool, threads);
+            let (rows, width) = (301usize, 7usize);
+            let mut flat = vec![0.0f64; rows * width];
+            ex.par_fill_rows(&mut flat, width, |r, row| {
+                assert_eq!(row.len(), width);
+                for (c, slot) in row.iter_mut().enumerate() {
+                    *slot = (r * width + c) as f64;
+                }
+            });
+            assert!(flat.iter().enumerate().all(|(i, &v)| v == i as f64));
+            // Degenerate shapes.
+            let mut empty: [f64; 0] = [];
+            ex.par_fill_rows(&mut empty, 0, |_, _| unreachable!());
+            ex.par_fill_rows(&mut empty, 3, |_, _| unreachable!());
+        }
     }
 
     #[test]

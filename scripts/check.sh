@@ -89,6 +89,28 @@ if [[ $fast -eq 0 ]]; then
   echo "== release-only differential: streamed path bit-identical at 3k bloggers =="
   cargo test --release -q -p mass-core --test stream_differential -- --ignored
 
+  echo "== kernel knobs: rank artifact byte-identical across block sizes and fusion =="
+  # The CLI face of the §14 kernel contracts: blocked pull tiles and the
+  # fused prepare/solve path are pure scheduling choices, so the
+  # full-precision ranking artifact must not move by a byte under any
+  # --block-size or with --no-fuse.
+  "$mass" rank --in "$obs_dir/golden.xml" --k 10 \
+    --json-out "$obs_dir/kernel_base.json" >/dev/null
+  for block in 16 4096 131072; do
+    "$mass" rank --in "$obs_dir/golden.xml" --k 10 --block-size "$block" \
+      --json-out "$obs_dir/kernel_block.json" >/dev/null
+    cmp "$obs_dir/kernel_base.json" "$obs_dir/kernel_block.json"
+  done
+  "$mass" rank --in "$obs_dir/golden.xml" --k 10 --no-fuse \
+    --json-out "$obs_dir/kernel_nofuse.json" >/dev/null
+  cmp "$obs_dir/kernel_base.json" "$obs_dir/kernel_nofuse.json"
+
+  echo "== release-only kernel gate: X17 speedups and bit-identity =="
+  # table_x17_kernel_speed asserts the fused solve is >=2x the pre-PR
+  # kernel and bit-compares every optimised kernel inline (f32 fast path
+  # tolerance-bounded instead).
+  cargo run --release -q -p mass-bench --bin table_x17_kernel_speed >/dev/null
+
   echo "== incremental exactness: Exact refresh artifact equals full recompute =="
   # The CLI face of the exactness contract (DESIGN.md §11): a scripted edit
   # storm refreshed incrementally in Exact mode must produce a byte-identical
