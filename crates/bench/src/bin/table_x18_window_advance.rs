@@ -1,0 +1,183 @@
+//! X18 — window advance as an incrementally-refreshed edit storm.
+//!
+//! A temporal corpus (planted fading and rising influencers over a
+//! 1000-tick span) is scored under decay at a marching horizon. The
+//! incremental path treats each `advance_to` as time-dirt — decayed items
+//! are staged like an edit storm and one Exact refresh re-solves from the
+//! warm state, never re-running link analysis. The baseline re-analyses
+//! the corpus from scratch at every horizon. Both walk the same schedule
+//! in the same repetitions and every step bit-compares blogger and post
+//! scores — an advance that changes the answer is a bug, per the
+//! exactness contract (DESIGN.md §15).
+//!
+//! Medians are reported and written to `BENCH_X18.json`. Release builds
+//! enforce the headline shape (exponential-decay advance ≥ 2× faster than
+//! full recompute per horizon); a debug build still measures and
+//! bit-checks but skips the speed assert.
+//!
+//! ```sh
+//! cargo run --release -p mass-bench --bin table_x18_window_advance
+//! ```
+
+use mass_bench::banner;
+use mass_core::{DecayParams, IncrementalMass, MassAnalysis, MassParams, TemporalParams};
+use mass_eval::TextTable;
+use mass_obs::json::Json;
+use mass_synth::{generate, SynthConfig, SynthOutput};
+use std::time::Instant;
+
+const SCHEDULE: [u64; 4] = [200, 400, 600, 800];
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn temporal_corpus() -> SynthOutput {
+    let (bloggers, mean_posts) = match std::env::var("MASS_BENCH_SCALE").as_deref() {
+        Ok("paper") => (3000, 12.0),
+        _ => (600, 8.0),
+    };
+    generate(&SynthConfig {
+        bloggers,
+        mean_posts_per_blogger: mean_posts,
+        seed: 42,
+        time_span: 1000,
+        planted_fading: 5,
+        planted_rising: 5,
+        ..Default::default()
+    })
+}
+
+fn temporal(as_of: u64, decay: DecayParams) -> MassParams {
+    MassParams {
+        temporal: Some(TemporalParams { as_of, decay }),
+        ..MassParams::paper()
+    }
+}
+
+fn main() {
+    banner(
+        "X18",
+        "window advance vs full recompute",
+        "decayed re-ranking at a marching horizon; bit-identity checked at every step",
+    );
+
+    let reps = match std::env::var("MASS_BENCH_SCALE").as_deref() {
+        Ok("paper") => 3,
+        _ => 5,
+    };
+    let out = temporal_corpus();
+    let laws = [
+        ("exp hl=200", DecayParams::Exponential { half_life: 200.0 }),
+        ("window 250", DecayParams::Window { horizon: 250 }),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for (name, decay) in laws {
+        let mut advance_ms = Vec::new();
+        let mut full_ms = Vec::new();
+        for rep in 0..reps {
+            // The warm start (one full solve at horizon 0) is paid once per
+            // session, not per advance — construct outside the timers.
+            let mut live = IncrementalMass::new(out.dataset.clone(), temporal(0, decay));
+            for &t in &SCHEDULE {
+                let start = Instant::now();
+                let adv = live.advance_to(t).expect("monotone schedule");
+                let stats = live.refresh();
+                advance_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                assert!(adv.any_affected(), "advance to {t} decayed nothing");
+                assert!(
+                    !stats.gl_refreshed,
+                    "pure window advance must not re-run link analysis"
+                );
+                assert!(stats.converged, "refresh did not converge at {t}");
+
+                let start = Instant::now();
+                let batch = MassAnalysis::analyze(live.dataset(), &temporal(t, decay));
+                full_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                assert_eq!(
+                    bits(&live.scores().blogger),
+                    bits(&batch.scores.blogger),
+                    "{name} rep {rep} t={t}: blogger scores diverged from batch"
+                );
+                assert_eq!(
+                    bits(&live.scores().post),
+                    bits(&batch.scores.post),
+                    "{name} rep {rep} t={t}: post scores diverged from batch"
+                );
+            }
+        }
+        let advance = median(&mut advance_ms);
+        let full = median(&mut full_ms);
+        rows.push((name, advance, full));
+        json_rows.push(Json::Obj(vec![
+            ("decay".into(), Json::from(name)),
+            ("advance_refresh_ms".into(), Json::Num(advance)),
+            ("full_recompute_ms".into(), Json::Num(full)),
+            ("speedup".into(), Json::Num(full / advance)),
+        ]));
+    }
+
+    let mut table = TextTable::new([
+        "decay law",
+        "advance+refresh (ms)",
+        "full recompute (ms)",
+        "speedup",
+    ]);
+    for &(name, advance, full) in &rows {
+        table.row([
+            name.to_string(),
+            format!("{advance:.2}"),
+            format!("{full:.2}"),
+            format!("{:.2}x", full / advance),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "corpus: {} bloggers, {} posts, span 1000; horizons {SCHEDULE:?}, Exact mode, bit-compared every step",
+        out.dataset.bloggers.len(),
+        out.dataset.posts.len()
+    );
+
+    let artifact = Json::Obj(vec![
+        ("experiment".into(), Json::from("X18 window advance")),
+        (
+            "bloggers".into(),
+            Json::from(out.dataset.bloggers.len() as u64),
+        ),
+        ("posts".into(), Json::from(out.dataset.posts.len() as u64)),
+        ("reps".into(), Json::from(reps as u64)),
+        (
+            "schedule".into(),
+            Json::Arr(SCHEDULE.iter().map(|&t| Json::from(t)).collect()),
+        ),
+        ("mode".into(), Json::from("exact")),
+        ("rows".into(), Json::Arr(json_rows)),
+        ("bitwise_identical".into(), Json::Bool(true)),
+    ]);
+    std::fs::write("BENCH_X18.json", artifact.render() + "\n").expect("write BENCH_X18.json");
+    println!("wrote BENCH_X18.json");
+
+    // Bit-identity always held (asserts above). The latency shape only
+    // means anything with the optimizer on.
+    if cfg!(debug_assertions) {
+        println!("shape SKIPPED: debug build (bit-identity was still verified)");
+        return;
+    }
+    let (_, advance, full) = rows[0];
+    let speedup = full / advance;
+    let ok = speedup >= 2.0;
+    println!(
+        "shape {}: window advance speedup {speedup:.2}x over full recompute (need >= 2.00x)",
+        if ok { "HOLDS" } else { "VIOLATED" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

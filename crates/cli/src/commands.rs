@@ -2,7 +2,10 @@
 
 use crate::args::Args;
 use mass_core::storm::{apply_to_dataset, apply_to_incremental, scripted_storm, StormMix};
-use mass_core::{IncrementalMass, MassAnalysis, MassParams, Recommender, RefreshMode};
+use mass_core::{
+    DecayParams, IncrementalMass, MassAnalysis, MassParams, Recommender, RefreshMode,
+    TemporalParams,
+};
 use mass_crawler::{
     archive_host, crawl, BlogHost, CrawlConfig, HostConfig, SimulatedHost, XmlArchiveHost,
 };
@@ -27,12 +30,26 @@ fn synth_config(
     default_bloggers: usize,
     default_ppb: f64,
 ) -> Result<SynthConfig, String> {
-    Ok(SynthConfig {
+    let cfg = SynthConfig {
         bloggers: args.get_parse("bloggers", default_bloggers)?,
         mean_posts_per_blogger: args.get_parse("posts-per-blogger", default_ppb)?,
         seed: args.get_parse("seed", 42u64)?,
+        time_span: args.get_parse("time-span", 0u64)?,
+        planted_fading: args.get_parse("fading", 0usize)?,
+        planted_rising: args.get_parse("rising", 0usize)?,
         ..Default::default()
-    })
+    };
+    // Pre-check what the generator would otherwise panic on.
+    if cfg.time_span == 0 && (cfg.planted_fading > 0 || cfg.planted_rising > 0) {
+        return Err("--fading/--rising need --time-span TICKS".into());
+    }
+    if cfg.planted_fading + cfg.planted_rising > cfg.bloggers {
+        return Err(format!(
+            "--fading {} + --rising {} exceed --bloggers {}",
+            cfg.planted_fading, cfg.planted_rising, cfg.bloggers
+        ));
+    }
+    Ok(cfg)
 }
 
 /// Builds a [`CorpusSpec`] from `--lean --domains --zipf --planted --boost
@@ -51,6 +68,9 @@ fn stream_spec(args: &Args, bloggers: usize, seed: u64) -> Result<CorpusSpec, St
     spec.influencer_boost = args.get_parse("boost", spec.influencer_boost)?;
     spec.mean_posts_per_blogger =
         args.get_parse("posts-per-blogger", spec.mean_posts_per_blogger)?;
+    spec.time_span = args.get_parse("time-span", spec.time_span)?;
+    spec.planted_fading = args.get_parse("fading", spec.planted_fading)?;
+    spec.planted_rising = args.get_parse("rising", spec.planted_rising)?;
     Ok(spec)
 }
 
@@ -65,6 +85,48 @@ fn ingest_options(args: &Args) -> Result<IngestOptions, String> {
         },
         threads: args.get_parse("threads", 0usize)?,
     })
+}
+
+/// Parses the temporal facet's flags: `--as-of T` turns it on, `--decay
+/// exp|window` picks the law (`exp` by default), `--half-life H` sets the
+/// exponential half-life (default `inf` — horizoned but undecayed) and
+/// `--window W` the hard-window age cutoff. Degenerate values come back as
+/// errors via [`TemporalParams::validate`], never panics.
+fn temporal_params(args: &Args) -> Result<Option<TemporalParams>, String> {
+    let as_of = args.get("as-of").filter(|s| !s.is_empty());
+    let Some(raw) = as_of else {
+        for flag in ["decay", "half-life", "window"] {
+            if args.get(flag).filter(|s| !s.is_empty()).is_some() {
+                return Err(format!("--{flag} needs --as-of TICK to take effect"));
+            }
+        }
+        return Ok(None);
+    };
+    let as_of: u64 = raw
+        .parse()
+        .map_err(|_| format!("invalid value for --as-of: {raw:?}"))?;
+    let decay = match args.get("decay").filter(|s| !s.is_empty()).unwrap_or("exp") {
+        "exp" | "exponential" => {
+            let half_life = match args.get("half-life").filter(|s| !s.is_empty()) {
+                Some("inf") | None => f64::INFINITY,
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| format!("invalid value for --half-life: {raw:?}"))?,
+            };
+            DecayParams::Exponential { half_life }
+        }
+        "window" => DecayParams::Window {
+            horizon: args.get_parse("window", u64::MAX)?,
+        },
+        other => {
+            return Err(format!(
+                "invalid value for --decay: {other:?} (expected exp or window)"
+            ))
+        }
+    };
+    let t = TemporalParams { as_of, decay };
+    t.validate().map_err(|e| e.to_string())?;
+    Ok(Some(t))
 }
 
 fn mass_params(args: &Args) -> Result<MassParams, String> {
@@ -88,6 +150,7 @@ fn mass_params(args: &Args) -> Result<MassParams, String> {
         block_nodes: args.get_parse("block-size", 0usize)?,
         nb_precision,
         fused_prepare: !args.flag("no-fuse"),
+        temporal: temporal_params(args)?,
         ..MassParams::paper()
     };
     if !(0.0..=1.0).contains(&params.alpha) || !(0.0..=1.0).contains(&params.beta) {
@@ -341,6 +404,9 @@ pub fn stats(args: &Args) -> CmdResult {
 /// names: `exact` / `warm` go through the incremental engine, `full` is a
 /// plain batch recompute. The `exact`-vs-`full` pair is the CLI surface of
 /// the exactness contract — check.sh diffs their `--json-out` artifacts.
+/// With `--as-of T` (and no storm) the same pair applies to the window
+/// advance: `exact` starts the engine at horizon 0 and advances to `T` as
+/// a time-dirt edit storm, `full` is a batch analysis at `T`.
 fn rank_analysis(
     args: &Args,
     ds: Dataset,
@@ -349,8 +415,11 @@ fn rank_analysis(
     let edits: usize = args.get_parse("edit-storm", 0usize)?;
     let mode = args.get("refresh-mode").filter(|s| !s.is_empty());
     if edits == 0 {
+        if let Some(temporal) = params.temporal {
+            return rank_asof_analysis(ds, params, temporal, mode);
+        }
         if mode.is_some() {
-            return Err("--refresh-mode requires --edit-storm N".into());
+            return Err("--refresh-mode requires --edit-storm N or --as-of T".into());
         }
         let analysis = MassAnalysis::analyze(&ds, params);
         return Ok((ds, analysis));
@@ -380,6 +449,63 @@ fn rank_analysis(
             eprintln!(
                 "storm: {} edits (seed {seed}), {} refresh: {} sweeps, gl {}, residual {:.3e}",
                 stats.edits_applied,
+                stats.mode.as_str(),
+                stats.sweeps,
+                if stats.gl_refreshed {
+                    "recomputed"
+                } else {
+                    "reused"
+                },
+                stats.residual,
+            );
+            Ok(live.into_parts())
+        }
+        other => Err(format!(
+            "unknown --refresh-mode {other:?}; expected exact, warm or full"
+        )),
+    }
+}
+
+/// `rank --as-of T`: the window advance as an incrementally-refreshed edit
+/// storm (DESIGN.md §15). The default `exact` path builds the engine at
+/// horizon 0, `advance_to(T)` stages the decayed items as time dirt, and
+/// one Exact refresh re-solves — bit-identical to `--refresh-mode full`
+/// (batch recompute at `as_of = T`), which check.sh verifies by diffing
+/// the two `--json-out` artifacts.
+fn rank_asof_analysis(
+    ds: Dataset,
+    params: &MassParams,
+    temporal: TemporalParams,
+    mode: Option<&str>,
+) -> Result<(Dataset, MassAnalysis), String> {
+    match mode.unwrap_or("exact") {
+        "full" => {
+            eprintln!("as-of {}: full batch recompute", temporal.as_of);
+            let analysis = MassAnalysis::analyze(&ds, params);
+            Ok((ds, analysis))
+        }
+        m @ ("exact" | "warm") => {
+            let refresh_mode = if m == "warm" {
+                RefreshMode::WarmStart
+            } else {
+                RefreshMode::Exact
+            };
+            let start = MassParams {
+                temporal: Some(TemporalParams {
+                    as_of: 0,
+                    decay: temporal.decay,
+                }),
+                ..params.clone()
+            };
+            let mut live = IncrementalMass::new(ds, start);
+            let advance = live.advance_to(temporal.as_of).map_err(|e| e.to_string())?;
+            let stats = live.refresh_with(refresh_mode);
+            eprintln!(
+                "window advance 0 -> {}: {} posts / {} comments re-decayed; \
+                 {} refresh: {} sweeps, gl {}, residual {:.3e}",
+                advance.to,
+                advance.posts_affected,
+                advance.comments_affected,
                 stats.mode.as_str(),
                 stats.sweeps,
                 if stats.gl_refreshed {
@@ -455,6 +581,51 @@ pub fn rank(args: &Args) -> CmdResult {
         _ => (format!("top-{k} general"), analysis.top_k_general(k)),
     };
 
+    // `--rising-since T0` (with `--as-of T`): the rising-star detector —
+    // influence snapshots at T0 and T, bloggers ranked by the largest
+    // positive derivative (the planted-riser signal a static ranking
+    // misses; see tests/ground_truth_recovery.rs).
+    if let Some(raw) = args.get("rising-since").filter(|s| !s.is_empty()) {
+        let temporal = params.temporal.ok_or("--rising-since needs --as-of TICK")?;
+        let since: u64 = raw
+            .parse()
+            .map_err(|_| format!("invalid value for --rising-since: {raw:?}"))?;
+        if since >= temporal.as_of {
+            return Err(format!(
+                "--rising-since {since} must lie before --as-of {}",
+                temporal.as_of
+            ));
+        }
+        let early = MassAnalysis::analyze(
+            &ds,
+            &MassParams {
+                temporal: Some(TemporalParams {
+                    as_of: since,
+                    decay: temporal.decay,
+                }),
+                ..params.clone()
+            },
+        );
+        let stars = mass_core::rising_stars(
+            &[
+                (since, early.scores.blogger.clone()),
+                (temporal.as_of, analysis.scores.blogger.clone()),
+            ],
+            k,
+        );
+        println!("rising stars {since} -> {} :", temporal.as_of);
+        let mut table = TextTable::new(["#", "blogger", "d(influence)/dt", "influence"]);
+        for (rank, star) in stars.iter().enumerate() {
+            table.row([
+                (rank + 1).to_string(),
+                ds.blogger(star.blogger).name.clone(),
+                format!("{:+.6}", star.derivative),
+                format!("{:.4}", star.influence),
+            ]);
+        }
+        print!("{table}");
+    }
+
     println!("{title} (α={}, β={}):", params.alpha, params.beta);
     let mut table = TextTable::new(["#", "blogger", "score", "posts", "comments recv"]);
     let ix = ds.index();
@@ -475,10 +646,17 @@ pub fn rank(args: &Args) -> CmdResult {
     // in scripts/check.sh diffs exactly this output.
     if let Some(path) = args.get("json-out").filter(|s| !s.is_empty()) {
         use mass_obs::json::Json;
-        let artifact = Json::Obj(vec![
+        let mut fields = vec![
             ("title".into(), Json::from(title.as_str())),
             ("alpha".into(), Json::Num(params.alpha)),
             ("beta".into(), Json::Num(params.beta)),
+        ];
+        // Present only for temporal analyses: pre-temporal artifacts (and
+        // their golden snapshots) stay byte-identical.
+        if let Some(t) = params.temporal {
+            fields.push(("as_of".into(), Json::from(t.as_of)));
+        }
+        fields.extend([
             ("k".into(), Json::from(k as u64)),
             (
                 "ranking".into(),
@@ -502,6 +680,7 @@ pub fn rank(args: &Args) -> CmdResult {
                 ),
             ),
         ]);
+        let artifact = Json::Obj(fields);
         std::fs::write(path, artifact.render() + "\n")
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");

@@ -31,10 +31,13 @@ USAGE: mass <command> [--option value ...]
 COMMANDS:
   generate     generate a synthetic blogosphere and write it as XML
                --bloggers N (200)  --posts-per-blogger F (5.0)  --seed N (42)
+               --time-span TICKS (0 = timeless)  --fading N  --rising N
+               [plant fading/rising influencers into the span's edges]
                --out FILE (required)
   synth        stream a declarative corpus spec (O(1) state per blogger)
                --bloggers N (1000)  --seed N (7)  --lean  --domains N
                --zipf F  --planted N  --boost F  --posts-per-blogger F
+               --time-span TICKS  --fading N  --rising N [temporal planting]
                --stream [ingest shard-by-shard, skipping XML]
                --shards N (4)  --spill-budget BYTES [out-of-core merge]
                --out FILE [XML]  --records-out FILE [JSON lines]
@@ -60,6 +63,11 @@ COMMANDS:
                storm before ranking]  --refresh-mode exact|warm|full (exact)
                exact/warm refresh incrementally; full recomputes from
                scratch — exact and full produce identical artifacts
+               --as-of TICK [temporal horizon: exact runs the window
+               advance as an incremental edit storm, full recomputes]
+               --decay exp|window (exp)  --half-life F (inf)  --window N
+               --rising-since TICK [with --as-of: print the rising-star
+               table, bloggers with the steepest influence growth]
                --synth N --synth-seed S [rank a streamed synthetic corpus
                instead of --in]  --stream --shards K --spill-budget B
                [sharded ingest; artifacts byte-identical to in-memory]
@@ -84,8 +92,11 @@ COMMANDS:
                /admin/inject-fault + ?debug-sleep-ms for drills]  --threads N
                --flight-recorder-cap N (256; 0 = off)  --sample-slow-ms N (50)
                --window-secs N (60)  --trace-seed N (0)
-               endpoints: GET /topk?domain=d&k=n  POST /match?k=n (ad text
-               body)  POST /edits  GET /healthz  GET /readyz  GET /metrics
+               --as-of TICK --decay exp|window --half-life F --window N
+               [serve decayed rankings; POST /edits {\"advance_to\": T}
+               advances the horizon, GET /topk?as_of=T pins it]
+               endpoints: GET /topk?domain=d&k=n[&as_of=t]  POST /match?k=n
+               (ad text body)  POST /edits  GET /healthz  GET /readyz  GET /metrics
                GET /debug/requests  GET /debug/slo
                POST /admin/shutdown [clean drain]
   http         one scriptable HTTP request (for smoke tests; no curl needed)

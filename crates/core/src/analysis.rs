@@ -62,7 +62,8 @@ impl MassAnalysis {
             ds.index()
         };
         let inputs = SolverInputs::build_prepared(ds, &ix, params, corpus);
-        let scores = solve_prepared(ds, &inputs, params, None);
+        let decayed = crate::temporal::decay_inputs(ds, &inputs, params);
+        let scores = solve_prepared(ds, &decayed, params, None);
         let (iv, trained) = {
             let _s = mass_obs::span("analysis.iv_vectors");
             iv_vectors_prepared(ds, params, corpus)

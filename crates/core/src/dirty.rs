@@ -28,6 +28,18 @@ pub struct DirtySet {
     pub posts_added: usize,
     /// Comments appended to existing posts since the last refresh.
     pub comments_added: usize,
+    /// Window advances absorbed since the last refresh (DESIGN.md §15).
+    /// Advances change *weights*, not structure: no graph node or edge is
+    /// touched, so GL stays clean and link analysis is skipped — exactly
+    /// the cheap path the X18 bench measures.
+    pub time_advances: usize,
+    /// Posts whose decay weight changed across the pending advances
+    /// (counted by bit-comparing old and new weights, so a strict no-op
+    /// advance stays a no-op).
+    pub posts_decayed: usize,
+    /// Comments whose decay weight or visibility changed across the
+    /// pending advances.
+    pub comments_decayed: usize,
 }
 
 /// The minimal recompute plan a [`DirtySet`] implies under given params.
@@ -55,6 +67,7 @@ impl DirtySet {
             && self.comment_edges.is_empty()
             && self.posts_added == 0
             && self.comments_added == 0
+            && self.time_advances == 0
     }
 
     /// Absorbs another set's edits (counts add, edge batches concatenate).
@@ -64,6 +77,9 @@ impl DirtySet {
         self.comment_edges.extend_from_slice(&other.comment_edges);
         self.posts_added += other.posts_added;
         self.comments_added += other.comments_added;
+        self.time_advances += other.time_advances;
+        self.posts_decayed += other.posts_decayed;
+        self.comments_decayed += other.comments_decayed;
     }
 
     /// Forgets everything (after a refresh absorbed the set).
@@ -211,6 +227,28 @@ mod tests {
         assert!(d
             .provider_edges(&with_provider(GlProvider::None))
             .is_empty());
+    }
+
+    #[test]
+    fn time_advances_resolve_without_touching_gl() {
+        let d = DirtySet {
+            time_advances: 1,
+            posts_decayed: 4,
+            comments_decayed: 9,
+            ..Default::default()
+        };
+        assert!(!d.is_empty());
+        for gl in [
+            GlProvider::PageRank,
+            GlProvider::Hits,
+            GlProvider::InlinkCount,
+            GlProvider::CommentGraphPageRank,
+        ] {
+            let ob = d.obligations(&with_provider(gl));
+            assert!(!ob.refresh_gl, "{gl:?}: advances never dirty the graph");
+            assert!(ob.resolve && ob.rebuild_domains, "{gl:?}");
+        }
+        assert!(d.provider_edges(&MassParams::paper()).is_empty());
     }
 
     #[test]

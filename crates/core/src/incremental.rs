@@ -40,6 +40,7 @@ use crate::gl::{gl_graph, gl_scores_csr};
 use crate::params::{IvSource, MassParams};
 use crate::quality::{make_detector, raw_quality_of, raw_quality_scores_with_detector};
 use crate::solver::{solve_prepared, InfluenceScores, SolverInputs};
+use crate::temporal::{decay_inputs, TemporalError, TemporalParams};
 use crate::topk::{top_k, top_k_in_domain};
 use mass_graph::LinkCsr;
 use mass_obs::field;
@@ -126,6 +127,27 @@ pub struct RefreshStats {
     pub epoch: u64,
 }
 
+/// What one [`IncrementalMass::advance_to`] call touched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdvanceStats {
+    /// The horizon before the advance.
+    pub from: u64,
+    /// The horizon after the advance.
+    pub to: u64,
+    /// Posts whose decay weight changed bits across the advance.
+    pub posts_affected: usize,
+    /// Comments whose decay weight (or visibility) changed bits.
+    pub comments_affected: usize,
+}
+
+impl AdvanceStats {
+    /// Whether the advance changed any weight at all — `false` means the
+    /// next refresh is free to stay a strict no-op.
+    pub fn any_affected(&self) -> bool {
+        self.posts_affected > 0 || self.comments_affected > 0
+    }
+}
+
 /// A live MASS analysis over a growing dataset.
 #[derive(Debug)]
 pub struct IncrementalMass {
@@ -183,7 +205,10 @@ impl IncrementalMass {
             factors: crate::solver::resolve_comment_factors_prepared(&dataset, &corpus),
             tc: crate::solver::compute_tc(&dataset, &ix, &params),
         };
-        let scores = solve_prepared(&dataset, &inputs, &params, None);
+        let scores = {
+            let decayed = decay_inputs(&dataset, &inputs, &params);
+            solve_prepared(&dataset, &decayed, &params, None)
+        };
         let (iv, trained) = iv_vectors_prepared(&dataset, &params, &corpus);
         let classifier = match &params.iv {
             IvSource::Classifier(m) => Some(m.clone()),
@@ -417,6 +442,70 @@ impl IncrementalMass {
         self.pending_edits += 1;
     }
 
+    /// The engine's analysis horizon, when it runs with temporal params.
+    pub fn as_of(&self) -> Option<u64> {
+        self.params.temporal.map(|t| t.as_of)
+    }
+
+    /// Advances the analysis horizon ("now") to `to` — the window-advance
+    /// *edit storm* of DESIGN.md §15. Every post and comment whose decay
+    /// weight changes bits across the move is counted into the
+    /// [`DirtySet`] as time dirt; the next [`refresh`](Self::refresh)
+    /// re-solves over the re-decayed inputs, skipping link analysis
+    /// entirely (an advance touches no graph node or edge). When *no*
+    /// weight changes — e.g. a hard window that slides over empty ticks —
+    /// the dirty set stays clean and the next refresh is a strict no-op.
+    ///
+    /// Errors with [`TemporalError::NotTemporal`] when the engine has no
+    /// temporal params, and [`TemporalError::RetrogradeAdvance`] when `to`
+    /// lies before the current horizon (the incremental path only moves
+    /// forward; analyse from scratch to look back).
+    pub fn advance_to(&mut self, to: u64) -> Result<AdvanceStats, TemporalError> {
+        let Some(temporal) = self.params.temporal else {
+            return Err(TemporalError::NotTemporal);
+        };
+        let from = temporal.as_of;
+        if to < from {
+            return Err(TemporalError::RetrogradeAdvance { from, to });
+        }
+        let decay = temporal.decay;
+        let mut posts_affected = 0usize;
+        let mut comments_affected = 0usize;
+        for post in &self.dataset.posts {
+            if decay.weight(post.ts, from).to_bits() != decay.weight(post.ts, to).to_bits() {
+                posts_affected += 1;
+            }
+            let born_from = post.ts <= from;
+            let born_to = post.ts <= to;
+            for c in &post.comments {
+                let w_from = if born_from {
+                    decay.weight(c.ts, from)
+                } else {
+                    0.0
+                };
+                let w_to = if born_to { decay.weight(c.ts, to) } else { 0.0 };
+                if w_from.to_bits() != w_to.to_bits() {
+                    comments_affected += 1;
+                }
+            }
+        }
+        self.params.temporal = Some(TemporalParams { as_of: to, decay });
+        let stats = AdvanceStats {
+            from,
+            to,
+            posts_affected,
+            comments_affected,
+        };
+        if stats.any_affected() {
+            self.dirty.time_advances += 1;
+            self.dirty.posts_decayed += posts_affected;
+            self.dirty.comments_decayed += comments_affected;
+            self.pending_edits += 1;
+            mass_obs::counter("incremental.window_advances").inc();
+        }
+        Ok(stats)
+    }
+
     /// [`refresh_with`](Self::refresh_with) in the default
     /// [`RefreshMode::Exact`].
     pub fn refresh(&mut self) -> RefreshStats {
@@ -504,9 +593,13 @@ impl IncrementalMass {
         let saved_gl = staged_gl_vec.map(|gl| std::mem::replace(&mut self.inputs.gl, gl));
         let solved = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.detonate(RefreshFault::DuringSolve);
+            // The temporal transform runs here, inside the transaction, so
+            // batch and incremental feed the solver through the same code
+            // over bitwise-equal undecayed inputs (DESIGN.md §15).
+            let decayed = decay_inputs(&self.dataset, &self.inputs, &self.params);
             let scores = solve_prepared(
                 &self.dataset,
-                &self.inputs,
+                &decayed,
                 &self.params,
                 warm_scores.as_deref(),
             );
@@ -653,6 +746,7 @@ mod tests {
                 commenter,
                 text: "I agree and support".into(),
                 sentiment: None,
+                ts: 0,
             },
         );
         inc.add_comment(
@@ -661,6 +755,7 @@ mod tests {
                 commenter: newbie,
                 text: "x".into(),
                 sentiment: Some(Sentiment::Positive),
+                ts: 0,
             },
         );
         assert_eq!(inc.pending_edits(), 5);
@@ -990,6 +1085,7 @@ mod tests {
                     commenter: fan,
                     text: "x".into(),
                     sentiment: Some(Sentiment::Positive),
+                    ts: 0,
                 },
             );
         }
@@ -1029,6 +1125,108 @@ mod tests {
         inc.add_comment(p, Comment::new(BloggerId::new(0), "hi"));
         inc.refresh();
         inc.dataset().validate().unwrap();
+    }
+
+    #[test]
+    fn advance_requires_temporal_params_and_forward_motion() {
+        use crate::temporal::{DecayParams, TemporalError, TemporalParams};
+        let (ds, params) = base();
+        let mut inc = IncrementalMass::new(ds.clone(), params.clone());
+        assert_eq!(inc.as_of(), None);
+        assert_eq!(inc.advance_to(5), Err(TemporalError::NotTemporal));
+
+        let temporal = MassParams {
+            temporal: Some(TemporalParams {
+                as_of: 10,
+                decay: DecayParams::Exponential { half_life: 4.0 },
+            }),
+            ..params
+        };
+        let mut inc = IncrementalMass::new(ds, temporal);
+        assert_eq!(inc.as_of(), Some(10));
+        assert_eq!(
+            inc.advance_to(3),
+            Err(TemporalError::RetrogradeAdvance { from: 10, to: 3 })
+        );
+        let stats = inc.advance_to(10).unwrap();
+        assert!(!stats.any_affected(), "advancing to the same tick is free");
+        assert_eq!(inc.pending_edits(), 0);
+    }
+
+    #[test]
+    fn weightless_advance_keeps_the_next_refresh_a_noop() {
+        use crate::temporal::{DecayParams, TemporalParams};
+        // Every item sits at tick 0 with a window so wide the slide never
+        // expires anything: weights keep their bits, so the advance must
+        // not dirty the engine.
+        let (ds, params) = base();
+        let mut inc = IncrementalMass::new(
+            ds,
+            MassParams {
+                temporal: Some(TemporalParams {
+                    as_of: 0,
+                    decay: DecayParams::Window { horizon: 1_000_000 },
+                }),
+                ..params
+            },
+        );
+        let before = inc.scores().clone();
+        let epoch = inc.epoch();
+        let stats = inc.advance_to(500).unwrap();
+        assert!(!stats.any_affected());
+        let refresh = inc.refresh();
+        assert_eq!(refresh.sweeps, 0);
+        assert_eq!(inc.epoch(), epoch);
+        assert_eq!(bits(&inc.scores().blogger), bits(&before.blogger));
+        assert_eq!(inc.as_of(), Some(500));
+    }
+
+    #[test]
+    fn window_advance_matches_batch_analysis_at_the_new_horizon() {
+        use crate::temporal::{DecayParams, TemporalParams};
+        let (mut ds, params) = base();
+        // Spread timestamps so the advance actually re-weights things.
+        let np = ds.posts.len();
+        for (i, post) in ds.posts.iter_mut().enumerate() {
+            post.ts = (i * 100 / np.max(1)) as u64;
+            for (j, c) in post.comments.iter_mut().enumerate() {
+                c.ts = post.ts + j as u64;
+            }
+        }
+        let decay = DecayParams::Exponential { half_life: 25.0 };
+        let mut inc = IncrementalMass::new(
+            ds.clone(),
+            MassParams {
+                temporal: Some(TemporalParams { as_of: 0, decay }),
+                ..params.clone()
+            },
+        );
+        for horizon in [30u64, 60, 120] {
+            let stats = inc.advance_to(horizon).unwrap();
+            assert!(stats.any_affected(), "horizon {horizon}");
+            let refresh = inc.refresh();
+            assert!(!refresh.gl_refreshed, "advances never rerun link analysis");
+            let batch = MassAnalysis::analyze(
+                &ds,
+                &MassParams {
+                    temporal: Some(TemporalParams {
+                        as_of: horizon,
+                        decay,
+                    }),
+                    ..params.clone()
+                },
+            );
+            assert_eq!(
+                bits(&inc.scores().blogger),
+                bits(&batch.scores.blogger),
+                "horizon {horizon}"
+            );
+            assert_eq!(
+                bits(&inc.scores().post),
+                bits(&batch.scores.post),
+                "horizon {horizon}"
+            );
+        }
     }
 
     #[test]

@@ -64,13 +64,14 @@ pub mod recommend;
 pub mod snapshot;
 pub mod solver;
 pub mod storm;
+pub mod temporal;
 pub mod topk;
 
 pub use analysis::MassAnalysis;
 pub use dirty::{DirtySet, Obligations};
 pub use expert_search::ExpertSearch;
 pub use gl::{gl_graph, gl_scores_csr, GlRefresh};
-pub use incremental::{IncrementalMass, RefreshFault, RefreshMode, RefreshStats};
+pub use incremental::{AdvanceStats, IncrementalMass, RefreshFault, RefreshMode, RefreshStats};
 pub use mass_text::{NbPrecision, NB_FAST_TOLERANCE};
 pub use params::{GlProvider, IvSource, LengthMode, MassParams};
 pub use recommend::Recommender;
@@ -80,4 +81,7 @@ pub use solver::{
     SolveStatus, SolverInputs, SweepLayout,
 };
 pub use storm::{apply_to_dataset, apply_to_incremental, scripted_storm, ScriptedEdit, StormMix};
+pub use temporal::{
+    decay_inputs, rising_stars, DecayParams, RisingStar, TemporalError, TemporalParams,
+};
 pub use topk::top_k;

@@ -4,6 +4,7 @@
 //! parameters for modeling general influence and domain influence" — α and β
 //! are user-tunable, with paper defaults 0.5 and 0.6.
 
+use crate::temporal::TemporalParams;
 use mass_text::{NaiveBayes, NbPrecision};
 
 /// Which authority measure backs the General-Links (GL) facet of Eq. 1.
@@ -110,6 +111,12 @@ pub struct MassParams {
     /// bit-identical to the separate path — `false` keeps the legacy
     /// two-pass build callable for differential pinning.
     pub fused_prepare: bool,
+    /// Temporal facet (DESIGN.md §15): when set, scoring weights every
+    /// post and comment by its age at `as_of` under the given decay law,
+    /// and items stamped after `as_of` are invisible. `None` (the
+    /// default) is the timeless published model — bit-identical to
+    /// builds that predate the facet.
+    pub temporal: Option<TemporalParams>,
 }
 
 impl MassParams {
@@ -131,14 +138,16 @@ impl MassParams {
             block_nodes: 0,
             nb_precision: NbPrecision::Exact,
             fused_prepare: true,
+            temporal: None,
         }
     }
 
     /// Checks parameter ranges.
     ///
     /// # Panics
-    /// Panics if α or β leave [0, 1], ε is non-positive, or the sweep cap
-    /// is zero.
+    /// Panics if α or β leave [0, 1], ε is non-positive, the sweep cap
+    /// is zero, or the temporal decay law is degenerate (NaN or
+    /// non-positive half-life).
     pub fn validate(&self) {
         assert!(
             (0.0..=1.0).contains(&self.alpha),
@@ -157,6 +166,11 @@ impl MassParams {
             "residual_history_cap must be at least 2, got {}",
             self.residual_history_cap
         );
+        if let Some(t) = &self.temporal {
+            if let Err(e) = t.validate() {
+                panic!("invalid temporal params: {e}");
+            }
+        }
     }
 }
 
@@ -182,6 +196,7 @@ impl PartialEq for MassParams {
             && self.block_nodes == other.block_nodes
             && self.nb_precision == other.nb_precision
             && self.fused_prepare == other.fused_prepare
+            && self.temporal == other.temporal
             && matches!(
                 (&self.iv, &other.iv),
                 (IvSource::TrainOnTagged, IvSource::TrainOnTagged)
@@ -242,6 +257,20 @@ mod tests {
     fn epsilon_must_be_positive() {
         MassParams {
             epsilon: 0.0,
+            ..MassParams::paper()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn degenerate_half_life_is_rejected() {
+        use crate::temporal::{DecayParams, TemporalParams};
+        MassParams {
+            temporal: Some(TemporalParams {
+                as_of: 100,
+                decay: DecayParams::Exponential { half_life: -3.0 },
+            }),
             ..MassParams::paper()
         }
         .validate();

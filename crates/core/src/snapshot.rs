@@ -20,6 +20,9 @@ use mass_types::{BloggerId, DomainId};
 #[derive(Clone, Debug)]
 pub struct ServingSnapshot {
     epoch: u64,
+    /// The engine's analysis horizon at capture time (None when the
+    /// engine runs without temporal params).
+    as_of: Option<u64>,
     cap: usize,
     blogger_names: Vec<String>,
     domain_names: Vec<String>,
@@ -45,6 +48,7 @@ impl ServingSnapshot {
             .collect();
         ServingSnapshot {
             epoch: engine.epoch(),
+            as_of: engine.as_of(),
             cap,
             blogger_names: ds.bloggers.iter().map(|b| b.name.clone()).collect(),
             domain_names: ds.domains.names().to_vec(),
@@ -58,6 +62,12 @@ impl ServingSnapshot {
     /// The refresh epoch this snapshot was captured at.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The analysis horizon the rankings were decayed at, when the engine
+    /// runs the temporal facet (`GET /topk?as_of=` validates against it).
+    pub fn as_of(&self) -> Option<u64> {
+        self.as_of
     }
 
     /// The top-k cap every precomputed list honours.

@@ -212,6 +212,7 @@ pub fn apply_to_incremental(inc: &mut IncrementalMass, script: &[ScriptedEdit]) 
                         commenter: BloggerId::new(*commenter as usize),
                         text: text.clone(),
                         sentiment: *sentiment,
+                        ts: 0,
                     },
                 );
             }
@@ -257,6 +258,7 @@ pub fn apply_to_dataset(ds: &mut Dataset, script: &[ScriptedEdit]) {
                     commenter: BloggerId::new(*commenter as usize),
                     text: text.clone(),
                     sentiment: *sentiment,
+                    ts: 0,
                 });
             }
         }

@@ -145,6 +145,7 @@ proptest! {
             comment_edges: a_comment,
             posts_added: a_posts,
             comments_added: 0,
+            ..Default::default()
         };
         let b = DirtySet {
             bloggers_added: b_bloggers,
@@ -152,6 +153,7 @@ proptest! {
             comment_edges: b_comment,
             posts_added: b_posts,
             comments_added: 1,
+            ..Default::default()
         };
         let mut ab = a.clone();
         ab.merge(&b);
@@ -190,6 +192,7 @@ proptest! {
             comment_edges: Vec::new(),
             posts_added: posts,
             comments_added: 0,
+            ..Default::default()
         };
         let mut merged = base.clone();
         merged.merge(&DirtySet::default());

@@ -198,6 +198,7 @@ pub fn assemble_dataset_threaded(pages: &[SpacePage], threads: usize) -> Assembl
                     commenter: local,
                     text: text.clone(),
                     sentiment: None,
+                    ts: 0,
                 })
             })
             .collect();

@@ -84,6 +84,8 @@ mod tests {
                 vec![1.0, 0.0],
                 vec![0.5, 0.5],
             ],
+            fading: vec![],
+            rising: vec![],
         }
     }
 

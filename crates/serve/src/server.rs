@@ -93,6 +93,9 @@ enum EditBatch {
     Script(Vec<ScriptedEdit>),
     /// A deterministic scripted storm resolved against the live dataset.
     Storm { edits: usize, seed: u64 },
+    /// A window advance (`{"advance_to": T}`): the temporal facet's edit
+    /// storm — decayed items become time dirt, the refresh re-solves.
+    Advance { to: u64 },
 }
 
 /// State shared by the accept thread, workers, and the writer.
@@ -629,11 +632,35 @@ fn topk(req: &Request, shared: &Shared) -> Response {
             None => return stamp(Response::error(404, "unknown_domain"), &snap, shared),
         },
     };
+    // `?as_of=T` pins the caller's expected horizon: 400 when the engine
+    // has no temporal facet, 409 when the published snapshot sits at a
+    // different horizon (the caller races a pending `advance_to`; the
+    // `X-Mass-As-Of` header says where the snapshot actually is).
+    if let Some(raw) = req.query_param("as_of") {
+        let Ok(want) = raw.parse::<u64>() else {
+            return stamp(Response::error(400, "bad_as_of"), &snap, shared);
+        };
+        match snap.as_of() {
+            None => return stamp(Response::error(400, "not_temporal"), &snap, shared),
+            Some(cur) if cur != want => {
+                return stamp(
+                    Response::error(409, "horizon_mismatch")
+                        .with_header("X-Mass-As-Of", cur.to_string()),
+                    &snap,
+                    shared,
+                )
+            }
+            Some(_) => {}
+        }
+    }
     let list = snap
         .top_k(domain, k)
         .expect("domain id resolved from this snapshot");
-    let body = Json::Obj(vec![
-        ("epoch".into(), Json::from(snap.epoch())),
+    let mut fields = vec![("epoch".into(), Json::from(snap.epoch()))];
+    if let Some(t) = snap.as_of() {
+        fields.push(("as_of".into(), Json::from(t)));
+    }
+    fields.extend([
         (
             "domain".into(),
             match domain {
@@ -644,7 +671,7 @@ fn topk(req: &Request, shared: &Shared) -> Response {
         ("k".into(), Json::from(list.len() as u64)),
         ("ranking".into(), ranking_json(&snap, list)),
     ]);
-    stamp(Response::json(200, body), &snap, shared)
+    stamp(Response::json(200, Json::Obj(fields)), &snap, shared)
 }
 
 fn match_ad(req: &Request, shared: &Shared) -> Response {
@@ -700,10 +727,19 @@ fn match_ad(req: &Request, shared: &Shared) -> Response {
     stamp(Response::json(200, body), &snap, shared)
 }
 
-/// Parses the `/edits` body: `{"storm": N, "seed": S}` or
-/// `{"edits": [{"op": ...}, ...]}`.
+/// Parses the `/edits` body: `{"storm": N, "seed": S}`,
+/// `{"edits": [{"op": ...}, ...]}`, or `{"advance_to": T}`.
 fn parse_edit_batch(body: &str, snap: &ServingSnapshot) -> Result<(EditBatch, usize), String> {
     let json = mass_obs::json::parse(body).map_err(|e| format!("bad_json: {e}"))?;
+    if let Some(tick) = json.get("advance_to") {
+        if snap.as_of().is_none() {
+            return Err("engine is not temporal; start it with temporal params".into());
+        }
+        let to = tick
+            .as_u64()
+            .ok_or("advance_to must be a non-negative integer tick")?;
+        return Ok((EditBatch::Advance { to }, 1));
+    }
     if let Some(storm) = json.get("storm") {
         let edits = storm
             .as_u64()
@@ -926,10 +962,39 @@ fn writer_loop(
             .map(|(t, _)| *t)
             .find(|t| t.is_set())
             .unwrap_or(TraceId::NONE);
+        // A window advance must republish even when no weight changed bits
+        // (the snapshot's horizon moved, so `?as_of=` validation needs a
+        // fresh capture) — the flag defeats the empty-refresh skip below.
+        let mut advanced = false;
         for (_, batch) in batches {
             shared.pending_batches.fetch_sub(1, Ordering::SeqCst);
             let script = match batch {
                 EditBatch::Script(script) => script,
+                EditBatch::Advance { to } => {
+                    match engine.advance_to(to) {
+                        Ok(stats) => {
+                            advanced = true;
+                            mass_obs::counter("serve.window_advances").inc();
+                            mass_obs::info(
+                                "serve.window_advanced",
+                                &[
+                                    field("from", stats.from),
+                                    field("to", stats.to),
+                                    field("posts_decayed", stats.posts_affected as u64),
+                                    field("comments_decayed", stats.comments_affected as u64),
+                                ],
+                            );
+                        }
+                        Err(why) => {
+                            mass_obs::counter("serve.edits_rejected").inc();
+                            mass_obs::warn(
+                                "serve.advance_rejected",
+                                &[field("why", why.to_string())],
+                            );
+                        }
+                    }
+                    continue;
+                }
                 EditBatch::Storm { edits, seed } => {
                     let ds = engine.dataset();
                     if ds.bloggers.len() < 2 || ds.posts.is_empty() {
@@ -948,7 +1013,7 @@ fn writer_loop(
                 }
             }
         }
-        if engine.pending_edits() == 0 {
+        if engine.pending_edits() == 0 && !advanced {
             continue;
         }
         if let Some(point) = shared.armed_fault.lock().unwrap().take() {
@@ -1119,7 +1184,7 @@ mod tests {
                     }
                 ));
             }
-            EditBatch::Storm { .. } => panic!("expected a script"),
+            _ => panic!("expected a script"),
         }
     }
 
@@ -1250,6 +1315,97 @@ mod tests {
         assert!(spans
             .iter()
             .all(|s| s.get("trace").and_then(Json::as_str) == Some(trace.as_str())));
+        handle.shutdown();
+    }
+
+    fn temporal_engine() -> IncrementalMass {
+        use mass_core::{DecayParams, MassParams, TemporalParams};
+        let out = generate(&SynthConfig {
+            bloggers: 30,
+            mean_posts_per_blogger: 2.0,
+            mean_comments_top: 8.0,
+            time_span: 1000,
+            planted_fading: 2,
+            planted_rising: 2,
+            seed: 5,
+            ..Default::default()
+        });
+        IncrementalMass::new(
+            out.dataset,
+            MassParams {
+                temporal: Some(TemporalParams {
+                    as_of: 0,
+                    decay: DecayParams::Exponential { half_life: 200.0 },
+                }),
+                ..MassParams::paper()
+            },
+        )
+    }
+
+    #[test]
+    fn edit_batch_parser_accepts_window_advance() {
+        let snap = ServingSnapshot::capture(&temporal_engine(), 10);
+        let (batch, n) = parse_edit_batch(r#"{"advance_to": 500}"#, &snap).unwrap();
+        assert!(matches!(batch, EditBatch::Advance { to: 500 }));
+        assert_eq!(n, 1);
+        assert!(parse_edit_batch(r#"{"advance_to": "soon"}"#, &snap).is_err());
+        // A timeless engine has no horizon to advance.
+        let timeless = ServingSnapshot::capture(&tiny_engine(), 10);
+        assert!(parse_edit_batch(r#"{"advance_to": 5}"#, &timeless).is_err());
+    }
+
+    #[test]
+    fn topk_as_of_validates_against_the_published_horizon() {
+        let handle = start(
+            temporal_engine(),
+            ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let t = Duration::from_secs(5);
+
+        // Matching horizon: 200, with the horizon echoed in the body.
+        let ok = crate::client::get(&addr, "/topk?k=3&as_of=0", t).unwrap();
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        let doc = mass_obs::json::parse(&ok.body).unwrap();
+        assert_eq!(doc.get("as_of").and_then(Json::as_u64), Some(0));
+
+        // Mismatched horizon: 409 and the actual horizon in a header.
+        let conflict = crate::client::get(&addr, "/topk?as_of=999", t).unwrap();
+        assert_eq!(conflict.status, 409);
+        assert_eq!(conflict.header("x-mass-as-of"), Some("0"));
+        let bad = crate::client::get(&addr, "/topk?as_of=later", t).unwrap();
+        assert_eq!(bad.status, 400);
+
+        // Advance the window through /edits; the writer refreshes and
+        // publishes a snapshot at the new horizon.
+        let accepted = crate::client::post(&addr, "/edits", br#"{"advance_to": 500}"#, t).unwrap();
+        assert_eq!(accepted.status, 202, "{}", accepted.body);
+        let mut served = None;
+        for _ in 0..250 {
+            std::thread::sleep(Duration::from_millis(20));
+            let r = crate::client::get(&addr, "/topk?k=3&as_of=500", t).unwrap();
+            if r.status == 200 {
+                served = Some(r);
+                break;
+            }
+        }
+        let served = served.expect("advance publishes within the poll budget");
+        let doc = mass_obs::json::parse(&served.body).unwrap();
+        assert_eq!(doc.get("as_of").and_then(Json::as_u64), Some(500));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn as_of_on_a_timeless_engine_is_a_client_error() {
+        let handle = start(tiny_engine(), ServeConfig::default()).unwrap();
+        let addr = handle.addr().to_string();
+        let reply = crate::client::get(&addr, "/topk?as_of=5", Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.status, 400);
+        assert!(reply.body.contains("not_temporal"), "{}", reply.body);
         handle.shutdown();
     }
 

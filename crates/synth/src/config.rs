@@ -36,6 +36,20 @@ pub struct SynthConfig {
     pub sentiment_authority_corr: f64,
     /// RNG seed; equal configs generate identical corpora.
     pub seed: u64,
+    /// Corpus time span in ticks: posts and comments get timestamps in
+    /// `[0, time_span)`. `0` (the default) generates a *timeless* corpus —
+    /// every timestamp is 0 and the output is byte-identical to builds
+    /// that predate the temporal facet (the stamping pass uses its own RNG
+    /// stream precisely so it cannot perturb the classic corpus).
+    pub time_span: u64,
+    /// Plant this many *fading* influencers: the top-authority bloggers,
+    /// whose activity is stamped into the earliest fifth of the span.
+    /// Requires `time_span > 0`.
+    pub planted_fading: usize,
+    /// Plant this many *rising* influencers: the next authority tier,
+    /// whose activity is stamped into the last fifth of the span.
+    /// Requires `time_span > 0`.
+    pub planted_rising: usize,
 }
 
 impl Default for SynthConfig {
@@ -53,6 +67,9 @@ impl Default for SynthConfig {
             domain_word_fraction: 0.55,
             sentiment_authority_corr: 0.6,
             seed: 42,
+            time_span: 0,
+            planted_fading: 0,
+            planted_rising: 0,
         }
     }
 }
@@ -100,6 +117,17 @@ impl SynthConfig {
                 "{name} must be a probability, got {p}"
             );
         }
+        assert!(
+            self.time_span > 0 || (self.planted_fading == 0 && self.planted_rising == 0),
+            "planted fading/rising influencers need a time_span"
+        );
+        assert!(
+            self.planted_fading + self.planted_rising <= self.bloggers,
+            "planted temporal actors ({} + {}) exceed the blogger count {}",
+            self.planted_fading,
+            self.planted_rising,
+            self.bloggers
+        );
     }
 }
 
@@ -127,6 +155,29 @@ mod tests {
     fn bad_probability_rejected() {
         SynthConfig {
             copy_rate: 1.5,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "need a time_span")]
+    fn planting_without_a_span_rejected() {
+        SynthConfig {
+            planted_rising: 3,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the blogger count")]
+    fn overplanting_rejected() {
+        SynthConfig {
+            bloggers: 4,
+            time_span: 100,
+            planted_fading: 3,
+            planted_rising: 2,
             ..Default::default()
         }
         .validate();

@@ -177,8 +177,53 @@ pub fn generate(cfg: &SynthConfig) -> SynthOutput {
                 commenter: BloggerId::new(commenter),
                 text,
                 sentiment: tag.then_some(sentiment),
+                ts: 0,
             });
         }
+    }
+
+    // ---- Timestamps (temporal facet, DESIGN.md §15) -----------------------
+    // A separate RNG stream keeps the classic corpus untouched: with
+    // `time_span == 0` this whole pass is skipped and the output is
+    // byte-identical to pre-temporal builds, and with a span the text,
+    // graph and sentiment above still come out of the main stream
+    // unperturbed.
+    let mut fading = Vec::new();
+    let mut rising = Vec::new();
+    if cfg.time_span > 0 {
+        let mut trng = StdRng::seed_from_u64(cfg.seed ^ 0x5449_4d45_5354_414d); // "TIMESTAM"
+        let span = cfg.time_span;
+        let early_end = span.div_ceil(5);
+        let late_start = span - span.div_ceil(5);
+        for post in posts.iter_mut() {
+            // Authority rank decides the activity profile: the strongest
+            // bloggers are planted as faders (all activity early), the next
+            // tier as risers (all activity late), everyone else is uniform.
+            let rank = ranks[post.author.index()];
+            post.ts = if rank < cfg.planted_fading {
+                trng.random_range(0..early_end)
+            } else if rank < cfg.planted_fading + cfg.planted_rising {
+                trng.random_range(late_start.min(span - 1)..span)
+            } else {
+                trng.random_range(0..span)
+            };
+            for c in post.comments.iter_mut() {
+                // Comments trail their post by a short reply delay, clamped
+                // inside the span so every item is visible at `span − 1`.
+                let delay = trng.random_range(0..span.div_ceil(10) + 1);
+                c.ts = (post.ts + delay).min(span - 1);
+            }
+        }
+        fading = (0..nb)
+            .filter(|&i| ranks[i] < cfg.planted_fading)
+            .map(BloggerId::new)
+            .collect();
+        rising = (0..nb)
+            .filter(|&i| {
+                ranks[i] >= cfg.planted_fading && ranks[i] < cfg.planted_fading + cfg.planted_rising
+            })
+            .map(BloggerId::new)
+            .collect();
     }
 
     let dataset = Dataset {
@@ -193,6 +238,8 @@ pub fn generate(cfg: &SynthConfig) -> SynthOutput {
             authority,
             primary_domain,
             domain_relevance,
+            fading,
+            rising,
         },
     }
 }
@@ -438,6 +485,83 @@ mod tests {
         for p in &out.dataset.posts {
             assert!(p.comments.is_empty());
         }
+    }
+
+    #[test]
+    fn timeless_corpus_has_zero_timestamps_and_no_planted_roles() {
+        let out = generate(&SynthConfig::tiny(4));
+        assert!(out.truth.fading.is_empty());
+        assert!(out.truth.rising.is_empty());
+        for p in &out.dataset.posts {
+            assert_eq!(p.ts, 0);
+            for c in &p.comments {
+                assert_eq!(c.ts, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_planting_stamps_roles_into_their_eras() {
+        let cfg = SynthConfig {
+            time_span: 1000,
+            planted_fading: 3,
+            planted_rising: 3,
+            ..SynthConfig::tiny(4)
+        };
+        let out = generate(&cfg);
+        assert_eq!(out.truth.fading.len(), 3);
+        assert_eq!(out.truth.rising.len(), 3);
+        for post in &out.dataset.posts {
+            assert!(post.ts < 1000);
+            for c in &post.comments {
+                assert!(c.ts >= post.ts && c.ts < 1000);
+            }
+            if out.truth.fading.contains(&post.author) {
+                assert!(post.ts < 200, "fader posted at {}", post.ts);
+            }
+            if out.truth.rising.contains(&post.author) {
+                assert!(post.ts >= 800, "riser posted at {}", post.ts);
+            }
+        }
+        // Faders occupy the top authority ranks, risers the next tier.
+        let min_fader = out
+            .truth
+            .fading
+            .iter()
+            .map(|b| out.truth.authority[b.index()])
+            .fold(f64::INFINITY, f64::min);
+        let max_riser = out
+            .truth
+            .rising
+            .iter()
+            .map(|b| out.truth.authority[b.index()])
+            .fold(0.0, f64::max);
+        assert!(min_fader >= max_riser);
+    }
+
+    #[test]
+    fn stamping_leaves_the_classic_corpus_untouched() {
+        // Same seed, with and without a span: everything except timestamps
+        // must be identical — the stamping pass has its own RNG stream.
+        let plain = generate(&SynthConfig::tiny(6));
+        let stamped = generate(&SynthConfig {
+            time_span: 500,
+            planted_fading: 2,
+            planted_rising: 2,
+            ..SynthConfig::tiny(6)
+        });
+        assert_eq!(plain.dataset.bloggers, stamped.dataset.bloggers);
+        assert_eq!(plain.dataset.posts.len(), stamped.dataset.posts.len());
+        for (a, b) in plain.dataset.posts.iter().zip(&stamped.dataset.posts) {
+            assert_eq!(a.text, b.text);
+            assert_eq!(a.author, b.author);
+            assert_eq!(a.comments.len(), b.comments.len());
+            for (ca, cb) in a.comments.iter().zip(&b.comments) {
+                assert_eq!(ca.text, cb.text);
+                assert_eq!(ca.sentiment, cb.sentiment);
+            }
+        }
+        assert_eq!(plain.truth.authority, stamped.truth.authority);
     }
 
     #[test]

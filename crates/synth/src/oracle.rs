@@ -123,6 +123,8 @@ mod tests {
             authority,
             primary_domain: (0..n).map(|i| DomainId::new(i % 2)).collect(),
             domain_relevance: relevance,
+            fading: vec![],
+            rising: vec![],
         }
     }
 

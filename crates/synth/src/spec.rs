@@ -42,6 +42,14 @@ pub enum ConfigError {
     PlantedExceedsBloggers { planted: usize, bloggers: usize },
     /// The planted-influencer boost must be `>= 1` and finite.
     BadBoost { value: f64 },
+    /// Planted fading/rising influencers require a non-zero `time_span`.
+    PlantedWithoutTimeSpan { fading: usize, rising: usize },
+    /// More planted temporal actors (fading + rising) than bloggers.
+    TemporalPlantExceedsBloggers {
+        fading: usize,
+        rising: usize,
+        bloggers: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -79,6 +87,18 @@ impl fmt::Display for ConfigError {
             ConfigError::BadBoost { value } => {
                 write!(f, "influencer boost must be finite and >= 1, got {value}")
             }
+            ConfigError::PlantedWithoutTimeSpan { fading, rising } => write!(
+                f,
+                "planting {fading} fading and {rising} rising influencers needs time_span > 0"
+            ),
+            ConfigError::TemporalPlantExceedsBloggers {
+                fading,
+                rising,
+                bloggers,
+            } => write!(
+                f,
+                "cannot plant {fading} fading + {rising} rising influencers among {bloggers} bloggers"
+            ),
         }
     }
 }
@@ -133,6 +153,17 @@ pub struct CorpusSpec {
     /// Replacement vocabularies (one word list per domain). `None` uses the
     /// built-in [`DOMAIN_VOCAB`] catalogue truncated to `domains`.
     pub custom_vocab: Option<Vec<Vec<String>>>,
+    /// Corpus time span in ticks: posts and comments get timestamps in
+    /// `[0, time_span)` from their own RNG stream. `0` (the default)
+    /// streams a *timeless* corpus, byte-identical to pre-temporal builds
+    /// (timestamps stay 0 and `records_json` omits the `ts` fields).
+    pub time_span: u64,
+    /// Planted *fading* influencers: the top authority ranks post only in
+    /// the earliest fifth of the span. Requires `time_span > 0`.
+    pub planted_fading: usize,
+    /// Planted *rising* influencers: the next authority tier posts only in
+    /// the last fifth of the span. Requires `time_span > 0`.
+    pub planted_rising: usize,
     /// RNG seed. Equal specs stream identical corpora.
     pub seed: u64,
 }
@@ -155,6 +186,9 @@ impl Default for CorpusSpec {
             sentiment_authority_corr: 0.6,
             base_post_words: 60,
             custom_vocab: None,
+            time_span: 0,
+            planted_fading: 0,
+            planted_rising: 0,
             seed: 7,
         }
     }
@@ -266,6 +300,19 @@ impl CorpusSpec {
                 value: self.influencer_boost,
             });
         }
+        if self.time_span == 0 && (self.planted_fading > 0 || self.planted_rising > 0) {
+            return Err(ConfigError::PlantedWithoutTimeSpan {
+                fading: self.planted_fading,
+                rising: self.planted_rising,
+            });
+        }
+        if self.planted_fading + self.planted_rising > self.bloggers {
+            return Err(ConfigError::TemporalPlantExceedsBloggers {
+                fading: self.planted_fading,
+                rising: self.planted_rising,
+                bloggers: self.bloggers,
+            });
+        }
         Ok(())
     }
 
@@ -366,6 +413,29 @@ mod tests {
             }
             .validate(),
             Err(ConfigError::PlantedExceedsBloggers { .. })
+        ));
+        assert!(matches!(
+            CorpusSpec {
+                planted_fading: 2,
+                planted_rising: 1,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::PlantedWithoutTimeSpan {
+                fading: 2,
+                rising: 1
+            })
+        ));
+        assert!(matches!(
+            CorpusSpec {
+                bloggers: 3,
+                time_span: 100,
+                planted_fading: 2,
+                planted_rising: 2,
+                ..base.clone()
+            }
+            .validate(),
+            Err(ConfigError::TemporalPlantExceedsBloggers { .. })
         ));
         assert!(matches!(
             CorpusSpec {

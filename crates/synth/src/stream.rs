@@ -49,6 +49,10 @@ mod tag {
     pub const POST_META: u64 = 0x04;
     pub const POST_BODY: u64 = 0x05;
     pub const COMMENTS: u64 = 0x06;
+    /// Timestamps live on their own stream so temporal specs reuse the
+    /// exact words, links and sentiments of their timeless counterparts
+    /// (streams 0x01–0x06 are never perturbed by timing draws).
+    pub const TIMING: u64 = 0x07;
 }
 
 /// SplitMix64 finalizer: a strong 64→64 bit mixer.
@@ -219,6 +223,8 @@ pub struct PostContent {
     pub text: String,
     /// Cited posts of *other* bloggers (symbolic; never self-citations).
     pub links: Vec<PostRef>,
+    /// Publication tick (0 for timeless specs).
+    pub ts: u64,
 }
 
 /// One generated post, self-contained within its author's record.
@@ -234,6 +240,8 @@ pub struct PostRecord {
     pub links: Vec<PostRef>,
     /// Reader comments.
     pub comments: Vec<Comment>,
+    /// Publication tick (0 for timeless specs).
+    pub ts: u64,
 }
 
 /// One blogger's complete generated record.
@@ -520,6 +528,33 @@ impl CorpusStream {
         (DomainId::new(domain), title, text)
     }
 
+    /// Draws post `(i, t)`'s publication tick from an already-positioned
+    /// timing RNG. Caller guarantees `time_span > 0`. The author's planted
+    /// activity profile decides the era: fading ranks post in the earliest
+    /// fifth of the span, rising ranks in the last fifth, everyone else
+    /// uniformly.
+    fn draw_post_ts<R: Rng + ?Sized>(&self, rng: &mut R, rank: usize) -> u64 {
+        let span = self.spec.time_span;
+        let early_end = span.div_ceil(5);
+        let late_start = (span - span.div_ceil(5)).min(span - 1);
+        if rank < self.spec.planted_fading {
+            rng.random_range(0..early_end)
+        } else if rank < self.spec.planted_fading + self.spec.planted_rising {
+            rng.random_range(late_start..span)
+        } else {
+            rng.random_range(0..span)
+        }
+    }
+
+    /// Publication tick of post `(i, t)` — 0 for timeless specs. O(1).
+    pub fn post_ts(&self, i: usize, t: usize, latent: &Latent) -> u64 {
+        if self.spec.time_span == 0 {
+            return 0;
+        }
+        let mut trng = stream_rng(self.spec.seed, tag::TIMING, i as u64, t as u64);
+        self.draw_post_ts(&mut trng, latent.rank)
+    }
+
     /// Comments on post `(i, t)`: volume follows the author's authority,
     /// commenters mix uniform readers with authority-weighted peers, and
     /// sentiment correlates with authority per the spec.
@@ -537,6 +572,15 @@ impl CorpusStream {
         let p_pos = 0.25 + 0.55 * corr * a;
         let p_neg = (0.35 - 0.30 * corr * a).max(0.05);
         let words = &self.vocab[domain.index()];
+        // Comment ticks continue the post's timing stream (first draw = the
+        // post's own tick), so the content streams above stay untouched and
+        // a temporal spec generates the same words as its timeless twin.
+        let span = self.spec.time_span;
+        let mut timing = (span > 0).then(|| {
+            let mut trng = stream_rng(self.spec.seed, tag::TIMING, i as u64, t as u64);
+            let pts = self.draw_post_ts(&mut trng, latent.rank);
+            (trng, pts)
+        });
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
             let pick = rng.random::<f64>() * (uniform_mass + self.s_auth);
@@ -559,10 +603,20 @@ impl CorpusStream {
             let template = templates[rng.random_range(0..templates.len())];
             let word = &words[rng.random_range(0..words.len())];
             let tagged = rng.random_bool(self.spec.tag_sentiment_prob);
+            let ts = match timing.as_mut() {
+                Some((trng, pts)) => {
+                    // Replies trail their post by a short delay, clamped
+                    // inside the span.
+                    let delay = trng.random_range(0..span.div_ceil(10) + 1);
+                    (*pts + delay).min(span - 1)
+                }
+                None => 0,
+            };
             out.push(Comment {
                 commenter: BloggerId::new(commenter),
                 text: template.replace("{}", word),
                 sentiment: if tagged { Some(sentiment) } else { None },
+                ts,
             });
         }
         out
@@ -604,6 +658,7 @@ impl CorpusStream {
             title,
             text,
             links,
+            ts: self.post_ts(i, t, latent),
         }
     }
 
@@ -638,6 +693,7 @@ impl CorpusStream {
             domain: content.domain,
             links: content.links,
             comments,
+            ts: content.ts,
         }
     }
 
@@ -677,10 +733,24 @@ impl CorpusStream {
             primary_domain.push(l.primary_domain);
             domain_relevance.push(l.relevance);
         }
+        let (mut fading, mut rising) = (Vec::new(), Vec::new());
+        if self.spec.time_span > 0 {
+            fading = (0..self.spec.planted_fading)
+                .map(|r| BloggerId::new(self.blogger_at_rank(r)))
+                .collect();
+            rising = (self.spec.planted_fading
+                ..self.spec.planted_fading + self.spec.planted_rising)
+                .map(|r| BloggerId::new(self.blogger_at_rank(r)))
+                .collect();
+            fading.sort();
+            rising.sort();
+        }
         GroundTruth {
             authority,
             primary_domain,
             domain_relevance,
+            fading,
+            rising,
         }
     }
 
@@ -745,6 +815,7 @@ impl CorpusStream {
                         .collect(),
                     comments: p.comments,
                     true_domain: Some(p.domain),
+                    ts: p.ts,
                 });
             }
         }
@@ -875,7 +946,13 @@ pub fn record_json_line(rec: &BloggerRecord) -> String {
         push_json_str(&mut s, &p.title);
         s.push_str(",\"text\":");
         push_json_str(&mut s, &p.text);
-        s.push_str(&format!(",\"domain\":{},\"links\":[", p.domain.index()));
+        s.push_str(&format!(",\"domain\":{}", p.domain.index()));
+        if p.ts != 0 {
+            // Tick 0 is the timeless default; omitting it keeps pre-temporal
+            // golden snapshots byte-identical.
+            s.push_str(&format!(",\"ts\":{}", p.ts));
+        }
+        s.push_str(",\"links\":[");
         for (j, l) in p.links.iter().enumerate() {
             if j > 0 {
                 s.push(',');
@@ -895,6 +972,9 @@ pub fn record_json_line(rec: &BloggerRecord) -> String {
                 Some(Sentiment::Negative) => s.push_str("\"neg\""),
                 Some(Sentiment::Neutral) => s.push_str("\"neu\""),
                 None => s.push_str("null"),
+            }
+            if c.ts != 0 {
+                s.push_str(&format!(",\"ts\":{}", c.ts));
             }
             s.push('}');
         }
@@ -1092,6 +1172,79 @@ mod tests {
                 assert_eq!(stream.post_comments(i, t, &latent), p.comments);
             }
         }
+    }
+
+    #[test]
+    fn temporal_spec_reuses_the_timeless_content_streams() {
+        let plain = CorpusStream::new(CorpusSpec::sized(30, 11)).unwrap();
+        let timed = CorpusStream::new(CorpusSpec {
+            time_span: 400,
+            planted_fading: 3,
+            planted_rising: 3,
+            ..CorpusSpec::sized(30, 11)
+        })
+        .unwrap();
+        for i in [0usize, 7, 29] {
+            let a = plain.record(i);
+            let b = timed.record(i);
+            assert_eq!(a.friends, b.friends);
+            assert_eq!(a.posts.len(), b.posts.len());
+            for (pa, pb) in a.posts.iter().zip(&b.posts) {
+                assert_eq!(pa.text, pb.text, "timing draws must not perturb words");
+                assert_eq!(pa.links, pb.links);
+                assert_eq!(pa.ts, 0);
+                assert!(pb.ts < 400);
+                assert_eq!(pa.comments.len(), pb.comments.len());
+                for (ca, cb) in pa.comments.iter().zip(&pb.comments) {
+                    assert_eq!(ca.text, cb.text);
+                    assert_eq!(ca.sentiment, cb.sentiment);
+                    assert!(cb.ts >= pb.ts && cb.ts < 400);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planted_eras_and_truth_roles_line_up() {
+        let stream = CorpusStream::new(CorpusSpec {
+            time_span: 1000,
+            planted_fading: 4,
+            planted_rising: 4,
+            ..CorpusSpec::sized(40, 9)
+        })
+        .unwrap();
+        let truth = stream.truth();
+        assert_eq!(truth.fading.len(), 4);
+        assert_eq!(truth.rising.len(), 4);
+        for r in 0..4 {
+            assert!(truth
+                .fading
+                .contains(&BloggerId::new(stream.blogger_at_rank(r))));
+            assert!(truth
+                .rising
+                .contains(&BloggerId::new(stream.blogger_at_rank(4 + r))));
+        }
+        let out = stream.materialize();
+        for post in &out.dataset.posts {
+            if truth.fading.contains(&post.author) {
+                assert!(post.ts < 200, "fader posted at {}", post.ts);
+            }
+            if truth.rising.contains(&post.author) {
+                assert!(post.ts >= 800, "riser posted at {}", post.ts);
+            }
+        }
+    }
+
+    #[test]
+    fn records_json_emits_ts_only_for_temporal_specs() {
+        let plain = CorpusStream::new(CorpusSpec::sized(6, 7)).unwrap();
+        assert!(!plain.records_json().contains("\"ts\":"));
+        let timed = CorpusStream::new(CorpusSpec {
+            time_span: 300,
+            ..CorpusSpec::sized(6, 7)
+        })
+        .unwrap();
+        assert!(timed.records_json().contains("\"ts\":"));
     }
 
     #[test]

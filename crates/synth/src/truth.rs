@@ -17,6 +17,14 @@ pub struct GroundTruth {
     /// `domain_relevance[b][d]` ∈ [0, 1]: how much of `b`'s activity falls
     /// in domain `d`. Rows sum to 1.
     pub domain_relevance: Vec<Vec<f64>>,
+    /// Planted *fading* influencers: top-authority bloggers whose activity
+    /// was stamped into the earliest fifth of the time span, so decayed
+    /// rankings should demote them. Empty for timeless corpora.
+    pub fading: Vec<BloggerId>,
+    /// Planted *rising* influencers: strong bloggers whose activity was
+    /// stamped into the last fifth of the span — the rising-star detector's
+    /// targets. Empty for timeless corpora.
+    pub rising: Vec<BloggerId>,
 }
 
 impl GroundTruth {
@@ -74,6 +82,8 @@ mod tests {
             authority: vec![1.0, 5.0, 3.0],
             primary_domain: vec![DomainId::new(0), DomainId::new(1), DomainId::new(0)],
             domain_relevance: vec![vec![0.9, 0.1], vec![0.2, 0.8], vec![0.7, 0.3]],
+            fading: vec![],
+            rising: vec![],
         }
     }
 
@@ -115,6 +125,8 @@ mod tests {
             authority: vec![],
             primary_domain: vec![],
             domain_relevance: vec![],
+            fading: vec![],
+            rising: vec![],
         };
         assert!(empty.is_empty());
         assert!(empty.top_k(DomainId::new(0), 5).is_empty());

@@ -277,6 +277,7 @@ impl DatasetBuilder {
             commenter,
             text: text.into(),
             sentiment,
+            ts: 0,
         });
     }
 

@@ -60,15 +60,29 @@ pub struct Comment {
     pub text: String,
     /// Attitude of the commenter, if already analysed or ground-truth known.
     pub sentiment: Option<Sentiment>,
+    /// When the comment was written, in corpus ticks (arbitrary units, `0`
+    /// for timeless corpora). Temporal analyses decay a comment's sentiment
+    /// contribution by its own age, independent of its post's age.
+    pub ts: u64,
 }
 
 impl Comment {
-    /// Creates an untagged comment; sentiment is left to the analyzer.
+    /// Creates an untagged comment at tick 0; sentiment is left to the
+    /// analyzer.
     pub fn new(commenter: BloggerId, text: impl Into<String>) -> Self {
         Comment {
             commenter,
             text: text.into(),
             sentiment: None,
+            ts: 0,
+        }
+    }
+
+    /// Creates an untagged comment stamped with a tick.
+    pub fn new_at(commenter: BloggerId, text: impl Into<String>, ts: u64) -> Self {
+        Comment {
+            ts,
+            ..Comment::new(commenter, text)
         }
     }
 
@@ -99,10 +113,14 @@ pub struct Post {
     /// Real crawled posts leave this `None`; the analyzer infers domains with
     /// the naive-Bayes classifier instead.
     pub true_domain: Option<DomainId>,
+    /// When the post was published, in corpus ticks (arbitrary units, `0`
+    /// for timeless corpora). The temporal facet weights a post's quality
+    /// by its age relative to the analysis horizon.
+    pub ts: u64,
 }
 
 impl Post {
-    /// Creates a post with no links or comments.
+    /// Creates a post at tick 0 with no links or comments.
     pub fn new(author: BloggerId, title: impl Into<String>, text: impl Into<String>) -> Self {
         Post {
             author,
@@ -111,6 +129,20 @@ impl Post {
             links_to: Vec::new(),
             comments: Vec::new(),
             true_domain: None,
+            ts: 0,
+        }
+    }
+
+    /// Creates a post stamped with a tick.
+    pub fn new_at(
+        author: BloggerId,
+        title: impl Into<String>,
+        text: impl Into<String>,
+        ts: u64,
+    ) -> Self {
+        Post {
+            ts,
+            ..Post::new(author, title, text)
         }
     }
 
@@ -205,6 +237,16 @@ mod tests {
         p.comments.push(Comment::new(BloggerId::new(1), "hi"));
         p.comments.push(Comment::new(BloggerId::new(1), "again"));
         assert_eq!(p.comment_count(), 2);
+    }
+
+    #[test]
+    fn timestamps_default_to_zero() {
+        assert_eq!(Post::new(BloggerId::new(0), "t", "x").ts, 0);
+        assert_eq!(Comment::new(BloggerId::new(1), "hi").ts, 0);
+        let p = Post::new_at(BloggerId::new(0), "t", "x", 42);
+        assert_eq!(p.ts, 42);
+        let c = Comment::new_at(BloggerId::new(1), "hi", 43);
+        assert_eq!(c.ts, 43);
     }
 
     #[test]

@@ -81,6 +81,12 @@ pub fn to_xml_string(ds: &Dataset) -> String {
         if let Some(ref d) = domain_s {
             attrs.push(("domain", d.as_str()));
         }
+        // Tick 0 is the timeless default; omitting it keeps pre-temporal
+        // files byte-identical.
+        let ts_s = post.ts.to_string();
+        if post.ts != 0 {
+            attrs.push(("ts", ts_s.as_str()));
+        }
         w.open_with_attrs("post", &attrs);
         w.text_element("title", &post.title);
         w.text_element("text", &post.text);
@@ -95,18 +101,15 @@ pub fn to_xml_string(ds: &Dataset) -> String {
             w.open("comments");
             for c in &post.comments {
                 let commenter = c.commenter.index().to_string();
-                match c.sentiment {
-                    Some(s) => w.text_element_with_attrs(
-                        "comment",
-                        &[("commenter", commenter.as_str()), ("sentiment", s.as_str())],
-                        &c.text,
-                    ),
-                    None => w.text_element_with_attrs(
-                        "comment",
-                        &[("commenter", commenter.as_str())],
-                        &c.text,
-                    ),
+                let mut cattrs = vec![("commenter", commenter.as_str())];
+                if let Some(s) = c.sentiment {
+                    cattrs.push(("sentiment", s.as_str()));
                 }
+                let cts_s = c.ts.to_string();
+                if c.ts != 0 {
+                    cattrs.push(("ts", cts_s.as_str()));
+                }
+                w.text_element_with_attrs("comment", &cattrs, &c.text);
             }
             w.close();
         }
@@ -189,6 +192,11 @@ pub fn from_xml_str(xml: &str) -> Result<Dataset> {
                 })?;
                 post.true_domain = Some(DomainId::new(idx));
             }
+            if let Some(t) = p.attr("ts") {
+                post.ts = t
+                    .parse()
+                    .map_err(|_| Error::schema(format!("post {id} has non-integer ts {t:?}")))?;
+            }
             if let Some(links) = p.child("links") {
                 for l in links.elements_named("link") {
                     post.links_to.push(PostId::new(l.require_usize("ref")?));
@@ -203,10 +211,17 @@ pub fn from_xml_str(xml: &str) -> Result<Dataset> {
                         })?),
                         None => None,
                     };
+                    let ts = match c.attr("ts") {
+                        Some(t) => t.parse().map_err(|_| {
+                            Error::schema(format!("comment on post {id} has non-integer ts {t:?}"))
+                        })?,
+                        None => 0,
+                    };
                     post.comments.push(Comment {
                         commenter,
                         text: c.text(),
                         sentiment,
+                        ts,
                     });
                 }
             }
@@ -345,6 +360,37 @@ mod tests {
             load("/nonexistent/mass.xml").unwrap_err(),
             Error::Io(_)
         ));
+    }
+
+    #[test]
+    fn timestamps_roundtrip_and_timeless_files_stay_unchanged() {
+        let mut ds = sample();
+        let timeless_xml = to_xml_string(&ds);
+        assert!(
+            !timeless_xml.contains("ts="),
+            "tick-0 corpora must not grow ts attributes"
+        );
+        ds.posts[0].ts = 17;
+        ds.posts[0].comments[0].ts = 19;
+        let xml = to_xml_string(&ds);
+        assert!(xml.contains("ts=\"17\""));
+        assert!(xml.contains("ts=\"19\""));
+        let back = from_xml_str(&xml).unwrap();
+        assert_eq!(ds, back);
+        assert_eq!(back.posts[0].ts, 17);
+        assert_eq!(back.posts[0].comments[0].ts, 19);
+        assert_eq!(back.posts[0].comments[1].ts, 0);
+        assert_eq!(back.posts[1].ts, 0);
+    }
+
+    #[test]
+    fn non_integer_ts_rejected() {
+        let xml = r#"<blogosphere>
+          <bloggers><blogger id="0" name="a"/></bloggers>
+          <posts><post id="0" author="0" ts="soon"><title>t</title><text>x</text></post></posts>
+        </blogosphere>"#;
+        let err = from_xml_str(xml).unwrap_err();
+        assert!(err.to_string().contains("non-integer ts"));
     }
 
     #[test]

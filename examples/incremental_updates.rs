@@ -50,6 +50,7 @@ fn main() {
                 commenter: fan_id,
                 text: "I agree, great post, very helpful".into(),
                 sentiment: None, // the Comment Analyzer classifies it
+                ts: 0,
             },
         );
     }
@@ -93,6 +94,7 @@ fn main() {
             commenter: BloggerId::new(41),
             text: "late to the party but this is great".into(),
             sentiment: None,
+            ts: 0,
         },
     );
     let t = Instant::now();

@@ -127,6 +127,27 @@ if [[ $fast -eq 0 ]]; then
     --expect-spans incremental.refresh \
     --expect-metrics incremental.refreshes,incremental.edits_applied
 
+  echo "== temporal: rank --as-of window advance equals full recompute =="
+  # The CLI face of the temporal exactness contract (DESIGN.md §15): the
+  # default path starts the engine at horizon 0 and advances to T as an
+  # incremental time-dirt edit storm; --refresh-mode full recomputes from
+  # scratch at the same horizon. Byte-identical artifacts or the gate fails.
+  "$mass" generate --bloggers 40 --seed 12 --time-span 1000 --fading 3 --rising 3 \
+    --out "$obs_dir/temporal.xml" >/dev/null
+  "$mass" rank --in "$obs_dir/temporal.xml" --k 8 --as-of 600 --half-life 200 \
+    --json-out "$obs_dir/asof_inc.json" 2>/dev/null >/dev/null
+  "$mass" rank --in "$obs_dir/temporal.xml" --k 8 --as-of 600 --half-life 200 \
+    --refresh-mode full --json-out "$obs_dir/asof_full.json" 2>/dev/null >/dev/null
+  cmp "$obs_dir/asof_inc.json" "$obs_dir/asof_full.json"
+
+  echo "== temporal golden: decayed rank artifact matches the committed fixture =="
+  cmp tests/golden/rank_asof_b40_s12_t600.json "$obs_dir/asof_inc.json"
+
+  echo "== release-only temporal gate: X18 window-advance speedup and bit-identity =="
+  # table_x18_window_advance asserts advance_to + Exact refresh is >=2x a
+  # full recompute at every horizon and bit-compares scores at every step.
+  cargo run --release -q -p mass-bench --bin table_x18_window_advance >/dev/null
+
   echo "== serve smoke: query+edit round-trip, chaos drill, clean drain =="
   # Boot the serving layer on an ephemeral port with chaos hooks on, walk it
   # through the degradation lifecycle (healthy -> injected refresh panic ->

@@ -18,3 +18,12 @@ echo "regenerated tests/golden/rank_b40_s12_k8.json — review the diff before c
 
 "$mass" synth --bloggers 64 --seed 7 --records-out tests/golden/synth_stream_s7.json
 echo "regenerated tests/golden/synth_stream_s7.json — review the diff before committing"
+
+# Temporal fixture: a planted fading/rising corpus ranked at horizon 600
+# with a 200-tick half-life, through the incremental window-advance path
+# (byte-identical to --refresh-mode full; check.sh enforces that too).
+"$mass" generate --bloggers 40 --seed 12 --time-span 1000 --fading 3 --rising 3 \
+  --out "$tmp/temporal.xml"
+"$mass" rank --in "$tmp/temporal.xml" --k 8 --as-of 600 --half-life 200 \
+  --json-out tests/golden/rank_asof_b40_s12_t600.json
+echo "regenerated tests/golden/rank_asof_b40_s12_t600.json — review the diff before committing"

@@ -51,8 +51,8 @@ pub use mass_xml as xml;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use mass_core::{
-        baselines::Baseline, GlProvider, IvSource, LengthMode, MassAnalysis, MassParams,
-        Recommender,
+        baselines::Baseline, rising_stars, DecayParams, GlProvider, IncrementalMass, IvSource,
+        LengthMode, MassAnalysis, MassParams, Recommender, RisingStar, TemporalParams,
     };
     pub use mass_crawler::{crawl, CrawlConfig, SimulatedHost};
     pub use mass_eval::{run_user_study, UserStudyConfig};

@@ -1,0 +1,104 @@
+//! Golden snapshot of the temporal (decayed) ranking.
+//!
+//! `tests/golden/rank_asof_b40_s12_t600.json` is the committed `rank
+//! --as-of 600 --half-life 200` artifact over the planted fading/rising
+//! 40-blogger seed-12 corpus (scores carry `f64::to_bits` hex, so the
+//! file pins exact bits, not formatted decimals). Any drift in the decay
+//! transform, the generator's timestamp stamping, or the solver shows up
+//! here — regenerate deliberately with `scripts/regen_golden.sh` and
+//! review the diff. check.sh additionally byte-compares the whole file
+//! against a fresh CLI run and against `--refresh-mode full`.
+
+use mass::prelude::*;
+
+const GOLDEN: &str = include_str!("golden/rank_asof_b40_s12_t600.json");
+
+fn golden_corpus() -> mass::synth::SynthOutput {
+    generate(&SynthConfig {
+        bloggers: 40,
+        seed: 12,
+        time_span: 1000,
+        planted_fading: 3,
+        planted_rising: 3,
+        ..Default::default()
+    })
+}
+
+fn temporal_params() -> MassParams {
+    MassParams {
+        temporal: Some(TemporalParams {
+            as_of: 600,
+            decay: DecayParams::Exponential { half_life: 200.0 },
+        }),
+        ..MassParams::paper()
+    }
+}
+
+/// Pulls the `(blogger, score_bits)` pairs out of the committed artifact,
+/// in ranking order.
+fn golden_ranking() -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    for entry in GOLDEN.split("{\"rank\":").skip(1) {
+        let blogger = entry
+            .split("\"blogger\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .expect("blogger id in golden entry");
+        let bits = entry
+            .split("\"score_bits\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .map(|hex| u64::from_str_radix(hex, 16).expect("hex bits"))
+            .expect("score_bits in golden entry");
+        out.push((blogger, bits));
+    }
+    out
+}
+
+#[test]
+fn golden_metadata_names_the_horizon() {
+    assert!(GOLDEN.starts_with("{\"title\":\"top-8 general\""));
+    assert!(GOLDEN.contains("\"as_of\":600"));
+}
+
+#[test]
+fn batch_analysis_matches_the_committed_bits() {
+    let out = golden_corpus();
+    let analysis = MassAnalysis::analyze(&out.dataset, &temporal_params());
+    let want = golden_ranking();
+    assert_eq!(want.len(), 8);
+    let got: Vec<(usize, u64)> = analysis
+        .top_k_general(8)
+        .into_iter()
+        .map(|(b, s)| (b.index(), s.to_bits()))
+        .collect();
+    assert_eq!(
+        got, want,
+        "decayed ranking drifted from tests/golden/rank_asof_b40_s12_t600.json; \
+         if the change is intentional, run scripts/regen_golden.sh and review the diff"
+    );
+}
+
+#[test]
+fn incremental_window_advance_matches_the_committed_bits() {
+    // The same artifact through the engine's advance path: horizon 0 →
+    // 600 as a time-dirt edit storm, then one Exact refresh.
+    let out = golden_corpus();
+    let start = MassParams {
+        temporal: Some(TemporalParams {
+            as_of: 0,
+            decay: DecayParams::Exponential { half_life: 200.0 },
+        }),
+        ..MassParams::paper()
+    };
+    let mut inc = IncrementalMass::new(out.dataset, start);
+    inc.advance_to(600).unwrap();
+    inc.refresh();
+    let got: Vec<(usize, u64)> = inc
+        .top_k_general(8)
+        .into_iter()
+        .map(|(b, s)| (b.index(), s.to_bits()))
+        .collect();
+    assert_eq!(got, golden_ranking());
+}

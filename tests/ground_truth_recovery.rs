@@ -129,6 +129,111 @@ fn classifier_recovers_post_domains() {
     assert!(accuracy > 0.8, "classifier accuracy {accuracy:.2}");
 }
 
+fn temporal_corpus() -> mass::synth::SynthOutput {
+    generate(&SynthConfig {
+        bloggers: 400,
+        seed: 77,
+        time_span: 1000,
+        planted_fading: 5,
+        planted_rising: 5,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn rising_star_detector_recovers_planted_risers() {
+    let out = temporal_corpus();
+    assert_eq!(out.truth.rising.len(), 5);
+    let decay = DecayParams::Exponential { half_life: 150.0 };
+    let mut inc = IncrementalMass::new(
+        out.dataset.clone(),
+        MassParams {
+            temporal: Some(TemporalParams { as_of: 100, decay }),
+            ..MassParams::paper()
+        },
+    );
+    // Influence trajectory via incremental window advances: each horizon
+    // is one advance + refresh, the very flow `mass serve` runs live.
+    let mut snapshots = vec![(100u64, inc.scores().blogger.clone())];
+    for t in [400u64, 700, 999] {
+        inc.advance_to(t).unwrap();
+        inc.refresh();
+        snapshots.push((t, inc.scores().blogger.clone()));
+    }
+    let stars = rising_stars(&snapshots, 5);
+    let found = stars
+        .iter()
+        .filter(|s| out.truth.rising.contains(&s.blogger))
+        .count();
+    assert!(
+        found >= 3,
+        "only {found}/5 planted risers in the rising-star top-5: {stars:?}"
+    );
+
+    // The undecayed static ranking cannot see them: planted faders carry
+    // the highest authority, so they own the static top-5 instead.
+    let undecayed = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+    let static_top: Vec<BloggerId> = undecayed
+        .top_k_general(5)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    let static_found = static_top
+        .iter()
+        .filter(|b| out.truth.rising.contains(b))
+        .count();
+    assert!(
+        static_found < found,
+        "static ranking sees {static_found} risers, detector found {found} — \
+         the derivative adds nothing here"
+    );
+}
+
+#[test]
+fn decay_demotes_planted_fading_influencers() {
+    let out = temporal_corpus();
+    assert_eq!(out.truth.fading.len(), 5);
+    let undecayed = MassAnalysis::analyze(&out.dataset, &MassParams::paper());
+    let static_top: Vec<BloggerId> = undecayed
+        .top_k_general(5)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    let static_faders = static_top
+        .iter()
+        .filter(|b| out.truth.fading.contains(b))
+        .count();
+    assert!(
+        static_faders >= 3,
+        "planted faders should dominate the static top-5, got {static_faders}"
+    );
+
+    let decayed = MassAnalysis::analyze(
+        &out.dataset,
+        &MassParams {
+            temporal: Some(TemporalParams {
+                as_of: 999,
+                decay: DecayParams::Exponential { half_life: 100.0 },
+            }),
+            ..MassParams::paper()
+        },
+    );
+    let decayed_top: Vec<BloggerId> = decayed
+        .top_k_general(5)
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    let decayed_faders = decayed_top
+        .iter()
+        .filter(|b| out.truth.fading.contains(b))
+        .count();
+    assert!(
+        decayed_faders < static_faders,
+        "decay at the end of the span should demote faders: \
+         static {static_faders}, decayed {decayed_faders}"
+    );
+}
+
 #[test]
 fn sentiment_facet_matters_on_planted_data() {
     // Removing the attitude signal (β=... keep; instead neutralise by
